@@ -1,0 +1,151 @@
+//! Two-fleet comparison statistics.
+//!
+//! Policy questions ("does a 48 h scrub beat a 168 h scrub?") reduce to
+//! comparing the mean cumulative functions of two simulated fleets.
+//! This module provides the standard normal-approximation comparison
+//! of two MCF estimates at a time point, and a whole-mission summary.
+
+use crate::mcf::normal_quantile;
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing two fleets' event counts at a time horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetComparison {
+    /// Mean events per system, fleet A.
+    pub mean_a: f64,
+    /// Mean events per system, fleet B.
+    pub mean_b: f64,
+    /// Difference `mean_a − mean_b`.
+    pub difference: f64,
+    /// Half-width of the confidence interval on the difference.
+    pub half_width: f64,
+    /// Confidence level used.
+    pub confidence: f64,
+    /// `true` when the interval excludes zero — the fleets genuinely
+    /// differ at this confidence.
+    pub significant: bool,
+}
+
+/// Compares per-system event counts of two independently simulated
+/// fleets (e.g. DDF counts by some horizon) using the two-sample
+/// normal approximation.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_analysis::compare_fleets;
+///
+/// let aggressive_scrub = vec![0u64; 100];          // no losses
+/// let mut no_scrub = vec![1u64; 50];               // half the groups lost data
+/// no_scrub.extend(vec![0u64; 50]);
+/// let cmp = compare_fleets(&no_scrub, &aggressive_scrub, 0.99);
+/// assert!(cmp.significant);
+/// assert!(cmp.difference > 0.4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either fleet has fewer than 2 systems or `confidence` is
+/// not in `(0, 1)`.
+pub fn compare_fleets(
+    counts_a: &[u64],
+    counts_b: &[u64],
+    confidence: f64,
+) -> FleetComparison {
+    assert!(
+        counts_a.len() >= 2 && counts_b.len() >= 2,
+        "need at least two systems per fleet"
+    );
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let stats = |xs: &[u64]| {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<u64>() as f64 / n;
+        let var = xs
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        (mean, var / n)
+    };
+    let (mean_a, se2_a) = stats(counts_a);
+    let (mean_b, se2_b) = stats(counts_b);
+    let difference = mean_a - mean_b;
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let half_width = z * (se2_a + se2_b).sqrt();
+    FleetComparison {
+        mean_a,
+        mean_b,
+        difference,
+        half_width,
+        confidence,
+        significant: difference.abs() > half_width,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn poissonish(mean: f64, n: usize, seed: u64) -> Vec<u64> {
+        // Crude integer counts with the right mean for test purposes.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut k = 0u64;
+                let mut p: f64 = rng.random_range(0.0..1.0);
+                let l = (-mean).exp();
+                while p > l {
+                    p *= rng.random_range(0.0..1.0f64);
+                    k += 1;
+                }
+                k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_fleets_are_not_significant() {
+        let a = poissonish(0.5, 5_000, 1);
+        let b = poissonish(0.5, 5_000, 2);
+        let c = compare_fleets(&a, &b, 0.99);
+        assert!(!c.significant, "{c:?}");
+        assert!(c.difference.abs() < 0.1);
+    }
+
+    #[test]
+    fn clearly_different_fleets_are_significant() {
+        let a = poissonish(1.2, 5_000, 3);
+        let b = poissonish(0.1, 5_000, 4);
+        let c = compare_fleets(&a, &b, 0.99);
+        assert!(c.significant, "{c:?}");
+        assert!(c.difference > 0.9);
+        assert!(c.mean_a > c.mean_b);
+    }
+
+    #[test]
+    fn interval_narrows_with_fleet_size() {
+        let a_small = poissonish(0.5, 100, 5);
+        let b_small = poissonish(0.5, 100, 6);
+        let a_big = poissonish(0.5, 10_000, 7);
+        let b_big = poissonish(0.5, 10_000, 8);
+        let small = compare_fleets(&a_small, &b_small, 0.95);
+        let big = compare_fleets(&a_big, &b_big, 0.95);
+        assert!(big.half_width < small.half_width / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two systems")]
+    fn tiny_fleet_panics() {
+        compare_fleets(&[1], &[1, 2], 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_panics() {
+        compare_fleets(&[1, 2], &[1, 2], 1.5);
+    }
+}

@@ -1,0 +1,303 @@
+//! Minimal SVG line-chart rendering for the experiment figures.
+//!
+//! Every paper figure is a handful of named series over a shared x
+//! grid; this renderer produces a standalone `.svg` with axes, ticks, a
+//! legend and one polyline per series — enough to eyeball a
+//! reproduction next to the paper without external tooling.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Chart dimensions and margins (pixels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChartLayout {
+    /// Total width.
+    pub width: f64,
+    /// Total height.
+    pub height: f64,
+    /// Margin around the plot area (left margin is doubled for the y
+    /// labels).
+    pub margin: f64,
+}
+
+impl Default for ChartLayout {
+    fn default() -> Self {
+        Self {
+            width: 720.0,
+            height: 440.0,
+            margin: 40.0,
+        }
+    }
+}
+
+/// Distinguishable stroke colors, cycled per series.
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+/// Renders the series as a standalone SVG line chart.
+///
+/// All series may have different x grids (unlike
+/// [`crate::series::render_figure`], which requires a shared grid for
+/// textual alignment). Axis ranges are the unions of the data ranges,
+/// zero-anchored on y.
+///
+/// # Panics
+///
+/// Panics if no series are given or every series is empty.
+pub fn render_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    layout: ChartLayout,
+) -> String {
+    assert!(!series.is_empty(), "chart needs at least one series");
+    let points_exist = series.iter().any(|s| !s.points.is_empty());
+    assert!(points_exist, "chart needs at least one data point");
+
+    let x_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let left = layout.margin * 2.0;
+    let right = layout.width - layout.margin;
+    let top = layout.margin;
+    let bottom = layout.height - layout.margin * 1.5;
+    let sx = |x: f64| left + (x / x_max) * (right - left);
+    let sy = |y: f64| bottom - (y / y_max) * (bottom - top);
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+        w = layout.width,
+        h = layout.height
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{w}" height="{h}" fill="white"/>"#,
+        w = layout.width,
+        h = layout.height
+    );
+    // Title.
+    let _ = write!(
+        out,
+        r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="14" text-anchor="middle">{t}</text>"#,
+        x = layout.width / 2.0,
+        y = layout.margin / 1.5,
+        t = escape(title)
+    );
+    // Axes.
+    let _ = write!(
+        out,
+        r#"<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" stroke="black"/>"#
+    );
+    let _ = write!(
+        out,
+        r#"<line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" stroke="black"/>"#
+    );
+    // Ticks and grid (5 divisions each way).
+    for i in 0..=5 {
+        let fx = i as f64 / 5.0;
+        let x = left + fx * (right - left);
+        let _ = write!(
+            out,
+            r#"<line x1="{x}" y1="{bottom}" x2="{x}" y2="{y2}" stroke="black"/>"#,
+            y2 = bottom + 4.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="10" text-anchor="middle">{v}</text>"#,
+            y = bottom + 16.0,
+            v = fmt_tick(fx * x_max)
+        );
+        let y = bottom - fx * (bottom - top);
+        let _ = write!(
+            out,
+            r#"<line x1="{x1}" y1="{y}" x2="{left}" y2="{y}" stroke="black"/>"#,
+            x1 = left - 4.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{x}" y="{yt}" font-family="sans-serif" font-size="10" text-anchor="end">{v}</text>"#,
+            x = left - 6.0,
+            yt = y + 3.0,
+            v = fmt_tick(fx * y_max)
+        );
+        if i > 0 {
+            let _ = write!(
+                out,
+                r##"<line x1="{left}" y1="{y}" x2="{right}" y2="{y}" stroke="#dddddd"/>"##
+            );
+        }
+    }
+    // Axis labels.
+    let _ = write!(
+        out,
+        r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle">{t}</text>"#,
+        x = (left + right) / 2.0,
+        y = layout.height - 6.0,
+        t = escape(x_label)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="12" y="{y}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 12 {y})">{t}</text>"#,
+        y = (top + bottom) / 2.0,
+        t = escape(y_label)
+    );
+    // Series polylines + legend.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut pts = String::new();
+        for (x, y) in &s.points {
+            let _ = write!(pts, "{:.2},{:.2} ", sx(*x), sy(*y));
+        }
+        let _ = write!(
+            out,
+            r#"<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.5"/>"#
+        );
+        let ly = top + 14.0 * i as f64;
+        let _ = write!(
+            out,
+            r#"<line x1="{x1}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            x1 = left + 10.0,
+            x2 = left + 30.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="11">{t}</text>"#,
+            x = left + 36.0,
+            y = ly + 4.0,
+            t = escape(&s.label)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders with the default layout and writes to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error from writing the file.
+pub fn write_chart(
+    path: &std::path::Path,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        render_chart(title, x_label, y_label, series, ChartLayout::default()),
+    )
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series::new("No Scrub", vec![(0.0, 0.0), (43_800.0, 540.0), (87_600.0, 1_206.0)]),
+            Series::new("168 hr Scrub", vec![(0.0, 0.0), (43_800.0, 66.0), (87_600.0, 136.0)]),
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = render_chart("Figure 7", "hours", "DDFs / 1000 groups", &demo_series(), ChartLayout::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("Figure 7"));
+        assert!(svg.contains("No Scrub"));
+        assert!(svg.contains("168 hr Scrub"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let series = vec![Series::new("a<b & c", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let svg = render_chart("t<t>", "x", "y", &series, ChartLayout::default());
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_viewport() {
+        let layout = ChartLayout::default();
+        let svg = render_chart("t", "x", "y", &demo_series(), layout);
+        // Crude parse: every polyline coordinate pair is within bounds.
+        for part in svg.split("points=\"").skip(1) {
+            let coords = part.split('"').next().unwrap();
+            for pair in coords.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!(x >= 0.0 && x <= layout.width);
+                assert!(y >= 0.0 && y <= layout.height);
+            }
+        }
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(87_600.0), "88k");
+        assert_eq!(fmt_tick(136.0), "136");
+        assert_eq!(fmt_tick(0.28), "0.28");
+    }
+
+    #[test]
+    fn write_chart_creates_file() {
+        let dir = std::env::temp_dir().join("raidsim_svg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig7.svg");
+        write_chart(&path, "t", "x", "y", &demo_series()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_chart_panics() {
+        render_chart("t", "x", "y", &[], ChartLayout::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data point")]
+    fn all_empty_series_panics() {
+        render_chart(
+            "t",
+            "x",
+            "y",
+            &[Series::new("e", vec![])],
+            ChartLayout::default(),
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Trend tests and NHPP intensity fitting for repairable-system event
+//! data.
+//!
+//! The paper's core statistical claim is that the RAID group's failure
+//! process is **not** a homogeneous Poisson process: the ROCOF rises
+//! with time (Figure 8). This module provides the standard tools that
+//! turn that visual claim into test statistics:
+//!
+//! * [`laplace_statistic`] — the Laplace (centroid) trend test: under
+//!   an HPP the normalized event-time centroid is standard normal;
+//!   significantly positive values mean a deteriorating system.
+//! * [`mil_hdbk_189_statistic`] — the Military Handbook 189 chi-square
+//!   test, the likelihood-ratio test against a power-law NHPP.
+//! * [`CrowAmsaa`] — maximum-likelihood fit of the Crow-AMSAA
+//!   (power-law) NHPP `λ(t) = a·b·t^(b−1)`; `b > 1` quantifies how fast
+//!   the fleet deteriorates. The paper cites Crow's repairable-systems
+//!   methodology directly \[4\].
+
+use serde::{Deserialize, Serialize};
+
+/// Laplace trend statistic for pooled event times from a fleet
+/// observed over `[0, window]` (time-truncated sampling).
+///
+/// `U = (Σtᵢ − nT/2) / (T·√(n/12))`. Under an HPP, `U ~ N(0, 1)`;
+/// `U > 1.645` rejects "no trend" in favour of deterioration at the
+/// 5% level.
+///
+/// # Panics
+///
+/// Panics if no events are given, the window is not positive, or any
+/// event lies outside the window.
+pub fn laplace_statistic(event_times: &[f64], window: f64) -> f64 {
+    assert!(!event_times.is_empty(), "need at least one event");
+    assert!(
+        window.is_finite() && window > 0.0,
+        "window must be positive"
+    );
+    let n = event_times.len() as f64;
+    let sum: f64 = event_times
+        .iter()
+        .map(|&t| {
+            assert!(
+                (0.0..=window).contains(&t),
+                "event at {t} outside window"
+            );
+            t
+        })
+        .sum();
+    (sum - n * window / 2.0) / (window * (n / 12.0).sqrt())
+}
+
+/// MIL-HDBK-189 chi-square statistic for pooled, time-truncated event
+/// data: `χ² = 2·Σ ln(T/tᵢ)`, distributed chi-square with `2n` degrees
+/// of freedom under an HPP. Values *below* the lower critical value
+/// indicate deterioration (late-clustered events make the log terms
+/// small).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`laplace_statistic`], plus if
+/// any event time is zero (the log diverges).
+pub fn mil_hdbk_189_statistic(event_times: &[f64], window: f64) -> f64 {
+    assert!(!event_times.is_empty(), "need at least one event");
+    assert!(
+        window.is_finite() && window > 0.0,
+        "window must be positive"
+    );
+    2.0 * event_times
+        .iter()
+        .map(|&t| {
+            assert!(
+                t > 0.0 && t <= window,
+                "event at {t} outside (0, window]"
+            );
+            (window / t).ln()
+        })
+        .sum::<f64>()
+}
+
+/// Maximum-likelihood Crow-AMSAA (power-law NHPP) fit.
+///
+/// Models the fleet-pooled cumulative events as `E[N(t)] = k·a·t^b`
+/// for `k` systems; the intensity per system is `λ(t) = a·b·t^(b−1)`.
+/// `b = 1` is the HPP; `b > 1` is deterioration.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_analysis::CrowAmsaa;
+///
+/// // Late-clustered events across 100 systems: deteriorating fleet.
+/// let events = [400.0, 700.0, 850.0, 900.0, 950.0, 990.0];
+/// let fit = CrowAmsaa::fit(&events, 100, 1_000.0);
+/// assert!(fit.b > 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowAmsaa {
+    /// Scale parameter `a` (events per system per hour^b).
+    pub a: f64,
+    /// Growth (shape) parameter `b`.
+    pub b: f64,
+    /// Number of systems pooled.
+    pub systems: usize,
+    /// Observation window, hours.
+    pub window: f64,
+    /// Events used in the fit.
+    pub events: usize,
+}
+
+impl CrowAmsaa {
+    /// Fits the power-law NHPP to pooled event times from `systems`
+    /// identical systems observed over `[0, window]` (time-truncated
+    /// MLE):
+    ///
+    /// ```text
+    /// b̂ = n / Σ ln(T/tᵢ),     â = n / (k · T^b̂)
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no events, `systems == 0`, the window is
+    /// not positive, or events lie outside `(0, window]`.
+    pub fn fit(event_times: &[f64], systems: usize, window: f64) -> Self {
+        assert!(systems > 0, "need at least one system");
+        let n = event_times.len();
+        assert!(n > 0, "need at least one event");
+        let log_sum = mil_hdbk_189_statistic(event_times, window) / 2.0;
+        assert!(log_sum > 0.0, "all events at the window edge");
+        let b = n as f64 / log_sum;
+        let a = n as f64 / (systems as f64 * window.powf(b));
+        Self {
+            a,
+            b,
+            systems,
+            window,
+            events: n,
+        }
+    }
+
+    /// Fitted intensity (ROCOF) per system at time `t`.
+    pub fn intensity(&self, t: f64) -> f64 {
+        self.a * self.b * t.powf(self.b - 1.0)
+    }
+
+    /// Fitted expected cumulative events per system by time `t`.
+    pub fn expected_events(&self, t: f64) -> f64 {
+        self.a * t.powf(self.b)
+    }
+
+    /// Whether the fitted process deteriorates (`b > 1`) beyond the
+    /// given z-score under the asymptotic normal approximation
+    /// `b̂ ~ N(b, b²/n)`.
+    pub fn deteriorates_significantly(&self, z: f64) -> bool {
+        let sigma = self.b / (self.events as f64).sqrt();
+        self.b - z * sigma > 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use raidsim_dists::{Exponential, LifeDistribution, Weibull3};
+
+    /// Pooled events from `k` HPP systems at rate `rate`.
+    fn hpp_events(k: usize, rate: f64, window: f64, seed: u64) -> Vec<f64> {
+        let d = Exponential::new(rate).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for _ in 0..k {
+            let mut t = d.sample(&mut rng);
+            while t <= window {
+                out.push(t);
+                t += d.sample(&mut rng);
+            }
+        }
+        out
+    }
+
+    /// Pooled events from `k` power-law NHPP systems: event times are
+    /// generated by inverting the cumulative intensity a·t^b.
+    fn power_law_events(k: usize, a: f64, b: f64, window: f64, seed: u64) -> Vec<f64> {
+        // N(window) ~ Poisson(a window^b); given N, times are iid with
+        // CDF (t/T)^b — the standard conditional property of NHPPs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let d = Exponential::new(1.0).unwrap(); // unit-exp for thinning-free gen
+        let mut out = Vec::new();
+        for _ in 0..k {
+            // Generate via transformed HPP: if s_i are unit-HPP event
+            // times on [0, a T^b], then t_i = (s_i / a)^(1/b).
+            let horizon = a * window.powf(b);
+            let mut s = d.sample(&mut rng);
+            while s <= horizon {
+                out.push((s / a).powf(1.0 / b));
+                s += d.sample(&mut rng);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn laplace_is_near_zero_for_hpp() {
+        let events = hpp_events(400, 1.0 / 500.0, 50_000.0, 1);
+        let u = laplace_statistic(&events, 50_000.0);
+        assert!(u.abs() < 3.0, "U = {u}");
+    }
+
+    #[test]
+    fn laplace_detects_deterioration() {
+        let events = power_law_events(200, 1.0e-7, 2.0, 50_000.0, 2);
+        let u = laplace_statistic(&events, 50_000.0);
+        assert!(u > 5.0, "U = {u}");
+    }
+
+    #[test]
+    fn laplace_detects_improvement() {
+        // b < 1: early-clustered events, negative U.
+        let events = power_law_events(200, 0.05, 0.5, 50_000.0, 3);
+        let u = laplace_statistic(&events, 50_000.0);
+        assert!(u < -5.0, "U = {u}");
+    }
+
+    #[test]
+    fn mil_hdbk_mean_matches_dof_under_hpp() {
+        // chi-square with 2n dof has mean 2n.
+        let events = hpp_events(500, 1.0 / 400.0, 40_000.0, 4);
+        let stat = mil_hdbk_189_statistic(&events, 40_000.0);
+        let dof = 2.0 * events.len() as f64;
+        // sd of chi2 is sqrt(2*dof); allow 4 sigma.
+        assert!(
+            (stat - dof).abs() < 4.0 * (2.0 * dof).sqrt(),
+            "stat = {stat}, dof = {dof}"
+        );
+    }
+
+    #[test]
+    fn crow_amsaa_recovers_power_law_parameters() {
+        let (a, b) = (1.0e-7, 1.8);
+        let events = power_law_events(500, a, b, 50_000.0, 5);
+        let fit = CrowAmsaa::fit(&events, 500, 50_000.0);
+        assert!((fit.b - b).abs() < 0.1, "b = {}", fit.b);
+        assert!(
+            (fit.a.ln() - a.ln()).abs() < 0.5,
+            "a = {:e} vs {a:e}",
+            fit.a
+        );
+        assert!(fit.deteriorates_significantly(2.0));
+        // Fitted cumulative matches empirical at the window.
+        let per_system = events.len() as f64 / 500.0;
+        assert!((fit.expected_events(50_000.0) - per_system).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crow_amsaa_on_hpp_gives_b_near_one() {
+        let events = hpp_events(500, 1.0 / 400.0, 40_000.0, 6);
+        let fit = CrowAmsaa::fit(&events, 500, 40_000.0);
+        assert!((fit.b - 1.0).abs() < 0.05, "b = {}", fit.b);
+        assert!(!fit.deteriorates_significantly(2.0));
+    }
+
+    #[test]
+    fn intensity_is_derivative_of_cumulative() {
+        let fit = CrowAmsaa {
+            a: 1.0e-6,
+            b: 1.5,
+            systems: 1,
+            window: 1.0e4,
+            events: 100,
+        };
+        let t = 5_000.0;
+        let h = 1.0;
+        let numeric = (fit.expected_events(t + h) - fit.expected_events(t - h)) / (2.0 * h);
+        // Central differences carry O(h^2) truncation error.
+        assert!((numeric - fit.intensity(t)).abs() < 1e-6 * fit.intensity(t).max(1e-12));
+    }
+
+    #[test]
+    fn renewal_weibull_fleet_shows_early_deterioration() {
+        // A fleet of *renewal* Weibull beta=3 systems observed over a
+        // fraction of a life has increasing intensity — the Figure 8
+        // situation — and the trend tests must flag it.
+        let d = Weibull3::two_param(10_000.0, 3.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let window = 8_000.0;
+        let mut events = Vec::new();
+        for _ in 0..800 {
+            let mut t = d.sample(&mut rng);
+            while t <= window {
+                events.push(t);
+                t += d.sample(&mut rng);
+            }
+        }
+        assert!(laplace_statistic(&events, window) > 3.0);
+        let fit = CrowAmsaa::fit(&events, 800, window);
+        assert!(fit.b > 1.5, "b = {}", fit.b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn empty_events_panic() {
+        laplace_statistic(&[], 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn out_of_window_event_panics() {
+        laplace_statistic(&[150.0], 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, window]")]
+    fn zero_time_event_panics_in_mil_hdbk() {
+        mil_hdbk_189_statistic(&[0.0], 100.0);
+    }
+}

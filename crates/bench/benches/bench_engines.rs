@@ -1,0 +1,54 @@
+//! Engine ablation (DESIGN.md §7): discrete-event vs pairwise-timeline
+//! on the same configurations. Same estimates, different asymptotics —
+//! the DES scans all slots per event (O(events × drives)); the timeline
+//! engine pre-materializes the operational renewals and only touches
+//! the defect chains at failure instants.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raidsim::config::{RaidGroupConfig, TransitionDistributions};
+use raidsim::engine::{DesEngine, Engine, TimelineEngine};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let configs = [
+        ("base_case", RaidGroupConfig::paper_base_case().unwrap()),
+        (
+            "no_latent",
+            RaidGroupConfig {
+                dists: TransitionDistributions::weibull_both().unwrap(),
+                ..RaidGroupConfig::paper_base_case().unwrap()
+            },
+        ),
+        (
+            "wide_group_16_drives",
+            RaidGroupConfig {
+                drives: 16,
+                ..RaidGroupConfig::paper_base_case().unwrap()
+            },
+        ),
+    ];
+    let engines: [(&str, Box<dyn Engine>); 2] = [
+        ("des", Box::new(DesEngine::new())),
+        ("timeline", Box::new(TimelineEngine::new())),
+    ];
+    for (cfg_name, cfg) in &configs {
+        let mut group = c.benchmark_group(format!("engine_{cfg_name}"));
+        for (engine_name, engine) in &engines {
+            let mut stream_idx = 0u64;
+            group.bench_function(*engine_name, |b| {
+                b.iter_batched(
+                    || {
+                        stream_idx += 1;
+                        raidsim::dists::rng::stream(7, stream_idx)
+                    },
+                    |mut rng| black_box(engine.simulate_group(cfg, &mut rng)),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Estimation throughput: the Figure 1/2 fitting path (median-rank
+//! regression and censored MLE) on realistically sized field studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raidsim::dists::fit::{mle, rank_regression};
+use raidsim::dists::rng::stream;
+use raidsim::dists::Weibull3;
+use raidsim::workloads::fieldgen::{generate, StudyDesign};
+use std::hint::black_box;
+
+fn bench_fitting(c: &mut Criterion) {
+    let truth = Weibull3::two_param(125_660.0, 1.2162).unwrap();
+    let mut rng = stream(99, 0);
+    for n in [1_000usize, 24_000] {
+        let design = StudyDesign {
+            population: n,
+            window_hours: 6_000.0,
+            staggered_entry: 0.5,
+        };
+        let data = generate(&truth, design, &mut rng);
+        let mut group = c.benchmark_group(format!("fit_{n}_drives"));
+        if n >= 24_000 {
+            group.sample_size(20);
+        }
+        group.bench_function("mle", |b| b.iter(|| black_box(mle(&data).unwrap())));
+        group.bench_function("rank_regression", |b| {
+            b.iter(|| black_box(rank_regression(&data).unwrap()))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

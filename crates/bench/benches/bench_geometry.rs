@@ -1,0 +1,56 @@
+//! RAID geometry throughput: XOR parity and RDP encode/double-recover
+//! rates — the reconstruction bandwidth side of the paper's
+//! restore-time story.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{RngExt, SeedableRng};
+use raidsim::geometry::{xor, RowDiagonalParity};
+use std::hint::black_box;
+
+fn random_blocks(count: usize, len: usize, seed: u64) -> Vec<Bytes> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut v = vec![0u8; len];
+            rng.fill(&mut v[..]);
+            Bytes::from(v)
+        })
+        .collect()
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let blocks = random_blocks(7, 256 * 1024, 1);
+    let mut group = c.benchmark_group("xor_parity");
+    group.throughput(Throughput::Bytes((7 * 256 * 1024) as u64));
+    group.bench_function("7x256KiB", |b| b.iter(|| black_box(xor::parity(&blocks))));
+    group.finish();
+}
+
+fn bench_rdp(c: &mut Criterion) {
+    let rdp = RowDiagonalParity::new(7);
+    let data: Vec<Vec<Bytes>> = (0..rdp.data_disks())
+        .map(|d| random_blocks(rdp.rows(), 64 * 1024, d as u64))
+        .collect();
+    let payload = (rdp.data_disks() * rdp.rows() * 64 * 1024) as u64;
+
+    let mut group = c.benchmark_group("rdp_p7_64KiB_blocks");
+    group.throughput(Throughput::Bytes(payload));
+    group.bench_function("encode", |b| b.iter(|| black_box(rdp.encode(&data))));
+
+    let encoded = rdp.encode(&data);
+    group.bench_function("recover_two_data_disks", |b| {
+        b.iter(|| {
+            let mut disks: Vec<Option<Vec<Bytes>>> =
+                encoded.iter().cloned().map(Some).collect();
+            disks[0] = None;
+            disks[3] = None;
+            rdp.recover(&mut disks).unwrap();
+            black_box(disks)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor, bench_rdp);
+criterion_main!(benches);

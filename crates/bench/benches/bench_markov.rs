@@ -1,0 +1,61 @@
+//! CTMC solver benchmarks: RK4 vs uniformization on the paper's
+//! chains, and the closed form vs a full simulation batch — the
+//! speed/accuracy trade the `exp_closed_form` experiment quantifies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raidsim::closed_form::{expected_ddfs_per_group, ClosedFormInputs};
+use raidsim::dists::Weibull3;
+use raidsim::markov::{latent_defect_chain, ld_states, mttdl_chain, mttdl_states};
+use std::hint::black_box;
+
+const LAMBDA: f64 = 1.0 / 461_386.0;
+const MU: f64 = 1.0 / 12.0;
+
+fn bench_transient_solvers(c: &mut Criterion) {
+    let chain = mttdl_chain(7, LAMBDA, MU);
+    let p0 = [1.0, 0.0, 0.0];
+    let mut group = c.benchmark_group("ctmc_transient_10yr");
+    group.sample_size(10);
+    group.bench_function("rk4_dt_0.5", |b| {
+        b.iter(|| black_box(chain.transient(&p0, 87_600.0, 0.5)))
+    });
+    group.bench_function("uniformization", |b| {
+        b.iter(|| black_box(chain.transient_uniformized(&p0, 87_600.0)))
+    });
+    group.finish();
+}
+
+fn bench_expected_entries(c: &mut Criterion) {
+    let chain = latent_defect_chain(7, LAMBDA, MU, 1.08e-4, 1.0 / 156.0);
+    let p0 = [1.0, 0.0, 0.0, 0.0, 0.0];
+    let mut group = c.benchmark_group("ctmc_expected_ddfs_10yr");
+    group.sample_size(10);
+    group.bench_function("flux_integration", |b| {
+        b.iter(|| {
+            black_box(chain.expected_entries(
+                &p0,
+                &[ld_states::DDF_FROM_LATENT, ld_states::DDF_FROM_OP],
+                87_600.0,
+                0.5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let ttop = Weibull3::two_param(461_386.0, 1.12).unwrap();
+    let inputs = ClosedFormInputs::paper_base_case();
+    c.bench_function("closed_form_base_case_10yr", |b| {
+        b.iter(|| black_box(expected_ddfs_per_group(&inputs, &ttop, 87_600.0)))
+    });
+    let _ = mttdl_states::DDF;
+}
+
+criterion_group!(
+    benches,
+    bench_transient_solvers,
+    bench_expected_entries,
+    bench_closed_form
+);
+criterion_main!(benches);

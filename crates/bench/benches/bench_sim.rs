@@ -1,0 +1,64 @@
+//! Core simulation throughput: one RAID-group mission per iteration,
+//! across the experiment configurations (drives the wall-clock of
+//! Figures 6, 7, 9, 10).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use raidsim::config::{RaidGroupConfig, TransitionDistributions};
+use raidsim::engine::{DesEngine, Engine};
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::run::Simulator;
+use std::hint::black_box;
+
+fn bench_single_group(c: &mut Criterion) {
+    let engine = DesEngine::new();
+    let mut group = c.benchmark_group("simulate_group");
+    let configs = [
+        ("base_case", RaidGroupConfig::paper_base_case().unwrap()),
+        (
+            "no_latent_defects",
+            RaidGroupConfig {
+                dists: TransitionDistributions::weibull_both().unwrap(),
+                ..RaidGroupConfig::paper_base_case().unwrap()
+            },
+        ),
+        (
+            "no_scrub",
+            RaidGroupConfig::paper_base_case()
+                .unwrap()
+                .with_scrub_policy(ScrubPolicy::Disabled)
+                .unwrap(),
+        ),
+    ];
+    for (name, cfg) in configs {
+        let mut stream_idx = 0u64;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    stream_idx += 1;
+                    raidsim::dists::rng::stream(42, stream_idx)
+                },
+                |mut rng| black_box(engine.simulate_group(&cfg, &mut rng)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_runner");
+    group.sample_size(10);
+    let cfg = RaidGroupConfig::paper_base_case().unwrap();
+    let sim = Simulator::new(cfg);
+    group.bench_function("serial_200_groups", |b| {
+        b.iter(|| black_box(sim.run(200, 7)))
+    });
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    group.bench_function("parallel_200_groups", |b| {
+        b.iter(|| black_box(sim.run_parallel(200, 7, threads)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_group, bench_batch_runner);
+criterion_main!(benches);

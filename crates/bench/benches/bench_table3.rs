@@ -1,0 +1,35 @@
+//! End-to-end Table 3 pipeline benchmark: first-year DDF estimate for
+//! one scrub policy at reduced scale (the shape of the full
+//! `exp_table3` run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raidsim::config::RaidGroupConfig;
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::run::Simulator;
+use std::hint::black_box;
+
+fn bench_table3_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_row_500_groups");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("scrub_168h", ScrubPolicy::paper_base_case()),
+        ("no_scrub", ScrubPolicy::Disabled),
+    ] {
+        let cfg = RaidGroupConfig::paper_base_case()
+            .unwrap()
+            .with_scrub_policy(policy)
+            .unwrap();
+        let sim = Simulator::new(cfg);
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = sim.run_parallel(500, 3, threads);
+                black_box(r.per_thousand_by(8_760.0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3_row);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E1 — Paper Figure 1: Weibull probability plots of three field
+//! populations. Only HDD #1 (a pure Weibull) plots as a straight line;
+//! HDD #2 bends upward (competing risks); HDD #3 shows two inflections
+//! (mixture + competing risks).
+//!
+//! Prints the plot coordinates (`ln t`, `ln(-ln(1-F))`) decimated to a
+//! readable grid, plus the global straight-line fit quality per
+//! population.
+
+use raidsim::analysis::series::{render_table, Series};
+use raidsim::dists::empirical::johnson_ranks;
+use raidsim::dists::fit::{mixture_em, rank_regression, single_weibull_log_likelihood};
+use raidsim::dists::rng::stream;
+use raidsim::workloads::fieldgen::{generate, Fig1Population, StudyDesign};
+
+fn main() {
+    let design = StudyDesign {
+        population: raidsim_bench::groups(20_000),
+        window_hours: 30_000.0,
+        staggered_entry: 0.0,
+    };
+
+    let mut fit_rows = Vec::new();
+    let mut curves: Vec<Series> = Vec::new();
+    for (i, pop) in Fig1Population::all().iter().enumerate() {
+        let mut rng = stream(1_001, i as u64);
+        let data = generate(pop.distribution().as_ref(), design, &mut rng);
+        let fit = rank_regression(&data).expect("populations produce >1 failure");
+
+        // Mixture diagnosis: fit a 2-component EM mixture vs a single
+        // Weibull on a *complete* sample from the population (window
+        // truncation would distort the single-Weibull baseline). A
+        // large per-observation log-likelihood gain flags a mixed
+        // population.
+        let mut diag_rng = stream(1_101, i as u64);
+        let complete: Vec<f64> = (0..8_000)
+            .map(|_| pop.distribution().sample(&mut diag_rng))
+            .collect();
+        let gain = match (
+            mixture_em(&complete),
+            single_weibull_log_likelihood(&complete),
+        ) {
+            (Ok(m), Ok(s)) => (m.log_likelihood - s) / complete.len() as f64,
+            _ => f64::NAN,
+        };
+        fit_rows.push((
+            pop.label().to_string(),
+            vec![fit.beta, fit.eta, fit.r_squared.unwrap_or(f64::NAN), gain],
+        ));
+
+        // Decimate the probability-plot points to ~25 per decade.
+        let pts = johnson_ranks(&data);
+        let step = (pts.len() / 25).max(1);
+        let coords: Vec<(f64, f64)> = pts
+            .iter()
+            .step_by(step)
+            .map(|p| (p.x(), p.y()))
+            .collect();
+        curves.push(Series::new(pop.label(), coords));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Figure 1 — global Weibull line fits (straightness = R^2)",
+            &["beta", "eta (h)", "R^2", "mix gain/obs"],
+            &fit_rows,
+        )
+    );
+
+    for s in &curves {
+        println!("## {} probability-plot coordinates (x = ln t, y = ln(-ln(1-F)))", s.label);
+        for (x, y) in &s.points {
+            println!("{x:>10.4} {y:>10.4}");
+        }
+        println!();
+    }
+
+    println!(
+        "Expected shape (paper): HDD #1 straight (R^2 ~ 1); HDD #2 and #3 \
+         curved — their single-line fits are visibly worse and the local \
+         slope increases late in life. The mixture-EM gain column makes \
+         the paper's population-mixture diagnosis quantitative: ~0 for \
+         the pure Weibull, largest for HDD #3 ('characteristics of both \
+         competing risks and population mixtures')."
+    );
+}

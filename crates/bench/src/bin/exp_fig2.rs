@@ -1,0 +1,72 @@
+//! E2 — Paper Figure 2: vintage effects. Three non-consecutive
+//! vintages of one drive model, fitted as Weibulls:
+//!
+//! ```text
+//! beta1 = 1.0987, eta1 = 4.5444e5   (F = 198,  S = 10,433)
+//! beta2 = 1.2162, eta2 = 1.2566e5   (F = 992,  S = 23,064)
+//! beta3 = 1.4873, eta3 = 7.5012e4   (F = 921,  S = 22,913)
+//! ```
+//!
+//! We synthesize each study from the published parameters, re-fit with
+//! censored MLE, and print published-vs-recovered side by side — the
+//! closed loop that validates the estimation path the paper's figure
+//! rests on. Because vintage 1 yields only ~10² failures inside the
+//! window, single studies are noisy; we report the mean over 10
+//! replicate studies with the between-replicate spread.
+
+use raidsim::analysis::series::render_table;
+use raidsim::dists::fit::mle;
+use raidsim::dists::rng::stream;
+use raidsim::hdd::vintage::fig2_vintages;
+use raidsim::workloads::vintage_gen::synthesize;
+
+const REPLICATES: u64 = 10;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (i, v) in fig2_vintages().iter().enumerate() {
+        let mut betas = Vec::new();
+        let mut etas = Vec::new();
+        let mut failures = Vec::new();
+        for rep in 0..REPLICATES {
+            let mut rng = stream(2_002, i as u64 * 1_000 + rep);
+            let data = synthesize(v, &mut rng);
+            failures.push(data.iter().filter(|o| o.failed).count() as f64);
+            let fit = mle(&data).expect("synthetic studies have enough failures");
+            betas.push(fit.beta);
+            etas.push(fit.eta);
+        }
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let sd = |xs: &[f64]| {
+            let m = mean(xs);
+            (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
+                .sqrt()
+        };
+        rows.push((
+            format!("{} published", v.name),
+            vec![v.beta, f64::NAN, v.eta, v.failures as f64],
+        ));
+        rows.push((
+            format!("{} recovered", v.name),
+            vec![mean(&betas), sd(&betas), mean(&etas), mean(&failures)],
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Figure 2 — vintage Weibull fits, published vs recovered (mean of {REPLICATES} synthetic studies)"
+            ),
+            &["beta", "beta sd", "eta (h)", "failures"],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape (paper): vintage quality deteriorates — recovered \
+         betas ordered 1 < 2 < 3, with vintage 1 near constant-rate \
+         (beta ~ 1.1) and vintage 3 clearly wearing out (beta ~ 1.5). \
+         Recovered failure counts sit below the published F because the \
+         real study's drives accumulated more exposure than one 6,000 h \
+         window."
+    );
+}

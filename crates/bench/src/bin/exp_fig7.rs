@@ -1,0 +1,52 @@
+//! E6 — Paper Figure 7: "Effects of latent defects with no scrub and
+//! with 168 hr scrub". The base case (Table 2) against the same model
+//! with scrubbing disabled; both curves are non-linear in time.
+
+use raidsim::analysis::series::render_figure;
+use raidsim::config::RaidGroupConfig;
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim_bench::{ddf_series, groups, run};
+
+const GRID: usize = 10;
+
+fn main() {
+    let n_groups = groups(10_000);
+
+    let noscrub_cfg = RaidGroupConfig::paper_base_case()
+        .unwrap()
+        .with_scrub_policy(ScrubPolicy::Disabled)
+        .unwrap();
+    let noscrub = run(noscrub_cfg, n_groups, 7_001);
+
+    let base = run(RaidGroupConfig::paper_base_case().unwrap(), n_groups, 7_002);
+
+    let series = vec![
+        ddf_series("No Scrub", &noscrub, GRID),
+        ddf_series("168 hr Scrub", &base, GRID),
+    ];
+    raidsim_bench::maybe_write_svg(
+        "fig7",
+        "Figure 7 - effects of latent defects",
+        "hours",
+        "DDFs per 1,000 RAID groups",
+        &series,
+    );
+    println!(
+        "{}",
+        render_figure(
+            &format!("Figure 7 — effects of latent defects ({n_groups} groups/curve)"),
+            "hours",
+            &series,
+        )
+    );
+    println!(
+        "Expected shape (paper): without scrubbing 'over 1,200 DDFs' per \
+         1,000 groups by 10 years; with a 168 h scrub an order of \
+         magnitude fewer; both plots non-linear (accelerating)."
+    );
+    println!(
+        "Final values: no scrub = {:.0}, 168 h scrub = {:.0} DDFs / 1,000 groups.",
+        noscrub.ddfs_per_thousand_groups(),
+        base.ddfs_per_thousand_groups()
+    );
+}

@@ -1,0 +1,63 @@
+//! Ablation — scrub semantics (DESIGN.md §7): the paper's per-defect
+//! Weibull exposure clock vs the periodic fleet-pass real filers run.
+//!
+//! Matching the two semantics by *mean exposure* shows the DDF count
+//! depends on the scrub model almost solely through that mean — the
+//! quantified justification for the paper's simpler treatment.
+
+use raidsim::analysis::series::render_table;
+use raidsim::config::RaidGroupConfig;
+use raidsim::dists::{LifeDistribution, Weibull3};
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::run::Simulator;
+use raidsim::workloads::scrub_schedule::PeriodicScrub;
+use raidsim_bench::{groups, threads};
+use std::sync::Arc;
+
+fn main() {
+    let n_groups = groups(10_000);
+    let mut rows = Vec::new();
+    for (i, eta) in [12.0, 48.0, 168.0, 336.0].into_iter().enumerate() {
+        let seed = 14_000 + i as u64;
+
+        // Paper semantics: Weibull(6, eta, 3).
+        let weibull = Weibull3::new(6.0, eta, 3.0).unwrap();
+        let w_mean = weibull.mean();
+        let w_cfg = RaidGroupConfig::paper_base_case()
+            .unwrap()
+            .with_scrub_policy(ScrubPolicy::with_characteristic_hours(eta))
+            .unwrap();
+        let w = Simulator::new(w_cfg)
+            .run_parallel(n_groups, seed, threads())
+            .ddfs_per_thousand_groups();
+
+        // Periodic semantics matched by mean: period chosen so that
+        // pass + period/2 equals the Weibull mean (6 h pass).
+        let period = (2.0 * (w_mean - 6.0)).max(1.0);
+        let mut p_cfg = RaidGroupConfig::paper_base_case().unwrap();
+        p_cfg.dists.ttscrub = Some(Arc::new(PeriodicScrub::new(period, 6.0).unwrap()));
+        let p = Simulator::new(p_cfg)
+            .run_parallel(n_groups, seed + 250, threads())
+            .ddfs_per_thousand_groups();
+
+        rows.push((
+            format!("eta = {eta:.0} h (mean {w_mean:.0} h)"),
+            vec![w, p, (w - p).abs() / w.max(1e-9)],
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Scrub-semantics ablation — DDFs per 1,000 groups / 10 yr ({n_groups} groups/cell)"
+            ),
+            &["Weibull clock", "periodic (mean-matched)", "rel diff"],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape: mean-matched semantics agree within sampling noise \
+         (single-digit percent), so the scrub model's only load-bearing \
+         property is its mean exposure time."
+    );
+}

@@ -1,0 +1,84 @@
+//! Ablation — spare-pool availability.
+//!
+//! The paper's state 1 assumes a spare is always on hand, and folds
+//! "the delay time to physically incorporate the spare HDD" into the
+//! restore distribution. This ablation makes the pool explicit:
+//! fewer on-site spares and slower logistics stretch the exposure
+//! windows and raise the loss count — quantifying how much of the
+//! reliability budget the spares process owns.
+
+use raidsim::analysis::series::render_table;
+use raidsim::config::{RaidGroupConfig, SparePolicy};
+use raidsim_bench::{groups, run};
+
+fn main() {
+    let n_groups = groups(10_000);
+    let mut rows = Vec::new();
+
+    let policies: [(&str, SparePolicy); 5] = [
+        ("always available (paper)", SparePolicy::AlwaysAvailable),
+        (
+            "4 spares / 1 week",
+            SparePolicy::Finite {
+                pool: 4,
+                replenish_hours: 168.0,
+            },
+        ),
+        (
+            "1 spare / 1 day",
+            SparePolicy::Finite {
+                pool: 1,
+                replenish_hours: 24.0,
+            },
+        ),
+        (
+            "1 spare / 1 week",
+            SparePolicy::Finite {
+                pool: 1,
+                replenish_hours: 168.0,
+            },
+        ),
+        (
+            "1 spare / 1 month",
+            SparePolicy::Finite {
+                pool: 1,
+                replenish_hours: 720.0,
+            },
+        ),
+    ];
+
+    for (label, policy) in policies {
+        let cfg = RaidGroupConfig {
+            spares: policy,
+            ..RaidGroupConfig::paper_base_case().unwrap()
+        };
+        // Common random numbers: every policy sees the same failure
+        // streams, so row differences are the policy effect alone.
+        let result = run(cfg, n_groups, 15_000);
+        rows.push((
+            label.to_string(),
+            vec![
+                result.ddfs_per_thousand_groups(),
+                result.per_thousand_by(8_760.0),
+            ],
+        ));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Spare-pool ablation — DDFs per 1,000 groups, base case ({n_groups} groups/row)"
+            ),
+            &["10-yr", "1st-yr"],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: at base-case failure rates (~1.25 failures per group per \
+         decade) failures rarely cluster, so even a single on-site spare \
+         barely moves the loss count — the paper's always-available \
+         assumption is safe for these rates. (Rows share random streams; \
+         differences are the policy effect alone.)"
+    );
+}

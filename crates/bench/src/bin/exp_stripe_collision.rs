@@ -1,0 +1,59 @@
+//! Ablation — the "extremely rare event that is not modeled".
+//!
+//! The paper's model ignores the possibility that two coexisting
+//! latent defects on *different* drives fall in the *same stripe*
+//! (which would be silent data loss without any drive failure). This
+//! experiment quantifies that event for the base case and compares it
+//! against the modeled loss path (defect + drive failure), validating
+//! the paper's simplification — and maps when it stops being valid
+//! (no scrubbing lets defects pile up).
+
+use raidsim::analysis::series::render_table;
+use raidsim::dists::rng::stream;
+use raidsim::geometry::collision::CollisionModel;
+
+fn main() {
+    let mut rng = stream(42, 0);
+    let trials = raidsim_bench::groups(500_000);
+
+    let mut rows = Vec::new();
+    // Sweep the outstanding-defect density: base case (168 h scrub),
+    // slow scrub, and no-scrub after 1 and 10 years.
+    let scenarios: [(&str, f64); 4] = [
+        ("168 h scrub (base case)", 1.08e-4 * 156.0),
+        ("336 h scrub", 1.08e-4 * 318.0),
+        ("no scrub, after 1 yr", 1.08e-4 * 8_760.0),
+        ("no scrub, after 10 yr", 1.08e-4 * 87_600.0),
+    ];
+    for (label, defects_per_drive) in scenarios {
+        let m = CollisionModel {
+            defects_per_drive,
+            ..CollisionModel::paper_base_case()
+        };
+        let analytic = m.analytic_collision_probability();
+        let mc = m.simulate_collision_probability(trials, &mut rng);
+        // Modeled path over a one-week exposure window.
+        let p_op = 8.0 * 168.0 / 461_386.0;
+        let ratio = m.modeled_to_unmodeled_ratio(p_op);
+        rows.push((label.to_string(), vec![analytic, mc, ratio]));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Stripe-collision ablation — P(two defects share a stripe) ({trials} MC trials/row)"
+            ),
+            &["analytic", "monte carlo", "modeled/unmodeled"],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: with any scrubbing the same-stripe collision is 4+ orders \
+         of magnitude less likely than the modeled defect+failure path — \
+         the paper's simplification is sound. Without scrubbing for a \
+         decade, outstanding defects reach ~9 per drive and stripe \
+         collisions become likely, but by then the modeled path has \
+         already lost the data many times over."
+    );
+}

@@ -1,0 +1,82 @@
+//! Extension — heterogeneous vintages in one fleet.
+//!
+//! Figure 2 shows three vintages of one drive model with very
+//! different failure distributions. Real fleets mix them. Because the
+//! model samples a fresh lifetime per drive, a *mixture* distribution
+//! expresses per-drive vintage assignment exactly; this experiment
+//! compares a fleet built from the Figure 2 vintage mix against
+//! all-best and all-worst fleets.
+
+use raidsim::analysis::series::render_table;
+use raidsim::config::{RaidGroupConfig, TransitionDistributions};
+use raidsim::dists::{LifeDistribution, Mixture};
+use raidsim::hdd::vintage::fig2_vintages;
+use raidsim_bench::{groups, run};
+use std::sync::Arc;
+
+fn main() {
+    let n_groups = groups(30_000);
+    let vintages = fig2_vintages();
+
+    // Population-weighted vintage mix.
+    let total: u64 = vintages.iter().map(|v| v.population()).sum();
+    let components: Vec<(f64, Arc<dyn LifeDistribution>)> = vintages
+        .iter()
+        .map(|v| {
+            (
+                v.population() as f64 / total as f64,
+                Arc::new(v.distribution().expect("published params valid")) as _,
+            )
+        })
+        .collect();
+    let mix = Mixture::new(components).expect("weights sum to 1");
+
+    let mut rows = Vec::new();
+    let mut fleets: Vec<(String, Arc<dyn LifeDistribution>)> = vintages
+        .iter()
+        .map(|v| {
+            (
+                format!("all {}", v.name),
+                Arc::new(v.distribution().unwrap()) as Arc<dyn LifeDistribution>,
+            )
+        })
+        .collect();
+    fleets.push(("population mix".to_string(), Arc::new(mix)));
+
+    for (label, ttop) in fleets {
+        let cfg = RaidGroupConfig {
+            dists: TransitionDistributions {
+                ttop,
+                ..TransitionDistributions::weibull_both().unwrap()
+            },
+            ..RaidGroupConfig::paper_base_case().unwrap()
+        };
+        // No latent defects: isolate the vintage effect on the
+        // operational pathway (same regime as Figure 10).
+        let result = run(cfg, n_groups, 18_000);
+        rows.push((
+            label,
+            vec![
+                result.ddfs_per_thousand_groups(),
+                result.total_op_failures() as f64 / n_groups as f64,
+            ],
+        ));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Vintage-mix fleets — no latent defects ({n_groups} groups/row, common streams)"
+            ),
+            &["DDFs/1000/10yr", "op failures/group"],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: the short-lived vintages dominate fleet risk — the \
+         population mix lands near the failure-rate-weighted average of \
+         its parts, far above the all-Vintage-1 fleet. Vintage screening \
+         is worth real reliability."
+    );
+}

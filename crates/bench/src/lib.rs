@@ -1,0 +1,148 @@
+//! Shared helpers for the experiment binaries and benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §6 for the index); this library holds the
+//! plumbing they share so every binary stays a readable script.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use raidsim::analysis::mcf::McfEstimate;
+use raidsim::analysis::series::Series;
+use raidsim::config::RaidGroupConfig;
+use raidsim::run::{SimulationResult, Simulator};
+
+/// Worker threads to use for simulation batches.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Number of RAID groups per experiment, overridable via the
+/// `RAIDSIM_GROUPS` environment variable so CI can run the binaries
+/// quickly while full runs use the default.
+pub fn groups(default: usize) -> usize {
+    std::env::var("RAIDSIM_GROUPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs a configuration and returns its result, parallelized and
+/// deterministically seeded.
+pub fn run(cfg: RaidGroupConfig, n_groups: usize, seed: u64) -> SimulationResult {
+    Simulator::new(cfg).run_parallel(n_groups, seed, threads())
+}
+
+/// Converts a simulation result into a DDFs-per-1,000-groups series on
+/// an even grid — one line of a paper figure.
+pub fn ddf_series(
+    label: impl Into<String>,
+    result: &SimulationResult,
+    grid_points: usize,
+) -> Series {
+    let per_system: Vec<Vec<f64>> = result
+        .histories
+        .iter()
+        .map(|h| h.ddfs.iter().map(|e| e.time).collect())
+        .collect();
+    let mcf = McfEstimate::from_event_times(&per_system, result.mission_hours, 0.95);
+    let pts = mcf
+        .sampled(grid_points)
+        .into_iter()
+        .map(|(t, v)| (t, 1_000.0 * v))
+        .collect();
+    Series::new(label, pts)
+}
+
+/// Writes the figure as an SVG chart into `$RAIDSIM_SVG_DIR` (if set).
+///
+/// Returns the path written, or `None` when the variable is unset.
+/// Errors are reported to stderr rather than failing the experiment.
+pub fn maybe_write_svg(
+    file_stem: &str,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("RAIDSIM_SVG_DIR")?;
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create RAIDSIM_SVG_DIR: {e}");
+        return None;
+    }
+    let path = dir.join(format!("{file_stem}.svg"));
+    match raidsim::analysis::svg::write_chart(&path, title, x_label, y_label, series) {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// A straight-line MTTDL series on the same grid.
+pub fn mttdl_series(
+    label: &str,
+    mttdl_hours: f64,
+    mission_hours: f64,
+    grid_points: usize,
+) -> Series {
+    let pts = (0..=grid_points)
+        .map(|i| {
+            let t = mission_hours * i as f64 / grid_points as f64;
+            (t, 1_000.0 * t / mttdl_hours)
+        })
+        .collect();
+    Series::new(label, pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_env_override() {
+        // Default passes through when the variable is absent.
+        std::env::remove_var("RAIDSIM_GROUPS");
+        assert_eq!(groups(123), 123);
+    }
+
+    #[test]
+    fn mttdl_series_is_linear() {
+        let s = mttdl_series("MTTDL", 1.0e8, 87_600.0, 10);
+        assert_eq!(s.points.len(), 11);
+        assert_eq!(s.points[0].1, 0.0);
+        let last = s.points.last().unwrap();
+        assert!((last.1 - 1_000.0 * 87_600.0 / 1.0e8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ddf_series_scales_final_value() {
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let r = run(cfg, 100, 1);
+        let s = ddf_series("base", &r, 8);
+        assert!((s.final_value() - r.ddfs_per_thousand_groups()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn svg_writer_respects_env_var() {
+        let series = vec![Series::new("x", vec![(0.0, 0.0), (10.0, 2.0)])];
+        // Unset: no file written, returns None.
+        std::env::remove_var("RAIDSIM_SVG_DIR");
+        assert!(maybe_write_svg("t1", "t", "x", "y", &series).is_none());
+        // Set: file appears.
+        let dir = std::env::temp_dir().join("raidsim_svg_env_test");
+        std::env::set_var("RAIDSIM_SVG_DIR", &dir);
+        let path = maybe_write_svg("t2", "t", "x", "y", &series).expect("written");
+        assert!(path.exists());
+        assert!(std::fs::read_to_string(&path).unwrap().contains("</svg>"));
+        std::env::remove_var("RAIDSIM_SVG_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal life-data CSV reader: `time_hours,failed` rows.
+
+use raidsim::dists::empirical::Observation;
+
+/// Parses life data from CSV text. Each non-empty, non-comment line is
+/// `time,failed` with `failed` ∈ {0, 1, true, false}. A header line is
+/// skipped if its first field is not numeric.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for malformed rows.
+pub fn parse_life_data(text: &str) -> Result<Vec<Observation>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',').map(str::trim);
+        let time_field = parts.next().unwrap_or_default();
+        let time: f64 = match time_field.parse() {
+            Ok(t) => t,
+            Err(_) if lineno == 0 => continue, // header row
+            Err(_) => {
+                return Err(format!("line {}: bad time '{time_field}'", lineno + 1))
+            }
+        };
+        if !time.is_finite() || time < 0.0 {
+            return Err(format!("line {}: time must be >= 0", lineno + 1));
+        }
+        let failed_field = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing 'failed' column", lineno + 1))?;
+        let failed = match failed_field {
+            "1" | "true" | "TRUE" | "True" => true,
+            "0" | "false" | "FALSE" | "False" => false,
+            other => {
+                return Err(format!(
+                    "line {}: 'failed' must be 0/1/true/false, got '{other}'",
+                    lineno + 1
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("line {}: too many columns", lineno + 1));
+        }
+        out.push(Observation { time, failed });
+    }
+    if out.is_empty() {
+        return Err("no data rows found".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_file() {
+        let data = parse_life_data("100.5,1\n6000,0\n").unwrap();
+        assert_eq!(data.len(), 2);
+        assert!(data[0].failed);
+        assert!(!data[1].failed);
+        assert_eq!(data[1].time, 6000.0);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blanks() {
+        let text = "time_hours,failed\n# comment\n\n10,1\n20,false\n";
+        let data = parse_life_data(text).unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse_life_data("10\n").is_err()); // missing column
+        assert!(parse_life_data("10,2\n").is_err()); // bad failed flag
+        // A non-numeric first field on line 0 is a header, so this is
+        // one valid row:
+        assert_eq!(parse_life_data("ten,1\n5,1\n").unwrap().len(), 1);
+        assert!(parse_life_data("10,1,extra\n").is_err());
+        assert!(parse_life_data("-5,1\n").is_err());
+        assert!(parse_life_data("").is_err());
+        assert!(parse_life_data("time,failed\n").is_err()); // header only
+    }
+
+    #[test]
+    fn first_line_header_exception_only_applies_to_line_zero() {
+        // A non-numeric time on a later line is an error even if line
+        // 0 was a header.
+        let text = "time,failed\n10,1\noops,0\n";
+        assert!(parse_life_data(text).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! `raidsim-cli` — drive the RAID reliability model from the shell.
+//!
+//! ```text
+//! raidsim-cli simulate [--drives 8] [--mission-years 10] [--scrub 168|off]
+//!                      [--raid6] [--groups 10000] [--seed 42]
+//!                      [--ttop-eta 461386] [--ttop-beta 1.12]
+//!                      [--ttld-eta 9259] [--precision 0.05]
+//! raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]
+//!                      [--groups 1000] [--years 10]
+//! raidsim-cli fit      <life-data.csv>      # rows: time_hours,failed(0|1)
+//! raidsim-cli table1
+//! ```
+
+mod args;
+mod commands;
+mod csv;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches a command line; returns the text to print.
+pub(crate) fn run(argv: &[String]) -> Result<String, String> {
+    let Some(command) = argv.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "simulate" => commands::simulate(rest),
+        "mttdl" => commands::mttdl(rest),
+        "fit" => commands::fit(rest),
+        "closedform" => commands::closedform(rest),
+        "table1" => commands::table1(rest),
+        "help" | "--help" | "-h" => Ok(commands::usage()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv("help")).unwrap();
+        assert!(out.contains("simulate"));
+        assert!(out.contains("mttdl"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn mttdl_command_reproduces_eq3() {
+        let out = run(&argv(
+            "mttdl --data-drives 7 --mttf 461386 --mttr 12 --groups 1000 --years 10",
+        ))
+        .unwrap();
+        assert!(out.contains("36162") || out.contains("36,162"), "{out}");
+        assert!(out.contains("0.28") || out.contains("0.277"), "{out}");
+    }
+
+    #[test]
+    fn simulate_small_run_works() {
+        let out = run(&argv("simulate --groups 50 --seed 7 --mission-years 2")).unwrap();
+        assert!(out.contains("DDFs per 1,000 groups"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_flag() {
+        assert!(run(&argv("simulate --bogus 1")).is_err());
+        assert!(run(&argv("simulate --drives")).is_err()); // missing value
+        assert!(run(&argv("simulate --drives eight")).is_err());
+    }
+
+    #[test]
+    fn table1_prints_grid() {
+        let out = run(&argv("table1")).unwrap();
+        assert!(out.contains("1.08"));
+    }
+}

@@ -1,0 +1,335 @@
+use super::ddf::{self, SlotCondition};
+use super::Engine;
+use crate::config::RaidGroupConfig;
+use crate::events::{DdfEvent, GroupHistory};
+use raidsim_dists::rng::SimRng;
+use raidsim_dists::LifeDistribution;
+
+/// The paper's Figure 5 sampling procedure.
+///
+/// "Initially, a TTF and TTR are sampled for each HDD slot… Then,
+/// pair-wise comparisons are made": each slot's operational renewal
+/// timeline — alternating time-to-failure and time-to-restore spans —
+/// is generated up front until it exceeds the mission, the failure
+/// events are merged in time order, and each failure is compared
+/// against every other slot's state at that instant (down interval
+/// overlap, or uncorrected latent defect).
+///
+/// The latent-defect renewal chains are advanced lazily to each failure
+/// instant. Per the paper's procedure the operational and defect
+/// processes of a slot are **independent renewals** —
+/// [`RaidGroupConfig::defect_reset_on_replacement`] is *ignored* by this
+/// engine (it always behaves as `false`), and so is
+/// [`crate::config::SparePolicy`] (restorations start immediately, the
+/// paper's assumption); use [`super::DesEngine`] for the
+/// physically-refined reset and spare-pool semantics. The
+/// `engine_equivalence` tests compare the two under the paper's
+/// settings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimelineEngine;
+
+impl TimelineEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        TimelineEngine
+    }
+}
+
+/// One down-span of a slot's operational timeline.
+#[derive(Debug, Clone, Copy)]
+struct DownSpan {
+    /// Failure instant.
+    fail: f64,
+    /// Restore-completion instant.
+    restore: f64,
+}
+
+/// Lazily-advanced latent-defect renewal chain for one slot.
+#[derive(Debug)]
+struct LdChain<'a> {
+    ttld: Option<&'a dyn LifeDistribution>,
+    ttscrub: Option<&'a dyn LifeDistribution>,
+    /// Start of the current defect, or `INFINITY` while clean.
+    defect_at: f64,
+    /// End of the current defect (scrub), or `INFINITY`.
+    clear_at: f64,
+    /// Defects created so far (including pending).
+    created: u64,
+    /// Scrubs completed so far.
+    scrubbed: u64,
+}
+
+impl<'a> LdChain<'a> {
+    fn new(ttld: Option<&'a dyn LifeDistribution>, ttscrub: Option<&'a dyn LifeDistribution>, rng: &mut SimRng) -> Self {
+        let mut chain = LdChain {
+            ttld,
+            ttscrub,
+            defect_at: f64::INFINITY,
+            clear_at: f64::INFINITY,
+            created: 0,
+            scrubbed: 0,
+        };
+        if let Some(d) = chain.ttld {
+            chain.defect_at = d.sample(rng);
+            chain.clear_at = chain.schedule_clear(chain.defect_at, rng);
+        }
+        chain
+    }
+
+    fn schedule_clear(&self, defect_at: f64, rng: &mut SimRng) -> f64 {
+        match self.ttscrub {
+            Some(d) => defect_at + d.sample(rng),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Advances the chain so the current interval covers time `t`, then
+    /// reports whether a defect is pending at `t`. Defect/scrub counts
+    /// are accumulated (up to the mission bound) as intervals retire.
+    fn defective_at(&mut self, t: f64, mission: f64, rng: &mut SimRng) -> bool {
+        let Some(ttld) = self.ttld else {
+            return false;
+        };
+        while self.clear_at <= t {
+            if self.defect_at <= mission {
+                self.created += 1;
+            }
+            if self.clear_at <= mission {
+                self.scrubbed += 1;
+            }
+            let next_defect = self.clear_at + ttld.sample(rng);
+            self.defect_at = next_defect;
+            self.clear_at = self.schedule_clear(next_defect, rng);
+        }
+        self.defect_at <= t && t < self.clear_at
+    }
+
+    /// Truncates the current defect at `restore` because a DDF at
+    /// `ddf_time` triggered a restoration that rebuilt the data ("shift
+    /// restart time to coincide with restoration", Figure 5). Only
+    /// defects that already existed at the DDF instant are affected —
+    /// write errors created *during* the reconstruction remain latent
+    /// (Section 4.2). Not counted as a scrub.
+    fn clear_by_restore(
+        &mut self,
+        ddf_time: f64,
+        restore: f64,
+        mission: f64,
+        rng: &mut SimRng,
+    ) {
+        let Some(ttld) = self.ttld else { return };
+        if self.defect_at <= ddf_time && restore < self.clear_at {
+            if self.defect_at <= mission {
+                self.created += 1;
+            }
+            let next_defect = restore + ttld.sample(rng);
+            self.defect_at = next_defect;
+            self.clear_at = self.schedule_clear(next_defect, rng);
+        }
+    }
+
+    /// Counts the remaining defects/scrubs between the chain's current
+    /// position and the mission end.
+    fn finalize_counts(&mut self, mission: f64, rng: &mut SimRng) {
+        let Some(ttld) = self.ttld else { return };
+        while self.defect_at <= mission {
+            self.created += 1;
+            if self.clear_at <= mission {
+                self.scrubbed += 1;
+            } else {
+                break;
+            }
+            let next_defect = self.clear_at + ttld.sample(rng);
+            self.defect_at = next_defect;
+            self.clear_at = self.schedule_clear(next_defect, rng);
+        }
+    }
+}
+
+impl Engine for TimelineEngine {
+    fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
+        let n = cfg.drives;
+        let mission = cfg.mission_hours;
+        let dists = &cfg.dists;
+
+        // Phase 1 — generate each slot's operational renewal timeline
+        // ("The operating and failure times are accumulated until a
+        // specified mission time is exceeded", Section 5).
+        let mut timelines: Vec<Vec<DownSpan>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut spans = Vec::new();
+            let mut t = 0.0f64;
+            loop {
+                let fail = t + dists.ttop.sample(rng);
+                if fail > mission {
+                    break;
+                }
+                let restore = fail + dists.ttr.sample(rng);
+                spans.push(DownSpan { fail, restore });
+                t = restore;
+            }
+            timelines.push(spans);
+        }
+
+        // Phase 2 — merge failure events in time order.
+        let mut failures: Vec<(f64, usize, f64)> = timelines
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, spans)| {
+                spans.iter().map(move |s| (s.fail, slot, s.restore))
+            })
+            .collect();
+        failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are finite"));
+
+        // Phase 3 — lazily-advanced latent-defect chains.
+        let ttld = dists.ttld.as_deref();
+        let ttscrub = dists.ttscrub.as_deref();
+        let mut chains: Vec<LdChain<'_>> =
+            (0..n).map(|_| LdChain::new(ttld, ttscrub, rng)).collect();
+
+        // Phase 4 — the pairwise comparisons of Figure 5.
+        let mut history = GroupHistory {
+            op_failures: failures.len() as u64,
+            restores_completed: timelines
+                .iter()
+                .flatten()
+                .filter(|s| s.restore <= mission)
+                .count() as u64,
+            downtime_hours: timelines
+                .iter()
+                .flatten()
+                .map(|s| s.restore.min(mission) - s.fail)
+                .sum(),
+            ..GroupHistory::default()
+        };
+
+        let mut ddf_block_until = 0.0f64;
+        for &(t, slot, restore) in &failures {
+            if t < ddf_block_until {
+                continue;
+            }
+            let mut conditions = Vec::with_capacity(n - 1);
+            for j in 0..n {
+                if j == slot {
+                    continue;
+                }
+                // Down if any of j's spans covers t.
+                let down = timelines[j]
+                    .iter()
+                    .any(|s| s.fail < t && t < s.restore);
+                let cond = if down {
+                    SlotCondition::Down
+                } else if chains[j].defective_at(t, mission, rng) {
+                    SlotCondition::Defective
+                } else {
+                    SlotCondition::Clean
+                };
+                conditions.push(cond);
+            }
+            let verdict = ddf::check(conditions, cfg.redundancy);
+            if let Some(kind) = verdict.ddf {
+                history.ddfs.push(DdfEvent { time: t, kind });
+                ddf_block_until = restore;
+                for (j, chain) in chains.iter_mut().enumerate() {
+                    if j != slot {
+                        chain.clear_by_restore(t, restore, mission, rng);
+                    }
+                }
+            }
+        }
+
+        // Phase 5 — finalize per-slot defect statistics.
+        for chain in &mut chains {
+            chain.finalize_counts(mission, rng);
+            history.latent_defects += chain.created;
+            history.scrubs_completed += chain.scrubbed;
+        }
+
+        history
+    }
+
+    fn name(&self) -> &'static str {
+        "pairwise-timeline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RaidGroupConfig, TransitionDistributions};
+    use crate::engine::DesEngine;
+    use raidsim_dists::rng::stream;
+
+    fn run_many(
+        engine: &dyn Engine,
+        cfg: &RaidGroupConfig,
+        sims: u64,
+        master: u64,
+    ) -> (usize, u64, u64) {
+        let mut ddfs = 0;
+        let mut ops = 0;
+        let mut lds = 0;
+        for i in 0..sims {
+            let mut rng = stream(master, i);
+            let h = engine.simulate_group(cfg, &mut rng);
+            h.assert_invariants(cfg.mission_hours);
+            ddfs += h.ddf_count();
+            ops += h.op_failures;
+            lds += h.latent_defects;
+        }
+        (ddfs, ops, lds)
+    }
+
+    #[test]
+    fn matches_des_engine_without_latent_defects() {
+        let cfg = RaidGroupConfig {
+            dists: TransitionDistributions::weibull_both().unwrap(),
+            ..RaidGroupConfig::paper_base_case().unwrap()
+        };
+        let (_, ops_a, _) = run_many(&TimelineEngine::new(), &cfg, 400, 1);
+        let (_, ops_b, _) = run_many(&DesEngine::new(), &cfg, 400, 2);
+        // Operational failure counts are large (≈500 over 400 sims) and
+        // must agree within a few percent.
+        let rel = (ops_a as f64 - ops_b as f64).abs() / ops_b as f64;
+        assert!(rel < 0.1, "timeline = {ops_a}, des = {ops_b}");
+    }
+
+    #[test]
+    fn matches_des_engine_on_base_case_defect_counts() {
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let (_, _, lds_a) = run_many(&TimelineEngine::new(), &cfg, 200, 3);
+        let (_, _, lds_b) = run_many(&DesEngine::new(), &cfg, 200, 4);
+        let rel = (lds_a as f64 - lds_b as f64).abs() / lds_b as f64;
+        assert!(rel < 0.05, "timeline = {lds_a}, des = {lds_b}");
+    }
+
+    #[test]
+    fn base_case_ddf_rates_agree_between_engines() {
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let sims = 1_500;
+        let (ddf_a, _, _) = run_many(&TimelineEngine::new(), &cfg, sims, 5);
+        let (ddf_b, _, _) = run_many(&DesEngine::new(), &cfg, sims, 6);
+        // Poisson-ish counts ~30; allow 3-sigma-ish slack.
+        let diff = (ddf_a as f64 - ddf_b as f64).abs();
+        let scale = ((ddf_a + ddf_b).max(1) as f64).sqrt();
+        assert!(
+            diff < 4.0 * scale + 5.0,
+            "timeline = {ddf_a}, des = {ddf_b}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let mut a = stream(9, 0);
+        let mut b = stream(9, 0);
+        let ha = TimelineEngine::new().simulate_group(&cfg, &mut a);
+        let hb = TimelineEngine::new().simulate_group(&cfg, &mut b);
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn engine_names_differ() {
+        assert_ne!(TimelineEngine::new().name(), DesEngine::new().name());
+    }
+}

@@ -1,0 +1,65 @@
+use raidsim_dists::DistError;
+use std::fmt;
+
+/// Errors from configuring or running the core model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A transition distribution could not be constructed.
+    Distribution(DistError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field {field}: {reason}")
+            }
+            CoreError::Distribution(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Distribution(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for CoreError {
+    fn from(e: DistError) -> Self {
+        CoreError::Distribution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig {
+            field: "drives",
+            reason: "too few".into(),
+        };
+        assert!(e.to_string().contains("drives"));
+        let d: CoreError = DistError::Empty.into();
+        assert!(std::error::Error::source(&d).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,191 @@
+//! Event records produced by the simulation engines.
+
+use serde::{Deserialize, Serialize};
+
+/// How a double-disk failure came about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DdfKind {
+    /// Two (or, under double parity, three) simultaneous operational
+    /// failures — the only mode MTTDL knows about.
+    DoubleOperational,
+    /// An operational failure struck while another drive carried an
+    /// uncorrected latent defect — the mode MTTDL misses entirely.
+    LatentThenOperational,
+}
+
+/// One double-disk-failure (data-loss) event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdfEvent {
+    /// Simulation time, hours since mission start.
+    pub time: f64,
+    /// Failure combination that caused the loss.
+    pub kind: DdfKind,
+}
+
+/// Complete history of one simulated RAID group over its mission.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupHistory {
+    /// Data-loss events in chronological order.
+    pub ddfs: Vec<DdfEvent>,
+    /// Operational failures over the mission (all drives).
+    pub op_failures: u64,
+    /// Latent defects created over the mission (all drives).
+    pub latent_defects: u64,
+    /// Latent defects corrected by scrubbing.
+    pub scrubs_completed: u64,
+    /// Drive restorations completed.
+    pub restores_completed: u64,
+    /// Total drive-hours spent down (failed or reconstructing) inside
+    /// the mission window, summed across all slots.
+    pub downtime_hours: f64,
+}
+
+impl GroupHistory {
+    /// Number of data-loss events.
+    pub fn ddf_count(&self) -> usize {
+        self.ddfs.len()
+    }
+
+    /// Fraction of drive-hours the group's slots were up:
+    /// `1 − downtime / (drives × mission)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive inputs.
+    pub fn availability(&self, drives: usize, mission_hours: f64) -> f64 {
+        assert!(drives > 0 && mission_hours > 0.0, "need a real group");
+        1.0 - self.downtime_hours / (drives as f64 * mission_hours)
+    }
+
+    /// DDFs no later than `t` hours.
+    pub fn ddfs_by(&self, t: f64) -> usize {
+        self.ddfs.iter().filter(|e| e.time <= t).count()
+    }
+
+    /// Checks the invariants every engine must maintain; used by the
+    /// property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on violation: unsorted DDF times,
+    /// DDFs outside the mission, more scrubs than defects, or more
+    /// DDFs than operational failures.
+    pub fn assert_invariants(&self, mission_hours: f64) {
+        assert!(
+            self.ddfs.windows(2).all(|w| w[0].time <= w[1].time),
+            "DDF times must be sorted"
+        );
+        assert!(
+            self.ddfs
+                .iter()
+                .all(|e| e.time >= 0.0 && e.time <= mission_hours),
+            "DDF outside mission window"
+        );
+        assert!(
+            self.scrubs_completed <= self.latent_defects,
+            "more scrubs than defects: {} > {}",
+            self.scrubs_completed,
+            self.latent_defects
+        );
+        assert!(
+            (self.ddfs.len() as u64) <= self.op_failures,
+            "every DDF is triggered by an operational failure"
+        );
+        assert!(
+            self.downtime_hours >= 0.0 && self.downtime_hours.is_finite(),
+            "downtime must be finite and non-negative"
+        );
+        assert!(
+            self.op_failures > 0 || self.downtime_hours == 0.0,
+            "downtime without failures"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> GroupHistory {
+        GroupHistory {
+            ddfs: vec![
+                DdfEvent {
+                    time: 100.0,
+                    kind: DdfKind::LatentThenOperational,
+                },
+                DdfEvent {
+                    time: 5_000.0,
+                    kind: DdfKind::DoubleOperational,
+                },
+            ],
+            op_failures: 3,
+            latent_defects: 5,
+            scrubs_completed: 4,
+            restores_completed: 3,
+            downtime_hours: 40.0,
+        }
+    }
+
+    #[test]
+    fn availability_from_downtime() {
+        let h = history();
+        // 40 drive-hours down out of 8 x 87,600.
+        let a = h.availability(8, 87_600.0);
+        assert!((a - (1.0 - 40.0 / 700_800.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "downtime without failures")]
+    fn downtime_without_failures_panics() {
+        let h = GroupHistory {
+            downtime_hours: 5.0,
+            ..GroupHistory::default()
+        };
+        h.assert_invariants(100.0);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let h = history();
+        assert_eq!(h.ddf_count(), 2);
+        assert_eq!(h.ddfs_by(99.0), 0);
+        assert_eq!(h.ddfs_by(100.0), 1);
+        assert_eq!(h.ddfs_by(1e6), 2);
+    }
+
+    #[test]
+    fn invariants_hold_for_valid_history() {
+        history().assert_invariants(87_600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_ddfs_panic() {
+        let mut h = history();
+        h.ddfs.reverse();
+        h.assert_invariants(87_600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mission")]
+    fn out_of_mission_ddf_panics() {
+        let h = history();
+        h.assert_invariants(1_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more scrubs than defects")]
+    fn scrub_overcount_panics() {
+        let mut h = history();
+        h.scrubs_completed = 10;
+        h.assert_invariants(87_600.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "triggered by an operational failure")]
+    fn ddf_overcount_panics() {
+        let mut h = history();
+        h.op_failures = 1;
+        h.assert_invariants(87_600.0);
+    }
+}

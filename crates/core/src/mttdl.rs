@@ -1,0 +1,195 @@
+//! The MTTDL closed forms the paper argues against (Section 4.1,
+//! equations 1–3).
+//!
+//! Kept as the comparison baseline for every experiment: the Figure 6
+//! MTTDL line, the denominators of Table 3's ratios, and the eq. 3
+//! worked example.
+
+use serde::{Deserialize, Serialize};
+
+/// Hours per year used in the paper's unit conversions.
+pub const HOURS_PER_YEAR: f64 = 8_760.0;
+
+/// MTTDL of an `N+1` RAID group with constant disk failure rate
+/// `lambda` and constant repair rate `mu` (paper equation 1):
+///
+/// ```text
+/// MTTDL = ((2N + 1)λ + μ) / (N(N+1)λ²)
+/// ```
+///
+/// `n_data` is `N`, the number of data drives.
+///
+/// # Panics
+///
+/// Panics if `n_data == 0` or the rates are not positive and finite.
+pub fn mttdl_full(n_data: usize, lambda: f64, mu: f64) -> f64 {
+    validate(n_data, lambda, mu);
+    let n = n_data as f64;
+    ((2.0 * n + 1.0) * lambda + mu) / (n * (n + 1.0) * lambda * lambda)
+}
+
+/// Simplified MTTDL (paper equation 2), valid when `μ ≫ λ`:
+///
+/// ```text
+/// MTTDL ≈ μ / (N(N+1)λ²) = MTTF² / (N(N+1)·MTTR)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_data == 0` or the rates are not positive and finite.
+pub fn mttdl_approx(n_data: usize, lambda: f64, mu: f64) -> f64 {
+    validate(n_data, lambda, mu);
+    let n = n_data as f64;
+    mu / (n * (n + 1.0) * lambda * lambda)
+}
+
+/// Convenience form of equation 2 in the units the paper quotes: MTTF
+/// and MTTR in hours.
+///
+/// # Panics
+///
+/// Panics if inputs are not positive and finite.
+pub fn mttdl_from_mttf(n_data: usize, mttf_hours: f64, mttr_hours: f64) -> f64 {
+    mttdl_approx(n_data, 1.0 / mttf_hours, 1.0 / mttr_hours)
+}
+
+/// Expected DDF count from the MTTDL method (paper equation 3):
+/// `E[N(t)] = groups × hours / MTTDL`, the renewal-theory estimate the
+/// paper shows to be wrong when its assumptions fail.
+///
+/// # Panics
+///
+/// Panics if `mttdl_hours` is not positive and finite.
+pub fn expected_ddfs(mttdl_hours: f64, groups: f64, hours: f64) -> f64 {
+    assert!(
+        mttdl_hours.is_finite() && mttdl_hours > 0.0,
+        "MTTDL must be positive and finite"
+    );
+    groups * hours / mttdl_hours
+}
+
+/// The paper's equation 3 worked example, bundled for the experiment
+/// binaries: MTBF = 461,386 h, MTTR = 12 h, N = 7, 1,000 RAID groups,
+/// 10 years.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Equation3Example {
+    /// MTTDL in hours.
+    pub mttdl_hours: f64,
+    /// MTTDL in years (the paper quotes 36,162).
+    pub mttdl_years: f64,
+    /// Expected DDFs for 1,000 groups over 10 years (the paper
+    /// quotes 0.28).
+    pub expected_ddfs: f64,
+}
+
+/// Computes the equation 3 worked example.
+pub fn equation3_example() -> Equation3Example {
+    let mttdl_hours = mttdl_from_mttf(7, 461_386.0, 12.0);
+    Equation3Example {
+        mttdl_hours,
+        mttdl_years: mttdl_hours / HOURS_PER_YEAR,
+        expected_ddfs: expected_ddfs(mttdl_hours, 1_000.0, 10.0 * HOURS_PER_YEAR),
+    }
+}
+
+fn validate(n_data: usize, lambda: f64, mu: f64) {
+    assert!(n_data > 0, "need at least one data drive");
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "failure rate must be positive and finite"
+    );
+    assert!(
+        mu.is_finite() && mu > 0.0,
+        "repair rate must be positive and finite"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation3_worked_example_matches_paper() {
+        let ex = equation3_example();
+        // "an MTTDL of 36,162 years (MTBF = 461,386 hrs; MTTR=12 hrs;
+        // N=7)".
+        assert!(
+            (ex.mttdl_years - 36_162.0).abs() < 25.0,
+            "mttdl_years = {}",
+            ex.mttdl_years
+        );
+        // "0.28" expected failures; 0.2770 to four places.
+        assert!(
+            (ex.expected_ddfs - 0.28).abs() < 0.01,
+            "expected = {}",
+            ex.expected_ddfs
+        );
+    }
+
+    #[test]
+    fn full_and_approx_agree_when_mu_dominates() {
+        let lambda = 1.0 / 461_386.0;
+        let mu = 1.0 / 12.0;
+        let full = mttdl_full(7, lambda, mu);
+        let approx = mttdl_approx(7, lambda, mu);
+        assert!(
+            (full - approx).abs() / full < 1e-3,
+            "full = {full}, approx = {approx}"
+        );
+        // Equation 1 is always the larger (it adds the (2N+1)λ term).
+        assert!(full > approx);
+    }
+
+    #[test]
+    fn full_and_approx_diverge_when_repair_is_slow() {
+        // With mu comparable to lambda the simplification is bad.
+        let lambda = 1.0e-3;
+        let mu = 2.0e-3;
+        let full = mttdl_full(7, lambda, mu);
+        let approx = mttdl_approx(7, lambda, mu);
+        assert!((full - approx).abs() / full > 0.5);
+    }
+
+    #[test]
+    fn larger_groups_fail_sooner() {
+        let lambda = 1.0 / 461_386.0;
+        let mu = 1.0 / 12.0;
+        assert!(mttdl_approx(7, lambda, mu) > mttdl_approx(13, lambda, mu));
+    }
+
+    #[test]
+    fn faster_repair_helps_linearly() {
+        let lambda = 1.0 / 461_386.0;
+        let a = mttdl_from_mttf(7, 461_386.0, 12.0);
+        let b = mttdl_from_mttf(7, 461_386.0, 6.0);
+        assert!((b / a - 2.0).abs() < 1e-9);
+        let _ = lambda;
+    }
+
+    #[test]
+    fn expected_ddfs_scales_with_groups_and_time() {
+        let m = 1.0e8;
+        assert!((expected_ddfs(m, 2_000.0, 87_600.0) / expected_ddfs(m, 1_000.0, 87_600.0)
+            - 2.0)
+            .abs()
+            < 1e-12);
+        assert!(
+            (expected_ddfs(m, 1_000.0, 87_600.0) / expected_ddfs(m, 1_000.0, 8_760.0)
+                - 10.0)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data drive")]
+    fn zero_data_drives_panics() {
+        mttdl_approx(0, 1e-6, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure rate")]
+    fn bad_lambda_panics() {
+        mttdl_approx(7, 0.0, 0.1);
+    }
+}

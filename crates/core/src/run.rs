@@ -1,0 +1,701 @@
+//! Batch runner: thousands of independent RAID-group histories.
+//!
+//! "If 10,000 simulations are needed to develop the cumulative failure
+//! function… it is equivalent to monitoring the number of DDFs for
+//! 10,000 systems over the mission life" (paper Section 5). The runner
+//! assigns every group index its own deterministic RNG stream, so a run
+//! is exactly reproducible regardless of how many threads execute it.
+
+use crate::config::RaidGroupConfig;
+use crate::engine::{DesEngine, Engine};
+use crate::events::{DdfKind, GroupHistory};
+use raidsim_dists::rng::stream;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Runs batches of group simulations against one configuration.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_core::config::RaidGroupConfig;
+/// use raidsim_core::run::Simulator;
+///
+/// # fn main() -> Result<(), raidsim_core::CoreError> {
+/// let sim = Simulator::new(RaidGroupConfig::paper_base_case()?);
+/// // Identical results regardless of thread count: per-group RNG
+/// // streams make scheduling invisible.
+/// assert_eq!(sim.run(100, 7), sim.run_parallel(100, 7, 4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: RaidGroupConfig,
+    engine: Arc<dyn Engine>,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default discrete-event engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid — construct configs via
+    /// the provided constructors and call
+    /// [`RaidGroupConfig::validate`] first when handling untrusted
+    /// input.
+    pub fn new(cfg: RaidGroupConfig) -> Self {
+        cfg.validate().expect("invalid RAID group configuration");
+        Self {
+            cfg,
+            engine: Arc::new(DesEngine::new()),
+        }
+    }
+
+    /// Replaces the engine (e.g. with
+    /// [`crate::engine::TimelineEngine`]).
+    pub fn with_engine(mut self, engine: Arc<dyn Engine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &RaidGroupConfig {
+        &self.cfg
+    }
+
+    /// Simulates `groups` independent RAID groups, single-threaded.
+    ///
+    /// Group `i` uses RNG stream `i` of `seed`, so the result is a
+    /// deterministic function of `(config, groups, seed)`.
+    pub fn run(&self, groups: usize, seed: u64) -> SimulationResult {
+        let histories = (0..groups)
+            .map(|i| {
+                let mut rng = stream(seed, i as u64);
+                self.engine.simulate_group(&self.cfg, &mut rng)
+            })
+            .collect();
+        SimulationResult {
+            histories,
+            mission_hours: self.cfg.mission_hours,
+        }
+    }
+
+    /// Simulates `groups` independent RAID groups across `threads`
+    /// worker threads. Produces exactly the same result as
+    /// [`Simulator::run`] with the same `seed` (per-group RNG streams
+    /// make the partitioning invisible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel(&self, groups: usize, seed: u64, threads: usize) -> SimulationResult {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 || groups < 2 * threads {
+            return self.run(groups, seed);
+        }
+        let chunk = groups.div_ceil(threads);
+        let mut histories: Vec<GroupHistory> = Vec::with_capacity(groups);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(groups);
+                if lo >= hi {
+                    break;
+                }
+                let cfg = &self.cfg;
+                let engine = &self.engine;
+                handles.push(scope.spawn(move |_| {
+                    (lo..hi)
+                        .map(|i| {
+                            let mut rng = stream(seed, i as u64);
+                            engine.simulate_group(cfg, &mut rng)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                histories.extend(h.join().expect("simulation worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        SimulationResult {
+            histories,
+            mission_hours: self.cfg.mission_hours,
+        }
+    }
+}
+
+/// Report from a precision-controlled run
+/// ([`Simulator::run_until_precision`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionReport {
+    /// Estimated mean DDFs per group over the mission.
+    pub mean: f64,
+    /// Half-width of the normal-approximation confidence interval for
+    /// the mean.
+    pub half_width: f64,
+    /// Confidence level used.
+    pub confidence: f64,
+    /// Groups simulated.
+    pub groups: usize,
+    /// Whether the requested precision was reached before the group
+    /// cap.
+    pub converged: bool,
+}
+
+impl Simulator {
+    /// Runs batches until the relative confidence-interval half-width
+    /// of the mean DDFs-per-group estimate drops to
+    /// `target_relative`, or `max_groups` is reached.
+    ///
+    /// "If 10,000 simulations are needed to develop the cumulative
+    /// failure function" — this is the tool that tells you whether
+    /// they are. The returned result is identical to a plain
+    /// [`Simulator::run`] with the same seed and the final group
+    /// count, so precision control never changes the estimand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_relative` or `batch` are not positive, or
+    /// `confidence` is not in `(0, 1)`.
+    pub fn run_until_precision(
+        &self,
+        target_relative: f64,
+        confidence: f64,
+        batch: usize,
+        max_groups: usize,
+        seed: u64,
+        threads: usize,
+    ) -> (SimulationResult, PrecisionReport) {
+        assert!(
+            target_relative > 0.0,
+            "target relative half-width must be positive"
+        );
+        assert!(batch > 0, "batch size must be positive");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        // z-score via the analysis-free inverse error function is not
+        // available here; use the standard two-sided values for the
+        // common levels and a rational fallback.
+        let z = z_score(confidence);
+
+        let mut result = SimulationResult {
+            histories: Vec::new(),
+            mission_hours: self.cfg.mission_hours,
+        };
+        loop {
+            let start = result.groups();
+            let take = batch.min(max_groups - start);
+            if take == 0 {
+                break;
+            }
+            // Extend deterministically: group i always uses stream i.
+            let batch_result = self.run_range(start, start + take, seed, threads);
+            result.merge(batch_result);
+
+            let n = result.groups() as f64;
+            let counts: Vec<f64> = result
+                .histories
+                .iter()
+                .map(|h| h.ddf_count() as f64)
+                .collect();
+            let mean = counts.iter().sum::<f64>() / n;
+            if n >= 2.0 && mean > 0.0 {
+                let var =
+                    counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                let half = z * (var / n).sqrt();
+                if half / mean <= target_relative {
+                    return (
+                        result,
+                        PrecisionReport {
+                            mean,
+                            half_width: half,
+                            confidence,
+                            groups: n as usize,
+                            converged: true,
+                        },
+                    );
+                }
+            }
+            if result.groups() >= max_groups {
+                break;
+            }
+        }
+        let n = result.groups() as f64;
+        let counts: Vec<f64> = result
+            .histories
+            .iter()
+            .map(|h| h.ddf_count() as f64)
+            .collect();
+        let mean = counts.iter().sum::<f64>() / n.max(1.0);
+        let var = if n >= 2.0 {
+            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let report = PrecisionReport {
+            mean,
+            half_width: z * (var / n.max(1.0)).sqrt(),
+            confidence,
+            groups: result.groups(),
+            converged: false,
+        };
+        (result, report)
+    }
+
+    /// Simulates the half-open group-index range `[lo, hi)` using the
+    /// per-index RNG streams of `seed`.
+    fn run_range(&self, lo: usize, hi: usize, seed: u64, threads: usize) -> SimulationResult {
+        assert!(threads > 0, "need at least one thread");
+        let indices: Vec<usize> = (lo..hi).collect();
+        if threads == 1 || indices.len() < 2 * threads {
+            let histories = indices
+                .iter()
+                .map(|&i| {
+                    let mut rng = stream(seed, i as u64);
+                    self.engine.simulate_group(&self.cfg, &mut rng)
+                })
+                .collect();
+            return SimulationResult {
+                histories,
+                mission_hours: self.cfg.mission_hours,
+            };
+        }
+        let chunk = indices.len().div_ceil(threads);
+        let mut histories: Vec<GroupHistory> = Vec::with_capacity(indices.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for slice in indices.chunks(chunk) {
+                let cfg = &self.cfg;
+                let engine = &self.engine;
+                handles.push(scope.spawn(move |_| {
+                    slice
+                        .iter()
+                        .map(|&i| {
+                            let mut rng = stream(seed, i as u64);
+                            engine.simulate_group(cfg, &mut rng)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                histories.extend(h.join().expect("simulation worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        SimulationResult {
+            histories,
+            mission_hours: self.cfg.mission_hours,
+        }
+    }
+}
+
+/// Runs a labeled family of configurations under **common random
+/// numbers**: every configuration sees the same per-group RNG streams,
+/// so differences between the returned results are the configuration
+/// effect alone (the variance-reduction technique the ablation
+/// experiments rely on).
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid (see [`Simulator::new`]).
+///
+/// # Example
+///
+/// ```
+/// use raidsim_core::config::RaidGroupConfig;
+/// use raidsim_core::run::sweep;
+/// use raidsim_hdd::scrub::ScrubPolicy;
+///
+/// # fn main() -> Result<(), raidsim_core::CoreError> {
+/// let fast = RaidGroupConfig::paper_base_case()?
+///     .with_scrub_policy(ScrubPolicy::with_characteristic_hours(12.0))?;
+/// let slow = RaidGroupConfig::paper_base_case()?
+///     .with_scrub_policy(ScrubPolicy::with_characteristic_hours(336.0))?;
+/// let results = sweep(vec![("fast".into(), fast), ("slow".into(), slow)], 200, 7, 2);
+/// assert!(results[0].1.total_ddfs() <= results[1].1.total_ddfs());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep(
+    configs: Vec<(String, RaidGroupConfig)>,
+    groups: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<(String, SimulationResult)> {
+    configs
+        .into_iter()
+        .map(|(label, cfg)| {
+            let result = Simulator::new(cfg).run_parallel(groups, seed, threads);
+            (label, result)
+        })
+        .collect()
+}
+
+/// Two-sided z-score for the given confidence level (rational
+/// approximation, adequate for reporting).
+fn z_score(confidence: f64) -> f64 {
+    // Common levels hit exactly; otherwise a coarse interpolation.
+    match confidence {
+        c if (c - 0.90).abs() < 1e-12 => 1.644_853_6,
+        c if (c - 0.95).abs() < 1e-12 => 1.959_964_0,
+        c if (c - 0.99).abs() < 1e-12 => 2.575_829_3,
+        c => {
+            // Beasley-Springer-Moro style coarse fit on the tail.
+            let p = 0.5 + c / 2.0;
+            let t = (-2.0 * (1.0 - p).ln()).sqrt();
+            t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
+        }
+    }
+}
+
+/// Aggregated result of a batch of group simulations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// One history per simulated group, in group-index order.
+    pub histories: Vec<GroupHistory>,
+    /// Mission length, hours.
+    pub mission_hours: f64,
+}
+
+impl SimulationResult {
+    /// Number of simulated groups.
+    pub fn groups(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Total DDFs across all groups over the full mission.
+    pub fn total_ddfs(&self) -> usize {
+        self.histories.iter().map(|h| h.ddf_count()).sum()
+    }
+
+    /// Total DDFs occurring at or before `t` hours.
+    pub fn ddfs_by(&self, t: f64) -> usize {
+        self.histories.iter().map(|h| h.ddfs_by(t)).sum()
+    }
+
+    /// DDFs per 1,000 RAID groups over the full mission — the y-axis of
+    /// the paper's Figures 6, 7 and 9.
+    pub fn ddfs_per_thousand_groups(&self) -> f64 {
+        self.per_thousand_by(self.mission_hours)
+    }
+
+    /// DDFs per 1,000 groups at or before `t` hours.
+    pub fn per_thousand_by(&self, t: f64) -> f64 {
+        1_000.0 * self.ddfs_by(t) as f64 / self.groups().max(1) as f64
+    }
+
+    /// All DDF times across all groups, sorted ascending — the input to
+    /// the mean-cumulative-function estimator.
+    pub fn ddf_times(&self) -> Vec<f64> {
+        let mut times: Vec<f64> = self
+            .histories
+            .iter()
+            .flat_map(|h| h.ddfs.iter().map(|e| e.time))
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        times
+    }
+
+    /// DDF counts by kind: `(double-operational, latent-then-operational)`.
+    pub fn kind_counts(&self) -> (usize, usize) {
+        let mut op = 0;
+        let mut latent = 0;
+        for h in &self.histories {
+            for e in &h.ddfs {
+                match e.kind {
+                    DdfKind::DoubleOperational => op += 1,
+                    DdfKind::LatentThenOperational => latent += 1,
+                }
+            }
+        }
+        (op, latent)
+    }
+
+    /// Total operational failures across groups.
+    pub fn total_op_failures(&self) -> u64 {
+        self.histories.iter().map(|h| h.op_failures).sum()
+    }
+
+    /// Total latent defects created across groups.
+    pub fn total_latent_defects(&self) -> u64 {
+        self.histories.iter().map(|h| h.latent_defects).sum()
+    }
+
+    /// Fleet-average drive availability: up drive-hours over total
+    /// drive-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty or `drives == 0`.
+    pub fn mean_availability(&self, drives: usize) -> f64 {
+        assert!(!self.histories.is_empty(), "no histories");
+        assert!(drives > 0, "need at least one drive");
+        let down: f64 = self.histories.iter().map(|h| h.downtime_hours).sum();
+        1.0 - down / (self.histories.len() as f64 * drives as f64 * self.mission_hours)
+    }
+
+    /// Writes one CSV row per group history (`group, ddfs, op_failures,
+    /// latent_defects, scrubs_completed, restores_completed,
+    /// downtime_hours`) for analysis in external tooling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_history_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "group,ddfs,op_failures,latent_defects,scrubs_completed,restores_completed,downtime_hours"
+        )?;
+        for (i, h) in self.histories.iter().enumerate() {
+            writeln!(
+                w,
+                "{i},{},{},{},{},{},{:.4}",
+                h.ddf_count(),
+                h.op_failures,
+                h.latent_defects,
+                h.scrubs_completed,
+                h.restores_completed,
+                h.downtime_hours
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Writes all DDF event times (`group, time_hours, kind`) as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_ddf_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "group,time_hours,kind")?;
+        for (i, h) in self.histories.iter().enumerate() {
+            for e in &h.ddfs {
+                let kind = match e.kind {
+                    DdfKind::DoubleOperational => "double_operational",
+                    DdfKind::LatentThenOperational => "latent_then_operational",
+                };
+                writeln!(w, "{i},{:.4},{kind}", e.time)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another result of the same mission into this one (e.g.
+    /// accumulating batches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mission lengths differ.
+    pub fn merge(&mut self, other: SimulationResult) {
+        assert_eq!(
+            self.mission_hours, other.mission_hours,
+            "cannot merge results with different missions"
+        );
+        self.histories.extend(other.histories);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransitionDistributions;
+
+    fn base() -> RaidGroupConfig {
+        RaidGroupConfig::paper_base_case().unwrap()
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let sim = Simulator::new(base());
+        let a = sim.run(50, 11);
+        let b = sim.run(50, 11);
+        assert_eq!(a, b);
+        let c = sim.run(50, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let sim = Simulator::new(base());
+        let serial = sim.run(64, 99);
+        for threads in [2, 3, 8] {
+            let parallel = sim.run_parallel(64, 99, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_thread_matches() {
+        let sim = Simulator::new(base());
+        assert_eq!(sim.run(10, 5), sim.run_parallel(10, 5, 1));
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let sim = Simulator::new(base());
+        let r = sim.run(100, 3);
+        assert_eq!(r.groups(), 100);
+        assert_eq!(
+            r.total_ddfs(),
+            r.kind_counts().0 + r.kind_counts().1
+        );
+        assert_eq!(r.ddfs_by(r.mission_hours), r.total_ddfs());
+        assert_eq!(r.ddfs_by(0.0), 0);
+        let times = r.ddf_times();
+        assert_eq!(times.len(), r.total_ddfs());
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn per_thousand_scaling() {
+        let sim = Simulator::new(base());
+        let r = sim.run(500, 21);
+        let expect = 1_000.0 * r.total_ddfs() as f64 / 500.0;
+        assert!((r.ddfs_per_thousand_groups() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let sim = Simulator::new(base());
+        let mut a = sim.run(30, 1);
+        let b = sim.run(20, 2);
+        let total = a.total_ddfs() + b.total_ddfs();
+        a.merge(b);
+        assert_eq!(a.groups(), 50);
+        assert_eq!(a.total_ddfs(), total);
+    }
+
+    #[test]
+    #[should_panic(expected = "different missions")]
+    fn merge_rejects_mismatched_missions() {
+        let sim = Simulator::new(base());
+        let mut a = sim.run(5, 1);
+        let mut cfg = base();
+        cfg.mission_hours = 1_000.0;
+        let b = Simulator::new(cfg).run(5, 1);
+        a.merge(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RAID group configuration")]
+    fn invalid_config_panics_at_construction() {
+        let mut cfg = base();
+        cfg.drives = 0;
+        let _ = Simulator::new(cfg);
+    }
+
+    #[test]
+    fn timeline_engine_via_with_engine() {
+        use crate::engine::TimelineEngine;
+        let sim = Simulator::new(base()).with_engine(Arc::new(TimelineEngine::new()));
+        let r = sim.run(20, 7);
+        assert_eq!(r.groups(), 20);
+    }
+
+    #[test]
+    fn csv_export_round_trips_counts() {
+        let sim = Simulator::new(base());
+        let r = sim.run(50, 2);
+        let mut hist_csv = Vec::new();
+        r.write_history_csv(&mut hist_csv).unwrap();
+        let text = String::from_utf8(hist_csv).unwrap();
+        assert_eq!(text.lines().count(), 51); // header + 50 groups
+        assert!(text.starts_with("group,ddfs,"));
+        // Sum of the ddfs column equals total_ddfs.
+        let total: usize = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, r.total_ddfs());
+
+        let mut ddf_csv = Vec::new();
+        r.write_ddf_csv(&mut ddf_csv).unwrap();
+        let text = String::from_utf8(ddf_csv).unwrap();
+        assert_eq!(text.lines().count(), 1 + r.total_ddfs());
+    }
+
+    #[test]
+    fn availability_is_near_one_for_base_case() {
+        // ~1.25 failures per group per decade x ~16.6 h mean restore
+        // over 8 x 87,600 drive-hours: availability ~ 1 - 3e-5.
+        let sim = Simulator::new(base());
+        let r = sim.run(500, 13);
+        let a = r.mean_availability(8);
+        assert!(a > 0.9999 && a < 1.0, "availability = {a}");
+        // Consistency with the analytic expectation.
+        let expected_down = r.total_op_failures() as f64 * 16.6;
+        let measured_down: f64 = r.histories.iter().map(|h| h.downtime_hours).sum();
+        assert!(
+            (measured_down - expected_down).abs() / expected_down < 0.2,
+            "measured {measured_down}, expected {expected_down}"
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_downtime() {
+        use crate::engine::TimelineEngine;
+        let sim_des = Simulator::new(base());
+        let sim_tl = Simulator::new(base()).with_engine(Arc::new(TimelineEngine::new()));
+        let d: f64 = sim_des
+            .run(800, 19)
+            .histories
+            .iter()
+            .map(|h| h.downtime_hours)
+            .sum();
+        let t: f64 = sim_tl
+            .run(800, 23)
+            .histories
+            .iter()
+            .map(|h| h.downtime_hours)
+            .sum();
+        assert!((d - t).abs() / d.max(1.0) < 0.15, "des = {d}, timeline = {t}");
+    }
+
+    #[test]
+    fn precision_run_converges_and_matches_plain_run() {
+        let sim = Simulator::new(base());
+        let (result, report) =
+            sim.run_until_precision(0.25, 0.90, 200, 4_000, 99, 4);
+        assert!(report.converged, "{report:?}");
+        assert!(report.half_width / report.mean <= 0.25);
+        assert_eq!(report.groups, result.groups());
+        // The estimand is unchanged: same as a plain run of that size.
+        let plain = sim.run(result.groups(), 99);
+        assert_eq!(result, plain);
+    }
+
+    #[test]
+    fn precision_run_hits_cap_for_impossible_target() {
+        let sim = Simulator::new(base());
+        let (result, report) = sim.run_until_precision(1e-6, 0.95, 50, 150, 3, 2);
+        assert!(!report.converged);
+        assert_eq!(result.groups(), 150);
+        assert_eq!(report.groups, 150);
+    }
+
+    #[test]
+    fn z_scores_for_common_levels() {
+        assert!((super::z_score(0.95) - 1.959964).abs() < 1e-5);
+        assert!((super::z_score(0.99) - 2.5758293).abs() < 1e-6);
+        // Interpolated level is in the right ballpark.
+        let z = super::z_score(0.975);
+        assert!(z > 2.0 && z < 2.5, "z = {z}");
+    }
+
+    #[test]
+    fn no_latent_defect_config_counts_zero_defects() {
+        let cfg = RaidGroupConfig {
+            dists: TransitionDistributions::constant_rates().unwrap(),
+            ..base()
+        };
+        let r = Simulator::new(cfg).run(200, 17);
+        assert_eq!(r.total_latent_defects(), 0);
+        assert_eq!(r.kind_counts().1, 0);
+    }
+}

@@ -1,0 +1,222 @@
+use crate::mixture::invert_cdf;
+use crate::{DistError, LifeDistribution};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Competing risks: the lifetime is the **minimum** of several independent
+/// failure mechanisms.
+///
+/// Every drive is exposed to every mechanism and fails from whichever
+/// strikes first. The survival function is the product of the component
+/// survival functions and the hazard is the *sum* of the component
+/// hazards. Competing risks produce the late-life upturn the paper sees in
+/// HDD #2 and HDD #3 of Figure 1 ("competing risks for the second
+/// \[inflection\] (upturn in failure rate)"): an early-life mechanism with
+/// `β < 1` combined with a wear-out mechanism with `β > 1` gives the
+/// classic bathtub shape.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_dists::{CompetingRisks, LifeDistribution, Weibull3};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), raidsim_dists::DistError> {
+/// // Infant mortality + wear-out = bathtub hazard.
+/// let infant = Arc::new(Weibull3::new(0.0, 2.0e6, 0.6)?);
+/// let wearout = Arc::new(Weibull3::new(0.0, 90_000.0, 3.0)?);
+/// let drive = CompetingRisks::new(vec![infant as _, wearout as _])?;
+/// let early = drive.hazard(100.0);
+/// let middle = drive.hazard(20_000.0);
+/// let late = drive.hazard(80_000.0);
+/// assert!(early > middle && middle < late);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompetingRisks {
+    risks: Vec<Arc<dyn LifeDistribution>>,
+}
+
+impl CompetingRisks {
+    /// Creates a competing-risks lifetime from independent mechanisms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::Empty`] if no mechanisms are given.
+    pub fn new(risks: Vec<Arc<dyn LifeDistribution>>) -> Result<Self, DistError> {
+        if risks.is_empty() {
+            return Err(DistError::Empty);
+        }
+        Ok(Self { risks })
+    }
+
+    /// The component failure mechanisms, in construction order.
+    pub fn risks(&self) -> &[Arc<dyn LifeDistribution>] {
+        &self.risks
+    }
+}
+
+impl LifeDistribution for CompetingRisks {
+    fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.sf(t)
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        // f(t) = S(t) * h(t) with h = sum of component hazards.
+        let s = self.sf(t);
+        if s == 0.0 {
+            return 0.0;
+        }
+        s * self.hazard(t)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        invert_cdf(self, p)
+    }
+
+    fn mean(&self) -> f64 {
+        // E[T] = integral of S(t) dt; adaptive trapezoid on an expanding
+        // grid. The integrand is smooth and monotone decreasing.
+        let mut total = 0.0;
+        let mut t = 0.0;
+        let mut step = self
+            .risks
+            .iter()
+            .map(|d| d.mean())
+            .fold(f64::INFINITY, f64::min)
+            / 2_000.0;
+        let mut s_prev = 1.0;
+        for _ in 0..2_000_000 {
+            let t_next = t + step;
+            let s_next = self.sf(t_next);
+            total += 0.5 * (s_prev + s_next) * step;
+            t = t_next;
+            s_prev = s_next;
+            if s_next < 1e-12 {
+                break;
+            }
+            // Expand the step as the tail flattens.
+            step *= 1.005;
+        }
+        total
+    }
+
+    fn sf(&self, t: f64) -> f64 {
+        self.risks.iter().map(|d| d.sf(t)).product()
+    }
+
+    fn hazard(&self, t: f64) -> f64 {
+        self.risks.iter().map(|d| d.hazard(t)).sum()
+    }
+
+    fn cum_hazard(&self, t: f64) -> f64 {
+        self.risks.iter().map(|d| d.cum_hazard(t)).sum()
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // Minimum of independent samples: exact by definition.
+        self.risks
+            .iter()
+            .map(|d| d.sample(rng))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weibull3;
+    use rand::SeedableRng;
+
+    fn bathtub() -> CompetingRisks {
+        let infant = Arc::new(Weibull3::new(0.0, 2.0e6, 0.6).unwrap());
+        let wearout = Arc::new(Weibull3::new(0.0, 90_000.0, 3.0).unwrap());
+        CompetingRisks::new(vec![infant as _, wearout as _]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(CompetingRisks::new(vec![]).unwrap_err(), DistError::Empty);
+    }
+
+    #[test]
+    fn sf_is_product_of_components() {
+        let c = bathtub();
+        for &t in &[100.0, 10_000.0, 90_000.0] {
+            let expect: f64 = c.risks().iter().map(|d| d.sf(t)).product();
+            assert!((c.sf(t) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hazard_is_sum_of_components() {
+        let c = bathtub();
+        let t = 30_000.0;
+        let expect: f64 = c.risks().iter().map(|d| d.hazard(t)).sum();
+        assert!((c.hazard(t) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_weibulls_same_shape_compose_in_closed_form() {
+        // min of Weibull(eta1, b) and Weibull(eta2, b) is Weibull with
+        // eta = (eta1^-b + eta2^-b)^(-1/b), same shape.
+        let b = 1.5;
+        let (e1, e2) = (100.0_f64, 300.0_f64);
+        let c = CompetingRisks::new(vec![
+            Arc::new(Weibull3::new(0.0, e1, b).unwrap()) as _,
+            Arc::new(Weibull3::new(0.0, e2, b).unwrap()) as _,
+        ])
+        .unwrap();
+        let eta = (e1.powf(-b) + e2.powf(-b)).powf(-1.0 / b);
+        let w = Weibull3::new(0.0, eta, b).unwrap();
+        for &t in &[10.0, 80.0, 200.0] {
+            assert!((c.cdf(t) - w.cdf(t)).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let c = bathtub();
+        for &p in &[0.05, 0.5, 0.95] {
+            let t = c.quantile(p);
+            assert!((c.cdf(t) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_min_matches_cdf() {
+        let c = bathtub();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 40_000;
+        let below = (0..n)
+            .filter(|_| c.sample(&mut rng) <= 60_000.0)
+            .count() as f64
+            / n as f64;
+        assert!(
+            (below - c.cdf(60_000.0)).abs() < 0.01,
+            "empirical = {below}, analytic = {}",
+            c.cdf(60_000.0)
+        );
+    }
+
+    #[test]
+    fn mean_numerical_integration_is_close_to_monte_carlo() {
+        let c = bathtub();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let n = 60_000;
+        let mc: f64 = (0..n).map(|_| c.sample(&mut rng)).sum::<f64>() / n as f64;
+        let analytic = c.mean();
+        assert!(
+            (mc - analytic).abs() / analytic < 0.02,
+            "mc = {mc}, quad = {analytic}"
+        );
+    }
+
+    #[test]
+    fn bathtub_shape() {
+        let c = bathtub();
+        assert!(c.hazard(50.0) > c.hazard(20_000.0));
+        assert!(c.hazard(20_000.0) < c.hazard(85_000.0));
+    }
+}

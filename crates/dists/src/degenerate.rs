@@ -1,0 +1,136 @@
+use crate::{DistError, LifeDistribution};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point-mass (degenerate) distribution: every draw equals `value`.
+///
+/// Not a model of anything physical — it exists so the simulation
+/// engines can be driven through *hand-computable schedules* in tests:
+/// with every transition time deterministic, the exact DDF rule
+/// outcomes (ordering, blocking windows, defect alignment) can be
+/// asserted event by event. See `raidsim-core`'s `scripted_scenarios`
+/// test suite.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_dists::{Degenerate, LifeDistribution};
+/// use raidsim_dists::rng::stream;
+///
+/// # fn main() -> Result<(), raidsim_dists::DistError> {
+/// let d = Degenerate::new(100.0)?;
+/// assert_eq!(d.sample(&mut stream(1, 0)), 100.0);
+/// assert_eq!(d.cdf(99.9), 0.0);
+/// assert_eq!(d.cdf(100.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Degenerate {
+    value: f64,
+}
+
+impl Degenerate {
+    /// Creates a point mass at `value` hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] if `value` is negative
+    /// or non-finite.
+    pub fn new(value: f64) -> Result<Self, DistError> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(DistError::InvalidParameter {
+                name: "value",
+                value,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        Ok(Self { value })
+    }
+
+    /// The point of support.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl LifeDistribution for Degenerate {
+    fn cdf(&self, t: f64) -> f64 {
+        if t >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        // The density does not exist; report the conventional 0 away
+        // from the atom and infinity at it.
+        if t == self.value {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p < 0.0 {
+            return self.value;
+        }
+        assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn sample(&self, _rng: &mut dyn Rng) -> f64 {
+        self.value
+    }
+
+    fn sample_conditional(&self, t0: f64, _rng: &mut dyn Rng) -> f64 {
+        (self.value - t0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Degenerate::new(-1.0).is_err());
+        assert!(Degenerate::new(f64::NAN).is_err());
+        assert!(Degenerate::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn everything_is_the_value() {
+        let d = Degenerate::new(42.0).unwrap();
+        let mut rng = stream(0, 0);
+        assert_eq!(d.sample(&mut rng), 42.0);
+        assert_eq!(d.mean(), 42.0);
+        assert_eq!(d.quantile(0.0), 42.0);
+        assert_eq!(d.quantile(0.999), 42.0);
+        assert_eq!(d.value(), 42.0);
+    }
+
+    #[test]
+    fn cdf_steps_at_the_atom() {
+        let d = Degenerate::new(10.0).unwrap();
+        assert_eq!(d.cdf(9.999_999), 0.0);
+        assert_eq!(d.cdf(10.0), 1.0);
+        assert_eq!(d.sf(9.0), 1.0);
+        assert_eq!(d.sf(11.0), 0.0);
+    }
+
+    #[test]
+    fn conditional_sampling_subtracts_elapsed_time() {
+        let d = Degenerate::new(100.0).unwrap();
+        let mut rng = stream(0, 0);
+        assert_eq!(d.sample_conditional(40.0, &mut rng), 60.0);
+        assert_eq!(d.sample_conditional(150.0, &mut rng), 0.0);
+    }
+}

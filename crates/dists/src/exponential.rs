@@ -1,0 +1,182 @@
+use crate::{rng_f64, DistError, LifeDistribution};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential lifetime distribution — the constant-rate special case.
+///
+/// This is the distribution the MTTDL method implicitly assumes for both
+/// failures and repairs (paper Section 4.1). It is kept as a separate type
+/// from [`crate::Weibull3`] (which it equals when `β = 1, γ = 0`) because
+/// the paper's entire argument hinges on the difference, and experiments
+/// switch between the two explicitly (Figure 6 variants `c-c`, `f(t)-c`,
+/// `c-r(t)`).
+///
+/// # Example
+///
+/// ```
+/// use raidsim_dists::{Exponential, LifeDistribution};
+///
+/// # fn main() -> Result<(), raidsim_dists::DistError> {
+/// // MTBF = 461,386 h, the paper's worked example (eq. 3).
+/// let d = Exponential::from_mean(461_386.0)?;
+/// assert!((d.rate() - 1.0 / 461_386.0).abs() < 1e-18);
+/// // Memoryless: hazard never changes.
+/// assert_eq!(d.hazard(1.0), d.hazard(1_000_000.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given hazard `rate`
+    /// (per hour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] if `rate` is non-finite or
+    /// non-positive.
+    pub fn new(rate: f64) -> Result<Self, DistError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(DistError::InvalidParameter {
+                name: "rate",
+                value: rate,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates an exponential distribution with the given `mean` (MTTF or
+    /// MTTR, in hours).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] if `mean` is non-finite or
+    /// non-positive.
+    pub fn from_mean(mean: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(DistError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The constant hazard rate `λ`, per hour.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl LifeDistribution for Exponential {
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * t).exp_m1()
+        }
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * t).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 0.0;
+        }
+        assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn sf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * t).exp()
+        }
+    }
+
+    fn hazard(&self, _t: f64) -> f64 {
+        self.rate
+    }
+
+    fn cum_hazard(&self, t: f64) -> f64 {
+        self.rate * t.max(0.0)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u = rng_f64(rng);
+        // -ln(1-u)/rate with u in [0,1); 1-u is in (0,1] so ln is finite.
+        -(1.0 - u).ln() / self.rate
+    }
+
+    fn sample_conditional(&self, _t0: f64, rng: &mut dyn Rng) -> f64 {
+        // Memorylessness: the residual life is the same exponential.
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weibull3;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn agrees_with_weibull_beta_one() {
+        let e = Exponential::from_mean(9259.0).unwrap();
+        let w = Weibull3::new(0.0, 9259.0, 1.0).unwrap();
+        for &t in &[1.0, 100.0, 9259.0, 50_000.0] {
+            assert!((e.cdf(t) - w.cdf(t)).abs() < 1e-12, "t = {t}");
+            assert!((e.pdf(t) - w.pdf(t)).abs() < 1e-15, "t = {t}");
+            assert!((e.hazard(t) - w.hazard(t)).abs() < 1e-15, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn memoryless_conditional_sampling() {
+        let e = Exponential::from_mean(100.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 =
+            (0..n).map(|_| e.sample_conditional(500.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "conditional mean = {mean}");
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let e = Exponential::new(0.25).unwrap();
+        for &p in &[0.01, 0.5, 0.99] {
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mttdl_example_rate() {
+        // The worked example in eq. 3 uses MTBF = 461,386 h.
+        let e = Exponential::from_mean(461_386.0).unwrap();
+        assert!((e.mean() - 461_386.0).abs() < 1e-6);
+    }
+}

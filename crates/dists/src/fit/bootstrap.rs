@@ -1,0 +1,172 @@
+use super::FittedWeibull;
+use crate::empirical::Observation;
+use crate::DistError;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap confidence interval for one fitted parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamCi {
+    /// Point estimate from the original sample.
+    pub estimate: f64,
+    /// Lower confidence bound.
+    pub lower: f64,
+    /// Upper confidence bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.90`.
+    pub level: f64,
+}
+
+impl ParamCi {
+    /// Whether a hypothesized value lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Nonparametric bootstrap confidence intervals for a Weibull fit.
+///
+/// Resamples the observations with replacement `replicates` times,
+/// refits with `fit_fn`, and returns percentile intervals for `(η, β)`.
+/// Replicates where the estimator fails (degenerate resamples) are
+/// skipped; at least half must succeed.
+///
+/// The paper's field-data conclusions ("HDD failure rates are rarely
+/// constant") are only meaningful if `β ≠ 1` is outside the interval —
+/// this is the tool that checks that.
+///
+/// # Errors
+///
+/// Propagates the fit error on the original data, and returns
+/// [`DistError::NoConvergence`] if more than half of the bootstrap
+/// replicates fail to fit.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_dists::empirical::Observation;
+/// use raidsim_dists::fit::{bootstrap_ci, mle};
+/// use raidsim_dists::{LifeDistribution, Weibull3};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), raidsim_dists::DistError> {
+/// let truth = Weibull3::two_param(1000.0, 1.8)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let data: Vec<Observation> = (0..300)
+///     .map(|_| Observation::failure(truth.sample(&mut rng)))
+///     .collect();
+/// let (eta_ci, beta_ci) = bootstrap_ci(&data, mle, 200, 0.90, 7)?;
+/// assert!(beta_ci.contains(1.8));
+/// assert!(!beta_ci.contains(1.0)); // decisively not exponential
+/// # let _ = eta_ci;
+/// # Ok(())
+/// # }
+/// ```
+pub fn bootstrap_ci(
+    data: &[Observation],
+    fit_fn: fn(&[Observation]) -> Result<FittedWeibull, DistError>,
+    replicates: usize,
+    level: f64,
+    seed: u64,
+) -> Result<(ParamCi, ParamCi), DistError> {
+    let base = fit_fn(data)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut etas = Vec::with_capacity(replicates);
+    let mut betas = Vec::with_capacity(replicates);
+    let mut resample = vec![Observation::failure(0.0); data.len()];
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.random_range(0..data.len())];
+        }
+        if let Ok(fit) = fit_fn(&resample) {
+            etas.push(fit.eta);
+            betas.push(fit.beta);
+        }
+    }
+    if etas.len() * 2 < replicates {
+        return Err(DistError::NoConvergence {
+            iterations: replicates,
+        });
+    }
+    let eta_ci = percentile_ci(&mut etas, base.eta, level);
+    let beta_ci = percentile_ci(&mut betas, base.beta, level);
+    Ok((eta_ci, beta_ci))
+}
+
+fn percentile_ci(values: &mut [f64], estimate: f64, level: f64) -> ParamCi {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap values are finite"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((values.len() as f64) * alpha).floor() as usize;
+    let hi_idx = (((values.len() as f64) * (1.0 - alpha)).ceil() as usize)
+        .min(values.len())
+        .saturating_sub(1);
+    ParamCi {
+        estimate,
+        lower: values[lo_idx.min(values.len() - 1)],
+        upper: values[hi_idx],
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::{mle, rank_regression};
+    use crate::{LifeDistribution, Weibull3};
+
+    fn complete_sample(eta: f64, beta: f64, n: usize, seed: u64) -> Vec<Observation> {
+        let truth = Weibull3::two_param(eta, beta).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Observation::failure(truth.sample(&mut rng)))
+            .collect()
+    }
+
+    #[test]
+    fn interval_covers_truth_for_mle() {
+        let data = complete_sample(1_000.0, 1.5, 400, 3);
+        let (eta_ci, beta_ci) = bootstrap_ci(&data, mle, 200, 0.95, 11).unwrap();
+        assert!(eta_ci.contains(1_000.0), "{eta_ci:?}");
+        assert!(beta_ci.contains(1.5), "{beta_ci:?}");
+        assert!(eta_ci.lower < eta_ci.upper);
+    }
+
+    #[test]
+    fn interval_covers_truth_for_rank_regression() {
+        let data = complete_sample(500.0, 2.2, 400, 8);
+        let (_, beta_ci) = bootstrap_ci(&data, rank_regression, 200, 0.95, 13).unwrap();
+        assert!(beta_ci.contains(2.2), "{beta_ci:?}");
+    }
+
+    #[test]
+    fn clearly_nonexponential_data_excludes_beta_one() {
+        let data = complete_sample(1_000.0, 3.0, 500, 4);
+        let (_, beta_ci) = bootstrap_ci(&data, mle, 200, 0.99, 5).unwrap();
+        assert!(!beta_ci.contains(1.0), "{beta_ci:?}");
+    }
+
+    #[test]
+    fn narrower_level_gives_narrower_interval() {
+        let data = complete_sample(1_000.0, 1.5, 300, 6);
+        let (_, wide) = bootstrap_ci(&data, mle, 300, 0.99, 17).unwrap();
+        let (_, narrow) = bootstrap_ci(&data, mle, 300, 0.50, 17).unwrap();
+        assert!(narrow.upper - narrow.lower < wide.upper - wide.lower);
+    }
+
+    #[test]
+    fn propagates_base_fit_error() {
+        let data = [Observation::failure(10.0)];
+        assert!(bootstrap_ci(&data, mle, 50, 0.9, 1).is_err());
+    }
+
+    #[test]
+    fn param_ci_contains_endpoints() {
+        let ci = ParamCi {
+            estimate: 1.0,
+            lower: 0.5,
+            upper: 1.5,
+            level: 0.9,
+        };
+        assert!(ci.contains(0.5) && ci.contains(1.5) && !ci.contains(1.6));
+    }
+}

@@ -1,0 +1,60 @@
+use crate::empirical::Ecdf;
+use crate::LifeDistribution;
+
+/// One-sample Kolmogorov–Smirnov statistic between a data sample and a
+/// fitted [`LifeDistribution`].
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains NaN (via [`Ecdf::new`]).
+pub fn ks_statistic(samples: &[f64], dist: &dyn LifeDistribution) -> f64 {
+    Ecdf::new(samples).ks_distance(|t| dist.cdf(t))
+}
+
+/// Approximate critical value of the one-sample KS statistic at
+/// significance `alpha` for sample size `n` (asymptotic formula
+/// `c(α) / √n` with `c(α) = √(−ln(α/2) / 2)`).
+///
+/// Valid for `n ≳ 35`; conservative below that. Common values:
+/// `c(0.05) ≈ 1.358`, `c(0.01) ≈ 1.628`.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `(0, 1)` or `n == 0`.
+pub fn ks_critical_value(alpha: f64, n: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    assert!(n > 0, "n must be positive");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LifeDistribution, Weibull3};
+    use rand::SeedableRng;
+
+    #[test]
+    fn critical_value_constants() {
+        assert!((ks_critical_value(0.05, 1) - 1.3581).abs() < 1e-3);
+        assert!((ks_critical_value(0.01, 1) - 1.6276).abs() < 1e-3);
+        assert!(ks_critical_value(0.05, 100) < ks_critical_value(0.05, 10));
+    }
+
+    #[test]
+    fn correct_model_passes_wrong_model_fails() {
+        let truth = Weibull3::two_param(100.0, 2.0).unwrap();
+        let wrong = Weibull3::two_param(100.0, 0.8).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let samples: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
+        let crit = ks_critical_value(0.01, samples.len());
+        assert!(ks_statistic(&samples, &truth) < crit);
+        assert!(ks_statistic(&samples, &wrong) > crit);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        ks_critical_value(0.0, 10);
+    }
+}

@@ -1,0 +1,227 @@
+use super::FittedWeibull;
+use crate::empirical::{johnson_ranks, Observation};
+use crate::DistError;
+
+/// Median-rank regression (probability-plot fit) of a two-parameter
+/// Weibull to right-censored life data.
+///
+/// Plotting positions come from the Johnson rank-adjustment method
+/// ([`crate::empirical::johnson_ranks`]); the regression is least squares
+/// of `y = ln(−ln(1 − F̂))` on `x = ln t` ("rank regression on Y"). On
+/// these axes the Weibull CDF is the line `y = βx − β ln η`, so the slope
+/// estimates `β` and the intercept gives `η`.
+///
+/// This is exactly the construction of paper Figures 1 and 2: "data for
+/// three different products are plotted assuming a two-parameter Weibull
+/// distribution (a straight line indicates a good fit)". The returned
+/// `r_squared` quantifies straightness; mixtures and competing risks show
+/// up as low `R²` / curvature.
+///
+/// # Errors
+///
+/// Returns [`DistError::InsufficientData`] when fewer than 2 failures are
+/// present (a line needs two points) and
+/// [`DistError::InvalidParameter`] if all failures share one time.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_dists::empirical::Observation;
+/// use raidsim_dists::fit::rank_regression;
+/// use raidsim_dists::{LifeDistribution, Weibull3};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), raidsim_dists::DistError> {
+/// let truth = Weibull3::two_param(1000.0, 1.5)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let data: Vec<Observation> = (0..500)
+///     .map(|_| Observation::failure(truth.sample(&mut rng)))
+///     .collect();
+/// let fit = rank_regression(&data)?;
+/// assert!((fit.beta - 1.5).abs() < 0.15);
+/// assert!(fit.r_squared.unwrap() > 0.95);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rank_regression(data: &[Observation]) -> Result<FittedWeibull, DistError> {
+    let points = johnson_ranks(data);
+    let failures = points.len();
+    let suspensions = data.len() - failures;
+    if failures < 2 {
+        return Err(DistError::InsufficientData {
+            failures,
+            required: 2,
+        });
+    }
+    if points.iter().any(|p| p.time <= 0.0) {
+        return Err(DistError::InvalidParameter {
+            name: "time",
+            value: points
+                .iter()
+                .map(|p| p.time)
+                .fold(f64::INFINITY, f64::min),
+            constraint: "failure times must be > 0 for a log-log fit",
+        });
+    }
+
+    let n = failures as f64;
+    let xs: Vec<f64> = points.iter().map(|p| p.x()).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.y()).collect();
+    let x_mean = xs.iter().sum::<f64>() / n;
+    let y_mean = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - x_mean).powi(2)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - y_mean).powi(2)).sum();
+    let sxy: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (x - x_mean) * (y - y_mean))
+        .sum();
+    if sxx <= 0.0 {
+        return Err(DistError::InvalidParameter {
+            name: "times",
+            value: points[0].time,
+            constraint: "all failure times identical; slope undefined",
+        });
+    }
+
+    let beta = sxy / sxx;
+    if !(beta.is_finite() && beta > 0.0) {
+        return Err(DistError::NoConvergence { iterations: 0 });
+    }
+    let intercept = y_mean - beta * x_mean;
+    let eta = (-intercept / beta).exp();
+    let r_squared = if syy > 0.0 {
+        (sxy * sxy) / (sxx * syy)
+    } else {
+        1.0
+    };
+
+    Ok(FittedWeibull {
+        eta,
+        beta,
+        r_squared: Some(r_squared),
+        log_likelihood: None,
+        failures,
+        suspensions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompetingRisks, LifeDistribution, Mixture, Weibull3};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn sample_failures(d: &dyn LifeDistribution, n: usize, seed: u64) -> Vec<Observation> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Observation::failure(d.sample(&mut rng))).collect()
+    }
+
+    #[test]
+    fn recovers_parameters_of_pure_weibull() {
+        let truth = Weibull3::two_param(461_386.0, 1.12).unwrap();
+        let fit = rank_regression(&sample_failures(&truth, 2_000, 3)).unwrap();
+        assert!((fit.beta - 1.12).abs() < 0.08, "beta = {}", fit.beta);
+        assert!(
+            (fit.eta - 461_386.0).abs() / 461_386.0 < 0.08,
+            "eta = {}",
+            fit.eta
+        );
+        assert!(fit.r_squared.unwrap() > 0.98);
+    }
+
+    #[test]
+    fn handles_censored_vintage_data() {
+        // Fig 2 vintage 3 shape: eta = 75,012, beta = 1.4873, observed
+        // for up to 6,000 h -> heavy censoring.
+        let truth = Weibull3::two_param(75_012.0, 1.4873).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let window = 6_000.0;
+        let data: Vec<Observation> = (0..23_834)
+            .map(|_| {
+                let t = truth.sample(&mut rng);
+                if t <= window {
+                    Observation::failure(t)
+                } else {
+                    Observation::censored(window)
+                }
+            })
+            .collect();
+        let fit = rank_regression(&data).unwrap();
+        // Rank regression is biased low under heavy censoring (the
+        // reason `fit::mle` exists); accept a generous band here and
+        // leave the tight recovery check to the MLE tests.
+        assert!((fit.beta - 1.4873).abs() < 0.35, "beta = {}", fit.beta);
+        // eta is an extrapolation 12x beyond the window and inherits the
+        // beta bias; what the probability plot actually certifies is the
+        // CDF *inside* the window. Require agreement there.
+        let fitted = fit.to_distribution().unwrap();
+        let rel = (fitted.cdf(window) - truth.cdf(window)).abs() / truth.cdf(window);
+        assert!(rel < 0.15, "cdf mismatch at window edge: {rel}");
+    }
+
+    #[test]
+    fn mixture_population_is_not_a_straight_line() {
+        // Paper Fig 1: only a pure Weibull gives a straight line. A
+        // strong mixture must fit visibly worse than a pure Weibull.
+        let weak = Arc::new(Weibull3::two_param(500.0, 0.9).unwrap());
+        let strong = Arc::new(Weibull3::two_param(300_000.0, 3.0).unwrap());
+        let mix = Mixture::new(vec![(0.3, weak as _), (0.7, strong as _)]).unwrap();
+        let fit_mix = rank_regression(&sample_failures(&mix, 3_000, 21)).unwrap();
+
+        let pure = Weibull3::two_param(1_000.0, 1.2).unwrap();
+        let fit_pure = rank_regression(&sample_failures(&pure, 3_000, 21)).unwrap();
+
+        assert!(fit_mix.r_squared.unwrap() < fit_pure.r_squared.unwrap());
+        assert!(fit_pure.r_squared.unwrap() > 0.99);
+    }
+
+    #[test]
+    fn competing_risks_bend_the_plot_upward() {
+        // Late-life wear-out on top of a shallow early slope: the last
+        // decade of the plot is steeper than the first, which is the
+        // "plot line bends upwards" observation for HDD #2.
+        let early = Arc::new(Weibull3::two_param(2.0e6, 0.9).unwrap());
+        let wear = Arc::new(Weibull3::two_param(40_000.0, 4.0).unwrap());
+        let cr = CompetingRisks::new(vec![early as _, wear as _]).unwrap();
+        let data = sample_failures(&cr, 4_000, 5);
+        let pts = crate::empirical::johnson_ranks(&data);
+        let k = pts.len() / 4;
+        let slope = |pts: &[crate::empirical::PlotPoint]| {
+            let n = pts.len() as f64;
+            let xm = pts.iter().map(|p| p.x()).sum::<f64>() / n;
+            let ym = pts.iter().map(|p| p.y()).sum::<f64>() / n;
+            let sxy: f64 = pts.iter().map(|p| (p.x() - xm) * (p.y() - ym)).sum();
+            let sxx: f64 = pts.iter().map(|p| (p.x() - xm).powi(2)).sum();
+            sxy / sxx
+        };
+        let early_slope = slope(&pts[..k]);
+        let late_slope = slope(&pts[pts.len() - k..]);
+        assert!(
+            late_slope > early_slope * 1.5,
+            "early = {early_slope}, late = {late_slope}"
+        );
+    }
+
+    #[test]
+    fn rejects_insufficient_failures() {
+        let data = [Observation::failure(10.0), Observation::censored(20.0)];
+        assert!(matches!(
+            rank_regression(&data),
+            Err(DistError::InsufficientData { failures: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_identical_times() {
+        let data = [Observation::failure(10.0), Observation::failure(10.0)];
+        assert!(rank_regression(&data).is_err());
+    }
+
+    #[test]
+    fn rejects_nonpositive_times() {
+        let data = [Observation::failure(0.0), Observation::failure(10.0)];
+        assert!(rank_regression(&data).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+use crate::{rng_f64, DistError, LifeDistribution};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A finite mixture of lifetime distributions.
+///
+/// Models the *population mixtures* the paper observes in field data
+/// (Section 2): "some of the HDDs have a failure mechanism that the
+/// others do not have and so do not, in fact, fail from that mechanism",
+/// e.g. particle contamination affecting only a sub-population. A mixture
+/// with a vulnerable sub-population produces the first inflection (failure
+/// rate *decrease*) in the HDD #3 curve of Figure 1.
+///
+/// Each component has a weight; weights must be positive and sum to 1
+/// (within a small tolerance).
+///
+/// # Example
+///
+/// ```
+/// use raidsim_dists::{LifeDistribution, Mixture, Weibull3};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), raidsim_dists::DistError> {
+/// // 5% of drives carry a contamination defect (weak, infant-mortality
+/// // population); 95% are healthy.
+/// let weak = Arc::new(Weibull3::new(0.0, 20_000.0, 0.7)?);
+/// let healthy = Arc::new(Weibull3::new(0.0, 500_000.0, 1.1)?);
+/// let pop = Mixture::new(vec![(0.05, weak as _), (0.95, healthy as _)])?;
+/// // Early on, the population hazard is dominated by the weak drives
+/// // and decreases as they die off.
+/// assert!(pop.hazard(100.0) > pop.hazard(10_000.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mixture {
+    components: Vec<(f64, Arc<dyn LifeDistribution>)>,
+}
+
+impl Mixture {
+    /// Tolerance allowed on the weight sum.
+    const WEIGHT_TOL: f64 = 1e-9;
+
+    /// Creates a mixture from `(weight, component)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistError::Empty`] if no components are given.
+    /// * [`DistError::InvalidWeights`] if any weight is non-positive or
+    ///   the weights do not sum to 1.
+    pub fn new(
+        components: Vec<(f64, Arc<dyn LifeDistribution>)>,
+    ) -> Result<Self, DistError> {
+        if components.is_empty() {
+            return Err(DistError::Empty);
+        }
+        let sum: f64 = components.iter().map(|(w, _)| *w).sum();
+        if components.iter().any(|(w, _)| !w.is_finite() || *w <= 0.0)
+            || (sum - 1.0).abs() > Self::WEIGHT_TOL
+        {
+            return Err(DistError::InvalidWeights { sum });
+        }
+        Ok(Self { components })
+    }
+
+    /// The `(weight, component)` pairs, in construction order.
+    pub fn components(&self) -> &[(f64, Arc<dyn LifeDistribution>)] {
+        &self.components
+    }
+}
+
+impl LifeDistribution for Mixture {
+    fn cdf(&self, t: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.cdf(t)).sum()
+    }
+
+    fn pdf(&self, t: f64) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.pdf(t)).sum()
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        invert_cdf(self, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.components.iter().map(|(w, d)| w * d.mean()).sum()
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // Pick a component by weight, then sample it: exact and O(k).
+        let mut u = rng_f64(rng);
+        for (w, d) in &self.components {
+            if u < *w {
+                return d.sample(rng);
+            }
+            u -= w;
+        }
+        // Floating-point slack: fall through to the last component.
+        self.components
+            .last()
+            .expect("mixture is never empty")
+            .1
+            .sample(rng)
+    }
+}
+
+/// Numerically inverts a CDF by bracketing + bisection.
+///
+/// Works for any continuous non-decreasing CDF on `[0, ∞)`. Used by the
+/// composite distributions whose quantile has no closed form.
+pub(crate) fn invert_cdf<D: LifeDistribution + ?Sized>(d: &D, p: f64) -> f64 {
+    if p <= 0.0 {
+        // Support minimum: walk down from 1.0 until the CDF is zero, or
+        // return 0. Cheap approximation is fine: saturate at zero like
+        // the concrete distributions do.
+        return bisect(d, 0.0);
+    }
+    assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
+    bisect(d, p)
+}
+
+fn bisect<D: LifeDistribution + ?Sized>(d: &D, p: f64) -> f64 {
+    // Expand the upper bracket geometrically.
+    let mut hi = 1.0;
+    let mut iter = 0;
+    while d.cdf(hi) < p {
+        hi *= 4.0;
+        iter += 1;
+        assert!(iter < 600, "cdf never reaches p = {p}");
+    }
+    let mut lo = 0.0;
+    // 200 bisections: |hi - lo| shrinks below f64 resolution.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if d.cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weibull3;
+    use rand::SeedableRng;
+
+    fn two_pop() -> Mixture {
+        let weak = Arc::new(Weibull3::new(0.0, 5_000.0, 0.8).unwrap());
+        let strong = Arc::new(Weibull3::new(0.0, 400_000.0, 1.2).unwrap());
+        Mixture::new(vec![(0.1, weak as _), (0.9, strong as _)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_weights() {
+        assert_eq!(Mixture::new(vec![]).unwrap_err(), DistError::Empty);
+        let d = Arc::new(Weibull3::new(0.0, 1.0, 1.0).unwrap());
+        assert!(matches!(
+            Mixture::new(vec![(0.5, d.clone() as _), (0.6, d.clone() as _)]),
+            Err(DistError::InvalidWeights { .. })
+        ));
+        assert!(matches!(
+            Mixture::new(vec![(-0.5, d.clone() as _), (1.5, d as _)]),
+            Err(DistError::InvalidWeights { .. })
+        ));
+    }
+
+    #[test]
+    fn cdf_is_weighted_sum() {
+        let m = two_pop();
+        let (w0, d0) = (&m.components()[0].0, &m.components()[0].1);
+        let (w1, d1) = (&m.components()[1].0, &m.components()[1].1);
+        for &t in &[100.0, 5_000.0, 100_000.0] {
+            let expect = w0 * d0.cdf(t) + w1 * d1.cdf(t);
+            assert!((m.cdf(t) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_numerically() {
+        let m = two_pop();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.999] {
+            let t = m.quantile(p);
+            assert!((m.cdf(t) - p).abs() < 1e-9, "p = {p}, t = {t}");
+        }
+    }
+
+    #[test]
+    fn mean_is_weighted_mean() {
+        let m = two_pop();
+        let expect = 0.1 * m.components()[0].1.mean() + 0.9 * m.components()[1].1.mean();
+        assert!((m.mean() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        let m = two_pop();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // One-sample KS test at the 1% level: D_crit ~ 1.63 / sqrt(n).
+        let mut d_stat: f64 = 0.0;
+        for (i, &x) in samples.iter().enumerate() {
+            let emp_hi = (i + 1) as f64 / n as f64;
+            let emp_lo = i as f64 / n as f64;
+            let f = m.cdf(x);
+            d_stat = d_stat.max((emp_hi - f).abs()).max((f - emp_lo).abs());
+        }
+        assert!(d_stat < 1.63 / (n as f64).sqrt(), "KS D = {d_stat}");
+    }
+
+    #[test]
+    fn weak_subpopulation_creates_decreasing_then_stable_hazard() {
+        // This is the Figure 1 / HDD #3 first-inflection behaviour.
+        let m = two_pop();
+        assert!(m.hazard(10.0) > m.hazard(20_000.0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Special functions needed for Weibull moments and fitting.
+//!
+//! Only the gamma function family is required; we implement the Lanczos
+//! approximation rather than pulling in a numerics crate.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, n = 9), accurate to ~1e-13 over
+/// the domain used by this crate (Weibull moments with shape ≥ 0.1).
+///
+/// # Panics
+///
+/// Panics if `x` is not finite and positive.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(
+        x.is_finite() && x > 0.0,
+        "ln_gamma domain error: x = {x}"
+    );
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The gamma function `Γ(x)` for `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite and positive.
+pub fn gamma(x: f64) -> f64 {
+    ln_gamma(x).exp()
+}
+
+/// Mean of a two-parameter Weibull with scale `eta` and shape `beta`:
+/// `η · Γ(1 + 1/β)`.
+pub fn weibull_mean(eta: f64, beta: f64) -> f64 {
+    eta * gamma(1.0 + 1.0 / beta)
+}
+
+/// Variance of a two-parameter Weibull with scale `eta` and shape `beta`:
+/// `η² [Γ(1 + 2/β) − Γ(1 + 1/β)²]`.
+pub fn weibull_variance(eta: f64, beta: f64) -> f64 {
+    let g1 = gamma(1.0 + 1.0 / beta);
+    let g2 = gamma(1.0 + 2.0 / beta);
+    eta * eta * (g2 - g1 * g1)
+}
+
+/// The error function `erf(x)`, by the Abramowitz–Stegun 7.1.26
+/// rational approximation (absolute error < 1.5×10⁻⁷ — ample for
+/// simulation-grade probabilities; see the accuracy notes on
+/// [`inv_std_normal`]).
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    // A&S 7.1.26.
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    y.min(1.0)
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |ε| < 1.15×10⁻⁹).
+///
+/// Note that [`std_normal_cdf`] carries the larger (1.5×10⁻⁷) error of
+/// the `erf` approximation, so `Φ(Φ⁻¹(p))` round-trips to ~10⁻⁷, not
+/// machine precision — adequate for every use in this workspace
+/// (sampling and tail probabilities of simulations with ≥10⁻³
+/// statistical noise).
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1)`.
+pub fn inv_std_normal(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inv_std_normal(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(3) = 2, Γ(4) = 6, Γ(5) = 24.
+        for (x, expected) in [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (4.0, 6.0), (5.0, 24.0)] {
+            assert!(
+                (gamma(x) - expected).abs() < 1e-10 * expected,
+                "gamma({x}) = {}",
+                gamma(x)
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_half_is_sqrt_pi() {
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_recurrence_holds() {
+        // Γ(x+1) = x Γ(x) across the domain we care about.
+        for i in 1..200 {
+            let x = i as f64 * 0.05;
+            let lhs = gamma(x + 1.0);
+            let rhs = x * gamma(x);
+            assert!(
+                (lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0),
+                "recurrence failed at x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_scale() {
+        // beta = 1 reduces the Weibull to an exponential with mean eta.
+        assert!((weibull_mean(461_386.0, 1.0) - 461_386.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_variance_is_scale_squared() {
+        let eta = 123.0;
+        assert!((weibull_variance(eta, 1.0) - eta * eta).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rayleigh_mean_matches_closed_form() {
+        // beta = 2 gives mean = eta * sqrt(pi) / 2.
+        let eta = 12.0;
+        let expected = eta * std::f64::consts::PI.sqrt() / 2.0;
+        assert!((weibull_mean(eta, 2.0) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma domain error")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // erf(0) = 0, erf(1) = 0.8427007929, erf(2) = 0.9953222650.
+        assert!(erf(0.0).abs() < 2e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 2e-7);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 2e-7);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12); // odd function
+        assert!(erf(6.0) <= 1.0 && erf(6.0) > 0.999_999_99);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((std_normal_cdf(1.959_964) - 0.975).abs() < 2e-7);
+        assert!((std_normal_cdf(-1.959_964) - 0.025).abs() < 2e-7);
+    }
+
+    #[test]
+    fn inv_normal_known_values() {
+        assert!(inv_std_normal(0.5).abs() < 1e-8);
+        assert!((inv_std_normal(0.975) - 1.959_964).abs() < 1e-5);
+        assert!((inv_std_normal(0.025) + 1.959_964).abs() < 1e-5);
+        assert!((inv_std_normal(0.999_9) - 3.719_02).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inv_normal_round_trips_within_erf_accuracy() {
+        for &p in &[0.001, 0.1, 0.3, 0.5, 0.9, 0.999] {
+            let z = inv_std_normal(p);
+            assert!((std_normal_cdf(z) - p).abs() < 5e-7, "p = {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in (0, 1)")]
+    fn inv_normal_rejects_out_of_range() {
+        inv_std_normal(1.0);
+    }
+}

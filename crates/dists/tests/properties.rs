@@ -1,0 +1,198 @@
+//! Property-based tests for the distribution substrate.
+//!
+//! Every [`LifeDistribution`] implementation must satisfy the reliability
+//! identities documented on the trait. These tests generate random
+//! parameters and check the identities across the support.
+
+use proptest::prelude::*;
+use raidsim_dists::{CompetingRisks, Exponential, LifeDistribution, Mixture, Weibull3};
+use std::sync::Arc;
+
+/// Strategy over valid three-parameter Weibull parameters in the ranges
+/// the paper uses (locations up to a day, scales from hours to decades,
+/// shapes from strong infant mortality to steep wear-out).
+fn weibull_params() -> impl Strategy<Value = (f64, f64, f64)> {
+    (0.0..48.0f64, 1.0..1.0e6f64, 0.3..5.0f64)
+}
+
+fn times() -> impl Strategy<Value = f64> {
+    0.0..2.0e6f64
+}
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone_and_bounded(
+        (g, e, b) in weibull_params(),
+        t1 in times(),
+        t2 in times(),
+    ) {
+        let d = Weibull3::new(g, e, b).unwrap();
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let (f_lo, f_hi) = (d.cdf(lo), d.cdf(hi));
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+
+    #[test]
+    fn sf_complements_cdf((g, e, b) in weibull_params(), t in times()) {
+        let d = Weibull3::new(g, e, b).unwrap();
+        prop_assert!((d.sf(t) + d.cdf(t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf((g, e, b) in weibull_params(), p in 1e-6..0.999_999f64) {
+        let d = Weibull3::new(g, e, b).unwrap();
+        let t = d.quantile(p);
+        prop_assert!((d.cdf(t) - p).abs() < 1e-7, "p = {p}, F(q(p)) = {}", d.cdf(t));
+    }
+
+    #[test]
+    fn cum_hazard_is_neg_log_sf((g, e, b) in weibull_params(), t in times()) {
+        let d = Weibull3::new(g, e, b).unwrap();
+        let s = d.sf(t);
+        if s > 1e-300 {
+            prop_assert!((d.cum_hazard(t) + s.ln()).abs() < 1e-7 * d.cum_hazard(t).max(1.0));
+        }
+    }
+
+    #[test]
+    fn hazard_is_pdf_over_sf((g, e, b) in weibull_params(), t in times()) {
+        let d = Weibull3::new(g, e, b).unwrap();
+        let s = d.sf(t);
+        // Skip the far tail and the support boundary where both sides
+        // degenerate.
+        if s > 1e-12 && t > g + 1e-9 {
+            let lhs = d.hazard(t);
+            let rhs = d.pdf(t) / s;
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * lhs.abs().max(1e-12));
+        }
+    }
+
+    #[test]
+    fn samples_lie_in_support((g, e, b) in weibull_params(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let d = Weibull3::new(g, e, b).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= g);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn exponential_matches_weibull_beta_one(mean in 1.0..1.0e6f64, t in times()) {
+        let e = Exponential::from_mean(mean).unwrap();
+        let w = Weibull3::two_param(mean, 1.0).unwrap();
+        prop_assert!((e.cdf(t) - w.cdf(t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_cdf_between_component_cdfs(
+        (g1, e1, b1) in weibull_params(),
+        (g2, e2, b2) in weibull_params(),
+        w in 0.01..0.99f64,
+        t in times(),
+    ) {
+        let a = Arc::new(Weibull3::new(g1, e1, b1).unwrap());
+        let b = Arc::new(Weibull3::new(g2, e2, b2).unwrap());
+        let (fa, fb) = (a.cdf(t), b.cdf(t));
+        let m = Mixture::new(vec![(w, a as _), (1.0 - w, b as _)]).unwrap();
+        let fm = m.cdf(t);
+        prop_assert!(fm >= fa.min(fb) - 1e-12);
+        prop_assert!(fm <= fa.max(fb) + 1e-12);
+    }
+
+    #[test]
+    fn competing_risks_fail_earlier_than_components(
+        (g1, e1, b1) in weibull_params(),
+        (g2, e2, b2) in weibull_params(),
+        t in times(),
+    ) {
+        let a = Arc::new(Weibull3::new(g1, e1, b1).unwrap());
+        let b = Arc::new(Weibull3::new(g2, e2, b2).unwrap());
+        let (fa, fb) = (a.cdf(t), b.cdf(t));
+        let c = CompetingRisks::new(vec![a as _, b as _]).unwrap();
+        // The minimum of two lifetimes is stochastically smaller than
+        // either: F_min(t) >= max(F_a(t), F_b(t)).
+        prop_assert!(c.cdf(t) >= fa.max(fb) - 1e-12);
+    }
+
+    #[test]
+    fn conditional_sampling_is_consistent_with_cdf(
+        (g, e, b) in weibull_params(),
+        frac in 0.1..0.9f64,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        // P(T <= t0 + x | T > t0) computed empirically must match the
+        // analytic conditional CDF.
+        let d = Weibull3::new(g, e, b).unwrap();
+        let t0 = d.quantile(frac);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = d.quantile(0.5 + frac / 2.0) - t0; // a point beyond t0
+        let n = 512;
+        let hits = (0..n)
+            .filter(|_| d.sample_conditional(t0, &mut rng) <= x)
+            .count() as f64 / n as f64;
+        let analytic = (d.cdf(t0 + x) - d.cdf(t0)) / d.sf(t0);
+        // Binomial noise at n = 512: allow 4 sigma.
+        let sigma = (analytic * (1.0 - analytic) / n as f64).sqrt();
+        prop_assert!((hits - analytic).abs() < 4.0 * sigma + 1e-3,
+            "empirical {hits}, analytic {analytic}");
+    }
+
+    #[test]
+    fn median_ranks_are_sorted_and_in_unit_interval(
+        mut ts in proptest::collection::vec(0.1..1e6f64, 2..200),
+    ) {
+        use raidsim_dists::empirical::median_ranks;
+        ts.dedup();
+        let pts = median_ranks(&ts);
+        for w in pts.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+            prop_assert!(w[0].prob < w[1].prob);
+        }
+        for p in &pts {
+            prop_assert!(p.prob > 0.0 && p.prob < 1.0);
+        }
+    }
+
+    #[test]
+    fn kaplan_meier_is_nonincreasing(
+        ts in proptest::collection::vec((0.1..1e5f64, any::<bool>()), 1..200),
+    ) {
+        use raidsim_dists::empirical::{kaplan_meier, Observation};
+        let obs: Vec<Observation> = ts
+            .iter()
+            .map(|&(t, f)| Observation { time: t, failed: f })
+            .collect();
+        let km = kaplan_meier(&obs);
+        for w in km.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        for (_, s) in &km {
+            prop_assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn mle_recovers_shape_direction(beta in 0.5..3.0f64, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        use raidsim_dists::empirical::Observation;
+        use raidsim_dists::fit::mle;
+        // With 400 exact observations the MLE must at least classify the
+        // hazard correctly (decreasing / increasing), the distinction the
+        // whole paper turns on.
+        prop_assume!((beta - 1.0).abs() > 0.25);
+        let truth = Weibull3::two_param(1000.0, beta).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<Observation> = (0..400)
+            .map(|_| Observation::failure(truth.sample(&mut rng)))
+            .collect();
+        let fit = mle(&data).unwrap();
+        prop_assert_eq!(fit.beta > 1.0, beta > 1.0,
+            "beta_hat = {}, truth = {}", fit.beta, beta);
+    }
+}

@@ -1,0 +1,225 @@
+//! Block-to-drive layouts for RAID 4 and RAID 5.
+//!
+//! "Most RAID configurations use a single additional HDD within the
+//! RAID group for redundancy. As part of the write process, an
+//! exclusive OR calculation generates parity bits that are also
+//! written to the RAID group" (paper Section 4). RAID 4 keeps parity
+//! on a dedicated drive; RAID 5 rotates it (left-symmetric, the common
+//! layout) so parity I/O spreads across the group.
+
+use serde::{Deserialize, Serialize};
+
+/// Physical location of a logical block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockLocation {
+    /// Drive index within the group (`0..drives`).
+    pub drive: usize,
+    /// Stripe (row) index.
+    pub stripe: u64,
+}
+
+/// RAID 4: dedicated parity drive (the last one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Raid4Layout {
+    drives: usize,
+}
+
+/// RAID 5, left-symmetric: parity rotates right-to-left one drive per
+/// stripe, and data blocks fill the remaining drives starting after
+/// the parity position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Raid5Layout {
+    drives: usize,
+}
+
+impl Raid4Layout {
+    /// Creates a RAID 4 layout over `drives` drives (≥ 2: at least one
+    /// data drive plus parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives < 2`.
+    pub fn new(drives: usize) -> Self {
+        assert!(drives >= 2, "RAID 4 needs at least 2 drives");
+        Self { drives }
+    }
+
+    /// Total drives in the group.
+    pub fn drives(&self) -> usize {
+        self.drives
+    }
+
+    /// Data drives per stripe.
+    pub fn data_drives(&self) -> usize {
+        self.drives - 1
+    }
+
+    /// The parity drive for a stripe (always the last drive).
+    pub fn parity_drive(&self, _stripe: u64) -> usize {
+        self.drives - 1
+    }
+
+    /// Maps a logical data block to its physical location.
+    pub fn locate(&self, logical_block: u64) -> BlockLocation {
+        let data = self.data_drives() as u64;
+        BlockLocation {
+            drive: (logical_block % data) as usize,
+            stripe: logical_block / data,
+        }
+    }
+
+    /// Inverse of [`Raid4Layout::locate`] for data locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc.drive` is the parity drive.
+    pub fn logical_block(&self, loc: BlockLocation) -> u64 {
+        assert!(
+            loc.drive != self.parity_drive(loc.stripe),
+            "parity blocks have no logical address"
+        );
+        loc.stripe * self.data_drives() as u64 + loc.drive as u64
+    }
+}
+
+impl Raid5Layout {
+    /// Creates a left-symmetric RAID 5 layout over `drives` drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives < 2`.
+    pub fn new(drives: usize) -> Self {
+        assert!(drives >= 2, "RAID 5 needs at least 2 drives");
+        Self { drives }
+    }
+
+    /// Total drives in the group.
+    pub fn drives(&self) -> usize {
+        self.drives
+    }
+
+    /// Data drives per stripe.
+    pub fn data_drives(&self) -> usize {
+        self.drives - 1
+    }
+
+    /// The parity drive for a stripe: rotates `n-1, n-2, …, 0, n-1, …`.
+    pub fn parity_drive(&self, stripe: u64) -> usize {
+        let n = self.drives as u64;
+        ((n - 1) - (stripe % n)) as usize
+    }
+
+    /// Maps a logical data block to its physical location
+    /// (left-symmetric: data starts on the drive after parity and
+    /// wraps).
+    pub fn locate(&self, logical_block: u64) -> BlockLocation {
+        let data = self.data_drives() as u64;
+        let stripe = logical_block / data;
+        let k = logical_block % data; // k-th data block of the stripe
+        let parity = self.parity_drive(stripe) as u64;
+        let drive = ((parity + 1 + k) % self.drives as u64) as usize;
+        BlockLocation { drive, stripe }
+    }
+
+    /// Inverse of [`Raid5Layout::locate`] for data locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc.drive` is the stripe's parity drive.
+    pub fn logical_block(&self, loc: BlockLocation) -> u64 {
+        let parity = self.parity_drive(loc.stripe);
+        assert!(
+            loc.drive != parity,
+            "parity blocks have no logical address"
+        );
+        let n = self.drives as u64;
+        let k = (loc.drive as u64 + n - (parity as u64 + 1)) % n;
+        loc.stripe * self.data_drives() as u64 + k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raid4_parity_is_fixed() {
+        let l = Raid4Layout::new(8);
+        for s in 0..100 {
+            assert_eq!(l.parity_drive(s), 7);
+        }
+        assert_eq!(l.data_drives(), 7);
+    }
+
+    #[test]
+    fn raid4_locate_round_trips() {
+        let l = Raid4Layout::new(8);
+        for b in 0..10_000u64 {
+            let loc = l.locate(b);
+            assert!(loc.drive < 7);
+            assert_eq!(l.logical_block(loc), b);
+        }
+    }
+
+    #[test]
+    fn raid5_parity_rotates_uniformly() {
+        let l = Raid5Layout::new(8);
+        let mut counts = [0u32; 8];
+        for s in 0..800 {
+            counts[l.parity_drive(s)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn raid5_locate_round_trips() {
+        let l = Raid5Layout::new(8);
+        for b in 0..10_000u64 {
+            let loc = l.locate(b);
+            assert_ne!(loc.drive, l.parity_drive(loc.stripe));
+            assert_eq!(l.logical_block(loc), b);
+        }
+    }
+
+    #[test]
+    fn raid5_stripe_holds_each_drive_once() {
+        let l = Raid5Layout::new(5);
+        for stripe in 0..20u64 {
+            let mut drives: Vec<usize> = (0..l.data_drives() as u64)
+                .map(|k| l.locate(stripe * l.data_drives() as u64 + k).drive)
+                .collect();
+            drives.push(l.parity_drive(stripe));
+            drives.sort_unstable();
+            assert_eq!(drives, vec![0, 1, 2, 3, 4], "stripe {stripe}");
+        }
+    }
+
+    #[test]
+    fn left_symmetric_first_stripes() {
+        // drives = 4: parity at 3,2,1,0 then repeat; stripe 0 data on
+        // drives 0,1,2 (after parity 3, wrapping).
+        let l = Raid5Layout::new(4);
+        assert_eq!(l.parity_drive(0), 3);
+        assert_eq!(l.locate(0), BlockLocation { drive: 0, stripe: 0 });
+        assert_eq!(l.locate(1), BlockLocation { drive: 1, stripe: 0 });
+        assert_eq!(l.locate(2), BlockLocation { drive: 2, stripe: 0 });
+        // Stripe 1: parity on 2, data on 3, 0, 1.
+        assert_eq!(l.parity_drive(1), 2);
+        assert_eq!(l.locate(3), BlockLocation { drive: 3, stripe: 1 });
+        assert_eq!(l.locate(4), BlockLocation { drive: 0, stripe: 1 });
+        assert_eq!(l.locate(5), BlockLocation { drive: 1, stripe: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 drives")]
+    fn tiny_group_rejected() {
+        Raid5Layout::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no logical address")]
+    fn parity_location_has_no_logical_block() {
+        let l = Raid5Layout::new(4);
+        l.logical_block(BlockLocation { drive: 3, stripe: 0 });
+    }
+}

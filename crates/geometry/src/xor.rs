@@ -1,0 +1,124 @@
+//! XOR (single) parity over data blocks.
+//!
+//! "As part of the write process, an exclusive OR calculation
+//! generates parity bits" (paper Section 4). Blocks are byte buffers
+//! ([`bytes::Bytes`]); parity is the bytewise XOR across the stripe,
+//! and any single missing block is the XOR of the survivors.
+
+use bytes::{Bytes, BytesMut};
+
+/// Computes the XOR parity block of a stripe.
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty or the blocks have different lengths.
+pub fn parity(blocks: &[Bytes]) -> Bytes {
+    assert!(!blocks.is_empty(), "stripe must contain at least one block");
+    let len = blocks[0].len();
+    let mut out = BytesMut::zeroed(len);
+    for b in blocks {
+        assert_eq!(b.len(), len, "all blocks in a stripe must be equal-sized");
+        for (o, x) in out.iter_mut().zip(b.iter()) {
+            *o ^= x;
+        }
+    }
+    out.freeze()
+}
+
+/// Verifies a stripe: data blocks XOR to the parity block.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`parity`].
+pub fn verify(data: &[Bytes], parity_block: &Bytes) -> bool {
+    parity(data) == *parity_block
+}
+
+/// Reconstructs one missing block from the survivors and the parity:
+/// `missing = parity ⊕ (⊕ survivors)`.
+///
+/// # Panics
+///
+/// Panics if lengths are inconsistent.
+pub fn reconstruct(survivors: &[Bytes], parity_block: &Bytes) -> Bytes {
+    let mut all: Vec<Bytes> = survivors.to_vec();
+    all.push(parity_block.clone());
+    parity(&all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_block(rng: &mut rand::rngs::StdRng, len: usize) -> Bytes {
+        let mut v = vec![0u8; len];
+        rng.fill(&mut v[..]);
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn parity_of_identical_pair_is_zero() {
+        let b = Bytes::from_static(b"hello world.....");
+        let p = parity(&[b.clone(), b]);
+        assert!(p.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn stripe_verifies_and_detects_corruption() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<Bytes> = (0..7).map(|_| random_block(&mut rng, 512)).collect();
+        let p = parity(&data);
+        assert!(verify(&data, &p));
+
+        // Corrupt one byte of one block — a latent defect.
+        let mut corrupted = data.clone();
+        let mut block = corrupted[3].to_vec();
+        block[100] ^= 0xFF;
+        corrupted[3] = Bytes::from(block);
+        assert!(!verify(&corrupted, &p), "scrub must detect the defect");
+    }
+
+    #[test]
+    fn reconstruct_recovers_any_single_block() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let data: Vec<Bytes> = (0..7).map(|_| random_block(&mut rng, 512)).collect();
+        let p = parity(&data);
+        for lost in 0..7 {
+            let survivors: Vec<Bytes> = data
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(_, b)| b.clone())
+                .collect();
+            assert_eq!(reconstruct(&survivors, &p), data[lost], "lost = {lost}");
+        }
+    }
+
+    #[test]
+    fn double_loss_is_unrecoverable_with_single_parity() {
+        // Reconstructing with two blocks missing yields the XOR of the
+        // two lost blocks, not either of them — data loss, the DDF.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let data: Vec<Bytes> = (0..7).map(|_| random_block(&mut rng, 64)).collect();
+        let p = parity(&data);
+        let survivors: Vec<Bytes> = data[2..].to_vec();
+        let merged = reconstruct(&survivors, &p);
+        assert_ne!(merged, data[0]);
+        assert_ne!(merged, data[1]);
+        // It equals their XOR — the information-theoretic remainder.
+        assert_eq!(merged, parity(&[data[0].clone(), data[1].clone()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-sized")]
+    fn ragged_blocks_rejected() {
+        parity(&[Bytes::from_static(b"aa"), Bytes::from_static(b"bbb")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_stripe_rejected() {
+        parity(&[]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the RAID geometry substrate.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use raidsim_geometry::layout::{BlockLocation, Raid5Layout};
+use raidsim_geometry::rdp::RowDiagonalParity;
+use raidsim_geometry::xor;
+
+fn blocks(len: usize, count: usize) -> impl Strategy<Value = Vec<Bytes>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), len).prop_map(Bytes::from),
+        count,
+    )
+}
+
+proptest! {
+    #[test]
+    fn xor_parity_is_self_inverse(data in blocks(64, 7)) {
+        let p = xor::parity(&data);
+        prop_assert!(xor::verify(&data, &p));
+        // XOR-ing the parity back in annihilates it.
+        let mut with_parity = data.clone();
+        with_parity.push(p);
+        let zero = xor::parity(&with_parity);
+        prop_assert!(zero.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn xor_reconstruct_recovers_any_block(data in blocks(32, 5), lost in 0usize..5) {
+        let p = xor::parity(&data);
+        let survivors: Vec<Bytes> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != lost)
+            .map(|(_, b)| b.clone())
+            .collect();
+        prop_assert_eq!(xor::reconstruct(&survivors, &p), data[lost].clone());
+    }
+
+    #[test]
+    fn raid5_mapping_is_a_bijection(drives in 2usize..16, block in 0u64..100_000) {
+        let l = Raid5Layout::new(drives);
+        let loc = l.locate(block);
+        prop_assert!(loc.drive < drives);
+        prop_assert_ne!(loc.drive, l.parity_drive(loc.stripe));
+        prop_assert_eq!(l.logical_block(loc), block);
+    }
+
+    #[test]
+    fn raid5_no_two_blocks_share_a_location(
+        drives in 2usize..10,
+        a in 0u64..50_000,
+        b in 0u64..50_000,
+    ) {
+        prop_assume!(a != b);
+        let l = Raid5Layout::new(drives);
+        prop_assert_ne!(l.locate(a), l.locate(b));
+    }
+
+    #[test]
+    fn rdp_recovers_random_double_losses(
+        seed_data in blocks(16, 4 * 4), // p = 5: 4 data disks x 4 rows
+        a in 0usize..6,
+        b in 0usize..6,
+    ) {
+        prop_assume!(a != b);
+        let rdp = RowDiagonalParity::new(5);
+        let data: Vec<Vec<Bytes>> = seed_data.chunks(4).map(|c| c.to_vec()).collect();
+        let encoded = rdp.encode(&data);
+        let mut disks: Vec<Option<Vec<Bytes>>> =
+            encoded.iter().cloned().map(Some).collect();
+        disks[a] = None;
+        disks[b] = None;
+        rdp.recover(&mut disks).unwrap();
+        for (d, col) in disks.iter().enumerate() {
+            prop_assert_eq!(col.as_ref().unwrap(), &encoded[d]);
+        }
+    }
+
+    #[test]
+    fn rdp_row_parity_matches_xor_module(seed_data in blocks(16, 2 * 2)) {
+        // p = 3: 2 data disks x 2 rows.
+        let rdp = RowDiagonalParity::new(3);
+        let data: Vec<Vec<Bytes>> = seed_data.chunks(2).map(|c| c.to_vec()).collect();
+        let encoded = rdp.encode(&data);
+        for (r, parity_block) in encoded[2].iter().enumerate() {
+            let row: Vec<Bytes> = (0..2).map(|d| encoded[d][r].clone()).collect();
+            prop_assert_eq!(&xor::parity(&row), parity_block);
+        }
+    }
+}
+
+#[test]
+fn block_location_equality_semantics() {
+    let a = BlockLocation { drive: 1, stripe: 2 };
+    let b = BlockLocation { drive: 1, stripe: 2 };
+    assert_eq!(a, b);
+    assert_ne!(a, BlockLocation { drive: 2, stripe: 2 });
+}

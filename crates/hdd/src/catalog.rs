@@ -1,0 +1,146 @@
+//! A catalog of period-correct drive models.
+//!
+//! The paper's worked examples use two drives (144 GB FC, 500 GB
+//! SATA); real planning sweeps a product line. This catalog collects
+//! representative mid-2000s models with their physical parameters and
+//! a default operational-failure distribution per class, so examples
+//! and experiments can iterate `catalog::all()` instead of hand-rolling
+//! specs.
+
+use crate::units::{Capacity, DataRate};
+use crate::{DriveSpec, Interface};
+use raidsim_dists::{DistError, Weibull3};
+use serde::{Deserialize, Serialize};
+
+/// Market segment of a drive model, determining its default failure
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriveClass {
+    /// 10–15k rpm FC/SCSI drives: the paper's base-case population
+    /// (η = 461,386 h, β = 1.12).
+    Enterprise,
+    /// 7.2k rpm SATA drives: shorter characteristic life, slightly
+    /// steeper wear-out (consistent with the published vintage
+    /// spread).
+    Nearline,
+}
+
+impl DriveClass {
+    /// Default time-to-operational-failure distribution for the class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] never for the checked-in
+    /// constants; the `Result` mirrors the distribution constructor.
+    pub fn default_ttop(&self) -> Result<Weibull3, DistError> {
+        match self {
+            DriveClass::Enterprise => Weibull3::two_param(461_386.0, 1.12),
+            DriveClass::Nearline => Weibull3::two_param(300_000.0, 1.25),
+        }
+    }
+}
+
+/// A cataloged drive model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The drive's physical specification.
+    pub spec: DriveSpec,
+    /// Market segment.
+    pub class: DriveClass,
+}
+
+/// All cataloged models, smallest capacity first.
+///
+/// # Panics
+///
+/// Never panics; the checked-in specs are valid.
+pub fn all() -> Vec<CatalogEntry> {
+    let build = |model: &str, gb: f64, iface: Interface, mb_s: f64, rpm: u32| DriveSpec::builder(model)
+        .capacity(Capacity::from_gb(gb))
+        .interface(iface)
+        .sustained_rate(DataRate::from_mb_per_s(mb_s))
+        .rpm(rpm)
+        .build()
+        .expect("catalog specs are valid");
+    vec![
+        CatalogEntry {
+            spec: build("73GB-FC-15k", 73.0, Interface::FibreChannel2G, 75.0, 15_000),
+            class: DriveClass::Enterprise,
+        },
+        CatalogEntry {
+            spec: build("144GB-FC-10k", 144.0, Interface::FibreChannel2G, 50.0, 10_000),
+            class: DriveClass::Enterprise,
+        },
+        CatalogEntry {
+            spec: build("250GB-SATA", 250.0, Interface::SataI, 45.0, 7_200),
+            class: DriveClass::Nearline,
+        },
+        CatalogEntry {
+            spec: build("300GB-FC-10k", 300.0, Interface::FibreChannel4G, 65.0, 10_000),
+            class: DriveClass::Enterprise,
+        },
+        CatalogEntry {
+            spec: build("500GB-SATA", 500.0, Interface::SataI, 50.0, 7_200),
+            class: DriveClass::Nearline,
+        },
+        CatalogEntry {
+            spec: build("750GB-SATA-II", 750.0, Interface::SataII, 60.0, 7_200),
+            class: DriveClass::Nearline,
+        },
+    ]
+}
+
+/// Looks up a model by name.
+pub fn find(model: &str) -> Option<CatalogEntry> {
+    all().into_iter().find(|e| e.spec.model() == model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restore::minimum_restore_hours;
+    use raidsim_dists::LifeDistribution;
+
+    #[test]
+    fn catalog_is_sorted_and_complete() {
+        let entries = all();
+        assert_eq!(entries.len(), 6);
+        assert!(entries
+            .windows(2)
+            .all(|w| w[0].spec.capacity().bytes() <= w[1].spec.capacity().bytes()));
+    }
+
+    #[test]
+    fn find_by_model() {
+        assert!(find("500GB-SATA").is_some());
+        assert!(find("flopotron").is_none());
+        assert_eq!(find("144GB-FC-10k").unwrap().class, DriveClass::Enterprise);
+    }
+
+    #[test]
+    fn class_distributions_are_sane() {
+        let ent = DriveClass::Enterprise.default_ttop().unwrap();
+        let near = DriveClass::Nearline.default_ttop().unwrap();
+        // Enterprise outlives nearline, both wear out (beta > 1).
+        assert!(ent.mean() > near.mean());
+        assert!(ent.shape() > 1.0 && near.shape() > 1.0);
+    }
+
+    #[test]
+    fn restore_floors_scale_with_capacity() {
+        let entries = all();
+        let small = minimum_restore_hours(&entries[0].spec, 14);
+        let large = minimum_restore_hours(&entries[5].spec, 14);
+        assert!(large > 4.0 * small, "small = {small}, large = {large}");
+    }
+
+    #[test]
+    fn paper_drives_are_in_the_catalog() {
+        // The two Section 6.2 worked examples exist by (approximate)
+        // spec: 144 GB FC and 500 GB SATA.
+        let fc = find("144GB-FC-10k").unwrap();
+        assert_eq!(fc.spec.capacity().gb(), 144.0);
+        let sata = find("500GB-SATA").unwrap();
+        assert!((minimum_restore_hours(&sata.spec, 14) - 10.37).abs() < 0.05);
+    }
+}

@@ -1,0 +1,240 @@
+use crate::units::{Capacity, DataRate};
+use crate::{HddError, Interface};
+use serde::{Deserialize, Serialize};
+
+/// Physical specification of a hard disk drive model.
+///
+/// Collects the quantities the paper's restore and scrub models need:
+/// capacity, interface (bus), and sustained media transfer rate.
+///
+/// Construct via [`DriveSpec::builder`]; ready-made specs for the
+/// paper's two worked examples are available as [`DriveSpec::paper_fc`]
+/// and [`DriveSpec::paper_sata`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveSpec {
+    model: String,
+    capacity: Capacity,
+    interface: Interface,
+    sustained_rate: DataRate,
+    rpm: u32,
+}
+
+impl DriveSpec {
+    /// Starts building a drive spec for the given model name.
+    pub fn builder(model: impl Into<String>) -> DriveSpecBuilder {
+        DriveSpecBuilder {
+            model: model.into(),
+            capacity: None,
+            interface: None,
+            sustained_rate: None,
+            rpm: 10_000,
+        }
+    }
+
+    /// The paper's Fibre Channel example: 144 GB on a 2 Gb/s FC loop
+    /// (Section 6.2).
+    pub fn paper_fc() -> Self {
+        DriveSpec::builder("144GB-FC")
+            .capacity(Capacity::from_gb(144.0))
+            .interface(Interface::FibreChannel2G)
+            .sustained_rate(DataRate::from_mb_per_s(50.0))
+            .rpm(10_000)
+            .build()
+            .expect("paper FC spec is valid")
+    }
+
+    /// The paper's SATA example: 500 GB on a 1.5 Gb/s bus (Section 6.2).
+    pub fn paper_sata() -> Self {
+        DriveSpec::builder("500GB-SATA")
+            .capacity(Capacity::from_gb(500.0))
+            .interface(Interface::SataI)
+            .sustained_rate(DataRate::from_mb_per_s(50.0))
+            .rpm(7_200)
+            .build()
+            .expect("paper SATA spec is valid")
+    }
+
+    /// Model name.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Formatted capacity.
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// Host interface.
+    pub fn interface(&self) -> Interface {
+        self.interface
+    }
+
+    /// Sustained media transfer rate (single drive, sequential).
+    pub fn sustained_rate(&self) -> DataRate {
+        self.sustained_rate
+    }
+
+    /// Spindle speed in revolutions per minute.
+    pub fn rpm(&self) -> u32 {
+        self.rpm
+    }
+
+    /// Hours for one full sequential pass over the media with no
+    /// contention — the drive-bound lower bound on both reconstruction
+    /// and a scrub pass.
+    pub fn full_pass_hours(&self) -> f64 {
+        self.sustained_rate.hours_to_transfer(self.capacity)
+    }
+}
+
+/// Builder for [`DriveSpec`] (see `C-BUILDER`).
+#[derive(Debug, Clone)]
+pub struct DriveSpecBuilder {
+    model: String,
+    capacity: Option<Capacity>,
+    interface: Option<Interface>,
+    sustained_rate: Option<DataRate>,
+    rpm: u32,
+}
+
+impl DriveSpecBuilder {
+    /// Sets the formatted capacity (required).
+    pub fn capacity(mut self, capacity: Capacity) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the host interface (required).
+    pub fn interface(mut self, interface: Interface) -> Self {
+        self.interface = Some(interface);
+        self
+    }
+
+    /// Sets the sustained media rate. Defaults to the interface's
+    /// typical drive rate if not set.
+    pub fn sustained_rate(mut self, rate: DataRate) -> Self {
+        self.sustained_rate = Some(rate);
+        self
+    }
+
+    /// Sets the spindle speed (default 10,000 rpm).
+    pub fn rpm(mut self, rpm: u32) -> Self {
+        self.rpm = rpm;
+        self
+    }
+
+    /// Builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HddError::InvalidSpec`] if capacity or interface are
+    /// missing, or if any numeric field is non-positive.
+    pub fn build(self) -> Result<DriveSpec, HddError> {
+        let capacity = self.capacity.ok_or(HddError::InvalidSpec {
+            field: "capacity",
+            reason: "required".into(),
+        })?;
+        if capacity.bytes() <= 0.0 {
+            return Err(HddError::InvalidSpec {
+                field: "capacity",
+                reason: format!("must be positive, got {capacity}"),
+            });
+        }
+        let interface = self.interface.ok_or(HddError::InvalidSpec {
+            field: "interface",
+            reason: "required".into(),
+        })?;
+        let sustained_rate = self
+            .sustained_rate
+            .unwrap_or_else(|| interface.typical_drive_rate());
+        if sustained_rate.bytes_per_s() <= 0.0 {
+            return Err(HddError::InvalidSpec {
+                field: "sustained_rate",
+                reason: format!("must be positive, got {sustained_rate}"),
+            });
+        }
+        if self.rpm == 0 {
+            return Err(HddError::InvalidSpec {
+                field: "rpm",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok(DriveSpec {
+            model: self.model,
+            capacity,
+            interface,
+            sustained_rate,
+            rpm: self.rpm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_capacity_and_interface() {
+        assert!(matches!(
+            DriveSpec::builder("x").build(),
+            Err(HddError::InvalidSpec {
+                field: "capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            DriveSpec::builder("x")
+                .capacity(Capacity::from_gb(100.0))
+                .build(),
+            Err(HddError::InvalidSpec {
+                field: "interface",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_values() {
+        assert!(DriveSpec::builder("x")
+            .capacity(Capacity::from_gb(-1.0))
+            .interface(Interface::SataI)
+            .build()
+            .is_err());
+        assert!(DriveSpec::builder("x")
+            .capacity(Capacity::from_gb(1.0))
+            .interface(Interface::SataI)
+            .rpm(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn default_rate_comes_from_interface() {
+        let d = DriveSpec::builder("x")
+            .capacity(Capacity::from_gb(100.0))
+            .interface(Interface::FibreChannel2G)
+            .build()
+            .unwrap();
+        assert_eq!(
+            d.sustained_rate().mb_per_s(),
+            Interface::FibreChannel2G.typical_drive_rate().mb_per_s()
+        );
+    }
+
+    #[test]
+    fn paper_specs_match_section_6_2() {
+        let fc = DriveSpec::paper_fc();
+        assert_eq!(fc.capacity().gb(), 144.0);
+        assert_eq!(fc.interface(), Interface::FibreChannel2G);
+        let sata = DriveSpec::paper_sata();
+        assert_eq!(sata.capacity().gb(), 500.0);
+        assert_eq!(sata.interface(), Interface::SataI);
+    }
+
+    #[test]
+    fn full_pass_hours() {
+        // 144 GB at 50 MB/s = 2880 s = 0.8 h.
+        let fc = DriveSpec::paper_fc();
+        assert!((fc.full_pass_hours() - 0.8).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors from the HDD substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HddError {
+    /// A drive specification field was missing or invalid.
+    InvalidSpec {
+        /// The offending field.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A sector address was outside the drive's geometry.
+    SectorOutOfRange {
+        /// The requested sector.
+        sector: u64,
+        /// Total sectors on the drive.
+        total: u64,
+    },
+    /// The spare-sector pool is exhausted; the drive can no longer remap.
+    SparesExhausted,
+}
+
+impl fmt::Display for HddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HddError::InvalidSpec { field, reason } => {
+                write!(f, "invalid drive spec field {field}: {reason}")
+            }
+            HddError::SectorOutOfRange { sector, total } => {
+                write!(f, "sector {sector} out of range (drive has {total} sectors)")
+            }
+            HddError::SparesExhausted => write!(f, "spare sector pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for HddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = HddError::SectorOutOfRange {
+            sector: 10,
+            total: 5,
+        };
+        assert!(e.to_string().contains("sector 10"));
+        assert!(HddError::SparesExhausted.to_string().contains("spare"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HddError>();
+    }
+}

@@ -1,0 +1,324 @@
+//! The failure-mode taxonomy of paper Figure 3.
+//!
+//! Every read failure is classified by its *consequence* at the RAID
+//! level: either the drive cannot find data at all (an **operational
+//! failure**, resolved only by replacing the drive) or data is missing or
+//! corrupted while the drive otherwise works (a **latent defect**,
+//! resolved by scrubbing). The two consequences have different failure
+//! distributions and different roles in the double-disk-failure logic —
+//! "Each group has its own unique failure distribution and consequence
+//! at the system level" (Section 3).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// System-level consequence of a failure mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Consequence {
+    /// The drive cannot find data: it must be replaced and its contents
+    /// reconstructed from the rest of the group.
+    Operational,
+    /// Data is missing or corrupted but undetected: repaired by a scrub
+    /// (or silently lost if a simultaneous operational failure strikes
+    /// another drive).
+    LatentDefect,
+}
+
+/// Operational ("cannot find data") failure mechanisms — left column of
+/// Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OperationalMode {
+    /// Servo wedges destroyed or corrupted; the head cannot position.
+    /// Servo data is written at manufacture and cannot be rebuilt by
+    /// RAID.
+    BadServoTrack,
+    /// Failed external electronics (DRAM, cracked chip capacitors).
+    BadElectronics,
+    /// Non-repeatable run-out: bearings, wear, vibration or servo-loop
+    /// errors prevent locking onto a track.
+    CantStayOnTrack,
+    /// Head failure, mostly magnetic-property degradation (ESD, impact,
+    /// heat).
+    BadReadHead,
+    /// Self-monitoring threshold exceeded (e.g. too many reallocations
+    /// in a window); the drive is proactively failed.
+    SmartLimitExceeded,
+}
+
+/// Causes of data written badly in the first place — upper right of
+/// Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WriteErrorCause {
+    /// Writing over scratched, smeared or pitted media.
+    BadMedia,
+    /// The drive's inherent bit-error rate.
+    InherentBitError,
+    /// Aerodynamic disturbance let the head fly too high, writing weak
+    /// magnetic transitions.
+    HighFlyWrite,
+}
+
+/// Causes of data destroyed after a good write — lower right of
+/// Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DestructionCause {
+    /// Head–disk contact heating; repeated contacts thermally erase
+    /// data.
+    ThermalAsperity,
+    /// Corrosion of the media, possibly accelerated by asperity heat.
+    Corrosion,
+    /// Hard particles scratching, or soft particles smearing, the media
+    /// surface while the disk rotates.
+    ScratchOrSmear,
+}
+
+/// A concrete failure mechanism from the Figure 3 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// An operational ("cannot find data") mechanism.
+    Operational(OperationalMode),
+    /// A latent defect created at write time.
+    WriteError(WriteErrorCause),
+    /// A latent defect created after a successful write.
+    DataDestroyed(DestructionCause),
+}
+
+impl FailureMode {
+    /// The system-level consequence of this mechanism.
+    pub fn consequence(&self) -> Consequence {
+        match self {
+            FailureMode::Operational(_) => Consequence::Operational,
+            FailureMode::WriteError(_) | FailureMode::DataDestroyed(_) => {
+                Consequence::LatentDefect
+            }
+        }
+    }
+
+    /// All mechanisms in the taxonomy, in Figure 3 order.
+    pub fn all() -> &'static [FailureMode] {
+        use DestructionCause::*;
+        use OperationalMode::*;
+        use WriteErrorCause::*;
+        &[
+            FailureMode::Operational(BadServoTrack),
+            FailureMode::Operational(BadElectronics),
+            FailureMode::Operational(CantStayOnTrack),
+            FailureMode::Operational(BadReadHead),
+            FailureMode::Operational(SmartLimitExceeded),
+            FailureMode::WriteError(BadMedia),
+            FailureMode::WriteError(InherentBitError),
+            FailureMode::WriteError(HighFlyWrite),
+            FailureMode::DataDestroyed(ThermalAsperity),
+            FailureMode::DataDestroyed(Corrosion),
+            FailureMode::DataDestroyed(ScratchOrSmear),
+        ]
+    }
+}
+
+impl fmt::Display for FailureMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureMode::Operational(OperationalMode::BadServoTrack) => "bad servo track",
+            FailureMode::Operational(OperationalMode::BadElectronics) => "bad electronics",
+            FailureMode::Operational(OperationalMode::CantStayOnTrack) => {
+                "can't stay on track"
+            }
+            FailureMode::Operational(OperationalMode::BadReadHead) => "bad read head",
+            FailureMode::Operational(OperationalMode::SmartLimitExceeded) => {
+                "SMART limit exceeded"
+            }
+            FailureMode::WriteError(WriteErrorCause::BadMedia) => "write on bad media",
+            FailureMode::WriteError(WriteErrorCause::InherentBitError) => {
+                "inherent bit error"
+            }
+            FailureMode::WriteError(WriteErrorCause::HighFlyWrite) => "high-fly write",
+            FailureMode::DataDestroyed(DestructionCause::ThermalAsperity) => {
+                "thermal asperity"
+            }
+            FailureMode::DataDestroyed(DestructionCause::Corrosion) => "corrosion",
+            FailureMode::DataDestroyed(DestructionCause::ScratchOrSmear) => {
+                "scratch or smear"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+/// A catalog of failure mechanisms with relative frequencies, used to
+/// attribute simulated failures to physical causes (for reporting; the
+/// dynamics only depend on the [`Consequence`]).
+///
+/// The default catalog's weights are qualitative, reflecting the paper's
+/// prose: head failures dominate operational failures ("Currently, most
+/// head failures are due to changes in magnetic properties"), media
+/// scratches/smears and thermal asperities dominate latent defects
+/// ("a greater source of errors is the magnetic recording media").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeCatalog {
+    entries: Vec<(FailureMode, f64)>,
+}
+
+impl ModeCatalog {
+    /// Builds a catalog from `(mode, weight)` pairs. Weights need not be
+    /// normalized but must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is non-positive.
+    pub fn new(entries: Vec<(FailureMode, f64)>) -> Self {
+        assert!(!entries.is_empty(), "catalog must not be empty");
+        assert!(
+            entries.iter().all(|(_, w)| w.is_finite() && *w > 0.0),
+            "catalog weights must be positive"
+        );
+        Self { entries }
+    }
+
+    /// The default qualitative catalog described in the type docs.
+    pub fn paper_default() -> Self {
+        use DestructionCause::*;
+        use OperationalMode::*;
+        use WriteErrorCause::*;
+        Self::new(vec![
+            (FailureMode::Operational(BadReadHead), 0.35),
+            (FailureMode::Operational(CantStayOnTrack), 0.20),
+            (FailureMode::Operational(SmartLimitExceeded), 0.20),
+            (FailureMode::Operational(BadElectronics), 0.15),
+            (FailureMode::Operational(BadServoTrack), 0.10),
+            (FailureMode::DataDestroyed(ScratchOrSmear), 0.35),
+            (FailureMode::DataDestroyed(ThermalAsperity), 0.25),
+            (FailureMode::WriteError(BadMedia), 0.20),
+            (FailureMode::WriteError(HighFlyWrite), 0.10),
+            (FailureMode::WriteError(InherentBitError), 0.05),
+            (FailureMode::DataDestroyed(Corrosion), 0.05),
+        ])
+    }
+
+    /// Samples a mechanism with the given consequence, proportional to
+    /// catalog weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog has no mechanism with that consequence.
+    pub fn sample(&self, consequence: Consequence, rng: &mut dyn Rng) -> FailureMode {
+        let total: f64 = self
+            .entries
+            .iter()
+            .filter(|(m, _)| m.consequence() == consequence)
+            .map(|(_, w)| w)
+            .sum();
+        assert!(total > 0.0, "no mechanisms with consequence {consequence:?}");
+        let mut u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        for (m, w) in &self.entries {
+            if m.consequence() != consequence {
+                continue;
+            }
+            if u < *w {
+                return *m;
+            }
+            u -= w;
+        }
+        // Floating point slack.
+        self.entries
+            .iter()
+            .rev()
+            .find(|(m, _)| m.consequence() == consequence)
+            .map(|(m, _)| *m)
+            .expect("checked above")
+    }
+
+    /// The `(mode, weight)` entries.
+    pub fn entries(&self) -> &[(FailureMode, f64)] {
+        &self.entries
+    }
+}
+
+impl Default for ModeCatalog {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn taxonomy_has_eleven_mechanisms() {
+        assert_eq!(FailureMode::all().len(), 11);
+    }
+
+    #[test]
+    fn consequences_partition_the_taxonomy() {
+        let ops = FailureMode::all()
+            .iter()
+            .filter(|m| m.consequence() == Consequence::Operational)
+            .count();
+        let lds = FailureMode::all()
+            .iter()
+            .filter(|m| m.consequence() == Consequence::LatentDefect)
+            .count();
+        assert_eq!(ops, 5); // Figure 3 lists five operational causes
+        assert_eq!(lds, 6); // and six latent-defect causes
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            FailureMode::Operational(OperationalMode::SmartLimitExceeded).to_string(),
+            "SMART limit exceeded"
+        );
+        assert_eq!(
+            FailureMode::DataDestroyed(DestructionCause::ThermalAsperity).to_string(),
+            "thermal asperity"
+        );
+    }
+
+    #[test]
+    fn sampling_respects_consequence() {
+        let cat = ModeCatalog::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let m = cat.sample(Consequence::Operational, &mut rng);
+            assert_eq!(m.consequence(), Consequence::Operational);
+            let m = cat.sample(Consequence::LatentDefect, &mut rng);
+            assert_eq!(m.consequence(), Consequence::LatentDefect);
+        }
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let cat = ModeCatalog::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let head_failures = (0..n)
+            .filter(|_| {
+                cat.sample(Consequence::Operational, &mut rng)
+                    == FailureMode::Operational(OperationalMode::BadReadHead)
+            })
+            .count() as f64;
+        // Weight 0.35 of the operational total (which sums to 1.0).
+        let frac = head_failures / n as f64;
+        assert!((frac - 0.35).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_catalog_panics() {
+        ModeCatalog::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn nonpositive_weight_panics() {
+        ModeCatalog::new(vec![(
+            FailureMode::Operational(OperationalMode::BadReadHead),
+            0.0,
+        )]);
+    }
+}

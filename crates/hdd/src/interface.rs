@@ -1,0 +1,100 @@
+use crate::units::DataRate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The host interface / data bus a drive (and its RAID group) hangs off.
+///
+/// The paper's restore-time analysis (Section 6.2) is bus-bound: "The
+/// data-bus to which the RAID group is attached has only a 2 giga-bits
+/// per second capability." Reconstruction must read every surviving drive
+/// and write the replacement over this shared bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Interface {
+    /// 1 Gb/s Fibre Channel.
+    FibreChannel1G,
+    /// 2 Gb/s Fibre Channel — the paper's FC example bus.
+    FibreChannel2G,
+    /// 4 Gb/s Fibre Channel (contemporary high end).
+    FibreChannel4G,
+    /// Serial ATA 1.5 Gb/s — the paper's SATA example bus.
+    SataI,
+    /// Serial ATA 3 Gb/s.
+    SataII,
+    /// Ultra-320 parallel SCSI (320 MB/s shared bus).
+    ScsiUltra320,
+}
+
+impl Interface {
+    /// The shared bus bandwidth for a RAID group on this interface.
+    pub fn bus_rate(&self) -> DataRate {
+        match self {
+            Interface::FibreChannel1G => DataRate::from_gbit_per_s(1.0),
+            Interface::FibreChannel2G => DataRate::from_gbit_per_s(2.0),
+            Interface::FibreChannel4G => DataRate::from_gbit_per_s(4.0),
+            Interface::SataI => DataRate::from_gbit_per_s(1.5),
+            Interface::SataII => DataRate::from_gbit_per_s(3.0),
+            Interface::ScsiUltra320 => DataRate::from_mb_per_s(320.0),
+        }
+    }
+
+    /// Typical sustained media transfer rate for drives of this class in
+    /// the paper's era ("Fibre Channel HDDs can sustain up to
+    /// 100MB/second data transfer rates, although 50MB/sec is more
+    /// common").
+    pub fn typical_drive_rate(&self) -> DataRate {
+        match self {
+            Interface::FibreChannel1G
+            | Interface::FibreChannel2G
+            | Interface::FibreChannel4G
+            | Interface::ScsiUltra320 => DataRate::from_mb_per_s(50.0),
+            Interface::SataI | Interface::SataII => DataRate::from_mb_per_s(50.0),
+        }
+    }
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Interface::FibreChannel1G => "FC 1Gb/s",
+            Interface::FibreChannel2G => "FC 2Gb/s",
+            Interface::FibreChannel4G => "FC 4Gb/s",
+            Interface::SataI => "SATA 1.5Gb/s",
+            Interface::SataII => "SATA 3Gb/s",
+            Interface::ScsiUltra320 => "SCSI U320",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bus_rates() {
+        assert!((Interface::FibreChannel2G.bus_rate().mb_per_s() - 250.0).abs() < 1e-9);
+        assert!((Interface::SataI.bus_rate().mb_per_s() - 187.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Interface::FibreChannel2G.to_string(), "FC 2Gb/s");
+        assert_eq!(Interface::SataI.to_string(), "SATA 1.5Gb/s");
+    }
+
+    #[test]
+    fn drive_rates_are_positive() {
+        for i in [
+            Interface::FibreChannel1G,
+            Interface::FibreChannel2G,
+            Interface::FibreChannel4G,
+            Interface::SataI,
+            Interface::SataII,
+            Interface::ScsiUltra320,
+        ] {
+            assert!(i.typical_drive_rate().bytes_per_s() > 0.0);
+            assert!(i.bus_rate().bytes_per_s() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The read-error-rate model behind paper Table 1 and the latent-defect
+//! distribution (Section 6.3).
+//!
+//! Latent defects are usage-dependent: the paper approximates usage as
+//! *(read errors per byte read)* × *(bytes read per hour)*, giving an
+//! hourly defect rate. Three field studies provide the RER values and
+//! two read-rate levels bracket realistic usage; the cross product is
+//! Table 1.
+
+use crate::units::DataRate;
+use raidsim_dists::{DistError, Weibull3};
+use serde::{Deserialize, Serialize};
+
+/// Read errors per byte read, verified by the drive manufacturer as HDD
+/// problems (not the host's fault). Paper Section 6.3.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ReadErrorRate {
+    errors_per_byte: f64,
+}
+
+impl ReadErrorRate {
+    /// The best (lowest) published study: 8×10⁻¹⁵ errors/byte
+    /// (63,000 drives over five months).
+    pub const LOW: ReadErrorRate = ReadErrorRate {
+        errors_per_byte: 8.0e-15,
+    };
+
+    /// The NetApp 2004 study: 8×10⁻¹⁴ errors/byte (282,000 drives).
+    pub const MEDIUM: ReadErrorRate = ReadErrorRate {
+        errors_per_byte: 8.0e-14,
+    };
+
+    /// The worst published study: 3.2×10⁻¹³ errors/byte (66,800 drives).
+    pub const HIGH: ReadErrorRate = ReadErrorRate {
+        errors_per_byte: 3.2e-13,
+    };
+
+    /// Creates a read-error rate from errors per byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors_per_byte` is not finite and positive.
+    pub fn new(errors_per_byte: f64) -> Self {
+        assert!(
+            errors_per_byte.is_finite() && errors_per_byte > 0.0,
+            "read-error rate must be finite and positive"
+        );
+        Self { errors_per_byte }
+    }
+
+    /// Errors per byte read.
+    pub fn errors_per_byte(&self) -> f64 {
+        self.errors_per_byte
+    }
+}
+
+/// Workload read intensity, in bytes read per hour.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ReadIntensity {
+    bytes_per_hour: f64,
+}
+
+impl ReadIntensity {
+    /// The paper's low usage level: 1.35×10⁹ bytes/hour.
+    pub const LOW: ReadIntensity = ReadIntensity {
+        bytes_per_hour: 1.35e9,
+    };
+
+    /// The paper's high usage level: 1.35×10¹⁰ bytes/hour.
+    pub const HIGH: ReadIntensity = ReadIntensity {
+        bytes_per_hour: 1.35e10,
+    };
+
+    /// Creates a read intensity from bytes per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_hour` is not finite and positive.
+    pub fn new(bytes_per_hour: f64) -> Self {
+        assert!(
+            bytes_per_hour.is_finite() && bytes_per_hour > 0.0,
+            "read intensity must be finite and positive"
+        );
+        Self { bytes_per_hour }
+    }
+
+    /// Creates a read intensity from a sustained [`DataRate`].
+    pub fn from_rate(rate: DataRate) -> Self {
+        Self::new(rate.bytes_per_hour())
+    }
+
+    /// Bytes read per hour.
+    pub fn bytes_per_hour(&self) -> f64 {
+        self.bytes_per_hour
+    }
+}
+
+/// Hourly latent-defect rate: `RER × read intensity` (errors/hour).
+///
+/// This is the cell formula of paper Table 1.
+pub fn latent_defect_rate(rer: ReadErrorRate, intensity: ReadIntensity) -> f64 {
+    rer.errors_per_byte() * intensity.bytes_per_hour()
+}
+
+/// The time-to-latent-defect distribution of Section 6.4: exponential
+/// (`β = 1` — "The latent defect rate is assumed to be constant with
+/// respect to time"), with characteristic life `1/rate`.
+///
+/// # Errors
+///
+/// Returns [`DistError::InvalidParameter`] if the resulting rate is
+/// degenerate (cannot happen for valid inputs).
+pub fn ttld_distribution(
+    rer: ReadErrorRate,
+    intensity: ReadIntensity,
+) -> Result<Weibull3, DistError> {
+    Weibull3::two_param(1.0 / latent_defect_rate(rer, intensity), 1.0)
+}
+
+/// One cell of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Cell {
+    /// Row label (`"Low"`, `"Med"`, `"High"` RER).
+    pub rer_label: &'static str,
+    /// The read-error rate.
+    pub rer: ReadErrorRate,
+    /// Column label (`"Low"` or `"High"` read rate).
+    pub intensity_label: &'static str,
+    /// The read intensity.
+    pub intensity: ReadIntensity,
+    /// Resulting hourly latent-defect rate (errors/hour).
+    pub errors_per_hour: f64,
+}
+
+/// Reconstructs the full Table 1 grid: three RER studies × two read
+/// rates.
+///
+/// The corner values match the paper: `LOW × LOW = 1.08×10⁻⁵/h`,
+/// `HIGH × HIGH = 4.32×10⁻³/h`.
+pub fn table1() -> Vec<Table1Cell> {
+    let rows = [
+        ("Low", ReadErrorRate::LOW),
+        ("Med", ReadErrorRate::MEDIUM),
+        ("High", ReadErrorRate::HIGH),
+    ];
+    let cols = [
+        ("Low", ReadIntensity::LOW),
+        ("High", ReadIntensity::HIGH),
+    ];
+    let mut cells = Vec::with_capacity(6);
+    for (rer_label, rer) in rows {
+        for (intensity_label, intensity) in cols {
+            cells.push(Table1Cell {
+                rer_label,
+                rer,
+                intensity_label,
+                intensity,
+                errors_per_hour: latent_defect_rate(rer, intensity),
+            });
+        }
+    }
+    cells
+}
+
+/// The base-case latent-defect rate used in the paper's Table 2
+/// simulations: the medium RER at the low read rate, `1.08×10⁻⁴`
+/// errors/hour (characteristic life ≈ 9,259 h).
+pub fn base_case_rate() -> f64 {
+    latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::LOW)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raidsim_dists::LifeDistribution;
+
+    #[test]
+    fn table1_corner_values_match_paper() {
+        assert!(
+            (latent_defect_rate(ReadErrorRate::LOW, ReadIntensity::LOW) - 1.08e-5).abs()
+                < 1e-12
+        );
+        assert!(
+            (latent_defect_rate(ReadErrorRate::LOW, ReadIntensity::HIGH) - 1.08e-4).abs()
+                < 1e-11
+        );
+        assert!(
+            (latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::HIGH) - 1.08e-3)
+                .abs()
+                < 1e-10
+        );
+        assert!(
+            (latent_defect_rate(ReadErrorRate::HIGH, ReadIntensity::HIGH) - 4.32e-3).abs()
+                < 1e-10
+        );
+    }
+
+    #[test]
+    fn table1_has_six_cells_in_row_major_order() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].rer_label, "Low");
+        assert_eq!(t[0].intensity_label, "Low");
+        assert_eq!(t[5].rer_label, "High");
+        assert_eq!(t[5].intensity_label, "High");
+        // Rates increase down each column.
+        assert!(t[0].errors_per_hour < t[2].errors_per_hour);
+        assert!(t[2].errors_per_hour < t[4].errors_per_hour);
+    }
+
+    #[test]
+    fn base_case_eta_is_9259_hours() {
+        let d = ttld_distribution(ReadErrorRate::MEDIUM, ReadIntensity::LOW).unwrap();
+        assert!((d.scale() - 9259.259).abs() < 0.1, "eta = {}", d.scale());
+        assert_eq!(d.shape(), 1.0);
+        // Mean equals eta for an exponential.
+        assert!((d.mean() - d.scale()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latent_rate_is_about_50x_operational_rate() {
+        // Paper Section 8: the latent defect occurrence rate "may be 100
+        // times greater than the operational failure rate". With the
+        // base-case parameters the ratio is ~50; at the high read rate
+        // it exceeds 100.
+        let op_rate = 1.0 / 461_386.0;
+        let ratio = base_case_rate() / op_rate;
+        assert!(ratio > 40.0 && ratio < 60.0, "ratio = {ratio}");
+        let high_ratio =
+            latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::HIGH) / op_rate;
+        assert!(high_ratio > 100.0, "high ratio = {high_ratio}");
+    }
+
+    #[test]
+    fn intensity_from_rate() {
+        let i = ReadIntensity::from_rate(DataRate::from_bytes_per_s(375_000.0));
+        assert!((i.bytes_per_hour() - 1.35e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_zero_rer() {
+        ReadErrorRate::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_negative_intensity() {
+        ReadIntensity::new(-1.0);
+    }
+}

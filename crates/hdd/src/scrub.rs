@@ -1,0 +1,185 @@
+//! The scrub-time model of paper Section 6.4.
+//!
+//! Scrubbing is "essentially preventive maintenance on data errors": a
+//! background pass that reads every block, checks it against parity, and
+//! rewrites (or remaps) anything inconsistent. The time from a latent
+//! defect's creation to its correction is a random variable whose
+//! minimum is set by a full media pass at the scrub rate, and whose
+//! spread depends on foreground I/O. The paper models it as a
+//! three-parameter Weibull with `β = 3` ("produces a Normal shaped
+//! distribution after the delay set by the location parameter").
+
+use crate::restore::Capped;
+use crate::DriveSpec;
+use raidsim_dists::{DistError, LifeDistribution, Weibull3};
+use serde::{Deserialize, Serialize};
+
+/// Minimum hours for one complete scrub pass of a drive, given the
+/// fraction of bandwidth the scrubber may use.
+///
+/// Scrubbing is per-drive sequential reading at the drive's sustained
+/// rate, throttled to `scrub_bandwidth_fraction` so it "does not impede
+/// performance".
+///
+/// # Panics
+///
+/// Panics if `scrub_bandwidth_fraction` is not in `(0, 1]`.
+pub fn minimum_scrub_hours(drive: &DriveSpec, scrub_bandwidth_fraction: f64) -> f64 {
+    assert!(
+        scrub_bandwidth_fraction > 0.0 && scrub_bandwidth_fraction <= 1.0,
+        "scrub bandwidth fraction must be in (0, 1]"
+    );
+    drive.full_pass_hours() / scrub_bandwidth_fraction
+}
+
+/// Scrub policy for a RAID group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScrubPolicy {
+    /// No scrubbing: latent defects persist until the drive itself is
+    /// replaced. The paper's "recipe for disaster" configuration.
+    Disabled,
+    /// Background scrubbing with the given characteristic duration.
+    Background {
+        /// Delay before any defect can be corrected (location γ, hours).
+        /// The paper's Table 2 uses 6 h.
+        min_hours: f64,
+        /// Characteristic scrub interval (η, hours): 12/48/168/336 in
+        /// the paper's Figure 9 sweep.
+        characteristic_hours: f64,
+        /// Optional OS-enforced maximum ("The operating system may
+        /// invoke a maximum time to complete scrubbing").
+        max_hours: Option<f64>,
+    },
+}
+
+impl ScrubPolicy {
+    /// Shape parameter used for all scrub distributions ("In all cases
+    /// the shape parameter, β, is 3").
+    pub const SHAPE: f64 = 3.0;
+
+    /// The paper's base case: γ = 6 h, η = 168 h (one week), no cap.
+    pub fn paper_base_case() -> Self {
+        ScrubPolicy::Background {
+            min_hours: 6.0,
+            characteristic_hours: 168.0,
+            max_hours: None,
+        }
+    }
+
+    /// A background policy with the given characteristic duration and
+    /// the base-case 6-hour minimum — the knob Figure 9 sweeps.
+    pub fn with_characteristic_hours(hours: f64) -> Self {
+        ScrubPolicy::Background {
+            min_hours: 6.0,
+            characteristic_hours: hours,
+            max_hours: None,
+        }
+    }
+
+    /// Builds the time-to-scrub distribution, or `None` when scrubbing
+    /// is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] for out-of-domain
+    /// parameters.
+    pub fn distribution(&self) -> Result<Option<Box<dyn LifeDistribution>>, DistError> {
+        match *self {
+            ScrubPolicy::Disabled => Ok(None),
+            ScrubPolicy::Background {
+                min_hours,
+                characteristic_hours,
+                max_hours,
+            } => {
+                let w = Weibull3::new(min_hours, characteristic_hours, Self::SHAPE)?;
+                let d: Box<dyn LifeDistribution> = match max_hours {
+                    Some(cap) => Box::new(Capped::new(Box::new(w), cap)?),
+                    None => Box::new(w),
+                };
+                Ok(Some(d))
+            }
+        }
+    }
+
+    /// Whether scrubbing is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, ScrubPolicy::Disabled)
+    }
+}
+
+impl Default for ScrubPolicy {
+    fn default() -> Self {
+        Self::paper_base_case()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_scrub_pass_for_paper_drives() {
+        // 500 GB at 50 MB/s full rate = 2.78 h; at 10% bandwidth = 27.8 h.
+        let sata = DriveSpec::paper_sata();
+        let full = minimum_scrub_hours(&sata, 1.0);
+        assert!((full - 2.7778).abs() < 1e-3, "full = {full}");
+        let throttled = minimum_scrub_hours(&sata, 0.1);
+        assert!((throttled - 27.778).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "scrub bandwidth fraction")]
+    fn zero_bandwidth_panics() {
+        minimum_scrub_hours(&DriveSpec::paper_sata(), 0.0);
+    }
+
+    #[test]
+    fn base_case_distribution_matches_table2() {
+        let d = ScrubPolicy::paper_base_case().distribution().unwrap().unwrap();
+        assert_eq!(d.cdf(5.9), 0.0); // gamma = 6
+        // F(6 + 168) = 1 - 1/e.
+        assert!((d.cdf(174.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_policy_has_no_distribution() {
+        assert!(ScrubPolicy::Disabled.distribution().unwrap().is_none());
+        assert!(!ScrubPolicy::Disabled.is_enabled());
+        assert!(ScrubPolicy::paper_base_case().is_enabled());
+    }
+
+    #[test]
+    fn figure9_sweep_means_are_ordered() {
+        let mut last = 0.0;
+        for eta in [12.0, 48.0, 168.0, 336.0] {
+            let d = ScrubPolicy::with_characteristic_hours(eta)
+                .distribution()
+                .unwrap()
+                .unwrap();
+            let m = d.mean();
+            assert!(m > last, "eta = {eta}, mean = {m}");
+            last = m;
+        }
+    }
+
+    #[test]
+    fn capped_scrub_completes_by_cap() {
+        let p = ScrubPolicy::Background {
+            min_hours: 6.0,
+            characteristic_hours: 168.0,
+            max_hours: Some(336.0),
+        };
+        let d = p.distribution().unwrap().unwrap();
+        assert_eq!(d.cdf(336.0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let p = ScrubPolicy::Background {
+            min_hours: -1.0,
+            characteristic_hours: 168.0,
+            max_hours: None,
+        };
+        assert!(p.distribution().is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Sector-level defect map with spare-pool remapping.
+//!
+//! Models the paper's repair mechanics at block granularity: "If only a
+//! few blocks of data are corrupted, the reconstructed data is written
+//! to another good section of the HDD and the faulty section is mapped
+//! out to prevent reuse" (Section 4.2). Used by failure-injection tests
+//! and the scrub-semantics ablation, where the *number* and *location*
+//! of latent defects matter rather than just their existence.
+
+use crate::HddError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// State of one logical sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SectorState {
+    /// Readable, data intact.
+    Good,
+    /// Carries an undetected (latent) data corruption.
+    LatentDefect,
+    /// Mapped out to the spare pool after a defect was found; reads are
+    /// served by the remapped sector.
+    Remapped,
+}
+
+/// Defect map for one drive: tracks latent defects and remaps.
+///
+/// Sectors are logical 512-byte units addressed `0..total_sectors`. The
+/// map is sparse — only non-`Good` sectors are stored — so drives with
+/// billions of sectors cost nothing until defects appear.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_hdd::sector::DefectMap;
+///
+/// # fn main() -> Result<(), raidsim_hdd::HddError> {
+/// let mut map = DefectMap::for_capacity_bytes(500.0e9);
+/// map.corrupt(1_000)?;                  // a latent defect appears
+/// assert!(map.has_latent_defect());
+/// assert!(map.scrub_repair(1_000)?);    // the scrub finds and remaps it
+/// assert!(!map.has_latent_defect());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefectMap {
+    total_sectors: u64,
+    spare_sectors: u64,
+    spares_used: u64,
+    // Sparse: absent = Good.
+    states: BTreeMap<u64, SectorState>,
+}
+
+impl DefectMap {
+    /// Creates a defect map for a drive with `total_sectors` logical
+    /// sectors and `spare_sectors` spares for remapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_sectors` is zero.
+    pub fn new(total_sectors: u64, spare_sectors: u64) -> Self {
+        assert!(total_sectors > 0, "drive must have at least one sector");
+        Self {
+            total_sectors,
+            spare_sectors,
+            spares_used: 0,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a defect map sized for a drive capacity in bytes
+    /// (512-byte sectors, 0.1% spares — a typical provisioning level).
+    pub fn for_capacity_bytes(bytes: f64) -> Self {
+        let total = (bytes / 512.0).max(1.0) as u64;
+        Self::new(total, total / 1000)
+    }
+
+    /// Total logical sectors.
+    pub fn total_sectors(&self) -> u64 {
+        self.total_sectors
+    }
+
+    /// Spares remaining.
+    pub fn spares_remaining(&self) -> u64 {
+        self.spare_sectors - self.spares_used
+    }
+
+    /// Current state of a sector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HddError::SectorOutOfRange`] for addresses beyond the
+    /// drive.
+    pub fn state(&self, sector: u64) -> Result<SectorState, HddError> {
+        self.check(sector)?;
+        Ok(*self.states.get(&sector).unwrap_or(&SectorState::Good))
+    }
+
+    /// Marks a sector as carrying a latent defect. Idempotent for
+    /// sectors already defective; remapped sectors stay remapped (the
+    /// new physical sector can of course fail again — model that as a
+    /// fresh defect, which this records).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HddError::SectorOutOfRange`] for addresses beyond the
+    /// drive.
+    pub fn corrupt(&mut self, sector: u64) -> Result<(), HddError> {
+        self.check(sector)?;
+        self.states.insert(sector, SectorState::LatentDefect);
+        Ok(())
+    }
+
+    /// Scrub repair of one sector: the corrupted data is reconstructed
+    /// from parity, written to a spare, and the sector mapped out.
+    ///
+    /// Returns `true` if the sector was defective (and is now remapped),
+    /// `false` if it was already clean.
+    ///
+    /// # Errors
+    ///
+    /// * [`HddError::SectorOutOfRange`] for bad addresses.
+    /// * [`HddError::SparesExhausted`] when no spares remain — on a
+    ///   real drive this cascades into a SMART trip.
+    pub fn scrub_repair(&mut self, sector: u64) -> Result<bool, HddError> {
+        self.check(sector)?;
+        match self.states.get(&sector) {
+            Some(SectorState::LatentDefect) => {
+                if self.spares_used >= self.spare_sectors {
+                    return Err(HddError::SparesExhausted);
+                }
+                self.spares_used += 1;
+                self.states.insert(sector, SectorState::Remapped);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Runs a full scrub pass: repairs every latent defect. Returns the
+    /// number repaired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HddError::SparesExhausted`] if the spare pool runs out
+    /// mid-pass (repairs up to that point are kept).
+    pub fn scrub_all(&mut self) -> Result<u64, HddError> {
+        let defective: Vec<u64> = self
+            .states
+            .iter()
+            .filter(|(_, s)| **s == SectorState::LatentDefect)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut repaired = 0;
+        for sector in defective {
+            self.scrub_repair(sector)?;
+            repaired += 1;
+        }
+        Ok(repaired)
+    }
+
+    /// Number of sectors currently carrying latent defects.
+    pub fn latent_defect_count(&self) -> u64 {
+        self.states
+            .values()
+            .filter(|s| **s == SectorState::LatentDefect)
+            .count() as u64
+    }
+
+    /// Number of sectors mapped out over the drive's life.
+    pub fn remapped_count(&self) -> u64 {
+        self.states
+            .values()
+            .filter(|s| **s == SectorState::Remapped)
+            .count() as u64
+    }
+
+    /// Whether any latent defect exists — the condition that makes a
+    /// simultaneous operational failure on another drive a DDF.
+    pub fn has_latent_defect(&self) -> bool {
+        self.states.values().any(|s| *s == SectorState::LatentDefect)
+    }
+
+    fn check(&self, sector: u64) -> Result<(), HddError> {
+        if sector >= self.total_sectors {
+            Err(HddError::SectorOutOfRange {
+                sector,
+                total: self.total_sectors,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_drive_is_clean() {
+        let m = DefectMap::new(1000, 10);
+        assert_eq!(m.latent_defect_count(), 0);
+        assert!(!m.has_latent_defect());
+        assert_eq!(m.state(999).unwrap(), SectorState::Good);
+    }
+
+    #[test]
+    fn corrupt_then_scrub_remaps() {
+        let mut m = DefectMap::new(1000, 10);
+        m.corrupt(42).unwrap();
+        assert!(m.has_latent_defect());
+        assert_eq!(m.state(42).unwrap(), SectorState::LatentDefect);
+        assert!(m.scrub_repair(42).unwrap());
+        assert_eq!(m.state(42).unwrap(), SectorState::Remapped);
+        assert!(!m.has_latent_defect());
+        assert_eq!(m.spares_remaining(), 9);
+        assert_eq!(m.remapped_count(), 1);
+    }
+
+    #[test]
+    fn scrub_of_clean_sector_is_noop() {
+        let mut m = DefectMap::new(1000, 10);
+        assert!(!m.scrub_repair(5).unwrap());
+        assert_eq!(m.spares_remaining(), 10);
+    }
+
+    #[test]
+    fn scrub_all_repairs_everything() {
+        let mut m = DefectMap::new(1000, 10);
+        for s in [1, 5, 9] {
+            m.corrupt(s).unwrap();
+        }
+        assert_eq!(m.scrub_all().unwrap(), 3);
+        assert_eq!(m.latent_defect_count(), 0);
+        assert_eq!(m.remapped_count(), 3);
+    }
+
+    #[test]
+    fn spares_exhaust() {
+        let mut m = DefectMap::new(1000, 2);
+        for s in [1, 2, 3] {
+            m.corrupt(s).unwrap();
+        }
+        assert_eq!(m.scrub_all(), Err(HddError::SparesExhausted));
+        // Two were repaired before exhaustion.
+        assert_eq!(m.remapped_count(), 2);
+        assert_eq!(m.latent_defect_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let mut m = DefectMap::new(10, 1);
+        assert!(matches!(
+            m.corrupt(10),
+            Err(HddError::SectorOutOfRange { sector: 10, total: 10 })
+        ));
+        assert!(m.state(11).is_err());
+    }
+
+    #[test]
+    fn remapped_sector_can_fail_again() {
+        let mut m = DefectMap::new(1000, 10);
+        m.corrupt(7).unwrap();
+        m.scrub_repair(7).unwrap();
+        m.corrupt(7).unwrap();
+        assert_eq!(m.state(7).unwrap(), SectorState::LatentDefect);
+        assert!(m.scrub_repair(7).unwrap());
+        assert_eq!(m.spares_remaining(), 8);
+    }
+
+    #[test]
+    fn capacity_constructor_scales() {
+        let m = DefectMap::for_capacity_bytes(500.0e9);
+        assert_eq!(m.total_sectors(), (500.0e9 / 512.0) as u64);
+        assert!(m.spares_remaining() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sector")]
+    fn zero_sector_drive_panics() {
+        DefectMap::new(0, 0);
+    }
+}

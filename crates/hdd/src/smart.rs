@@ -1,0 +1,213 @@
+//! SMART trip model.
+//!
+//! "Data reallocations are expected and many spare sectors are available
+//! on each HDD, but an excessive number in a specific time interval will
+//! exceed the SMART threshold, resulting in a SMART trip" (paper
+//! Section 3.1). In the state model this is the transition from the
+//! latent-defect state directly to an operational failure ("massive
+//! media problems render the HDD inoperative"); its frequency is folded
+//! into the operational failure distribution, but the mechanism is
+//! modeled here so failure-injection tests and the mode catalog can
+//! attribute failures to SMART trips.
+
+use serde::{Deserialize, Serialize};
+
+/// SMART monitoring configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartConfig {
+    /// Number of reallocation events within the window that trips the
+    /// monitor.
+    pub realloc_threshold: u32,
+    /// Sliding window length, in hours.
+    pub window_hours: f64,
+}
+
+impl Default for SmartConfig {
+    fn default() -> Self {
+        // A representative mid-2000s firmware policy: 64 grown defects
+        // within a week trips the drive.
+        Self {
+            realloc_threshold: 64,
+            window_hours: 168.0,
+        }
+    }
+}
+
+/// Sliding-window SMART monitor for one drive.
+///
+/// Feed reallocation events in nondecreasing time order with
+/// [`SmartMonitor::record`]; the first event that brings the in-window
+/// count to the threshold returns a [`SmartTrip`].
+///
+/// # Example
+///
+/// ```
+/// use raidsim_hdd::smart::{SmartConfig, SmartMonitor};
+///
+/// let mut m = SmartMonitor::new(SmartConfig { realloc_threshold: 3, window_hours: 10.0 });
+/// assert!(m.record(1.0).is_none());
+/// assert!(m.record(2.0).is_none());
+/// let trip = m.record(3.0).expect("third event within 10 h trips");
+/// assert_eq!(trip.at_hours, 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmartMonitor {
+    config: SmartConfig,
+    window: std::collections::VecDeque<f64>,
+    tripped: Option<SmartTrip>,
+}
+
+/// A SMART trip event: the drive is proactively retired.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartTrip {
+    /// Simulation time of the trip, in hours.
+    pub at_hours: f64,
+    /// Number of reallocations inside the window at trip time.
+    pub events_in_window: u32,
+}
+
+impl SmartMonitor {
+    /// Creates a monitor with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero or the window non-positive.
+    pub fn new(config: SmartConfig) -> Self {
+        assert!(config.realloc_threshold > 0, "threshold must be positive");
+        assert!(
+            config.window_hours > 0.0 && config.window_hours.is_finite(),
+            "window must be positive"
+        );
+        Self {
+            config,
+            window: std::collections::VecDeque::new(),
+            tripped: None,
+        }
+    }
+
+    /// Records a reallocation at time `t` (hours). Returns the trip if
+    /// this event crosses the threshold. After a trip the monitor is
+    /// latched and further events return `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than a previously recorded event.
+    pub fn record(&mut self, t: f64) -> Option<SmartTrip> {
+        if self.tripped.is_some() {
+            return None;
+        }
+        if let Some(&last) = self.window.back() {
+            assert!(t >= last, "events must arrive in time order");
+        }
+        self.window.push_back(t);
+        while let Some(&front) = self.window.front() {
+            if t - front > self.config.window_hours {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.window.len() as u32 >= self.config.realloc_threshold {
+            let trip = SmartTrip {
+                at_hours: t,
+                events_in_window: self.window.len() as u32,
+            };
+            self.tripped = Some(trip);
+            return Some(trip);
+        }
+        None
+    }
+
+    /// The trip, if the monitor has latched.
+    pub fn trip(&self) -> Option<SmartTrip> {
+        self.tripped
+    }
+
+    /// Current number of events inside the window.
+    pub fn events_in_window(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, window: f64) -> SmartConfig {
+        SmartConfig {
+            realloc_threshold: threshold,
+            window_hours: window,
+        }
+    }
+
+    #[test]
+    fn trips_at_threshold_within_window() {
+        let mut m = SmartMonitor::new(cfg(3, 10.0));
+        assert!(m.record(0.0).is_none());
+        assert!(m.record(5.0).is_none());
+        let trip = m.record(9.0).unwrap();
+        assert_eq!(trip.events_in_window, 3);
+        assert_eq!(trip.at_hours, 9.0);
+    }
+
+    #[test]
+    fn does_not_trip_when_events_spread_out() {
+        let mut m = SmartMonitor::new(cfg(3, 10.0));
+        for i in 0..20 {
+            assert!(
+                m.record(i as f64 * 6.0).is_none(),
+                "event {i} should not trip (only 2 ever in window)"
+            );
+        }
+        assert!(m.trip().is_none());
+    }
+
+    #[test]
+    fn window_slides_correctly() {
+        let mut m = SmartMonitor::new(cfg(3, 10.0));
+        m.record(0.0);
+        m.record(1.0);
+        // 12.0 evicts both earlier events (gap > 10).
+        assert!(m.record(12.0).is_none());
+        assert_eq!(m.events_in_window(), 1);
+        m.record(13.0);
+        assert!(m.record(14.0).is_some());
+    }
+
+    #[test]
+    fn latched_after_trip() {
+        let mut m = SmartMonitor::new(cfg(2, 10.0));
+        m.record(0.0);
+        assert!(m.record(1.0).is_some());
+        assert!(m.record(2.0).is_none());
+        assert!(m.trip().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order_events() {
+        let mut m = SmartMonitor::new(cfg(5, 10.0));
+        m.record(5.0);
+        m.record(4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_zero_threshold() {
+        SmartMonitor::new(cfg(0, 10.0));
+    }
+
+    #[test]
+    fn burst_of_reallocations_trips_default_policy() {
+        // "a sudden burst of media defects on a single HDD" — the state
+        // 2 -> 4 transition of Figure 4.
+        let mut m = SmartMonitor::new(SmartConfig::default());
+        let mut tripped = false;
+        for i in 0..64 {
+            if m.record(1000.0 + i as f64 * 0.01).is_some() {
+                tripped = true;
+            }
+        }
+        assert!(tripped);
+    }
+}

@@ -1,0 +1,185 @@
+//! Capacity and data-rate newtypes.
+//!
+//! Storage marketing units (decimal GB) are used throughout, matching the
+//! paper's arithmetic: its 500 GB SATA example divides `500 × 10⁹` bytes
+//! by a `1.5 Gb/s` bus to get 10.4 hours.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A storage capacity, stored in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Capacity {
+    bytes: f64,
+}
+
+impl Capacity {
+    /// Creates a capacity from raw bytes.
+    pub fn from_bytes(bytes: f64) -> Self {
+        Self { bytes }
+    }
+
+    /// Creates a capacity from decimal gigabytes (`10⁹` bytes).
+    pub fn from_gb(gb: f64) -> Self {
+        Self { bytes: gb * 1.0e9 }
+    }
+
+    /// Creates a capacity from decimal terabytes (`10¹²` bytes).
+    pub fn from_tb(tb: f64) -> Self {
+        Self { bytes: tb * 1.0e12 }
+    }
+
+    /// The capacity in bytes.
+    pub fn bytes(&self) -> f64 {
+        self.bytes
+    }
+
+    /// The capacity in decimal gigabytes.
+    pub fn gb(&self) -> f64 {
+        self.bytes / 1.0e9
+    }
+}
+
+impl Add for Capacity {
+    type Output = Capacity;
+    fn add(self, rhs: Capacity) -> Capacity {
+        Capacity::from_bytes(self.bytes + rhs.bytes)
+    }
+}
+
+impl Sub for Capacity {
+    type Output = Capacity;
+    fn sub(self, rhs: Capacity) -> Capacity {
+        Capacity::from_bytes(self.bytes - rhs.bytes)
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bytes >= 1.0e12 {
+            write!(f, "{:.2} TB", self.bytes / 1.0e12)
+        } else {
+            write!(f, "{:.1} GB", self.bytes / 1.0e9)
+        }
+    }
+}
+
+/// A data transfer rate, stored in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct DataRate {
+    bytes_per_s: f64,
+}
+
+impl DataRate {
+    /// Creates a rate from bytes per second.
+    pub fn from_bytes_per_s(bytes_per_s: f64) -> Self {
+        Self { bytes_per_s }
+    }
+
+    /// Creates a rate from megabytes per second (`10⁶` B/s).
+    pub fn from_mb_per_s(mb: f64) -> Self {
+        Self {
+            bytes_per_s: mb * 1.0e6,
+        }
+    }
+
+    /// Creates a rate from gigabits per second (`10⁹` bit/s ÷ 8) —
+    /// the unit bus speeds are quoted in ("a 2 giga-bits per second
+    /// capability", paper Section 6.2).
+    pub fn from_gbit_per_s(gbit: f64) -> Self {
+        Self {
+            bytes_per_s: gbit * 1.0e9 / 8.0,
+        }
+    }
+
+    /// The rate in bytes per second.
+    pub fn bytes_per_s(&self) -> f64 {
+        self.bytes_per_s
+    }
+
+    /// The rate in bytes per hour — the unit of the paper's Table 1.
+    pub fn bytes_per_hour(&self) -> f64 {
+        self.bytes_per_s * 3600.0
+    }
+
+    /// The rate in megabytes per second.
+    pub fn mb_per_s(&self) -> f64 {
+        self.bytes_per_s / 1.0e6
+    }
+
+    /// Hours to transfer `capacity` at this rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive.
+    pub fn hours_to_transfer(&self, capacity: Capacity) -> f64 {
+        assert!(
+            self.bytes_per_s > 0.0,
+            "cannot transfer at a non-positive rate"
+        );
+        capacity.bytes() / self.bytes_per_s / 3600.0
+    }
+}
+
+impl fmt::Display for DataRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MB/s", self.bytes_per_s / 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_conversions() {
+        assert_eq!(Capacity::from_gb(500.0).bytes(), 5.0e11);
+        assert_eq!(Capacity::from_tb(1.0).gb(), 1000.0);
+        assert_eq!(
+            Capacity::from_gb(144.0) + Capacity::from_gb(6.0),
+            Capacity::from_gb(150.0)
+        );
+        assert_eq!(
+            Capacity::from_gb(150.0) - Capacity::from_gb(6.0),
+            Capacity::from_gb(144.0)
+        );
+    }
+
+    #[test]
+    fn rate_conversions() {
+        // 2 Gb/s = 250 MB/s, the FC bus of the paper.
+        let fc = DataRate::from_gbit_per_s(2.0);
+        assert!((fc.mb_per_s() - 250.0).abs() < 1e-9);
+        // 1.5 Gb/s = 187.5 MB/s, the SATA-I bus.
+        let sata = DataRate::from_gbit_per_s(1.5);
+        assert!((sata.mb_per_s() - 187.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_per_hour_matches_table1_scale() {
+        // 1.35e9 B/h (the paper's low read rate) = 375 kB/s.
+        let r = DataRate::from_bytes_per_s(375_000.0);
+        assert!((r.bytes_per_hour() - 1.35e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_example() {
+        // 500 GB at 187.5 MB/s = 0.74 h for a single linear pass.
+        let t = DataRate::from_gbit_per_s(1.5).hours_to_transfer(Capacity::from_gb(500.0));
+        assert!((t - 0.7407).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Capacity::from_gb(144.0).to_string(), "144.0 GB");
+        assert_eq!(Capacity::from_tb(2.0).to_string(), "2.00 TB");
+        assert_eq!(DataRate::from_mb_per_s(50.0).to_string(), "50.0 MB/s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive rate")]
+    fn zero_rate_transfer_panics() {
+        DataRate::from_bytes_per_s(0.0).hours_to_transfer(Capacity::from_gb(1.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the HDD substrate.
+
+use proptest::prelude::*;
+use raidsim_hdd::restore::{minimum_restore_hours, Capped, RestoreModel};
+use raidsim_hdd::scrub::minimum_scrub_hours;
+use raidsim_hdd::sector::DefectMap;
+use raidsim_hdd::smart::{SmartConfig, SmartMonitor};
+use raidsim_hdd::units::{Capacity, DataRate};
+use raidsim_hdd::{DriveSpec, Interface};
+use raidsim_dists::{LifeDistribution, Weibull3};
+
+fn interfaces() -> impl Strategy<Value = Interface> {
+    prop_oneof![
+        Just(Interface::FibreChannel1G),
+        Just(Interface::FibreChannel2G),
+        Just(Interface::FibreChannel4G),
+        Just(Interface::SataI),
+        Just(Interface::SataII),
+        Just(Interface::ScsiUltra320),
+    ]
+}
+
+fn drives() -> impl Strategy<Value = DriveSpec> {
+    (10.0..2_000.0f64, 20.0..150.0f64, interfaces()).prop_map(|(gb, mb_s, iface)| {
+        DriveSpec::builder("prop")
+            .capacity(Capacity::from_gb(gb))
+            .interface(iface)
+            .sustained_rate(DataRate::from_mb_per_s(mb_s))
+            .build()
+            .expect("generated specs are valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn restore_time_grows_with_group_size(drive in drives(), g in 2usize..30) {
+        let smaller = minimum_restore_hours(&drive, g);
+        let larger = minimum_restore_hours(&drive, g + 1);
+        prop_assert!(larger >= smaller);
+        prop_assert!(smaller > 0.0);
+    }
+
+    #[test]
+    fn restore_time_grows_with_capacity(
+        iface in interfaces(),
+        gb in 10.0..1_000.0f64,
+        g in 2usize..20,
+    ) {
+        let small = DriveSpec::builder("s")
+            .capacity(Capacity::from_gb(gb))
+            .interface(iface)
+            .build()
+            .unwrap();
+        let big = DriveSpec::builder("b")
+            .capacity(Capacity::from_gb(gb * 2.0))
+            .interface(iface)
+            .build()
+            .unwrap();
+        prop_assert!(
+            minimum_restore_hours(&big, g) >= 2.0 * minimum_restore_hours(&small, g) - 1e-9
+        );
+    }
+
+    #[test]
+    fn restore_never_beats_both_bounds(drive in drives(), g in 2usize..30) {
+        let t = minimum_restore_hours(&drive, g);
+        prop_assert!(t >= drive.full_pass_hours() - 1e-12);
+        let bus_bound = drive.interface().bus_rate().hours_to_transfer(drive.capacity())
+            * g as f64;
+        prop_assert!(t >= bus_bound - 1e-9);
+    }
+
+    #[test]
+    fn restore_model_location_respects_foreground_io(
+        drive in drives(),
+        g in 2usize..20,
+        io in 0.0..0.9f64,
+    ) {
+        let m = RestoreModel {
+            group_size: g,
+            foreground_io: io,
+            ..RestoreModel::paper_base_case()
+        };
+        let w = m.weibull_for(&drive).unwrap();
+        let idle_min = minimum_restore_hours(&drive, g);
+        prop_assert!((w.location() - idle_min / (1.0 - io)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_distribution_is_stochastically_smaller(
+        cap in 10.0..200.0f64,
+        eta in 5.0..50.0f64,
+        beta in 0.5..3.0f64,
+        t in 0.0..300.0f64,
+    ) {
+        let w = Weibull3::new(6.0, eta, beta).unwrap();
+        let c = Capped::new(Box::new(w), cap).unwrap();
+        let w2 = Weibull3::new(6.0, eta, beta).unwrap();
+        // Capping can only move probability mass earlier.
+        prop_assert!(c.cdf(t) >= w2.cdf(t) - 1e-12);
+        // Capped::mean is a 20k-step trapezoid; when the cap sits far
+        // in the tail the two means agree to ~1e-6, so compare at the
+        // integrator's accuracy.
+        prop_assert!(c.mean() <= w2.mean() + 1e-5 * w2.mean().max(1.0));
+    }
+
+    #[test]
+    fn scrub_pass_scales_inversely_with_bandwidth(
+        drive in drives(),
+        frac in 0.01..1.0f64,
+    ) {
+        let full = minimum_scrub_hours(&drive, 1.0);
+        let throttled = minimum_scrub_hours(&drive, frac);
+        prop_assert!((throttled * frac - full).abs() < 1e-6 * full);
+    }
+
+    #[test]
+    fn defect_map_counts_are_consistent(
+        ops in proptest::collection::vec((0u64..500, any::<bool>()), 0..200),
+    ) {
+        // Random corrupt/scrub sequences: counts and states must stay
+        // coherent and no operation may panic.
+        let mut m = DefectMap::new(500, 1_000);
+        for (sector, scrub) in ops {
+            if scrub {
+                let _ = m.scrub_repair(sector);
+            } else {
+                m.corrupt(sector).unwrap();
+            }
+            prop_assert!(m.latent_defect_count() + m.remapped_count() <= 500 + m.remapped_count());
+            prop_assert_eq!(m.has_latent_defect(), m.latent_defect_count() > 0);
+        }
+        // A full scrub clears everything while spares last.
+        let before = m.latent_defect_count();
+        let repaired = m.scrub_all().unwrap();
+        prop_assert_eq!(repaired, before);
+        prop_assert!(!m.has_latent_defect());
+    }
+
+    #[test]
+    fn smart_trip_requires_threshold_events_in_window(
+        threshold in 2u32..20,
+        window in 1.0..100.0f64,
+        gaps in proptest::collection::vec(0.1..50.0f64, 1..100),
+    ) {
+        let mut m = SmartMonitor::new(SmartConfig {
+            realloc_threshold: threshold,
+            window_hours: window,
+        });
+        let mut t = 0.0;
+        let mut times: Vec<f64> = Vec::new();
+        for gap in gaps {
+            t += gap;
+            times.push(t);
+            if let Some(trip) = m.record(t) {
+                // Independently verify: `threshold` events within the
+                // window ending at the trip time.
+                let in_window = times
+                    .iter()
+                    .filter(|&&x| trip.at_hours - x <= window && x <= trip.at_hours)
+                    .count() as u32;
+                prop_assert!(in_window >= threshold,
+                    "trip with only {in_window} events in window");
+                return Ok(());
+            }
+        }
+        // No trip: verify no window ever contained `threshold` events.
+        for (i, &end) in times.iter().enumerate() {
+            let in_window = times[..=i]
+                .iter()
+                .filter(|&&x| end - x <= window)
+                .count() as u32;
+            prop_assert!(in_window < threshold, "missed trip at {end}");
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Synthetic field-population generators.
+//!
+//! A field study observes a population of drives for a finite window;
+//! drives that fail inside the window become exact failure observations
+//! and the rest are right-censored suspensions. Real studies also have
+//! *staggered entry* — drives enter service over months — which
+//! shortens individual observation windows.
+
+use raidsim_dists::empirical::Observation;
+use raidsim_dists::rng::SimRng;
+use raidsim_dists::{CompetingRisks, LifeDistribution, Mixture, Weibull3};
+use rand::RngExt as _;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Study design for a synthetic field population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudyDesign {
+    /// Number of drives in the study.
+    pub population: usize,
+    /// Maximum observation window, hours (the paper's studies ran "up
+    /// to 6,000 hours").
+    pub window_hours: f64,
+    /// Fraction of the window over which drives enter service uniformly
+    /// (0 = everyone starts together; 0.5 = entries spread over the
+    /// first half).
+    pub staggered_entry: f64,
+}
+
+impl StudyDesign {
+    /// The paper's vintage-study design: ~24k drives, 6,000 h window,
+    /// moderate staggering.
+    pub fn paper_vintage_study(population: usize) -> Self {
+        Self {
+            population,
+            window_hours: 6_000.0,
+            staggered_entry: 0.5,
+        }
+    }
+
+    /// Validates the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero population, non-positive window, or staggering
+    /// outside `[0, 1)`.
+    fn check(&self) {
+        assert!(self.population > 0, "population must be positive");
+        assert!(
+            self.window_hours.is_finite() && self.window_hours > 0.0,
+            "window must be positive"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.staggered_entry),
+            "staggered_entry must be in [0, 1)"
+        );
+    }
+}
+
+/// Draws a synthetic field data set: each drive's lifetime is sampled
+/// from `truth`; drives failing within their (possibly staggered)
+/// observation window become failures, the rest suspensions.
+///
+/// # Panics
+///
+/// Panics if the design is invalid (see [`StudyDesign`]).
+pub fn generate(
+    truth: &dyn LifeDistribution,
+    design: StudyDesign,
+    rng: &mut SimRng,
+) -> Vec<Observation> {
+    design.check();
+    let mut out = Vec::with_capacity(design.population);
+    for _ in 0..design.population {
+        // A drive entering later is observed for a shorter window.
+        let entry_frac = if design.staggered_entry > 0.0 {
+            rng.random_range(0.0..design.staggered_entry)
+        } else {
+            0.0
+        };
+        let window = design.window_hours * (1.0 - entry_frac);
+        let life = truth.sample(rng);
+        if life <= window {
+            out.push(Observation::failure(life));
+        } else {
+            out.push(Observation::censored(window));
+        }
+    }
+    out
+}
+
+/// The three population shapes of paper Figure 1, as named constructors.
+///
+/// * HDD #1 — a pure two-parameter Weibull with `β ≈ 0.9` ("Only HDD #1
+///   appears to follow a Weibull distribution").
+/// * HDD #2 — two competing mechanisms whose dominance changes around
+///   10,000 h, bending the probability plot upward ("a marked increase
+///   in failure rate… due to a change in failure mechanisms").
+/// * HDD #3 — a weak sub-population mixture *and* a wear-out competing
+///   risk, giving both inflections ("the characteristics of both
+///   competing risks and population mixtures").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fig1Population {
+    /// Pure Weibull, decreasing hazard.
+    Hdd1,
+    /// Competing risks with a late-life mechanism change.
+    Hdd2,
+    /// Mixture plus competing risks (two inflections).
+    Hdd3,
+}
+
+impl Fig1Population {
+    /// Builds the population's true lifetime distribution.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the checked-in parameters.
+    pub fn distribution(&self) -> Arc<dyn LifeDistribution> {
+        match self {
+            Fig1Population::Hdd1 => {
+                Arc::new(Weibull3::two_param(900_000.0, 0.9).expect("valid"))
+            }
+            Fig1Population::Hdd2 => {
+                // Early shallow mechanism + wear-out taking over near
+                // 10,000 h.
+                let early: Arc<dyn LifeDistribution> =
+                    Arc::new(Weibull3::two_param(1.5e6, 0.95).expect("valid"));
+                let wearout: Arc<dyn LifeDistribution> =
+                    Arc::new(Weibull3::two_param(60_000.0, 3.2).expect("valid"));
+                Arc::new(CompetingRisks::new(vec![early, wearout]).expect("non-empty"))
+            }
+            Fig1Population::Hdd3 => {
+                // 6% contaminated sub-population with infant mortality;
+                // the rest healthy. Everyone shares a wear-out risk.
+                let weak: Arc<dyn LifeDistribution> =
+                    Arc::new(Weibull3::two_param(30_000.0, 0.6).expect("valid"));
+                let healthy: Arc<dyn LifeDistribution> =
+                    Arc::new(Weibull3::two_param(2.0e6, 1.0).expect("valid"));
+                let mix: Arc<dyn LifeDistribution> = Arc::new(
+                    Mixture::new(vec![(0.06, weak), (0.94, healthy)]).expect("weights"),
+                );
+                let wearout: Arc<dyn LifeDistribution> =
+                    Arc::new(Weibull3::two_param(70_000.0, 3.5).expect("valid"));
+                Arc::new(CompetingRisks::new(vec![mix, wearout]).expect("non-empty"))
+            }
+        }
+    }
+
+    /// Display label matching the figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig1Population::Hdd1 => "HDD #1",
+            Fig1Population::Hdd2 => "HDD #2",
+            Fig1Population::Hdd3 => "HDD #3",
+        }
+    }
+
+    /// All three populations in figure order.
+    pub fn all() -> [Fig1Population; 3] {
+        [
+            Fig1Population::Hdd1,
+            Fig1Population::Hdd2,
+            Fig1Population::Hdd3,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raidsim_dists::fit::rank_regression;
+    use raidsim_dists::rng::stream;
+
+    #[test]
+    fn generate_produces_failures_and_suspensions() {
+        let truth = Weibull3::two_param(10_000.0, 1.2).unwrap();
+        let mut rng = stream(1, 0);
+        let design = StudyDesign {
+            population: 5_000,
+            window_hours: 6_000.0,
+            staggered_entry: 0.0,
+        };
+        let data = generate(&truth, design, &mut rng);
+        assert_eq!(data.len(), 5_000);
+        let failures = data.iter().filter(|o| o.failed).count();
+        // F(6000) ≈ 0.43 for these parameters.
+        let frac = failures as f64 / 5_000.0;
+        assert!((frac - truth.cdf(6_000.0)).abs() < 0.03, "frac = {frac}");
+        // All suspensions sit exactly at the window.
+        assert!(data
+            .iter()
+            .filter(|o| !o.failed)
+            .all(|o| o.time == 6_000.0));
+    }
+
+    #[test]
+    fn staggered_entry_reduces_failure_count() {
+        let truth = Weibull3::two_param(10_000.0, 1.2).unwrap();
+        let design_flat = StudyDesign {
+            population: 8_000,
+            window_hours: 6_000.0,
+            staggered_entry: 0.0,
+        };
+        let design_staggered = StudyDesign {
+            staggered_entry: 0.8,
+            ..design_flat
+        };
+        let mut rng = stream(2, 0);
+        let flat = generate(&truth, design_flat, &mut rng)
+            .iter()
+            .filter(|o| o.failed)
+            .count();
+        let staggered = generate(&truth, design_staggered, &mut rng)
+            .iter()
+            .filter(|o| o.failed)
+            .count();
+        assert!(staggered < flat, "staggered = {staggered}, flat = {flat}");
+    }
+
+    #[test]
+    fn hdd1_fits_a_straight_weibull_line() {
+        let pop = Fig1Population::Hdd1.distribution();
+        let mut rng = stream(3, 0);
+        // Wide window so the shape is visible.
+        let design = StudyDesign {
+            population: 20_000,
+            window_hours: 30_000.0,
+            staggered_entry: 0.0,
+        };
+        let data = generate(pop.as_ref(), design, &mut rng);
+        let fit = rank_regression(&data).unwrap();
+        assert!(fit.r_squared.unwrap() > 0.99, "r2 = {:?}", fit.r_squared);
+        assert!((fit.beta - 0.9).abs() < 0.1, "beta = {}", fit.beta);
+    }
+
+    #[test]
+    fn hdd2_bends_upward() {
+        // The fitted "global" line must under-represent the late-life
+        // steepening: late-decade slope > early-decade slope.
+        use raidsim_dists::empirical::johnson_ranks;
+        let pop = Fig1Population::Hdd2.distribution();
+        let mut rng = stream(4, 0);
+        let design = StudyDesign {
+            population: 20_000,
+            window_hours: 40_000.0,
+            staggered_entry: 0.0,
+        };
+        let data = generate(pop.as_ref(), design, &mut rng);
+        let pts = johnson_ranks(&data);
+        assert!(pts.len() > 500);
+        let k = pts.len() / 4;
+        let slope = |pts: &[raidsim_dists::empirical::PlotPoint]| {
+            let n = pts.len() as f64;
+            let xm = pts.iter().map(|p| p.x()).sum::<f64>() / n;
+            let ym = pts.iter().map(|p| p.y()).sum::<f64>() / n;
+            let sxy: f64 = pts.iter().map(|p| (p.x() - xm) * (p.y() - ym)).sum();
+            let sxx: f64 = pts.iter().map(|p| (p.x() - xm).powi(2)).sum();
+            sxy / sxx
+        };
+        assert!(slope(&pts[pts.len() - k..]) > 1.5 * slope(&pts[..k]));
+    }
+
+    #[test]
+    fn hdd3_has_bathtub_hazard() {
+        let pop = Fig1Population::Hdd3.distribution();
+        let early = pop.hazard(200.0);
+        let middle = pop.hazard(20_000.0);
+        let late = pop.hazard(60_000.0);
+        assert!(early > middle, "early = {early}, middle = {middle}");
+        assert!(late > middle, "late = {late}, middle = {middle}");
+    }
+
+    #[test]
+    fn labels_and_enumeration() {
+        assert_eq!(Fig1Population::all().len(), 3);
+        assert_eq!(Fig1Population::Hdd1.label(), "HDD #1");
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn zero_population_panics() {
+        let truth = Weibull3::two_param(1_000.0, 1.0).unwrap();
+        let mut rng = stream(5, 0);
+        generate(
+            &truth,
+            StudyDesign {
+                population: 0,
+                window_hours: 100.0,
+                staggered_entry: 0.0,
+            },
+            &mut rng,
+        );
+    }
+}

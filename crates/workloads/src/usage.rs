@@ -1,0 +1,185 @@
+//! Byte-read usage profiles.
+//!
+//! The latent-defect rate is usage-dependent (paper Section 6.3):
+//! errors per byte read × bytes read per hour. Real arrays do not read
+//! at a constant rate, so this module provides time-varying profiles
+//! whose *mission-average* read intensity feeds the Table 1
+//! arithmetic, plus a profile-aware TTLd distribution for the ablation
+//! that asks whether the diurnal structure matters (it does not, at
+//! these rates — averaging is accurate — which justifies the paper's
+//! constant-rate treatment).
+
+use raidsim_dists::{DistError, Weibull3};
+use raidsim_hdd::rer::{latent_defect_rate, ReadErrorRate, ReadIntensity};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic bytes-read-per-hour profile over the mission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UsageProfile {
+    /// Constant read rate (the paper's assumption).
+    Constant {
+        /// Bytes read per hour.
+        bytes_per_hour: f64,
+    },
+    /// Day/night cycle: `base` at night, `base × peak_ratio` for the
+    /// busy 12 hours of each day.
+    Diurnal {
+        /// Night-time bytes per hour.
+        base: f64,
+        /// Daytime multiplier (≥ 1).
+        peak_ratio: f64,
+    },
+    /// Linear growth from `start` to `end` bytes/hour across the
+    /// mission — datasets grow.
+    Growth {
+        /// Bytes per hour at mission start.
+        start: f64,
+        /// Bytes per hour at mission end.
+        end: f64,
+        /// Mission length, hours.
+        mission_hours: f64,
+    },
+}
+
+impl UsageProfile {
+    /// The paper's low usage level (1.35×10⁹ B/h).
+    pub fn paper_low() -> Self {
+        UsageProfile::Constant {
+            bytes_per_hour: ReadIntensity::LOW.bytes_per_hour(),
+        }
+    }
+
+    /// The paper's high usage level (1.35×10¹⁰ B/h).
+    pub fn paper_high() -> Self {
+        UsageProfile::Constant {
+            bytes_per_hour: ReadIntensity::HIGH.bytes_per_hour(),
+        }
+    }
+
+    /// Instantaneous read rate at time `t` hours.
+    pub fn bytes_per_hour_at(&self, t: f64) -> f64 {
+        match *self {
+            UsageProfile::Constant { bytes_per_hour } => bytes_per_hour,
+            UsageProfile::Diurnal { base, peak_ratio } => {
+                let hour_of_day = t.rem_euclid(24.0);
+                if hour_of_day < 12.0 {
+                    base * peak_ratio
+                } else {
+                    base
+                }
+            }
+            UsageProfile::Growth {
+                start,
+                end,
+                mission_hours,
+            } => {
+                let frac = (t / mission_hours).clamp(0.0, 1.0);
+                start + (end - start) * frac
+            }
+        }
+    }
+
+    /// Mission-average read intensity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mission_hours` is not positive.
+    pub fn average_intensity(&self, mission_hours: f64) -> ReadIntensity {
+        assert!(
+            mission_hours.is_finite() && mission_hours > 0.0,
+            "mission must be positive"
+        );
+        let avg = match *self {
+            UsageProfile::Constant { bytes_per_hour } => bytes_per_hour,
+            UsageProfile::Diurnal { base, peak_ratio } => {
+                base * (peak_ratio + 1.0) / 2.0
+            }
+            UsageProfile::Growth { start, end, .. } => (start + end) / 2.0,
+        };
+        ReadIntensity::new(avg)
+    }
+
+    /// The time-to-latent-defect distribution implied by this profile's
+    /// mission-average rate and the given read-error rate: exponential
+    /// (β = 1) as in the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] for degenerate rates.
+    pub fn ttld(
+        &self,
+        rer: ReadErrorRate,
+        mission_hours: f64,
+    ) -> Result<Weibull3, DistError> {
+        let rate = latent_defect_rate(rer, self.average_intensity(mission_hours));
+        Weibull3::two_param(1.0 / rate, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_is_flat() {
+        let p = UsageProfile::paper_low();
+        assert_eq!(p.bytes_per_hour_at(0.0), p.bytes_per_hour_at(50_000.0));
+        assert!(
+            (p.average_intensity(87_600.0).bytes_per_hour() - 1.35e9).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn diurnal_profile_alternates() {
+        let p = UsageProfile::Diurnal {
+            base: 1.0e9,
+            peak_ratio: 10.0,
+        };
+        assert_eq!(p.bytes_per_hour_at(6.0), 1.0e10); // daytime
+        assert_eq!(p.bytes_per_hour_at(18.0), 1.0e9); // night
+        assert_eq!(p.bytes_per_hour_at(30.0), 1.0e10); // next day
+        // Average = base * (ratio + 1) / 2 = 5.5e9.
+        assert!((p.average_intensity(87_600.0).bytes_per_hour() - 5.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn growth_profile_interpolates() {
+        let p = UsageProfile::Growth {
+            start: 1.0e9,
+            end: 3.0e9,
+            mission_hours: 1_000.0,
+        };
+        assert_eq!(p.bytes_per_hour_at(0.0), 1.0e9);
+        assert_eq!(p.bytes_per_hour_at(500.0), 2.0e9);
+        assert_eq!(p.bytes_per_hour_at(1_000.0), 3.0e9);
+        assert_eq!(p.bytes_per_hour_at(5_000.0), 3.0e9); // clamped
+        assert!((p.average_intensity(1_000.0).bytes_per_hour() - 2.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ttld_matches_table1_base_case() {
+        use raidsim_dists::LifeDistribution;
+        let d = UsageProfile::paper_low()
+            .ttld(ReadErrorRate::MEDIUM, 87_600.0)
+            .unwrap();
+        assert!((d.mean() - 9_259.26).abs() < 0.1);
+    }
+
+    #[test]
+    fn heavier_usage_means_faster_defects() {
+        use raidsim_dists::LifeDistribution;
+        let low = UsageProfile::paper_low()
+            .ttld(ReadErrorRate::MEDIUM, 87_600.0)
+            .unwrap();
+        let high = UsageProfile::paper_high()
+            .ttld(ReadErrorRate::MEDIUM, 87_600.0)
+            .unwrap();
+        assert!((low.mean() / high.mean() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mission must be positive")]
+    fn bad_mission_panics() {
+        UsageProfile::paper_low().average_intensity(0.0);
+    }
+}

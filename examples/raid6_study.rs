@@ -1,0 +1,64 @@
+//! RAID 5 vs RAID 6: is double parity required?
+//!
+//! The paper's conclusion: "It appears that, eventually, RAID 6 will be
+//! required to meet high reliability requirements." This example runs
+//! the base-case model at both redundancy levels across scrub policies
+//! and shows when single parity stops being defensible.
+//!
+//! ```sh
+//! cargo run --release -p raidsim --example raid6_study
+//! ```
+
+use raidsim::config::{RaidGroupConfig, Redundancy};
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::run::Simulator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = std::thread::available_parallelism()?.get();
+    let groups = 3_000;
+
+    println!("Data-loss events per 1,000 groups over 10 years, 8-drive groups");
+    println!(
+        "{:>16} {:>14} {:>14} {:>12}",
+        "scrub policy", "RAID 5 (N+1)", "RAID 6 (N+2)", "improvement"
+    );
+
+    let policies: [(&str, ScrubPolicy); 4] = [
+        ("none", ScrubPolicy::Disabled),
+        ("336 h", ScrubPolicy::with_characteristic_hours(336.0)),
+        ("168 h", ScrubPolicy::with_characteristic_hours(168.0)),
+        ("12 h", ScrubPolicy::with_characteristic_hours(12.0)),
+    ];
+
+    for (i, (label, policy)) in policies.iter().enumerate() {
+        let raid5 = RaidGroupConfig::paper_base_case()?.with_scrub_policy(*policy)?;
+        let raid6 = RaidGroupConfig {
+            redundancy: Redundancy::DoubleParity,
+            ..RaidGroupConfig::paper_base_case()?
+        }
+        .with_scrub_policy(*policy)?;
+
+        let seed = 4_000 + i as u64;
+        let r5 = Simulator::new(raid5)
+            .run_parallel(groups, seed, threads)
+            .ddfs_per_thousand_groups();
+        let r6 = Simulator::new(raid6)
+            .run_parallel(groups, seed, threads)
+            .ddfs_per_thousand_groups();
+        let improvement = if r6 > 0.0 {
+            format!("{:.0}x", r5 / r6)
+        } else {
+            format!(">{:.0}x", r5 * groups as f64 / 1_000.0)
+        };
+        println!("{label:>16} {r5:>14.1} {r6:>14.2} {improvement:>12}");
+    }
+
+    println!();
+    println!(
+        "Reading: without scrubbing even RAID 6 carries real risk, because \
+         defects accumulate on two drives at once; with any reasonable \
+         scrub cadence RAID 6 pushes loss rates back below the level \
+         MTTDL (wrongly) promised for RAID 5."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! RAID-DP mechanics: encode a stripe, lose two drives, get every byte
+//! back — the machinery behind the paper's closing recommendation that
+//! "eventually, RAID 6 will be required".
+//!
+//! Also quantifies the stripe-collision event the reliability model
+//! leaves out (paper Section 4.2).
+//!
+//! ```sh
+//! cargo run --release -p raidsim --example raid_dp_recovery
+//! ```
+
+use bytes::Bytes;
+use raidsim::dists::rng::stream;
+use raidsim::geometry::collision::CollisionModel;
+use raidsim::geometry::{Raid5Layout, RowDiagonalParity};
+use rand::RngExt as _;
+
+fn main() {
+    // --- 1. Single parity: one loss fine, two losses fatal -----------
+    let layout = Raid5Layout::new(8);
+    println!(
+        "RAID 5, 8 drives: parity rotates (stripe 0 -> drive {}, stripe 1 -> drive {})",
+        layout.parity_drive(0),
+        layout.parity_drive(1)
+    );
+
+    // --- 2. Double parity: RDP with p = 7 (6 data + 2 parity) --------
+    let rdp = RowDiagonalParity::new(7);
+    println!(
+        "RAID-DP (RDP, p=7): {} data disks + row parity + diagonal parity, {} rows/stripe",
+        rdp.data_disks(),
+        rdp.rows()
+    );
+
+    let mut rng = stream(2026, 0);
+    let data: Vec<Vec<Bytes>> = (0..rdp.data_disks())
+        .map(|_| {
+            (0..rdp.rows())
+                .map(|_| {
+                    let mut v = vec![0u8; 4096];
+                    rng.fill(&mut v[..]);
+                    Bytes::from(v)
+                })
+                .collect()
+        })
+        .collect();
+    let encoded = rdp.encode(&data);
+
+    // Kill two arbitrary disks — say data disk 1 and the row-parity
+    // disk — and reconstruct.
+    let mut disks: Vec<Option<Vec<Bytes>>> = encoded.iter().cloned().map(Some).collect();
+    disks[1] = None;
+    disks[rdp.row_parity_disk()] = None;
+    rdp.recover(&mut disks).expect("double loss is recoverable");
+    let intact = disks
+        .iter()
+        .zip(&encoded)
+        .all(|(got, want)| got.as_ref().unwrap() == want);
+    println!(
+        "lost data disk 1 + row parity simultaneously -> recovered bit-exact: {intact}"
+    );
+    assert!(intact);
+
+    // --- 3. The event the reliability model skips --------------------
+    let collision = CollisionModel::paper_base_case();
+    println!();
+    println!(
+        "P(two latent defects share one stripe), base case: {:.2e}",
+        collision.analytic_collision_probability()
+    );
+    println!(
+        "vs. the modeled defect+drive-failure path over one week: {:.0}x more likely",
+        collision.modeled_to_unmodeled_ratio(8.0 * 168.0 / 461_386.0)
+    );
+    println!(
+        "-> the paper's choice to model defects per-drive (not per-stripe) is sound."
+    );
+}

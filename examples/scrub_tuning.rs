@@ -1,0 +1,72 @@
+//! Scrub tuning: cadence sweep plus the per-defect-clock vs
+//! periodic-pass semantics ablation.
+//!
+//! "Short scrub durations can improve reliability, but at some point
+//! the extensive scrubbing required to support the high-capacity HDDs
+//! will unacceptably impact performance" (paper Section 8). This
+//! example sweeps the scrub characteristic time, derives the physical
+//! floor from the drive's bandwidth budget, and compares the paper's
+//! per-defect Weibull exposure clock with the periodic fleet-pass
+//! semantics real filers implement.
+//!
+//! ```sh
+//! cargo run --release -p raidsim --example scrub_tuning
+//! ```
+
+use raidsim::config::RaidGroupConfig;
+use raidsim::hdd::scrub::{minimum_scrub_hours, ScrubPolicy};
+use raidsim::hdd::DriveSpec;
+use raidsim::run::Simulator;
+use raidsim::workloads::scrub_schedule::PeriodicScrub;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = std::thread::available_parallelism()?.get();
+    let drive = DriveSpec::paper_sata();
+    let groups = 3_000;
+
+    // Physical floor: scrubbing at 5% of drive bandwidth.
+    let floor = minimum_scrub_hours(&drive, 0.05);
+    println!(
+        "Drive {}: one full scrub pass at 5% bandwidth takes {floor:.0} h",
+        drive.model()
+    );
+    println!();
+    println!("Loss events per 1,000 groups / 10 yr vs scrub cadence:");
+    println!(
+        "{:>12} {:>22} {:>22}",
+        "eta (h)", "Weibull clock (paper)", "periodic pass"
+    );
+
+    for (i, &eta) in [12.0f64, 48.0, 168.0, 336.0, 720.0].iter().enumerate() {
+        let seed = 6_000 + i as u64;
+
+        // Paper semantics: per-defect Weibull(6, eta, 3) exposure.
+        let weibull_cfg = RaidGroupConfig::paper_base_case()?
+            .with_scrub_policy(ScrubPolicy::with_characteristic_hours(eta))?;
+        let w = Simulator::new(weibull_cfg)
+            .run_parallel(groups, seed, threads)
+            .ddfs_per_thousand_groups();
+
+        // Real-filer semantics: a pass every `eta` hours, taking the
+        // physical floor time, defect exposure uniform over the cycle.
+        let mut periodic_cfg = RaidGroupConfig::paper_base_case()?;
+        periodic_cfg.dists.ttscrub =
+            Some(Arc::new(PeriodicScrub::new(eta, floor.min(eta))?));
+        let p = Simulator::new(periodic_cfg)
+            .run_parallel(groups, seed, threads)
+            .ddfs_per_thousand_groups();
+
+        println!("{eta:>12.0} {w:>22.1} {p:>22.1}");
+    }
+
+    println!();
+    println!(
+        "Reading: loss risk scales close to linearly with mean defect \
+         exposure, so the semantic choice matters only through its mean \
+         — the paper's Weibull(6, eta, 3) clock (mean ~ 6 + 0.9 eta) is \
+         slightly more pessimistic than a periodic pass of the same \
+         cadence (mean ~ pass + eta/2)."
+    );
+    Ok(())
+}

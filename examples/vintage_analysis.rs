@@ -1,0 +1,85 @@
+//! Vintage analysis: fit Weibulls to (synthetic) field data, test the
+//! constant-failure-rate hypothesis, and quantify what getting the
+//! shape wrong costs in predicted data loss.
+//!
+//! This is the reliability-engineer workflow behind the paper's
+//! Figures 2 and 10: field data comes in as failure/suspension records,
+//! gets fitted, and the fitted shape drives the RAID model.
+//!
+//! ```sh
+//! cargo run --release -p raidsim --example vintage_analysis
+//! ```
+
+use raidsim::config::{params, RaidGroupConfig};
+use raidsim::dists::fit::{bootstrap_ci, mle};
+use raidsim::dists::rng::stream;
+use raidsim::dists::Weibull3;
+use raidsim::hdd::vintage::fig2_vintages;
+use raidsim::run::Simulator;
+use raidsim::workloads::vintage_gen::synthesize;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = std::thread::available_parallelism()?.get();
+    println!("Fitting three production vintages from synthetic field studies");
+    println!(
+        "{:>12} {:>10} {:>10} {:>22} {:>14}",
+        "vintage", "beta_hat", "eta_hat", "90% CI for beta", "HPP tenable?"
+    );
+
+    let mut fitted = Vec::new();
+    for (i, v) in fig2_vintages().iter().enumerate() {
+        let mut rng = stream(2024, i as u64);
+        let data = synthesize(v, &mut rng);
+        let fit = mle(&data)?;
+        let (_eta_ci, beta_ci) = bootstrap_ci(&data, mle, 200, 0.90, 55 + i as u64)?;
+        let hpp = if beta_ci.contains(1.0) { "yes" } else { "NO" };
+        println!(
+            "{:>12} {:>10.3} {:>10.0} {:>10.3}..{:>10.3} {:>14}",
+            v.name, fit.beta, fit.eta, beta_ci.lower, beta_ci.upper, hpp
+        );
+        fitted.push(fit);
+    }
+
+    // What does the shape error cost? Re-run the RAID model with each
+    // fitted TTOp and with the exponential the MTTDL method would use.
+    println!();
+    println!("Impact on 10-year data loss (1,000 groups, no latent defects):");
+    println!("{:>12} {:>18} {:>18}", "vintage", "Weibull fit", "exponential fit");
+    for (i, (v, fit)) in fig2_vintages().iter().zip(&fitted).enumerate() {
+        let weibull = RaidGroupConfig {
+            dists: raidsim::config::TransitionDistributions::weibull_both()?,
+            ..RaidGroupConfig::paper_base_case()?
+        }
+        .with_ttop(Arc::new(Weibull3::two_param(fit.eta, fit.beta)?));
+        // The exponential with the same *mean* lifetime.
+        let mean = Weibull3::two_param(fit.eta, fit.beta)?;
+        let exp_cfg = RaidGroupConfig {
+            dists: raidsim::config::TransitionDistributions::weibull_both()?,
+            ..RaidGroupConfig::paper_base_case()?
+        }
+        .with_ttop(Arc::new(raidsim::dists::Exponential::from_mean(
+            raidsim::dists::LifeDistribution::mean(&mean),
+        )?));
+
+        let seed = 900 + i as u64;
+        let w = Simulator::new(weibull).run_parallel(3_000, seed, threads);
+        let e = Simulator::new(exp_cfg).run_parallel(3_000, seed + 1, threads);
+        println!(
+            "{:>12} {:>18.2} {:>18.2}",
+            v.name,
+            w.ddfs_per_thousand_groups(),
+            e.ddfs_per_thousand_groups()
+        );
+    }
+
+    println!();
+    println!(
+        "Vintages 2 and 3 exclude beta = 1 decisively: assuming a constant \
+         failure rate for them misestimates the 10-year loss count \
+         (paper Figure 10: beta = 0.8 gives ~83% more DDFs than beta = 1, \
+         beta = 1.4 only ~30% as many, at a fixed characteristic life)."
+    );
+    let _ = params::MISSION_HOURS;
+    Ok(())
+}
