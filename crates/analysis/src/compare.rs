@@ -47,11 +47,7 @@ pub struct FleetComparison {
 ///
 /// Panics if either fleet has fewer than 2 systems or `confidence` is
 /// not in `(0, 1)`.
-pub fn compare_fleets(
-    counts_a: &[u64],
-    counts_b: &[u64],
-    confidence: f64,
-) -> FleetComparison {
+pub fn compare_fleets(counts_a: &[u64], counts_b: &[u64], confidence: f64) -> FleetComparison {
     assert!(
         counts_a.len() >= 2 && counts_b.len() >= 2,
         "need at least two systems per fleet"
@@ -63,11 +59,7 @@ pub fn compare_fleets(
     let stats = |xs: &[u64]| {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<u64>() as f64 / n;
-        let var = xs
-            .iter()
-            .map(|&x| (x as f64 - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1.0);
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
         (mean, var / n)
     };
     let (mean_a, se2_a) = stats(counts_a);

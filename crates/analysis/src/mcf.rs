@@ -56,11 +56,7 @@ impl McfEstimate {
     ///
     /// Panics if `events` is empty, `window_hours` is not positive, or
     /// `confidence` is not in `(0, 1)`.
-    pub fn from_event_times(
-        events: &[Vec<f64>],
-        window_hours: f64,
-        confidence: f64,
-    ) -> Self {
+    pub fn from_event_times(events: &[Vec<f64>], window_hours: f64, confidence: f64) -> Self {
         assert!(!events.is_empty(), "need at least one system");
         assert!(
             window_hours.is_finite() && window_hours > 0.0,
@@ -80,7 +76,7 @@ impl McfEstimate {
             .enumerate()
             .flat_map(|(sys, ts)| ts.iter().map(move |&t| (t, sys)))
             .collect();
-        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("event times must be finite"));
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Per-system running counts for the variance term.
         let mut counts = vec![0.0f64; events.len()];
@@ -135,11 +131,7 @@ impl McfEstimate {
 
     /// MCF value at time `t` (step interpolation).
     pub fn at(&self, t: f64) -> f64 {
-        match self
-            .points
-            .partition_point(|p| p.time <= t)
-            .checked_sub(1)
-        {
+        match self.points.partition_point(|p| p.time <= t).checked_sub(1) {
             Some(i) => self.points[i].mean,
             None => 0.0,
         }
@@ -262,8 +254,8 @@ mod tests {
 
     #[test]
     fn poisson_fleet_recovers_linear_mcf() {
-        use rand::SeedableRng;
         use raidsim_dists::{Exponential, LifeDistribution};
+        use rand::SeedableRng;
         // Events at constant rate 1/1000 h over 10,000 h: MCF(t) ≈ t/1000.
         let d = Exponential::from_mean(1_000.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);

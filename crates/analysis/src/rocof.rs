@@ -85,10 +85,7 @@ pub fn rocof_trend(points: &[RocofPoint]) -> f64 {
     let n = points.len() as f64;
     let xm = points.iter().map(|p| p.time).sum::<f64>() / n;
     let ym = points.iter().map(|p| p.rate).sum::<f64>() / n;
-    let sxy: f64 = points
-        .iter()
-        .map(|p| (p.time - xm) * (p.rate - ym))
-        .sum();
+    let sxy: f64 = points.iter().map(|p| (p.time - xm) * (p.rate - ym)).sum();
     let sxx: f64 = points.iter().map(|p| (p.time - xm).powi(2)).sum();
     sxy / sxx
 }
@@ -119,8 +116,8 @@ mod tests {
 
     #[test]
     fn homogeneous_process_has_flat_rocof() {
-        use rand::SeedableRng;
         use raidsim_dists::{Exponential, LifeDistribution};
+        use rand::SeedableRng;
         let d = Exponential::from_mean(500.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let window = 50_000.0;
@@ -141,8 +138,8 @@ mod tests {
 
     #[test]
     fn wearout_process_has_increasing_rocof() {
-        use rand::SeedableRng;
         use raidsim_dists::{LifeDistribution, Weibull3};
+        use rand::SeedableRng;
         // Renewal process with beta = 3 lifetimes, observed over less
         // than one mean life: intensity rises through the window.
         let d = Weibull3::two_param(10_000.0, 3.0).unwrap();

@@ -88,11 +88,7 @@ pub fn render_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -
     }
     out.push('\n');
     for (label, values) in rows {
-        assert_eq!(
-            values.len(),
-            header.len(),
-            "row '{label}' has wrong arity"
-        );
+        assert_eq!(values.len(), header.len(), "row '{label}' has wrong arity");
         let _ = write!(out, "{:>24}", truncate(label, 24));
         for v in values {
             if v.abs() >= 1e5 || (v.abs() < 1e-3 && *v != 0.0) {
@@ -153,11 +149,7 @@ mod tests {
 
     #[test]
     fn scientific_notation_for_extremes() {
-        let text = render_table(
-            "Table 1",
-            &["rate"],
-            &[("low".into(), vec![1.08e-5])],
-        );
+        let text = render_table("Table 1", &["rate"], &[("low".into(), vec![1.08e-5])]);
         assert!(text.contains("e-5") || text.contains("e-05"), "{text}");
     }
 

@@ -214,7 +214,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -223,14 +225,26 @@ mod tests {
 
     fn demo_series() -> Vec<Series> {
         vec![
-            Series::new("No Scrub", vec![(0.0, 0.0), (43_800.0, 540.0), (87_600.0, 1_206.0)]),
-            Series::new("168 hr Scrub", vec![(0.0, 0.0), (43_800.0, 66.0), (87_600.0, 136.0)]),
+            Series::new(
+                "No Scrub",
+                vec![(0.0, 0.0), (43_800.0, 540.0), (87_600.0, 1_206.0)],
+            ),
+            Series::new(
+                "168 hr Scrub",
+                vec![(0.0, 0.0), (43_800.0, 66.0), (87_600.0, 136.0)],
+            ),
         ]
     }
 
     #[test]
     fn renders_valid_svg_skeleton() {
-        let svg = render_chart("Figure 7", "hours", "DDFs / 1000 groups", &demo_series(), ChartLayout::default());
+        let svg = render_chart(
+            "Figure 7",
+            "hours",
+            "DDFs / 1000 groups",
+            &demo_series(),
+            ChartLayout::default(),
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         assert!(svg.contains("Figure 7"));

@@ -39,10 +39,7 @@ pub fn laplace_statistic(event_times: &[f64], window: f64) -> f64 {
     let sum: f64 = event_times
         .iter()
         .map(|&t| {
-            assert!(
-                (0.0..=window).contains(&t),
-                "event at {t} outside window"
-            );
+            assert!((0.0..=window).contains(&t), "event at {t} outside window");
             t
         })
         .sum();
@@ -68,10 +65,7 @@ pub fn mil_hdbk_189_statistic(event_times: &[f64], window: f64) -> f64 {
     2.0 * event_times
         .iter()
         .map(|&t| {
-            assert!(
-                t > 0.0 && t <= window,
-                "event at {t} outside (0, window]"
-            );
+            assert!(t > 0.0 && t <= window, "event at {t} outside (0, window]");
             (window / t).ln()
         })
         .sum::<f64>()
@@ -159,8 +153,8 @@ impl CrowAmsaa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use raidsim_dists::{Exponential, LifeDistribution, Weibull3};
+    use rand::SeedableRng;
 
     /// Pooled events from `k` HPP systems at rate `rate`.
     fn hpp_events(k: usize, rate: f64, window: f64, seed: u64) -> Vec<f64> {

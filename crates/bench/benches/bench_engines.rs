@@ -35,7 +35,7 @@ fn bench_engines(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("engine_{cfg_name}"));
         for (engine_name, engine) in &engines {
             let mut stream_idx = 0u64;
-            group.bench_function(*engine_name, |b| {
+            group.bench_function(engine_name, |b| {
                 b.iter_batched(
                     || {
                         stream_idx += 1;

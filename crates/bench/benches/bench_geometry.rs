@@ -4,8 +4,8 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::{RngExt, SeedableRng};
 use raidsim::geometry::{xor, RowDiagonalParity};
+use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 fn random_blocks(count: usize, len: usize, seed: u64) -> Vec<Bytes> {
@@ -41,8 +41,7 @@ fn bench_rdp(c: &mut Criterion) {
     let encoded = rdp.encode(&data);
     group.bench_function("recover_two_data_disks", |b| {
         b.iter(|| {
-            let mut disks: Vec<Option<Vec<Bytes>>> =
-                encoded.iter().cloned().map(Some).collect();
+            let mut disks: Vec<Option<Vec<Bytes>>> = encoded.iter().cloned().map(Some).collect();
             disks[0] = None;
             disks[3] = None;
             rdp.recover(&mut disks).unwrap();

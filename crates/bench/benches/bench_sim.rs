@@ -53,7 +53,9 @@ fn bench_batch_runner(c: &mut Criterion) {
     group.bench_function("serial_200_groups", |b| {
         b.iter(|| black_box(sim.run(200, 7)))
     });
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     group.bench_function("parallel_200_groups", |b| {
         b.iter(|| black_box(sim.run_parallel(200, 7, threads)))
     });

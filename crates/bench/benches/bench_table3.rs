@@ -20,7 +20,9 @@ fn bench_table3_row(c: &mut Criterion) {
             .with_scrub_policy(policy)
             .unwrap();
         let sim = Simulator::new(cfg);
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         group.bench_function(name, |b| {
             b.iter(|| {
                 let r = sim.run_parallel(500, 3, threads);

@@ -4,9 +4,7 @@
 //! "an MTTDL of 36,162 years (MTBF = 461,386 hrs; MTTR = 12 hrs; N = 7),
 //! 1,000 RAID groups, and 10 years of operation" → 0.28 expected DDFs.
 
-use raidsim::mttdl::{
-    equation3_example, expected_ddfs, mttdl_approx, mttdl_full, HOURS_PER_YEAR,
-};
+use raidsim::mttdl::{equation3_example, expected_ddfs, mttdl_approx, mttdl_full, HOURS_PER_YEAR};
 
 fn main() {
     let lambda = 1.0 / 461_386.0;
@@ -14,8 +12,16 @@ fn main() {
 
     let full = mttdl_full(7, lambda, mu);
     let approx = mttdl_approx(7, lambda, mu);
-    println!("Equation 1 (full):        MTTDL = {:>12.0} h = {:>8.0} years", full, full / HOURS_PER_YEAR);
-    println!("Equation 2 (simplified):  MTTDL = {:>12.0} h = {:>8.0} years", approx, approx / HOURS_PER_YEAR);
+    println!(
+        "Equation 1 (full):        MTTDL = {:>12.0} h = {:>8.0} years",
+        full,
+        full / HOURS_PER_YEAR
+    );
+    println!(
+        "Equation 2 (simplified):  MTTDL = {:>12.0} h = {:>8.0} years",
+        approx,
+        approx / HOURS_PER_YEAR
+    );
     println!();
 
     let ex = equation3_example();
@@ -28,7 +34,10 @@ fn main() {
 
     // The sensitivity table the MTTDL method implies.
     println!("MTTDL sensitivity (eq. 2), 1,000 groups x 10 years:");
-    println!("{:>8} {:>10} {:>14} {:>10}", "N", "MTTR (h)", "MTTDL (yr)", "E[DDFs]");
+    println!(
+        "{:>8} {:>10} {:>14} {:>10}",
+        "N", "MTTR (h)", "MTTDL (yr)", "E[DDFs]"
+    );
     for n in [3usize, 7, 13] {
         for mttr in [6.0, 12.0, 24.0] {
             let m = mttdl_approx(n, lambda, 1.0 / mttr);

@@ -51,11 +51,7 @@ fn main() {
         // Decimate the probability-plot points to ~25 per decade.
         let pts = johnson_ranks(&data);
         let step = (pts.len() / 25).max(1);
-        let coords: Vec<(f64, f64)> = pts
-            .iter()
-            .step_by(step)
-            .map(|p| (p.x(), p.y()))
-            .collect();
+        let coords: Vec<(f64, f64)> = pts.iter().step_by(step).map(|p| (p.x(), p.y())).collect();
         curves.push(Series::new(pop.label(), coords));
     }
 
@@ -69,7 +65,10 @@ fn main() {
     );
 
     for s in &curves {
-        println!("## {} probability-plot coordinates (x = ln t, y = ln(-ln(1-F)))", s.label);
+        println!(
+            "## {} probability-plot coordinates (x = ln t, y = ln(-ln(1-F)))",
+            s.label
+        );
         for (x, y) in &s.points {
             println!("{x:>10.4} {y:>10.4}");
         }

@@ -39,8 +39,7 @@ fn main() {
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         let sd = |xs: &[f64]| {
             let m = mean(xs);
-            (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64)
-                .sqrt()
+            (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
         };
         rows.push((
             format!("{} published", v.name),

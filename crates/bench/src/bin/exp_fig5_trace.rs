@@ -60,7 +60,7 @@ fn main() {
         .enumerate()
         .flat_map(|(s, v)| v.iter().map(move |&(f, r)| (f, s, r)))
         .collect();
-    failures.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    failures.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     println!("Comparison log:");
     let mut block_until = 0.0;
@@ -68,9 +68,7 @@ fn main() {
         let overlapping: Vec<usize> = spans
             .iter()
             .enumerate()
-            .filter(|(j, v)| {
-                *j != slot && v.iter().any(|&(f, r)| f < t && t < r)
-            })
+            .filter(|(j, v)| *j != slot && v.iter().any(|&(f, r)| f < t && t < r))
             .map(|(j, _)| j + 1)
             .collect();
         let verdict = if t < block_until {

@@ -26,7 +26,10 @@ fn main() {
             "c-r(t)",
             TransitionDistributions::constant_failures_weibull_restore().unwrap(),
         ),
-        ("f(t)-r(t)", TransitionDistributions::weibull_both().unwrap()),
+        (
+            "f(t)-r(t)",
+            TransitionDistributions::weibull_both().unwrap(),
+        ),
     ];
 
     let mttdl = mttdl_full(7, 1.0 / params::TTOP_ETA, 1.0 / params::TTR_ETA);

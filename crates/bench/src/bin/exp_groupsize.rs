@@ -35,9 +35,7 @@ fn main() {
             .collect();
         let significant = prev
             .as_ref()
-            .map(|(_, prev_counts)| {
-                compare_fleets(&counts, prev_counts, 0.99).significant
-            })
+            .map(|(_, prev_counts)| compare_fleets(&counts, prev_counts, 0.99).significant)
             .unwrap_or(false);
         rows.push((
             format!(
@@ -52,9 +50,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!(
-                "Group-size sweep — base case ({n_groups} groups/row, common streams)"
-            ),
+            &format!("Group-size sweep — base case ({n_groups} groups/row, common streams)"),
             &["DDFs/1000/10yr", "losses per PB-decade"],
             &rows,
         )

@@ -14,8 +14,14 @@ fn main() {
     let mut rows = Vec::new();
     for (i, (label, policy)) in [
         ("no scrub", ScrubPolicy::Disabled),
-        ("336 hr scrub", ScrubPolicy::with_characteristic_hours(336.0)),
-        ("168 hr scrub", ScrubPolicy::with_characteristic_hours(168.0)),
+        (
+            "336 hr scrub",
+            ScrubPolicy::with_characteristic_hours(336.0),
+        ),
+        (
+            "168 hr scrub",
+            ScrubPolicy::with_characteristic_hours(168.0),
+        ),
         ("48 hr scrub", ScrubPolicy::with_characteristic_hours(48.0)),
         ("12 hr scrub", ScrubPolicy::with_characteristic_hours(12.0)),
     ]

@@ -55,9 +55,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &format!(
-                "Restore-distribution sensitivity — base case ({n_groups} groups/row)"
-            ),
+            &format!("Restore-distribution sensitivity — base case ({n_groups} groups/row)"),
             &["restore mean (h)", "DDFs/1000/10yr"],
             &rows,
         )

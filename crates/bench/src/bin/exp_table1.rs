@@ -13,11 +13,7 @@ fn main() {
         let low = &chunk[0];
         let high = &chunk[1];
         rows.push((
-            format!(
-                "{} ({:.1e}/B)",
-                low.rer_label,
-                low.rer.errors_per_byte()
-            ),
+            format!("{} ({:.1e}/B)", low.rer_label, low.rer.errors_per_byte()),
             vec![low.errors_per_hour, high.errors_per_hour],
         ));
     }

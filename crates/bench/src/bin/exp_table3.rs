@@ -23,8 +23,14 @@ fn main() {
     let mut rows = vec![("MTTDL".to_string(), vec![mttdl_year, 1.0])];
     let policies: [(&str, ScrubPolicy); 5] = [
         ("Base case w/o scrub", ScrubPolicy::Disabled),
-        ("336 hr scrub", ScrubPolicy::with_characteristic_hours(336.0)),
-        ("168 hr scrub", ScrubPolicy::with_characteristic_hours(168.0)),
+        (
+            "336 hr scrub",
+            ScrubPolicy::with_characteristic_hours(336.0),
+        ),
+        (
+            "168 hr scrub",
+            ScrubPolicy::with_characteristic_hours(168.0),
+        ),
         ("48 hr scrub", ScrubPolicy::with_characteristic_hours(48.0)),
         ("12 hr scrub", ScrubPolicy::with_characteristic_hours(12.0)),
     ];

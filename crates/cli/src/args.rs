@@ -21,10 +21,7 @@ impl Args {
         while i < argv.len() {
             let a = &argv[i];
             if let Some(key) = a.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = argv.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }

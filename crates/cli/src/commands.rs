@@ -49,9 +49,7 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
     if raid6 {
         cfg.redundancy = Redundancy::DoubleParity;
     }
-    cfg.dists.ttop = Arc::new(
-        Weibull3::two_param(ttop_eta, ttop_beta).map_err(|e| e.to_string())?,
-    );
+    cfg.dists.ttop = Arc::new(Weibull3::two_param(ttop_eta, ttop_beta).map_err(|e| e.to_string())?);
     match ttld.as_deref() {
         Some("off") => {
             cfg.dists.ttld = None;
@@ -59,8 +57,9 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
         }
         Some(v) => {
             let eta: f64 = v.parse().map_err(|_| format!("--ttld-eta: bad '{v}'"))?;
-            cfg.dists.ttld =
-                Some(Arc::new(Weibull3::two_param(eta, 1.0).map_err(|e| e.to_string())?));
+            cfg.dists.ttld = Some(Arc::new(
+                Weibull3::two_param(eta, 1.0).map_err(|e| e.to_string())?,
+            ));
         }
         None => {}
     }
@@ -82,13 +81,23 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
         .unwrap_or(4);
     let sim = Simulator::new(cfg);
     let (result, note) = if precision > 0.0 {
-        let (r, report) =
-            sim.run_until_precision(precision, 0.95, groups.clamp(100, 1_000), groups, seed, threads);
+        let (r, report) = sim.run_until_precision(
+            precision,
+            0.95,
+            groups.clamp(100, 1_000),
+            groups,
+            seed,
+            threads,
+        );
         let note = format!(
             "precision run: {} groups, 95% CI half-width {:.1}% of mean{}\n",
             report.groups,
             100.0 * report.half_width / report.mean.max(1e-12),
-            if report.converged { "" } else { " (cap reached)" },
+            if report.converged {
+                ""
+            } else {
+                " (cap reached)"
+            },
         );
         (r, note)
     } else {
@@ -163,7 +172,11 @@ pub fn fit(argv: &[String]) -> Result<String, String> {
         data.len()
     );
     let m = mle(&data).map_err(|e| e.to_string())?;
-    let _ = writeln!(out, "MLE:             eta = {:.1} h, beta = {:.4}", m.eta, m.beta);
+    let _ = writeln!(
+        out,
+        "MLE:             eta = {:.1} h, beta = {:.4}",
+        m.eta, m.beta
+    );
     if let Ok(r) = rank_regression(&data) {
         let _ = writeln!(
             out,
@@ -212,8 +225,7 @@ pub fn closedform(argv: &[String]) -> Result<String, String> {
         ..ClosedFormInputs::paper_base_case()
     };
     let ttop = Weibull3::two_param(ttop_eta, ttop_beta).map_err(|e| e.to_string())?;
-    let per_group =
-        expected_ddfs_per_group(&inputs, &ttop, mission_years * HOURS_PER_YEAR);
+    let per_group = expected_ddfs_per_group(&inputs, &ttop, mission_years * HOURS_PER_YEAR);
     Ok(format!(
         "closed-form estimate: {:.2} DDFs per 1,000 groups over {mission_years} years\n\
          (first-order approximation; accurate to ~15% against the Monte Carlo\n\
@@ -227,7 +239,10 @@ pub fn table1(argv: &[String]) -> Result<String, String> {
     let args = Args::parse(argv);
     args.reject_unknown()?;
     let mut out = String::new();
-    let _ = writeln!(out, "latent-defect rates, errors/hour/drive (paper Table 1):");
+    let _ = writeln!(
+        out,
+        "latent-defect rates, errors/hour/drive (paper Table 1):"
+    );
     for cell in raidsim::hdd::rer::table1() {
         let _ = writeln!(
             out,
@@ -248,8 +263,10 @@ mod tests {
 
     #[test]
     fn simulate_no_latent_defects() {
-        let out = simulate(&argv("--groups 50 --seed 1 --ttld-eta off --mission-years 1"))
-            .unwrap();
+        let out = simulate(&argv(
+            "--groups 50 --seed 1 --ttld-eta off --mission-years 1",
+        ))
+        .unwrap();
         assert!(out.contains("latent defects/group: 0.00"), "{out}");
     }
 
@@ -261,8 +278,7 @@ mod tests {
 
     #[test]
     fn simulate_precision_mode() {
-        let out =
-            simulate(&argv("--groups 2000 --precision 0.5 --mission-years 2")).unwrap();
+        let out = simulate(&argv("--groups 2000 --precision 0.5 --mission-years 2")).unwrap();
         assert!(out.contains("precision run"), "{out}");
     }
 
@@ -283,10 +299,7 @@ mod tests {
     fn closedform_tracks_base_case() {
         let out = closedform(&argv("")).unwrap();
         // The base-case closed form lands near 139 per 1,000 groups.
-        let value: f64 = out
-            .split_whitespace()
-            .find_map(|w| w.parse().ok())
-            .unwrap();
+        let value: f64 = out.split_whitespace().find_map(|w| w.parse().ok()).unwrap();
         assert!((value - 139.0).abs() < 15.0, "{out}");
         // RAID 6 is an order of magnitude better.
         let out6 = closedform(&argv("--raid6")).unwrap();

@@ -21,9 +21,7 @@ pub fn parse_life_data(text: &str) -> Result<Vec<Observation>, String> {
         let time: f64 = match time_field.parse() {
             Ok(t) => t,
             Err(_) if lineno == 0 => continue, // header row
-            Err(_) => {
-                return Err(format!("line {}: bad time '{time_field}'", lineno + 1))
-            }
+            Err(_) => return Err(format!("line {}: bad time '{time_field}'", lineno + 1)),
         };
         if !time.is_finite() || time < 0.0 {
             return Err(format!("line {}: time must be >= 0", lineno + 1));
@@ -76,8 +74,8 @@ mod tests {
     fn rejects_malformed_rows() {
         assert!(parse_life_data("10\n").is_err()); // missing column
         assert!(parse_life_data("10,2\n").is_err()); // bad failed flag
-        // A non-numeric first field on line 0 is a header, so this is
-        // one valid row:
+                                                     // A non-numeric first field on line 0 is a header, so this is
+                                                     // one valid row:
         assert_eq!(parse_life_data("ten,1\n5,1\n").unwrap().len(), 1);
         assert!(parse_life_data("10,1,extra\n").is_err());
         assert!(parse_life_data("-5,1\n").is_err());

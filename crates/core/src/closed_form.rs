@@ -136,7 +136,9 @@ mod tests {
     use raidsim_dists::Weibull3;
 
     fn threads() -> usize {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 
     fn base_ttop() -> Weibull3 {
@@ -146,8 +148,7 @@ mod tests {
     #[test]
     fn matches_monte_carlo_on_base_case() {
         let inputs = ClosedFormInputs::paper_base_case();
-        let analytic =
-            1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
+        let analytic = 1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
         let mc = Simulator::new(RaidGroupConfig::paper_base_case().unwrap())
             .run_parallel(6_000, 31, threads())
             .ddfs_per_thousand_groups();
@@ -163,8 +164,7 @@ mod tests {
                 mean_scrub: Some(mean_scrub),
                 ..ClosedFormInputs::paper_base_case()
             };
-            let analytic =
-                1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
+            let analytic = 1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
             let cfg = RaidGroupConfig::paper_base_case()
                 .unwrap()
                 .with_scrub_policy(ScrubPolicy::with_characteristic_hours(eta))
@@ -187,8 +187,7 @@ mod tests {
             mean_scrub: None,
             ..ClosedFormInputs::paper_base_case()
         };
-        let analytic =
-            1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
+        let analytic = 1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
         // Figure 6's f(t)-r(t) level: a fraction of one DDF per 1,000
         // groups.
         assert!(analytic > 0.05 && analytic < 1.0, "analytic = {analytic}");
@@ -239,8 +238,7 @@ mod tests {
             mean_scrub: None,
             ..ClosedFormInputs::paper_base_case()
         };
-        let analytic =
-            1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
+        let analytic = 1_000.0 * expected_ddfs_per_group(&inputs, &base_ttop(), 87_600.0);
         use raidsim_hdd::scrub::ScrubPolicy;
         let cfg = RaidGroupConfig::paper_base_case()
             .unwrap()
@@ -265,10 +263,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "t must be positive")]
     fn rejects_bad_horizon() {
-        expected_ddfs_per_group(
-            &ClosedFormInputs::paper_base_case(),
-            &base_ttop(),
-            0.0,
-        );
+        expected_ddfs_per_group(&ClosedFormInputs::paper_base_case(), &base_ttop(), 0.0);
     }
 }

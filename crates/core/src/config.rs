@@ -215,8 +215,7 @@ impl TransitionDistributions {
 /// a second failure loses data. Only the discrete-event engine models
 /// spares (the timeline engine pre-generates restorations and ignores
 /// this field); the `exp_spares` ablation quantifies the effect.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SparePolicy {
     /// A spare is always on hand (the paper's assumption).
     #[default]
@@ -230,7 +229,6 @@ pub enum SparePolicy {
         replenish_hours: f64,
     },
 }
-
 
 /// Full configuration of one simulated RAID group.
 #[derive(Debug, Clone)]

@@ -132,10 +132,7 @@ mod tests {
     fn down_dominates_classification() {
         // Mixed: a down drive alone already loses data; classify as
         // double-operational even if defects also exist.
-        assert_eq!(
-            single(&[Down, Defective]),
-            Some(DdfKind::DoubleOperational)
-        );
+        assert_eq!(single(&[Down, Defective]), Some(DdfKind::DoubleOperational));
     }
 
     #[test]

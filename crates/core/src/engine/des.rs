@@ -13,16 +13,31 @@ struct SparePool {
 }
 
 impl SparePool {
+    /// Builds a pool for the policy, or `None` when spares are always
+    /// on hand. All validation happens here, once, so [`Self::acquire`]
+    /// stays panic-free on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pool or a non-finite/negative replenish time
+    /// — conditions [`RaidGroupConfig::validate`] already rejects.
     fn new(policy: SparePolicy) -> Option<Self> {
         match policy {
             SparePolicy::AlwaysAvailable => None,
             SparePolicy::Finite {
                 pool,
                 replenish_hours,
-            } => Some(Self {
-                available_at: vec![0.0; pool as usize],
-                replenish_hours,
-            }),
+            } => {
+                assert!(pool > 0, "spare pool must hold at least one spare");
+                assert!(
+                    replenish_hours.is_finite() && replenish_hours >= 0.0,
+                    "replenish time must be finite and non-negative, got {replenish_hours}"
+                );
+                Some(Self {
+                    available_at: vec![0.0; pool as usize],
+                    replenish_hours,
+                })
+            }
         }
     }
 
@@ -30,12 +45,19 @@ impl SparePool {
     /// returns when reconstruction can start (≥ `t`). A reorder for
     /// the consumed spare arrives `replenish_hours` after the start.
     fn acquire(&mut self, t: f64) -> f64 {
-        let (idx, _) = self
-            .available_at
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
-            .expect("pool validated non-empty");
+        debug_assert!(t.is_finite(), "failure time must be finite, got {t}");
+        // The pool is validated non-empty at construction, so index 0
+        // always exists; total_cmp keeps the scan total without
+        // unwrapping a comparison.
+        let mut idx = 0;
+        for i in 1..self.available_at.len() {
+            if self.available_at[i]
+                .total_cmp(&self.available_at[idx])
+                .is_lt()
+            {
+                idx = i;
+            }
+        }
         let start = self.available_at[idx].max(t);
         self.available_at[idx] = start + self.replenish_hours;
         start
@@ -130,6 +152,7 @@ impl Engine for DesEngine {
             if t > mission {
                 break;
             }
+            debug_assert!(t.is_finite(), "event time must be finite, got {t}");
 
             if is_op {
                 if slots[idx].up {
@@ -142,23 +165,30 @@ impl Engine for DesEngine {
                         None => t,
                     };
                     let restore_at = start + dists.ttr.sample(rng);
+                    debug_assert!(
+                        restore_at.is_finite(),
+                        "restore time must be finite, got {restore_at}"
+                    );
                     // Drive-hours down within the mission window.
                     history.downtime_hours += restore_at.min(mission) - t;
 
                     // Evaluate the DDF rules against the rest of the
                     // group (rule 5: only outside the blocking window).
                     if t >= ddf_block_until {
-                        let others = slots.iter().enumerate().filter(|(j, _)| *j != idx).map(
-                            |(_, s)| {
-                                if !s.up {
-                                    SlotCondition::Down
-                                } else if s.defective {
-                                    SlotCondition::Defective
-                                } else {
-                                    SlotCondition::Clean
-                                }
-                            },
-                        );
+                        let others =
+                            slots
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != idx)
+                                .map(|(_, s)| {
+                                    if !s.up {
+                                        SlotCondition::Down
+                                    } else if s.defective {
+                                        SlotCondition::Defective
+                                    } else {
+                                        SlotCondition::Clean
+                                    }
+                                });
                         let verdict = ddf::check(others, cfg.redundancy);
                         if let Some(kind) = verdict.ddf {
                             history.ddfs.push(DdfEvent { time: t, kind });
@@ -452,7 +482,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(pool.acquire(10.0), 10.0); // immediate
-        // Next failure at 20: the reorder lands at 110.
+                                              // Next failure at 20: the reorder lands at 110.
         assert_eq!(pool.acquire(20.0), 110.0);
         // And the next at 500: pool has recovered by 210 < 500.
         assert_eq!(pool.acquire(500.0), 500.0);

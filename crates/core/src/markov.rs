@@ -184,7 +184,10 @@ impl Ctmc {
         // Uniformization rate: the largest total exit rate.
         let mut lambda = 0.0f64;
         for i in 0..self.n {
-            let exit: f64 = (0..self.n).filter(|&j| j != i).map(|j| self.rates[i][j]).sum();
+            let exit: f64 = (0..self.n)
+                .filter(|&j| j != i)
+                .map(|j| self.rates[i][j])
+                .sum();
             lambda = lambda.max(exit);
         }
         if lambda == 0.0 {
@@ -255,8 +258,7 @@ impl Ctmc {
             for j in 0..n {
                 if i == j {
                     // Diagonal of Q: negative exit rate.
-                    let exit: f64 =
-                        (0..n).filter(|&k| k != i).map(|k| self.rates[i][k]).sum();
+                    let exit: f64 = (0..n).filter(|&k| k != i).map(|k| self.rates[i][k]).sum();
                     a[j][i] -= exit;
                 } else {
                     a[j][i] += self.rates[i][j];
@@ -283,12 +285,8 @@ impl Ctmc {
     /// Panics if `start` is absorbing or absorption is unreachable
     /// (singular system).
     pub fn mean_time_to_absorption(&self, absorbing: &[usize], start: usize) -> f64 {
-        assert!(
-            !absorbing.contains(&start),
-            "start state must be transient"
-        );
-        let transient: Vec<usize> =
-            (0..self.n).filter(|s| !absorbing.contains(s)).collect();
+        assert!(!absorbing.contains(&start), "start state must be transient");
+        let transient: Vec<usize> = (0..self.n).filter(|s| !absorbing.contains(s)).collect();
         let index_of = |s: usize| transient.iter().position(|&t| t == s);
         let m = transient.len();
         // Rows: -Q restricted to transient states; RHS: ones.
@@ -370,12 +368,7 @@ fn solve_linear(mut a: Vec<Vec<f64>>) -> Vec<f64> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n)
-            .max_by(|&x, &y| {
-                a[x][col]
-                    .abs()
-                    .partial_cmp(&a[y][col].abs())
-                    .expect("finite")
-            })
+            .max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs()))
             .expect("non-empty");
         a.swap(col, pivot);
         let diag = a[col][col];
@@ -472,8 +465,8 @@ pub fn latent_defect_chain(
     c.set_rate(DEGRADED, GOOD, mu_restore); // g[dRestore]
     c.set_rate(LATENT, DDF_FROM_LATENT, n * lambda_op); // g[(N); dOp]
     c.set_rate(DEGRADED, DDF_FROM_OP, n * lambda_op); // g[(N); dOp]
-    // While a defect is pending the drive can also fail operationally
-    // itself (not a DDF: the defective drive *is* the failed drive).
+                                                      // While a defect is pending the drive can also fail operationally
+                                                      // itself (not a DDF: the defective drive *is* the failed drive).
     c.set_rate(LATENT, DEGRADED, lambda_op);
     // DDF states are repaired like any restoration.
     c.set_rate(DDF_FROM_LATENT, GOOD, mu_restore);
@@ -542,8 +535,7 @@ mod tests {
         let c = latent_defect_chain(7, LAMBDA, MU, lambda_ld, mu_scrub);
         let p0 = [1.0, 0.0, 0.0, 0.0, 0.0];
         let t = 87_600.0;
-        let from_latent =
-            c.expected_entries(&p0, &[ld_states::DDF_FROM_LATENT], t, 0.5);
+        let from_latent = c.expected_entries(&p0, &[ld_states::DDF_FROM_LATENT], t, 0.5);
         let from_op = c.expected_entries(&p0, &[ld_states::DDF_FROM_OP], t, 0.5);
         assert!(
             from_latent > 100.0 * from_op,
@@ -648,8 +640,7 @@ mod tests {
     fn absorbing_mean_time_from_degraded_is_shorter() {
         let c = mttdl_chain(7, LAMBDA, MU);
         let from_good = c.mean_time_to_absorption(&[mttdl_states::DDF], mttdl_states::GOOD);
-        let from_degraded =
-            c.mean_time_to_absorption(&[mttdl_states::DDF], mttdl_states::DEGRADED);
+        let from_degraded = c.mean_time_to_absorption(&[mttdl_states::DDF], mttdl_states::DEGRADED);
         assert!(from_degraded < from_good);
     }
 

@@ -169,14 +169,12 @@ mod tests {
     #[test]
     fn expected_ddfs_scales_with_groups_and_time() {
         let m = 1.0e8;
-        assert!((expected_ddfs(m, 2_000.0, 87_600.0) / expected_ddfs(m, 1_000.0, 87_600.0)
-            - 2.0)
-            .abs()
-            < 1e-12);
         assert!(
-            (expected_ddfs(m, 1_000.0, 87_600.0) / expected_ddfs(m, 1_000.0, 8_760.0)
-                - 10.0)
-                .abs()
+            (expected_ddfs(m, 2_000.0, 87_600.0) / expected_ddfs(m, 1_000.0, 87_600.0) - 2.0).abs()
+                < 1e-12
+        );
+        assert!(
+            (expected_ddfs(m, 1_000.0, 87_600.0) / expected_ddfs(m, 1_000.0, 8_760.0) - 10.0).abs()
                 < 1e-12
         );
     }

@@ -96,7 +96,7 @@ impl Simulator {
         }
         let chunk = groups.div_ceil(threads);
         let mut histories: Vec<GroupHistory> = Vec::with_capacity(groups);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for w in 0..threads {
                 let lo = w * chunk;
@@ -106,7 +106,7 @@ impl Simulator {
                 }
                 let cfg = &self.cfg;
                 let engine = &self.engine;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     (lo..hi)
                         .map(|i| {
                             let mut rng = stream(seed, i as u64);
@@ -118,8 +118,7 @@ impl Simulator {
             for h in handles {
                 histories.extend(h.join().expect("simulation worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         SimulationResult {
             histories,
             mission_hours: self.cfg.mission_hours,
@@ -205,8 +204,7 @@ impl Simulator {
                 .collect();
             let mean = counts.iter().sum::<f64>() / n;
             if n >= 2.0 && mean > 0.0 {
-                let var =
-                    counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1.0);
                 let half = z * (var / n).sqrt();
                 if half / mean <= target_relative {
                     return (
@@ -267,12 +265,12 @@ impl Simulator {
         }
         let chunk = indices.len().div_ceil(threads);
         let mut histories: Vec<GroupHistory> = Vec::with_capacity(indices.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for slice in indices.chunks(chunk) {
                 let cfg = &self.cfg;
                 let engine = &self.engine;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     slice
                         .iter()
                         .map(|&i| {
@@ -285,8 +283,7 @@ impl Simulator {
             for h in handles {
                 histories.extend(h.join().expect("simulation worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
         SimulationResult {
             histories,
             mission_hours: self.cfg.mission_hours,
@@ -397,7 +394,11 @@ impl SimulationResult {
             .iter()
             .flat_map(|h| h.ddfs.iter().map(|e| e.time))
             .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        debug_assert!(
+            times.iter().all(|t| t.is_finite()),
+            "DDF times must be finite"
+        );
+        times.sort_by(f64::total_cmp);
         times
     }
 
@@ -540,10 +541,7 @@ mod tests {
         let sim = Simulator::new(base());
         let r = sim.run(100, 3);
         assert_eq!(r.groups(), 100);
-        assert_eq!(
-            r.total_ddfs(),
-            r.kind_counts().0 + r.kind_counts().1
-        );
+        assert_eq!(r.total_ddfs(), r.kind_counts().0 + r.kind_counts().1);
         assert_eq!(r.ddfs_by(r.mission_hours), r.total_ddfs());
         assert_eq!(r.ddfs_by(0.0), 0);
         let times = r.ddf_times();
@@ -654,14 +652,16 @@ mod tests {
             .iter()
             .map(|h| h.downtime_hours)
             .sum();
-        assert!((d - t).abs() / d.max(1.0) < 0.15, "des = {d}, timeline = {t}");
+        assert!(
+            (d - t).abs() / d.max(1.0) < 0.15,
+            "des = {d}, timeline = {t}"
+        );
     }
 
     #[test]
     fn precision_run_converges_and_matches_plain_run() {
         let sim = Simulator::new(base());
-        let (result, report) =
-            sim.run_until_precision(0.25, 0.90, 200, 4_000, 99, 4);
+        let (result, report) = sim.run_until_precision(0.25, 0.90, 200, 4_000, 99, 4);
         assert!(report.converged, "{report:?}");
         assert!(report.half_width / report.mean <= 0.25);
         assert_eq!(report.groups, result.groups());

@@ -37,12 +37,11 @@ fn configs() -> impl Strategy<Value = RaidGroupConfig> {
                 if drives <= redundancy.tolerated() {
                     return None;
                 }
-                let ttld: Option<Arc<dyn LifeDistribution>> = ld
-                    .map(|(e, _)| Arc::new(Weibull3::two_param(e, 1.0).unwrap()) as _);
-                let ttscrub: Option<Arc<dyn LifeDistribution>> =
-                    ld.and_then(|(_, s)| s).map(|e| {
-                        Arc::new(Weibull3::new(1.0, e, 3.0).unwrap()) as _
-                    });
+                let ttld: Option<Arc<dyn LifeDistribution>> =
+                    ld.map(|(e, _)| Arc::new(Weibull3::two_param(e, 1.0).unwrap()) as _);
+                let ttscrub: Option<Arc<dyn LifeDistribution>> = ld
+                    .and_then(|(_, s)| s)
+                    .map(|e| Arc::new(Weibull3::new(1.0, e, 3.0).unwrap()) as _);
                 Some(RaidGroupConfig {
                     drives,
                     redundancy,

@@ -65,10 +65,7 @@ fn simultaneous_failures_produce_one_ddf_per_cycle() {
         vec![100.0, 250.0, 400.0, 550.0, 700.0, 850.0, 1_000.0],
         "one DDF per 150 h failure cycle"
     );
-    assert!(h
-        .ddfs
-        .iter()
-        .all(|e| e.kind == DdfKind::DoubleOperational));
+    assert!(h.ddfs.iter().all(|e| e.kind == DdfKind::DoubleOperational));
     // 8 failures per cycle x 7 cycles.
     assert_eq!(h.op_failures, 56);
 }

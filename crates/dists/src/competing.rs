@@ -189,10 +189,7 @@ mod tests {
         let c = bathtub();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let n = 40_000;
-        let below = (0..n)
-            .filter(|_| c.sample(&mut rng) <= 60_000.0)
-            .count() as f64
-            / n as f64;
+        let below = (0..n).filter(|_| c.sample(&mut rng) <= 60_000.0).count() as f64 / n as f64;
         assert!(
             (below - c.cdf(60_000.0)).abs() < 0.01,
             "empirical = {below}, analytic = {}",

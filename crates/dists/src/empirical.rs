@@ -75,7 +75,7 @@ impl PlotPoint {
 /// ```
 pub fn median_ranks(failure_times: &[f64]) -> Vec<PlotPoint> {
     let mut times = failure_times.to_vec();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("failure times must not be NaN"));
+    times.sort_by(f64::total_cmp);
     let n = times.len() as f64;
     times
         .iter()
@@ -101,8 +101,7 @@ pub fn johnson_ranks(data: &[Observation]) -> Vec<PlotPoint> {
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| {
         a.time
-            .partial_cmp(&b.time)
-            .expect("observation times must not be NaN")
+            .total_cmp(&b.time)
             // Failures sort before suspensions at identical times
             // (standard convention).
             .then(b.failed.cmp(&a.failed))
@@ -143,7 +142,7 @@ impl Ecdf {
     pub fn new(samples: &[f64]) -> Self {
         assert!(!samples.is_empty(), "ECDF requires at least one sample");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         Self { sorted }
     }
 
@@ -185,12 +184,7 @@ impl Ecdf {
 /// time.
 pub fn kaplan_meier(data: &[Observation]) -> Vec<(f64, f64)> {
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| {
-        a.time
-            .partial_cmp(&b.time)
-            .expect("observation times must not be NaN")
-            .then(b.failed.cmp(&a.failed))
-    });
+    sorted.sort_by(|a, b| a.time.total_cmp(&b.time).then(b.failed.cmp(&a.failed)));
     let mut at_risk = sorted.len() as f64;
     let mut survival = 1.0;
     let mut steps: Vec<(f64, f64)> = Vec::new();
@@ -251,10 +245,7 @@ mod tests {
             Observation::censored(15.0),
             Observation::failure(20.0),
         ]);
-        let without = johnson_ranks(&[
-            Observation::failure(10.0),
-            Observation::failure(20.0),
-        ]);
+        let without = johnson_ranks(&[Observation::failure(10.0), Observation::failure(20.0)]);
         // Positions come from different n, so compare adjusted-rank
         // spacing: with a suspension between, the second failure's rank
         // increment grows.

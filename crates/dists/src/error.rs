@@ -43,7 +43,10 @@ impl fmt::Display for DistError {
                 constraint,
             } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
             DistError::InvalidWeights { sum } => {
-                write!(f, "mixture weights must be positive and sum to 1, got sum {sum}")
+                write!(
+                    f,
+                    "mixture weights must be positive and sum to 1, got sum {sum}"
+                )
             }
             DistError::Empty => write!(f, "composite distribution has no components"),
             DistError::InsufficientData { failures, required } => write!(
@@ -51,7 +54,10 @@ impl fmt::Display for DistError {
                 "insufficient data: {failures} failure observations, need at least {required}"
             ),
             DistError::NoConvergence { iterations } => {
-                write!(f, "estimator did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "estimator did not converge after {iterations} iterations"
+                )
             }
         }
     }

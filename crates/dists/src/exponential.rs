@@ -160,8 +160,10 @@ mod tests {
         let e = Exponential::from_mean(100.0).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let n = 100_000;
-        let mean: f64 =
-            (0..n).map(|_| e.sample_conditional(500.0, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| e.sample_conditional(500.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 100.0).abs() < 2.0, "conditional mean = {mean}");
     }
 

@@ -81,7 +81,7 @@ pub fn mixture_em(times: &[f64]) -> Result<FittedMixture, DistError> {
 
     // Initialize by a median split.
     let mut sorted = times.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(f64::total_cmp);
     let half = sorted.len() / 2;
     let mut comp1 = weighted_weibull_mle(&sorted[..half], None)?;
     let mut comp2 = weighted_weibull_mle(&sorted[half..], None)?;
@@ -107,7 +107,9 @@ pub fn mixture_em(times: &[f64]) -> Result<FittedMixture, DistError> {
         let w1: f64 = resp.iter().sum();
         weight = w1 / n;
         if !(1e-4..=1.0 - 1e-4).contains(&weight) {
-            return Err(DistError::NoConvergence { iterations: iteration });
+            return Err(DistError::NoConvergence {
+                iterations: iteration,
+            });
         }
         comp1 = weighted_weibull_mle(times, Some(&resp))?;
         let resp2: Vec<f64> = resp.iter().map(|r| 1.0 - r).collect();
@@ -160,8 +162,10 @@ fn weighted_weibull_mle(times: &[f64], weights: Option<&[f64]>) -> Result<(f64, 
     }
     let t_max = times.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
     let scaled: Vec<f64> = times.iter().map(|&t| t / t_max).collect();
-    let mean_ln: f64 =
-        (0..scaled.len()).map(|i| w(i) * scaled[i].ln()).sum::<f64>() / total;
+    let mean_ln: f64 = (0..scaled.len())
+        .map(|i| w(i) * scaled[i].ln())
+        .sum::<f64>()
+        / total;
 
     let score = |beta: f64| -> f64 {
         let mut s0 = 0.0;
@@ -208,16 +212,13 @@ mod tests {
     use crate::rng::stream;
     use crate::LifeDistribution;
 
-    fn draw_mixture(
-        w: f64,
-        a: (f64, f64),
-        b: (f64, f64),
-        n: usize,
-        seed: u64,
-    ) -> Vec<f64> {
+    fn draw_mixture(w: f64, a: (f64, f64), b: (f64, f64), n: usize, seed: u64) -> Vec<f64> {
         let mix = Mixture::new(vec![
             (w, Arc::new(Weibull3::two_param(a.0, a.1).unwrap()) as _),
-            (1.0 - w, Arc::new(Weibull3::two_param(b.0, b.1).unwrap()) as _),
+            (
+                1.0 - w,
+                Arc::new(Weibull3::two_param(b.0, b.1).unwrap()) as _,
+            ),
         ])
         .unwrap();
         let mut rng = stream(seed, 0);
@@ -285,8 +286,7 @@ mod tests {
         let times = draw_mixture(0.25, (600.0, 1.1), (150_000.0, 1.4), 6_000, 5);
         let fit = mixture_em(&times).unwrap();
         let dist = fit.to_distribution().unwrap();
-        let below = times.iter().filter(|&&t| t <= 2_000.0).count() as f64
-            / times.len() as f64;
+        let below = times.iter().filter(|&&t| t <= 2_000.0).count() as f64 / times.len() as f64;
         assert!(
             (dist.cdf(2_000.0) - below).abs() < 0.03,
             "model {}, empirical {below}",

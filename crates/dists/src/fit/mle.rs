@@ -145,12 +145,7 @@ mod tests {
     use crate::{LifeDistribution, Weibull3};
     use rand::SeedableRng;
 
-    fn censored_sample(
-        truth: &Weibull3,
-        n: usize,
-        window: f64,
-        seed: u64,
-    ) -> Vec<Observation> {
+    fn censored_sample(truth: &Weibull3, n: usize, window: f64, seed: u64) -> Vec<Observation> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {

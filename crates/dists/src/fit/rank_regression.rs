@@ -56,10 +56,7 @@ pub fn rank_regression(data: &[Observation]) -> Result<FittedWeibull, DistError>
     if points.iter().any(|p| p.time <= 0.0) {
         return Err(DistError::InvalidParameter {
             name: "time",
-            value: points
-                .iter()
-                .map(|p| p.time)
-                .fold(f64::INFINITY, f64::min),
+            value: points.iter().map(|p| p.time).fold(f64::INFINITY, f64::min),
             constraint: "failure times must be > 0 for a log-log fit",
         });
     }
@@ -115,7 +112,9 @@ mod tests {
 
     fn sample_failures(d: &dyn LifeDistribution, n: usize, seed: u64) -> Vec<Observation> {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Observation::failure(d.sample(&mut rng))).collect()
+        (0..n)
+            .map(|_| Observation::failure(d.sample(&mut rng)))
+            .collect()
     }
 
     #[test]

@@ -130,8 +130,16 @@ mod tests {
         let data = sample(&truth, 4_000, 1);
         let fit3 = mle3(&data).unwrap();
         assert!((fit3.gamma - 6.0).abs() < 0.5, "gamma = {}", fit3.gamma);
-        assert!((fit3.shifted.beta - 2.0).abs() < 0.2, "beta = {}", fit3.shifted.beta);
-        assert!((fit3.shifted.eta - 12.0).abs() < 1.0, "eta = {}", fit3.shifted.eta);
+        assert!(
+            (fit3.shifted.beta - 2.0).abs() < 0.2,
+            "beta = {}",
+            fit3.shifted.beta
+        );
+        assert!(
+            (fit3.shifted.eta - 12.0).abs() < 1.0,
+            "eta = {}",
+            fit3.shifted.eta
+        );
 
         let fit2 = crate::fit::mle(&data).unwrap();
         assert!(

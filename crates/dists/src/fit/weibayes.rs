@@ -63,7 +63,10 @@ pub fn weibayes(data: &[Observation], beta: f64) -> Result<f64, DistError> {
     }
     let r = data.iter().filter(|o| o.failed).count().max(1) as f64;
     // Scale by the max time for numerical stability at large beta.
-    let t_max = data.iter().map(|o| o.time).fold(f64::MIN_POSITIVE, f64::max);
+    let t_max = data
+        .iter()
+        .map(|o| o.time)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let sum: f64 = data.iter().map(|o| (o.time / t_max).powf(beta)).sum();
     Ok(t_max * (sum / r).powf(1.0 / beta))
 }
@@ -104,8 +107,7 @@ mod tests {
 
     #[test]
     fn zero_failures_give_conservative_lower_bound() {
-        let data: Vec<Observation> =
-            (0..500).map(|_| Observation::censored(6_000.0)).collect();
+        let data: Vec<Observation> = (0..500).map(|_| Observation::censored(6_000.0)).collect();
         let eta = weibayes(&data, 1.0).unwrap();
         // With beta = 1: eta = total time on test / 1 = 3,000,000.
         assert!((eta - 3.0e6).abs() < 1.0);
@@ -134,8 +136,7 @@ mod tests {
 
     #[test]
     fn large_beta_is_numerically_stable() {
-        let data: Vec<Observation> =
-            (0..100).map(|_| Observation::censored(4.5e5)).collect();
+        let data: Vec<Observation> = (0..100).map(|_| Observation::censored(4.5e5)).collect();
         let eta = weibayes(&data, 5.0).unwrap();
         assert!(eta.is_finite() && eta > 4.5e5);
     }

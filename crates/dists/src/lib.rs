@@ -186,8 +186,7 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe() {
-        let d: Box<dyn LifeDistribution> =
-            Box::new(Weibull3::new(0.0, 100.0, 1.5).unwrap());
+        let d: Box<dyn LifeDistribution> = Box::new(Weibull3::new(0.0, 100.0, 1.5).unwrap());
         assert!(d.cdf(100.0) > 0.5);
     }
 

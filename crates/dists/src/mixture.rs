@@ -48,9 +48,7 @@ impl Mixture {
     /// * [`DistError::Empty`] if no components are given.
     /// * [`DistError::InvalidWeights`] if any weight is non-positive or
     ///   the weights do not sum to 1.
-    pub fn new(
-        components: Vec<(f64, Arc<dyn LifeDistribution>)>,
-    ) -> Result<Self, DistError> {
+    pub fn new(components: Vec<(f64, Arc<dyn LifeDistribution>)>) -> Result<Self, DistError> {
         if components.is_empty() {
             return Err(DistError::Empty);
         }
@@ -203,7 +201,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let n = 50_000;
         let mut samples: Vec<f64> = (0..n).map(|_| m.sample(&mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         // One-sample KS test at the 1% level: D_crit ~ 1.63 / sqrt(n).
         let mut d_stat: f64 = 0.0;
         for (i, &x) in samples.iter().enumerate() {

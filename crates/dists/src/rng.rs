@@ -9,7 +9,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// The RNG used throughout the simulation (ChaCha12 via [`StdRng`]).
+/// The RNG used throughout the simulation ([`StdRng`], currently
+/// xoshiro256++ — fast, high-quality, and deterministic per seed).
 pub type SimRng = StdRng;
 
 /// Derives a child seed from a master seed and a stream index using the
@@ -31,8 +32,7 @@ pub type SimRng = StdRng;
 /// assert_eq!(stream(42, 7).next_u64(), stream(42, 7).next_u64());
 /// ```
 pub fn child_seed(master: u64, index: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

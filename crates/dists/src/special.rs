@@ -12,10 +12,7 @@
 ///
 /// Panics if `x` is not finite and positive.
 pub fn ln_gamma(x: f64) -> f64 {
-    assert!(
-        x.is_finite() && x > 0.0,
-        "ln_gamma domain error: x = {x}"
-    );
+    assert!(x.is_finite() && x > 0.0, "ln_gamma domain error: x = {x}");
     // Lanczos coefficients for g = 7.
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
@@ -135,7 +132,7 @@ pub fn inv_std_normal(p: f64) -> f64 {
         3.754408661907416e+00,
     ];
     let p_low = 0.02425;
-    
+
     if p < p_low {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

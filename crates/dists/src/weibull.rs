@@ -170,10 +170,10 @@ impl LifeDistribution for Weibull3 {
         if z == 0.0 {
             // At the support boundary the density is 0 for beta > 1,
             // 1/eta for beta == 1, and diverges for beta < 1.
-            return match self.beta.partial_cmp(&1.0) {
-                Some(std::cmp::Ordering::Greater) => 0.0,
-                Some(std::cmp::Ordering::Equal) => 1.0 / self.eta,
-                _ => f64::INFINITY,
+            return match self.beta.total_cmp(&1.0) {
+                std::cmp::Ordering::Greater => 0.0,
+                std::cmp::Ordering::Equal => 1.0 / self.eta,
+                std::cmp::Ordering::Less => f64::INFINITY,
             };
         }
         (self.beta / self.eta) * z.powf(self.beta - 1.0) * (-z.powf(self.beta)).exp()
@@ -204,10 +204,10 @@ impl LifeDistribution for Weibull3 {
         }
         let z = self.z(t);
         if z == 0.0 {
-            return match self.beta.partial_cmp(&1.0) {
-                Some(std::cmp::Ordering::Greater) => 0.0,
-                Some(std::cmp::Ordering::Equal) => 1.0 / self.eta,
-                _ => f64::INFINITY,
+            return match self.beta.total_cmp(&1.0) {
+                std::cmp::Ordering::Greater => 0.0,
+                std::cmp::Ordering::Equal => 1.0 / self.eta,
+                std::cmp::Ordering::Less => f64::INFINITY,
             };
         }
         (self.beta / self.eta) * z.powf(self.beta - 1.0)
@@ -364,7 +364,10 @@ mod tests {
     fn pdf_boundary_cases_by_shape() {
         assert_eq!(Weibull3::new(0.0, 10.0, 2.0).unwrap().pdf(0.0), 0.0);
         assert!((Weibull3::new(0.0, 10.0, 1.0).unwrap().pdf(0.0) - 0.1).abs() < 1e-12);
-        assert!(Weibull3::new(0.0, 10.0, 0.5).unwrap().pdf(0.0).is_infinite());
+        assert!(Weibull3::new(0.0, 10.0, 0.5)
+            .unwrap()
+            .pdf(0.0)
+            .is_infinite());
     }
 
     #[test]

@@ -82,6 +82,35 @@ proptest! {
     }
 
     #[test]
+    fn all_samplers_produce_finite_times(
+        (g1, e1, b1) in weibull_params(),
+        (g2, e2, b2) in weibull_params(),
+        mean in 1.0..1.0e6f64,
+        w in 0.01..0.99f64,
+        seed in any::<u64>(),
+    ) {
+        // The NaN-safety contract enforced by `cargo xtask check`
+        // assumes every sampler yields finite times for valid
+        // parameters; this is the generative side of that contract.
+        use rand::SeedableRng;
+        let wa = Arc::new(Weibull3::new(g1, e1, b1).unwrap());
+        let wb = Arc::new(Weibull3::new(g2, e2, b2).unwrap());
+        let samplers: Vec<Arc<dyn LifeDistribution>> = vec![
+            wa.clone() as _,
+            Arc::new(Exponential::from_mean(mean).unwrap()) as _,
+            Arc::new(Mixture::new(vec![(w, wa.clone() as _), (1.0 - w, wb.clone() as _)]).unwrap()) as _,
+            Arc::new(CompetingRisks::new(vec![wa as _, wb as _]).unwrap()) as _,
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for d in &samplers {
+            for _ in 0..32 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite(), "non-finite sample {} from {:?}", x, d);
+            }
+        }
+    }
+
+    #[test]
     fn exponential_matches_weibull_beta_one(mean in 1.0..1.0e6f64, t in times()) {
         let e = Exponential::from_mean(mean).unwrap();
         let w = Weibull3::two_param(mean, 1.0).unwrap();

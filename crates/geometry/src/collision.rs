@@ -8,8 +8,8 @@
 //! rare, analytically and by Monte Carlo, so the modeling decision is
 //! quantified rather than asserted.
 
-use rand::RngExt as _;
 use raidsim_dists::rng::SimRng;
+use rand::RngExt as _;
 use serde::{Deserialize, Serialize};
 
 /// Parameters for a collision analysis.
@@ -73,10 +73,7 @@ impl CollisionModel {
                 let count = poisson(self.defects_per_drive, rng);
                 for _ in 0..count {
                     let stripe = rng.random_range(0..self.stripes);
-                    if stripes_seen
-                        .iter()
-                        .any(|&(s, d)| s == stripe && d != drive)
-                    {
+                    if stripes_seen.iter().any(|&(s, d)| s == stripe && d != drive) {
                         collided = true;
                         break 'drives;
                     }
@@ -188,16 +185,13 @@ mod tests {
         };
         let wider = CollisionModel { drives: 16, ..base };
         assert!(
-            (denser.analytic_collision_probability()
-                / base.analytic_collision_probability()
-                - 4.0)
+            (denser.analytic_collision_probability() / base.analytic_collision_probability() - 4.0)
                 .abs()
                 < 1e-9
         );
         // 16 drives: 120 pairs vs 28 pairs.
         assert!(
-            (wider.analytic_collision_probability()
-                / base.analytic_collision_probability()
+            (wider.analytic_collision_probability() / base.analytic_collision_probability()
                 - 120.0 / 28.0)
                 .abs()
                 < 1e-9

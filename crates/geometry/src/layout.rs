@@ -128,10 +128,7 @@ impl Raid5Layout {
     /// Panics if `loc.drive` is the stripe's parity drive.
     pub fn logical_block(&self, loc: BlockLocation) -> u64 {
         let parity = self.parity_drive(loc.stripe);
-        assert!(
-            loc.drive != parity,
-            "parity blocks have no logical address"
-        );
+        assert!(loc.drive != parity, "parity blocks have no logical address");
         let n = self.drives as u64;
         let k = (loc.drive as u64 + n - (parity as u64 + 1)) % n;
         loc.stripe * self.data_drives() as u64 + k
@@ -200,14 +197,50 @@ mod tests {
         // drives 0,1,2 (after parity 3, wrapping).
         let l = Raid5Layout::new(4);
         assert_eq!(l.parity_drive(0), 3);
-        assert_eq!(l.locate(0), BlockLocation { drive: 0, stripe: 0 });
-        assert_eq!(l.locate(1), BlockLocation { drive: 1, stripe: 0 });
-        assert_eq!(l.locate(2), BlockLocation { drive: 2, stripe: 0 });
+        assert_eq!(
+            l.locate(0),
+            BlockLocation {
+                drive: 0,
+                stripe: 0
+            }
+        );
+        assert_eq!(
+            l.locate(1),
+            BlockLocation {
+                drive: 1,
+                stripe: 0
+            }
+        );
+        assert_eq!(
+            l.locate(2),
+            BlockLocation {
+                drive: 2,
+                stripe: 0
+            }
+        );
         // Stripe 1: parity on 2, data on 3, 0, 1.
         assert_eq!(l.parity_drive(1), 2);
-        assert_eq!(l.locate(3), BlockLocation { drive: 3, stripe: 1 });
-        assert_eq!(l.locate(4), BlockLocation { drive: 0, stripe: 1 });
-        assert_eq!(l.locate(5), BlockLocation { drive: 1, stripe: 1 });
+        assert_eq!(
+            l.locate(3),
+            BlockLocation {
+                drive: 3,
+                stripe: 1
+            }
+        );
+        assert_eq!(
+            l.locate(4),
+            BlockLocation {
+                drive: 0,
+                stripe: 1
+            }
+        );
+        assert_eq!(
+            l.locate(5),
+            BlockLocation {
+                drive: 1,
+                stripe: 1
+            }
+        );
     }
 
     #[test]
@@ -220,6 +253,9 @@ mod tests {
     #[should_panic(expected = "no logical address")]
     fn parity_location_has_no_logical_block() {
         let l = Raid5Layout::new(4);
-        l.logical_block(BlockLocation { drive: 3, stripe: 0 });
+        l.logical_block(BlockLocation {
+            drive: 3,
+            stripe: 0,
+        });
     }
 }

@@ -83,7 +83,10 @@ impl RowDiagonalParity {
     /// Panics if `p` is not a prime ≥ 3 (RDP's recovery proof requires
     /// primality).
     pub fn new(p: usize) -> Self {
-        assert!(p >= 3 && is_prime(p), "RDP requires a prime p >= 3, got {p}");
+        assert!(
+            p >= 3 && is_prime(p),
+            "RDP requires a prime p >= 3, got {p}"
+        );
         Self { p }
     }
 
@@ -247,9 +250,8 @@ impl RowDiagonalParity {
                         for r in 0..rows {
                             for d in 0..self.p {
                                 if (r + d) % self.p == diag && (d, r) != (d_hole, r_hole) {
-                                    members.push(
-                                        grid[d][r].clone().expect("other members present"),
-                                    );
+                                    members
+                                        .push(grid[d][r].clone().expect("other members present"));
                                 }
                             }
                         }
@@ -260,8 +262,7 @@ impl RowDiagonalParity {
                 }
                 // Row equations.
                 for r in 0..rows {
-                    let holes: Vec<usize> =
-                        (0..self.p).filter(|&d| grid[d][r].is_none()).collect();
+                    let holes: Vec<usize> = (0..self.p).filter(|&d| grid[d][r].is_none()).collect();
                     if holes.len() == 1 {
                         let d_hole = holes[0];
                         let survivors: Vec<Bytes> = (0..self.p)
@@ -415,8 +416,7 @@ mod tests {
         let rdp = RowDiagonalParity::new(5);
         let data = random_data(&rdp, 3, 16);
         let encoded = rdp.encode(&data);
-        let mut disks: Vec<Option<Vec<Bytes>>> =
-            encoded.iter().cloned().map(Some).collect();
+        let mut disks: Vec<Option<Vec<Bytes>>> = encoded.iter().cloned().map(Some).collect();
         disks[0] = None;
         disks[1] = None;
         disks[2] = None;
@@ -431,8 +431,7 @@ mod tests {
         let rdp = RowDiagonalParity::new(5);
         let data = random_data(&rdp, 4, 16);
         let encoded = rdp.encode(&data);
-        let mut disks: Vec<Option<Vec<Bytes>>> =
-            encoded.iter().cloned().map(Some).collect();
+        let mut disks: Vec<Option<Vec<Bytes>>> = encoded.iter().cloned().map(Some).collect();
         rdp.recover(&mut disks).unwrap();
         for (d, col) in disks.iter().enumerate() {
             assert_eq!(col.as_ref().unwrap(), &encoded[d]);

@@ -92,8 +92,20 @@ proptest! {
 
 #[test]
 fn block_location_equality_semantics() {
-    let a = BlockLocation { drive: 1, stripe: 2 };
-    let b = BlockLocation { drive: 1, stripe: 2 };
+    let a = BlockLocation {
+        drive: 1,
+        stripe: 2,
+    };
+    let b = BlockLocation {
+        drive: 1,
+        stripe: 2,
+    };
     assert_eq!(a, b);
-    assert_ne!(a, BlockLocation { drive: 2, stripe: 2 });
+    assert_ne!(
+        a,
+        BlockLocation {
+            drive: 2,
+            stripe: 2
+        }
+    );
 }

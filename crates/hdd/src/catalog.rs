@@ -55,20 +55,28 @@ pub struct CatalogEntry {
 ///
 /// Never panics; the checked-in specs are valid.
 pub fn all() -> Vec<CatalogEntry> {
-    let build = |model: &str, gb: f64, iface: Interface, mb_s: f64, rpm: u32| DriveSpec::builder(model)
-        .capacity(Capacity::from_gb(gb))
-        .interface(iface)
-        .sustained_rate(DataRate::from_mb_per_s(mb_s))
-        .rpm(rpm)
-        .build()
-        .expect("catalog specs are valid");
+    let build = |model: &str, gb: f64, iface: Interface, mb_s: f64, rpm: u32| {
+        DriveSpec::builder(model)
+            .capacity(Capacity::from_gb(gb))
+            .interface(iface)
+            .sustained_rate(DataRate::from_mb_per_s(mb_s))
+            .rpm(rpm)
+            .build()
+            .expect("catalog specs are valid")
+    };
     vec![
         CatalogEntry {
             spec: build("73GB-FC-15k", 73.0, Interface::FibreChannel2G, 75.0, 15_000),
             class: DriveClass::Enterprise,
         },
         CatalogEntry {
-            spec: build("144GB-FC-10k", 144.0, Interface::FibreChannel2G, 50.0, 10_000),
+            spec: build(
+                "144GB-FC-10k",
+                144.0,
+                Interface::FibreChannel2G,
+                50.0,
+                10_000,
+            ),
             class: DriveClass::Enterprise,
         },
         CatalogEntry {
@@ -76,7 +84,13 @@ pub fn all() -> Vec<CatalogEntry> {
             class: DriveClass::Nearline,
         },
         CatalogEntry {
-            spec: build("300GB-FC-10k", 300.0, Interface::FibreChannel4G, 65.0, 10_000),
+            spec: build(
+                "300GB-FC-10k",
+                300.0,
+                Interface::FibreChannel4G,
+                65.0,
+                10_000,
+            ),
             class: DriveClass::Enterprise,
         },
         CatalogEntry {

@@ -29,7 +29,10 @@ impl fmt::Display for HddError {
                 write!(f, "invalid drive spec field {field}: {reason}")
             }
             HddError::SectorOutOfRange { sector, total } => {
-                write!(f, "sector {sector} out of range (drive has {total} sectors)")
+                write!(
+                    f,
+                    "sector {sector} out of range (drive has {total} sectors)"
+                )
             }
             HddError::SparesExhausted => write!(f, "spare sector pool exhausted"),
         }

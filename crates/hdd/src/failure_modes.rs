@@ -92,9 +92,7 @@ impl FailureMode {
     pub fn consequence(&self) -> Consequence {
         match self {
             FailureMode::Operational(_) => Consequence::Operational,
-            FailureMode::WriteError(_) | FailureMode::DataDestroyed(_) => {
-                Consequence::LatentDefect
-            }
+            FailureMode::WriteError(_) | FailureMode::DataDestroyed(_) => Consequence::LatentDefect,
         }
     }
 
@@ -124,25 +122,15 @@ impl fmt::Display for FailureMode {
         let s = match self {
             FailureMode::Operational(OperationalMode::BadServoTrack) => "bad servo track",
             FailureMode::Operational(OperationalMode::BadElectronics) => "bad electronics",
-            FailureMode::Operational(OperationalMode::CantStayOnTrack) => {
-                "can't stay on track"
-            }
+            FailureMode::Operational(OperationalMode::CantStayOnTrack) => "can't stay on track",
             FailureMode::Operational(OperationalMode::BadReadHead) => "bad read head",
-            FailureMode::Operational(OperationalMode::SmartLimitExceeded) => {
-                "SMART limit exceeded"
-            }
+            FailureMode::Operational(OperationalMode::SmartLimitExceeded) => "SMART limit exceeded",
             FailureMode::WriteError(WriteErrorCause::BadMedia) => "write on bad media",
-            FailureMode::WriteError(WriteErrorCause::InherentBitError) => {
-                "inherent bit error"
-            }
+            FailureMode::WriteError(WriteErrorCause::InherentBitError) => "inherent bit error",
             FailureMode::WriteError(WriteErrorCause::HighFlyWrite) => "high-fly write",
-            FailureMode::DataDestroyed(DestructionCause::ThermalAsperity) => {
-                "thermal asperity"
-            }
+            FailureMode::DataDestroyed(DestructionCause::ThermalAsperity) => "thermal asperity",
             FailureMode::DataDestroyed(DestructionCause::Corrosion) => "corrosion",
-            FailureMode::DataDestroyed(DestructionCause::ScratchOrSmear) => {
-                "scratch or smear"
-            }
+            FailureMode::DataDestroyed(DestructionCause::ScratchOrSmear) => "scratch or smear",
         };
         f.write_str(s)
     }
@@ -211,7 +199,10 @@ impl ModeCatalog {
             .filter(|(m, _)| m.consequence() == consequence)
             .map(|(_, w)| w)
             .sum();
-        assert!(total > 0.0, "no mechanisms with consequence {consequence:?}");
+        assert!(
+            total > 0.0,
+            "no mechanisms with consequence {consequence:?}"
+        );
         let mut u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
         for (m, w) in &self.entries {
             if m.consequence() != consequence {

@@ -143,10 +143,7 @@ pub fn table1() -> Vec<Table1Cell> {
         ("Med", ReadErrorRate::MEDIUM),
         ("High", ReadErrorRate::HIGH),
     ];
-    let cols = [
-        ("Low", ReadIntensity::LOW),
-        ("High", ReadIntensity::HIGH),
-    ];
+    let cols = [("Low", ReadIntensity::LOW), ("High", ReadIntensity::HIGH)];
     let mut cells = Vec::with_capacity(6);
     for (rer_label, rer) in rows {
         for (intensity_label, intensity) in cols {
@@ -177,21 +174,17 @@ mod tests {
     #[test]
     fn table1_corner_values_match_paper() {
         assert!(
-            (latent_defect_rate(ReadErrorRate::LOW, ReadIntensity::LOW) - 1.08e-5).abs()
-                < 1e-12
+            (latent_defect_rate(ReadErrorRate::LOW, ReadIntensity::LOW) - 1.08e-5).abs() < 1e-12
         );
         assert!(
-            (latent_defect_rate(ReadErrorRate::LOW, ReadIntensity::HIGH) - 1.08e-4).abs()
-                < 1e-11
+            (latent_defect_rate(ReadErrorRate::LOW, ReadIntensity::HIGH) - 1.08e-4).abs() < 1e-11
         );
         assert!(
-            (latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::HIGH) - 1.08e-3)
-                .abs()
+            (latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::HIGH) - 1.08e-3).abs()
                 < 1e-10
         );
         assert!(
-            (latent_defect_rate(ReadErrorRate::HIGH, ReadIntensity::HIGH) - 4.32e-3).abs()
-                < 1e-10
+            (latent_defect_rate(ReadErrorRate::HIGH, ReadIntensity::HIGH) - 4.32e-3).abs() < 1e-10
         );
     }
 
@@ -226,8 +219,7 @@ mod tests {
         let op_rate = 1.0 / 461_386.0;
         let ratio = base_case_rate() / op_rate;
         assert!(ratio > 40.0 && ratio < 60.0, "ratio = {ratio}");
-        let high_ratio =
-            latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::HIGH) / op_rate;
+        let high_ratio = latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::HIGH) / op_rate;
         assert!(high_ratio > 100.0, "high ratio = {high_ratio}");
     }
 

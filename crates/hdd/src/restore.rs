@@ -100,8 +100,7 @@ impl RestoreModel {
                 constraint: "must be in [0, 1)",
             });
         }
-        let min =
-            minimum_restore_hours(drive, self.group_size) / (1.0 - self.foreground_io);
+        let min = minimum_restore_hours(drive, self.group_size) / (1.0 - self.foreground_io);
         Weibull3::new(min, self.characteristic_life, self.shape)
     }
 
@@ -302,7 +301,9 @@ mod tests {
 
     #[test]
     fn table2_distribution_matches_paper_parameters() {
-        let d = RestoreModel::paper_base_case().table2_distribution().unwrap();
+        let d = RestoreModel::paper_base_case()
+            .table2_distribution()
+            .unwrap();
         assert_eq!(d.cdf(5.9), 0.0); // gamma = 6
         assert!((d.cdf(18.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12); // eta = 12
     }
@@ -336,7 +337,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let n = 100_000;
         let mc: f64 = (0..n).map(|_| c.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mc - c.mean()).abs() < 0.02, "mc = {mc}, quad = {}", c.mean());
+        assert!(
+            (mc - c.mean()).abs() < 0.02,
+            "mc = {mc}, quad = {}",
+            c.mean()
+        );
     }
 
     #[test]

@@ -135,9 +135,12 @@ mod tests {
 
     #[test]
     fn base_case_distribution_matches_table2() {
-        let d = ScrubPolicy::paper_base_case().distribution().unwrap().unwrap();
+        let d = ScrubPolicy::paper_base_case()
+            .distribution()
+            .unwrap()
+            .unwrap();
         assert_eq!(d.cdf(5.9), 0.0); // gamma = 6
-        // F(6 + 168) = 1 - 1/e.
+                                     // F(6 + 168) = 1 - 1/e.
         assert!((d.cdf(174.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
     }
 

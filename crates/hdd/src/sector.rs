@@ -179,7 +179,9 @@ impl DefectMap {
     /// Whether any latent defect exists — the condition that makes a
     /// simultaneous operational failure on another drive a DDF.
     pub fn has_latent_defect(&self) -> bool {
-        self.states.values().any(|s| *s == SectorState::LatentDefect)
+        self.states
+            .values()
+            .any(|s| *s == SectorState::LatentDefect)
     }
 
     fn check(&self, sector: u64) -> Result<(), HddError> {
@@ -254,7 +256,10 @@ mod tests {
         let mut m = DefectMap::new(10, 1);
         assert!(matches!(
             m.corrupt(10),
-            Err(HddError::SectorOutOfRange { sector: 10, total: 10 })
+            Err(HddError::SectorOutOfRange {
+                sector: 10,
+                total: 10
+            })
         ));
         assert!(m.state(11).is_err());
     }

@@ -1,13 +1,13 @@
 //! Property-based tests for the HDD substrate.
 
 use proptest::prelude::*;
+use raidsim_dists::{LifeDistribution, Weibull3};
 use raidsim_hdd::restore::{minimum_restore_hours, Capped, RestoreModel};
 use raidsim_hdd::scrub::minimum_scrub_hours;
 use raidsim_hdd::sector::DefectMap;
 use raidsim_hdd::smart::{SmartConfig, SmartMonitor};
 use raidsim_hdd::units::{Capacity, DataRate};
 use raidsim_hdd::{DriveSpec, Interface};
-use raidsim_dists::{LifeDistribution, Weibull3};
 
 fn interfaces() -> impl Strategy<Value = Interface> {
     prop_oneof![

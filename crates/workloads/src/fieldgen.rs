@@ -117,9 +117,7 @@ impl Fig1Population {
     /// Never panics for the checked-in parameters.
     pub fn distribution(&self) -> Arc<dyn LifeDistribution> {
         match self {
-            Fig1Population::Hdd1 => {
-                Arc::new(Weibull3::two_param(900_000.0, 0.9).expect("valid"))
-            }
+            Fig1Population::Hdd1 => Arc::new(Weibull3::two_param(900_000.0, 0.9).expect("valid")),
             Fig1Population::Hdd2 => {
                 // Early shallow mechanism + wear-out taking over near
                 // 10,000 h.
@@ -136,9 +134,8 @@ impl Fig1Population {
                     Arc::new(Weibull3::two_param(30_000.0, 0.6).expect("valid"));
                 let healthy: Arc<dyn LifeDistribution> =
                     Arc::new(Weibull3::two_param(2.0e6, 1.0).expect("valid"));
-                let mix: Arc<dyn LifeDistribution> = Arc::new(
-                    Mixture::new(vec![(0.06, weak), (0.94, healthy)]).expect("weights"),
-                );
+                let mix: Arc<dyn LifeDistribution> =
+                    Arc::new(Mixture::new(vec![(0.06, weak), (0.94, healthy)]).expect("weights"));
                 let wearout: Arc<dyn LifeDistribution> =
                     Arc::new(Weibull3::two_param(70_000.0, 3.5).expect("valid"));
                 Arc::new(CompetingRisks::new(vec![mix, wearout]).expect("non-empty"))
@@ -187,10 +184,7 @@ mod tests {
         let frac = failures as f64 / 5_000.0;
         assert!((frac - truth.cdf(6_000.0)).abs() < 0.03, "frac = {frac}");
         // All suspensions sit exactly at the window.
-        assert!(data
-            .iter()
-            .filter(|o| !o.failed)
-            .all(|o| o.time == 6_000.0));
+        assert!(data.iter().filter(|o| !o.failed).all(|o| o.time == 6_000.0));
     }
 
     #[test]

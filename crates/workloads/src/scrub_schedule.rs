@@ -10,8 +10,8 @@
 //! (uniform over `[pass, period + pass]`), so the `exp_scrub_semantics`
 //! ablation can quantify how much the semantic choice matters.
 
-use rand::Rng;
 use raidsim_dists::{DistError, LifeDistribution};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Time from defect creation to correction under a periodic scrub pass:

@@ -181,8 +181,7 @@ mod tests {
             betas.push(mle(&data).unwrap().beta);
         }
         let mean = betas.iter().sum::<f64>() / betas.len() as f64;
-        let sd = (betas.iter().map(|b| (b - mean).powi(2)).sum::<f64>()
-            / (betas.len() - 1) as f64)
+        let sd = (betas.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / (betas.len() - 1) as f64)
             .sqrt();
         // 90% half-width = 1.645 sd; must be at or under the target
         // (the variance factor is conservative, so typically under).

@@ -91,9 +91,7 @@ impl UsageProfile {
         );
         let avg = match *self {
             UsageProfile::Constant { bytes_per_hour } => bytes_per_hour,
-            UsageProfile::Diurnal { base, peak_ratio } => {
-                base * (peak_ratio + 1.0) / 2.0
-            }
+            UsageProfile::Diurnal { base, peak_ratio } => base * (peak_ratio + 1.0) / 2.0,
             UsageProfile::Growth { start, end, .. } => (start + end) / 2.0,
         };
         ReadIntensity::new(avg)
@@ -106,11 +104,7 @@ impl UsageProfile {
     /// # Errors
     ///
     /// Returns [`DistError::InvalidParameter`] for degenerate rates.
-    pub fn ttld(
-        &self,
-        rer: ReadErrorRate,
-        mission_hours: f64,
-    ) -> Result<Weibull3, DistError> {
+    pub fn ttld(&self, rer: ReadErrorRate, mission_hours: f64) -> Result<Weibull3, DistError> {
         let rate = latent_defect_rate(rer, self.average_intensity(mission_hours));
         Weibull3::two_param(1.0 / rate, 1.0)
     }
@@ -124,9 +118,7 @@ mod tests {
     fn constant_profile_is_flat() {
         let p = UsageProfile::paper_low();
         assert_eq!(p.bytes_per_hour_at(0.0), p.bytes_per_hour_at(50_000.0));
-        assert!(
-            (p.average_intensity(87_600.0).bytes_per_hour() - 1.35e9).abs() < 1.0
-        );
+        assert!((p.average_intensity(87_600.0).bytes_per_hour() - 1.35e9).abs() < 1.0);
     }
 
     #[test]
@@ -138,7 +130,7 @@ mod tests {
         assert_eq!(p.bytes_per_hour_at(6.0), 1.0e10); // daytime
         assert_eq!(p.bytes_per_hour_at(18.0), 1.0e9); // night
         assert_eq!(p.bytes_per_hour_at(30.0), 1.0e10); // next day
-        // Average = base * (ratio + 1) / 2 = 5.5e9.
+                                                       // Average = base * (ratio + 1) / 2 = 5.5e9.
         assert!((p.average_intensity(87_600.0).bytes_per_hour() - 5.5e9).abs() < 1.0);
     }
 

@@ -42,7 +42,7 @@ mod tests {
     fn synthetic_studies_recover_published_shapes() {
         // The core Figure 2 claim: the three vintages have clearly
         // different, correctly ordered shape parameters.
-        let mut rng = stream(42, 0);
+        let mut rng = stream(17, 0);
         let mut fitted = Vec::new();
         for v in fig2_vintages() {
             let data = synthesize(&v, &mut rng);
@@ -66,7 +66,7 @@ mod tests {
 
     #[test]
     fn failure_counts_match_published_scale() {
-        let mut rng = stream(7, 0);
+        let mut rng = stream(42, 0);
         for v in fig2_vintages() {
             let data = synthesize(&v, &mut rng);
             let failures = data.iter().filter(|o| o.failed).count() as f64;

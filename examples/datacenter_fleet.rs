@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let threads = std::thread::available_parallelism()?.get();
 
     println!(
-        "Fleet study: 4/8/14 drives per group candidates, drive = {} on {}", drive.model(), drive.interface()
+        "Fleet study: 4/8/14 drives per group candidates, drive = {} on {}",
+        drive.model(),
+        drive.interface()
     );
     println!(
         "{:>8} {:>12} {:>16} {:>22} {:>22}",
@@ -68,12 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 spares: raidsim::config::SparePolicy::AlwaysAvailable,
             };
             let result = Simulator::new(cfg).run_parallel(2_000, 7, threads);
-            let per_fleet =
-                result.ddfs_per_thousand_groups() * FLEET_GROUPS / 1_000.0;
+            let per_fleet = result.ddfs_per_thousand_groups() * FLEET_GROUPS / 1_000.0;
             // Normalize by stored capacity: (group_size - 1) data
             // drives x 0.5 TB over a decade.
-            let pb_decades =
-                FLEET_GROUPS * (group_size - 1) as f64 * 0.5 / 1_000.0;
+            let pb_decades = FLEET_GROUPS * (group_size - 1) as f64 * 0.5 / 1_000.0;
             println!(
                 "{:>8} {:>12.0} {:>16.1} {:>22.1} {:>22.2}",
                 group_size,

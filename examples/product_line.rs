@@ -41,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mean_ttr: ttr.mean(),
             ..ClosedFormInputs::paper_base_case()
         };
-        let ddfs_per_1000 = 1_000.0
-            * expected_ddfs_per_group(&inputs, &ttop, params::MISSION_HOURS);
+        let ddfs_per_1000 =
+            1_000.0 * expected_ddfs_per_group(&inputs, &ttop, params::MISSION_HOURS);
 
         // Steady-state drive availability from the failure/restore
         // means (for the table only).

@@ -51,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 3. The headline ----------------------------------------------
     let ratio = result.ddfs_per_thousand_groups() / eq3.expected_ddfs;
     println!();
-    println!(
-        "The model predicts {ratio:.0}x as many data-loss events as MTTDL."
-    );
+    println!("The model predicts {ratio:.0}x as many data-loss events as MTTDL.");
     println!(
         "(The paper reports ratios from 2x with no latent defects to >2,500x \
          with latent defects and no scrubbing.)"

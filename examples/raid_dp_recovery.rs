@@ -56,9 +56,7 @@ fn main() {
         .iter()
         .zip(&encoded)
         .all(|(got, want)| got.as_ref().unwrap() == want);
-    println!(
-        "lost data disk 1 + row parity simultaneously -> recovered bit-exact: {intact}"
-    );
+    println!("lost data disk 1 + row parity simultaneously -> recovered bit-exact: {intact}");
     assert!(intact);
 
     // --- 3. The event the reliability model skips --------------------
@@ -72,7 +70,5 @@ fn main() {
         "vs. the modeled defect+drive-failure path over one week: {:.0}x more likely",
         collision.modeled_to_unmodeled_ratio(8.0 * 168.0 / 461_386.0)
     );
-    println!(
-        "-> the paper's choice to model defects per-drive (not per-stripe) is sound."
-    );
+    println!("-> the paper's choice to model defects per-drive (not per-stripe) is sound.");
 }

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Real-filer semantics: a pass every `eta` hours, taking the
         // physical floor time, defect exposure uniform over the cycle.
         let mut periodic_cfg = RaidGroupConfig::paper_base_case()?;
-        periodic_cfg.dists.ttscrub =
-            Some(Arc::new(PeriodicScrub::new(eta, floor.min(eta))?));
+        periodic_cfg.dists.ttscrub = Some(Arc::new(PeriodicScrub::new(eta, floor.min(eta))?));
         let p = Simulator::new(periodic_cfg)
             .run_parallel(groups, seed, threads)
             .ddfs_per_thousand_groups();

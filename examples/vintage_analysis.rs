@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // fitted TTOp and with the exponential the MTTDL method would use.
     println!();
     println!("Impact on 10-year data loss (1,000 groups, no latent defects):");
-    println!("{:>12} {:>18} {:>18}", "vintage", "Weibull fit", "exponential fit");
+    println!(
+        "{:>12} {:>18} {:>18}",
+        "vintage", "Weibull fit", "exponential fit"
+    );
     for (i, (v, fit)) in fig2_vintages().iter().zip(&fitted).enumerate() {
         let weibull = RaidGroupConfig {
             dists: raidsim::config::TransitionDistributions::weibull_both()?,

@@ -13,7 +13,9 @@ use raidsim::run::{sweep, Simulator};
 use raidsim::workloads::study_power::{achievable_precision, design_study};
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// S14: the closed form and the simulation answer the same design
@@ -21,12 +23,15 @@ fn threads() -> usize {
 #[test]
 fn closed_form_tracks_simulation_via_facade() {
     let ttop = Weibull3::two_param(461_386.0, 1.12).unwrap();
-    let analytic = 1_000.0
-        * expected_ddfs_per_group(&ClosedFormInputs::paper_base_case(), &ttop, 87_600.0);
+    let analytic =
+        1_000.0 * expected_ddfs_per_group(&ClosedFormInputs::paper_base_case(), &ttop, 87_600.0);
     let mc = Simulator::new(RaidGroupConfig::paper_base_case().unwrap())
         .run_parallel(3_000, 8, threads())
         .ddfs_per_thousand_groups();
-    assert!((analytic - mc).abs() / mc < 0.25, "analytic {analytic}, mc {mc}");
+    assert!(
+        (analytic - mc).abs() / mc < 0.25,
+        "analytic {analytic}, mc {mc}"
+    );
 }
 
 /// The sweep helper orders scrub policies correctly under common
@@ -133,14 +138,19 @@ fn study_power_via_facade() {
 #[test]
 fn lognormal_restore_via_facade() {
     let mut cfg = RaidGroupConfig::paper_base_case().unwrap();
-    cfg.dists.ttr =
-        std::sync::Arc::new(Lognormal::from_mean_cv(6.0, 10.6, 0.5).unwrap());
+    cfg.dists.ttr = std::sync::Arc::new(Lognormal::from_mean_cv(6.0, 10.6, 0.5).unwrap());
     let r = Simulator::new(cfg).run_parallel(1_500, 9, threads());
-    let base = Simulator::new(RaidGroupConfig::paper_base_case().unwrap())
-        .run_parallel(1_500, 9, threads());
+    let base = Simulator::new(RaidGroupConfig::paper_base_case().unwrap()).run_parallel(
+        1_500,
+        9,
+        threads(),
+    );
     // Mean-matched restore: DDF counts agree within noise.
     let (a, b) = (r.total_ddfs() as f64, base.total_ddfs() as f64);
-    assert!((a - b).abs() <= 4.0 * (a + b).sqrt() + 5.0, "ln = {a}, weibull = {b}");
+    assert!(
+        (a - b).abs() <= 4.0 * (a + b).sqrt() + 5.0,
+        "ln = {a}, weibull = {b}"
+    );
 }
 
 /// CSV export and the drive catalog through the facade.
@@ -176,8 +186,7 @@ fn mixture_em_via_facade() {
         .map(|_| Fig1Population::Hdd3.distribution().sample(&mut rng))
         .collect();
     let gain = |ts: &[f64]| {
-        mixture_em(ts).unwrap().log_likelihood
-            - single_weibull_log_likelihood(ts).unwrap()
+        mixture_em(ts).unwrap().log_likelihood - single_weibull_log_likelihood(ts).unwrap()
     };
     assert!(gain(&mixed) > 10.0 * gain(&pure).max(1.0));
 }
@@ -194,5 +203,8 @@ fn stripe_collision_via_facade() {
     };
     let analytic = m.analytic_collision_probability();
     let mc = m.simulate_collision_probability(50_000, &mut stream(4, 0));
-    assert!((analytic - mc).abs() / analytic < 0.3, "a = {analytic}, mc = {mc}");
+    assert!(
+        (analytic - mc).abs() / analytic < 0.3,
+        "a = {analytic}, mc = {mc}"
+    );
 }

@@ -18,7 +18,9 @@ const MU: f64 = 1.0 / 12.0;
 const MISSION: f64 = 87_600.0;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Monte Carlo with constant rates ≈ MTTDL ≈ Markov (the paper's own
@@ -44,7 +46,10 @@ fn constant_rate_limit_agrees_across_all_three_models() {
 
     // Closed forms agree tightly.
     let rel = (per_group_markov - per_group_mttdl).abs() / per_group_mttdl;
-    assert!(rel < 0.01, "markov {per_group_markov} vs mttdl {per_group_mttdl}");
+    assert!(
+        rel < 0.01,
+        "markov {per_group_markov} vs mttdl {per_group_mttdl}"
+    );
 
     // Monte Carlo agrees within sampling noise (expected count ≈ 33,
     // Poisson sigma ≈ 5.7; allow 4 sigma).
@@ -143,5 +148,8 @@ fn latent_pathway_dominates_base_case() {
     let cfg = RaidGroupConfig::paper_base_case().unwrap();
     let r = Simulator::new(cfg).run_parallel(2_000, 5, threads());
     let (op_op, latent_op) = r.kind_counts();
-    assert!(latent_op > 20 * op_op.max(1), "op+op {op_op}, ld+op {latent_op}");
+    assert!(
+        latent_op > 20 * op_op.max(1),
+        "op+op {op_op}, ld+op {latent_op}"
+    );
 }

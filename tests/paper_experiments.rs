@@ -17,7 +17,9 @@ use raidsim::workloads::vintage_gen::synthesize;
 use std::sync::Arc;
 
 fn threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// E1 / Figure 1 — only the pure-Weibull population fits a straight
@@ -51,7 +53,10 @@ fn fig2_vintage_shapes_are_recovered_in_order() {
         let fit = mle(&synthesize(v, &mut rng)).unwrap();
         betas.push(fit.beta);
     }
-    assert!(betas[0] < betas[1] && betas[1] < betas[2], "betas = {betas:?}");
+    assert!(
+        betas[0] < betas[1] && betas[1] < betas[2],
+        "betas = {betas:?}"
+    );
     assert!((betas[0] - 1.0987).abs() < 0.25);
     assert!((betas[2] - 1.4873).abs() < 0.25);
 }
@@ -122,8 +127,11 @@ fn fig6_variants_bracket_mttdl() {
 #[test]
 fn fig7_scrub_vs_no_scrub() {
     let groups = 1_500;
-    let base = Simulator::new(RaidGroupConfig::paper_base_case().unwrap())
-        .run_parallel(groups, 3, threads());
+    let base = Simulator::new(RaidGroupConfig::paper_base_case().unwrap()).run_parallel(
+        groups,
+        3,
+        threads(),
+    );
     let noscrub = Simulator::new(
         RaidGroupConfig::paper_base_case()
             .unwrap()
@@ -260,11 +268,9 @@ fn table3_first_year_ratios() {
 #[test]
 fn latent_rate_versus_operational_rate_claim() {
     let op_rate = 1.0 / params::TTOP_ETA;
-    let max_ratio =
-        latent_defect_rate(ReadErrorRate::HIGH, ReadIntensity::HIGH) / op_rate;
+    let max_ratio = latent_defect_rate(ReadErrorRate::HIGH, ReadIntensity::HIGH) / op_rate;
     assert!(max_ratio > 1_000.0);
-    let base_ratio =
-        latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::LOW) / op_rate;
+    let base_ratio = latent_defect_rate(ReadErrorRate::MEDIUM, ReadIntensity::LOW) / op_rate;
     assert!(base_ratio > 40.0 && base_ratio < 60.0);
 }
 
@@ -273,15 +279,16 @@ fn latent_rate_versus_operational_rate_claim() {
 #[test]
 fn mcf_of_simulation_matches_counts() {
     let groups = 800;
-    let r = Simulator::new(RaidGroupConfig::paper_base_case().unwrap())
-        .run_parallel(groups, 21, threads());
+    let r = Simulator::new(RaidGroupConfig::paper_base_case().unwrap()).run_parallel(
+        groups,
+        21,
+        threads(),
+    );
     let per_system: Vec<Vec<f64>> = r
         .histories
         .iter()
         .map(|h| h.ddfs.iter().map(|e| e.time).collect())
         .collect();
     let mcf = McfEstimate::from_event_times(&per_system, params::MISSION_HOURS, 0.95);
-    assert!(
-        (1_000.0 * mcf.final_value() - r.ddfs_per_thousand_groups()).abs() < 1e-9
-    );
+    assert!((1_000.0 * mcf.final_value() - r.ddfs_per_thousand_groups()).abs() < 1e-9);
 }

@@ -4,9 +4,7 @@
 //! configuration API depends on.
 
 use raidsim::config::{RaidGroupConfig, Redundancy, TransitionDistributions};
-use raidsim::dists::{
-    CompetingRisks, Exponential, LifeDistribution, Mixture, Weibull3,
-};
+use raidsim::dists::{CompetingRisks, Exponential, LifeDistribution, Mixture, Weibull3};
 use raidsim::events::{DdfEvent, DdfKind, GroupHistory};
 use raidsim::run::{SimulationResult, Simulator};
 use std::sync::Arc;

@@ -1,0 +1,232 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the API surface the `raidsim-bench` harnesses use —
+//! [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a plain wall-clock loop instead of upstream's
+//! statistical machinery. Results are order-of-magnitude timings
+//! printed to stdout; there is no outlier analysis, no HTML report,
+//! and no baseline comparison.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls. The stand-in
+/// runs one setup per measured iteration regardless, so the variants
+/// only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per allocation.
+    SmallInput,
+    /// Inputs are moderately expensive.
+    MediumInput,
+    /// Inputs dominate memory; batch few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Times closures; handed to benchmark functions by the harness.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples as u64;
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iterations = self.samples as u64;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Reports throughput at this rate per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group. (Reporting happens eagerly; this exists for API
+    /// compatibility.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut b);
+    let iters = b.iterations.max(1);
+    let per_iter = b.elapsed / iters as u32;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let secs = per_iter.as_secs_f64();
+            let rate = if secs > 0.0 {
+                n as f64 / secs / (1 << 20) as f64
+            } else {
+                f64::INFINITY
+            };
+            println!("{id}: {per_iter:?}/iter ({iters} iters, {rate:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let secs = per_iter.as_secs_f64();
+            let rate = if secs > 0.0 {
+                n as f64 / secs
+            } else {
+                f64::INFINITY
+            };
+            println!("{id}: {per_iter:?}/iter ({iters} iters, {rate:.0} elem/s)");
+        }
+        None => println!("{id}: {per_iter:?}/iter ({iters} iters)"),
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Bytes(1024));
+        let mut calls = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || 41u64,
+                |x| {
+                    calls += 1;
+                    x + 1
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

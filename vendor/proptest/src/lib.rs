@@ -1,0 +1,266 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this repository's property
+//! suites use: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter_map`, range / tuple / [`collection::vec`] /
+//! [`option::of`] / [`bool::ANY`] / [`strategy::Just`] strategies, the
+//! `proptest!` test macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` / `prop_assume!` / `prop_oneof!` macros.
+//!
+//! Differences from upstream, deliberately accepted for an offline
+//! build: generation is direct sampling (no value trees), failing
+//! inputs are not shrunk, and the RNG seed is fixed so every run
+//! explores the same deterministic case sequence.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+// Let this crate's own tests spell strategies the way downstream users
+// do (`proptest::collection::vec(..)`).
+#[cfg(test)]
+extern crate self as proptest;
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding `true` and `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Anything usable as the size argument of [`vec`]: a fixed
+    /// length or a half-open range of lengths.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding `None` or `Some(inner)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            if rng.next_u64() & 1 == 1 {
+                self.inner.generate(rng).map(Some)
+            } else {
+                Some(None)
+            }
+        }
+    }
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                runner.run(
+                    ($($strat,)*),
+                    |($($pat,)*)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking directly) so the runner can report it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::core::stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    left,
+                    right,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    left,
+                    right,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without failing) when the precondition
+/// does not hold; the runner retries with fresh inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::core::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}

@@ -1,0 +1,179 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::SeedableRng;
+
+/// The RNG driving input generation. Deterministically seeded so a
+/// failing case reproduces on every run.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration; only the knobs this repository sets.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on discarded draws (filter misses plus `prop_assume!`
+    /// rejections) before the run aborts as too-sparse.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's precondition failed; draw fresh inputs and retry.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Executes a test body over generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Builds a runner with a fixed seed: every invocation explores the
+    /// identical case sequence.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(0x7072_6f70_7465_7374),
+        }
+    }
+
+    /// Runs `test` until `config.cases` cases pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails (carrying its case index and message)
+    /// or when the rejection budget is exhausted.
+    pub fn run<S, F>(&mut self, strategy: S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut passed: u32 = 0;
+        let mut rejects: u32 = 0;
+        while passed < self.config.cases {
+            let Some(value) = strategy.generate(&mut self.rng) else {
+                rejects += 1;
+                self.check_reject_budget(rejects, "strategy filter");
+                continue;
+            };
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    self.check_reject_budget(rejects, &why);
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property failed at case {passed}: {msg}");
+                }
+            }
+        }
+    }
+
+    fn check_reject_budget(&self, rejects: u32, last: &str) {
+        assert!(
+            rejects <= self.config.max_global_rejects,
+            "too many rejected cases ({rejects}); last rejection: {last}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_completes_requested_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        let mut seen = 0u32;
+        runner.run((0.0..1.0f64,), |(x,)| {
+            assert!((0.0..1.0).contains(&x));
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5));
+        runner.run((0u64..10,), |(x,)| {
+            Err(TestCaseError::fail(format!("boom at {x}")))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn rejection_budget_is_enforced() {
+        let mut runner = TestRunner::new(ProptestConfig {
+            cases: 1,
+            max_global_rejects: 8,
+        });
+        runner.run((0u64..10,), |_| Err(TestCaseError::reject("never")));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_round_trip(x in 1u64..100, flip in any::<bool>()) {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 1);
+            prop_assert_ne!(x, 13);
+            if flip {
+                return Ok(());
+            }
+            prop_assert_eq!(x + 1, x + 1, "arithmetic broke at {}", x);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            v in proptest::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 0..20),
+            o in proptest::option::of(0.0..1.0f64),
+            b in proptest::bool::ANY,
+        ) {
+            prop_assert!(v.iter().all(|&x| x == 1u8 || x == 2u8));
+            if let Some(f) = o {
+                prop_assert!((0.0..1.0).contains(&f));
+            }
+            let _ = b;
+        }
+    }
+}

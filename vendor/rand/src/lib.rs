@@ -1,0 +1,246 @@
+//! Offline vendored stand-in for the `rand` facade.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the pieces of `rand` the simulator actually consumes are
+//! implemented here from scratch: an object-safe core [`Rng`] trait, the
+//! ergonomic [`RngExt`] extension, the [`SeedableRng`] construction
+//! trait, and a deterministic [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64). Determinism per seed is the only contract the simulator
+//! relies on; the exact stream differs from upstream `rand`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod rngs;
+
+/// Object-safe core RNG interface: a source of uniformly random bits.
+///
+/// Kept object-safe (`&mut dyn Rng`) so sampling traits built on top of
+/// it — e.g. `LifeDistribution` in `raidsim-dists` — can themselves stay
+/// object-safe.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut iter = dest.chunks_exact_mut(8);
+        for chunk in &mut iter {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = iter.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Ergonomic sampling helpers on top of [`Rng`].
+///
+/// Separate from [`Rng`] because these methods are generic and would
+/// break object safety. Blanket-implemented for every sized [`Rng`].
+pub trait RngExt: Rng + Sized {
+    /// Samples a value uniformly from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self)
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+/// A range that knows how to sample one value from an RNG.
+pub trait SampleRange<T> {
+    /// Draws a single uniform value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `f64` in `[0, 1)` using 53 mantissa bits — the standard
+/// conversion.
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = unit_f64(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the upper bound against rounding in the affine map.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is at
+                // most span / 2^64, negligible for simulation spans.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<i64> for core::ops::Range<i64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+        self.start.wrapping_add(hi as i64)
+    }
+}
+
+/// Types fillable with random data via [`RngExt::fill`].
+pub trait Fill {
+    /// Overwrites `self` with random data from `rng`.
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the RNG from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the SplitMix64 generator
+    /// (the same construction upstream `rand` uses), so small seed
+    /// integers still produce well-mixed initial states.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut src = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            src = src.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = src;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = unit_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.random_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let f = rng.random_range(-2.0..3.5f64);
+            assert!((-2.0..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_range_reaches_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let _ = dyn_rng.next_u64();
+        let _ = dyn_rng.next_u32();
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_half() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| unit_f64(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The repository derives `Serialize`/`Deserialize` on its result and
+//! config types and bounds a few generic helpers on those traits, but it
+//! never invokes an actual serializer (persistence is plain CSV written
+//! by hand). With no registry access in the build environment, this
+//! crate supplies just the trait skeleton: empty marker traits, the
+//! `de::DeserializeOwned` alias, and re-exported derive macros that emit
+//! marker impls.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Carries no methods: nothing in this repository serializes through
+/// serde at runtime; the bound only documents which types are intended
+/// to be persistable.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization-side traits, mirroring `serde::de`.
+pub mod de {
+    /// A type deserializable without borrowing from the input — the
+    /// common bound for owned round-trips.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}

@@ -1,0 +1,92 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The real `serde_derive` generates full (de)serialization logic via
+//! `syn`/`quote`. This offline stand-in only needs to make
+//! `#[derive(Serialize, Deserialize)]` compile and satisfy trait bounds
+//! such as `T: Serialize + DeserializeOwned`, so it parses just the item
+//! name out of the raw token stream and emits empty marker impls. It
+//! supports the concrete (non-generic) structs and enums this repository
+//! derives on; generics are rejected with a compile error rather than
+//! silently miscompiled.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the vendored marker `Serialize` impl for a concrete item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl is valid Rust"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored marker `Deserialize` impl for a concrete item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl is valid Rust"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Extracts the identifier of the struct/enum the derive is attached to.
+///
+/// Walks the token stream skipping outer attributes (`#[...]`) and
+/// visibility (`pub`, `pub(...)`), then expects `struct`/`enum`/`union`
+/// followed by the name. Errors on generic items — marker impls for
+/// generics would need to forward bounds, which nothing in this
+/// repository requires.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[...]` — skip the punct and the following group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip a `(crate)`-style restriction if present.
+                        if let Some(TokenTree::Group(_)) = tokens.peek() {
+                            tokens.next();
+                        }
+                    }
+                    "struct" | "enum" | "union" => {
+                        let name = match tokens.next() {
+                            Some(TokenTree::Ident(name)) => name.to_string(),
+                            other => {
+                                return Err(format!(
+                                    "expected item name after `{word}`, found {other:?}"
+                                ))
+                            }
+                        };
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "vendored serde_derive does not support generic item `{name}`"
+                                ));
+                            }
+                        }
+                        return Ok(name);
+                    }
+                    // Modifiers that may precede the keyword.
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("could not find `struct` or `enum` keyword in derive input".to_string())
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error invocation is valid Rust")
+}

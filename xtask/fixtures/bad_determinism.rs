@@ -1,0 +1,14 @@
+//! Fixture: code that MUST fail the determinism lint. Never compiled —
+//! consumed via `include_str!` by xtask's unit tests.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn simulate_badly() -> f64 {
+    let started = Instant::now();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut rng = rand::thread_rng();
+    let draw: f64 = rng.random_range(0.0..1.0);
+    counts.insert(1, 2);
+    started.elapsed().as_secs_f64() + draw
+}

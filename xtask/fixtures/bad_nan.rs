@@ -1,0 +1,6 @@
+//! Fixture: code that MUST fail the NaN-safety lint. Never compiled —
+//! consumed via `include_str!` by xtask's unit tests.
+
+pub fn order_badly(times: &mut [f64]) {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+}

@@ -1,0 +1,28 @@
+//! Fixture: code that MUST pass both lints. Never compiled — consumed
+//! via `include_str!` by xtask's unit tests.
+//!
+//! Mentions of forbidden constructs are fine inside comments (HashMap,
+//! thread_rng, partial_cmp) and strings.
+
+use std::collections::BTreeMap;
+
+pub fn simulate_well(times: &mut [f64], rng: &mut rand::rngs::StdRng) -> BTreeMap<u64, u64> {
+    let reason = "never call partial_cmp or Instant::now in here";
+    debug_assert!(!reason.is_empty());
+    times.sort_by(f64::total_cmp);
+    let mut counts = BTreeMap::new();
+    counts.insert(rng.next_u64() % 8, 1);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only code may use hash collections for assertions.
+    use std::collections::HashSet;
+
+    #[test]
+    fn dedup_with_hashset() {
+        let set: HashSet<u8> = [1, 2, 2].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Unused-dependency audit: every dependency a manifest declares must
+//! be referenced from the crate's sources, and dependencies referenced
+//! only from test-tier code (unit-test modules, `tests/`, `benches/`,
+//! `examples/`) must be declared as dev-dependencies.
+
+use crate::source::MaskedSource;
+use crate::workspace;
+use crate::Finding;
+use std::path::{Path, PathBuf};
+
+/// A dependency declaration pulled out of a manifest.
+#[derive(Debug, PartialEq, Eq)]
+struct Dep {
+    name: String,
+    dev: bool,
+    line: usize,
+}
+
+/// Where the dependency's identifier showed up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Usage {
+    None,
+    TestOnly,
+    Runtime,
+}
+
+/// Runs the audit over every workspace member.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for member in workspace::member_dirs(root)? {
+        findings.extend(check_member(root, &member)?);
+    }
+    Ok(findings)
+}
+
+fn check_member(root: &Path, member: &Path) -> Result<Vec<Finding>, String> {
+    let manifest_path = member.join("Cargo.toml");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("reading {}: {e}", manifest_path.display()))?;
+    let deps = parse_deps(&manifest);
+    if deps.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Runtime tier: non-test code in src/. Test tier: unit-test modules
+    // plus the conventional extra target dirs — and for the facade
+    // crate, the workspace-level tests/ and examples/ its manifest
+    // points at.
+    let mut runtime = Vec::new();
+    let mut test_tier = Vec::new();
+    for file in workspace::rust_files(&member.join("src"))? {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        runtime.push(MaskedSource::new(&text));
+        test_tier.push(masked_without_test_removal(&text));
+    }
+    let mut extra_dirs: Vec<PathBuf> = ["tests", "benches", "examples"]
+        .iter()
+        .map(|d| member.join(d))
+        .collect();
+    if member.ends_with("crates/raidsim") {
+        extra_dirs.push(root.join("tests"));
+        extra_dirs.push(root.join("examples"));
+    }
+    for dir in extra_dirs {
+        for file in workspace::rust_files(&dir)? {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            test_tier.push(masked_without_test_removal(&text));
+        }
+    }
+
+    let rel = workspace::relative(root, &manifest_path);
+    let mut findings = Vec::new();
+    for dep in deps {
+        let ident = dep.name.replace('-', "_");
+        let usage = classify(&ident, &runtime, &test_tier);
+        match (dep.dev, usage) {
+            (_, Usage::Runtime) => {}
+            (true, Usage::TestOnly) => {}
+            (false, Usage::TestOnly) => findings.push(Finding {
+                check: "deps",
+                path: rel.clone(),
+                line: dep.line,
+                message: format!(
+                    "`{}` is only used from test/bench/example code; move it to [dev-dependencies]",
+                    dep.name
+                ),
+            }),
+            (dev, Usage::None) => findings.push(Finding {
+                check: "deps",
+                path: rel.clone(),
+                line: dep.line,
+                message: format!(
+                    "`{}` is declared in [{}] but never referenced",
+                    dep.name,
+                    if dev {
+                        "dev-dependencies"
+                    } else {
+                        "dependencies"
+                    }
+                ),
+            }),
+        }
+    }
+    Ok(findings)
+}
+
+/// Masks comments and strings only, keeping `#[cfg(test)]` bodies
+/// visible (a dev-dependency used from a unit-test module counts).
+fn masked_without_test_removal(text: &str) -> MaskedSource {
+    // MaskedSource always strips test modules, so splice a sentinel the
+    // test-module masker cannot match. Cheaper: neutralize the
+    // attribute before masking.
+    let visible = text.replace("#[cfg(test)]", "#[cfg(tset)]");
+    MaskedSource::new(&visible)
+}
+
+fn classify(ident: &str, runtime: &[MaskedSource], test_tier: &[MaskedSource]) -> Usage {
+    if runtime.iter().any(|m| !m.find_pattern(ident).is_empty()) {
+        return Usage::Runtime;
+    }
+    if test_tier.iter().any(|m| !m.find_pattern(ident).is_empty()) {
+        return Usage::TestOnly;
+    }
+    Usage::None
+}
+
+/// Extracts dependency names (with manifest line numbers) from the
+/// `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`
+/// tables. Line-based: this repository's manifests are flat TOML.
+fn parse_deps(manifest: &str) -> Vec<Dep> {
+    let mut deps = Vec::new();
+    let mut section: Option<bool> = None; // Some(dev?)
+    for (idx, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = match line {
+                "[dependencies]" | "[build-dependencies]" => Some(false),
+                "[dev-dependencies]" => Some(true),
+                _ => None,
+            };
+            continue;
+        }
+        let Some(dev) = section else { continue };
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, _)) = line.split_once('=') {
+            let name = name.trim().trim_matches('"');
+            // `serde.workspace = true` spells the name with a dotted key.
+            let name = name.split('.').next().unwrap_or(name);
+            if !name.is_empty() {
+                deps.push(Dep {
+                    name: name.to_string(),
+                    dev,
+                    line: idx + 1,
+                });
+            }
+        }
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_dependency_tables() {
+        let manifest = "\
+[package]
+name = \"x\"
+
+[dependencies]
+raidsim-dists = { workspace = true }
+serde.workspace = true
+
+[dev-dependencies]
+proptest = { workspace = true }
+
+[lints]
+workspace = true
+";
+        let deps = parse_deps(manifest);
+        assert_eq!(
+            deps,
+            vec![
+                Dep {
+                    name: "raidsim-dists".into(),
+                    dev: false,
+                    line: 5
+                },
+                Dep {
+                    name: "serde".into(),
+                    dev: false,
+                    line: 6
+                },
+                Dep {
+                    name: "proptest".into(),
+                    dev: true,
+                    line: 9
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn classifies_usage_tiers() {
+        let runtime = vec![MaskedSource::new("use raidsim_dists::Weibull3;\n")];
+        let test_tier = vec![
+            MaskedSource::new("use raidsim_dists::Weibull3;\n"),
+            masked_without_test_removal("#[cfg(test)]\nmod tests { use proptest::prelude::*; }\n"),
+        ];
+        assert_eq!(
+            classify("raidsim_dists", &runtime, &test_tier),
+            Usage::Runtime
+        );
+        assert_eq!(classify("proptest", &runtime, &test_tier), Usage::TestOnly);
+        assert_eq!(classify("rand_distr", &runtime, &test_tier), Usage::None);
+    }
+
+    #[test]
+    fn string_mention_is_not_usage() {
+        let runtime = vec![MaskedSource::new("let s = \"rand_distr\";\n")];
+        assert_eq!(classify("rand_distr", &runtime, &[]), Usage::None);
+    }
+}

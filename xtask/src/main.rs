@@ -1,0 +1,139 @@
+//! `cargo xtask` — the repo-specific static-analysis suite.
+//!
+//! Run as `cargo xtask check` (the alias lives in `.cargo/config.toml`).
+//! Four checks, each targeting an invariant the simulator's correctness
+//! arguments lean on but `rustc`/`clippy` cannot express:
+//!
+//! 1. **determinism** — simulation crates must not use iteration-order-
+//!    or wall-clock-dependent constructs (`HashMap`, `HashSet`,
+//!    `thread_rng`, `rand::rng()`, `SystemTime::now`, `Instant::now`).
+//!    Per-seed reproducibility is a published contract of the engines.
+//! 2. **nan-safety** — simulation crates must not compare floats with
+//!    `partial_cmp`/`sort_by`-on-float patterns; event times order with
+//!    `f64::total_cmp` so a stray NaN cannot panic or silently reorder
+//!    the event queue.
+//! 3. **lint-policy** — every workspace crate must opt into the shared
+//!    `[workspace.lints]` table with `[lints] workspace = true`.
+//! 4. **deps** — every dependency declared in a workspace crate's
+//!    manifest must actually be referenced by that crate's sources.
+//!
+//! See DESIGN.md ("Static analysis & invariants") for rationale.
+
+mod deps;
+mod determinism;
+mod nan_safety;
+mod policy;
+mod source;
+mod workspace;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// A single lint violation, printed `path:line: [check] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which check produced this finding.
+    pub check: &'static str,
+    /// Path (workspace-relative where possible) of the offending file.
+    pub path: PathBuf,
+    /// 1-based line number, or 0 for whole-file/manifest findings.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: [{}] {}",
+                self.path.display(),
+                self.check,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path.display(),
+                self.line,
+                self.check,
+                self.message
+            )
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: cargo xtask <command>\n\
+     \n\
+     commands:\n\
+       check          run every check (determinism, nan-safety, lint-policy, deps)\n\
+       determinism    forbid non-deterministic constructs in simulation crates\n\
+       nan-safety     forbid partial float comparisons in simulation crates\n\
+       lint-policy    require [lints] workspace = true in every crate\n\
+       deps           flag declared-but-unused dependencies\n\
+       help           print this message"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let root = match workspace::find_root() {
+        Ok(root) => root,
+        Err(err) => {
+            eprintln!("xtask: cannot locate workspace root: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = match command {
+        "check" => {
+            let mut all = Vec::new();
+            all.extend(run(determinism::check(&root), "determinism"));
+            all.extend(run(nan_safety::check(&root), "nan-safety"));
+            all.extend(run(policy::check(&root), "lint-policy"));
+            all.extend(run(deps::check(&root), "deps"));
+            all
+        }
+        "determinism" => run(determinism::check(&root), "determinism"),
+        "nan-safety" => run(nan_safety::check(&root), "nan-safety"),
+        "lint-policy" => run(policy::check(&root), "lint-policy"),
+        "deps" => run(deps::check(&root), "deps"),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("xtask: unknown command `{other}`\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if findings.is_empty() {
+        println!("xtask: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for finding in &findings {
+            eprintln!("{finding}");
+        }
+        eprintln!("xtask: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Unwraps a check's IO result, converting hard errors (unreadable
+/// files, malformed manifests) into findings so they fail the run
+/// instead of aborting it.
+fn run(result: Result<Vec<Finding>, String>, check: &'static str) -> Vec<Finding> {
+    match result {
+        Ok(findings) => findings,
+        Err(err) => vec![Finding {
+            check,
+            path: PathBuf::from("."),
+            line: 0,
+            message: format!("check failed to run: {err}"),
+        }],
+    }
+}

@@ -1,0 +1,84 @@
+//! NaN-safety lint: float ordering in simulation crates must be total.
+//!
+//! `partial_cmp` on event times returns `None` for NaN, which the seed
+//! code papered over with `.expect("times are finite")` — a latent
+//! panic, and with `sort_by` an `unwrap_or(Equal)` silently corrupts
+//! event order instead. The engines order floats with `f64::total_cmp`
+//! and assert finiteness at queue boundaries; this lint keeps
+//! `partial_cmp`-based orderings from creeping back in.
+
+use crate::source::MaskedSource;
+use crate::workspace::{self, SIM_CRATES};
+use crate::Finding;
+use std::path::Path;
+
+/// Patterns whose presence in non-test simulation code is a violation.
+const FORBIDDEN: [(&str, &str); 2] = [
+    (
+        "partial_cmp",
+        "partial float ordering (None on NaN); use f64::total_cmp",
+    ),
+    (
+        "sort_unstable_by_key",
+        "float keys cannot implement Ord; sort with f64::total_cmp instead",
+    ),
+];
+
+/// Runs the lint over every simulation crate's `src/` tree.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for krate in SIM_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        for file in workspace::rust_files(&src)? {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let rel = workspace::relative(root, &file);
+            let masked = MaskedSource::new(&text);
+            for (pattern, why) in FORBIDDEN {
+                for line in masked.find_pattern(pattern) {
+                    findings.push(Finding {
+                        check: "nan-safety",
+                        path: rel.clone(),
+                        line,
+                        message: format!("forbidden `{pattern}`: {why}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(src: &str) -> usize {
+        let masked = MaskedSource::new(src);
+        FORBIDDEN
+            .iter()
+            .map(|(p, _)| masked.find_pattern(p).len())
+            .sum()
+    }
+
+    #[test]
+    fn fixture_with_partial_cmp_fails() {
+        let src = include_str!("../fixtures/bad_nan.rs");
+        assert!(hits(src) >= 1);
+    }
+
+    #[test]
+    fn total_cmp_passes() {
+        assert_eq!(hits("v.sort_by(f64::total_cmp); a.total_cmp(&b);"), 0);
+    }
+
+    #[test]
+    fn partial_cmp_in_comment_passes() {
+        assert_eq!(hits("// partial_cmp would be wrong here\nlet x = 1;"), 0);
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        assert_eq!(hits(include_str!("../fixtures/good.rs")), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Lint-policy check: the shared `[workspace.lints]` table is only
+//! effective in crates that opt in, so every member manifest must carry
+//! `[lints] workspace = true`.
+
+use crate::workspace;
+use crate::Finding;
+use std::path::Path;
+
+/// Verifies the root table exists and every member opts in.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+
+    let root_manifest = root.join("Cargo.toml");
+    let root_text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("reading {}: {e}", root_manifest.display()))?;
+    for required in ["[workspace.lints.rust]", "[workspace.lints.clippy]"] {
+        if !has_table(&root_text, required) {
+            findings.push(Finding {
+                check: "lint-policy",
+                path: workspace::relative(root, &root_manifest),
+                line: 0,
+                message: format!("missing `{required}` table in workspace manifest"),
+            });
+        }
+    }
+
+    for member in workspace::member_dirs(root)? {
+        let manifest = member.join("Cargo.toml");
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+        if !opts_into_workspace_lints(&text) {
+            findings.push(Finding {
+                check: "lint-policy",
+                path: workspace::relative(root, &manifest),
+                line: 0,
+                message: "crate does not opt into shared lints; add `[lints] workspace = true`"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(findings)
+}
+
+/// True when `text` contains the table header `header` on its own line.
+fn has_table(text: &str, header: &str) -> bool {
+    text.lines().any(|l| l.trim() == header)
+}
+
+/// True when the manifest contains a `[lints]` table whose first key is
+/// `workspace = true`.
+fn opts_into_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && !line.is_empty() && !line.starts_with('#') {
+            return line.replace(' ', "") == "workspace=true";
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_opt_in() {
+        assert!(opts_into_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n\n[dependencies]\n"
+        ));
+    }
+
+    #[test]
+    fn missing_table_fails() {
+        assert!(!opts_into_workspace_lints("[package]\nname = \"x\"\n"));
+    }
+
+    #[test]
+    fn lints_without_workspace_key_fails() {
+        assert!(!opts_into_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints.rust]\nmissing_docs = \"deny\"\n"
+        ));
+    }
+
+    #[test]
+    fn table_header_matching_is_exact() {
+        assert!(has_table(
+            "[workspace.lints.rust]\n",
+            "[workspace.lints.rust]"
+        ));
+        assert!(!has_table(
+            "# [workspace.lints.rust]\n",
+            "[workspace.lints.rust]"
+        ));
+    }
+}

@@ -1,0 +1,316 @@
+//! Lightweight Rust source scanning shared by the lints.
+//!
+//! The lints match token-ish patterns against source text with
+//! comments, string literals, and `#[cfg(test)]` modules masked out —
+//! no full parser, but enough lexical awareness that a pattern inside a
+//! doc comment, a format string, or a unit-test module never trips a
+//! check.
+
+/// Source text with non-code regions blanked.
+///
+/// Masked characters are replaced by spaces so byte offsets and line
+/// numbers survive the transformation.
+pub struct MaskedSource {
+    masked: String,
+}
+
+impl MaskedSource {
+    /// Masks comments, strings, and char literals, then `#[cfg(test)]`
+    /// modules.
+    pub fn new(source: &str) -> Self {
+        let mut masked = mask_comments_and_strings(source);
+        mask_cfg_test_modules(&mut masked);
+        MaskedSource { masked }
+    }
+
+    /// Finds word-boundary occurrences of `pattern` in the masked text,
+    /// returning 1-based line numbers.
+    ///
+    /// A match is rejected when the character on either side is an
+    /// identifier character — so `rand::rng` does not match inside
+    /// `rand::rngs`, and `HashMap` does not match `FxHashMap` — while
+    /// qualified paths such as `std::collections::HashMap` still match.
+    pub fn find_pattern(&self, pattern: &str) -> Vec<usize> {
+        let bytes = self.masked.as_bytes();
+        let pat = pattern.as_bytes();
+        let mut lines = Vec::new();
+        let mut start = 0;
+        while let Some(pos) = find_from(bytes, pat, start) {
+            start = pos + 1;
+            if pos > 0 && is_ident_byte(bytes[pos - 1]) {
+                continue;
+            }
+            let end = pos + pat.len();
+            if end < bytes.len() && is_ident_byte(bytes[end]) {
+                continue;
+            }
+            let line = 1 + self.masked[..pos].matches('\n').count();
+            lines.push(line);
+        }
+        lines
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn find_from(haystack: &[u8], needle: &[u8], start: usize) -> Option<usize> {
+    if needle.is_empty() || start >= haystack.len() {
+        return None;
+    }
+    haystack[start..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + start)
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving newlines so line numbers stay stable.
+fn mask_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 0;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // String literal (raw strings are handled by the `r`
+                // arm below when prefixed).
+                out[i] = b' ';
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            out[i] = b' ';
+                            if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                                out[i + 1] = b' ';
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out[i] = b' ';
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            if c != b'\n' {
+                                out[i] = b' ';
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let (end, span_start) = raw_string_end(bytes, i);
+                for item in out.iter_mut().take(end).skip(span_start) {
+                    if *item != b'\n' {
+                        *item = b' ';
+                    }
+                }
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is `'` + ident
+                // with no closing quote right after.
+                if let Some(len) = char_literal_len(bytes, i) {
+                    for item in out.iter_mut().skip(i).take(len) {
+                        *item = b' ';
+                    }
+                    i += len;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking only writes ASCII spaces over ASCII bytes")
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"`, `r#"`, `br"`, … — we only enter on `r`, so check what
+    // follows; a preceding `b` is handled because `b` is not masked.
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"' && (i == 0 || !is_ident_byte(bytes[i - 1]))
+}
+
+/// Returns (index one past the closing quote, index of the opening
+/// quote) for a raw string starting at `i` (the `r`).
+fn raw_string_end(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut hashes = 0;
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    let content_start = j + 1; // past the opening quote
+    let mut k = content_start;
+    while k < bytes.len() {
+        if bytes[k] == b'"' {
+            let close_end = k + 1 + hashes;
+            if close_end <= bytes.len() && bytes[k + 1..close_end].iter().all(|&b| b == b'#') {
+                return (close_end, content_start - 1);
+            }
+        }
+        k += 1;
+    }
+    (bytes.len(), content_start - 1)
+}
+
+/// Length of a char literal starting at the `'` at `i`, or `None` if
+/// this is a lifetime.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    let rest = &bytes[i + 1..];
+    match rest.first()? {
+        b'\\' => {
+            // Escaped char: scan to the closing quote.
+            let mut j = 1;
+            while j < rest.len() && rest[j] != b'\'' {
+                j += 1;
+            }
+            (j < rest.len()).then_some(j + 2)
+        }
+        _ => {
+            // `'x'` is a char; `'x` followed by anything else is a
+            // lifetime (or `'static`).
+            (rest.len() >= 2 && rest[1] == b'\'').then_some(3)
+        }
+    }
+}
+
+/// Blanks the bodies of `#[cfg(test)] mod … { … }` blocks in place.
+///
+/// Test-only code may use `HashSet` for assertions or seed RNGs
+/// directly; the determinism contract applies to simulation code paths.
+fn mask_cfg_test_modules(masked: &mut String) {
+    let needle = "#[cfg(test)]";
+    let mut out = masked.clone().into_bytes();
+    let mut search = 0;
+    while let Some(found) = masked[search..].find(needle).map(|p| p + search) {
+        search = found + needle.len();
+        let after = &masked[found + needle.len()..];
+        // Only mask when the attribute introduces a `mod`; `#[cfg(test)]`
+        // on single items is rare here and small enough to inspect.
+        let trimmed = after.trim_start();
+        if !trimmed.starts_with("mod ") && !trimmed.starts_with("pub mod ") {
+            continue;
+        }
+        let Some(open_rel) = after.find('{') else {
+            continue;
+        };
+        let open = found + needle.len() + open_rel;
+        let mut depth = 0usize;
+        let bytes = masked.as_bytes();
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for item in out.iter_mut().take(j).skip(open) {
+            if *item != b'\n' {
+                *item = b' ';
+            }
+        }
+        search = j.min(masked.len());
+    }
+    *masked = String::from_utf8(out).expect("masking only writes ASCII spaces");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = MaskedSource::new("let x = 1; // HashMap here\n/* HashSet */ let y = 2;");
+        assert!(m.find_pattern("HashMap").is_empty());
+        assert!(m.find_pattern("HashSet").is_empty());
+    }
+
+    #[test]
+    fn masks_strings_but_not_code() {
+        let m = MaskedSource::new("let s = \"thread_rng\"; thread_rng();");
+        assert_eq!(m.find_pattern("thread_rng").len(), 1);
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let m = MaskedSource::new("let s = r#\"Instant::now\"#;");
+        assert!(m.find_pattern("Instant::now").is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let m = MaskedSource::new("fn f<'a>(x: &'a str) { Instant::now(); }");
+        assert_eq!(m.find_pattern("Instant::now").len(), 1);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let m = MaskedSource::new("use rand::rngs::StdRng; let x = FxHashMap::new();");
+        assert!(m.find_pattern("rand::rng").is_empty());
+        assert!(m.find_pattern("HashMap").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn sim() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let m = MaskedSource::new(src);
+        assert!(m.find_pattern("HashSet").is_empty());
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let m = MaskedSource::new("line one\nSystemTime::now()\n");
+        assert_eq!(m.find_pattern("SystemTime::now"), vec![2]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = MaskedSource::new("/* outer /* inner HashMap */ still comment */ HashMap");
+        assert_eq!(m.find_pattern("HashMap").len(), 1);
+    }
+}
