@@ -48,28 +48,60 @@ pub struct FleetComparison {
 /// Panics if either fleet has fewer than 2 systems or `confidence` is
 /// not in `(0, 1)`.
 pub fn compare_fleets(counts_a: &[u64], counts_b: &[u64], confidence: f64) -> FleetComparison {
+    let stats = |xs: &[u64]| {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<u64>() as f64 / n;
+        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        FleetSummary {
+            systems: xs.len(),
+            mean,
+            variance: var,
+        }
+    };
+    compare_fleet_summaries(&stats(counts_a), &stats(counts_b), confidence)
+}
+
+/// Sufficient statistics of one fleet's per-system event counts — all
+/// the two-sample comparison needs, so streamed runs
+/// (`raidsim_core::stats::StreamStats`) can be compared without
+/// retaining per-group counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSummary {
+    /// Number of systems in the fleet.
+    pub systems: usize,
+    /// Mean events per system.
+    pub mean: f64,
+    /// Unbiased sample variance of per-system counts.
+    pub variance: f64,
+}
+
+/// [`compare_fleets`] from sufficient statistics instead of raw
+/// per-system counts. [`compare_fleets`] delegates here, so the two
+/// entry points cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if either fleet has fewer than 2 systems or `confidence` is
+/// not in `(0, 1)`.
+pub fn compare_fleet_summaries(
+    a: &FleetSummary,
+    b: &FleetSummary,
+    confidence: f64,
+) -> FleetComparison {
     assert!(
-        counts_a.len() >= 2 && counts_b.len() >= 2,
+        a.systems >= 2 && b.systems >= 2,
         "need at least two systems per fleet"
     );
     assert!(
         confidence > 0.0 && confidence < 1.0,
         "confidence must be in (0, 1)"
     );
-    let stats = |xs: &[u64]| {
-        let n = xs.len() as f64;
-        let mean = xs.iter().sum::<u64>() as f64 / n;
-        let var = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        (mean, var / n)
-    };
-    let (mean_a, se2_a) = stats(counts_a);
-    let (mean_b, se2_b) = stats(counts_b);
-    let difference = mean_a - mean_b;
+    let difference = a.mean - b.mean;
     let z = normal_quantile(0.5 + confidence / 2.0);
-    let half_width = z * (se2_a + se2_b).sqrt();
+    let half_width = z * (a.variance / a.systems as f64 + b.variance / b.systems as f64).sqrt();
     FleetComparison {
-        mean_a,
-        mean_b,
+        mean_a: a.mean,
+        mean_b: b.mean,
         difference,
         half_width,
         confidence,

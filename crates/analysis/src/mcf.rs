@@ -155,56 +155,64 @@ impl McfEstimate {
     }
 }
 
-/// Inverse standard normal CDF (Acklam's rational approximation,
-/// |ε| < 1.15e-9).
+/// Inverse standard normal CDF.
+///
+/// This is the workspace's single implementation
+/// ([`raidsim_dists::special::inv_std_normal`], Acklam's rational
+/// approximation, |ε| < 1.15e-9), re-exported under the name this
+/// crate's estimators historically used. The batch runner's
+/// z-scores come from the same function, so confidence levels agree
+/// bit-for-bit across crates at every level — previously the runner
+/// carried a divergent coarse fit that disagreed on non-tabulated
+/// levels.
+///
+/// Panics if `p` is not in `(0, 1)`.
+pub use raidsim_dists::special::inv_std_normal as normal_quantile;
+
+/// Mean-cumulative-function curve from a pooled event-time histogram
+/// (the bounded-memory path: `raidsim_core::stats::StreamStats`
+/// exposes exactly such a histogram).
+///
+/// Returns `bins.len() + 1` points `(t, events-per-system by t)`
+/// starting at `(0, 0)`, one per bin right-edge. Relative to
+/// [`McfEstimate::from_event_times`] the step positions are quantized
+/// to bin edges and no confidence band is available (the per-system
+/// count spread is not recoverable from a pooled histogram) — use the
+/// streamed accumulator's mean/variance for interval estimates of the
+/// final value.
 ///
 /// # Panics
 ///
-/// Panics if `p` is not in `(0, 1)`.
-pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
-    const A: [f64; 6] = [
-        -3.969683028665376e+01,
-        2.209460984245205e+02,
-        -2.759285104469687e+02,
-        1.383_577_518_672_69e2,
-        -3.066479806614716e+01,
-        2.506628277459239e+00,
-    ];
-    const B: [f64; 5] = [
-        -5.447609879822406e+01,
-        1.615858368580409e+02,
-        -1.556989798598866e+02,
-        6.680131188771972e+01,
-        -1.328068155288572e+01,
-    ];
-    const C: [f64; 6] = [
-        -7.784894002430293e-03,
-        -3.223964580411365e-01,
-        -2.400758277161838e+00,
-        -2.549732539343734e+00,
-        4.374664141464968e+00,
-        2.938163982698783e+00,
-    ];
-    const D: [f64; 4] = [
-        7.784695709041462e-03,
-        3.224671290700398e-01,
-        2.445134137142996e+00,
-        3.754408661907416e+00,
-    ];
-    let p_low = 0.02425;
-    if p < p_low {
-        let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else if p <= 1.0 - p_low {
-        let q = p - 0.5;
-        let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
-    } else {
-        -normal_quantile(1.0 - p)
+/// Panics if `bins` is empty, `systems == 0`, or `window_hours` is not
+/// positive.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_analysis::mcf::mcf_from_histogram;
+///
+/// // 2 systems, 4 bins over 100 h: three events in the second half.
+/// let curve = mcf_from_histogram(&[0, 1, 0, 2], 2, 100.0);
+/// assert_eq!(curve[0], (0.0, 0.0));
+/// assert_eq!(curve[2], (50.0, 0.5));
+/// assert_eq!(curve[4], (100.0, 1.5));
+/// ```
+pub fn mcf_from_histogram(bins: &[u64], systems: usize, window_hours: f64) -> Vec<(f64, f64)> {
+    assert!(!bins.is_empty(), "need at least one histogram bin");
+    assert!(systems > 0, "need at least one system");
+    assert!(
+        window_hours.is_finite() && window_hours > 0.0,
+        "window must be positive"
+    );
+    let width = window_hours / bins.len() as f64;
+    let mut curve = Vec::with_capacity(bins.len() + 1);
+    curve.push((0.0, 0.0));
+    let mut cumulative = 0u64;
+    for (i, &c) in bins.iter().enumerate() {
+        cumulative += c;
+        curve.push(((i + 1) as f64 * width, cumulative as f64 / systems as f64));
     }
+    curve
 }
 
 #[cfg(test)]
@@ -288,6 +296,26 @@ mod tests {
         assert!((grid[10].1 - 1.0).abs() < 1e-12);
         assert!((grid[5].0 - 50.0).abs() < 1e-12);
         assert!((grid[5].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_mcf_agrees_with_exact_mcf_at_bin_edges() {
+        // Events placed strictly inside bins so edge semantics cannot
+        // differ between the two estimators.
+        let events = vec![vec![12.0, 62.0], vec![37.0], vec![]];
+        let m = McfEstimate::from_event_times(&events, 100.0, 0.95);
+        let bins = [1u64, 1, 1, 0]; // 25-hour bins
+        let curve = mcf_from_histogram(&bins, 3, 100.0);
+        assert_eq!(curve.len(), 5);
+        for &(t, v) in &curve[1..] {
+            assert!((v - m.at(t)).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one system")]
+    fn histogram_mcf_zero_systems_panics() {
+        mcf_from_histogram(&[1, 2], 0, 100.0);
     }
 
     #[test]

@@ -9,33 +9,31 @@
 //! Statistical significance of adjacent-size differences comes from
 //! the two-fleet comparison in `raidsim-analysis`.
 
-use raidsim::analysis::compare::compare_fleets;
+use raidsim::analysis::compare::{compare_fleet_summaries, FleetSummary};
 use raidsim::analysis::series::render_table;
 use raidsim::config::RaidGroupConfig;
-use raidsim_bench::{groups, run};
+use raidsim_bench::{fleet_summary, groups, run_streaming};
 
 fn main() {
     let n_groups = groups(10_000);
     let mut rows = Vec::new();
-    let mut prev: Option<(usize, Vec<u64>)> = None;
+    let mut prev: Option<FleetSummary> = None;
 
     for width in [4usize, 6, 8, 10, 14] {
         let cfg = RaidGroupConfig {
             drives: width,
             ..RaidGroupConfig::paper_base_case().unwrap()
         };
-        let result = run(cfg, n_groups, 17_000);
-        let per_1000 = result.ddfs_per_thousand_groups();
+        // Streamed: the two-fleet significance test only needs each
+        // fleet's sufficient statistics, so no per-group counts are
+        // retained between sweep points.
+        let stats = run_streaming(cfg, n_groups, 17_000);
+        let per_1000 = stats.ddfs_per_thousand_groups();
         // Stored data: (width - 1) data drives x 0.5 TB x 10 yr.
         let pb_decades = (width - 1) as f64 * 0.5 / 1_000.0;
-        let counts: Vec<u64> = result
-            .histories
-            .iter()
-            .map(|h| h.ddf_count() as u64)
-            .collect();
+        let summary = fleet_summary(&stats);
         let significant = prev
-            .as_ref()
-            .map(|(_, prev_counts)| compare_fleets(&counts, prev_counts, 0.99).significant)
+            .map(|prev| compare_fleet_summaries(&summary, &prev, 0.99).significant)
             .unwrap_or(false);
         rows.push((
             format!(
@@ -44,7 +42,7 @@ fn main() {
             ),
             vec![per_1000, per_1000 / 1_000.0 / pb_decades],
         ));
-        prev = Some((width, counts));
+        prev = Some(summary);
     }
 
     println!(

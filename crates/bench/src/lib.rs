@@ -7,10 +7,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use raidsim::analysis::compare::FleetSummary;
 use raidsim::analysis::mcf::McfEstimate;
 use raidsim::analysis::series::Series;
 use raidsim::config::RaidGroupConfig;
-use raidsim::run::{SimulationResult, Simulator};
+use raidsim::run::{Progress, SimulationResult, Simulator, StreamObserver};
+use raidsim::stats::StreamStats;
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Worker threads to use for simulation batches.
 pub fn threads() -> usize {
@@ -33,6 +38,95 @@ pub fn groups(default: usize) -> usize {
 /// deterministically seeded.
 pub fn run(cfg: RaidGroupConfig, n_groups: usize, seed: u64) -> SimulationResult {
     Simulator::new(cfg).run_parallel(n_groups, seed, threads())
+}
+
+/// Runs a configuration through the bounded-memory streaming path —
+/// the fleet-scale variant of [`run`]: identical statistics (the core
+/// test suite enforces bit-identity with the stored path at any thread
+/// count), but only aggregates are retained, so group counts are
+/// limited by patience rather than memory.
+///
+/// Set `RAIDSIM_PROGRESS=1` to get a live groups/sec + ETA line on
+/// stderr while the run is in flight.
+pub fn run_streaming(cfg: RaidGroupConfig, n_groups: usize, seed: u64) -> StreamStats {
+    let sim = Simulator::new(cfg);
+    if std::env::var_os("RAIDSIM_PROGRESS").is_some() {
+        sim.run_streaming_observed(n_groups, seed, threads(), &StderrProgress::new())
+    } else {
+        sim.run_streaming(n_groups, seed, threads())
+    }
+}
+
+/// Bridges a streamed run into the two-fleet significance test
+/// ([`raidsim::analysis::compare::compare_fleet_summaries`]): the
+/// accumulator's exact moments are precisely the sufficient statistics
+/// the comparison needs.
+pub fn fleet_summary(stats: &StreamStats) -> FleetSummary {
+    FleetSummary {
+        systems: stats.groups() as usize,
+        mean: stats.mean_ddfs(),
+        variance: stats.variance_ddfs(),
+    }
+}
+
+/// Minimum interval between progress reprints.
+const PROGRESS_REFRESH: Duration = Duration::from_millis(500);
+
+/// Stderr progress line for long experiment runs: groups completed,
+/// throughput, and ETA. Clocks live here because the simulation crates
+/// are barred from reading wall time (`cargo xtask check`
+/// determinism lint); the runner only reports counts.
+#[derive(Debug)]
+pub struct StderrProgress {
+    started: Instant,
+    last_print: Mutex<Instant>,
+}
+
+impl StderrProgress {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Self {
+            started: now,
+            last_print: Mutex::new(now - PROGRESS_REFRESH),
+        }
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamObserver for StderrProgress {
+    fn on_progress(&self, p: Progress) {
+        let now = Instant::now();
+        {
+            let mut last = self.last_print.lock().unwrap();
+            if now.duration_since(*last) < PROGRESS_REFRESH && p.groups_done < p.groups_target {
+                return;
+            }
+            *last = now;
+        }
+        let secs = (now - self.started).as_secs_f64().max(1e-9);
+        let rate = p.groups_done as f64 / secs;
+        let eta = if rate > 0.0 {
+            (p.groups_target.saturating_sub(p.groups_done)) as f64 / rate
+        } else {
+            f64::INFINITY
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r{}/{} groups  {rate:.0} groups/s  ETA {eta:.0}s\x1b[K",
+            p.groups_done, p.groups_target
+        );
+        if p.groups_done >= p.groups_target {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
 }
 
 /// Converts a simulation result into a DDFs-per-1,000-groups series on
@@ -128,6 +222,18 @@ mod tests {
         let r = run(cfg, 100, 1);
         let s = ddf_series("base", &r, 8);
         assert!((s.final_value() - r.ddfs_per_thousand_groups()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_run_matches_stored_run() {
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let stored = run(cfg.clone(), 120, 5);
+        let streamed = run_streaming(cfg, 120, 5);
+        assert_eq!(streamed, StreamStats::from_result(&stored));
+        let summary = fleet_summary(&streamed);
+        assert_eq!(summary.systems, 120);
+        assert_eq!(summary.mean, streamed.mean_ddfs());
+        assert_eq!(summary.variance, streamed.variance_ddfs());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use raidsim::dists::fit::{bootstrap_ci, mle, rank_regression};
 use raidsim::dists::Weibull3;
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::mttdl::{expected_ddfs, mttdl_from_mttf, HOURS_PER_YEAR};
-use raidsim::run::Simulator;
+use raidsim::run::{PrecisionReport, Simulator, StreamObserver};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -16,7 +16,7 @@ pub fn usage() -> String {
      raidsim-cli simulate [--drives 8] [--mission-years 10] [--scrub 168|off]\n\
      \x20                 [--raid6] [--groups 10000] [--seed 42] [--csv out.csv]\n\
      \x20                 [--ttop-eta 461386] [--ttop-beta 1.12]\n\
-     \x20                 [--ttld-eta 9259|off] [--precision REL]\n\
+     \x20                 [--ttld-eta 9259|off] [--precision REL] [--progress]\n\
      raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]\n\
      \x20                 [--groups 1000] [--years 10]\n\
      raidsim-cli fit <life-data.csv>     rows: time_hours,failed(0|1)\n\
@@ -41,6 +41,7 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
     let ttld = args.string("ttld-eta")?;
     let precision: f64 = args.num("precision", 0.0)?;
     let csv_out = args.string("csv")?;
+    let progress = args.switch("progress");
     args.reject_unknown()?;
 
     let mut cfg = RaidGroupConfig::paper_base_case().map_err(|e| e.to_string())?;
@@ -80,44 +81,67 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
         .map(|n| n.get())
         .unwrap_or(4);
     let sim = Simulator::new(cfg);
-    let (result, note) = if precision > 0.0 {
-        let (r, report) = sim.run_until_precision(
+    let stderr_progress = progress.then(crate::progress::StderrProgress::new);
+    let observer: &dyn StreamObserver = match &stderr_progress {
+        Some(p) => p,
+        None => &(),
+    };
+    let precision_note = |report: &PrecisionReport| {
+        format!(
+            "precision run: {} groups, 95% CI half-width {:.1}% of mean (stopped: {})\n",
+            report.groups,
+            100.0 * report.half_width / report.mean.max(1e-12),
+            report.criterion,
+        )
+    };
+
+    // The streamed path never materializes per-group histories, so a
+    // CSV request pins us to the stored path; everything else streams.
+    let mut out = String::new();
+    let summary = if let Some(path) = &csv_out {
+        let (result, note) = if precision > 0.0 {
+            let (r, report) = sim.run_until_precision(
+                precision,
+                0.95,
+                groups.clamp(100, 1_000),
+                groups,
+                seed,
+                threads,
+            );
+            (r, precision_note(&report))
+        } else {
+            (sim.run_parallel(groups, seed, threads), String::new())
+        };
+        let _ = write!(out, "{note}");
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        result
+            .write_history_csv(std::io::BufWriter::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        raidsim::stats::StreamStats::from_result(&result)
+    } else if precision > 0.0 {
+        let (stats, report) = sim.run_until_precision_streaming_observed(
             precision,
             0.95,
             groups.clamp(100, 1_000),
             groups,
             seed,
             threads,
+            observer,
         );
-        let note = format!(
-            "precision run: {} groups, 95% CI half-width {:.1}% of mean{}\n",
-            report.groups,
-            100.0 * report.half_width / report.mean.max(1e-12),
-            if report.converged {
-                ""
-            } else {
-                " (cap reached)"
-            },
-        );
-        (r, note)
+        let _ = write!(out, "{}", precision_note(&report));
+        stats
     } else {
-        (sim.run_parallel(groups, seed, threads), String::new())
+        sim.run_streaming_observed(groups, seed, threads, observer)
     };
 
-    let (op_op, latent_op) = result.kind_counts();
-    let mut out = String::new();
-    let _ = write!(out, "{note}");
     if let Some(path) = csv_out {
-        let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-        result
-            .write_history_csv(std::io::BufWriter::new(file))
-            .map_err(|e| format!("{path}: {e}"))?;
         let _ = writeln!(out, "wrote per-group histories to {path}");
     }
+    let (op_op, latent_op) = summary.kind_counts();
     let _ = writeln!(
         out,
         "DDFs per 1,000 groups over {mission_years} years: {:.2}",
-        result.ddfs_per_thousand_groups()
+        summary.ddfs_per_thousand_groups()
     );
     let _ = writeln!(
         out,
@@ -126,8 +150,8 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
     let _ = writeln!(
         out,
         "  operational failures/group: {:.3}   latent defects/group: {:.2}",
-        result.total_op_failures() as f64 / result.groups() as f64,
-        result.total_latent_defects() as f64 / result.groups() as f64,
+        summary.total_op_failures() as f64 / summary.groups() as f64,
+        summary.total_latent_defects() as f64 / summary.groups() as f64,
     );
     Ok(out)
 }
@@ -280,6 +304,34 @@ mod tests {
     fn simulate_precision_mode() {
         let out = simulate(&argv("--groups 2000 --precision 0.5 --mission-years 2")).unwrap();
         assert!(out.contains("precision run"), "{out}");
+        assert!(out.contains("(stopped: "), "{out}");
+    }
+
+    #[test]
+    fn simulate_accepts_progress_switch() {
+        let out = simulate(&argv("--groups 30 --mission-years 1 --progress")).unwrap();
+        assert!(out.contains("DDFs per 1,000 groups"), "{out}");
+    }
+
+    #[test]
+    fn streamed_and_stored_paths_print_identical_statistics() {
+        let dir = std::env::temp_dir().join("raidsim_cli_stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let streamed = simulate(&argv("--groups 40 --seed 7 --mission-years 1")).unwrap();
+        let arg = format!(
+            "--groups 40 --seed 7 --mission-years 1 --csv {}",
+            path.display()
+        );
+        let stored = simulate(&argv(&arg)).unwrap();
+        std::fs::remove_file(&path).ok();
+        let stats_lines = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("wrote"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(stats_lines(&streamed), stats_lines(&stored));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 mod args;
 mod commands;
 mod csv;
+mod progress;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,108 @@
+//! Terminal progress reporting for streamed runs.
+//!
+//! The simulation crates are forbidden from reading wall time (the
+//! determinism lint in `cargo xtask check`), so the runner reports only
+//! group counts. All clock-keeping — throughput and ETA — happens here,
+//! at the presentation layer.
+
+use raidsim::run::{Progress, StreamObserver};
+use std::io::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum interval between stderr updates, so a fast run does not
+/// drown the terminal.
+const REFRESH: Duration = Duration::from_millis(250);
+
+/// Writes a throttled one-line progress report (`groups done/target,
+/// groups/sec, ETA`) to stderr as the streaming runner works.
+#[derive(Debug)]
+pub struct StderrProgress {
+    started: Instant,
+    last_print: Mutex<Instant>,
+}
+
+impl StderrProgress {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Self {
+            started: now,
+            // Backdate so the very first callback prints immediately.
+            last_print: Mutex::new(now - REFRESH),
+        }
+    }
+
+    /// Formats one progress line; separated from the printing so it can
+    /// be tested without a terminal.
+    fn line(&self, p: Progress, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let rate = p.groups_done as f64 / secs;
+        let remaining = p.groups_target.saturating_sub(p.groups_done);
+        let eta = if rate > 0.0 {
+            format!("{:.0}s", remaining as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        format!(
+            "{}/{} groups  {:.0} groups/s  ETA {}",
+            p.groups_done, p.groups_target, rate, eta
+        )
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamObserver for StderrProgress {
+    fn on_progress(&self, p: Progress) {
+        let now = Instant::now();
+        {
+            let mut last = self.last_print.lock().unwrap();
+            if now.duration_since(*last) < REFRESH && p.groups_done < p.groups_target {
+                return;
+            }
+            *last = now;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r{}\x1b[K", self.line(p, now - self.started));
+        if p.groups_done >= p.groups_target {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reports_rate_and_eta() {
+        let prog = StderrProgress::new();
+        let line = prog.line(
+            Progress {
+                groups_done: 500,
+                groups_target: 2_000,
+            },
+            Duration::from_secs(5),
+        );
+        assert_eq!(line, "500/2000 groups  100 groups/s  ETA 15s");
+    }
+
+    #[test]
+    fn zero_elapsed_does_not_divide_by_zero() {
+        let prog = StderrProgress::new();
+        let line = prog.line(
+            Progress {
+                groups_done: 0,
+                groups_target: 100,
+            },
+            Duration::ZERO,
+        );
+        assert!(line.contains("ETA ?"), "{line}");
+    }
+}

@@ -26,6 +26,9 @@
 //!   procedure, cross-validated against each other.
 //! * [`run`] — the batch runner: thousands of independent group
 //!   histories, optionally across threads, deterministically seeded.
+//! * [`stats`] — bounded-memory streaming aggregation: a mergeable,
+//!   exact-integer accumulator and progress observability for
+//!   fleet-scale runs that cannot afford to retain every history.
 //! * [`mttdl`] — the closed forms the paper argues against
 //!   (equations 1–3), kept as the comparison baseline.
 //! * [`markov`] — a small continuous-time Markov chain transient solver;
@@ -63,6 +66,7 @@ pub mod events;
 pub mod markov;
 pub mod mttdl;
 pub mod run;
+pub mod stats;
 
 mod error;
 

@@ -9,9 +9,46 @@
 use crate::config::RaidGroupConfig;
 use crate::engine::{DesEngine, Engine};
 use crate::events::{DdfKind, GroupHistory};
+use crate::stats::StreamStats;
 use raidsim_dists::rng::stream;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Progress snapshot delivered to a [`StreamObserver`].
+///
+/// Deliberately clock-free: simulation crates may not read wall time
+/// (the determinism lint enforces this), so rates and ETAs are computed
+/// by the observer, which lives in a layer that owns a clock (the CLI,
+/// the experiment binaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Progress {
+    /// Groups completed so far.
+    pub groups_done: u64,
+    /// Groups the current run is working toward (the requested count,
+    /// or the group cap for precision-controlled runs).
+    pub groups_target: u64,
+}
+
+/// Receives progress callbacks from the streaming runner.
+///
+/// Callbacks may arrive from any worker thread (the runner reports
+/// every [`PROGRESS_STRIDE`] completed groups) and additionally from
+/// the coordinating thread at batch boundaries of the precision loops.
+/// Observers must therefore be `Sync`; the no-op observer `()` is
+/// always available.
+pub trait StreamObserver: Sync {
+    /// Called as groups complete. Default: ignore.
+    fn on_progress(&self, progress: Progress) {
+        let _ = progress;
+    }
+}
+
+/// The no-op observer.
+impl StreamObserver for () {}
+
+/// How often (in completed groups) workers report to the observer.
+pub const PROGRESS_STRIDE: u64 = 256;
 
 /// Runs batches of group simulations against one configuration.
 ///
@@ -124,7 +161,133 @@ impl Simulator {
             mission_hours: self.cfg.mission_hours,
         }
     }
+
+    /// Simulates `groups` independent RAID groups and returns only the
+    /// streamed aggregate — memory stays constant no matter how large
+    /// the fleet is.
+    ///
+    /// Produces an aggregate bit-identical to
+    /// [`StreamStats::from_result`] over [`Simulator::run`] with the
+    /// same `(groups, seed)`, at any `threads` (see the determinism
+    /// argument in [`crate::stats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_streaming(&self, groups: usize, seed: u64, threads: usize) -> StreamStats {
+        self.run_streaming_observed(groups, seed, threads, &())
+    }
+
+    /// [`Simulator::run_streaming`] with progress callbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_streaming_observed(
+        &self,
+        groups: usize,
+        seed: u64,
+        threads: usize,
+        observer: &dyn StreamObserver,
+    ) -> StreamStats {
+        let done = AtomicU64::new(0);
+        let stats = self.stream_range(0, groups, seed, threads, observer, &done, groups as u64);
+        observer.on_progress(Progress {
+            groups_done: groups as u64,
+            groups_target: groups as u64,
+        });
+        stats
+    }
+
+    /// Streams the half-open group-index range `[lo, hi)` into a
+    /// [`StreamStats`], using the per-index RNG streams of `seed`.
+    /// Per-worker accumulators are merged in group-index order; every
+    /// accumulator field is exact, so the result is independent of the
+    /// partitioning.
+    #[allow(clippy::too_many_arguments)]
+    fn stream_range(
+        &self,
+        lo: usize,
+        hi: usize,
+        seed: u64,
+        threads: usize,
+        observer: &dyn StreamObserver,
+        done: &AtomicU64,
+        target: u64,
+    ) -> StreamStats {
+        assert!(threads > 0, "need at least one thread");
+        let count = hi - lo;
+        let simulate_into = |range: std::ops::Range<usize>| {
+            let mut stats = StreamStats::new(self.cfg.mission_hours);
+            for i in range {
+                let mut rng = stream(seed, i as u64);
+                stats.push(&self.engine.simulate_group(&self.cfg, &mut rng));
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if completed.is_multiple_of(PROGRESS_STRIDE) {
+                    observer.on_progress(Progress {
+                        groups_done: completed,
+                        groups_target: target,
+                    });
+                }
+            }
+            stats
+        };
+        if threads == 1 || count < 2 * threads {
+            return simulate_into(lo..hi);
+        }
+        let chunk = count.div_ceil(threads);
+        let mut total = StreamStats::new(self.cfg.mission_hours);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let wlo = lo + w * chunk;
+                let whi = (lo + (w + 1) * chunk).min(hi);
+                if wlo >= whi {
+                    break;
+                }
+                let simulate_into = &simulate_into;
+                handles.push(scope.spawn(move || simulate_into(wlo..whi)));
+            }
+            for h in handles {
+                total.merge(h.join().expect("simulation worker panicked"));
+            }
+        });
+        total
+    }
 }
+
+/// Which stopping rule ended a precision-controlled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCriterion {
+    /// The confidence half-width dropped below `target_relative ×
+    /// mean`.
+    RelativeWidth,
+    /// The confidence half-width dropped below the absolute floor
+    /// ([`ABSOLUTE_HALF_WIDTH_FLOOR`]). This is how zero- and
+    /// near-zero-event configurations converge: a relative criterion
+    /// alone is unsatisfiable at `mean == 0`, which used to burn every
+    /// low-rate RAID-6 run to the group cap.
+    AbsoluteFloor,
+    /// `max_groups` was reached before either width criterion.
+    GroupCap,
+}
+
+impl std::fmt::Display for StopCriterion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopCriterion::RelativeWidth => "relative half-width target",
+            StopCriterion::AbsoluteFloor => "absolute half-width floor",
+            StopCriterion::GroupCap => "group cap",
+        })
+    }
+}
+
+/// Absolute confidence-half-width floor for precision-controlled runs,
+/// in DDFs per group: once the interval is this tight in absolute
+/// terms, more groups cannot change any decision the estimate informs
+/// (1 DDF per 1,000 groups resolves every table in the paper), so the
+/// run converges even when the observed mean is zero.
+pub const ABSOLUTE_HALF_WIDTH_FLOOR: f64 = 1e-3;
 
 /// Report from a precision-controlled run
 /// ([`Simulator::run_until_precision`]).
@@ -142,6 +305,8 @@ pub struct PrecisionReport {
     /// Whether the requested precision was reached before the group
     /// cap.
     pub converged: bool,
+    /// Which stopping rule fired.
+    pub criterion: StopCriterion,
 }
 
 impl Simulator {
@@ -168,6 +333,114 @@ impl Simulator {
         seed: u64,
         threads: usize,
     ) -> (SimulationResult, PrecisionReport) {
+        let mut result = SimulationResult {
+            histories: Vec::new(),
+            mission_hours: self.cfg.mission_hours,
+        };
+        let mut stats = StreamStats::new(self.cfg.mission_hours);
+        let report = self.precision_driver(
+            target_relative,
+            confidence,
+            batch,
+            max_groups,
+            &mut stats,
+            &(),
+            |sim, lo, hi| {
+                // Extend deterministically: group i always uses stream
+                // i. The histories are kept for the caller; statistics
+                // come from the O(batch) accumulator, never from a
+                // rescan of `result.histories`.
+                let batch_result = sim.run_range(lo, hi, seed, threads);
+                let mut batch_stats = StreamStats::new(sim.cfg.mission_hours);
+                for h in &batch_result.histories {
+                    batch_stats.push(h);
+                }
+                result.merge(batch_result);
+                batch_stats
+            },
+        );
+        (result, report)
+    }
+
+    /// Streamed [`Simulator::run_until_precision`]: identical
+    /// statistics and [`PrecisionReport`] for the same `(config,
+    /// groups, seed)` — enforced by tests — but no history is retained,
+    /// so memory stays constant at fleet scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_relative` or `batch` are not positive, or
+    /// `confidence` is not in `(0, 1)`.
+    pub fn run_until_precision_streaming(
+        &self,
+        target_relative: f64,
+        confidence: f64,
+        batch: usize,
+        max_groups: usize,
+        seed: u64,
+        threads: usize,
+    ) -> (StreamStats, PrecisionReport) {
+        self.run_until_precision_streaming_observed(
+            target_relative,
+            confidence,
+            batch,
+            max_groups,
+            seed,
+            threads,
+            &(),
+        )
+    }
+
+    /// [`Simulator::run_until_precision_streaming`] with progress
+    /// callbacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_relative` or `batch` are not positive, or
+    /// `confidence` is not in `(0, 1)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_until_precision_streaming_observed(
+        &self,
+        target_relative: f64,
+        confidence: f64,
+        batch: usize,
+        max_groups: usize,
+        seed: u64,
+        threads: usize,
+        observer: &dyn StreamObserver,
+    ) -> (StreamStats, PrecisionReport) {
+        let mut stats = StreamStats::new(self.cfg.mission_hours);
+        let done = AtomicU64::new(0);
+        let report = self.precision_driver(
+            target_relative,
+            confidence,
+            batch,
+            max_groups,
+            &mut stats,
+            observer,
+            |sim, lo, hi| {
+                sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups as u64)
+            },
+        );
+        (stats, report)
+    }
+
+    /// The shared precision loop. `run_batch` simulates `[lo, hi)` and
+    /// returns its aggregate; the driver merges batches into `stats`
+    /// and does O(1) statistics work per batch against the exact
+    /// integer moments, so total statistics cost is O(groups) — not
+    /// quadratic — and both callers produce bit-identical reports.
+    #[allow(clippy::too_many_arguments)]
+    fn precision_driver(
+        &self,
+        target_relative: f64,
+        confidence: f64,
+        batch: usize,
+        max_groups: usize,
+        stats: &mut StreamStats,
+        observer: &dyn StreamObserver,
+        mut run_batch: impl FnMut(&Simulator, usize, usize) -> StreamStats,
+    ) -> PrecisionReport {
         assert!(
             target_relative > 0.0,
             "target relative half-width must be positive"
@@ -177,72 +450,44 @@ impl Simulator {
             confidence > 0.0 && confidence < 1.0,
             "confidence must be in (0, 1)"
         );
-        // z-score via the analysis-free inverse error function is not
-        // available here; use the standard two-sided values for the
-        // common levels and a rational fallback.
         let z = z_score(confidence);
-
-        let mut result = SimulationResult {
-            histories: Vec::new(),
-            mission_hours: self.cfg.mission_hours,
+        let report = |stats: &StreamStats, criterion: StopCriterion| {
+            let n = stats.groups();
+            PrecisionReport {
+                mean: if n == 0 { 0.0 } else { stats.mean_ddfs() },
+                half_width: if n >= 2 { stats.half_width(z) } else { 0.0 },
+                confidence,
+                groups: n as usize,
+                converged: criterion != StopCriterion::GroupCap,
+                criterion,
+            }
         };
         loop {
-            let start = result.groups();
+            let start = stats.groups() as usize;
             let take = batch.min(max_groups - start);
             if take == 0 {
                 break;
             }
-            // Extend deterministically: group i always uses stream i.
-            let batch_result = self.run_range(start, start + take, seed, threads);
-            result.merge(batch_result);
-
-            let n = result.groups() as f64;
-            let counts: Vec<f64> = result
-                .histories
-                .iter()
-                .map(|h| h.ddf_count() as f64)
-                .collect();
-            let mean = counts.iter().sum::<f64>() / n;
-            if n >= 2.0 && mean > 0.0 {
-                let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1.0);
-                let half = z * (var / n).sqrt();
-                if half / mean <= target_relative {
-                    return (
-                        result,
-                        PrecisionReport {
-                            mean,
-                            half_width: half,
-                            confidence,
-                            groups: n as usize,
-                            converged: true,
-                        },
-                    );
+            stats.merge(run_batch(self, start, start + take));
+            observer.on_progress(Progress {
+                groups_done: stats.groups(),
+                groups_target: max_groups as u64,
+            });
+            if stats.groups() >= 2 {
+                let mean = stats.mean_ddfs();
+                let half = stats.half_width(z);
+                if mean > 0.0 && half <= target_relative * mean {
+                    return report(stats, StopCriterion::RelativeWidth);
+                }
+                if half <= ABSOLUTE_HALF_WIDTH_FLOOR {
+                    return report(stats, StopCriterion::AbsoluteFloor);
                 }
             }
-            if result.groups() >= max_groups {
+            if stats.groups() as usize >= max_groups {
                 break;
             }
         }
-        let n = result.groups() as f64;
-        let counts: Vec<f64> = result
-            .histories
-            .iter()
-            .map(|h| h.ddf_count() as f64)
-            .collect();
-        let mean = counts.iter().sum::<f64>() / n.max(1.0);
-        let var = if n >= 2.0 {
-            counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / (n - 1.0)
-        } else {
-            0.0
-        };
-        let report = PrecisionReport {
-            mean,
-            half_width: z * (var / n.max(1.0)).sqrt(),
-            confidence,
-            groups: result.groups(),
-            converged: false,
-        };
-        (result, report)
+        report(stats, StopCriterion::GroupCap)
     }
 
     /// Simulates the half-open group-index range `[lo, hi)` using the
@@ -324,33 +569,58 @@ pub fn sweep(
     seed: u64,
     threads: usize,
 ) -> Vec<(String, SimulationResult)> {
+    sweep_with_engine(configs, groups, seed, threads, Arc::new(DesEngine::new()))
+}
+
+/// [`sweep`] with an explicit engine: every configuration is simulated
+/// by `engine` (e.g. [`crate::engine::TimelineEngine`]) under the same
+/// common random numbers. Plain [`sweep`] delegates here with the
+/// default discrete-event engine.
+///
+/// # Panics
+///
+/// Panics if any configuration is invalid (see [`Simulator::new`]).
+pub fn sweep_with_engine(
+    configs: Vec<(String, RaidGroupConfig)>,
+    groups: usize,
+    seed: u64,
+    threads: usize,
+    engine: Arc<dyn Engine>,
+) -> Vec<(String, SimulationResult)> {
     configs
         .into_iter()
         .map(|(label, cfg)| {
-            let result = Simulator::new(cfg).run_parallel(groups, seed, threads);
+            let result = Simulator::new(cfg)
+                .with_engine(Arc::clone(&engine))
+                .run_parallel(groups, seed, threads);
             (label, result)
         })
         .collect()
 }
 
-/// Two-sided z-score for the given confidence level (rational
-/// approximation, adequate for reporting).
+/// Two-sided z-score for the given confidence level, via the
+/// workspace's single inverse-normal implementation
+/// ([`raidsim_dists::special::inv_std_normal`], Acklam, |ε| < 1.15e-9).
 fn z_score(confidence: f64) -> f64 {
-    // Common levels hit exactly; otherwise a coarse interpolation.
-    match confidence {
-        c if (c - 0.90).abs() < 1e-12 => 1.644_853_6,
-        c if (c - 0.95).abs() < 1e-12 => 1.959_964_0,
-        c if (c - 0.99).abs() < 1e-12 => 2.575_829_3,
-        c => {
-            // Beasley-Springer-Moro style coarse fit on the tail.
-            let p = 0.5 + c / 2.0;
-            let t = (-2.0 * (1.0 - p).ln()).sqrt();
-            t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
-        }
-    }
+    raidsim_dists::special::inv_std_normal(0.5 + confidence / 2.0)
 }
 
 /// Aggregated result of a batch of group simulations.
+///
+/// # Empty-result policy
+///
+/// Totals and counts ([`SimulationResult::total_ddfs`],
+/// [`SimulationResult::ddfs_by`], [`SimulationResult::kind_counts`],
+/// [`SimulationResult::total_op_failures`], …) are `0` on an empty
+/// result: an empty sum is well defined. Per-group rates
+/// ([`SimulationResult::ddfs_per_thousand_groups`],
+/// [`SimulationResult::per_thousand_by`],
+/// [`SimulationResult::mean_availability`]) are statistically undefined
+/// without at least one group and **panic** rather than fabricate a
+/// value — previously `per_thousand_by` silently reported `0` while
+/// `mean_availability` panicked, and a silent zero in a reliability
+/// report is the worse failure mode. [`crate::stats::StreamStats`]
+/// follows the same policy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
     /// One history per simulated group, in group-index order.
@@ -377,13 +647,25 @@ impl SimulationResult {
 
     /// DDFs per 1,000 RAID groups over the full mission — the y-axis of
     /// the paper's Figures 6, 7 and 9.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty result (see the empty-result policy).
     pub fn ddfs_per_thousand_groups(&self) -> f64 {
         self.per_thousand_by(self.mission_hours)
     }
 
     /// DDFs per 1,000 groups at or before `t` hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty result (see the empty-result policy).
     pub fn per_thousand_by(&self, t: f64) -> f64 {
-        1_000.0 * self.ddfs_by(t) as f64 / self.groups().max(1) as f64
+        assert!(
+            !self.histories.is_empty(),
+            "no groups simulated (per-group rates are undefined on an empty result)"
+        );
+        1_000.0 * self.ddfs_by(t) as f64 / self.groups() as f64
     }
 
     /// All DDF times across all groups, sorted ascending — the input to
@@ -677,6 +959,138 @@ mod tests {
         assert!(!report.converged);
         assert_eq!(result.groups(), 150);
         assert_eq!(report.groups, 150);
+    }
+
+    #[test]
+    fn streaming_matches_stored_at_any_thread_count() {
+        let sim = Simulator::new(base());
+        let stored = StreamStats::from_result(&sim.run(120, 41));
+        for threads in [1, 2, 3, 8] {
+            let streamed = sim.run_streaming(120, 41, threads);
+            assert_eq!(streamed, stored, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_aggregates_match_stored_accessors() {
+        let sim = Simulator::new(base());
+        let stored = sim.run(150, 5);
+        let s = sim.run_streaming(150, 5, 4);
+        assert_eq!(s.groups() as usize, stored.groups());
+        assert_eq!(s.total_ddfs() as usize, stored.total_ddfs());
+        let (op, latent) = stored.kind_counts();
+        assert_eq!(s.kind_counts(), (op as u64, latent as u64));
+        assert_eq!(s.total_op_failures(), stored.total_op_failures());
+        assert_eq!(s.total_latent_defects(), stored.total_latent_defects());
+        assert_eq!(s.ddf_time_histogram().iter().sum::<u64>(), s.total_ddfs());
+        assert!((s.ddfs_per_thousand_groups() - stored.ddfs_per_thousand_groups()).abs() < 1e-9);
+        let down: f64 = stored.histories.iter().map(|h| h.downtime_hours).sum();
+        assert!((s.downtime_hours() - down).abs() < 1e-6);
+    }
+
+    #[test]
+    fn precision_streaming_report_is_identical_to_stored() {
+        let sim = Simulator::new(base());
+        let (result, stored_report) = sim.run_until_precision(0.25, 0.90, 200, 4_000, 99, 1);
+        for threads in [1, 3, 8] {
+            let (stats, report) =
+                sim.run_until_precision_streaming(0.25, 0.90, 200, 4_000, 99, threads);
+            assert_eq!(report, stored_report, "threads = {threads}");
+            assert_eq!(stats, StreamStats::from_result(&result));
+        }
+    }
+
+    #[test]
+    fn zero_event_config_converges_on_absolute_floor() {
+        // A drive that essentially cannot fail inside the mission: the
+        // old `mean > 0` gate burned this to max_groups every time.
+        let mut cfg = base();
+        cfg.dists.ttop = Arc::new(raidsim_dists::Weibull3::two_param(1e15, 1.0).unwrap());
+        let sim = Simulator::new(cfg);
+        let (result, report) = sim.run_until_precision(0.1, 0.95, 50, 100_000, 7, 2);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.criterion, StopCriterion::AbsoluteFloor);
+        assert_eq!(report.mean, 0.0);
+        assert_eq!(result.groups(), 50, "should stop after the first batch");
+    }
+
+    #[test]
+    fn converged_report_names_relative_criterion() {
+        let sim = Simulator::new(base());
+        let (_, report) = sim.run_until_precision(0.25, 0.90, 200, 4_000, 99, 4);
+        assert_eq!(report.criterion, StopCriterion::RelativeWidth);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn capped_report_names_group_cap() {
+        let sim = Simulator::new(base());
+        let (_, report) = sim.run_until_precision(1e-6, 0.95, 50, 150, 3, 2);
+        assert_eq!(report.criterion, StopCriterion::GroupCap);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress() {
+        use std::sync::Mutex;
+        #[derive(Debug, Default)]
+        struct Recorder(Mutex<Vec<Progress>>);
+        impl StreamObserver for Recorder {
+            fn on_progress(&self, p: Progress) {
+                self.0.lock().unwrap().push(p);
+            }
+        }
+        let sim = Simulator::new(base());
+        let rec = Recorder::default();
+        let stats = sim.run_streaming_observed(600, 9, 3, &rec);
+        assert_eq!(stats.groups(), 600);
+        let seen = rec.0.lock().unwrap();
+        assert!(!seen.is_empty());
+        let last = seen.last().unwrap();
+        assert_eq!(last.groups_done, 600);
+        assert_eq!(last.groups_target, 600);
+        assert!(seen.iter().all(|p| p.groups_done <= p.groups_target));
+    }
+
+    #[test]
+    fn sweep_with_engine_uses_the_given_engine() {
+        use crate::engine::TimelineEngine;
+        // The two engines sample differently, so identical seeds give
+        // different histories; sweep_with_engine must propagate the
+        // engine rather than silently using the default.
+        let results_des = sweep(vec![("base".into(), base())], 50, 21, 2);
+        let results_tl = sweep_with_engine(
+            vec![("base".into(), base())],
+            50,
+            21,
+            2,
+            Arc::new(TimelineEngine::new()),
+        );
+        let direct_tl = Simulator::new(base())
+            .with_engine(Arc::new(TimelineEngine::new()))
+            .run_parallel(50, 21, 2);
+        assert_eq!(results_tl[0].1, direct_tl);
+        assert_ne!(results_tl[0].1, results_des[0].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no groups simulated")]
+    fn empty_per_thousand_panics() {
+        let r = SimulationResult {
+            histories: Vec::new(),
+            mission_hours: 100.0,
+        };
+        r.ddfs_per_thousand_groups();
+    }
+
+    #[test]
+    #[should_panic(expected = "no histories")]
+    fn empty_availability_panics() {
+        let r = SimulationResult {
+            histories: Vec::new(),
+            mission_hours: 100.0,
+        };
+        r.mean_availability(8);
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! Bounded-memory streaming aggregation of group histories.
+//!
+//! The paper's headline numbers need 10,000+ Monte Carlo group
+//! histories, and fleet-scale studies need millions. Retaining every
+//! [`GroupHistory`] (as [`crate::run::SimulationResult`] does) costs
+//! memory proportional to the fleet and forces full rescans to update
+//! statistics. [`StreamStats`] is the alternative: a constant-size,
+//! mergeable accumulator holding everything the analysis layer needs —
+//! moments of the per-group DDF count, per-kind and per-counter totals,
+//! total downtime, and a fixed-bin histogram of DDF times that drives
+//! the MCF/ROCOF estimators in `raidsim-analysis`.
+//!
+//! # Determinism argument
+//!
+//! Every piece of accumulator state is an exact integer:
+//!
+//! * DDF counts per group are small integers, so their sum and sum of
+//!   squares (`u64`/`u128`) are exact. The textbook *Welford/Chan*
+//!   streaming recurrences exist to tame floating-point cancellation;
+//!   with integer observations the raw moments are already exact, which
+//!   is strictly stronger — mean and variance are derived on demand
+//!   with a single rounding each.
+//! * Event-time histogram bins and all event counters are `u64`.
+//! * Downtime is quantized to fixed-point ticks of 2⁻³² hours
+//!   (≈ 0.85 µs). Scaling an `f64` by a power of two is exact, so each
+//!   group's tick count is a pure function of its `downtime_hours`,
+//!   and the tick sum is an exact integer.
+//!
+//! Integer addition is associative and commutative, so **any** order of
+//! [`StreamStats::push`] and [`StreamStats::merge`] over the same set
+//! of group histories yields bit-identical state. The batch runner
+//! merges per-worker accumulators in group-index order regardless, but
+//! the result provably cannot depend on thread count or scheduling.
+//! This is what lets the test suite demand exact equality between the
+//! streamed and stored paths at every thread count.
+//!
+//! `StreamStats` intentionally has no serde derives: its exact state
+//! uses `u128` fields, which the vendored offline serde does not
+//! support. Reports derived from it ([`crate::run::PrecisionReport`])
+//! serialize as usual.
+
+use crate::events::{DdfKind, GroupHistory};
+use crate::run::SimulationResult;
+
+/// Default number of fixed-width DDF-time histogram bins.
+///
+/// 960 = 2⁶·3·5 divides evenly into every window count the experiment
+/// binaries use (8, 10, 12, 16, 20, 96, …), so windowed ROCOF
+/// estimates can be formed from the histogram without re-binning, and
+/// common horizons (e.g. the first year of a 10-year mission) land
+/// exactly on bin edges.
+pub const DEFAULT_DDF_BINS: usize = 960;
+
+/// Fixed-point downtime resolution: ticks per hour (2³²).
+const DOWNTIME_TICKS_PER_HOUR: f64 = 4_294_967_296.0;
+
+/// Constant-size, mergeable aggregate of simulated group histories.
+///
+/// # Empty-result policy
+///
+/// Identical to [`SimulationResult`]: totals and counters are `0` on an
+/// accumulator that has seen no groups, while per-group rates
+/// ([`StreamStats::mean_ddfs`], [`StreamStats::ddfs_per_thousand_groups`],
+/// [`StreamStats::mean_availability`], …) are statistically undefined
+/// and panic.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_core::config::RaidGroupConfig;
+/// use raidsim_core::run::Simulator;
+/// use raidsim_core::stats::StreamStats;
+///
+/// # fn main() -> Result<(), raidsim_core::CoreError> {
+/// let sim = Simulator::new(RaidGroupConfig::paper_base_case()?);
+/// // The streamed aggregate is bit-identical to one computed from the
+/// // stored histories, at any thread count.
+/// let streamed = sim.run_streaming(100, 7, 4);
+/// let stored = StreamStats::from_result(&sim.run(100, 7));
+/// assert_eq!(streamed, stored);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    mission_hours: f64,
+    groups: u64,
+    /// Exact Σ of per-group DDF counts.
+    ddf_sum: u64,
+    /// Exact Σ of squared per-group DDF counts.
+    ddf_sum_sq: u128,
+    kind_double_op: u64,
+    kind_latent_op: u64,
+    op_failures: u64,
+    latent_defects: u64,
+    scrubs_completed: u64,
+    restores_completed: u64,
+    /// Exact Σ of per-group downtime, in 2⁻³²-hour ticks.
+    downtime_ticks: u128,
+    /// DDF counts per fixed-width time bin over `[0, mission_hours]`;
+    /// bins are half-open `[k·w, (k+1)·w)` except the last, which also
+    /// includes the mission endpoint.
+    ddf_time_bins: Vec<u64>,
+}
+
+impl StreamStats {
+    /// Creates an empty accumulator for a mission of the given length,
+    /// with [`DEFAULT_DDF_BINS`] histogram bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mission_hours` is not finite and positive.
+    pub fn new(mission_hours: f64) -> Self {
+        Self::with_bins(mission_hours, DEFAULT_DDF_BINS)
+    }
+
+    /// Creates an empty accumulator with a custom histogram bin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mission_hours` is not finite and positive or
+    /// `bins == 0`.
+    pub fn with_bins(mission_hours: f64, bins: usize) -> Self {
+        assert!(
+            mission_hours.is_finite() && mission_hours > 0.0,
+            "mission length must be finite and positive"
+        );
+        assert!(bins > 0, "need at least one histogram bin");
+        Self {
+            mission_hours,
+            groups: 0,
+            ddf_sum: 0,
+            ddf_sum_sq: 0,
+            kind_double_op: 0,
+            kind_latent_op: 0,
+            op_failures: 0,
+            latent_defects: 0,
+            scrubs_completed: 0,
+            restores_completed: 0,
+            downtime_ticks: 0,
+            ddf_time_bins: vec![0; bins],
+        }
+    }
+
+    /// Accumulates one stored result (the bridge between the two
+    /// paths; used by the equivalence tests and for re-aggregating
+    /// small runs).
+    pub fn from_result(result: &SimulationResult) -> Self {
+        let mut stats = Self::new(result.mission_hours);
+        for h in &result.histories {
+            stats.push(h);
+        }
+        stats
+    }
+
+    /// Folds one group history into the aggregate.
+    pub fn push(&mut self, h: &GroupHistory) {
+        self.groups += 1;
+        let d = h.ddf_count() as u64;
+        self.ddf_sum += d;
+        self.ddf_sum_sq += u128::from(d) * u128::from(d);
+        let bins = self.ddf_time_bins.len();
+        for e in &h.ddfs {
+            debug_assert!(
+                e.time.is_finite() && e.time >= 0.0 && e.time <= self.mission_hours,
+                "DDF time outside mission window"
+            );
+            match e.kind {
+                DdfKind::DoubleOperational => self.kind_double_op += 1,
+                DdfKind::LatentThenOperational => self.kind_latent_op += 1,
+            }
+            let bin = ((e.time / self.mission_hours * bins as f64) as usize).min(bins - 1);
+            self.ddf_time_bins[bin] += 1;
+        }
+        self.op_failures += h.op_failures;
+        self.latent_defects += h.latent_defects;
+        self.scrubs_completed += h.scrubs_completed;
+        self.restores_completed += h.restores_completed;
+        debug_assert!(
+            h.downtime_hours.is_finite() && h.downtime_hours >= 0.0,
+            "downtime must be finite and non-negative"
+        );
+        self.downtime_ticks += (h.downtime_hours * DOWNTIME_TICKS_PER_HOUR).round() as u128;
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// Exact in every field, so merge order cannot affect the result
+    /// (see the module-level determinism argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if mission lengths or histogram bin counts differ.
+    pub fn merge(&mut self, other: StreamStats) {
+        assert_eq!(
+            self.mission_hours, other.mission_hours,
+            "cannot merge stats with different missions"
+        );
+        assert_eq!(
+            self.ddf_time_bins.len(),
+            other.ddf_time_bins.len(),
+            "cannot merge stats with different histogram resolutions"
+        );
+        self.groups += other.groups;
+        self.ddf_sum += other.ddf_sum;
+        self.ddf_sum_sq += other.ddf_sum_sq;
+        self.kind_double_op += other.kind_double_op;
+        self.kind_latent_op += other.kind_latent_op;
+        self.op_failures += other.op_failures;
+        self.latent_defects += other.latent_defects;
+        self.scrubs_completed += other.scrubs_completed;
+        self.restores_completed += other.restores_completed;
+        self.downtime_ticks += other.downtime_ticks;
+        for (mine, theirs) in self.ddf_time_bins.iter_mut().zip(&other.ddf_time_bins) {
+            *mine += theirs;
+        }
+    }
+
+    /// Groups aggregated so far.
+    pub fn groups(&self) -> u64 {
+        self.groups
+    }
+
+    /// `true` when no groups have been aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.groups == 0
+    }
+
+    /// Mission length, hours.
+    pub fn mission_hours(&self) -> f64 {
+        self.mission_hours
+    }
+
+    /// Total DDFs over the full mission.
+    pub fn total_ddfs(&self) -> u64 {
+        self.ddf_sum
+    }
+
+    /// DDF counts by kind: `(double-operational, latent-then-operational)`.
+    pub fn kind_counts(&self) -> (u64, u64) {
+        (self.kind_double_op, self.kind_latent_op)
+    }
+
+    /// Total operational failures across groups.
+    pub fn total_op_failures(&self) -> u64 {
+        self.op_failures
+    }
+
+    /// Total latent defects created across groups.
+    pub fn total_latent_defects(&self) -> u64 {
+        self.latent_defects
+    }
+
+    /// Total scrub corrections across groups.
+    pub fn total_scrubs_completed(&self) -> u64 {
+        self.scrubs_completed
+    }
+
+    /// Total drive restorations across groups.
+    pub fn total_restores_completed(&self) -> u64 {
+        self.restores_completed
+    }
+
+    /// Total drive-hours spent down across all groups (quantized to
+    /// 2⁻³²-hour ticks; see the module docs).
+    pub fn downtime_hours(&self) -> f64 {
+        self.downtime_ticks as f64 / DOWNTIME_TICKS_PER_HOUR
+    }
+
+    /// Mean DDFs per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator (see the empty-result policy).
+    pub fn mean_ddfs(&self) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        self.ddf_sum as f64 / self.groups as f64
+    }
+
+    /// Unbiased sample variance of per-group DDF counts, computed from
+    /// the exact integer moments: `(n·Σx² − (Σx)²) / (n·(n−1))`.
+    ///
+    /// The numerator is evaluated in `u128`, so — unlike the float
+    /// sum-of-squares shortcut — it cannot suffer catastrophic
+    /// cancellation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two groups.
+    pub fn variance_ddfs(&self) -> f64 {
+        assert!(self.groups >= 2, "variance needs at least two groups");
+        let n = u128::from(self.groups);
+        let s = u128::from(self.ddf_sum);
+        // Cauchy–Schwarz guarantees n·Σx² ≥ (Σx)², so this cannot
+        // underflow.
+        let num = n * self.ddf_sum_sq - s * s;
+        num as f64 / (self.groups as f64 * (self.groups - 1) as f64)
+    }
+
+    /// Normal-approximation confidence half-width of the mean DDFs per
+    /// group, for a two-sided z-score `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two groups.
+    pub fn half_width(&self, z: f64) -> f64 {
+        z * (self.variance_ddfs() / self.groups as f64).sqrt()
+    }
+
+    /// DDFs per 1,000 groups over the full mission.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator.
+    pub fn ddfs_per_thousand_groups(&self) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        1_000.0 * self.ddf_sum as f64 / self.groups as f64
+    }
+
+    /// DDFs occurring before `t` hours, from the histogram.
+    ///
+    /// `t` must lie on a histogram bin edge (or equal the mission
+    /// length): the histogram cannot resolve sub-bin horizons, and
+    /// silently flooring would misreport. Bins are half-open, so an
+    /// event at exactly `t` is *not* counted — for continuously
+    /// distributed event times the difference has probability zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not aligned with a bin edge (within 1 part in
+    /// 10⁹) or is outside `[0, mission_hours]`.
+    pub fn ddfs_through(&self, t: f64) -> u64 {
+        assert!(
+            (0.0..=self.mission_hours).contains(&t),
+            "horizon {t} outside the mission window"
+        );
+        if t == self.mission_hours {
+            return self.ddf_sum;
+        }
+        let bins = self.ddf_time_bins.len() as f64;
+        let pos = t / self.mission_hours * bins;
+        let edge = pos.round();
+        assert!(
+            (pos - edge).abs() <= 1e-9 * bins,
+            "horizon {t} does not align with a histogram bin edge \
+             (bin width {})",
+            self.bin_width()
+        );
+        self.ddf_time_bins[..edge as usize].iter().sum()
+    }
+
+    /// DDFs per 1,000 groups before `t` hours (same alignment rules as
+    /// [`StreamStats::ddfs_through`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator or a misaligned horizon.
+    pub fn per_thousand_through(&self, t: f64) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        1_000.0 * self.ddfs_through(t) as f64 / self.groups as f64
+    }
+
+    /// The DDF-time histogram: counts per fixed-width bin over
+    /// `[0, mission_hours]`, pooled across all groups.
+    pub fn ddf_time_histogram(&self) -> &[u64] {
+        &self.ddf_time_bins
+    }
+
+    /// Width of one histogram bin, hours.
+    pub fn bin_width(&self) -> f64 {
+        self.mission_hours / self.ddf_time_bins.len() as f64
+    }
+
+    /// Fleet-average drive availability: up drive-hours over total
+    /// drive-hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator or `drives == 0`.
+    pub fn mean_availability(&self, drives: usize) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        assert!(drives > 0, "need at least one drive");
+        1.0 - self.downtime_hours() / (self.groups as f64 * drives as f64 * self.mission_hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::DdfEvent;
+
+    fn history(ddf_times: &[f64], downtime: f64) -> GroupHistory {
+        GroupHistory {
+            ddfs: ddf_times
+                .iter()
+                .map(|&time| DdfEvent {
+                    time,
+                    kind: if time < 500.0 {
+                        DdfKind::LatentThenOperational
+                    } else {
+                        DdfKind::DoubleOperational
+                    },
+                })
+                .collect(),
+            op_failures: ddf_times.len() as u64 + 1,
+            latent_defects: 3,
+            scrubs_completed: 2,
+            restores_completed: 1,
+            downtime_hours: downtime,
+        }
+    }
+
+    #[test]
+    fn push_accumulates_all_counters() {
+        let mut s = StreamStats::new(1_000.0);
+        s.push(&history(&[100.0, 600.0], 4.0));
+        s.push(&history(&[], 0.0));
+        assert_eq!(s.groups(), 2);
+        assert_eq!(s.total_ddfs(), 2);
+        assert_eq!(s.kind_counts(), (1, 1));
+        assert_eq!(s.total_op_failures(), 4);
+        assert_eq!(s.total_latent_defects(), 6);
+        assert_eq!(s.total_scrubs_completed(), 4);
+        assert_eq!(s.total_restores_completed(), 2);
+        assert!((s.downtime_hours() - 4.0).abs() < 1e-9);
+        assert_eq!(s.ddf_time_histogram().iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn moments_match_direct_formulas() {
+        let mut s = StreamStats::new(1_000.0);
+        for times in [&[100.0, 600.0][..], &[][..], &[700.0][..], &[][..]] {
+            s.push(&history(times, 0.0));
+        }
+        // Counts 2, 0, 1, 0: mean 0.75, sample variance 0.9166….
+        assert!((s.mean_ddfs() - 0.75).abs() < 1e-15);
+        let direct = [2.0f64, 0.0, 1.0, 0.0]
+            .iter()
+            .map(|c| (c - 0.75f64).powi(2))
+            .sum::<f64>()
+            / 3.0;
+        assert!((s.variance_ddfs() - direct).abs() < 1e-15);
+        assert!((s.ddfs_per_thousand_groups() - 750.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_in_any_order_is_identical() {
+        let histories: Vec<GroupHistory> = (0..20)
+            .map(|i| history(&[i as f64 * 37.0 + 1.0], 0.25 * i as f64))
+            .collect();
+        let mut sequential = StreamStats::new(1_000.0);
+        for h in &histories {
+            sequential.push(h);
+        }
+        // Three chunks merged back-to-front.
+        let chunk = |range: std::ops::Range<usize>| {
+            let mut s = StreamStats::new(1_000.0);
+            for h in &histories[range] {
+                s.push(h);
+            }
+            s
+        };
+        let mut reversed = chunk(13..20);
+        reversed.merge(chunk(5..13));
+        reversed.merge(chunk(0..5));
+        assert_eq!(sequential, reversed);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut s = StreamStats::with_bins(1_000.0, 10);
+        // One event per quarter plus one exactly at the mission end.
+        s.push(&history(&[50.0, 250.0, 850.0, 1_000.0], 0.0));
+        let bins = s.ddf_time_histogram();
+        assert_eq!(bins[0], 1);
+        assert_eq!(bins[2], 1);
+        assert_eq!(bins[8], 1);
+        assert_eq!(bins[9], 1); // endpoint clamps into the last bin
+        assert_eq!(s.ddfs_through(100.0), 1);
+        assert_eq!(s.ddfs_through(300.0), 2);
+        assert_eq!(s.ddfs_through(1_000.0), 4);
+        assert!((s.per_thousand_through(300.0) - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin edge")]
+    fn misaligned_horizon_panics() {
+        let mut s = StreamStats::with_bins(1_000.0, 10);
+        s.push(&history(&[], 0.0));
+        s.ddfs_through(150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no groups aggregated")]
+    fn empty_mean_panics() {
+        StreamStats::new(100.0).mean_ddfs();
+    }
+
+    #[test]
+    #[should_panic(expected = "no groups aggregated")]
+    fn empty_per_thousand_panics() {
+        StreamStats::new(100.0).ddfs_per_thousand_groups();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two groups")]
+    fn single_group_variance_panics() {
+        let mut s = StreamStats::new(100.0);
+        s.push(&GroupHistory::default());
+        s.variance_ddfs();
+    }
+
+    #[test]
+    #[should_panic(expected = "different missions")]
+    fn merge_rejects_mismatched_missions() {
+        let mut a = StreamStats::new(100.0);
+        a.merge(StreamStats::new(200.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different histogram resolutions")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = StreamStats::with_bins(100.0, 8);
+        a.merge(StreamStats::with_bins(100.0, 16));
+    }
+
+    #[test]
+    fn availability_matches_stored_formula() {
+        let mut s = StreamStats::new(1_000.0);
+        s.push(&history(&[], 40.0));
+        s.push(&history(&[], 10.0));
+        let expect = 1.0 - 50.0 / (2.0 * 8.0 * 1_000.0);
+        assert!((s.mean_availability(8) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downtime_quantization_is_negligible_and_exact() {
+        let mut a = StreamStats::new(1_000.0);
+        let mut b = StreamStats::new(1_000.0);
+        let values = [0.1, 16.60000000000001, 3.3333333333, 900.0];
+        for &v in &values {
+            a.push(&history(&[], v));
+        }
+        for &v in values.iter().rev() {
+            b.push(&history(&[], v));
+        }
+        // Exactly order-independent…
+        assert_eq!(a, b);
+        // …and within quantization distance of the float sum.
+        let float_sum: f64 = values.iter().sum();
+        assert!((a.downtime_hours() - float_sum).abs() < 1e-6);
+    }
+}

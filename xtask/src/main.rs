@@ -23,6 +23,7 @@ mod deps;
 mod determinism;
 mod nan_safety;
 mod policy;
+mod smoke;
 mod source;
 mod workspace;
 
@@ -69,11 +70,12 @@ fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\
      \n\
      commands:\n\
-       check          run every check (determinism, nan-safety, lint-policy, deps)\n\
+       check          run every static check (determinism, nan-safety, lint-policy, deps)\n\
        determinism    forbid non-deterministic constructs in simulation crates\n\
        nan-safety     forbid partial float comparisons in simulation crates\n\
        lint-policy    require [lints] workspace = true in every crate\n\
        deps           flag declared-but-unused dependencies\n\
+     \x20  smoke          build and run the CLI's streamed precision path end to end\n\
        help           print this message"
 }
 
@@ -101,6 +103,7 @@ fn main() -> ExitCode {
         "nan-safety" => run(nan_safety::check(&root), "nan-safety"),
         "lint-policy" => run(policy::check(&root), "lint-policy"),
         "deps" => run(deps::check(&root), "deps"),
+        "smoke" => run(smoke::check(&root), "smoke"),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

@@ -1,0 +1,67 @@
+//! Dynamic smoke check of the streamed precision path.
+//!
+//! The static checks guarantee the simulation crates *can* be
+//! deterministic; this one exercises the actual release binary: a
+//! precision-controlled `simulate` run through the streaming
+//! aggregation layer must complete and name the stopping criterion it
+//! fired. It is deliberately end-to-end — CLI argument parsing, the
+//! streamed precision driver, and the report formatting all sit on the
+//! path.
+
+use crate::Finding;
+use std::path::Path;
+use std::process::Command;
+
+/// What a healthy streamed precision run must print.
+const EXPECTED: [&str; 3] = ["precision run:", "(stopped: ", "DDFs per 1,000 groups"];
+
+/// Runs the CLI's streamed precision path and checks its report.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .current_dir(root)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "raidsim-cli",
+            "--",
+            "simulate",
+            "--precision",
+            "0.5",
+            "--groups",
+            "400",
+            "--seed",
+            "7",
+            "--mission-years",
+            "1",
+        ])
+        .output()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+
+    let mut findings = Vec::new();
+    let finding = |message: String| Finding {
+        check: "smoke",
+        path: "crates/cli".into(),
+        line: 0,
+        message,
+    };
+    if !output.status.success() {
+        findings.push(finding(format!(
+            "streamed precision run failed ({}): {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr).trim()
+        )));
+        return Ok(findings);
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for needle in EXPECTED {
+        if !stdout.contains(needle) {
+            findings.push(finding(format!(
+                "streamed precision run output is missing `{needle}`; got:\n{stdout}"
+            )));
+        }
+    }
+    Ok(findings)
+}
