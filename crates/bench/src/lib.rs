@@ -10,10 +10,14 @@
 use raidsim::analysis::compare::FleetSummary;
 use raidsim::analysis::mcf::McfEstimate;
 use raidsim::analysis::series::Series;
+use raidsim::checkpoint::{CheckpointError, DriverState, SimCheckpoint};
 use raidsim::config::RaidGroupConfig;
-use raidsim::run::{Progress, SimulationResult, Simulator, StreamObserver};
+use raidsim::run::{
+    CheckpointPlan, EveryGroups, Progress, SimulationResult, Simulator, StreamObserver,
+};
 use raidsim::stats::StreamStats;
 use std::io::Write as _;
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -48,12 +52,102 @@ pub fn run(cfg: RaidGroupConfig, n_groups: usize, seed: u64) -> SimulationResult
 ///
 /// Set `RAIDSIM_PROGRESS=1` to get a live groups/sec + ETA line on
 /// stderr while the run is in flight.
+///
+/// Set `RAIDSIM_CHECKPOINT=<path>` to make the run crash-safe: the
+/// accumulator is snapshotted to `<path>` every
+/// `RAIDSIM_CHECKPOINT_EVERY` groups (default 5,000), and a restarted
+/// experiment resumes from the file automatically — producing the same
+/// bit-identical statistics the uninterrupted run would have. A file
+/// from a *different* experiment (other config, seed, or group count)
+/// fails loudly rather than contaminating the statistics.
 pub fn run_streaming(cfg: RaidGroupConfig, n_groups: usize, seed: u64) -> StreamStats {
+    if let Some(path) = std::env::var_os("RAIDSIM_CHECKPOINT") {
+        let every = std::env::var("RAIDSIM_CHECKPOINT_EVERY")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(5_000);
+        return run_streaming_with_checkpoint(cfg, n_groups, seed, Path::new(&path), every);
+    }
     let sim = Simulator::new(cfg);
     if std::env::var_os("RAIDSIM_PROGRESS").is_some() {
         sim.run_streaming_observed(n_groups, seed, threads(), &StderrProgress::new())
     } else {
         sim.run_streaming(n_groups, seed, threads())
+    }
+}
+
+/// The checkpointed variant of [`run_streaming`] (the
+/// `RAIDSIM_CHECKPOINT` code path, callable directly): snapshots to
+/// `path` every `every` groups, resumes from `path` when it already
+/// exists, and returns statistics bit-identical to the plain streamed
+/// run.
+///
+/// # Panics
+///
+/// Panics when `path` exists but holds a corrupt checkpoint or one
+/// belonging to a different `(config, seed, group-count)` — an
+/// experiment must never silently merge foreign statistics.
+pub fn run_streaming_with_checkpoint(
+    cfg: RaidGroupConfig,
+    n_groups: usize,
+    seed: u64,
+    path: &Path,
+    every: u64,
+) -> StreamStats {
+    let sim = Simulator::new(cfg);
+    let driver = DriverState::fixed(n_groups as u64, 1_000.min(n_groups.max(1)) as u64, seed);
+    let resume = path
+        .exists()
+        .then(|| SimCheckpoint::load(path))
+        .transpose()
+        .expect("RAIDSIM_CHECKPOINT file exists but cannot be loaded");
+    if let Some(ckpt) = &resume {
+        eprintln!(
+            "resuming from {}: {} of {n_groups} groups already done",
+            path.display(),
+            ckpt.groups_done()
+        );
+    }
+    let observer = CheckpointObserver {
+        progress: std::env::var_os("RAIDSIM_PROGRESS")
+            .is_some()
+            .then(StderrProgress::new),
+    };
+    let mut cadence = EveryGroups(every);
+    let plan = CheckpointPlan {
+        path,
+        cadence: &mut cadence,
+    };
+    let (stats, _report) = sim
+        .run_checkpointed(
+            driver,
+            threads(),
+            &observer,
+            &(),
+            Some(plan),
+            resume.as_ref(),
+        )
+        .expect("RAIDSIM_CHECKPOINT file belongs to a different experiment run");
+    stats
+}
+
+/// Observer for checkpointed experiment runs: progress is opt-in, but
+/// a failed snapshot always warns — the experiment keeps running, it
+/// just would not survive a crash until a later write succeeds.
+#[derive(Debug, Default)]
+struct CheckpointObserver {
+    progress: Option<StderrProgress>,
+}
+
+impl StreamObserver for CheckpointObserver {
+    fn on_progress(&self, p: Progress) {
+        if let Some(inner) = &self.progress {
+            inner.on_progress(p);
+        }
+    }
+
+    fn on_checkpoint_failed(&self, error: &CheckpointError) {
+        eprintln!("warning: {error}; experiment continues without crash-safety");
     }
 }
 
@@ -234,6 +328,21 @@ mod tests {
         assert_eq!(summary.systems, 120);
         assert_eq!(summary.mean, streamed.mean_ddfs());
         assert_eq!(summary.variance, streamed.variance_ddfs());
+    }
+
+    #[test]
+    fn checkpointed_streamed_run_matches_plain() {
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let plain = Simulator::new(cfg.clone()).run_streaming(90, 11, threads());
+        let path = std::env::temp_dir().join("raidsim_bench_ckpt_test.ckpt");
+        std::fs::remove_file(&path).ok();
+        let ckpt = run_streaming_with_checkpoint(cfg.clone(), 90, 11, &path, 25);
+        assert_eq!(ckpt, plain);
+        // The file now holds the final state, so a rerun resumes from it
+        // (zero new batches) and reports the same statistics.
+        let resumed = run_streaming_with_checkpoint(cfg, 90, 11, &path, 25);
+        assert_eq!(resumed, plain);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,14 +1,39 @@
 //! Command implementations.
 
 use crate::args::Args;
+use crate::error::CliError;
+use crate::progress::{CliCadence, CliObserver};
+use raidsim::checkpoint::{DriverState, SimCheckpoint};
 use raidsim::config::{params, RaidGroupConfig, Redundancy};
 use raidsim::dists::fit::{bootstrap_ci, mle, rank_regression};
 use raidsim::dists::Weibull3;
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::mttdl::{expected_ddfs, mttdl_from_mttf, HOURS_PER_YEAR};
-use raidsim::run::{PrecisionReport, Simulator, StreamObserver};
+use raidsim::run::{CheckpointPlan, PrecisionReport, Simulator, StopCriterion};
 use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// What a command produced: the text to print, plus whether the run
+/// was gracefully interrupted (which exits with
+/// [`crate::error::EXIT_INTERRUPTED`] instead of 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// The run stopped on SIGINT/SIGTERM after flushing its state.
+    pub interrupted: bool,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        Self {
+            text,
+            interrupted: false,
+        }
+    }
+}
 
 /// Top-level usage text.
 pub fn usage() -> String {
@@ -17,18 +42,30 @@ pub fn usage() -> String {
      \x20                 [--raid6] [--groups 10000] [--seed 42] [--csv out.csv]\n\
      \x20                 [--ttop-eta 461386] [--ttop-beta 1.12]\n\
      \x20                 [--ttld-eta 9259|off] [--precision REL] [--progress]\n\
+     \x20                 [--checkpoint run.ckpt] [--resume]\n\
+     \x20                 [--checkpoint-every GROUPS] [--checkpoint-secs S]\n\
      raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]\n\
      \x20                 [--groups 1000] [--years 10]\n\
      raidsim-cli fit <life-data.csv>     rows: time_hours,failed(0|1)\n\
      raidsim-cli closedform [--drives 8] [--scrub 168|off] [--raid6]\n\
      \x20                 [--mission-years 10] [--ttop-eta N] [--ttop-beta B]\n\
      raidsim-cli table1\n\
-     raidsim-cli help"
+     raidsim-cli help\n\
+     \n\
+     checkpointing: --checkpoint snapshots the run so a killed process\n\
+     loses at most one batch; add --resume to continue from the file.\n\
+     SIGINT/SIGTERM finish the in-flight batch, flush the checkpoint,\n\
+     and print partial results.\n\
+     \n\
+     exit codes: 0 success; 1 internal error; 2 usage error;\n\
+     3 input file unreadable/malformed; 4 checkpoint corrupt or from a\n\
+     different run; 5 interrupted gracefully (partial results printed,\n\
+     checkpoint flushed when one was configured)"
         .to_string()
 }
 
 /// `simulate` — run the Monte Carlo model.
-pub fn simulate(argv: &[String]) -> Result<String, String> {
+pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let args = Args::parse(argv);
     let drives: usize = args.num("drives", 8)?;
     let mission_years: f64 = args.num("mission-years", 10.0)?;
@@ -42,9 +79,30 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
     let precision: f64 = args.num("precision", 0.0)?;
     let csv_out = args.string("csv")?;
     let progress = args.switch("progress");
+    let checkpoint = args.string("checkpoint")?;
+    let resume = args.switch("resume");
+    let checkpoint_every: u64 = args.num("checkpoint-every", 1_000)?;
+    let checkpoint_secs: f64 = args.num("checkpoint-secs", 30.0)?;
     args.reject_unknown()?;
 
-    let mut cfg = RaidGroupConfig::paper_base_case().map_err(|e| e.to_string())?;
+    if resume && checkpoint.is_none() {
+        return Err(CliError::Usage(
+            "--resume needs --checkpoint <path> to know where to resume from".into(),
+        ));
+    }
+    if checkpoint.is_some() && csv_out.is_some() {
+        return Err(CliError::Usage(
+            "--checkpoint works on the streamed path only; drop --csv".into(),
+        ));
+    }
+    if !(checkpoint_secs > 0.0 && checkpoint_secs.is_finite()) {
+        return Err(CliError::Usage(
+            "--checkpoint-secs must be a positive number".into(),
+        ));
+    }
+
+    let mut cfg =
+        RaidGroupConfig::paper_base_case().map_err(|e| CliError::Internal(e.to_string()))?;
     cfg.drives = drives;
     cfg.mission_hours = mission_years * HOURS_PER_YEAR;
     if raid6 {
@@ -81,11 +139,7 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
         .map(|n| n.get())
         .unwrap_or(4);
     let sim = Simulator::new(cfg);
-    let stderr_progress = progress.then(crate::progress::StderrProgress::new);
-    let observer: &dyn StreamObserver = match &stderr_progress {
-        Some(p) => p,
-        None => &(),
-    };
+    let observer = CliObserver::new(progress);
     let precision_note = |report: &PrecisionReport| {
         format!(
             "precision run: {} groups, 95% CI half-width {:.1}% of mean (stopped: {})\n",
@@ -96,8 +150,10 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
     };
 
     // The streamed path never materializes per-group histories, so a
-    // CSV request pins us to the stored path; everything else streams.
+    // CSV request pins us to the stored path; everything else streams
+    // through the checkpointable, signal-aware driver.
     let mut out = String::new();
+    let mut interrupted = false;
     let summary = if let Some(path) = &csv_out {
         let (result, note) = if precision > 0.0 {
             let (r, report) = sim.run_until_precision(
@@ -113,29 +169,75 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
             (sim.run_parallel(groups, seed, threads), String::new())
         };
         let _ = write!(out, "{note}");
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let file =
+            std::fs::File::create(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
         result
             .write_history_csv(std::io::BufWriter::new(file))
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
         raidsim::stats::StreamStats::from_result(&result)
-    } else if precision > 0.0 {
-        let (stats, report) = sim.run_until_precision_streaming_observed(
-            precision,
-            0.95,
-            groups.clamp(100, 1_000),
-            groups,
-            seed,
-            threads,
-            observer,
-        );
-        let _ = write!(out, "{}", precision_note(&report));
-        stats
     } else {
-        sim.run_streaming_observed(groups, seed, threads, observer)
+        // Batch schedule: the precision batch is unchanged from the
+        // pre-checkpoint CLI (so reports are identical), and fixed
+        // runs use it as the interruption/checkpoint granularity.
+        let batch = groups.clamp(100, 1_000) as u64;
+        let driver = if precision > 0.0 {
+            DriverState::precision(precision, 0.95, batch, groups as u64, seed)
+        } else {
+            DriverState::fixed(groups as u64, batch, seed)
+        };
+        let resume_ckpt = match (&checkpoint, resume) {
+            (Some(path), true) => Some(SimCheckpoint::load(Path::new(path))?),
+            _ => None,
+        };
+        if let Some(ckpt) = &resume_ckpt {
+            let _ = writeln!(
+                out,
+                "resumed from checkpoint: {} groups already done",
+                ckpt.groups_done()
+            );
+        }
+        crate::signal::install();
+        let mut cadence =
+            CliCadence::new(checkpoint_every, Duration::from_secs_f64(checkpoint_secs));
+        let plan = checkpoint.as_ref().map(|path| CheckpointPlan {
+            path: Path::new(path),
+            cadence: &mut cadence,
+        });
+        let (stats, report) = sim.run_checkpointed(
+            driver,
+            threads,
+            &observer,
+            &crate::signal::INTERRUPTED,
+            plan,
+            resume_ckpt.as_ref(),
+        )?;
+        interrupted = report.criterion == StopCriterion::Interrupted;
+        if precision > 0.0 {
+            let _ = write!(out, "{}", precision_note(&report));
+        }
+        if interrupted {
+            let where_to = match &checkpoint {
+                Some(path) => format!("; checkpoint saved to {path} (rerun with --resume)"),
+                None => "; no checkpoint configured, progress is lost".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "interrupted after {} of {} groups{where_to}",
+                report.groups, driver.max_groups
+            );
+        }
+        stats
     };
 
     if let Some(path) = csv_out {
         let _ = writeln!(out, "wrote per-group histories to {path}");
+    }
+    if summary.is_empty() {
+        let _ = writeln!(out, "no groups completed; no statistics to report");
+        return Ok(CmdOutput {
+            text: out,
+            interrupted,
+        });
     }
     let (op_op, latent_op) = summary.kind_counts();
     let _ = writeln!(
@@ -153,11 +255,14 @@ pub fn simulate(argv: &[String]) -> Result<String, String> {
         summary.total_op_failures() as f64 / summary.groups() as f64,
         summary.total_latent_defects() as f64 / summary.groups() as f64,
     );
-    Ok(out)
+    Ok(CmdOutput {
+        text: out,
+        interrupted,
+    })
 }
 
 /// `mttdl` — the closed forms.
-pub fn mttdl(argv: &[String]) -> Result<String, String> {
+pub fn mttdl(argv: &[String]) -> Result<CmdOutput, CliError> {
     let args = Args::parse(argv);
     let n: usize = args.num("data-drives", 7)?;
     let mttf: f64 = args.num("mttf", 461_386.0)?;
@@ -166,7 +271,9 @@ pub fn mttdl(argv: &[String]) -> Result<String, String> {
     let years: f64 = args.num("years", 10.0)?;
     args.reject_unknown()?;
     if mttf <= 0.0 || mttr <= 0.0 || n == 0 {
-        return Err("mttf/mttr must be positive, data-drives >= 1".into());
+        return Err(CliError::Usage(
+            "mttf/mttr must be positive, data-drives >= 1".into(),
+        ));
     }
     let m = mttdl_from_mttf(n, mttf, mttr);
     let e = expected_ddfs(m, groups, years * HOURS_PER_YEAR);
@@ -174,18 +281,20 @@ pub fn mttdl(argv: &[String]) -> Result<String, String> {
         "MTTDL = {:.0} hours = {:.0} years\nexpected DDFs for {groups:.0} groups over {years} years: {e:.3}\n",
         m,
         m / HOURS_PER_YEAR
-    ))
+    )
+    .into())
 }
 
 /// `fit` — Weibull fits of a life-data CSV.
-pub fn fit(argv: &[String]) -> Result<String, String> {
+pub fn fit(argv: &[String]) -> Result<CmdOutput, CliError> {
     let args = Args::parse(argv);
     args.reject_unknown()?;
     let [path] = args.positional() else {
-        return Err("fit needs exactly one CSV path".into());
+        return Err(CliError::Usage("fit needs exactly one CSV path".into()));
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let data = crate::csv::parse_life_data(&text)?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    let data = crate::csv::parse_life_data(&text).map_err(CliError::Input)?;
     let failures = data.iter().filter(|o| o.failed).count();
     let suspensions = data.len() - failures;
 
@@ -195,7 +304,7 @@ pub fn fit(argv: &[String]) -> Result<String, String> {
         "{} observations: {failures} failures, {suspensions} suspensions",
         data.len()
     );
-    let m = mle(&data).map_err(|e| e.to_string())?;
+    let m = mle(&data).map_err(|e| CliError::Input(e.to_string()))?;
     let _ = writeln!(
         out,
         "MLE:             eta = {:.1} h, beta = {:.4}",
@@ -219,11 +328,11 @@ pub fn fit(argv: &[String]) -> Result<String, String> {
             if beta_ci.contains(1.0) { "yes" } else { "NO" }
         );
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 /// `closedform` — the designer's analytic estimate.
-pub fn closedform(argv: &[String]) -> Result<String, String> {
+pub fn closedform(argv: &[String]) -> Result<CmdOutput, CliError> {
     use raidsim::closed_form::{expected_ddfs_per_group, ClosedFormInputs};
     let args = Args::parse(argv);
     let drives: usize = args.num("drives", 8)?;
@@ -255,11 +364,12 @@ pub fn closedform(argv: &[String]) -> Result<String, String> {
          (first-order approximation; accurate to ~15% against the Monte Carlo\n\
          for scrubbed configurations — see exp_closed_form)\n",
         1_000.0 * per_group
-    ))
+    )
+    .into())
 }
 
 /// `table1` — the read-error-rate grid.
-pub fn table1(argv: &[String]) -> Result<String, String> {
+pub fn table1(argv: &[String]) -> Result<CmdOutput, CliError> {
     let args = Args::parse(argv);
     args.reject_unknown()?;
     let mut out = String::new();
@@ -274,7 +384,7 @@ pub fn table1(argv: &[String]) -> Result<String, String> {
             cell.rer_label, cell.intensity_label, cell.errors_per_hour
         );
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 #[cfg(test)]
@@ -285,32 +395,115 @@ mod tests {
         s.split_whitespace().map(String::from).collect()
     }
 
+    fn sim_text(s: &str) -> String {
+        simulate(&argv(s)).unwrap().text
+    }
+
     #[test]
     fn simulate_no_latent_defects() {
-        let out = simulate(&argv(
-            "--groups 50 --seed 1 --ttld-eta off --mission-years 1",
-        ))
-        .unwrap();
+        let out = sim_text("--groups 50 --seed 1 --ttld-eta off --mission-years 1");
         assert!(out.contains("latent defects/group: 0.00"), "{out}");
     }
 
     #[test]
     fn simulate_raid6_flag() {
-        let out = simulate(&argv("--groups 30 --raid6 --mission-years 1")).unwrap();
+        let out = sim_text("--groups 30 --raid6 --mission-years 1");
         assert!(out.contains("DDFs per 1,000 groups"));
     }
 
     #[test]
     fn simulate_precision_mode() {
-        let out = simulate(&argv("--groups 2000 --precision 0.5 --mission-years 2")).unwrap();
+        let out = sim_text("--groups 2000 --precision 0.5 --mission-years 2");
         assert!(out.contains("precision run"), "{out}");
         assert!(out.contains("(stopped: "), "{out}");
     }
 
     #[test]
     fn simulate_accepts_progress_switch() {
-        let out = simulate(&argv("--groups 30 --mission-years 1 --progress")).unwrap();
+        let out = sim_text("--groups 30 --mission-years 1 --progress");
         assert!(out.contains("DDFs per 1,000 groups"), "{out}");
+    }
+
+    #[test]
+    fn simulate_checkpoint_writes_and_resumes_identically() {
+        let dir = std::env::temp_dir().join("raidsim_cli_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cmd.ckpt");
+        let base = "--groups 60 --seed 3 --mission-years 1";
+        let plain = sim_text(base);
+        let first = sim_text(&format!("{base} --checkpoint {}", path.display()));
+        assert_eq!(plain, first, "checkpointing must not change the numbers");
+        // The finished run left a resumable final checkpoint; resuming
+        // re-reports the same summary without re-simulating.
+        let resumed = simulate(&argv(&format!(
+            "{base} --checkpoint {} --resume",
+            path.display()
+        )))
+        .unwrap();
+        assert!(!resumed.interrupted);
+        assert!(
+            resumed.text.contains("resumed from checkpoint: 60 groups"),
+            "{}",
+            resumed.text
+        );
+        assert!(resumed.text.ends_with(&plain), "{}", resumed.text);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_resume_rejects_mismatched_run() {
+        let dir = std::env::temp_dir().join("raidsim_cli_ckpt_mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cmd.ckpt");
+        let _ = sim_text(&format!(
+            "--groups 40 --seed 3 --mission-years 1 --checkpoint {}",
+            path.display()
+        ));
+        // Different seed: typed checkpoint error, exit code 4.
+        let err = simulate(&argv(&format!(
+            "--groups 40 --seed 4 --mission-years 1 --checkpoint {} --resume",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_resume_missing_file_is_input_error() {
+        let err = simulate(&argv(
+            "--groups 10 --mission-years 1 --checkpoint /nonexistent-raidsim/x.ckpt --resume",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_checkpoint_flag_combos_are_usage_errors() {
+        let err = simulate(&argv("--groups 10 --resume")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        let err = simulate(&argv("--groups 10 --checkpoint a.ckpt --csv b.csv")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        let err = simulate(&argv(
+            "--groups 10 --checkpoint a.ckpt --checkpoint-secs -1",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_corrupt_checkpoint_is_checkpoint_error() {
+        let dir = std::env::temp_dir().join("raidsim_cli_ckpt_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cmd.ckpt");
+        std::fs::write(&path, b"RAIDSIMC but torn").unwrap();
+        let err = simulate(&argv(&format!(
+            "--groups 10 --mission-years 1 --checkpoint {} --resume",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -318,12 +511,12 @@ mod tests {
         let dir = std::env::temp_dir().join("raidsim_cli_stream");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.csv");
-        let streamed = simulate(&argv("--groups 40 --seed 7 --mission-years 1")).unwrap();
+        let streamed = sim_text("--groups 40 --seed 7 --mission-years 1");
         let arg = format!(
             "--groups 40 --seed 7 --mission-years 1 --csv {}",
             path.display()
         );
-        let stored = simulate(&argv(&arg)).unwrap();
+        let stored = sim_text(&arg);
         std::fs::remove_file(&path).ok();
         let stats_lines = |s: &str| {
             s.lines()
@@ -340,7 +533,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.csv");
         let arg = format!("--groups 20 --mission-years 1 --csv {}", path.display());
-        let out = simulate(&argv(&arg)).unwrap();
+        let out = sim_text(&arg);
         assert!(out.contains("wrote per-group histories"), "{out}");
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 21);
@@ -349,12 +542,12 @@ mod tests {
 
     #[test]
     fn closedform_tracks_base_case() {
-        let out = closedform(&argv("")).unwrap();
+        let out = closedform(&argv("")).unwrap().text;
         // The base-case closed form lands near 139 per 1,000 groups.
         let value: f64 = out.split_whitespace().find_map(|w| w.parse().ok()).unwrap();
         assert!((value - 139.0).abs() < 15.0, "{out}");
         // RAID 6 is an order of magnitude better.
-        let out6 = closedform(&argv("--raid6")).unwrap();
+        let out6 = closedform(&argv("--raid6")).unwrap().text;
         let value6: f64 = out6
             .split_whitespace()
             .find_map(|w| w.parse().ok())
@@ -382,7 +575,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("life.csv");
         std::fs::write(&path, text).unwrap();
-        let out = fit(&[path.to_string_lossy().into_owned()]).unwrap();
+        let out = fit(&[path.to_string_lossy().into_owned()]).unwrap().text;
         assert!(out.contains("MLE"), "{out}");
         assert!(out.contains("tenable: NO"), "{out}");
         std::fs::remove_file(&path).ok();

@@ -1,0 +1,125 @@
+//! Typed CLI failures with distinct process exit codes.
+//!
+//! Every user-reachable failure is classified so scripts can branch on
+//! the exit status instead of parsing stderr; the mapping is documented
+//! in `--help` (see [`crate::commands::usage`]).
+
+use raidsim::checkpoint::CheckpointError;
+use std::fmt;
+use std::process::ExitCode;
+
+/// Exit code of a run stopped by SIGINT/SIGTERM after flushing its
+/// state: not an error — partial results were printed and, when
+/// checkpointing, the run is resumable.
+pub const EXIT_INTERRUPTED: u8 = 5;
+
+/// A user-reachable CLI failure, tagged with why it happened so the
+/// process can exit with a distinct code per class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation: unknown command/flag, unparseable value, invalid
+    /// flag combination, out-of-range model parameter. Exit 2.
+    Usage(String),
+    /// A named input could not be read/written or its contents were
+    /// malformed (CSV files, output paths). Exit 3.
+    Input(String),
+    /// A checkpoint refused to resume: corrupt file, stale format
+    /// version, or it belongs to a different run. Exit 4.
+    Checkpoint(String),
+    /// A failure the user cannot cause with inputs. Exit 1.
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> ExitCode {
+        ExitCode::from(match self {
+            CliError::Internal(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Checkpoint(_) => 4,
+        })
+    }
+
+    /// Whether the usage text should accompany the error message.
+    pub fn show_usage(&self) -> bool {
+        matches!(self, CliError::Usage(_))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m)
+            | CliError::Input(m)
+            | CliError::Checkpoint(m)
+            | CliError::Internal(m) => f.write_str(m),
+        }
+    }
+}
+
+/// The flag parser and config validators speak plain strings; every one
+/// of those messages is an invocation problem.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Usage(message)
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            // A checkpoint file that cannot be read/written is an
+            // input problem; everything else means "this checkpoint
+            // cannot resume this run".
+            CheckpointError::Io { .. } => CliError::Input(e.to_string()),
+            _ => CliError::Checkpoint(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let codes = [
+            CliError::Internal("x".into()).exit_code(),
+            CliError::Usage("x".into()).exit_code(),
+            CliError::Input("x".into()).exit_code(),
+            CliError::Checkpoint("x".into()).exit_code(),
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(format!("{a:?}"), format!("{b:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_errors_map_by_kind() {
+        let io = CheckpointError::Io {
+            path: "p".into(),
+            reason: "denied".into(),
+        };
+        assert!(matches!(CliError::from(io), CliError::Input(_)));
+        let bad = CheckpointError::Corrupt {
+            reason: "torn".into(),
+        };
+        assert!(matches!(CliError::from(bad), CliError::Checkpoint(_)));
+        let old = CheckpointError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(matches!(CliError::from(old), CliError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn usage_errors_show_usage_others_do_not() {
+        assert!(CliError::Usage("u".into()).show_usage());
+        assert!(!CliError::Input("i".into()).show_usage());
+        assert!(!CliError::Checkpoint("c".into()).show_usage());
+        assert!(!CliError::Internal("e".into()).show_usage());
+    }
+}

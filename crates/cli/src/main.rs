@@ -14,30 +14,41 @@
 mod args;
 mod commands;
 mod csv;
+mod error;
 mod progress;
+mod signal;
 
+use commands::CmdOutput;
+use error::{CliError, EXIT_INTERRUPTED};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.interrupted {
+                ExitCode::from(EXIT_INTERRUPTED)
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::usage());
-            ExitCode::FAILURE
+            if e.show_usage() {
+                eprintln!();
+                eprintln!("{}", commands::usage());
+            }
+            e.exit_code()
         }
     }
 }
 
-/// Dispatches a command line; returns the text to print.
-pub(crate) fn run(argv: &[String]) -> Result<String, String> {
+/// Dispatches a command line; returns the text to print plus the
+/// interruption flag ([`EXIT_INTERRUPTED`]).
+pub(crate) fn run(argv: &[String]) -> Result<CmdOutput, CliError> {
     let Some(command) = argv.first() else {
-        return Err("missing command".into());
+        return Err(CliError::Usage("missing command".into()));
     };
     let rest = &argv[1..];
     match command.as_str() {
@@ -46,8 +57,8 @@ pub(crate) fn run(argv: &[String]) -> Result<String, String> {
         "fit" => commands::fit(rest),
         "closedform" => commands::closedform(rest),
         "table1" => commands::table1(rest),
-        "help" | "--help" | "-h" => Ok(commands::usage()),
-        other => Err(format!("unknown command '{other}'")),
+        "help" | "--help" | "-h" => Ok(commands::usage().into()),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
 }
 
@@ -61,15 +72,18 @@ mod tests {
 
     #[test]
     fn help_prints_usage() {
-        let out = run(&argv("help")).unwrap();
+        let out = run(&argv("help")).unwrap().text;
         assert!(out.contains("simulate"));
         assert!(out.contains("mttdl"));
+        // Exit codes and checkpointing are documented.
+        assert!(out.contains("exit codes"), "{out}");
+        assert!(out.contains("--checkpoint"), "{out}");
     }
 
     #[test]
     fn unknown_command_errors() {
-        assert!(run(&argv("frobnicate")).is_err());
-        assert!(run(&[]).is_err());
+        assert!(matches!(run(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -77,7 +91,8 @@ mod tests {
         let out = run(&argv(
             "mttdl --data-drives 7 --mttf 461386 --mttr 12 --groups 1000 --years 10",
         ))
-        .unwrap();
+        .unwrap()
+        .text;
         assert!(out.contains("36162") || out.contains("36,162"), "{out}");
         assert!(out.contains("0.28") || out.contains("0.277"), "{out}");
     }
@@ -85,7 +100,8 @@ mod tests {
     #[test]
     fn simulate_small_run_works() {
         let out = run(&argv("simulate --groups 50 --seed 7 --mission-years 2")).unwrap();
-        assert!(out.contains("DDFs per 1,000 groups"), "{out}");
+        assert!(out.text.contains("DDFs per 1,000 groups"), "{}", out.text);
+        assert!(!out.interrupted);
     }
 
     #[test]
@@ -98,6 +114,6 @@ mod tests {
     #[test]
     fn table1_prints_grid() {
         let out = run(&argv("table1")).unwrap();
-        assert!(out.contains("1.08"));
+        assert!(out.text.contains("1.08"));
     }
 }

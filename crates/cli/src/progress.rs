@@ -5,8 +5,10 @@
 //! group counts. All clock-keeping — throughput and ETA — happens here,
 //! at the presentation layer.
 
-use raidsim::run::{Progress, StreamObserver};
+use raidsim::checkpoint::CheckpointError;
+use raidsim::run::{CheckpointCadence, Progress, StreamObserver};
 use std::io::Write as _;
+use std::path::Path;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -76,9 +78,102 @@ impl StreamObserver for StderrProgress {
     }
 }
 
+/// The observer the `simulate` command wires into checkpointed runs:
+/// the progress line is opt-in (`--progress`), but checkpoint-write
+/// failures always warn — satellite contract: a failed snapshot must
+/// never silently cost the user their resumability.
+#[derive(Debug, Default)]
+pub struct CliObserver {
+    progress: Option<StderrProgress>,
+}
+
+impl CliObserver {
+    /// Creates the observer; `show_progress` enables the stderr line.
+    pub fn new(show_progress: bool) -> Self {
+        Self {
+            progress: show_progress.then(StderrProgress::new),
+        }
+    }
+}
+
+impl StreamObserver for CliObserver {
+    fn on_progress(&self, p: Progress) {
+        if let Some(inner) = &self.progress {
+            inner.on_progress(p);
+        }
+    }
+
+    fn on_checkpoint_saved(&self, _path: &Path, _groups_done: u64) {
+        // Quietly: the cadence can fire many times a minute.
+    }
+
+    fn on_checkpoint_failed(&self, error: &CheckpointError) {
+        eprintln!("warning: {error}; run continues, will retry at the next batch boundary");
+    }
+}
+
+/// Group-count *or* wall-clock checkpoint cadence: a snapshot is due
+/// once either `every_groups` new groups completed since the last
+/// write or `min_interval` has elapsed since the last time this
+/// cadence fired. The clock lives here — the CLI layer — because
+/// simulation crates are forbidden from reading wall time.
+#[derive(Debug)]
+pub struct CliCadence {
+    every_groups: u64,
+    min_interval: Duration,
+    last_fired: Instant,
+}
+
+impl CliCadence {
+    /// Starts the wall-clock leg now.
+    pub fn new(every_groups: u64, min_interval: Duration) -> Self {
+        Self {
+            every_groups,
+            min_interval,
+            last_fired: Instant::now(),
+        }
+    }
+}
+
+impl CheckpointCadence for CliCadence {
+    fn due(&mut self, _groups_done: u64, groups_since_last_write: u64) -> bool {
+        if groups_since_last_write >= self.every_groups
+            || self.last_fired.elapsed() >= self.min_interval
+        {
+            self.last_fired = Instant::now();
+            return true;
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_cadence_fires_on_group_count() {
+        let mut c = CliCadence::new(100, Duration::from_secs(3600));
+        assert!(!c.due(50, 50));
+        assert!(c.due(100, 100));
+        assert!(!c.due(150, 50));
+    }
+
+    #[test]
+    fn cli_cadence_fires_on_elapsed_time() {
+        let mut c = CliCadence::new(u64::MAX, Duration::ZERO);
+        assert!(c.due(1, 1), "zero interval is always due");
+    }
+
+    #[test]
+    fn cli_observer_without_progress_ignores_progress() {
+        // Just must not panic or print.
+        let obs = CliObserver::new(false);
+        obs.on_progress(Progress {
+            groups_done: 1,
+            groups_target: 2,
+        });
+    }
 
     #[test]
     fn line_reports_rate_and_eta() {

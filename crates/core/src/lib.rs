@@ -29,6 +29,9 @@
 //! * [`stats`] — bounded-memory streaming aggregation: a mergeable,
 //!   exact-integer accumulator and progress observability for
 //!   fleet-scale runs that cannot afford to retain every history.
+//! * [`checkpoint`] — crash-safe snapshot/resume for long runs:
+//!   versioned, checksummed on-disk state with bit-identical
+//!   continuation.
 //! * [`mttdl`] — the closed forms the paper argues against
 //!   (equations 1–3), kept as the comparison baseline.
 //! * [`markov`] — a small continuous-time Markov chain transient solver;
@@ -59,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod closed_form;
 pub mod config;
 pub mod engine;

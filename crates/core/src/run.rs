@@ -6,13 +6,15 @@
 //! assigns every group index its own deterministic RNG stream, so a run
 //! is exactly reproducible regardless of how many threads execute it.
 
+use crate::checkpoint::{config_fingerprint, CheckpointError, DriverState, SimCheckpoint};
 use crate::config::RaidGroupConfig;
 use crate::engine::{DesEngine, Engine};
 use crate::events::{DdfKind, GroupHistory};
 use crate::stats::StreamStats;
 use raidsim_dists::rng::stream;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Progress snapshot delivered to a [`StreamObserver`].
@@ -42,10 +44,94 @@ pub trait StreamObserver: Sync {
     fn on_progress(&self, progress: Progress) {
         let _ = progress;
     }
+
+    /// Called from the coordinating thread after a checkpoint has been
+    /// durably written (temp file, fsync, rename all succeeded).
+    /// Default: ignore.
+    fn on_checkpoint_saved(&self, path: &Path, groups_done: u64) {
+        let _ = (path, groups_done);
+    }
+
+    /// Called from the coordinating thread when a checkpoint write
+    /// fails. The run **continues**: losing resumability must not lose
+    /// the simulation work itself, so a failed write is a warning, not
+    /// an abort, and the next batch boundary retries. Default: ignore.
+    fn on_checkpoint_failed(&self, error: &CheckpointError) {
+        let _ = error;
+    }
 }
 
 /// The no-op observer.
 impl StreamObserver for () {}
+
+/// Cooperative interruption for long runs.
+///
+/// The driver polls [`RunControl::interrupted`] at every batch boundary
+/// — never mid-batch — so an interrupted run always holds statistics
+/// for an exact prefix `[0, n)` of the group-index space, which is
+/// precisely the state a checkpoint can resume bit-identically.
+pub trait RunControl: Sync {
+    /// `true` once a graceful stop has been requested. Default: never.
+    fn interrupted(&self) -> bool {
+        false
+    }
+}
+
+/// The never-interrupted control.
+impl RunControl for () {}
+
+/// Set the flag to `true` (e.g. from a signal handler) to request a
+/// graceful stop at the next batch boundary.
+impl RunControl for AtomicBool {
+    fn interrupted(&self) -> bool {
+        self.load(Ordering::Relaxed)
+    }
+}
+
+/// Decides at each batch boundary whether a checkpoint is written.
+///
+/// Lives behind a trait because simulation crates may not read wall
+/// time (the determinism lint): the core ships the clock-free
+/// [`EveryGroups`], and clock-based cadences ("at most every 30 s")
+/// are implemented by layers that own a clock, such as the CLI.
+pub trait CheckpointCadence {
+    /// `true` if a checkpoint should be written now. `groups_done` is
+    /// the total completed; `groups_since_last_write` counts from the
+    /// last *successful* write (or from the resume point), so a failed
+    /// write is retried at the next boundary.
+    fn due(&mut self, groups_done: u64, groups_since_last_write: u64) -> bool;
+}
+
+/// Clock-free cadence: write once at least this many groups have
+/// completed since the last successful write (values at or below the
+/// batch size write at every batch boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EveryGroups(
+    /// Minimum completed groups between writes.
+    pub u64,
+);
+
+impl CheckpointCadence for EveryGroups {
+    fn due(&mut self, _groups_done: u64, groups_since_last_write: u64) -> bool {
+        groups_since_last_write >= self.0
+    }
+}
+
+/// Where and when a checkpointed run persists its snapshots.
+pub struct CheckpointPlan<'a> {
+    /// Target file, atomically replaced on every write.
+    pub path: &'a Path,
+    /// Write schedule, consulted at each batch boundary.
+    pub cadence: &'a mut dyn CheckpointCadence,
+}
+
+impl std::fmt::Debug for CheckpointPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointPlan")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
 
 /// How often (in completed groups) workers report to the observer.
 pub const PROGRESS_STRIDE: u64 = 256;
@@ -270,6 +356,11 @@ pub enum StopCriterion {
     AbsoluteFloor,
     /// `max_groups` was reached before either width criterion.
     GroupCap,
+    /// A graceful stop was requested ([`RunControl::interrupted`])
+    /// before any other criterion fired. The statistics cover the
+    /// completed group prefix exactly and a checkpointed run has
+    /// flushed them, so the run can be resumed bit-identically.
+    Interrupted,
 }
 
 impl std::fmt::Display for StopCriterion {
@@ -278,6 +369,7 @@ impl std::fmt::Display for StopCriterion {
             StopCriterion::RelativeWidth => "relative half-width target",
             StopCriterion::AbsoluteFloor => "absolute half-width floor",
             StopCriterion::GroupCap => "group cap",
+            StopCriterion::Interrupted => "graceful interruption",
         })
     }
 }
@@ -338,13 +430,20 @@ impl Simulator {
             mission_hours: self.cfg.mission_hours,
         };
         let mut stats = StreamStats::new(self.cfg.mission_hours);
-        let report = self.precision_driver(
+        let driver = DriverState::precision(
             target_relative,
             confidence,
-            batch,
-            max_groups,
+            batch as u64,
+            max_groups as u64,
+            seed,
+        );
+        let report = self.precision_driver(
+            &driver,
             &mut stats,
             &(),
+            &(),
+            &mut None,
+            0,
             |sim, lo, hi| {
                 // Extend deterministically: group i always uses stream
                 // i. The histories are kept for the caller; statistics
@@ -409,15 +508,22 @@ impl Simulator {
         threads: usize,
         observer: &dyn StreamObserver,
     ) -> (StreamStats, PrecisionReport) {
+        let driver = DriverState::precision(
+            target_relative,
+            confidence,
+            batch as u64,
+            max_groups as u64,
+            seed,
+        );
         let mut stats = StreamStats::new(self.cfg.mission_hours);
         let done = AtomicU64::new(0);
         let report = self.precision_driver(
-            target_relative,
-            confidence,
-            batch,
-            max_groups,
+            &driver,
             &mut stats,
             observer,
+            &(),
+            &mut None,
+            0,
             |sim, lo, hi| {
                 sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups as u64)
             },
@@ -425,32 +531,120 @@ impl Simulator {
         (stats, report)
     }
 
+    /// Checkpointed, interruptible run: the driver behind the CLI's
+    /// `--checkpoint`/`--resume` flags and the kill-and-resume tests.
+    ///
+    /// Runs `driver.batch`-sized batches toward `driver.max_groups` —
+    /// with the width stopping rules active when
+    /// `driver.precision_mode` is set (see
+    /// [`DriverState::precision`] / [`DriverState::fixed`]) — writing a
+    /// [`SimCheckpoint`] at every batch boundary `plan`'s cadence
+    /// approves, plus once more before returning. A failed write is
+    /// reported via [`StreamObserver::on_checkpoint_failed`] and the
+    /// run continues. `control` is polled at each batch boundary; when
+    /// it reports an interruption the run flushes a final checkpoint
+    /// and returns with [`StopCriterion::Interrupted`].
+    ///
+    /// Resuming from `resume` (after it validates against this run's
+    /// fingerprint and `driver`) produces final statistics bit-identical
+    /// to the same run never having stopped, at any `threads` — the
+    /// argument is laid out in [`crate::checkpoint`] and enforced by the
+    /// kill-and-resume property test.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::ConfigMismatch`] (or a stale-version /
+    /// corrupt variant surfaced by the caller's load) when `resume`
+    /// does not belong to exactly this `(config, engine, driver)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Simulator::run_until_precision`] for invalid precision
+    /// parameters, and if `threads == 0`.
+    pub fn run_checkpointed(
+        &self,
+        driver: DriverState,
+        threads: usize,
+        observer: &dyn StreamObserver,
+        control: &dyn RunControl,
+        mut plan: Option<CheckpointPlan<'_>>,
+        resume: Option<&SimCheckpoint>,
+    ) -> Result<(StreamStats, PrecisionReport), CheckpointError> {
+        let fingerprint = config_fingerprint(&self.cfg, self.engine.name());
+        let mut stats = match resume {
+            Some(ckpt) => {
+                ckpt.validate_for(fingerprint, &driver)?;
+                if ckpt.stats.mission_hours() != self.cfg.mission_hours {
+                    return Err(CheckpointError::ConfigMismatch {
+                        field: "mission",
+                        reason: format!(
+                            "checkpoint mission is {} h, configuration says {} h",
+                            ckpt.stats.mission_hours(),
+                            self.cfg.mission_hours
+                        ),
+                    });
+                }
+                ckpt.stats.clone()
+            }
+            None => StreamStats::new(self.cfg.mission_hours),
+        };
+        let seed = driver.seed;
+        let max_groups = driver.max_groups;
+        let done = AtomicU64::new(stats.groups());
+        let report = self.precision_driver(
+            &driver,
+            &mut stats,
+            observer,
+            control,
+            &mut plan,
+            fingerprint,
+            |sim, lo, hi| sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups),
+        );
+        Ok((stats, report))
+    }
+
     /// The shared precision loop. `run_batch` simulates `[lo, hi)` and
     /// returns its aggregate; the driver merges batches into `stats`
     /// and does O(1) statistics work per batch against the exact
     /// integer moments, so total statistics cost is O(groups) — not
-    /// quadratic — and both callers produce bit-identical reports.
+    /// quadratic — and every caller produces bit-identical reports.
+    ///
+    /// Stopping rules are evaluated at the **top** of the loop, before
+    /// any simulation work: a resumed run whose checkpoint already
+    /// satisfies a criterion (or already holds `max_groups` groups)
+    /// returns immediately without simulating a single extra group.
+    /// The evaluation order per boundary — width criteria, then the
+    /// cap, then interruption — is unchanged from the pre-checkpoint
+    /// driver, so uninterrupted runs report exactly what they always
+    /// did.
     #[allow(clippy::too_many_arguments)]
     fn precision_driver(
         &self,
-        target_relative: f64,
-        confidence: f64,
-        batch: usize,
-        max_groups: usize,
+        driver: &DriverState,
         stats: &mut StreamStats,
         observer: &dyn StreamObserver,
+        control: &dyn RunControl,
+        plan: &mut Option<CheckpointPlan<'_>>,
+        fingerprint: u64,
         mut run_batch: impl FnMut(&Simulator, usize, usize) -> StreamStats,
     ) -> PrecisionReport {
-        assert!(
-            target_relative > 0.0,
-            "target relative half-width must be positive"
-        );
-        assert!(batch > 0, "batch size must be positive");
-        assert!(
-            confidence > 0.0 && confidence < 1.0,
-            "confidence must be in (0, 1)"
-        );
-        let z = z_score(confidence);
+        if driver.precision_mode {
+            assert!(
+                driver.target_relative > 0.0,
+                "target relative half-width must be positive"
+            );
+            assert!(
+                driver.confidence > 0.0 && driver.confidence < 1.0,
+                "confidence must be in (0, 1)"
+            );
+        }
+        assert!(driver.batch > 0, "batch size must be positive");
+        let z = if driver.precision_mode {
+            z_score(driver.confidence)
+        } else {
+            0.0
+        };
+        let confidence = driver.confidence;
         let report = |stats: &StreamStats, criterion: StopCriterion| {
             let n = stats.groups();
             PrecisionReport {
@@ -458,36 +652,65 @@ impl Simulator {
                 half_width: if n >= 2 { stats.half_width(z) } else { 0.0 },
                 confidence,
                 groups: n as usize,
-                converged: criterion != StopCriterion::GroupCap,
+                converged: matches!(
+                    criterion,
+                    StopCriterion::RelativeWidth | StopCriterion::AbsoluteFloor
+                ),
                 criterion,
             }
         };
-        loop {
-            let start = stats.groups() as usize;
-            let take = batch.min(max_groups - start);
-            if take == 0 {
-                break;
+        // Counts from the resume point: the checkpoint being resumed
+        // already holds this prefix, so there is nothing to flush until
+        // new groups complete.
+        let mut last_written = stats.groups();
+        let mut ever_wrote = false;
+        let criterion = loop {
+            let n = stats.groups();
+            if driver.precision_mode && n >= 2 {
+                let mean = stats.mean_ddfs();
+                let half = stats.half_width(z);
+                if mean > 0.0 && half <= driver.target_relative * mean {
+                    break StopCriterion::RelativeWidth;
+                }
+                if half <= ABSOLUTE_HALF_WIDTH_FLOOR {
+                    break StopCriterion::AbsoluteFloor;
+                }
             }
+            if n >= driver.max_groups {
+                break StopCriterion::GroupCap;
+            }
+            if control.interrupted() {
+                break StopCriterion::Interrupted;
+            }
+            let start = n as usize;
+            let take = driver.batch.min(driver.max_groups - n) as usize;
             stats.merge(run_batch(self, start, start + take));
             observer.on_progress(Progress {
                 groups_done: stats.groups(),
-                groups_target: max_groups as u64,
+                groups_target: driver.max_groups,
             });
-            if stats.groups() >= 2 {
-                let mean = stats.mean_ddfs();
-                let half = stats.half_width(z);
-                if mean > 0.0 && half <= target_relative * mean {
-                    return report(stats, StopCriterion::RelativeWidth);
-                }
-                if half <= ABSOLUTE_HALF_WIDTH_FLOOR {
-                    return report(stats, StopCriterion::AbsoluteFloor);
+            if let Some(p) = plan.as_mut() {
+                if p.cadence.due(stats.groups(), stats.groups() - last_written)
+                    && write_checkpoint(fingerprint, driver, stats, p.path, observer)
+                {
+                    last_written = stats.groups();
+                    ever_wrote = true;
                 }
             }
-            if stats.groups() as usize >= max_groups {
-                break;
+        };
+        // Final flush, so the file on disk always reflects the state
+        // this run returned with — an interrupted run resumes from the
+        // exact stopping point, and resuming a finished run re-reports
+        // without re-simulating. Forced when this run has written
+        // nothing yet: the plan's path must end up holding the final
+        // state even when the cadence never fired (or zero batches
+        // ran).
+        if let Some(p) = plan.as_mut() {
+            if !ever_wrote || last_written != stats.groups() {
+                write_checkpoint(fingerprint, driver, stats, p.path, observer);
             }
         }
-        report(stats, StopCriterion::GroupCap)
+        report(stats, criterion)
     }
 
     /// Simulates the half-open group-index range `[lo, hi)` using the
@@ -596,6 +819,34 @@ pub fn sweep_with_engine(
             (label, result)
         })
         .collect()
+}
+
+/// Snapshots the current run state to `path` and reports the outcome
+/// to the observer. Returns whether the write succeeded; failure is
+/// deliberately non-fatal (see
+/// [`StreamObserver::on_checkpoint_failed`]).
+fn write_checkpoint(
+    fingerprint: u64,
+    driver: &DriverState,
+    stats: &StreamStats,
+    path: &Path,
+    observer: &dyn StreamObserver,
+) -> bool {
+    let ckpt = SimCheckpoint {
+        fingerprint,
+        driver: *driver,
+        stats: stats.clone(),
+    };
+    match ckpt.save(path) {
+        Ok(()) => {
+            observer.on_checkpoint_saved(path, ckpt.stats.groups());
+            true
+        }
+        Err(error) => {
+            observer.on_checkpoint_failed(&error);
+            false
+        }
+    }
 }
 
 /// Two-sided z-score for the given confidence level, via the

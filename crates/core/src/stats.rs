@@ -382,6 +382,169 @@ impl StreamStats {
         assert!(drives > 0, "need at least one drive");
         1.0 - self.downtime_hours() / (self.groups as f64 * drives as f64 * self.mission_hours)
     }
+
+    /// Appends the little-endian binary encoding of the accumulator to
+    /// `out` (the checkpoint codec — see [`crate::checkpoint`]).
+    ///
+    /// The encoding is a pure function of the accumulator state:
+    /// `mission_hours` as IEEE-754 bits, every integer field verbatim,
+    /// and the histogram as a length-prefixed array. Because the state
+    /// itself is bit-identical across thread counts and merge orders
+    /// (the module-level determinism argument), so is the encoding.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.mission_hours.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.groups.to_le_bytes());
+        out.extend_from_slice(&self.ddf_sum.to_le_bytes());
+        out.extend_from_slice(&self.ddf_sum_sq.to_le_bytes());
+        out.extend_from_slice(&self.kind_double_op.to_le_bytes());
+        out.extend_from_slice(&self.kind_latent_op.to_le_bytes());
+        out.extend_from_slice(&self.op_failures.to_le_bytes());
+        out.extend_from_slice(&self.latent_defects.to_le_bytes());
+        out.extend_from_slice(&self.scrubs_completed.to_le_bytes());
+        out.extend_from_slice(&self.restores_completed.to_le_bytes());
+        out.extend_from_slice(&self.downtime_ticks.to_le_bytes());
+        out.extend_from_slice(&(self.ddf_time_bins.len() as u64).to_le_bytes());
+        for bin in &self.ddf_time_bins {
+            out.extend_from_slice(&bin.to_le_bytes());
+        }
+    }
+
+    /// Decodes an accumulator previously written by
+    /// [`StreamStats::encode_into`], validating every structural
+    /// invariant the accessors rely on — a corrupt or truncated byte
+    /// stream yields an error, never a panic and never an accumulator
+    /// that would later violate an internal assertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the bytes are truncated,
+    /// leave trailing garbage, or describe an impossible state
+    /// (non-finite mission, zero histogram bins, kind counts or
+    /// histogram totals inconsistent with the DDF sum, mean square
+    /// below the squared mean).
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Decoder { bytes, pos: 0 };
+        let mission_hours = f64::from_bits(r.u64()?);
+        if !mission_hours.is_finite() || mission_hours <= 0.0 {
+            return Err(format!("mission length {mission_hours} is not positive"));
+        }
+        let groups = r.u64()?;
+        let ddf_sum = r.u64()?;
+        let ddf_sum_sq = r.u128()?;
+        let kind_double_op = r.u64()?;
+        let kind_latent_op = r.u64()?;
+        let op_failures = r.u64()?;
+        let latent_defects = r.u64()?;
+        let scrubs_completed = r.u64()?;
+        let restores_completed = r.u64()?;
+        let downtime_ticks = r.u128()?;
+        let bin_count = r.u64()?;
+        if bin_count == 0 {
+            return Err("histogram has zero bins".into());
+        }
+        if bin_count > (bytes.len() / 8) as u64 {
+            // A plausibility bound before allocating: each bin needs 8
+            // bytes that must already be present in the input.
+            return Err(format!("histogram bin count {bin_count} exceeds payload"));
+        }
+        let mut ddf_time_bins = Vec::with_capacity(bin_count as usize);
+        for _ in 0..bin_count {
+            ddf_time_bins.push(r.u64()?);
+        }
+        if r.pos != bytes.len() {
+            return Err(format!(
+                "{} trailing byte(s) after statistics state",
+                bytes.len() - r.pos
+            ));
+        }
+        // Cross-field invariants: each DDF is counted once in the kind
+        // totals and once in the histogram, and Cauchy–Schwarz bounds
+        // the moments. `variance_ddfs` and `ddfs_through` rely on these.
+        if kind_double_op.checked_add(kind_latent_op) != Some(ddf_sum) {
+            return Err("kind counts do not sum to the DDF total".into());
+        }
+        let hist_total = ddf_time_bins
+            .iter()
+            .try_fold(0u64, |acc, &b| acc.checked_add(b));
+        if hist_total != Some(ddf_sum) {
+            return Err("histogram total does not match the DDF total".into());
+        }
+        if groups == 0 && ddf_sum != 0 {
+            return Err("DDFs recorded without any groups".into());
+        }
+        if ddf_sum_sq < u128::from(ddf_sum) {
+            // Σx² ≥ Σx for non-negative integer observations.
+            return Err("squared-moment field is below the DDF total".into());
+        }
+        if u128::from(groups) * ddf_sum_sq < u128::from(ddf_sum) * u128::from(ddf_sum) {
+            return Err("moment fields violate the Cauchy-Schwarz bound".into());
+        }
+        Ok(Self {
+            mission_hours,
+            groups,
+            ddf_sum,
+            ddf_sum_sq,
+            kind_double_op,
+            kind_latent_op,
+            op_failures,
+            latent_defects,
+            scrubs_completed,
+            restores_completed,
+            downtime_ticks,
+            ddf_time_bins,
+        })
+    }
+}
+
+/// Bounds-checked little-endian reader shared by [`StreamStats::decode`]
+/// and the checkpoint codec ([`crate::checkpoint`]).
+pub(crate) struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts reading `bytes` from the beginning.
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads the next `N` bytes, or errors on truncation.
+    pub(crate) fn take<const N: usize>(&mut self) -> Result<[u8; N], String> {
+        match self.bytes.get(self.pos..self.pos + N) {
+            Some(slice) => {
+                self.pos += N;
+                let mut buf = [0u8; N];
+                buf.copy_from_slice(slice);
+                Ok(buf)
+            }
+            None => Err(format!(
+                "truncated at byte {} (needed {N} more)",
+                self.pos.min(self.bytes.len())
+            )),
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        self.take().map(|[b]| b)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        self.take().map(u32::from_le_bytes)
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        self.take().map(u64::from_le_bytes)
+    }
+
+    pub(crate) fn u128(&mut self) -> Result<u128, String> {
+        self.take().map(u128::from_le_bytes)
+    }
+
+    /// The bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> &'a [u8] {
+        &self.bytes[self.pos..]
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +694,55 @@ mod tests {
         s.push(&history(&[], 10.0));
         let expect = 1.0 - 50.0 / (2.0 * 8.0 * 1_000.0);
         assert!((s.mean_availability(8) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_identically() {
+        let mut s = StreamStats::with_bins(1_000.0, 16);
+        for i in 0..12 {
+            s.push(&history(&[i as f64 * 80.0 + 3.0], 0.7 * i as f64));
+        }
+        let mut bytes = Vec::new();
+        s.encode_into(&mut bytes);
+        let back = StreamStats::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // The encoding itself is deterministic.
+        let mut again = Vec::new();
+        back.encode_into(&mut again);
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let mut s = StreamStats::with_bins(500.0, 4);
+        s.push(&history(&[100.0], 2.0));
+        let mut bytes = Vec::new();
+        s.encode_into(&mut bytes);
+        for len in 0..bytes.len() {
+            assert!(
+                StreamStats::decode(&bytes[..len]).is_err(),
+                "decode accepted a {len}-byte prefix"
+            );
+        }
+        // Trailing garbage is also rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(StreamStats::decode(&long).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_state() {
+        let mut s = StreamStats::with_bins(500.0, 4);
+        s.push(&history(&[100.0, 400.0], 0.0));
+        let mut bytes = Vec::new();
+        s.encode_into(&mut bytes);
+        // Flip a histogram bin (the last 8 bytes): total no longer
+        // matches the DDF sum.
+        let n = bytes.len();
+        bytes[n - 8] ^= 0x01;
+        assert!(StreamStats::decode(&bytes)
+            .unwrap_err()
+            .contains("histogram"));
     }
 
     #[test]

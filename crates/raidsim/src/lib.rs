@@ -43,8 +43,9 @@
 //!   censored fitting ([`raidsim_dists`]).
 //! * [`hdd`] — drive/bus parameters, failure-mode taxonomy,
 //!   read-error-rate and restore-time models ([`raidsim_hdd`]).
-//! * [`config`], [`engine`], [`run`], [`stats`], [`mttdl`], [`markov`],
-//!   [`closed_form`], [`events`] — the core model ([`raidsim_core`]).
+//! * [`config`], [`engine`], [`run`], [`stats`], [`checkpoint`],
+//!   [`mttdl`], [`markov`], [`closed_form`], [`events`] — the core
+//!   model ([`raidsim_core`]).
 //! * [`analysis`] — mean cumulative functions, ROCOF, intervals
 //!   ([`raidsim_analysis`]).
 //! * [`workloads`] — synthetic field populations and usage profiles
@@ -62,7 +63,9 @@ pub use raidsim_geometry as geometry;
 pub use raidsim_hdd as hdd;
 pub use raidsim_workloads as workloads;
 
-pub use raidsim_core::{closed_form, config, engine, events, markov, mttdl, run, stats, CoreError};
+pub use raidsim_core::{
+    checkpoint, closed_form, config, engine, events, markov, mttdl, run, stats, CoreError,
+};
 
 /// The paper's four base-case transition distributions and standard
 /// mission constants, re-exported at the top level for convenience.

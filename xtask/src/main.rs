@@ -1,7 +1,7 @@
 //! `cargo xtask` — the repo-specific static-analysis suite.
 //!
 //! Run as `cargo xtask check` (the alias lives in `.cargo/config.toml`).
-//! Four checks, each targeting an invariant the simulator's correctness
+//! Five checks, each targeting an invariant the simulator's correctness
 //! arguments lean on but `rustc`/`clippy` cannot express:
 //!
 //! 1. **determinism** — simulation crates must not use iteration-order-
@@ -12,9 +12,12 @@
 //!    `partial_cmp`/`sort_by`-on-float patterns; event times order with
 //!    `f64::total_cmp` so a stray NaN cannot panic or silently reorder
 //!    the event queue.
-//! 3. **lint-policy** — every workspace crate must opt into the shared
+//! 3. **panic-policy** — simulation crates must not `unwrap()`/
+//!    `expect()` in non-test code; a panic aborts a long run and loses
+//!    everything the checkpoint layer exists to preserve.
+//! 4. **lint-policy** — every workspace crate must opt into the shared
 //!    `[workspace.lints]` table with `[lints] workspace = true`.
-//! 4. **deps** — every dependency declared in a workspace crate's
+//! 5. **deps** — every dependency declared in a workspace crate's
 //!    manifest must actually be referenced by that crate's sources.
 //!
 //! See DESIGN.md ("Static analysis & invariants") for rationale.
@@ -22,6 +25,7 @@
 mod deps;
 mod determinism;
 mod nan_safety;
+mod panic_policy;
 mod policy;
 mod smoke;
 mod source;
@@ -70,12 +74,15 @@ fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\
      \n\
      commands:\n\
-       check          run every static check (determinism, nan-safety, lint-policy, deps)\n\
+       check          run every static check (determinism, nan-safety, panic-policy,\n\
+     \x20                lint-policy, deps)\n\
        determinism    forbid non-deterministic constructs in simulation crates\n\
        nan-safety     forbid partial float comparisons in simulation crates\n\
+       panic-policy   forbid unwrap()/expect() in simulation crates' non-test code\n\
        lint-policy    require [lints] workspace = true in every crate\n\
        deps           flag declared-but-unused dependencies\n\
      \x20  smoke          build and run the CLI's streamed precision path end to end\n\
+     \x20  smoke --resume kill a checkpointed run mid-flight, resume it, diff the summary\n\
        help           print this message"
 }
 
@@ -95,14 +102,17 @@ fn main() -> ExitCode {
             let mut all = Vec::new();
             all.extend(run(determinism::check(&root), "determinism"));
             all.extend(run(nan_safety::check(&root), "nan-safety"));
+            all.extend(run(panic_policy::check(&root), "panic-policy"));
             all.extend(run(policy::check(&root), "lint-policy"));
             all.extend(run(deps::check(&root), "deps"));
             all
         }
         "determinism" => run(determinism::check(&root), "determinism"),
         "nan-safety" => run(nan_safety::check(&root), "nan-safety"),
+        "panic-policy" => run(panic_policy::check(&root), "panic-policy"),
         "lint-policy" => run(policy::check(&root), "lint-policy"),
         "deps" => run(deps::check(&root), "deps"),
+        "smoke" if args.iter().any(|a| a == "--resume") => run(smoke::check_resume(&root), "smoke"),
         "smoke" => run(smoke::check(&root), "smoke"),
         "help" | "--help" | "-h" => {
             println!("{}", usage());

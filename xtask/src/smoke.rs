@@ -9,8 +9,9 @@
 //! path.
 
 use crate::Finding;
-use std::path::Path;
-use std::process::Command;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 /// What a healthy streamed precision run must print.
 const EXPECTED: [&str; 3] = ["precision run:", "(stopped: ", "DDFs per 1,000 groups"];
@@ -64,4 +65,181 @@ pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
         }
     }
     Ok(findings)
+}
+
+/// The simulate arguments shared by every leg of the resume smoke: big
+/// enough (~1.5 s) that a signal sent a third of a second in lands
+/// mid-run, small enough to keep CI fast.
+const RESUME_ARGS: [&str; 7] = [
+    "simulate",
+    "--groups",
+    "200000",
+    "--seed",
+    "7",
+    "--mission-years",
+    "10",
+];
+
+/// How long to let the checkpointed run work before interrupting it.
+const KILL_AFTER: Duration = Duration::from_millis(300);
+
+/// End-to-end kill-and-resume smoke (`cargo xtask smoke --resume`):
+///
+/// 1. run the CLI uninterrupted and keep its report,
+/// 2. rerun with a tiny checkpoint cadence and interrupt it mid-run,
+/// 3. resume from the checkpoint and require the final report to be
+///    byte-identical to the uninterrupted one.
+///
+/// This is the one test that exercises the *real* signal handler and
+/// process exit codes rather than the in-process `RunControl` seam.
+pub fn check_resume(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let finding = |message: String| Finding {
+        check: "smoke",
+        path: "crates/cli".into(),
+        line: 0,
+        message,
+    };
+
+    let bin = match build_cli(root)? {
+        Ok(bin) => bin,
+        Err(message) => {
+            findings.push(finding(message));
+            return Ok(findings);
+        }
+    };
+
+    // Leg 1: the uninterrupted reference report.
+    let reference = Command::new(&bin)
+        .current_dir(root)
+        .args(RESUME_ARGS)
+        .output()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    if !reference.status.success() {
+        findings.push(finding(format!(
+            "reference run failed ({}): {}",
+            reference.status,
+            String::from_utf8_lossy(&reference.stderr).trim()
+        )));
+        return Ok(findings);
+    }
+    let reference_out = String::from_utf8_lossy(&reference.stdout).into_owned();
+
+    // Leg 2: same run, checkpointed every 500 groups, interrupted.
+    let ckpt = std::env::temp_dir().join("raidsim-smoke-resume.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let ckpt_str = ckpt.to_string_lossy().into_owned();
+    let mut child = Command::new(&bin)
+        .current_dir(root)
+        .args(RESUME_ARGS)
+        .args(["--checkpoint", &ckpt_str, "--checkpoint-every", "500"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    std::thread::sleep(KILL_AFTER);
+    interrupt(&mut child);
+    let interrupted = child
+        .wait_with_output()
+        .map_err(|e| format!("waiting for interrupted run: {e}"))?;
+    let int_out = String::from_utf8_lossy(&interrupted.stdout).into_owned();
+    match interrupted.status.code() {
+        // Graceful interruption: partial report plus the resume hint.
+        Some(5) => {
+            if !int_out.contains("interrupted after") {
+                findings.push(finding(format!(
+                    "interrupted run exited 5 but did not report the interruption; got:\n{int_out}"
+                )));
+            }
+        }
+        // The signal raced run completion; the report must still match.
+        Some(0) => {
+            if int_out != reference_out {
+                findings.push(finding(
+                    "checkpointed run (uninterrupted) differs from the plain run".into(),
+                ));
+            }
+        }
+        other => {
+            findings.push(finding(format!(
+                "interrupted run exited with {other:?} (expected 5, or 0 on a race): {}",
+                String::from_utf8_lossy(&interrupted.stderr).trim()
+            )));
+            let _ = std::fs::remove_file(&ckpt);
+            return Ok(findings);
+        }
+    }
+    if !ckpt.is_file() {
+        findings.push(finding("interrupted run left no checkpoint file".into()));
+        let _ = std::fs::remove_file(&ckpt);
+        return Ok(findings);
+    }
+
+    // Leg 3: resume and diff against the reference.
+    let resumed = Command::new(&bin)
+        .current_dir(root)
+        .args(RESUME_ARGS)
+        .args(["--checkpoint", &ckpt_str, "--resume"])
+        .output()
+        .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+    let _ = std::fs::remove_file(&ckpt);
+    if !resumed.status.success() {
+        findings.push(finding(format!(
+            "resumed run failed ({}): {}",
+            resumed.status,
+            String::from_utf8_lossy(&resumed.stderr).trim()
+        )));
+        return Ok(findings);
+    }
+    let resumed_out = String::from_utf8_lossy(&resumed.stdout);
+    if !resumed_out.contains("resumed from checkpoint") {
+        findings.push(finding(format!(
+            "resumed run did not announce the resume; got:\n{resumed_out}"
+        )));
+    }
+    if !resumed_out.ends_with(&reference_out) {
+        findings.push(finding(format!(
+            "resumed report differs from the uninterrupted run.\n\
+             --- uninterrupted ---\n{reference_out}\n--- resumed ---\n{resumed_out}"
+        )));
+    }
+    Ok(findings)
+}
+
+/// Builds the release CLI and returns the binary path (so the smoke can
+/// signal the real process, not a `cargo run` wrapper).
+fn build_cli(root: &Path) -> Result<Result<PathBuf, String>, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(cargo)
+        .current_dir(root)
+        .args(["build", "--release", "-q", "-p", "raidsim-cli"])
+        .status()
+        .map_err(|e| format!("cannot spawn cargo: {e}"))?;
+    if !status.success() {
+        return Ok(Err(format!("cargo build --release failed ({status})")));
+    }
+    let name = if cfg!(windows) {
+        "raidsim-cli.exe"
+    } else {
+        "raidsim-cli"
+    };
+    Ok(Ok(root.join("target").join("release").join(name)))
+}
+
+/// Sends SIGINT on Unix (exercising the graceful-interruption path); a
+/// hard kill elsewhere (exercising crash recovery from the last
+/// snapshot).
+fn interrupt(child: &mut Child) {
+    #[cfg(unix)]
+    {
+        let sent = Command::new("kill")
+            .args(["-INT", &child.id().to_string()])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if sent {
+            return;
+        }
+    }
+    let _ = child.kill();
 }
