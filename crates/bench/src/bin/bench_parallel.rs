@@ -1,0 +1,219 @@
+//! PERF — scheduler baseline: wall-clock, speedup, and load-balance of
+//! the dynamic batch-claiming scheduler across thread counts, written
+//! to `BENCH_parallel.json` so later PRs have a trajectory to regress
+//! against.
+//!
+//! Runs the Table-3 scrub ladder at its fixed seeds plus one
+//! deliberately skew-heavy configuration (population-mixed vintages —
+//! the infant-mortality component front-loads expensive histories —
+//! with a finite spare pool) at 1/2/4/8 threads. Every multi-threaded
+//! run is asserted bit-identical to the single-threaded reference
+//! before its timing is recorded: a benchmark of wrong results is
+//! worthless.
+//!
+//! Usage: `bench_parallel [--smoke] [--out <path>]`; group count
+//! defaults to 10,000 (400 with `--smoke`), overridable via
+//! `RAIDSIM_GROUPS`.
+
+use raidsim::config::{RaidGroupConfig, SparePolicy, TransitionDistributions};
+use raidsim::dists::{LifeDistribution, Mixture};
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::hdd::vintage::fig2_vintages;
+use raidsim::run::Simulator;
+use raidsim_bench::groups;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Thread counts the baseline ladder covers.
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured cell: a configuration at one thread count.
+struct Cell {
+    threads: usize,
+    wall_ms: f64,
+    speedup: f64,
+    worker_groups_max: u64,
+    worker_groups_min: u64,
+    balance: f64,
+}
+
+/// The Table-3 scrub ladder (same policies and seeds as `exp_table3`)
+/// plus the skew-heavy mixed-vintage / finite-spares configuration.
+fn bench_configs() -> Vec<(String, u64, RaidGroupConfig)> {
+    let policies: [(&str, ScrubPolicy); 5] = [
+        ("table3_no_scrub", ScrubPolicy::Disabled),
+        (
+            "table3_scrub_336h",
+            ScrubPolicy::with_characteristic_hours(336.0),
+        ),
+        (
+            "table3_scrub_168h",
+            ScrubPolicy::with_characteristic_hours(168.0),
+        ),
+        (
+            "table3_scrub_48h",
+            ScrubPolicy::with_characteristic_hours(48.0),
+        ),
+        (
+            "table3_scrub_12h",
+            ScrubPolicy::with_characteristic_hours(12.0),
+        ),
+    ];
+    let mut configs: Vec<(String, u64, RaidGroupConfig)> = policies
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, policy))| {
+            (
+                name.to_string(),
+                11_000 + i as u64,
+                RaidGroupConfig::paper_base_case()
+                    .unwrap()
+                    .with_scrub_policy(policy)
+                    .unwrap(),
+            )
+        })
+        .collect();
+
+    // Skew-heavy: the Figure 2 population vintage mix puts an
+    // infant-mortality component in every draw (expensive early
+    // cascades for an unlucky subset of groups), and a small finite
+    // spare pool serializes repairs within those groups. This is the
+    // configuration static chunking handled worst.
+    let vintages = fig2_vintages();
+    let total: u64 = vintages.iter().map(|v| v.population()).sum();
+    let components: Vec<(f64, Arc<dyn LifeDistribution>)> = vintages
+        .iter()
+        .map(|v| {
+            (
+                v.population() as f64 / total as f64,
+                Arc::new(v.distribution().expect("published params valid")) as _,
+            )
+        })
+        .collect();
+    let mix = Mixture::new(components).expect("weights sum to 1");
+    configs.push((
+        "skew_vintage_mix_finite_spares".to_string(),
+        18_000,
+        RaidGroupConfig {
+            dists: TransitionDistributions {
+                ttop: Arc::new(mix),
+                ..TransitionDistributions::weibull_both().unwrap()
+            },
+            spares: SparePolicy::Finite {
+                pool: 2,
+                replenish_hours: 336.0,
+            },
+            ..RaidGroupConfig::paper_base_case().unwrap()
+        },
+    ));
+    configs
+}
+
+/// Minimal JSON string escaping (the names here are plain ASCII, but
+/// correctness is cheap).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let n_groups = groups(if smoke { 400 } else { 10_000 });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"groups\": {n_groups},");
+    let _ = writeln!(
+        json,
+        "  \"claim_batch\": {},",
+        raidsim::run::DEFAULT_CLAIM_BATCH
+    );
+    let _ = writeln!(
+        json,
+        "  \"thread_ladder\": [{}],",
+        THREAD_LADDER.map(|t| t.to_string()).join(", ")
+    );
+    json.push_str("  \"configs\": [\n");
+
+    let configs = bench_configs();
+    let n_configs = configs.len();
+    for (ci, (name, seed, cfg)) in configs.into_iter().enumerate() {
+        let sim = Simulator::new(cfg);
+        eprintln!("[{}/{n_configs}] {name}: {n_groups} groups", ci + 1);
+        let mut cells: Vec<Cell> = Vec::with_capacity(THREAD_LADDER.len());
+        let mut reference = None;
+        for threads in THREAD_LADDER {
+            let t0 = Instant::now();
+            let (stats, sched) = sim.run_streaming_instrumented(n_groups, seed, threads, &());
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            match &reference {
+                None => reference = Some(stats),
+                Some(reference) => assert_eq!(
+                    &stats, reference,
+                    "{name}: results at {threads} threads diverged from single-threaded"
+                ),
+            }
+            let speedup = cells.first().map_or(1.0, |c: &Cell| c.wall_ms / wall_ms);
+            eprintln!(
+                "  {threads} thread(s): {wall_ms:.0} ms  speedup {speedup:.2}x  \
+                 worker groups max/min {}/{}",
+                sched.max_worker_groups(),
+                sched.min_worker_groups()
+            );
+            cells.push(Cell {
+                threads,
+                wall_ms,
+                speedup,
+                worker_groups_max: sched.max_worker_groups(),
+                worker_groups_min: sched.min_worker_groups(),
+                balance: sched.balance(),
+            });
+        }
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", json_escape(&name));
+        let _ = writeln!(json, "      \"seed\": {seed},");
+        let _ = writeln!(json, "      \"threads\": [");
+        let n_cells = cells.len();
+        for (i, c) in cells.into_iter().enumerate() {
+            let comma = if i + 1 < n_cells { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
+                 \"worker_groups_max\": {}, \"worker_groups_min\": {}, \
+                 \"balance\": {:.4}}}{comma}",
+                c.threads,
+                c.wall_ms,
+                c.speedup,
+                c.worker_groups_max,
+                c.worker_groups_min,
+                c.balance
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let comma = if ci + 1 < n_configs { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {out_path} ({n_groups} groups per cell)");
+}

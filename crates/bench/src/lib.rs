@@ -174,6 +174,11 @@ const PROGRESS_REFRESH: Duration = Duration::from_millis(500);
 pub struct StderrProgress {
     started: Instant,
     last_print: Mutex<Instant>,
+    /// Highest `groups_done` printed so far. Worker callbacks can
+    /// arrive out of order (two workers pass a stride boundary, the
+    /// later count reports first), and a stale print would make the
+    /// line jump backwards.
+    best: std::sync::atomic::AtomicU64,
 }
 
 impl StderrProgress {
@@ -183,6 +188,7 @@ impl StderrProgress {
         Self {
             started: now,
             last_print: Mutex::new(now - PROGRESS_REFRESH),
+            best: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -195,6 +201,12 @@ impl Default for StderrProgress {
 
 impl StreamObserver for StderrProgress {
     fn on_progress(&self, p: Progress) {
+        let prev = self
+            .best
+            .fetch_max(p.groups_done, std::sync::atomic::Ordering::Relaxed);
+        if p.groups_done < prev {
+            return; // stale out-of-order callback
+        }
         let now = Instant::now();
         {
             let mut last = self.last_print.lock().unwrap();

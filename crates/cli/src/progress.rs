@@ -22,6 +22,11 @@ const REFRESH: Duration = Duration::from_millis(250);
 pub struct StderrProgress {
     started: Instant,
     last_print: Mutex<Instant>,
+    /// Highest `groups_done` printed so far. Worker callbacks can
+    /// arrive out of order (two workers pass a stride boundary, the
+    /// later count reports first), and printing a stale count would
+    /// make the line jump backwards.
+    best: std::sync::atomic::AtomicU64,
 }
 
 impl StderrProgress {
@@ -32,7 +37,17 @@ impl StderrProgress {
             started: now,
             // Backdate so the very first callback prints immediately.
             last_print: Mutex::new(now - REFRESH),
+            best: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Monotonicity filter: records `groups_done` and reports whether
+    /// it is stale (strictly below a count already seen).
+    fn is_stale(&self, groups_done: u64) -> bool {
+        let prev = self
+            .best
+            .fetch_max(groups_done, std::sync::atomic::Ordering::Relaxed);
+        groups_done < prev
     }
 
     /// Formats one progress line; separated from the printing so it can
@@ -61,6 +76,9 @@ impl Default for StderrProgress {
 
 impl StreamObserver for StderrProgress {
     fn on_progress(&self, p: Progress) {
+        if self.is_stale(p.groups_done) {
+            return;
+        }
         let now = Instant::now();
         {
             let mut last = self.last_print.lock().unwrap();
@@ -186,6 +204,17 @@ mod tests {
             Duration::from_secs(5),
         );
         assert_eq!(line, "500/2000 groups  100 groups/s  ETA 15s");
+    }
+
+    #[test]
+    fn stale_out_of_order_counts_are_dropped() {
+        let prog = StderrProgress::new();
+        assert!(!prog.is_stale(256));
+        assert!(prog.is_stale(128), "older count must be filtered");
+        // Repeats of the best count (e.g. the guaranteed final
+        // callback) still print.
+        assert!(!prog.is_stale(256));
+        assert!(!prog.is_stale(512));
     }
 
     #[test]

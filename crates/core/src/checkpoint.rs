@@ -18,9 +18,13 @@
 //!    ([`raidsim_dists::rng::stream`]), so simulating groups `[n, m)`
 //!    tomorrow yields the same histories as it would have today.
 //! 2. The batch runner completes groups as a **prefix** `[0, n)` of the
-//!    index space — batches are scheduled in order and a checkpoint is
-//!    only taken at batch boundaries — so "which groups are done" is
-//!    fully described by the count `n`.
+//!    index space. Workers claim index batches *dynamically* within a
+//!    driver batch (see the scheduling notes in [`crate::run`]), but a
+//!    driver batch `[lo, hi)` only returns once every index in it has
+//!    completed — the worker joins are a barrier — and checkpoints are
+//!    only taken at those boundaries, so the completed-prefix watermark
+//!    `n` (the accumulator's group count) fully describes "which groups
+//!    are done" regardless of how claims interleaved inside the batch.
 //! 3. [`StreamStats`] state is exact integers, so the accumulator after
 //!    resuming and merging `[n, m)` is bit-identical to the
 //!    uninterrupted accumulator over `[0, m)` at any thread count (the

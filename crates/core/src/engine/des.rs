@@ -5,10 +5,18 @@ use crate::events::{DdfEvent, GroupHistory};
 use raidsim_dists::rng::SimRng;
 
 /// Tracks the on-site spare pool for [`SparePolicy::Finite`].
+///
+/// Availability times are kept in a min-heap keyed on the IEEE-754 bit
+/// pattern: for non-negative finite `f64` (which all pool times are —
+/// see the `debug_assert!` in [`Self::acquire`]) the `u64` bit pattern
+/// orders identically to `f64::total_cmp`, so the earliest spare pops
+/// in O(log pool) without any float comparison at all. The previous
+/// implementation rescanned the whole pool (O(pool)) on every failure.
 #[derive(Debug)]
 struct SparePool {
-    /// Times at which spares are (or become) available, unsorted.
-    available_at: Vec<f64>,
+    /// Min-heap of times at which spares are (or become) available,
+    /// keyed on `f64::to_bits`.
+    available_at: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
     replenish_hours: f64,
 }
 
@@ -34,7 +42,11 @@ impl SparePool {
                     "replenish time must be finite and non-negative, got {replenish_hours}"
                 );
                 Some(Self {
-                    available_at: vec![0.0; pool as usize],
+                    available_at: std::iter::repeat_n(
+                        std::cmp::Reverse(0.0f64.to_bits()),
+                        pool as usize,
+                    )
+                    .collect(),
                     replenish_hours,
                 })
             }
@@ -45,21 +57,25 @@ impl SparePool {
     /// returns when reconstruction can start (≥ `t`). A reorder for
     /// the consumed spare arrives `replenish_hours` after the start.
     fn acquire(&mut self, t: f64) -> f64 {
-        debug_assert!(t.is_finite(), "failure time must be finite, got {t}");
-        // The pool is validated non-empty at construction, so index 0
-        // always exists; total_cmp keeps the scan total without
-        // unwrapping a comparison.
-        let mut idx = 0;
-        for i in 1..self.available_at.len() {
-            if self.available_at[i]
-                .total_cmp(&self.available_at[idx])
-                .is_lt()
-            {
-                idx = i;
-            }
-        }
-        let start = self.available_at[idx].max(t);
-        self.available_at[idx] = start + self.replenish_hours;
+        debug_assert!(
+            t.is_finite() && t >= 0.0,
+            "failure time must be finite and non-negative, got {t}"
+        );
+        // The pool is validated non-empty at construction and every pop
+        // is matched by a push below, so the heap is never empty.
+        let std::cmp::Reverse(bits) = self
+            .available_at
+            .pop()
+            .expect("spare pool is never empty between acquisitions");
+        let start = f64::from_bits(bits).max(t);
+        let next = start + self.replenish_hours;
+        // Bit-pattern ordering requires non-negative times; the sign
+        // bit being clear is exactly that.
+        debug_assert!(
+            next.is_finite() && next.to_bits() >> 63 == 0,
+            "spare availability time must stay finite and non-negative, got {next}"
+        );
+        self.available_at.push(std::cmp::Reverse(next.to_bits()));
         start
     }
 }
@@ -486,6 +502,61 @@ mod tests {
         assert_eq!(pool.acquire(20.0), 110.0);
         // And the next at 500: pool has recovered by 210 < 500.
         assert_eq!(pool.acquire(500.0), 500.0);
+    }
+
+    #[test]
+    fn spare_pool_heap_matches_linear_scan() {
+        // Reference implementation: the O(pool) min-scan the heap
+        // replaced. Over a long deterministic failure schedule on a
+        // large pool the two must produce identical acquisition times.
+        struct ScanPool {
+            available_at: Vec<f64>,
+            replenish_hours: f64,
+        }
+        impl ScanPool {
+            fn acquire(&mut self, t: f64) -> f64 {
+                let mut idx = 0;
+                for i in 1..self.available_at.len() {
+                    if self.available_at[i]
+                        .total_cmp(&self.available_at[idx])
+                        .is_lt()
+                    {
+                        idx = i;
+                    }
+                }
+                let start = self.available_at[idx].max(t);
+                self.available_at[idx] = start + self.replenish_hours;
+                start
+            }
+        }
+        let replenish_hours = 337.5;
+        let mut heap = SparePool::new(SparePolicy::Finite {
+            pool: 64,
+            replenish_hours,
+        })
+        .unwrap();
+        let mut scan = ScanPool {
+            available_at: vec![0.0; 64],
+            replenish_hours,
+        };
+        // Irregular, bursty schedule: long quiet stretches, clustered
+        // bursts that drain the pool, and fractional times so ties and
+        // rounding paths are exercised.
+        let mut t = 0.0f64;
+        for k in 0..5_000u64 {
+            t += match k % 7 {
+                0 => 0.0,   // simultaneous failure (tie on t)
+                1 => 0.125, // burst
+                2 => 0.125,
+                3 => 41.75,
+                4 => 3.0625,
+                5 => 977.5, // quiet stretch, pool recovers
+                _ => 0.5,
+            };
+            let a = heap.acquire(t);
+            let b = scan.acquire(t);
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged at failure {k}, t = {t}");
+        }
     }
 
     #[test]

@@ -5,12 +5,40 @@
 //! 10,000 systems over the mission life" (paper Section 5). The runner
 //! assigns every group index its own deterministic RNG stream, so a run
 //! is exactly reproducible regardless of how many threads execute it.
+//!
+//! # Scheduling
+//!
+//! Workers do **not** receive contiguous static chunks of the
+//! group-index space. Group costs are heavily skewed — a group that
+//! draws a DDF cascade, a long repair chain, or an infant-mortality
+//! vintage simulates orders of magnitude more events than a quiet one —
+//! so static chunking lets one unlucky worker serialize the whole run.
+//! Instead, workers repeatedly *claim* fixed-size index batches
+//! ([`Simulator::claim_batch`] groups at a time) from a shared atomic
+//! cursor until the range is exhausted: a worker stuck on an expensive
+//! batch simply claims fewer batches while the others drain the rest.
+//!
+//! Dynamic claiming is invisible in the results:
+//!
+//! * per-group RNG streams are a pure function of `(seed, index)`, so
+//!   *which worker* simulates a group cannot change its history;
+//! * the streamed accumulator ([`StreamStats`]) is exact-integer state,
+//!   so per-worker partials merge to bit-identical totals in any order;
+//! * the stored path tags each claimed batch with its start index and
+//!   reassembles the histories in group-index order before returning.
+//!
+//! Checkpoint compatibility is preserved because claiming happens
+//! *within* a driver batch: `run_batch(lo, hi)` returns only once every
+//! index in `[lo, hi)` has completed (the worker joins are a barrier),
+//! so at every batch boundary the completed set is still an exact
+//! prefix `[0, watermark)` of the index space — precisely the state a
+//! checkpoint can resume bit-identically (see [`crate::checkpoint`]).
 
 use crate::checkpoint::{config_fingerprint, CheckpointError, DriverState, SimCheckpoint};
 use crate::config::RaidGroupConfig;
 use crate::engine::{DesEngine, Engine};
 use crate::events::{DdfKind, GroupHistory};
-use crate::stats::StreamStats;
+use crate::stats::{SchedulerStats, StreamStats};
 use raidsim_dists::rng::stream;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -136,6 +164,52 @@ impl std::fmt::Debug for CheckpointPlan<'_> {
 /// How often (in completed groups) workers report to the observer.
 pub const PROGRESS_STRIDE: u64 = 256;
 
+/// Default number of consecutive group indices a worker claims from the
+/// scheduler cursor per request.
+///
+/// Large enough to amortize the atomic claim and keep the per-worker
+/// accumulator cache-warm, small enough that one expensive batch cannot
+/// leave the remaining workers idle for long.
+pub const DEFAULT_CLAIM_BATCH: u64 = 64;
+
+/// Shared claim cursor for the dynamic scheduler: workers atomically
+/// claim `claim`-sized batches of group indices from `[next, hi)` until
+/// the range is exhausted.
+struct BatchCursor {
+    next: AtomicU64,
+    hi: u64,
+    claim: u64,
+}
+
+impl BatchCursor {
+    fn new(lo: usize, hi: usize, claim: u64) -> Self {
+        debug_assert!(claim > 0, "claim batch must be positive");
+        Self {
+            next: AtomicU64::new(lo as u64),
+            hi: hi as u64,
+            claim,
+        }
+    }
+
+    /// Claims the next batch; `None` once the range is exhausted. Every
+    /// index in `[lo, hi)` is handed out exactly once across all claims.
+    ///
+    /// `Relaxed` suffices: the cursor carries no data — a group's
+    /// history is a pure function of `(seed, index)`, and per-worker
+    /// results only meet at the scope's join barrier, which is already
+    /// a synchronization point. Workers stop at the first `None`, so
+    /// the cursor overshoots `hi` by at most `claim × workers`: far
+    /// from `u64::MAX` for any reachable input.
+    fn claim(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.next.fetch_add(self.claim, Ordering::Relaxed);
+        if start >= self.hi {
+            return None;
+        }
+        let end = (start + self.claim).min(self.hi);
+        Some(start as usize..end as usize)
+    }
+}
+
 /// Runs batches of group simulations against one configuration.
 ///
 /// # Example
@@ -156,6 +230,7 @@ pub const PROGRESS_STRIDE: u64 = 256;
 pub struct Simulator {
     cfg: RaidGroupConfig,
     engine: Arc<dyn Engine>,
+    claim_batch: u64,
 }
 
 impl Simulator {
@@ -172,6 +247,7 @@ impl Simulator {
         Self {
             cfg,
             engine: Arc::new(DesEngine::new()),
+            claim_batch: DEFAULT_CLAIM_BATCH,
         }
     }
 
@@ -180,6 +256,27 @@ impl Simulator {
     pub fn with_engine(mut self, engine: Arc<dyn Engine>) -> Self {
         self.engine = engine;
         self
+    }
+
+    /// Replaces the scheduler's claim-batch size: how many consecutive
+    /// group indices a worker takes from the shared cursor per claim.
+    /// Results are bit-identical for every value (see the module-level
+    /// scheduling notes); this is purely a throughput knob — smaller
+    /// batches balance skewed workloads better, larger batches claim
+    /// less often.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `claim_batch == 0`.
+    pub fn with_claim_batch(mut self, claim_batch: u64) -> Self {
+        assert!(claim_batch > 0, "claim batch must be positive");
+        self.claim_batch = claim_batch;
+        self
+    }
+
+    /// The scheduler's claim-batch size.
+    pub fn claim_batch(&self) -> u64 {
+        self.claim_batch
     }
 
     /// The configuration being simulated.
@@ -213,39 +310,7 @@ impl Simulator {
     ///
     /// Panics if `threads == 0`.
     pub fn run_parallel(&self, groups: usize, seed: u64, threads: usize) -> SimulationResult {
-        assert!(threads > 0, "need at least one thread");
-        if threads == 1 || groups < 2 * threads {
-            return self.run(groups, seed);
-        }
-        let chunk = groups.div_ceil(threads);
-        let mut histories: Vec<GroupHistory> = Vec::with_capacity(groups);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..threads {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(groups);
-                if lo >= hi {
-                    break;
-                }
-                let cfg = &self.cfg;
-                let engine = &self.engine;
-                handles.push(scope.spawn(move || {
-                    (lo..hi)
-                        .map(|i| {
-                            let mut rng = stream(seed, i as u64);
-                            engine.simulate_group(cfg, &mut rng)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                histories.extend(h.join().expect("simulation worker panicked"));
-            }
-        });
-        SimulationResult {
-            histories,
-            mission_hours: self.cfg.mission_hours,
-        }
+        self.run_range(0, groups, seed, threads)
     }
 
     /// Simulates `groups` independent RAID groups and returns only the
@@ -276,20 +341,53 @@ impl Simulator {
         threads: usize,
         observer: &dyn StreamObserver,
     ) -> StreamStats {
+        self.run_streaming_instrumented(groups, seed, threads, observer)
+            .0
+    }
+
+    /// [`Simulator::run_streaming_observed`] plus scheduler
+    /// instrumentation: how many groups each worker ended up
+    /// simulating, for load-balance diagnostics (the `cargo xtask
+    /// bench` harness records these). The statistics half of the return
+    /// is bit-identical to [`Simulator::run_streaming`]; the
+    /// [`SchedulerStats`] half depends on thread timing and is
+    /// diagnostic only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_streaming_instrumented(
+        &self,
+        groups: usize,
+        seed: u64,
+        threads: usize,
+        observer: &dyn StreamObserver,
+    ) -> (StreamStats, SchedulerStats) {
         let done = AtomicU64::new(0);
-        let stats = self.stream_range(0, groups, seed, threads, observer, &done, groups as u64);
+        let (stats, worker_groups) =
+            self.stream_range(0, groups, seed, threads, observer, &done, groups as u64);
         observer.on_progress(Progress {
             groups_done: groups as u64,
             groups_target: groups as u64,
         });
-        stats
+        (stats, SchedulerStats { worker_groups })
     }
 
     /// Streams the half-open group-index range `[lo, hi)` into a
     /// [`StreamStats`], using the per-index RNG streams of `seed`.
-    /// Per-worker accumulators are merged in group-index order; every
-    /// accumulator field is exact, so the result is independent of the
-    /// partitioning.
+    /// Workers claim index batches dynamically and accumulate locally;
+    /// every accumulator field is exact, so the merged result is
+    /// independent of the partitioning. Also returns the per-worker
+    /// completed-group counts (one entry per spawned worker; a single
+    /// entry on the serial path).
+    ///
+    /// Progress: each worker keeps its own last-reported stride bucket
+    /// (`completed / PROGRESS_STRIDE`) and reports whenever the global
+    /// counter has crossed into a new bucket since that worker last
+    /// reported — per-worker monotone by construction, and no stride is
+    /// starved when workers interleave their `fetch_add`s. Terminal
+    /// sub-stride remainders are covered by the guaranteed final
+    /// callback every driver issues.
     #[allow(clippy::too_many_arguments)]
     fn stream_range(
         &self,
@@ -300,45 +398,62 @@ impl Simulator {
         observer: &dyn StreamObserver,
         done: &AtomicU64,
         target: u64,
-    ) -> StreamStats {
+    ) -> (StreamStats, Vec<u64>) {
         assert!(threads > 0, "need at least one thread");
         let count = hi - lo;
-        let simulate_into = |range: std::ops::Range<usize>| {
-            let mut stats = StreamStats::new(self.cfg.mission_hours);
-            for i in range {
-                let mut rng = stream(seed, i as u64);
-                stats.push(&self.engine.simulate_group(&self.cfg, &mut rng));
-                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if completed.is_multiple_of(PROGRESS_STRIDE) {
-                    observer.on_progress(Progress {
-                        groups_done: completed,
-                        groups_target: target,
-                    });
+        let simulate_into =
+            |range: std::ops::Range<usize>, stats: &mut StreamStats, last_bucket: &mut u64| {
+                for i in range {
+                    let mut rng = stream(seed, i as u64);
+                    stats.push(&self.engine.simulate_group(&self.cfg, &mut rng));
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let bucket = completed / PROGRESS_STRIDE;
+                    if bucket > *last_bucket {
+                        *last_bucket = bucket;
+                        observer.on_progress(Progress {
+                            groups_done: completed,
+                            groups_target: target,
+                        });
+                    }
                 }
-            }
-            stats
-        };
+            };
+        // Workers start their stride accounting at the current global
+        // bucket so a resumed run does not re-report strides the
+        // checkpointed prefix already covered.
+        let start_bucket = done.load(Ordering::Relaxed) / PROGRESS_STRIDE;
         if threads == 1 || count < 2 * threads {
-            return simulate_into(lo..hi);
+            let mut stats = StreamStats::new(self.cfg.mission_hours);
+            let mut last_bucket = start_bucket;
+            simulate_into(lo..hi, &mut stats, &mut last_bucket);
+            return (stats, vec![count as u64]);
         }
-        let chunk = count.div_ceil(threads);
+        let cursor = BatchCursor::new(lo, hi, self.claim_batch);
         let mut total = StreamStats::new(self.cfg.mission_hours);
+        let mut worker_groups = Vec::with_capacity(threads);
+        let mission_hours = self.cfg.mission_hours;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for w in 0..threads {
-                let wlo = lo + w * chunk;
-                let whi = (lo + (w + 1) * chunk).min(hi);
-                if wlo >= whi {
-                    break;
-                }
+            for _ in 0..threads {
+                let cursor = &cursor;
                 let simulate_into = &simulate_into;
-                handles.push(scope.spawn(move || simulate_into(wlo..whi)));
+                handles.push(scope.spawn(move || {
+                    let mut stats = StreamStats::new(mission_hours);
+                    let mut groups_done = 0u64;
+                    let mut last_bucket = start_bucket;
+                    while let Some(range) = cursor.claim() {
+                        groups_done += range.len() as u64;
+                        simulate_into(range, &mut stats, &mut last_bucket);
+                    }
+                    (stats, groups_done)
+                }));
             }
             for h in handles {
-                total.merge(h.join().expect("simulation worker panicked"));
+                let (stats, groups_done) = h.join().expect("simulation worker panicked");
+                total.merge(stats);
+                worker_groups.push(groups_done);
             }
         });
-        total
+        (total, worker_groups)
     }
 }
 
@@ -526,6 +641,7 @@ impl Simulator {
             0,
             |sim, lo, hi| {
                 sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups as u64)
+                    .0
             },
         );
         (stats, report)
@@ -598,7 +714,10 @@ impl Simulator {
             control,
             &mut plan,
             fingerprint,
-            |sim, lo, hi| sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups),
+            |sim, lo, hi| {
+                sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups)
+                    .0
+            },
         );
         Ok((stats, report))
     }
@@ -698,6 +817,14 @@ impl Simulator {
                 }
             }
         };
+        // Guaranteed terminal callback: every driver reports the final
+        // count, even when the last batch is shorter than the progress
+        // stride or zero batches ran (a resume whose checkpoint already
+        // satisfies a stopping rule).
+        observer.on_progress(Progress {
+            groups_done: stats.groups(),
+            groups_target: driver.max_groups,
+        });
         // Final flush, so the file on disk always reflects the state
         // this run returned with — an interrupted run resumes from the
         // exact stopping point, and resuming a finished run re-reports
@@ -714,44 +841,56 @@ impl Simulator {
     }
 
     /// Simulates the half-open group-index range `[lo, hi)` using the
-    /// per-index RNG streams of `seed`.
+    /// per-index RNG streams of `seed`. Workers claim index batches
+    /// dynamically; histories are reassembled in group-index order, so
+    /// the result is identical to a serial pass over `lo..hi`.
     fn run_range(&self, lo: usize, hi: usize, seed: u64, threads: usize) -> SimulationResult {
         assert!(threads > 0, "need at least one thread");
-        let indices: Vec<usize> = (lo..hi).collect();
-        if threads == 1 || indices.len() < 2 * threads {
-            let histories = indices
-                .iter()
-                .map(|&i| {
-                    let mut rng = stream(seed, i as u64);
-                    self.engine.simulate_group(&self.cfg, &mut rng)
-                })
-                .collect();
+        let count = hi - lo;
+        let simulate = |i: usize| {
+            let mut rng = stream(seed, i as u64);
+            self.engine.simulate_group(&self.cfg, &mut rng)
+        };
+        if threads == 1 || count < 2 * threads {
             return SimulationResult {
-                histories,
+                histories: (lo..hi).map(simulate).collect(),
                 mission_hours: self.cfg.mission_hours,
             };
         }
-        let chunk = indices.len().div_ceil(threads);
-        let mut histories: Vec<GroupHistory> = Vec::with_capacity(indices.len());
+        let cursor = BatchCursor::new(lo, hi, self.claim_batch);
+        let claim = self.claim_batch as usize;
+        // Claim starts are `lo + k * claim` for unique `k`, so each
+        // batch maps to its own slot; filling slots by index and
+        // concatenating restores exact group-index order with no sort.
+        let slots = count.div_ceil(claim);
+        let mut batches: Vec<Option<Vec<GroupHistory>>> = (0..slots).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for slice in indices.chunks(chunk) {
-                let cfg = &self.cfg;
-                let engine = &self.engine;
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let simulate = &simulate;
                 handles.push(scope.spawn(move || {
-                    slice
-                        .iter()
-                        .map(|&i| {
-                            let mut rng = stream(seed, i as u64);
-                            engine.simulate_group(cfg, &mut rng)
-                        })
-                        .collect::<Vec<_>>()
+                    let mut claimed = Vec::new();
+                    while let Some(range) = cursor.claim() {
+                        claimed.push((range.start, range.map(simulate).collect::<Vec<_>>()));
+                    }
+                    claimed
                 }));
             }
             for h in handles {
-                histories.extend(h.join().expect("simulation worker panicked"));
+                for (start, batch) in h.join().expect("simulation worker panicked") {
+                    batches[(start - lo) / claim] = Some(batch);
+                }
             }
         });
+        let mut histories: Vec<GroupHistory> = Vec::with_capacity(count);
+        for batch in &mut batches {
+            histories.append(
+                batch
+                    .as_mut()
+                    .expect("every batch slot is claimed exactly once"),
+            );
+        }
         SimulationResult {
             histories,
             mission_hours: self.cfg.mission_hours,
@@ -1301,6 +1440,116 @@ mod tests {
         assert_eq!(last.groups_done, 600);
         assert_eq!(last.groups_target, 600);
         assert!(seen.iter().all(|p| p.groups_done <= p.groups_target));
+    }
+
+    #[test]
+    fn claim_batch_size_never_changes_results() {
+        let sim = Simulator::new(base());
+        let serial = sim.run(130, 77);
+        let streamed_serial = StreamStats::from_result(&serial);
+        for claim in [1, 2, 7, 64, 1_000] {
+            let tuned = sim.clone().with_claim_batch(claim);
+            assert_eq!(tuned.run_parallel(130, 77, 4), serial, "claim = {claim}");
+            assert_eq!(
+                tuned.run_streaming(130, 77, 4),
+                streamed_serial,
+                "claim = {claim}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "claim batch must be positive")]
+    fn zero_claim_batch_panics() {
+        let _ = Simulator::new(base()).with_claim_batch(0);
+    }
+
+    #[test]
+    fn instrumented_worker_counts_cover_every_group() {
+        let sim = Simulator::new(base()).with_claim_batch(16);
+        let (stats, sched) = sim.run_streaming_instrumented(500, 3, 4, &());
+        assert_eq!(stats.groups(), 500);
+        assert_eq!(sched.total(), 500);
+        assert_eq!(sched.worker_groups.len(), 4);
+        assert!(sched.max_worker_groups() >= sched.min_worker_groups());
+        let balance = sched.balance();
+        assert!((0.0..=1.0).contains(&balance), "balance = {balance}");
+        // Serial path: one synthetic worker holding everything.
+        let (_, sched1) = sim.run_streaming_instrumented(500, 3, 1, &());
+        assert_eq!(sched1.worker_groups, vec![500]);
+        assert_eq!(sched1.balance(), 1.0);
+    }
+
+    #[test]
+    fn batch_cursor_hands_out_each_index_once() {
+        let cursor = BatchCursor::new(5, 103, 10);
+        let mut seen = Vec::new();
+        while let Some(range) = cursor.claim() {
+            seen.extend(range);
+        }
+        assert_eq!(seen, (5..103).collect::<Vec<_>>());
+        // Exhausted cursors stay exhausted.
+        assert!(cursor.claim().is_none());
+    }
+
+    /// Records every progress callback, for stride/finality assertions.
+    #[derive(Debug, Default)]
+    struct ProgressRecorder(std::sync::Mutex<Vec<Progress>>);
+    impl StreamObserver for ProgressRecorder {
+        fn on_progress(&self, p: Progress) {
+            self.0.lock().unwrap().push(p);
+        }
+    }
+
+    #[test]
+    fn single_thread_progress_hits_every_stride_and_finishes() {
+        let sim = Simulator::new(base());
+        let rec = ProgressRecorder::default();
+        let groups = 2 * PROGRESS_STRIDE + 37; // short terminal remainder
+        sim.run_streaming_observed(groups as usize, 13, 1, &rec);
+        let seen = rec.0.lock().unwrap();
+        // Strictly increasing — per-worker stride accounting is
+        // monotone by construction.
+        assert!(
+            seen.windows(2).all(|w| w[0].groups_done < w[1].groups_done),
+            "{seen:?}"
+        );
+        // Every stride boundary observed, in order.
+        let strides: Vec<u64> = seen
+            .iter()
+            .map(|p| p.groups_done)
+            .filter(|d| d.is_multiple_of(PROGRESS_STRIDE))
+            .collect();
+        assert_eq!(strides, vec![PROGRESS_STRIDE, 2 * PROGRESS_STRIDE]);
+        // The sub-stride remainder is covered by the final callback.
+        assert_eq!(seen.last().unwrap().groups_done, groups);
+    }
+
+    #[test]
+    fn every_driver_reports_a_final_callback() {
+        let sim = Simulator::new(base());
+        for threads in [1, 3] {
+            let rec = ProgressRecorder::default();
+            // 100 groups < PROGRESS_STRIDE: without the guaranteed
+            // final callback no stride would ever fire.
+            sim.run_streaming_observed(100, 5, threads, &rec);
+            let seen = rec.0.lock().unwrap();
+            assert_eq!(
+                seen.last().map(|p| p.groups_done),
+                Some(100),
+                "threads = {threads}"
+            );
+
+            let rec = ProgressRecorder::default();
+            let (stats, _) = sim
+                .run_until_precision_streaming_observed(0.25, 0.90, 90, 4_000, 99, threads, &rec);
+            let seen = rec.0.lock().unwrap();
+            assert_eq!(
+                seen.last().map(|p| p.groups_done),
+                Some(stats.groups()),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -28,11 +28,13 @@
 //!
 //! Integer addition is associative and commutative, so **any** order of
 //! [`StreamStats::push`] and [`StreamStats::merge`] over the same set
-//! of group histories yields bit-identical state. The batch runner
-//! merges per-worker accumulators in group-index order regardless, but
-//! the result provably cannot depend on thread count or scheduling.
-//! This is what lets the test suite demand exact equality between the
-//! streamed and stored paths at every thread count.
+//! of group histories yields bit-identical state. This is what frees
+//! the batch runner to schedule group batches dynamically (see
+//! [`crate::run`]) and merge per-worker accumulators in whatever order
+//! the workers finish: the result provably cannot depend on thread
+//! count or scheduling, which is what lets the test suite demand exact
+//! equality between the streamed and stored paths at every thread
+//! count and claim-batch size.
 //!
 //! `StreamStats` intentionally has no serde derives: its exact state
 //! uses `u128` fields, which the vendored offline serde does not
@@ -101,6 +103,56 @@ pub struct StreamStats {
     /// bins are half-open `[k·w, (k+1)·w)` except the last, which also
     /// includes the mission endpoint.
     ddf_time_bins: Vec<u64>,
+}
+
+/// Load-balance diagnostics from one dynamically scheduled run
+/// ([`crate::run::Simulator::run_streaming_instrumented`]).
+///
+/// Unlike [`StreamStats`], this is **not** deterministic: which worker
+/// claims which batch depends on thread timing. It answers one question
+/// — how evenly did the scheduler spread the work — and feeds the
+/// `cargo xtask bench` harness's scheduler-efficiency columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Groups completed by each worker, one entry per worker (a single
+    /// entry when the run took the serial path).
+    pub worker_groups: Vec<u64>,
+}
+
+impl SchedulerStats {
+    /// Total groups completed across all workers.
+    pub fn total(&self) -> u64 {
+        self.worker_groups.iter().sum()
+    }
+
+    /// Groups completed by the busiest worker (`0` if no workers ran).
+    pub fn max_worker_groups(&self) -> u64 {
+        self.worker_groups.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Groups completed by the least-busy worker (`0` if no workers
+    /// ran).
+    pub fn min_worker_groups(&self) -> u64 {
+        self.worker_groups.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Load-balance ratio `min / max` in `[0, 1]`: `1.0` is a perfectly
+    /// even split, values near `0` mean some worker starved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workers ran (balance of nothing is undefined).
+    pub fn balance(&self) -> f64 {
+        assert!(
+            !self.worker_groups.is_empty(),
+            "no workers ran (load balance is undefined)"
+        );
+        let max = self.max_worker_groups();
+        if max == 0 {
+            return 1.0;
+        }
+        self.min_worker_groups() as f64 / max as f64
+    }
 }
 
 impl StreamStats {

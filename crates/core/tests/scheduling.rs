@@ -1,0 +1,160 @@
+//! Dynamic-scheduler guarantees: claiming group batches from the
+//! shared cursor must be **invisible** in the results. For any
+//! configuration, thread count, and claim-batch size, the stored and
+//! streamed paths must be bit-identical to a single-threaded pass, and
+//! kill-and-resume under the scheduler must match an uninterrupted run.
+
+use proptest::prelude::*;
+use raidsim_core::checkpoint::{DriverState, SimCheckpoint};
+use raidsim_core::config::{RaidGroupConfig, Redundancy, SparePolicy, TransitionDistributions};
+use raidsim_core::run::{CheckpointPlan, EveryGroups, RunControl, Simulator};
+use raidsim_core::stats::StreamStats;
+use raidsim_dists::{LifeDistribution, Weibull3};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configurations spanning the model space, including the skew drivers
+/// the scheduler exists for: infant-mortality vintages (low beta pulls
+/// failures — and their event cascades — into the mission) and finite
+/// spare pools (burst serialization lengthens exposed repair windows).
+fn configs() -> impl Strategy<Value = RaidGroupConfig> {
+    (
+        3usize..9,
+        proptest::bool::ANY,
+        2_000.0..60_000.0f64,
+        1_000.0..2.0e5f64,
+        proptest::option::of(500.0..20_000.0f64),
+        0.7..1.6f64,
+        proptest::option::of((1u32..4, 24.0..500.0f64)),
+    )
+        .prop_filter_map(
+            "drives must exceed parity",
+            |(drives, double, mission, op_eta, ld, beta, spares)| {
+                let redundancy = if double {
+                    Redundancy::DoubleParity
+                } else {
+                    Redundancy::SingleParity
+                };
+                if drives <= redundancy.tolerated() {
+                    return None;
+                }
+                let ttld: Option<Arc<dyn LifeDistribution>> =
+                    ld.map(|e| Arc::new(Weibull3::two_param(e, 1.0).unwrap()) as _);
+                let ttscrub: Option<Arc<dyn LifeDistribution>> = ttld
+                    .is_some()
+                    .then(|| Arc::new(Weibull3::new(1.0, 168.0, 3.0).unwrap()) as _);
+                Some(RaidGroupConfig {
+                    drives,
+                    redundancy,
+                    mission_hours: mission,
+                    dists: TransitionDistributions {
+                        ttop: Arc::new(Weibull3::two_param(op_eta, beta).unwrap()),
+                        ttr: Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap()),
+                        ttld,
+                        ttscrub,
+                    },
+                    defect_reset_on_replacement: false,
+                    spares: match spares {
+                        None => SparePolicy::AlwaysAvailable,
+                        Some((pool, replenish_hours)) => SparePolicy::Finite {
+                            pool,
+                            replenish_hours,
+                        },
+                    },
+                })
+            },
+        )
+}
+
+/// Requests a graceful stop once `limit` batch boundaries have been
+/// polled.
+struct InterruptAfter {
+    polls: AtomicU64,
+    limit: u64,
+}
+
+impl InterruptAfter {
+    fn new(limit: u64) -> Self {
+        Self {
+            polls: AtomicU64::new(0),
+            limit,
+        }
+    }
+}
+
+impl RunControl for InterruptAfter {
+    fn interrupted(&self) -> bool {
+        self.polls.fetch_add(1, Ordering::Relaxed) >= self.limit
+    }
+}
+
+fn temp_ckpt(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("raidsim_sched_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The tentpole guarantee: dynamic scheduling is bit-identical to
+    /// `threads == 1` on both the stored and streamed paths, for any
+    /// `(config, groups, seed, threads, claim_batch)`.
+    #[test]
+    fn dynamic_schedule_is_bit_identical_to_serial(
+        cfg in configs(),
+        groups in 1usize..150,
+        seed in any::<u64>(),
+        threads in 1usize..6,
+        claim in 1u64..50,
+    ) {
+        let sim = Simulator::new(cfg).with_claim_batch(claim);
+        let serial = sim.run(groups, seed);
+        prop_assert_eq!(&sim.run_parallel(groups, seed, threads), &serial);
+        prop_assert_eq!(
+            sim.run_streaming(groups, seed, threads),
+            StreamStats::from_result(&serial)
+        );
+    }
+
+    /// Kill-and-resume under the dynamic scheduler: interrupt at a
+    /// random batch boundary, resume with independently chosen thread
+    /// count *and claim-batch size*, and the final statistics and
+    /// report match an uninterrupted run bit-identically.
+    #[test]
+    fn kill_and_resume_survives_scheduler_variation(
+        cfg in configs(),
+        seed in any::<u64>(),
+        kill_batch in 0u64..6,
+        threads_a in 1usize..5,
+        threads_b in 1usize..5,
+        claim_a in 1u64..40,
+        claim_b in 1u64..40,
+    ) {
+        let driver = DriverState::precision(0.25, 0.95, 20, 100, seed);
+        let sim_a = Simulator::new(cfg.clone()).with_claim_batch(claim_a);
+        let sim_b = Simulator::new(cfg).with_claim_batch(claim_b);
+
+        // Uninterrupted reference, under yet another scheduling.
+        let (ref_stats, ref_report) =
+            sim_b.run_until_precision_streaming(0.25, 0.95, 20, 100, seed, threads_a);
+
+        let path = temp_ckpt("sched_kill_and_resume.ckpt");
+        let control = InterruptAfter::new(kill_batch);
+        let mut cadence = EveryGroups(1);
+        let plan = CheckpointPlan { path: &path, cadence: &mut cadence };
+        sim_a
+            .run_checkpointed(driver, threads_a, &(), &control, Some(plan), None)
+            .unwrap();
+
+        let ckpt = SimCheckpoint::load(&path).unwrap();
+        let (stats, report) = sim_b
+            .run_checkpointed(driver, threads_b, &(), &(), None, Some(&ckpt))
+            .unwrap();
+
+        prop_assert_eq!(stats, ref_stats);
+        prop_assert_eq!(report, ref_report);
+        std::fs::remove_file(&path).ok();
+    }
+}

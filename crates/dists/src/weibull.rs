@@ -184,7 +184,11 @@ impl LifeDistribution for Weibull3 {
             return self.gamma;
         }
         assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
-        self.gamma + self.eta * (-(1.0 - p).ln()).powf(1.0 / self.beta)
+        // ln(1 - p) via ln_1p(-p): the naive `(1.0 - p).ln()` rounds
+        // `1 - p` to 1.0 for p below ~1e-16 (the quantile collapses to
+        // gamma, so B-lives of ultra-reliable tails read as the location
+        // parameter) and loses relative precision for all small p.
+        self.gamma + self.eta * (-(-p).ln_1p()).powf(1.0 / self.beta)
     }
 
     fn mean(&self) -> f64 {
@@ -284,6 +288,65 @@ mod tests {
     #[should_panic(expected = "quantile requires p in [0, 1)")]
     fn quantile_rejects_p_one() {
         base().quantile(1.0);
+    }
+
+    #[test]
+    fn quantile_resolves_deep_lower_tail() {
+        // `(1.0 - p).ln()` rounds to 0 for p below ~1e-16, collapsing
+        // the quantile to gamma; ln_1p keeps full relative precision.
+        // (Bounded below by representability: the offset eta·p^(1/beta)
+        // must exceed one ULP of gamma to survive the final addition.)
+        let d = Weibull3::new(6.0, 12.0, 2.0).unwrap();
+        for &p in &[1e-18, 1e-30] {
+            let t = d.quantile(p);
+            assert!(t > 6.0, "quantile({p}) = {t} collapsed to gamma");
+            // For tiny p, -ln(1-p) = p + O(p²), so the closed form
+            // gamma + eta·p^(1/beta) agrees to within the rounding of
+            // the offset against gamma.
+            let expect = 6.0 + 12.0 * p.powf(1.0 / 2.0);
+            assert!(
+                (t - expect).abs() <= 1e-6 * (expect - 6.0),
+                "p = {p}: got {t}, expected {expect}"
+            );
+        }
+        // With gamma = 0 there is no absolute floor at all: the deep
+        // tail stays resolvable arbitrarily far down.
+        let d0 = Weibull3::two_param(12.0, 2.0).unwrap();
+        for &p in &[1e-18, 1e-100, 1e-300] {
+            let t = d0.quantile(p);
+            let expect = 12.0 * p.powf(1.0 / 2.0);
+            assert!(t > 0.0, "quantile({p}) = {t} collapsed to zero");
+            assert!(
+                (t - expect).abs() <= 1e-12 * expect,
+                "p = {p}: got {t}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip_at_both_tails() {
+        // gamma = 0 so the lower tail keeps full relative precision
+        // (cdf uses exp_m1, quantile uses ln_1p — both tails resolve).
+        let d = Weibull3::two_param(12.0, 2.0).unwrap();
+        for &p in &[1e-18, 1e-12, 1e-6, 0.5, 1.0 - 1e-6, 1.0 - 1e-12] {
+            let t = d.quantile(p);
+            let back = d.cdf(t);
+            assert!(
+                (back - p).abs() <= 1e-12 * p,
+                "p = {p}: cdf(quantile(p)) = {back}"
+            );
+        }
+        // Through a nonzero location the round trip is limited by the
+        // rounding of t against gamma, not by the tail math.
+        let d3 = Weibull3::new(6.0, 12.0, 2.0).unwrap();
+        for &p in &[1e-12, 1e-6, 0.5, 1.0 - 1e-6] {
+            let t = d3.quantile(p);
+            let back = d3.cdf(t);
+            assert!(
+                (back - p).abs() <= 1e-6 * p,
+                "p = {p}: cdf(quantile(p)) = {back}"
+            );
+        }
     }
 
     #[test]

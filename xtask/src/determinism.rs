@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Forbidden constructs, paired with the reason reported to the user.
-const FORBIDDEN: [(&str, &str); 6] = [
+const FORBIDDEN: [(&str, &str); 7] = [
     (
         "HashMap",
         "std HashMap iteration order is randomized per process; use BTreeMap or Vec",
@@ -33,6 +33,11 @@ const FORBIDDEN: [(&str, &str); 6] = [
     (
         "Instant::now",
         "wall-clock reads make runs irreproducible; simulation time is the only clock",
+    ),
+    (
+        "thread::sleep",
+        "timing-dependent scheduling has no place in the runner: results must be a pure \
+         function of (config, groups, seed), never of how long anything took",
     ),
 ];
 
@@ -143,6 +148,14 @@ mod tests {
     fn clean_fixture_passes() {
         let src = include_str!("../fixtures/good.rs");
         assert_eq!(hits(src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn thread_sleep_is_flagged() {
+        assert_eq!(
+            hits("fn w() { std::thread::sleep(std::time::Duration::from_millis(1)); }"),
+            vec!["thread::sleep"]
+        );
     }
 
     #[test]

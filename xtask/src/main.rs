@@ -22,6 +22,7 @@
 //!
 //! See DESIGN.md ("Static analysis & invariants") for rationale.
 
+mod bench;
 mod deps;
 mod determinism;
 mod nan_safety;
@@ -83,6 +84,8 @@ fn usage() -> &'static str {
        deps           flag declared-but-unused dependencies\n\
      \x20  smoke          build and run the CLI's streamed precision path end to end\n\
      \x20  smoke --resume kill a checkpointed run mid-flight, resume it, diff the summary\n\
+       bench          run the scheduler benchmark ladder, validate BENCH_parallel.json\n\
+       bench --smoke  same with tiny group counts, for CI\n\
        help           print this message"
 }
 
@@ -114,6 +117,10 @@ fn main() -> ExitCode {
         "deps" => run(deps::check(&root), "deps"),
         "smoke" if args.iter().any(|a| a == "--resume") => run(smoke::check_resume(&root), "smoke"),
         "smoke" => run(smoke::check(&root), "smoke"),
+        "bench" => run(
+            bench::check(&root, args.iter().any(|a| a == "--smoke")),
+            "bench",
+        ),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
