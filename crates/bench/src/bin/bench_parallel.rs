@@ -32,10 +32,14 @@ const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 struct Cell {
     threads: usize,
     wall_ms: f64,
+    per_group_ns: f64,
     speedup: f64,
     worker_groups_max: u64,
     worker_groups_min: u64,
     balance: f64,
+    thread_spawns: u64,
+    samples_drawn: u64,
+    steady_allocs: u64,
 }
 
 /// The Table-3 scrub ladder (same policies and seeds as `exp_table3`)
@@ -140,7 +144,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"schema_version\": 2,");
     let _ = writeln!(json, "  \"groups\": {n_groups},");
     let _ = writeln!(
         json,
@@ -172,6 +176,24 @@ fn main() {
                     "{name}: results at {threads} threads diverged from single-threaded"
                 ),
             }
+            // Non-timing invariants, asserted before anything is
+            // recorded: the pool spawns exactly the configured worker
+            // count once per run (the serial path spawns nothing), and
+            // the steady-state group loop of the per-worker sessions
+            // performs zero allocations.
+            let expect_spawns = if threads == 1 { 0 } else { threads as u64 };
+            assert_eq!(
+                sched.thread_spawns, expect_spawns,
+                "{name}: expected {expect_spawns} spawned workers at {threads} threads"
+            );
+            assert_eq!(
+                sched.counters.loop_allocs, 0,
+                "{name}: steady-state loop allocated at {threads} threads"
+            );
+            assert_eq!(
+                sched.counters.groups, n_groups as u64,
+                "{name}: engine counters missed groups at {threads} threads"
+            );
             let speedup = cells.first().map_or(1.0, |c: &Cell| c.wall_ms / wall_ms);
             eprintln!(
                 "  {threads} thread(s): {wall_ms:.0} ms  speedup {speedup:.2}x  \
@@ -182,10 +204,14 @@ fn main() {
             cells.push(Cell {
                 threads,
                 wall_ms,
+                per_group_ns: wall_ms * 1e6 / n_groups as f64,
                 speedup,
                 worker_groups_max: sched.max_worker_groups(),
                 worker_groups_min: sched.min_worker_groups(),
                 balance: sched.balance(),
+                thread_spawns: sched.thread_spawns,
+                samples_drawn: sched.counters.samples_drawn,
+                steady_allocs: sched.counters.loop_allocs,
             });
         }
         let _ = writeln!(json, "    {{");
@@ -197,15 +223,21 @@ fn main() {
             let comma = if i + 1 < n_cells { "," } else { "" };
             let _ = writeln!(
                 json,
-                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3}, \
-                 \"worker_groups_max\": {}, \"worker_groups_min\": {}, \
-                 \"balance\": {:.4}}}{comma}",
+                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \"per_group_ns\": {:.1}, \
+                 \"speedup\": {:.3}, \"worker_groups_max\": {}, \
+                 \"worker_groups_min\": {}, \"balance\": {:.4}, \
+                 \"thread_spawns\": {}, \"samples_drawn\": {}, \
+                 \"steady_allocs\": {}}}{comma}",
                 c.threads,
                 c.wall_ms,
+                c.per_group_ns,
                 c.speedup,
                 c.worker_groups_max,
                 c.worker_groups_min,
-                c.balance
+                c.balance,
+                c.thread_spawns,
+                c.samples_drawn,
+                c.steady_allocs
             );
         }
         let _ = writeln!(json, "      ]");

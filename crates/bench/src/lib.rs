@@ -125,7 +125,7 @@ pub fn run_streaming_with_checkpoint(
             &observer,
             &(),
             Some(plan),
-            resume.as_ref(),
+            resume,
         )
         .expect("RAIDSIM_CHECKPOINT file belongs to a different experiment run");
     stats

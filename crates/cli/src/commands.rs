@@ -209,7 +209,7 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
             &observer,
             &crate::signal::INTERRUPTED,
             plan,
-            resume_ckpt.as_ref(),
+            resume_ckpt,
         )?;
         interrupted = report.criterion == StopCriterion::Interrupted;
         if precision > 0.0 {

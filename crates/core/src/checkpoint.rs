@@ -328,11 +328,19 @@ impl SimCheckpoint {
     /// Serializes the full checkpoint file image (header, payload,
     /// checksum).
     pub fn to_bytes(&self) -> Vec<u8> {
+        Self::bytes_from_parts(self.fingerprint, &self.driver, &self.stats)
+    }
+
+    /// Serializes a checkpoint image from borrowed parts, without
+    /// requiring an assembled `SimCheckpoint` — the batch runner
+    /// checkpoints mid-run from its live accumulator, and this borrowed
+    /// form is what lets it do so without cloning the [`StreamStats`].
+    pub fn bytes_from_parts(fingerprint: u64, driver: &DriverState, stats: &StreamStats) -> Vec<u8> {
         let mut payload = Vec::new();
-        payload.extend_from_slice(&self.fingerprint.to_le_bytes());
-        self.driver.encode_into(&mut payload);
-        payload.extend_from_slice(&self.stats.groups().to_le_bytes());
-        self.stats.encode_into(&mut payload);
+        payload.extend_from_slice(&fingerprint.to_le_bytes());
+        driver.encode_into(&mut payload);
+        payload.extend_from_slice(&stats.groups().to_le_bytes());
+        stats.encode_into(&mut payload);
 
         let mut out = Vec::with_capacity(28 + payload.len());
         out.extend_from_slice(&MAGIC);
@@ -436,6 +444,22 @@ impl SimCheckpoint {
     /// [`CheckpointError::Io`] when the temp file cannot be created,
     /// written, synced, or renamed.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        Self::save_parts(path, self.fingerprint, &self.driver, &self.stats)
+    }
+
+    /// Atomically writes a checkpoint assembled from borrowed parts —
+    /// the clone-free counterpart of [`SimCheckpoint::save`], used by
+    /// the batch runner's periodic mid-run snapshots.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimCheckpoint::save`].
+    pub fn save_parts(
+        path: &Path,
+        fingerprint: u64,
+        driver: &DriverState,
+        stats: &StreamStats,
+    ) -> Result<(), CheckpointError> {
         let io_err = |p: &Path, e: std::io::Error| CheckpointError::Io {
             path: p.display().to_string(),
             reason: e.to_string(),
@@ -443,7 +467,7 @@ impl SimCheckpoint {
         let mut tmp = path.as_os_str().to_os_string();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        let bytes = self.to_bytes();
+        let bytes = Self::bytes_from_parts(fingerprint, driver, stats);
         let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
         file.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
         file.sync_all().map_err(|e| io_err(&tmp, e))?;

@@ -1,8 +1,9 @@
 use super::ddf::{self, SlotCondition};
-use super::Engine;
-use crate::config::{RaidGroupConfig, SparePolicy};
+use super::{Engine, EngineCounters, EngineSession};
+use crate::config::{RaidGroupConfig, Redundancy, SparePolicy};
 use crate::events::{DdfEvent, GroupHistory};
 use raidsim_dists::rng::SimRng;
+use raidsim_dists::SampleKernel;
 
 /// Tracks the on-site spare pool for [`SparePolicy::Finite`].
 ///
@@ -18,6 +19,8 @@ struct SparePool {
     /// keyed on `f64::to_bits`.
     available_at: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
     replenish_hours: f64,
+    /// Configured pool size, kept so [`Self::reset`] can refill.
+    pool_size: usize,
 }
 
 impl SparePool {
@@ -48,8 +51,19 @@ impl SparePool {
                     )
                     .collect(),
                     replenish_hours,
+                    pool_size: pool as usize,
                 })
             }
+        }
+    }
+
+    /// Returns the pool to its fresh state (every spare on hand at
+    /// t = 0) without releasing the heap's allocation, so a session can
+    /// reuse it across groups.
+    fn reset(&mut self) {
+        self.available_at.clear();
+        for _ in 0..self.pool_size {
+            self.available_at.push(std::cmp::Reverse(0.0f64.to_bits()));
         }
     }
 
@@ -123,37 +137,101 @@ struct Slot {
     clear_is_restore: bool,
 }
 
-impl Engine for DesEngine {
-    fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
-        let n = cfg.drives;
-        let mission = cfg.mission_hours;
-        let dists = &cfg.dists;
-        let ld_enabled = dists.ttld.is_some();
+/// Persistent per-worker session for [`DesEngine`].
+///
+/// Owns the sampling kernels lowered once from the configuration's
+/// distributions plus every piece of per-group scratch (slot vector,
+/// spare pool, output history), so the group loop performs no heap
+/// allocation in the steady state. The event-processing code below is
+/// the *only* implementation of the DES semantics — the stateless
+/// [`Engine::simulate_group`] entry point delegates here through a
+/// throwaway session, which makes session/one-shot bit-identity
+/// structural rather than merely tested.
+#[derive(Debug)]
+struct DesSession {
+    n: usize,
+    mission: f64,
+    redundancy: Redundancy,
+    defect_reset: bool,
+    ttop: SampleKernel,
+    ttr: SampleKernel,
+    ttld: Option<SampleKernel>,
+    ttscrub: Option<SampleKernel>,
+    slots: Vec<Slot>,
+    spares: Option<SparePool>,
+    history: GroupHistory,
+    /// High-water mark of `history.ddfs` capacity, for `scratch_grows`.
+    ddfs_cap: usize,
+    counters: EngineCounters,
+}
 
-        let mut history = GroupHistory::default();
-        let mut slots: Vec<Slot> = (0..n)
-            .map(|_| Slot {
+impl DesSession {
+    fn new(cfg: &RaidGroupConfig) -> Self {
+        let dists = &cfg.dists;
+        Self {
+            n: cfg.drives,
+            mission: cfg.mission_hours,
+            redundancy: cfg.redundancy,
+            defect_reset: cfg.defect_reset_on_replacement,
+            ttop: SampleKernel::lower(&dists.ttop),
+            ttr: SampleKernel::lower(&dists.ttr),
+            ttld: dists.ttld.as_ref().map(SampleKernel::lower),
+            ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
+            slots: Vec::with_capacity(cfg.drives),
+            spares: SparePool::new(cfg.spares),
+            history: GroupHistory::default(),
+            ddfs_cap: 0,
+            counters: EngineCounters::default(),
+        }
+    }
+}
+
+impl EngineSession for DesSession {
+    fn simulate_group(&mut self, rng: &mut SimRng) -> &GroupHistory {
+        let mission = self.mission;
+        let ld_enabled = self.ttld.is_some();
+
+        // Reset the scratch: clear-and-refill keeps every allocation.
+        self.history.ddfs.clear();
+        self.history.op_failures = 0;
+        self.history.latent_defects = 0;
+        self.history.scrubs_completed = 0;
+        self.history.restores_completed = 0;
+        self.history.downtime_hours = 0.0;
+        if let Some(pool) = self.spares.as_mut() {
+            pool.reset();
+        }
+        self.slots.clear();
+        for _ in 0..self.n {
+            // Sampling order per slot (ttop then ttld) matches the
+            // original collect-based construction bit for bit.
+            self.counters.samples_drawn += 1;
+            let next_op = self.ttop.sample(rng);
+            let next_ld = match &self.ttld {
+                Some(d) => {
+                    self.counters.samples_drawn += 1;
+                    d.sample(rng)
+                }
+                None => f64::INFINITY,
+            };
+            self.slots.push(Slot {
                 up: true,
-                next_op: dists.ttop.sample(rng),
+                next_op,
                 defective: false,
-                next_ld: match &dists.ttld {
-                    Some(d) => d.sample(rng),
-                    None => f64::INFINITY,
-                },
+                next_ld,
                 clear_is_restore: false,
-            })
-            .collect();
+            });
+        }
 
         // Rule 5: no DDF can be recorded before this time.
         let mut ddf_block_until = 0.0f64;
-        let mut spares = SparePool::new(cfg.spares);
 
         loop {
             // Find the earliest pending event.
             let mut t = f64::INFINITY;
             let mut idx = 0;
             let mut is_op = true;
-            for (i, s) in slots.iter().enumerate() {
+            for (i, s) in self.slots.iter().enumerate() {
                 if s.next_op < t {
                     t = s.next_op;
                     idx = i;
@@ -169,52 +247,54 @@ impl Engine for DesEngine {
                 break;
             }
             debug_assert!(t.is_finite(), "event time must be finite, got {t}");
+            self.counters.events += 1;
 
             if is_op {
-                if slots[idx].up {
+                if self.slots[idx].up {
                     // Operational failure. Reconstruction starts when a
                     // spare is on hand ("the delay time to physically
                     // incorporate the spare HDD", Section 4.2).
-                    history.op_failures += 1;
-                    let start = match spares.as_mut() {
+                    self.history.op_failures += 1;
+                    let start = match self.spares.as_mut() {
                         Some(pool) => pool.acquire(t),
                         None => t,
                     };
-                    let restore_at = start + dists.ttr.sample(rng);
+                    self.counters.samples_drawn += 1;
+                    let restore_at = start + self.ttr.sample(rng);
                     debug_assert!(
                         restore_at.is_finite(),
                         "restore time must be finite, got {restore_at}"
                     );
                     // Drive-hours down within the mission window.
-                    history.downtime_hours += restore_at.min(mission) - t;
+                    self.history.downtime_hours += restore_at.min(mission) - t;
 
                     // Evaluate the DDF rules against the rest of the
                     // group (rule 5: only outside the blocking window).
                     if t >= ddf_block_until {
-                        let others =
-                            slots
-                                .iter()
-                                .enumerate()
-                                .filter(|(j, _)| *j != idx)
-                                .map(|(_, s)| {
-                                    if !s.up {
-                                        SlotCondition::Down
-                                    } else if s.defective {
-                                        SlotCondition::Defective
-                                    } else {
-                                        SlotCondition::Clean
-                                    }
-                                });
-                        let verdict = ddf::check(others, cfg.redundancy);
+                        let others = self
+                            .slots
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| *j != idx)
+                            .map(|(_, s)| {
+                                if !s.up {
+                                    SlotCondition::Down
+                                } else if s.defective {
+                                    SlotCondition::Defective
+                                } else {
+                                    SlotCondition::Clean
+                                }
+                            });
+                        let verdict = ddf::check(others, self.redundancy);
                         if let Some(kind) = verdict.ddf {
-                            history.ddfs.push(DdfEvent { time: t, kind });
+                            self.history.ddfs.push(DdfEvent { time: t, kind });
                             ddf_block_until = restore_at;
                             // Defective participants are rebuilt along
                             // with the failed drive ("the TTR for the
                             // failure is the same as the concomitant
                             // operational failure time", Section 5):
                             // their defect clears at this restoration.
-                            for (j, s) in slots.iter_mut().enumerate() {
+                            for (j, s) in self.slots.iter_mut().enumerate() {
                                 if j != idx && s.up && s.defective {
                                     s.next_ld = restore_at;
                                     s.clear_is_restore = true;
@@ -226,40 +306,53 @@ impl Engine for DesEngine {
                     // The failed drive goes down. Its own defect (if
                     // any) dies with it; the drive counts as Down, not
                     // Defective, until restored (rule 6).
-                    let s = &mut slots[idx];
+                    let defect_reset = self.defect_reset;
+                    let s = &mut self.slots[idx];
                     s.up = false;
                     s.next_op = restore_at;
                     if s.defective {
                         s.defective = false;
                         // The pending scrub completion is moot.
-                        s.next_ld = if cfg.defect_reset_on_replacement {
+                        s.next_ld = if defect_reset {
                             f64::INFINITY // re-armed at restore below
                         } else {
-                            match &dists.ttld {
-                                Some(d) => restore_at + d.sample(rng),
+                            match &self.ttld {
+                                Some(d) => {
+                                    self.counters.samples_drawn += 1;
+                                    restore_at + d.sample(rng)
+                                }
                                 None => f64::INFINITY,
                             }
                         };
                         s.clear_is_restore = false;
-                    } else if cfg.defect_reset_on_replacement && ld_enabled {
+                    } else if defect_reset && ld_enabled {
                         // Freeze the pending defect-creation clock; a
                         // fresh drive gets a fresh clock at restore.
                         s.next_ld = f64::INFINITY;
                     }
                 } else {
                     // Restore completion: new drive, fresh clocks.
-                    history.restores_completed += 1;
-                    let s = &mut slots[idx];
+                    self.history.restores_completed += 1;
+                    self.counters.samples_drawn += 1;
+                    let next_op = t + self.ttop.sample(rng);
+                    let defect_reset = self.defect_reset;
+                    let s = &mut self.slots[idx];
                     s.up = true;
-                    s.next_op = t + dists.ttop.sample(rng);
-                    if cfg.defect_reset_on_replacement && ld_enabled {
+                    s.next_op = next_op;
+                    if defect_reset && ld_enabled {
                         s.defective = false;
-                        s.next_ld = t + dists.ttld.as_ref().expect("ld enabled").sample(rng);
+                        s.next_ld = match &self.ttld {
+                            Some(d) => {
+                                self.counters.samples_drawn += 1;
+                                t + d.sample(rng)
+                            }
+                            None => f64::INFINITY,
+                        };
                         s.clear_is_restore = false;
                     }
                 }
             } else {
-                let s = &mut slots[idx];
+                let s = &mut self.slots[idx];
                 if s.defective {
                     // Defect corrected (by scrub, or by a DDF-triggered
                     // restoration).
@@ -267,29 +360,54 @@ impl Engine for DesEngine {
                     if s.clear_is_restore {
                         s.clear_is_restore = false;
                     } else {
-                        history.scrubs_completed += 1;
+                        self.history.scrubs_completed += 1;
                     }
-                    s.next_ld = match &dists.ttld {
-                        Some(d) => t + d.sample(rng),
+                    s.next_ld = match &self.ttld {
+                        Some(d) => {
+                            self.counters.samples_drawn += 1;
+                            t + d.sample(rng)
+                        }
                         None => f64::INFINITY,
                     };
                 } else {
                     // Latent defect created.
-                    history.latent_defects += 1;
+                    self.history.latent_defects += 1;
                     s.defective = true;
-                    s.next_ld = match &dists.ttscrub {
-                        Some(d) => t + d.sample(rng),
+                    s.next_ld = match &self.ttscrub {
+                        Some(d) => {
+                            self.counters.samples_drawn += 1;
+                            t + d.sample(rng)
+                        }
                         None => f64::INFINITY, // never scrubbed
                     };
                 }
             }
         }
 
-        history
+        self.counters.groups += 1;
+        if self.history.ddfs.capacity() > self.ddfs_cap {
+            self.ddfs_cap = self.history.ddfs.capacity();
+            self.counters.scratch_grows += 1;
+        }
+        &self.history
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+}
+
+impl Engine for DesEngine {
+    fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
+        DesSession::new(cfg).simulate_group(rng).clone()
     }
 
     fn name(&self) -> &'static str {
         "discrete-event"
+    }
+
+    fn session<'a>(&'a self, cfg: &'a RaidGroupConfig) -> Box<dyn EngineSession + 'a> {
+        Box::new(DesSession::new(cfg))
     }
 }
 

@@ -59,4 +59,117 @@ pub trait Engine: std::fmt::Debug + Send + Sync {
 
     /// Human-readable engine name for reports.
     fn name(&self) -> &'static str;
+
+    /// Opens a sampling session for repeated group simulations against
+    /// one configuration.
+    ///
+    /// A session owns per-worker scratch (slot vectors, timeline
+    /// buffers, the output history) and the monomorphic sampling
+    /// kernels lowered from the configuration's distributions, so the
+    /// steady-state group loop allocates nothing. Sessions are **not**
+    /// `Send`: the batch runner creates one per worker thread and keeps
+    /// it alive for the whole run.
+    ///
+    /// The contract is bit-identity: for any RNG state,
+    /// `session.simulate_group(rng)` must return exactly the history
+    /// [`Engine::simulate_group`] would have produced from the same
+    /// state. The default implementation delegates to
+    /// [`Engine::simulate_group`] per call (correct for any engine,
+    /// but allocating — it reports one `loop_allocs` per group).
+    fn session<'a>(&'a self, cfg: &'a RaidGroupConfig) -> Box<dyn EngineSession + 'a> {
+        Box::new(OneShotSession {
+            simulate: move |rng: &mut SimRng| self.simulate_group(cfg, rng),
+            last: GroupHistory::default(),
+            counters: EngineCounters::default(),
+        })
+    }
+}
+
+/// A per-worker simulation session: scratch buffers plus lowered
+/// sampling kernels, reused across every group the worker simulates.
+///
+/// Obtained from [`Engine::session`]; see that method for the
+/// bit-identity contract.
+pub trait EngineSession: std::fmt::Debug {
+    /// Simulates one group and returns a reference to the session's
+    /// internal history buffer. The buffer is overwritten by the next
+    /// call — clone it to keep the history.
+    fn simulate_group(&mut self, rng: &mut SimRng) -> &GroupHistory;
+
+    /// Work counters accumulated since the session was opened.
+    fn counters(&self) -> EngineCounters;
+}
+
+/// Work counters accumulated by an [`EngineSession`].
+///
+/// All counts are exact and deterministic for a given `(config, group
+/// set)` — they do not depend on thread scheduling — **except**
+/// `scratch_grows`, which depends on the order a worker happens to see
+/// expensive groups (a worker that meets the worst group first grows
+/// once; one that warms up gradually grows several times).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Groups simulated.
+    pub groups: u64,
+    /// Distribution sampling calls issued by the engine (conditional
+    /// and unconditional alike; composite distributions count as one
+    /// call, and a [`raidsim_dists::Degenerate`] call counts even
+    /// though it consumes no RNG words).
+    pub samples_drawn: u64,
+    /// Simulation events processed: discrete events handled by the
+    /// event loop, or failure events swept by the timeline engine.
+    pub events: u64,
+    /// Fresh heap allocations performed per group by the steady-state
+    /// loop. Structurally zero for the scratch-reusing sessions; the
+    /// one-shot compatibility session reports one per group (its
+    /// freshly built history).
+    pub loop_allocs: u64,
+    /// Times a reusable scratch buffer had to grow its capacity (a
+    /// group needed more room than any previous group). Amortized to
+    /// zero as the session warms up; reported for diagnostics, not
+    /// asserted.
+    pub scratch_grows: u64,
+}
+
+impl EngineCounters {
+    /// Accumulates another session's counters into this one.
+    pub fn merge(&mut self, other: EngineCounters) {
+        self.groups += other.groups;
+        self.samples_drawn += other.samples_drawn;
+        self.events += other.events;
+        self.loop_allocs += other.loop_allocs;
+        self.scratch_grows += other.scratch_grows;
+    }
+}
+
+/// Compatibility session behind the default [`Engine::session`]: each
+/// call delegates to [`Engine::simulate_group`] and stores the result
+/// so a reference can be returned.
+struct OneShotSession<F> {
+    simulate: F,
+    last: GroupHistory,
+    counters: EngineCounters,
+}
+
+impl<F> std::fmt::Debug for OneShotSession<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneShotSession")
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(&mut SimRng) -> GroupHistory> EngineSession for OneShotSession<F> {
+    fn simulate_group(&mut self, rng: &mut SimRng) -> &GroupHistory {
+        self.last = (self.simulate)(rng);
+        self.counters.groups += 1;
+        // The freshly collected history is the allocation this
+        // compatibility path cannot avoid.
+        self.counters.loop_allocs += 1;
+        &self.last
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.counters
+    }
 }

@@ -1,9 +1,11 @@
 use super::ddf::{self, SlotCondition};
-use super::Engine;
-use crate::config::RaidGroupConfig;
+use super::{Engine, EngineCounters, EngineSession};
+use crate::config::{RaidGroupConfig, Redundancy};
 use crate::events::{DdfEvent, GroupHistory};
 use raidsim_dists::rng::SimRng;
-use raidsim_dists::LifeDistribution;
+use raidsim_dists::SampleKernel;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// The paper's Figure 5 sampling procedure.
 ///
@@ -45,10 +47,12 @@ struct DownSpan {
 }
 
 /// Lazily-advanced latent-defect renewal chain for one slot.
-#[derive(Debug)]
-struct LdChain<'a> {
-    ttld: Option<&'a dyn LifeDistribution>,
-    ttscrub: Option<&'a dyn LifeDistribution>,
+///
+/// Plain state only: the sampling kernels live on the session (one pair
+/// shared by all slots) and are passed into each advancing method, so a
+/// chain can sit in a reusable `Vec` without borrowing the session.
+#[derive(Debug, Clone, Copy)]
+struct LdChain {
     /// Start of the current defect, or `INFINITY` while clean.
     defect_at: f64,
     /// End of the current defect (scrub), or `INFINITY`.
@@ -59,39 +63,56 @@ struct LdChain<'a> {
     scrubbed: u64,
 }
 
-impl<'a> LdChain<'a> {
+/// Samples the scrub completion for a defect opening at `defect_at`.
+fn schedule_clear(
+    defect_at: f64,
+    ttscrub: Option<&SampleKernel>,
+    samples: &mut u64,
+    rng: &mut SimRng,
+) -> f64 {
+    match ttscrub {
+        Some(d) => {
+            *samples += 1;
+            defect_at + d.sample(rng)
+        }
+        None => f64::INFINITY,
+    }
+}
+
+impl LdChain {
     fn new(
-        ttld: Option<&'a dyn LifeDistribution>,
-        ttscrub: Option<&'a dyn LifeDistribution>,
+        ttld: Option<&SampleKernel>,
+        ttscrub: Option<&SampleKernel>,
+        samples: &mut u64,
         rng: &mut SimRng,
     ) -> Self {
         let mut chain = LdChain {
-            ttld,
-            ttscrub,
             defect_at: f64::INFINITY,
             clear_at: f64::INFINITY,
             created: 0,
             scrubbed: 0,
         };
-        if let Some(d) = chain.ttld {
+        if let Some(d) = ttld {
+            *samples += 1;
             chain.defect_at = d.sample(rng);
-            chain.clear_at = chain.schedule_clear(chain.defect_at, rng);
+            chain.clear_at = schedule_clear(chain.defect_at, ttscrub, samples, rng);
         }
         chain
-    }
-
-    fn schedule_clear(&self, defect_at: f64, rng: &mut SimRng) -> f64 {
-        match self.ttscrub {
-            Some(d) => defect_at + d.sample(rng),
-            None => f64::INFINITY,
-        }
     }
 
     /// Advances the chain so the current interval covers time `t`, then
     /// reports whether a defect is pending at `t`. Defect/scrub counts
     /// are accumulated (up to the mission bound) as intervals retire.
-    fn defective_at(&mut self, t: f64, mission: f64, rng: &mut SimRng) -> bool {
-        let Some(ttld) = self.ttld else {
+    fn defective_at(
+        &mut self,
+        t: f64,
+        mission: f64,
+        ttld: Option<&SampleKernel>,
+        ttscrub: Option<&SampleKernel>,
+        samples: &mut u64,
+        rng: &mut SimRng,
+    ) -> bool {
+        let Some(ttld) = ttld else {
             return false;
         };
         while self.clear_at <= t {
@@ -101,9 +122,10 @@ impl<'a> LdChain<'a> {
             if self.clear_at <= mission {
                 self.scrubbed += 1;
             }
+            *samples += 1;
             let next_defect = self.clear_at + ttld.sample(rng);
             self.defect_at = next_defect;
-            self.clear_at = self.schedule_clear(next_defect, rng);
+            self.clear_at = schedule_clear(next_defect, ttscrub, samples, rng);
         }
         self.defect_at <= t && t < self.clear_at
     }
@@ -114,22 +136,39 @@ impl<'a> LdChain<'a> {
     /// defects that already existed at the DDF instant are affected —
     /// write errors created *during* the reconstruction remain latent
     /// (Section 4.2). Not counted as a scrub.
-    fn clear_by_restore(&mut self, ddf_time: f64, restore: f64, mission: f64, rng: &mut SimRng) {
-        let Some(ttld) = self.ttld else { return };
+    fn clear_by_restore(
+        &mut self,
+        ddf_time: f64,
+        restore: f64,
+        mission: f64,
+        ttld: Option<&SampleKernel>,
+        ttscrub: Option<&SampleKernel>,
+        samples: &mut u64,
+        rng: &mut SimRng,
+    ) {
+        let Some(ttld) = ttld else { return };
         if self.defect_at <= ddf_time && restore < self.clear_at {
             if self.defect_at <= mission {
                 self.created += 1;
             }
+            *samples += 1;
             let next_defect = restore + ttld.sample(rng);
             self.defect_at = next_defect;
-            self.clear_at = self.schedule_clear(next_defect, rng);
+            self.clear_at = schedule_clear(next_defect, ttscrub, samples, rng);
         }
     }
 
     /// Counts the remaining defects/scrubs between the chain's current
     /// position and the mission end.
-    fn finalize_counts(&mut self, mission: f64, rng: &mut SimRng) {
-        let Some(ttld) = self.ttld else { return };
+    fn finalize_counts(
+        &mut self,
+        mission: f64,
+        ttld: Option<&SampleKernel>,
+        ttscrub: Option<&SampleKernel>,
+        samples: &mut u64,
+        rng: &mut SimRng,
+    ) {
+        let Some(ttld) = ttld else { return };
         while self.defect_at <= mission {
             self.created += 1;
             if self.clear_at <= mission {
@@ -137,32 +176,99 @@ impl<'a> LdChain<'a> {
             } else {
                 break;
             }
+            *samples += 1;
             let next_defect = self.clear_at + ttld.sample(rng);
             self.defect_at = next_defect;
-            self.clear_at = self.schedule_clear(next_defect, rng);
+            self.clear_at = schedule_clear(next_defect, ttscrub, samples, rng);
         }
     }
 }
 
-impl Engine for TimelineEngine {
-    fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
-        let n = cfg.drives;
-        let mission = cfg.mission_hours;
+/// Persistent per-worker session for [`TimelineEngine`].
+///
+/// Owns the lowered sampling kernels and every phase's scratch buffer
+/// (per-slot span vectors, the merged failure list, the k-way merge
+/// heap, latent-defect chains, the pairwise-condition buffer and the
+/// output history). All buffers are cleared-and-refilled per group, so
+/// the steady-state loop performs no heap allocation. As with the DES
+/// engine, this is the *only* implementation of the semantics — the
+/// stateless [`Engine::simulate_group`] delegates through a throwaway
+/// session.
+#[derive(Debug)]
+struct TimelineSession {
+    n: usize,
+    mission: f64,
+    redundancy: Redundancy,
+    ttop: SampleKernel,
+    ttr: SampleKernel,
+    ttld: Option<SampleKernel>,
+    ttscrub: Option<SampleKernel>,
+    timelines: Vec<Vec<DownSpan>>,
+    /// Merged `(fail, slot, restore)` events, time-ordered.
+    failures: Vec<(f64, usize, f64)>,
+    /// K-way merge frontier: `(fail bit pattern, slot, span index)`.
+    /// For the non-negative finite times the timelines hold, the `u64`
+    /// bit pattern orders identically to `f64::total_cmp`, and the
+    /// `(slot, span index)` tie-break reproduces exactly what a stable
+    /// sort of the slot-major concatenation produced — so replacing the
+    /// per-group `sort_by` (and its temporary buffer) with this reused
+    /// heap is bit-identical.
+    merge_heap: BinaryHeap<Reverse<(u64, usize, usize)>>,
+    chains: Vec<LdChain>,
+    conditions: Vec<SlotCondition>,
+    history: GroupHistory,
+    /// Capacity high-water marks, for `scratch_grows`.
+    ddfs_cap: usize,
+    failures_cap: usize,
+    spans_cap: usize,
+    counters: EngineCounters,
+}
+
+impl TimelineSession {
+    fn new(cfg: &RaidGroupConfig) -> Self {
         let dists = &cfg.dists;
+        let n = cfg.drives;
+        Self {
+            n,
+            mission: cfg.mission_hours,
+            redundancy: cfg.redundancy,
+            ttop: SampleKernel::lower(&dists.ttop),
+            ttr: SampleKernel::lower(&dists.ttr),
+            ttld: dists.ttld.as_ref().map(SampleKernel::lower),
+            ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
+            timelines: std::iter::repeat_with(Vec::new).take(n).collect(),
+            failures: Vec::new(),
+            merge_heap: BinaryHeap::with_capacity(n),
+            chains: Vec::with_capacity(n),
+            conditions: Vec::with_capacity(n.saturating_sub(1)),
+            history: GroupHistory::default(),
+            ddfs_cap: 0,
+            failures_cap: 0,
+            spans_cap: 0,
+            counters: EngineCounters::default(),
+        }
+    }
+}
+
+impl EngineSession for TimelineSession {
+    fn simulate_group(&mut self, rng: &mut SimRng) -> &GroupHistory {
+        let n = self.n;
+        let mission = self.mission;
 
         // Phase 1 — generate each slot's operational renewal timeline
         // ("The operating and failure times are accumulated until a
         // specified mission time is exceeded", Section 5).
-        let mut timelines: Vec<Vec<DownSpan>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let mut spans = Vec::new();
+        for spans in &mut self.timelines {
+            spans.clear();
             let mut t = 0.0f64;
             loop {
-                let fail = t + dists.ttop.sample(rng);
+                self.counters.samples_drawn += 1;
+                let fail = t + self.ttop.sample(rng);
                 if fail > mission {
                     break;
                 }
-                let restore = fail + dists.ttr.sample(rng);
+                self.counters.samples_drawn += 1;
+                let restore = fail + self.ttr.sample(rng);
                 debug_assert!(
                     fail.is_finite() && restore.is_finite(),
                     "timeline spans must be finite, got fail = {fail}, restore = {restore}"
@@ -170,84 +276,159 @@ impl Engine for TimelineEngine {
                 spans.push(DownSpan { fail, restore });
                 t = restore;
             }
-            timelines.push(spans);
         }
 
-        // Phase 2 — merge failure events in time order.
-        let mut failures: Vec<(f64, usize, f64)> = timelines
-            .iter()
-            .enumerate()
-            .flat_map(|(slot, spans)| spans.iter().map(move |s| (s.fail, slot, s.restore)))
-            .collect();
-        failures.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Phase 2 — merge failure events in time order: a stable k-way
+        // merge over the (already time-ordered) per-slot span lists.
+        self.failures.clear();
+        self.merge_heap.clear();
+        for (slot, spans) in self.timelines.iter().enumerate() {
+            if let Some(s) = spans.first() {
+                debug_assert!(
+                    s.fail.to_bits() >> 63 == 0,
+                    "failure times must be non-negative for bit-pattern ordering"
+                );
+                self.merge_heap.push(Reverse((s.fail.to_bits(), slot, 0)));
+            }
+        }
+        while let Some(Reverse((_, slot, i))) = self.merge_heap.pop() {
+            let s = self.timelines[slot][i];
+            self.failures.push((s.fail, slot, s.restore));
+            if let Some(next) = self.timelines[slot].get(i + 1) {
+                debug_assert!(
+                    next.fail.to_bits() >> 63 == 0,
+                    "failure times must be non-negative for bit-pattern ordering"
+                );
+                self.merge_heap
+                    .push(Reverse((next.fail.to_bits(), slot, i + 1)));
+            }
+        }
 
         // Phase 3 — lazily-advanced latent-defect chains.
-        let ttld = dists.ttld.as_deref();
-        let ttscrub = dists.ttscrub.as_deref();
-        let mut chains: Vec<LdChain<'_>> =
-            (0..n).map(|_| LdChain::new(ttld, ttscrub, rng)).collect();
+        self.chains.clear();
+        for _ in 0..n {
+            self.chains.push(LdChain::new(
+                self.ttld.as_ref(),
+                self.ttscrub.as_ref(),
+                &mut self.counters.samples_drawn,
+                rng,
+            ));
+        }
 
         // Phase 4 — the pairwise comparisons of Figure 5.
-        let mut history = GroupHistory {
-            op_failures: failures.len() as u64,
-            restores_completed: timelines
-                .iter()
-                .flatten()
-                .filter(|s| s.restore <= mission)
-                .count() as u64,
-            downtime_hours: timelines
-                .iter()
-                .flatten()
-                .map(|s| s.restore.min(mission) - s.fail)
-                .sum(),
-            ..GroupHistory::default()
-        };
+        self.history.ddfs.clear();
+        self.history.op_failures = self.failures.len() as u64;
+        self.history.latent_defects = 0;
+        self.history.scrubs_completed = 0;
+        self.history.restores_completed = self
+            .timelines
+            .iter()
+            .flatten()
+            .filter(|s| s.restore <= mission)
+            .count() as u64;
+        self.history.downtime_hours = self
+            .timelines
+            .iter()
+            .flatten()
+            .map(|s| s.restore.min(mission) - s.fail)
+            .sum();
 
         let mut ddf_block_until = 0.0f64;
-        for &(t, slot, restore) in &failures {
+        for fi in 0..self.failures.len() {
+            let (t, slot, restore) = self.failures[fi];
+            self.counters.events += 1;
             if t < ddf_block_until {
                 continue;
             }
-            let mut conditions = Vec::with_capacity(n - 1);
+            self.conditions.clear();
             for j in 0..n {
                 if j == slot {
                     continue;
                 }
                 // Down if any of j's spans covers t.
-                let down = timelines[j].iter().any(|s| s.fail < t && t < s.restore);
+                let down = self.timelines[j].iter().any(|s| s.fail < t && t < s.restore);
                 let cond = if down {
                     SlotCondition::Down
-                } else if chains[j].defective_at(t, mission, rng) {
+                } else if self.chains[j].defective_at(
+                    t,
+                    mission,
+                    self.ttld.as_ref(),
+                    self.ttscrub.as_ref(),
+                    &mut self.counters.samples_drawn,
+                    rng,
+                ) {
                     SlotCondition::Defective
                 } else {
                     SlotCondition::Clean
                 };
-                conditions.push(cond);
+                self.conditions.push(cond);
             }
-            let verdict = ddf::check(conditions, cfg.redundancy);
+            let verdict = ddf::check(self.conditions.iter().copied(), self.redundancy);
             if let Some(kind) = verdict.ddf {
-                history.ddfs.push(DdfEvent { time: t, kind });
+                self.history.ddfs.push(DdfEvent { time: t, kind });
                 ddf_block_until = restore;
-                for (j, chain) in chains.iter_mut().enumerate() {
+                for (j, chain) in self.chains.iter_mut().enumerate() {
                     if j != slot {
-                        chain.clear_by_restore(t, restore, mission, rng);
+                        chain.clear_by_restore(
+                            t,
+                            restore,
+                            mission,
+                            self.ttld.as_ref(),
+                            self.ttscrub.as_ref(),
+                            &mut self.counters.samples_drawn,
+                            rng,
+                        );
                     }
                 }
             }
         }
 
         // Phase 5 — finalize per-slot defect statistics.
-        for chain in &mut chains {
-            chain.finalize_counts(mission, rng);
-            history.latent_defects += chain.created;
-            history.scrubs_completed += chain.scrubbed;
+        for chain in &mut self.chains {
+            chain.finalize_counts(
+                mission,
+                self.ttld.as_ref(),
+                self.ttscrub.as_ref(),
+                &mut self.counters.samples_drawn,
+                rng,
+            );
+            self.history.latent_defects += chain.created;
+            self.history.scrubs_completed += chain.scrubbed;
         }
 
-        history
+        self.counters.groups += 1;
+        if self.history.ddfs.capacity() > self.ddfs_cap {
+            self.ddfs_cap = self.history.ddfs.capacity();
+            self.counters.scratch_grows += 1;
+        }
+        if self.failures.capacity() > self.failures_cap {
+            self.failures_cap = self.failures.capacity();
+            self.counters.scratch_grows += 1;
+        }
+        let spans_cap = self.timelines.iter().map(Vec::capacity).max().unwrap_or(0);
+        if spans_cap > self.spans_cap {
+            self.spans_cap = spans_cap;
+            self.counters.scratch_grows += 1;
+        }
+        &self.history
+    }
+
+    fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+}
+
+impl Engine for TimelineEngine {
+    fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
+        TimelineSession::new(cfg).simulate_group(rng).clone()
     }
 
     fn name(&self) -> &'static str {
         "pairwise-timeline"
+    }
+
+    fn session<'a>(&'a self, cfg: &'a RaidGroupConfig) -> Box<dyn EngineSession + 'a> {
+        Box::new(TimelineSession::new(cfg))
     }
 }
 
@@ -332,6 +513,23 @@ mod tests {
         let ha = TimelineEngine::new().simulate_group(&cfg, &mut a);
         let hb = TimelineEngine::new().simulate_group(&cfg, &mut b);
         assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn session_reuse_is_bit_identical_to_one_shot() {
+        // A session reused across many groups must reproduce the
+        // per-call path exactly — scratch reuse and the merge-heap
+        // rewrite of phase 2 must not change a single bit.
+        let cfg = RaidGroupConfig::paper_base_case().unwrap();
+        let engine = TimelineEngine::new();
+        let mut session = engine.session(&cfg);
+        for i in 0..64 {
+            let mut a = stream(11, i);
+            let mut b = stream(11, i);
+            let fresh = engine.simulate_group(&cfg, &mut a);
+            let reused = session.simulate_group(&mut b);
+            assert_eq!(&fresh, reused, "group {i} diverged");
+        }
     }
 
     #[test]

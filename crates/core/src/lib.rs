@@ -72,6 +72,8 @@ pub mod mttdl;
 pub mod run;
 pub mod stats;
 
+mod pool;
+
 mod error;
 
 pub use error::CoreError;

@@ -1,0 +1,418 @@
+//! Persistent worker pool behind the parallel batch runner.
+//!
+//! One pool is created per run — not per driver batch. Workers are
+//! spawned once, each opens one [`crate::engine::EngineSession`] whose
+//! scratch buffers and lowered sampling kernels live for the whole run,
+//! and driver batches are dispatched to the pool as *epochs* over a
+//! condition variable. The per-batch `thread::scope` spawn/join cycles
+//! of the previous runner are replaced by an epoch handshake:
+//!
+//! 1. the coordinator publishes a job (a claim cursor over `[lo, hi)`
+//!    plus the accumulation mode), bumps the epoch, and wakes every
+//!    worker;
+//! 2. workers drain the cursor, merge their local partials into the
+//!    epoch accumulator, and check out;
+//! 3. the coordinator sleeps until the last worker has checked out.
+//!
+//! The checkout of the last worker is the quiesce point: every index in
+//! `[lo, hi)` has completed, so the finished set is still an exact
+//! prefix of the group-index space at every batch boundary — the same
+//! invariant the join barrier used to provide, which is what checkpoint
+//! resume depends on (see [`crate::checkpoint`]).
+//!
+//! Determinism is unchanged from the scoped runner: which worker
+//! simulates a group cannot affect its history (per-group RNG streams),
+//! [`StreamStats`] partials are exact-integer state that merges
+//! bit-identically in any order, and collected histories are
+//! reassembled in group-index order by the coordinator.
+//!
+//! Failure handling: a worker panic marks the pool and wakes both
+//! condition variables, so the coordinator re-raises at the current (or
+//! next) quiesce point instead of deadlocking; lock poisoning is
+//! deliberately ignored (`PoisonError::into_inner`) because every
+//! critical section leaves the shared state consistent on its own.
+
+use crate::config::RaidGroupConfig;
+use crate::engine::{Engine, EngineCounters};
+use crate::events::GroupHistory;
+use crate::run::{BatchCursor, BatchRunner, Progress, StreamObserver, PROGRESS_STRIDE};
+use crate::stats::{SchedulerStats, StreamStats};
+use raidsim_dists::rng::stream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Everything a pool worker needs, borrowed from the driving run.
+pub(crate) struct PoolCtx<'a> {
+    /// Engine shared by all workers (each opens its own session).
+    pub engine: &'a dyn Engine,
+    /// Configuration being simulated.
+    pub cfg: &'a RaidGroupConfig,
+    /// Base seed; group `i` uses RNG stream `i`.
+    pub seed: u64,
+    /// Worker count (callers route `threads == 1` around the pool).
+    pub threads: usize,
+    /// Configured claim-batch size, clamped per epoch by
+    /// [`effective_claim`].
+    pub claim_batch: u64,
+    /// Progress sink; called from worker threads.
+    pub observer: &'a dyn StreamObserver,
+    /// Global completed-group counter (absolute, survives across
+    /// epochs; resumed runs start it at the checkpointed prefix).
+    pub done: &'a AtomicU64,
+    /// Target group count reported in progress callbacks.
+    pub target: u64,
+}
+
+/// Clamps the configured claim-batch size so a single epoch is never
+/// starved: with `eff = min(configured, max(1, count / (4·threads)))`
+/// the epoch yields `ceil(count / eff)` batches, which is at least
+/// `min(threads, count)` — whenever there are at least as many groups
+/// as workers, every worker can claim work. (If `count ≥ 4·threads`,
+/// `eff·4·threads ≤ count`, so there are at least `4·threads` batches;
+/// otherwise `eff == 1` and there are `count` batches.) The factor of
+/// four keeps a tail of small batches available to re-balance workers
+/// stuck on expensive groups.
+pub(crate) fn effective_claim(configured: u64, count: u64, threads: u64) -> u64 {
+    debug_assert!(configured > 0 && threads > 0);
+    configured.min((count / (threads * 4)).max(1))
+}
+
+/// One dispatched driver batch.
+#[derive(Clone)]
+struct Job {
+    cursor: Arc<BatchCursor>,
+    /// `true`: collect per-batch histories; `false`: stream into the
+    /// epoch's [`StreamStats`] accumulator.
+    collect: bool,
+}
+
+/// Mutex-guarded pool state. `epoch` strictly increases; a worker runs
+/// a job exactly once per epoch (it tracks the last epoch it served).
+struct State {
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers still draining the current epoch.
+    active: usize,
+    /// Stream-mode epoch accumulator (`None` in collect mode).
+    stream_acc: Option<StreamStats>,
+    /// Collect-mode epoch accumulator: `(start_index, histories)` per
+    /// claimed batch, in arbitrary completion order.
+    collect_acc: Vec<(u64, Vec<GroupHistory>)>,
+    shutdown: bool,
+    panicked: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for the next epoch (or shutdown).
+    work: Condvar,
+    /// The coordinator waits here for the epoch to quiesce.
+    quiesced: Condvar,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Requests worker shutdown when dropped, so the enclosing
+/// `thread::scope` can join even if the driver body unwinds.
+struct ShutdownOnDrop<'a>(&'a Shared);
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        let mut st = lock(self.0);
+        st.shutdown = true;
+        self.0.work.notify_all();
+    }
+}
+
+/// Converts a worker panic into a pool-wide wakeup: the coordinator
+/// observes `panicked` at its quiesce wait and re-raises, and sibling
+/// workers observe `shutdown` and exit. Disarmed on normal return.
+struct PanicGuard<'a> {
+    shared: &'a Shared,
+    armed: bool,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut st = lock(self.shared);
+        st.panicked = true;
+        st.shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.quiesced.notify_all();
+    }
+}
+
+/// Dispatches driver batches to the worker pool; implements
+/// [`BatchRunner`] for the drivers in [`crate::run`].
+pub(crate) struct PoolRunner<'env, 'p> {
+    ctx: &'p PoolCtx<'env>,
+    shared: &'p Shared,
+}
+
+impl PoolRunner<'_, '_> {
+    /// Publishes `[lo, hi)` as the next epoch, wakes the workers, and
+    /// blocks until the epoch quiesces. Returns the state guard so the
+    /// caller can take the epoch's accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a coordinator panic) when any worker panicked.
+    fn run_epoch(&mut self, lo: usize, hi: usize, collect: bool) -> MutexGuard<'_, State> {
+        debug_assert!(lo <= hi);
+        let count = (hi - lo) as u64;
+        let claim = effective_claim(self.ctx.claim_batch, count, self.ctx.threads as u64);
+        let cursor = Arc::new(BatchCursor::new(lo, hi, claim));
+        let mut st = lock(self.shared);
+        debug_assert_eq!(st.active, 0, "previous epoch fully quiesced");
+        st.epoch += 1;
+        st.job = Some(Job { cursor, collect });
+        st.active = self.ctx.threads;
+        st.stream_acc = (!collect).then(|| StreamStats::new(self.ctx.cfg.mission_hours));
+        st.collect_acc.clear();
+        self.shared.work.notify_all();
+        while st.active > 0 && !st.panicked {
+            st = self
+                .shared
+                .quiesced
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.job = None;
+        if st.panicked {
+            drop(st);
+            panic!("simulation worker panicked");
+        }
+        st
+    }
+}
+
+impl BatchRunner for PoolRunner<'_, '_> {
+    fn stream_batch(&mut self, lo: usize, hi: usize) -> StreamStats {
+        let mut st = self.run_epoch(lo, hi, false);
+        st.stream_acc
+            .take()
+            .expect("stream epochs publish an accumulator")
+    }
+
+    fn collect_batch(&mut self, lo: usize, hi: usize) -> Vec<GroupHistory> {
+        let mut st = self.run_epoch(lo, hi, true);
+        let mut parts = std::mem::take(&mut st.collect_acc);
+        drop(st);
+        // Claim starts are unique within the epoch, so sorting by start
+        // (an integer index — no float ordering involved) and
+        // concatenating restores exact group-index order no matter
+        // which worker produced which batch.
+        parts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut histories = Vec::with_capacity(hi - lo);
+        for (_, mut batch) in parts {
+            histories.append(&mut batch);
+        }
+        histories
+    }
+}
+
+/// Counts a completed group against the global counter and reports a
+/// progress stride if this worker crossed into a new bucket (the same
+/// per-worker monotone stride accounting the scoped runner used).
+fn note_group(ctx: &PoolCtx<'_>, last_bucket: &mut u64) {
+    let completed = ctx.done.fetch_add(1, Ordering::Relaxed) + 1;
+    let bucket = completed / PROGRESS_STRIDE;
+    if bucket > *last_bucket {
+        *last_bucket = bucket;
+        ctx.observer.on_progress(Progress {
+            groups_done: completed,
+            groups_target: ctx.target,
+        });
+    }
+}
+
+/// Body of one pool worker: open a session once, then serve epochs
+/// until shutdown. Returns the worker's lifetime group count and its
+/// session's work counters.
+fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
+    let mut session = ctx.engine.session(ctx.cfg);
+    let mut groups_done = 0u64;
+    // Stride accounting starts at the current global bucket so a
+    // resumed run does not re-report strides its checkpointed prefix
+    // already covered.
+    let mut last_bucket = ctx.done.load(Ordering::Relaxed) / PROGRESS_STRIDE;
+    let mut seen_epoch = 0u64;
+    let mut guard = PanicGuard {
+        shared,
+        armed: true,
+    };
+    'serve: loop {
+        let job = {
+            let mut st = lock(shared);
+            loop {
+                if st.shutdown {
+                    break 'serve;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.clone().expect("a published epoch carries a job");
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if job.collect {
+            let mut local: Vec<(u64, Vec<GroupHistory>)> = Vec::new();
+            while let Some(range) = job.cursor.claim() {
+                let start = range.start as u64;
+                let mut batch = Vec::with_capacity(range.len());
+                for i in range {
+                    let mut rng = stream(ctx.seed, i as u64);
+                    batch.push(session.simulate_group(&mut rng).clone());
+                    groups_done += 1;
+                    note_group(ctx, &mut last_bucket);
+                }
+                local.push((start, batch));
+            }
+            let mut st = lock(shared);
+            st.collect_acc.append(&mut local);
+            check_out(shared, st);
+        } else {
+            let mut stats = StreamStats::new(ctx.cfg.mission_hours);
+            while let Some(range) = job.cursor.claim() {
+                for i in range {
+                    let mut rng = stream(ctx.seed, i as u64);
+                    stats.push(session.simulate_group(&mut rng));
+                    groups_done += 1;
+                    note_group(ctx, &mut last_bucket);
+                }
+            }
+            let mut st = lock(shared);
+            st.stream_acc
+                .as_mut()
+                .expect("stream epochs publish an accumulator")
+                .merge(stats);
+            check_out(shared, st);
+        }
+    }
+    guard.armed = false;
+    (groups_done, session.counters())
+}
+
+/// Marks this worker done with the current epoch; the last one out
+/// wakes the coordinator.
+fn check_out(shared: &Shared, mut st: MutexGuard<'_, State>) {
+    st.active -= 1;
+    if st.active == 0 {
+        shared.quiesced.notify_all();
+    }
+}
+
+/// Spawns the pool, runs `body` against a [`PoolRunner`], shuts the
+/// workers down, and reports per-worker scheduling statistics.
+///
+/// # Panics
+///
+/// Propagates worker panics (after all threads have been joined, so no
+/// worker outlives the borrowed context).
+pub(crate) fn run_with_pool<R>(
+    ctx: PoolCtx<'_>,
+    body: impl FnOnce(&mut dyn BatchRunner) -> R,
+) -> (R, SchedulerStats) {
+    debug_assert!(ctx.threads > 1, "serial runs bypass the pool");
+    let shared = Shared {
+        state: Mutex::new(State {
+            epoch: 0,
+            job: None,
+            active: 0,
+            stream_acc: None,
+            collect_acc: Vec::new(),
+            shutdown: false,
+            panicked: false,
+        }),
+        work: Condvar::new(),
+        quiesced: Condvar::new(),
+    };
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ctx.threads);
+        for _ in 0..ctx.threads {
+            let ctx = &ctx;
+            let shared = &shared;
+            handles.push(scope.spawn(move || worker_loop(ctx, shared)));
+        }
+        let result = {
+            // Shut the workers down even when `body` unwinds, so the
+            // scope's implicit joins cannot deadlock.
+            let _shutdown = ShutdownOnDrop(&shared);
+            let mut runner = PoolRunner {
+                ctx: &ctx,
+                shared: &shared,
+            };
+            body(&mut runner)
+        };
+        let mut worker_groups = Vec::with_capacity(ctx.threads);
+        let mut counters = EngineCounters::default();
+        for h in handles {
+            let (groups, c) = h.join().expect("simulation worker panicked");
+            worker_groups.push(groups);
+            counters.merge(c);
+        }
+        let sched = SchedulerStats {
+            worker_groups,
+            thread_spawns: ctx.threads as u64,
+            counters,
+        };
+        (result, sched)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::effective_claim;
+
+    #[test]
+    fn effective_claim_is_clamped_and_positive() {
+        // Small ranges fall back to single-group batches.
+        assert_eq!(effective_claim(64, 0, 4), 1);
+        assert_eq!(effective_claim(64, 10, 4), 1);
+        // Large ranges keep the configured size.
+        assert_eq!(effective_claim(64, 1_000_000, 4), 64);
+        // In between: the clamp, not the configured value.
+        assert_eq!(effective_claim(64, 100, 4), 6);
+        // A configured claim of one is never inflated.
+        assert_eq!(effective_claim(1, 1_000_000, 4), 1);
+    }
+
+    #[test]
+    fn every_worker_can_claim_a_batch_when_groups_cover_threads() {
+        // Starvation fix: whenever `count >= threads`, the epoch must
+        // yield at least `threads` batches so no worker sits idle on
+        // an already-drained cursor while whole batches remain.
+        for threads in 1..=16u64 {
+            for count in [
+                threads,
+                threads + 1,
+                2 * threads,
+                4 * threads,
+                4 * threads + 3,
+                100,
+                1_000,
+                65_536,
+            ] {
+                if count < threads {
+                    continue;
+                }
+                for configured in [1, 2, 7, 64, 1_000, u64::MAX / 2] {
+                    let eff = effective_claim(configured, count, threads);
+                    assert!(eff > 0);
+                    assert!(eff <= configured);
+                    let batches = count.div_ceil(eff);
+                    assert!(
+                        batches >= threads.min(count),
+                        "configured={configured} count={count} threads={threads} \
+                         eff={eff} batches={batches}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -27,17 +27,29 @@
 //! * the stored path tags each claimed batch with its start index and
 //!   reassembles the histories in group-index order before returning.
 //!
+//! # Worker lifecycle
+//!
+//! Parallel runs use one persistent worker pool per run (see
+//! `crate::pool`): workers are spawned once, each opens one
+//! [`crate::engine::EngineSession`] — reusable scratch plus sampling
+//! kernels lowered once from the configuration — and driver batches
+//! are dispatched to the pool as epochs. Serial runs (`threads == 1`)
+//! use one session on the calling thread and spawn nothing.
+//!
 //! Checkpoint compatibility is preserved because claiming happens
 //! *within* a driver batch: `run_batch(lo, hi)` returns only once every
-//! index in `[lo, hi)` has completed (the worker joins are a barrier),
-//! so at every batch boundary the completed set is still an exact
+//! index in `[lo, hi)` has completed (the pool's epoch handshake — the
+//! coordinator sleeps until the last worker checks out of the epoch —
+//! is a quiesce point, exactly as the per-batch worker joins used to
+//! be), so at every batch boundary the completed set is still an exact
 //! prefix `[0, watermark)` of the index space — precisely the state a
 //! checkpoint can resume bit-identically (see [`crate::checkpoint`]).
 
 use crate::checkpoint::{config_fingerprint, CheckpointError, DriverState, SimCheckpoint};
 use crate::config::RaidGroupConfig;
-use crate::engine::{DesEngine, Engine};
+use crate::engine::{DesEngine, Engine, EngineSession};
 use crate::events::{DdfKind, GroupHistory};
+use crate::pool::{self, PoolCtx};
 use crate::stats::{SchedulerStats, StreamStats};
 use raidsim_dists::rng::stream;
 use serde::{Deserialize, Serialize};
@@ -175,14 +187,14 @@ pub const DEFAULT_CLAIM_BATCH: u64 = 64;
 /// Shared claim cursor for the dynamic scheduler: workers atomically
 /// claim `claim`-sized batches of group indices from `[next, hi)` until
 /// the range is exhausted.
-struct BatchCursor {
+pub(crate) struct BatchCursor {
     next: AtomicU64,
     hi: u64,
     claim: u64,
 }
 
 impl BatchCursor {
-    fn new(lo: usize, hi: usize, claim: u64) -> Self {
+    pub(crate) fn new(lo: usize, hi: usize, claim: u64) -> Self {
         debug_assert!(claim > 0, "claim batch must be positive");
         Self {
             next: AtomicU64::new(lo as u64),
@@ -200,13 +212,77 @@ impl BatchCursor {
     /// a synchronization point. Workers stop at the first `None`, so
     /// the cursor overshoots `hi` by at most `claim × workers`: far
     /// from `u64::MAX` for any reachable input.
-    fn claim(&self) -> Option<std::ops::Range<usize>> {
+    pub(crate) fn claim(&self) -> Option<std::ops::Range<usize>> {
         let start = self.next.fetch_add(self.claim, Ordering::Relaxed);
         if start >= self.hi {
             return None;
         }
         let end = (start + self.claim).min(self.hi);
         Some(start as usize..end as usize)
+    }
+}
+
+/// A source of simulated batches for the drivers: either the serial
+/// in-thread runner or the persistent worker pool. Each call covers the
+/// half-open range `[lo, hi)` exactly once; calls must not overlap.
+pub(crate) trait BatchRunner {
+    /// Streams `[lo, hi)` into a fresh [`StreamStats`] aggregate.
+    fn stream_batch(&mut self, lo: usize, hi: usize) -> StreamStats;
+
+    /// Simulates `[lo, hi)` and returns the histories in group-index
+    /// order.
+    fn collect_batch(&mut self, lo: usize, hi: usize) -> Vec<GroupHistory>;
+}
+
+/// `threads == 1` runner: one engine session on the calling thread,
+/// persistent for the whole run, zero spawned threads.
+struct SerialRunner<'a> {
+    session: Box<dyn EngineSession + 'a>,
+    mission_hours: f64,
+    seed: u64,
+    observer: &'a dyn StreamObserver,
+    done: &'a AtomicU64,
+    target: u64,
+    last_bucket: u64,
+    groups_done: u64,
+}
+
+impl SerialRunner<'_> {
+    /// Same per-worker stride accounting as the pool workers (see the
+    /// module-level progress notes).
+    fn note_group(&mut self) {
+        self.groups_done += 1;
+        let completed = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let bucket = completed / PROGRESS_STRIDE;
+        if bucket > self.last_bucket {
+            self.last_bucket = bucket;
+            self.observer.on_progress(Progress {
+                groups_done: completed,
+                groups_target: self.target,
+            });
+        }
+    }
+}
+
+impl BatchRunner for SerialRunner<'_> {
+    fn stream_batch(&mut self, lo: usize, hi: usize) -> StreamStats {
+        let mut stats = StreamStats::new(self.mission_hours);
+        for i in lo..hi {
+            let mut rng = stream(self.seed, i as u64);
+            stats.push(self.session.simulate_group(&mut rng));
+            self.note_group();
+        }
+        stats
+    }
+
+    fn collect_batch(&mut self, lo: usize, hi: usize) -> Vec<GroupHistory> {
+        let mut histories = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let mut rng = stream(self.seed, i as u64);
+            histories.push(self.session.simulate_group(&mut rng).clone());
+            self.note_group();
+        }
+        histories
     }
 }
 
@@ -289,10 +365,11 @@ impl Simulator {
     /// Group `i` uses RNG stream `i` of `seed`, so the result is a
     /// deterministic function of `(config, groups, seed)`.
     pub fn run(&self, groups: usize, seed: u64) -> SimulationResult {
+        let mut session = self.engine.session(&self.cfg);
         let histories = (0..groups)
             .map(|i| {
                 let mut rng = stream(seed, i as u64);
-                self.engine.simulate_group(&self.cfg, &mut rng)
+                session.simulate_group(&mut rng).clone()
             })
             .collect();
         SimulationResult {
@@ -364,96 +441,79 @@ impl Simulator {
         observer: &dyn StreamObserver,
     ) -> (StreamStats, SchedulerStats) {
         let done = AtomicU64::new(0);
-        let (stats, worker_groups) =
-            self.stream_range(0, groups, seed, threads, observer, &done, groups as u64);
+        let (stats, sched) = self.with_runner(seed, threads, observer, &done, groups as u64, |r| {
+            r.stream_batch(0, groups)
+        });
         observer.on_progress(Progress {
             groups_done: groups as u64,
             groups_target: groups as u64,
         });
-        (stats, SchedulerStats { worker_groups })
+        (stats, sched)
     }
 
-    /// Streams the half-open group-index range `[lo, hi)` into a
-    /// [`StreamStats`], using the per-index RNG streams of `seed`.
-    /// Workers claim index batches dynamically and accumulate locally;
-    /// every accumulator field is exact, so the merged result is
-    /// independent of the partitioning. Also returns the per-worker
-    /// completed-group counts (one entry per spawned worker; a single
-    /// entry on the serial path).
+    /// Runs `body` against this run's [`BatchRunner`] — a persistent
+    /// serial session when `threads == 1`, the worker pool otherwise —
+    /// and reports the run's scheduler statistics.
     ///
-    /// Progress: each worker keeps its own last-reported stride bucket
-    /// (`completed / PROGRESS_STRIDE`) and reports whenever the global
-    /// counter has crossed into a new bucket since that worker last
-    /// reported — per-worker monotone by construction, and no stride is
-    /// starved when workers interleave their `fetch_add`s. Terminal
-    /// sub-stride remainders are covered by the guaranteed final
-    /// callback every driver issues.
-    #[allow(clippy::too_many_arguments)]
-    fn stream_range(
+    /// Every public entry point funnels through here, so a run spawns
+    /// its workers exactly once no matter how many driver batches it
+    /// dispatches. Statistics are bit-identical across runner choices:
+    /// per-group RNG streams are a pure function of `(seed, index)`,
+    /// stream partials are exact-integer state, and collected batches
+    /// are reassembled in group-index order.
+    ///
+    /// Progress: each worker (and the serial runner) keeps its own
+    /// last-reported stride bucket (`completed / PROGRESS_STRIDE`) and
+    /// reports whenever the global counter has crossed into a new
+    /// bucket since it last reported — per-worker monotone by
+    /// construction. Terminal sub-stride remainders are covered by the
+    /// guaranteed final callback every driver issues.
+    fn with_runner<R>(
         &self,
-        lo: usize,
-        hi: usize,
         seed: u64,
         threads: usize,
         observer: &dyn StreamObserver,
         done: &AtomicU64,
         target: u64,
-    ) -> (StreamStats, Vec<u64>) {
+        body: impl FnOnce(&mut dyn BatchRunner) -> R,
+    ) -> (R, SchedulerStats) {
         assert!(threads > 0, "need at least one thread");
-        let count = hi - lo;
-        let simulate_into =
-            |range: std::ops::Range<usize>, stats: &mut StreamStats, last_bucket: &mut u64| {
-                for i in range {
-                    let mut rng = stream(seed, i as u64);
-                    stats.push(&self.engine.simulate_group(&self.cfg, &mut rng));
-                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let bucket = completed / PROGRESS_STRIDE;
-                    if bucket > *last_bucket {
-                        *last_bucket = bucket;
-                        observer.on_progress(Progress {
-                            groups_done: completed,
-                            groups_target: target,
-                        });
-                    }
-                }
+        if threads == 1 {
+            let mut runner = SerialRunner {
+                session: self.engine.session(&self.cfg),
+                mission_hours: self.cfg.mission_hours,
+                seed,
+                observer,
+                done,
+                target,
+                // Stride accounting starts at the current global bucket
+                // so a resumed run does not re-report strides the
+                // checkpointed prefix already covered.
+                last_bucket: done.load(Ordering::Relaxed) / PROGRESS_STRIDE,
+                groups_done: 0,
             };
-        // Workers start their stride accounting at the current global
-        // bucket so a resumed run does not re-report strides the
-        // checkpointed prefix already covered.
-        let start_bucket = done.load(Ordering::Relaxed) / PROGRESS_STRIDE;
-        if threads == 1 || count < 2 * threads {
-            let mut stats = StreamStats::new(self.cfg.mission_hours);
-            let mut last_bucket = start_bucket;
-            simulate_into(lo..hi, &mut stats, &mut last_bucket);
-            return (stats, vec![count as u64]);
+            let result = body(&mut runner);
+            let sched = SchedulerStats {
+                worker_groups: vec![runner.groups_done],
+                thread_spawns: 0,
+                counters: runner.session.counters(),
+            };
+            (result, sched)
+        } else {
+            pool::run_with_pool(
+                PoolCtx {
+                    engine: self.engine.as_ref(),
+                    cfg: &self.cfg,
+                    seed,
+                    threads,
+                    claim_batch: self.claim_batch,
+                    observer,
+                    done,
+                    target,
+                },
+                body,
+            )
         }
-        let cursor = BatchCursor::new(lo, hi, self.claim_batch);
-        let mut total = StreamStats::new(self.cfg.mission_hours);
-        let mut worker_groups = Vec::with_capacity(threads);
-        let mission_hours = self.cfg.mission_hours;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                let cursor = &cursor;
-                let simulate_into = &simulate_into;
-                handles.push(scope.spawn(move || {
-                    let mut stats = StreamStats::new(mission_hours);
-                    let mut groups_done = 0u64;
-                    let mut last_bucket = start_bucket;
-                    while let Some(range) = cursor.claim() {
-                        groups_done += range.len() as u64;
-                        simulate_into(range, &mut stats, &mut last_bucket);
-                    }
-                    (stats, groups_done)
-                }));
-            }
-            for h in handles {
-                let (stats, groups_done) = h.join().expect("simulation worker panicked");
-                total.merge(stats);
-                worker_groups.push(groups_done);
-            }
-        });
-        (total, worker_groups)
     }
 }
 
@@ -552,27 +612,23 @@ impl Simulator {
             max_groups as u64,
             seed,
         );
-        let report = self.precision_driver(
-            &driver,
-            &mut stats,
-            &(),
-            &(),
-            &mut None,
-            0,
-            |sim, lo, hi| {
-                // Extend deterministically: group i always uses stream
-                // i. The histories are kept for the caller; statistics
-                // come from the O(batch) accumulator, never from a
-                // rescan of `result.histories`.
-                let batch_result = sim.run_range(lo, hi, seed, threads);
-                let mut batch_stats = StreamStats::new(sim.cfg.mission_hours);
-                for h in &batch_result.histories {
-                    batch_stats.push(h);
-                }
-                result.merge(batch_result);
-                batch_stats
-            },
-        );
+        let done = AtomicU64::new(0);
+        let (report, _sched) =
+            self.with_runner(seed, threads, &(), &done, max_groups as u64, |runner| {
+                self.precision_driver(&driver, &mut stats, &(), &(), &mut None, 0, |sim, lo, hi| {
+                    // Extend deterministically: group i always uses
+                    // stream i. The histories are kept for the caller;
+                    // statistics come from the O(batch) accumulator,
+                    // never from a rescan of `result.histories`.
+                    let histories = runner.collect_batch(lo, hi);
+                    let mut batch_stats = StreamStats::new(sim.cfg.mission_hours);
+                    for h in &histories {
+                        batch_stats.push(h);
+                    }
+                    result.histories.extend(histories);
+                    batch_stats
+                })
+            });
         (result, report)
     }
 
@@ -632,18 +688,18 @@ impl Simulator {
         );
         let mut stats = StreamStats::new(self.cfg.mission_hours);
         let done = AtomicU64::new(0);
-        let report = self.precision_driver(
-            &driver,
-            &mut stats,
-            observer,
-            &(),
-            &mut None,
-            0,
-            |sim, lo, hi| {
-                sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups as u64)
-                    .0
-            },
-        );
+        let (report, _sched) =
+            self.with_runner(seed, threads, observer, &done, max_groups as u64, |runner| {
+                self.precision_driver(
+                    &driver,
+                    &mut stats,
+                    observer,
+                    &(),
+                    &mut None,
+                    0,
+                    |_sim, lo, hi| runner.stream_batch(lo, hi),
+                )
+            });
         (stats, report)
     }
 
@@ -665,7 +721,9 @@ impl Simulator {
     /// fingerprint and `driver`) produces final statistics bit-identical
     /// to the same run never having stopped, at any `threads` — the
     /// argument is laid out in [`crate::checkpoint`] and enforced by the
-    /// kill-and-resume property test.
+    /// kill-and-resume property test. The checkpoint is taken by value:
+    /// its statistics become the run's accumulator directly, so
+    /// resuming never copies the moment state.
     ///
     /// # Errors
     ///
@@ -684,7 +742,7 @@ impl Simulator {
         observer: &dyn StreamObserver,
         control: &dyn RunControl,
         mut plan: Option<CheckpointPlan<'_>>,
-        resume: Option<&SimCheckpoint>,
+        resume: Option<SimCheckpoint>,
     ) -> Result<(StreamStats, PrecisionReport), CheckpointError> {
         let fingerprint = config_fingerprint(&self.cfg, self.engine.name());
         let mut stats = match resume {
@@ -700,25 +758,27 @@ impl Simulator {
                         ),
                     });
                 }
-                ckpt.stats.clone()
+                // Moved, not cloned: the checkpoint's statistics become
+                // the run's accumulator.
+                ckpt.stats
             }
             None => StreamStats::new(self.cfg.mission_hours),
         };
         let seed = driver.seed;
         let max_groups = driver.max_groups;
         let done = AtomicU64::new(stats.groups());
-        let report = self.precision_driver(
-            &driver,
-            &mut stats,
-            observer,
-            control,
-            &mut plan,
-            fingerprint,
-            |sim, lo, hi| {
-                sim.stream_range(lo, hi, seed, threads, observer, &done, max_groups)
-                    .0
-            },
-        );
+        let (report, _sched) =
+            self.with_runner(seed, threads, observer, &done, max_groups, |runner| {
+                self.precision_driver(
+                    &driver,
+                    &mut stats,
+                    observer,
+                    control,
+                    &mut plan,
+                    fingerprint,
+                    |_sim, lo, hi| runner.stream_batch(lo, hi),
+                )
+            });
         Ok((stats, report))
     }
 
@@ -758,6 +818,12 @@ impl Simulator {
             );
         }
         assert!(driver.batch > 0, "batch size must be positive");
+        // The driver path must never copy the moment accumulator — not
+        // when merging batches, not when writing checkpoints, not when
+        // assembling the report. Debug builds count this thread's
+        // `StreamStats` clones and assert the driver added none.
+        #[cfg(debug_assertions)]
+        let clones_at_entry = crate::stats::clone_audit::count();
         let z = if driver.precision_mode {
             z_score(driver.confidence)
         } else {
@@ -837,6 +903,12 @@ impl Simulator {
                 write_checkpoint(fingerprint, driver, stats, p.path, observer);
             }
         }
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            crate::stats::clone_audit::count(),
+            clones_at_entry,
+            "the driver path cloned StreamStats moment state"
+        );
         report(stats, criterion)
     }
 
@@ -845,52 +917,10 @@ impl Simulator {
     /// dynamically; histories are reassembled in group-index order, so
     /// the result is identical to a serial pass over `lo..hi`.
     fn run_range(&self, lo: usize, hi: usize, seed: u64, threads: usize) -> SimulationResult {
-        assert!(threads > 0, "need at least one thread");
-        let count = hi - lo;
-        let simulate = |i: usize| {
-            let mut rng = stream(seed, i as u64);
-            self.engine.simulate_group(&self.cfg, &mut rng)
-        };
-        if threads == 1 || count < 2 * threads {
-            return SimulationResult {
-                histories: (lo..hi).map(simulate).collect(),
-                mission_hours: self.cfg.mission_hours,
-            };
-        }
-        let cursor = BatchCursor::new(lo, hi, self.claim_batch);
-        let claim = self.claim_batch as usize;
-        // Claim starts are `lo + k * claim` for unique `k`, so each
-        // batch maps to its own slot; filling slots by index and
-        // concatenating restores exact group-index order with no sort.
-        let slots = count.div_ceil(claim);
-        let mut batches: Vec<Option<Vec<GroupHistory>>> = (0..slots).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..threads {
-                let cursor = &cursor;
-                let simulate = &simulate;
-                handles.push(scope.spawn(move || {
-                    let mut claimed = Vec::new();
-                    while let Some(range) = cursor.claim() {
-                        claimed.push((range.start, range.map(simulate).collect::<Vec<_>>()));
-                    }
-                    claimed
-                }));
-            }
-            for h in handles {
-                for (start, batch) in h.join().expect("simulation worker panicked") {
-                    batches[(start - lo) / claim] = Some(batch);
-                }
-            }
-        });
-        let mut histories: Vec<GroupHistory> = Vec::with_capacity(count);
-        for batch in &mut batches {
-            histories.append(
-                batch
-                    .as_mut()
-                    .expect("every batch slot is claimed exactly once"),
-            );
-        }
+        let done = AtomicU64::new(0);
+        let count = (hi - lo) as u64;
+        let (histories, _sched) =
+            self.with_runner(seed, threads, &(), &done, count, |r| r.collect_batch(lo, hi));
         SimulationResult {
             histories,
             mission_hours: self.cfg.mission_hours,
@@ -971,14 +1001,12 @@ fn write_checkpoint(
     path: &Path,
     observer: &dyn StreamObserver,
 ) -> bool {
-    let ckpt = SimCheckpoint {
-        fingerprint,
-        driver: *driver,
-        stats: stats.clone(),
-    };
-    match ckpt.save(path) {
+    // Serialized straight from the live accumulator: assembling a
+    // `SimCheckpoint` value here would clone the moment state on every
+    // write (and trip the driver's clone audit).
+    match SimCheckpoint::save_parts(path, fingerprint, driver, stats) {
         Ok(()) => {
-            observer.on_checkpoint_saved(path, ckpt.stats.groups());
+            observer.on_checkpoint_saved(path, stats.groups());
             true
         }
         Err(error) => {

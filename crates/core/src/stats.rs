@@ -83,7 +83,7 @@ const DOWNTIME_TICKS_PER_HOUR: f64 = 4_294_967_296.0;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct StreamStats {
     mission_hours: f64,
     groups: u64,
@@ -105,6 +105,60 @@ pub struct StreamStats {
     ddf_time_bins: Vec<u64>,
 }
 
+impl Clone for StreamStats {
+    /// Cloning an accumulator copies its histogram `Vec` — cheap in
+    /// isolation but a smell on the driver hot path, where state should
+    /// move. The manual impl (instead of `derive`) routes every clone
+    /// through [`clone_audit`] so debug builds can assert the driver
+    /// loop performs none.
+    fn clone(&self) -> Self {
+        clone_audit::record();
+        Self {
+            mission_hours: self.mission_hours,
+            groups: self.groups,
+            ddf_sum: self.ddf_sum,
+            ddf_sum_sq: self.ddf_sum_sq,
+            kind_double_op: self.kind_double_op,
+            kind_latent_op: self.kind_latent_op,
+            op_failures: self.op_failures,
+            latent_defects: self.latent_defects,
+            scrubs_completed: self.scrubs_completed,
+            restores_completed: self.restores_completed,
+            downtime_ticks: self.downtime_ticks,
+            ddf_time_bins: self.ddf_time_bins.clone(),
+        }
+    }
+}
+
+/// Debug-build audit trail of [`StreamStats`] clones.
+///
+/// The counter is thread-local: the precision driver snapshots it on
+/// entry and asserts it unchanged on exit, proving report assembly and
+/// checkpoint writes on the coordinator thread move moment state
+/// instead of copying it. Worker threads have their own counters, so
+/// legitimate clones elsewhere never trip the assertion. Compiled to
+/// nothing in release builds.
+pub(crate) mod clone_audit {
+    #[cfg(debug_assertions)]
+    thread_local! {
+        static CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// Number of [`super::StreamStats`] clones this thread has made.
+    /// Only compiled in debug builds, where the driver assertion that
+    /// reads it exists.
+    #[cfg(debug_assertions)]
+    pub(crate) fn count() -> u64 {
+        CLONES.with(|c| c.get())
+    }
+
+    /// Records one clone.
+    pub(crate) fn record() {
+        #[cfg(debug_assertions)]
+        CLONES.with(|c| c.set(c.get() + 1));
+    }
+}
+
 /// Load-balance diagnostics from one dynamically scheduled run
 /// ([`crate::run::Simulator::run_streaming_instrumented`]).
 ///
@@ -117,6 +171,14 @@ pub struct SchedulerStats {
     /// Groups completed by each worker, one entry per worker (a single
     /// entry when the run took the serial path).
     pub worker_groups: Vec<u64>,
+    /// OS threads spawned for the run: the worker-pool size for a
+    /// parallel run (the pool is spawned once and reused across every
+    /// driver batch), `0` for the serial path.
+    pub thread_spawns: u64,
+    /// Engine work counters merged across all workers (see
+    /// [`crate::engine::EngineCounters`] for field semantics and which
+    /// fields are deterministic).
+    pub counters: crate::engine::EngineCounters,
 }
 
 impl SchedulerStats {

@@ -145,7 +145,7 @@ proptest! {
         let mut cadence = EveryGroups(1);
         let plan = CheckpointPlan { path: &path, cadence: &mut cadence };
         let (stats, report) = sim
-            .run_checkpointed(driver, threads_b, &(), &(), Some(plan), Some(&ckpt))
+            .run_checkpointed(driver, threads_b, &(), &(), Some(plan), Some(ckpt))
             .unwrap();
 
         prop_assert_eq!(stats, ref_stats);
@@ -232,7 +232,7 @@ fn resuming_a_finished_checkpoint_runs_zero_batches() {
     let ckpt = SimCheckpoint::load(&path).unwrap();
     let control = InterruptAfter::new(0);
     let (again_stats, again_report) = sim
-        .run_checkpointed(driver, 4, &(), &control, None, Some(&ckpt))
+        .run_checkpointed(driver, 4, &(), &control, None, Some(ckpt))
         .unwrap();
     assert_eq!(again_stats, stats);
     assert_eq!(again_report, report);
@@ -258,7 +258,7 @@ fn mismatched_checkpoints_are_rejected_with_typed_errors() {
     // Different seed: same config, but the RNG streams differ.
     let mut other = driver;
     other.seed = 8;
-    match sim.run_checkpointed(other, 2, &(), &(), None, Some(&ckpt)) {
+    match sim.run_checkpointed(other, 2, &(), &(), None, Some(ckpt.clone())) {
         Err(CheckpointError::ConfigMismatch { field: "seed", .. }) => {}
         other => panic!("expected seed mismatch, got {other:?}"),
     }
@@ -266,7 +266,7 @@ fn mismatched_checkpoints_are_rejected_with_typed_errors() {
     // Different configuration: the fingerprint catches it.
     let mut cfg = base;
     cfg.drives += 1;
-    match Simulator::new(cfg).run_checkpointed(driver, 2, &(), &(), None, Some(&ckpt)) {
+    match Simulator::new(cfg).run_checkpointed(driver, 2, &(), &(), None, Some(ckpt)) {
         Err(CheckpointError::ConfigMismatch {
             field: "config", ..
         }) => {}

@@ -1,0 +1,183 @@
+//! Golden aggregate fingerprints: pins the exact bit-level output of
+//! the runner for a spread of configurations covering every sampling
+//! path (three-parameter Weibull, exponential, lognormal, degenerate,
+//! mixture, competing risks; always-available and finite spares; both
+//! engines; defect reset on and off).
+//!
+//! The values below were captured from the dynamic-scheduler runner
+//! before the persistent worker pool and the monomorphic sampling
+//! kernels landed, so any bit-level drift introduced by scheduler or
+//! sampling rework fails here — not just divergence between two
+//! code paths that changed together.
+
+use raidsim_core::checkpoint::{DriverState, SimCheckpoint};
+use raidsim_core::config::{RaidGroupConfig, Redundancy, SparePolicy, TransitionDistributions};
+use raidsim_core::engine::TimelineEngine;
+use raidsim_core::run::Simulator;
+use raidsim_dists::{
+    CompetingRisks, Degenerate, Exponential, LifeDistribution, Lognormal, Mixture, Weibull3,
+};
+use std::sync::Arc;
+
+/// FNV-1a 64 over the checkpoint serialization of the streamed
+/// aggregate — every integer moment, histogram bin, and the group
+/// count, byte-exact.
+fn stats_fingerprint(stats: &raidsim_core::stats::StreamStats, seed: u64, groups: u64) -> u64 {
+    let ckpt = SimCheckpoint {
+        fingerprint: 0,
+        driver: DriverState::fixed(groups.max(stats.groups()), 1, seed),
+        stats: stats.clone(),
+    };
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &ckpt.to_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn base() -> RaidGroupConfig {
+    RaidGroupConfig::paper_base_case().unwrap()
+}
+
+fn exponential_degenerate() -> RaidGroupConfig {
+    RaidGroupConfig {
+        dists: TransitionDistributions {
+            ttop: Arc::new(Exponential::from_mean(40_000.0).unwrap()),
+            ttr: Arc::new(Degenerate::new(24.0).unwrap()),
+            ttld: None,
+            ttscrub: None,
+        },
+        ..base()
+    }
+}
+
+fn lognormal_with_defects() -> RaidGroupConfig {
+    RaidGroupConfig {
+        drives: 6,
+        redundancy: Redundancy::SingleParity,
+        dists: TransitionDistributions {
+            ttop: Arc::new(Lognormal::from_mean_cv(0.0, 35_000.0, 1.4).unwrap()),
+            ttr: Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap()),
+            ttld: Some(Arc::new(Weibull3::two_param(9_000.0, 1.0).unwrap())),
+            ttscrub: Some(Arc::new(Weibull3::new(1.0, 168.0, 3.0).unwrap())),
+        },
+        ..base()
+    }
+}
+
+fn mixture_finite_spares() -> RaidGroupConfig {
+    let infant: Arc<dyn LifeDistribution> = Arc::new(Weibull3::two_param(8_000.0, 0.8).unwrap());
+    let mature: Arc<dyn LifeDistribution> = Arc::new(Exponential::from_mean(60_000.0).unwrap());
+    RaidGroupConfig {
+        dists: TransitionDistributions {
+            ttop: Arc::new(Mixture::new(vec![(0.3, infant), (0.7, mature)]).unwrap()),
+            ..base().dists
+        },
+        spares: SparePolicy::Finite {
+            pool: 2,
+            replenish_hours: 336.0,
+        },
+        defect_reset_on_replacement: true,
+        ..base()
+    }
+}
+
+fn competing_risks() -> RaidGroupConfig {
+    let wear: Arc<dyn LifeDistribution> = Arc::new(Weibull3::two_param(50_000.0, 2.2).unwrap());
+    let shock: Arc<dyn LifeDistribution> = Arc::new(Exponential::from_mean(150_000.0).unwrap());
+    RaidGroupConfig {
+        redundancy: Redundancy::DoubleParity,
+        dists: TransitionDistributions {
+            ttop: Arc::new(CompetingRisks::new(vec![wear, shock]).unwrap()),
+            ..base().dists
+        },
+        ..base()
+    }
+}
+
+/// `(label, config, use timeline engine, groups, seed, expected
+/// fingerprint)`.
+fn golden_cases() -> Vec<(&'static str, RaidGroupConfig, bool, usize, u64, u64)> {
+    vec![
+        ("base_des", base(), false, 300, 42, 0x6feb_935f_8a32_a19b),
+        ("base_timeline", base(), true, 300, 42, 0xa028_958c_1b07_6e41),
+        (
+            "exp_degenerate",
+            exponential_degenerate(),
+            false,
+            250,
+            7,
+            0xe6e1_0387_7d81_859e,
+        ),
+        (
+            "lognormal_defects",
+            lognormal_with_defects(),
+            false,
+            250,
+            9,
+            0xf965_f482_f987_db22,
+        ),
+        (
+            "mixture_finite_spares",
+            mixture_finite_spares(),
+            false,
+            250,
+            11,
+            0xb9b8_5b91_f453_8cc2,
+        ),
+        (
+            "competing_risks_timeline",
+            competing_risks(),
+            true,
+            200,
+            13,
+            0xb3f5_b5a5_27d2_53c3,
+        ),
+    ]
+}
+
+#[test]
+fn streamed_aggregates_match_pre_pool_golden_values() {
+    for (label, cfg, timeline, groups, seed, expected) in golden_cases() {
+        let mut sim = Simulator::new(cfg);
+        if timeline {
+            sim = sim.with_engine(Arc::new(TimelineEngine::new()));
+        }
+        for threads in [1usize, 3] {
+            let stats = sim.run_streaming(groups, seed, threads);
+            let got = stats_fingerprint(&stats, seed, groups as u64);
+            if std::env::var("GOLDEN_CAPTURE").is_ok() {
+                eprintln!("{label}: {got:#018x}");
+                continue;
+            }
+            assert_eq!(
+                got, expected,
+                "{label} at {threads} thread(s): fingerprint {got:#018x}, \
+                 golden {expected:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn precision_run_matches_pre_pool_golden_values() {
+    let sim = Simulator::new(base());
+    let (stats, report) = sim.run_until_precision_streaming(0.2, 0.95, 50, 400, 5, 3);
+    let got = stats_fingerprint(&stats, 5, 400);
+    if std::env::var("GOLDEN_CAPTURE").is_ok() {
+        eprintln!("precision: {got:#018x}");
+        eprintln!("report: {report:?}");
+        return;
+    }
+    assert_eq!(
+        got, 0x7833_4c54_4b93_613d,
+        "precision stats fingerprint {got:#018x}"
+    );
+    let rendered = format!("{report:?}");
+    assert_eq!(
+        rendered,
+        "PrecisionReport { mean: 0.145, half_width: 0.03657884471752941, \
+         confidence: 0.95, groups: 400, converged: false, criterion: GroupCap }",
+    );
+}

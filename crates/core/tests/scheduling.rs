@@ -95,6 +95,39 @@ fn temp_ckpt(name: &str) -> PathBuf {
     dir.join(name)
 }
 
+/// Non-timing scheduler invariants, exact at every thread count: spawn
+/// counts match the configuration (zero on the serial path — the pool
+/// is bypassed entirely), every group is accounted to some worker, the
+/// engine counters see every group exactly once, and the steady-state
+/// group loop of the scratch-reusing sessions performs no allocations.
+#[test]
+fn pool_instrumentation_invariants() {
+    use raidsim_core::engine::TimelineEngine;
+    for engine in [false, true] {
+        for threads in [1usize, 2, 4] {
+            let mut sim = Simulator::new(RaidGroupConfig::paper_base_case().unwrap());
+            if engine {
+                sim = sim.with_engine(Arc::new(TimelineEngine::new()));
+            }
+            let (stats, sched) = sim.run_streaming_instrumented(600, 9, threads, &());
+            assert_eq!(stats.groups(), 600);
+            assert_eq!(sched.total(), 600);
+            let expect_spawns = if threads == 1 { 0 } else { threads as u64 };
+            assert_eq!(sched.thread_spawns, expect_spawns);
+            let expect_workers = if threads == 1 { 1 } else { threads };
+            assert_eq!(sched.worker_groups.len(), expect_workers);
+            assert_eq!(sched.counters.groups, 600);
+            assert_eq!(
+                sched.counters.loop_allocs, 0,
+                "steady-state group loop must be allocation-free \
+                 (timeline engine: {engine}, threads: {threads})"
+            );
+            assert!(sched.counters.samples_drawn > 0);
+            assert!(sched.counters.events > 0);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -150,7 +183,7 @@ proptest! {
 
         let ckpt = SimCheckpoint::load(&path).unwrap();
         let (stats, report) = sim_b
-            .run_checkpointed(driver, threads_b, &(), &(), None, Some(&ckpt))
+            .run_checkpointed(driver, threads_b, &(), &(), None, Some(ckpt))
             .unwrap();
 
         prop_assert_eq!(stats, ref_stats);

@@ -1,5 +1,5 @@
 use crate::mixture::invert_cdf;
-use crate::{DistError, LifeDistribution};
+use crate::{DistError, LifeDistribution, SampleKernel};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -120,6 +120,13 @@ impl LifeDistribution for CompetingRisks {
             .iter()
             .map(|d| d.sample(rng))
             .fold(f64::INFINITY, f64::min)
+    }
+
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        Some(SampleKernel::Competing {
+            risks: self.risks.iter().map(SampleKernel::lower).collect(),
+            source: Arc::new(self.clone()),
+        })
     }
 }
 

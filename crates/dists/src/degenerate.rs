@@ -1,4 +1,4 @@
-use crate::{DistError, LifeDistribution};
+use crate::{DistError, LifeDistribution, SampleKernel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +91,10 @@ impl LifeDistribution for Degenerate {
 
     fn sample_conditional(&self, t0: f64, _rng: &mut dyn Rng) -> f64 {
         (self.value - t0).max(0.0)
+    }
+
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        Some(SampleKernel::Degenerate { value: self.value })
     }
 }
 

@@ -1,4 +1,4 @@
-use crate::{rng_f64, DistError, LifeDistribution};
+use crate::{rng_f64, DistError, LifeDistribution, SampleKernel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -127,6 +127,10 @@ impl LifeDistribution for Exponential {
     fn sample_conditional(&self, _t0: f64, rng: &mut dyn Rng) -> f64 {
         // Memorylessness: the residual life is the same exponential.
         self.sample(rng)
+    }
+
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        Some(SampleKernel::Exponential { rate: self.rate })
     }
 }
 

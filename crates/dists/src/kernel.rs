@@ -1,0 +1,398 @@
+//! Monomorphic sampling kernels: the simulation hot path's view of a
+//! lifetime distribution.
+//!
+//! The engines store model transitions as `Arc<dyn LifeDistribution>`,
+//! which is the right shape for configuration (any family, any nesting)
+//! but the wrong shape for the inner Monte Carlo loop: every draw pays
+//! a virtual call, and the closed-form quantile paths recompute
+//! invariants such as `1/β` on each evaluation. A [`SampleKernel`] is
+//! the same distribution *lowered once per run* into a flat enum the
+//! optimizer can inline and the caller can keep in a per-worker
+//! session, with those invariants precomputed.
+//!
+//! # Bit-identity contract
+//!
+//! Lowering must be **invisible in the results**: for any seeded RNG,
+//! [`SampleKernel::sample`] and [`SampleKernel::sample_conditional`]
+//! must consume exactly the same RNG draws and produce bit-identical
+//! `f64`s to the `dyn LifeDistribution` methods they replace. That
+//! restricts the allowed transformations to:
+//!
+//! * hoisting pure recomputed subexpressions (`1/β` feeds the same
+//!   `powf` it always did — division is deterministic, so the hoisted
+//!   value is the bit pattern the `dyn` path computed inline), and
+//! * inlining the exact float-op sequence of the concrete overrides
+//!   (including each family's choice of `ln_1p` vs `ln`, and the
+//!   trait-default conditional inversion where a family does not
+//!   override it).
+//!
+//! Algebraic rewrites that change the op sequence — e.g. `sqrt` in
+//! place of `powf(0.5)` for β = 2 — are **excluded**: they are faster
+//! but not bit-equal. The `kernel_equivalence` property suite enforces
+//! the contract for every variant over random parameters and seeds.
+//!
+//! # Lowering table
+//!
+//! | `dyn` implementation | kernel variant | notes |
+//! |---|---|---|
+//! | [`crate::Weibull3`] | [`SampleKernel::Weibull3`] | `1/β` precomputed; conditional inlines the trait default over the Weibull `sf`/`cdf`/`quantile` overrides |
+//! | [`crate::Exponential`] | [`SampleKernel::Exponential`] | conditional is memoryless, matching the override |
+//! | [`crate::Lognormal`] | [`SampleKernel::Lognormal`] | conditional inlines the trait default (`sf` is the trait default `1 − cdf`) |
+//! | [`crate::Degenerate`] | [`SampleKernel::Degenerate`] | consumes **no** RNG draws, matching both overrides |
+//! | [`crate::Mixture`] | [`SampleKernel::Mixture`] | children lowered recursively; conditional delegates to the source object (numeric CDF inversion) |
+//! | [`crate::CompetingRisks`] | [`SampleKernel::Competing`] | children lowered recursively; conditional delegates to the source object |
+//! | anything else | [`SampleKernel::Boxed`] | full fallback to the `dyn` methods (e.g. future empirical resampling distributions — [`crate::empirical`] currently defines estimators, not `LifeDistribution`s) |
+
+use crate::{rng_f64, LifeDistribution};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A lifetime distribution lowered to a monomorphic sampling kernel.
+///
+/// Construct via [`SampleKernel::lower`]; draw via
+/// [`SampleKernel::sample`] / [`SampleKernel::sample_conditional`].
+/// Both are bit-identical to the `dyn LifeDistribution` methods they
+/// replace (see the module docs for the contract and the lowering
+/// table).
+#[derive(Debug, Clone)]
+pub enum SampleKernel {
+    /// Inlined three-parameter Weibull inverse CDF with `1/β`
+    /// precomputed.
+    Weibull3 {
+        /// Location γ, hours.
+        gamma: f64,
+        /// Scale η, hours.
+        eta: f64,
+        /// Shape β (needed by the conditional path's `sf`/`cdf`).
+        beta: f64,
+        /// Hoisted `1.0 / β`, exactly the value the `dyn` quantile
+        /// computes inline on every call.
+        inv_beta: f64,
+    },
+    /// Inlined exponential inverse CDF; the conditional draw is
+    /// memoryless.
+    Exponential {
+        /// Constant hazard rate λ, per hour.
+        rate: f64,
+    },
+    /// Inlined three-parameter lognormal inverse CDF.
+    Lognormal {
+        /// Location γ, hours.
+        gamma: f64,
+        /// Log-mean μ.
+        mu: f64,
+        /// Log-standard-deviation σ.
+        sigma: f64,
+    },
+    /// Point mass: returns the value without consuming any RNG draws,
+    /// exactly like the `dyn` overrides.
+    Degenerate {
+        /// The point of support, hours.
+        value: f64,
+    },
+    /// Weighted mixture over recursively lowered component kernels.
+    Mixture {
+        /// `(weight, lowered component)` pairs in construction order.
+        components: Vec<(f64, SampleKernel)>,
+        /// The source distribution, kept for the conditional path
+        /// (numeric CDF inversion has no monomorphic shortcut).
+        source: Arc<dyn LifeDistribution>,
+    },
+    /// Competing risks: minimum over recursively lowered mechanism
+    /// kernels.
+    Competing {
+        /// Lowered failure mechanisms in construction order.
+        risks: Vec<SampleKernel>,
+        /// The source distribution, kept for the conditional path.
+        source: Arc<dyn LifeDistribution>,
+    },
+    /// Fallback for implementations without a kernel: every draw goes
+    /// through the original `dyn` methods, so unknown families keep
+    /// working unchanged.
+    Boxed {
+        /// The source distribution.
+        source: Arc<dyn LifeDistribution>,
+    },
+}
+
+impl SampleKernel {
+    /// Lowers a distribution to its sampling kernel, falling back to
+    /// [`SampleKernel::Boxed`] for implementations that do not provide
+    /// one.
+    pub fn lower(dist: &Arc<dyn LifeDistribution>) -> SampleKernel {
+        dist.lower_kernel().unwrap_or_else(|| SampleKernel::Boxed {
+            source: Arc::clone(dist),
+        })
+    }
+
+    /// Short variant name, for diagnostics and tests.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            SampleKernel::Weibull3 { .. } => "weibull3",
+            SampleKernel::Exponential { .. } => "exponential",
+            SampleKernel::Lognormal { .. } => "lognormal",
+            SampleKernel::Degenerate { .. } => "degenerate",
+            SampleKernel::Mixture { .. } => "mixture",
+            SampleKernel::Competing { .. } => "competing",
+            SampleKernel::Boxed { .. } => "boxed",
+        }
+    }
+
+    /// Draws one lifetime; bit-identical to
+    /// [`LifeDistribution::sample`] on the source distribution.
+    pub fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                inv_beta,
+                ..
+            } => {
+                let u = rng_f64(rng);
+                weibull_quantile(*gamma, *eta, *inv_beta, u)
+            }
+            SampleKernel::Exponential { rate } => {
+                let u = rng_f64(rng);
+                -(1.0 - u).ln() / rate
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let u = rng_f64(rng);
+                lognormal_quantile(*gamma, *mu, *sigma, u)
+            }
+            SampleKernel::Degenerate { value } => *value,
+            SampleKernel::Mixture { components, .. } => {
+                let mut u = rng_f64(rng);
+                for (w, k) in components {
+                    if u < *w {
+                        return k.sample(rng);
+                    }
+                    u -= w;
+                }
+                // Floating-point slack: fall through to the last
+                // component, as the dyn path does.
+                components
+                    .last()
+                    .expect("mixture is never empty")
+                    .1
+                    .sample(rng)
+            }
+            SampleKernel::Competing { risks, .. } => risks
+                .iter()
+                .map(|k| k.sample(rng))
+                .fold(f64::INFINITY, f64::min),
+            SampleKernel::Boxed { source } => source.sample(rng),
+        }
+    }
+
+    /// Draws a residual lifetime conditional on survival to `t0`;
+    /// bit-identical to [`LifeDistribution::sample_conditional`] on the
+    /// source distribution.
+    pub fn sample_conditional(&self, t0: f64, rng: &mut dyn Rng) -> f64 {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                beta,
+                inv_beta,
+            } => {
+                // The trait-default conditional inversion over the
+                // Weibull sf/cdf/quantile overrides.
+                let s0 = weibull_sf(*gamma, *eta, *beta, t0);
+                if s0 <= 0.0 {
+                    return 0.0;
+                }
+                let u = rng_f64(rng);
+                let p = weibull_cdf(*gamma, *eta, *beta, t0) + u * s0;
+                (weibull_quantile(*gamma, *eta, *inv_beta, p) - t0).max(0.0)
+            }
+            SampleKernel::Exponential { rate } => {
+                // Memorylessness, matching the dyn override.
+                let u = rng_f64(rng);
+                -(1.0 - u).ln() / rate
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                // Trait-default inversion; Lognormal overrides cdf but
+                // not sf, so s0 is the default `(1 - cdf).max(0)` over
+                // the same cdf evaluation.
+                let f0 = lognormal_cdf(*gamma, *mu, *sigma, t0);
+                let s0 = (1.0 - f0).max(0.0);
+                if s0 <= 0.0 {
+                    return 0.0;
+                }
+                let u = rng_f64(rng);
+                let p = f0 + u * s0;
+                (lognormal_quantile(*gamma, *mu, *sigma, p) - t0).max(0.0)
+            }
+            SampleKernel::Degenerate { value } => (value - t0).max(0.0),
+            // The composite conditionals run through numeric CDF
+            // inversion with no hot-path shortcut; delegating to the
+            // source object is trivially bit-identical.
+            SampleKernel::Mixture { source, .. }
+            | SampleKernel::Competing { source, .. }
+            | SampleKernel::Boxed { source } => source.sample_conditional(t0, rng),
+        }
+    }
+}
+
+/// The exact float-op sequence of `Weibull3::quantile`, with the
+/// reciprocal shape hoisted.
+#[inline]
+fn weibull_quantile(gamma: f64, eta: f64, inv_beta: f64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return gamma;
+    }
+    assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
+    gamma + eta * (-(-p).ln_1p()).powf(inv_beta)
+}
+
+/// The exact float-op sequence of `Weibull3::sf`.
+#[inline]
+fn weibull_sf(gamma: f64, eta: f64, beta: f64, t: f64) -> f64 {
+    if t <= gamma {
+        return 1.0;
+    }
+    let z = ((t - gamma) / eta).max(0.0);
+    (-z.powf(beta)).exp()
+}
+
+/// The exact float-op sequence of `Weibull3::cdf`.
+#[inline]
+fn weibull_cdf(gamma: f64, eta: f64, beta: f64, t: f64) -> f64 {
+    if t <= gamma {
+        return 0.0;
+    }
+    let z = ((t - gamma) / eta).max(0.0);
+    -(-z.powf(beta)).exp_m1()
+}
+
+/// The exact float-op sequence of `Lognormal::quantile`.
+#[inline]
+fn lognormal_quantile(gamma: f64, mu: f64, sigma: f64, p: f64) -> f64 {
+    if p <= 0.0 {
+        return gamma;
+    }
+    assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
+    gamma + (mu + sigma * crate::special::inv_std_normal(p)).exp()
+}
+
+/// The exact float-op sequence of `Lognormal::cdf`.
+#[inline]
+fn lognormal_cdf(gamma: f64, mu: f64, sigma: f64, t: f64) -> f64 {
+    if t <= gamma {
+        return 0.0;
+    }
+    crate::special::std_normal_cdf(((t - gamma).ln() - mu) / sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream;
+    use crate::{CompetingRisks, Degenerate, Exponential, Lognormal, Mixture, Weibull3};
+
+    fn lowered(d: Arc<dyn LifeDistribution>) -> (Arc<dyn LifeDistribution>, SampleKernel) {
+        let k = SampleKernel::lower(&d);
+        (d, k)
+    }
+
+    #[test]
+    fn every_provided_family_lowers_to_its_own_variant() {
+        let cases: Vec<(Arc<dyn LifeDistribution>, &str)> = vec![
+            (
+                Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap()),
+                "weibull3",
+            ),
+            (Arc::new(Exponential::new(1e-5).unwrap()), "exponential"),
+            (
+                Arc::new(Lognormal::new(0.0, 2.0, 0.7).unwrap()),
+                "lognormal",
+            ),
+            (Arc::new(Degenerate::new(24.0).unwrap()), "degenerate"),
+            (
+                Arc::new(
+                    Mixture::new(vec![
+                        (0.4, Arc::new(Weibull3::two_param(100.0, 0.8).unwrap()) as _),
+                        (0.6, Arc::new(Exponential::new(0.01).unwrap()) as _),
+                    ])
+                    .unwrap(),
+                ),
+                "mixture",
+            ),
+            (
+                Arc::new(
+                    CompetingRisks::new(vec![
+                        Arc::new(Weibull3::two_param(100.0, 2.0).unwrap()) as _,
+                        Arc::new(Exponential::new(0.001).unwrap()) as _,
+                    ])
+                    .unwrap(),
+                ),
+                "competing",
+            ),
+        ];
+        for (d, want) in cases {
+            assert_eq!(SampleKernel::lower(&d).variant_name(), want);
+        }
+    }
+
+    #[test]
+    fn mixture_lowers_children_recursively() {
+        let nested: Arc<dyn LifeDistribution> = Arc::new(
+            Mixture::new(vec![
+                (0.5, Arc::new(Degenerate::new(10.0).unwrap()) as _),
+                (0.5, Arc::new(Weibull3::two_param(50.0, 1.5).unwrap()) as _),
+            ])
+            .unwrap(),
+        );
+        match SampleKernel::lower(&nested) {
+            SampleKernel::Mixture { components, .. } => {
+                assert_eq!(components[0].1.variant_name(), "degenerate");
+                assert_eq!(components[1].1.variant_name(), "weibull3");
+            }
+            other => panic!("expected mixture, got {}", other.variant_name()),
+        }
+    }
+
+    #[test]
+    fn degenerate_kernel_consumes_no_draws() {
+        let (_, k) = lowered(Arc::new(Degenerate::new(42.0).unwrap()));
+        let mut a = stream(1, 0);
+        let mut b = stream(1, 0);
+        assert_eq!(k.sample(&mut a), 42.0);
+        assert_eq!(k.sample_conditional(40.0, &mut a), 2.0);
+        // The RNG state is untouched: both streams still agree.
+        assert_eq!(rng_f64(&mut a), rng_f64(&mut b));
+    }
+
+    #[test]
+    fn boxed_fallback_matches_dyn_exactly() {
+        /// A family the lowering table does not know.
+        #[derive(Debug)]
+        struct Shifted(Exponential);
+        impl LifeDistribution for Shifted {
+            fn cdf(&self, t: f64) -> f64 {
+                self.0.cdf(t - 5.0)
+            }
+            fn pdf(&self, t: f64) -> f64 {
+                self.0.pdf(t - 5.0)
+            }
+            fn quantile(&self, p: f64) -> f64 {
+                5.0 + self.0.quantile(p)
+            }
+            fn mean(&self) -> f64 {
+                5.0 + self.0.mean()
+            }
+        }
+        let d: Arc<dyn LifeDistribution> = Arc::new(Shifted(Exponential::new(0.01).unwrap()));
+        let k = SampleKernel::lower(&d);
+        assert_eq!(k.variant_name(), "boxed");
+        let mut a = stream(9, 3);
+        let mut b = stream(9, 3);
+        for _ in 0..64 {
+            assert_eq!(k.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+            assert_eq!(
+                k.sample_conditional(7.0, &mut a).to_bits(),
+                d.sample_conditional(7.0, &mut b).to_bits()
+            );
+        }
+    }
+}

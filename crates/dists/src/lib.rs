@@ -58,6 +58,7 @@ mod weibull;
 
 pub mod empirical;
 pub mod fit;
+pub mod kernel;
 pub mod rng;
 pub mod special;
 
@@ -65,6 +66,7 @@ pub use competing::CompetingRisks;
 pub use degenerate::Degenerate;
 pub use error::DistError;
 pub use exponential::Exponential;
+pub use kernel::SampleKernel;
 pub use lognormal::Lognormal;
 pub use mixture::Mixture;
 pub use weibull::Weibull3;
@@ -158,6 +160,17 @@ pub trait LifeDistribution: std::fmt::Debug + Send + Sync {
         let u = rng_f64(rng);
         let p = self.cdf(t0) + u * s0;
         (self.quantile(p) - t0).max(0.0)
+    }
+
+    /// Lowers this distribution to a monomorphic sampling kernel
+    /// ([`SampleKernel`]) whose draws are **bit-identical** to
+    /// [`LifeDistribution::sample`] and
+    /// [`LifeDistribution::sample_conditional`] — see the contract in
+    /// [`kernel`]. The default returns `None`, which makes
+    /// [`SampleKernel::lower`] fall back to the boxed `dyn` path, so
+    /// implementations without a kernel keep working unchanged.
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        None
     }
 }
 

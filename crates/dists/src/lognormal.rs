@@ -1,5 +1,5 @@
 use crate::special::{inv_std_normal, std_normal_cdf};
-use crate::{rng_f64, DistError, LifeDistribution};
+use crate::{rng_f64, DistError, LifeDistribution, SampleKernel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -143,6 +143,14 @@ impl LifeDistribution for Lognormal {
     fn sample(&self, rng: &mut dyn Rng) -> f64 {
         let u = rng_f64(rng);
         self.quantile(u)
+    }
+
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        Some(SampleKernel::Lognormal {
+            gamma: self.gamma,
+            mu: self.mu,
+            sigma: self.sigma,
+        })
     }
 }
 

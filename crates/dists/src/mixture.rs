@@ -1,4 +1,4 @@
-use crate::{rng_f64, DistError, LifeDistribution};
+use crate::{rng_f64, DistError, LifeDistribution, SampleKernel};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -99,6 +99,17 @@ impl LifeDistribution for Mixture {
             .expect("mixture is never empty")
             .1
             .sample(rng)
+    }
+
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        Some(SampleKernel::Mixture {
+            components: self
+                .components
+                .iter()
+                .map(|(w, d)| (*w, SampleKernel::lower(d)))
+                .collect(),
+            source: Arc::new(self.clone()),
+        })
     }
 }
 

@@ -1,5 +1,5 @@
 use crate::special::{weibull_mean, weibull_variance};
-use crate::{rng_f64, DistError, LifeDistribution};
+use crate::{rng_f64, DistError, LifeDistribution, SampleKernel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -226,6 +226,15 @@ impl LifeDistribution for Weibull3 {
         // `quantile`, which the KS property test relies on.
         let u = rng_f64(rng);
         self.quantile(u)
+    }
+
+    fn lower_kernel(&self) -> Option<SampleKernel> {
+        Some(SampleKernel::Weibull3 {
+            gamma: self.gamma,
+            eta: self.eta,
+            beta: self.beta,
+            inv_beta: 1.0 / self.beta,
+        })
     }
 }
 

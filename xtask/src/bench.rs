@@ -4,10 +4,14 @@
 //! binary (Table-3 configurations plus a skew-heavy mixed-vintage /
 //! finite-spares fleet, across a 1/2/4/8 thread ladder), then validates
 //! the emitted `BENCH_parallel.json`: syntactically well-formed JSON
-//! carrying every key the regression trajectory needs. The binary
-//! itself asserts that multi-threaded statistics are bit-identical to
-//! the single-threaded reference before recording any timing, so a
-//! passing bench is also a runtime determinism check.
+//! carrying every key the regression trajectory needs, plus the
+//! non-timing invariants that must hold on any machine — parallel
+//! cells spawn exactly `threads` pool workers, serial cells spawn
+//! none, and the steady-state group loop reports zero allocations.
+//! The binary itself asserts that multi-threaded statistics are
+//! bit-identical to the single-threaded reference before recording
+//! any timing, so a passing bench is also a runtime determinism
+//! check.
 //!
 //! `--smoke` forwards to the binary (400 groups per cell instead of
 //! 10,000) so CI can exercise the full path in seconds.
@@ -26,13 +30,17 @@ const REQUIRED_TOP: [&str; 5] = [
 ];
 
 /// Keys every per-thread-count cell must carry.
-const REQUIRED_CELL: [&str; 6] = [
+const REQUIRED_CELL: [&str; 10] = [
     "\"threads\"",
     "\"wall_ms\"",
+    "\"per_group_ns\"",
     "\"speedup\"",
     "\"worker_groups_max\"",
     "\"worker_groups_min\"",
     "\"balance\"",
+    "\"thread_spawns\"",
+    "\"samples_drawn\"",
+    "\"steady_allocs\"",
 ];
 
 /// Runs the benchmark harness and validates its JSON artifact.
@@ -90,7 +98,61 @@ pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
             findings.push(finding(format!("missing required per-cell key {key}")));
         }
     }
+    for message in invariant_violations(&text) {
+        findings.push(finding(message));
+    }
     Ok(findings)
+}
+
+/// Extracts an unsigned integer field from a single-line JSON cell.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Machine-independent invariants over the benchmark document: the
+/// schema version, exact worker spawn counts (the pool spawns once per
+/// run; the serial path never spawns), and an allocation-free steady
+/// state. Timing fields are never judged here — they are trajectory
+/// data, not pass/fail criteria.
+fn invariant_violations(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !text.contains("\"schema_version\": 2") {
+        violations.push("schema_version must be 2".to_string());
+    }
+    // The binary writes one cell per line, so per-cell fields can be
+    // cross-checked line-locally.
+    for (i, line) in text.lines().enumerate() {
+        if !line.contains("\"thread_spawns\"") {
+            continue;
+        }
+        let row = i + 1;
+        let (Some(threads), Some(spawns), Some(allocs)) = (
+            field_u64(line, "threads"),
+            field_u64(line, "thread_spawns"),
+            field_u64(line, "steady_allocs"),
+        ) else {
+            violations.push(format!("line {row}: cell is missing integer fields"));
+            continue;
+        };
+        let expected = if threads == 1 { 0 } else { threads };
+        if spawns != expected {
+            violations.push(format!(
+                "line {row}: {threads}-thread cell reports {spawns} spawned                  workers, expected {expected}"
+            ));
+        }
+        if allocs != 0 {
+            violations.push(format!(
+                "line {row}: steady-state loop reported {allocs} allocations,                  expected 0"
+            ));
+        }
+    }
+    violations
 }
 
 /// Minimal recursive-descent JSON well-formedness checker (the
@@ -245,7 +307,34 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::validate_json;
+    use super::{invariant_violations, validate_json};
+
+    #[test]
+    fn invariants_accept_a_conforming_document() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 2,\n",
+            "  {\"threads\": 1, \"thread_spawns\": 0, \"steady_allocs\": 0},\n",
+            "  {\"threads\": 4, \"thread_spawns\": 4, \"steady_allocs\": 0}\n}\n",
+        );
+        assert_eq!(invariant_violations(doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn invariants_flag_spawn_and_alloc_violations() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 2,\n",
+            "  {\"threads\": 1, \"thread_spawns\": 1, \"steady_allocs\": 0},\n",
+            "  {\"threads\": 4, \"thread_spawns\": 8, \"steady_allocs\": 400}\n}\n",
+        );
+        let violations = invariant_violations(doc);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+
+    #[test]
+    fn invariants_require_schema_version_two() {
+        let violations = invariant_violations("{\"schema_version\": 1}");
+        assert_eq!(violations.len(), 1, "{violations:?}");
+    }
 
     #[test]
     fn accepts_well_formed_documents() {
