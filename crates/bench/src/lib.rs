@@ -119,14 +119,7 @@ pub fn run_streaming_with_checkpoint(
         cadence: &mut cadence,
     };
     let (stats, _report) = sim
-        .run_checkpointed(
-            driver,
-            threads(),
-            &observer,
-            &(),
-            Some(plan),
-            resume,
-        )
+        .run_checkpointed(driver, threads(), &observer, &(), Some(plan), resume)
         .expect("RAIDSIM_CHECKPOINT file belongs to a different experiment run");
     stats
 }

@@ -1,0 +1,93 @@
+//! Runs the pool model checker over the CI scenario suite and prints
+//! the state-space report as JSON (the contents of `BENCH_model.json`).
+//!
+//! `cargo xtask model` runs this binary, fails on any reported
+//! violation, and diffs the output against the committed
+//! `BENCH_model.json` so pool-protocol changes surface their
+//! state-space delta in review; `cargo xtask model --update` refreshes
+//! the committed file. The search is a deterministic DFS, so the
+//! numbers are exactly reproducible.
+
+use raidsim_core::sync_model::{check, ModelReport, Scenario};
+
+/// The scenario suite: bounded, exhaustive, and fast enough for CI
+/// (<60 s in total, release mode). Mirrors `tests/pool_model.rs`.
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    let mut suite = vec![
+        ("w2_e2_claim1", Scenario::new(2, vec![(0, 2), (2, 4)], 1)),
+        ("w3_e2_claim2", Scenario::new(3, vec![(0, 3), (3, 6)], 2)),
+        // 16 groups across 2 workers: `effective_claim(64, 16, 2) == 2`,
+        // so this is the suite's genuine multi-group-claim coverage (the
+        // small scenarios all clamp to single-group claims).
+        ("w2_e1_hi16_claim2", Scenario::new(2, vec![(0, 16)], 64)),
+        (
+            "w2_ragged_empty_epoch",
+            Scenario::new(2, vec![(0, 1), (1, 1), (1, 4)], 1),
+        ),
+    ];
+    let mut spurious = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+    spurious.spurious = true;
+    suite.push(("w2_e2_spurious", spurious));
+    for idx in 0..4 {
+        let mut panic = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+        panic.panic_at = Some(idx);
+        suite.push((
+            match idx {
+                0 => "w2_e2_panic_at0",
+                1 => "w2_e2_panic_at1",
+                2 => "w2_e2_panic_at2",
+                _ => "w2_e2_panic_at3",
+            },
+            panic,
+        ));
+    }
+    suite
+}
+
+fn emit(name: &str, report: &ModelReport, out: &mut String) {
+    out.push_str(&format!(
+        "    {{\"scenario\": \"{name}\", \"states\": {}, \"interleavings\": {}, \
+         \"max_depth\": {}, \"violations\": {}}}",
+        report.states,
+        report.interleavings,
+        report.max_depth,
+        u8::from(report.violation.is_some()),
+    ));
+}
+
+fn main() {
+    let mut body = String::new();
+    let mut total_states = 0u64;
+    let mut total_interleavings = 0u64;
+    let mut max_depth = 0usize;
+    let mut failed = false;
+    let suite = scenarios();
+    for (i, (name, scenario)) in suite.iter().enumerate() {
+        let report = check(scenario);
+        if let Some(v) = &report.violation {
+            eprintln!("VIOLATION in {name}: {v}");
+            failed = true;
+        }
+        total_states += report.states;
+        total_interleavings = total_interleavings.saturating_add(report.interleavings);
+        max_depth = max_depth.max(report.max_depth);
+        emit(name, &report, &mut body);
+        if i + 1 < suite.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    println!("{{");
+    println!("  \"schema_version\": 1,");
+    println!("  \"checker\": \"sync_model DFS, exact-state pruning\",");
+    println!("  \"total_states\": {total_states},");
+    println!("  \"total_interleavings\": {total_interleavings},");
+    println!("  \"max_depth\": {max_depth},");
+    println!("  \"scenarios\": [");
+    print!("{body}");
+    println!("  ]");
+    println!("}}");
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -335,7 +335,11 @@ impl SimCheckpoint {
     /// requiring an assembled `SimCheckpoint` — the batch runner
     /// checkpoints mid-run from its live accumulator, and this borrowed
     /// form is what lets it do so without cloning the [`StreamStats`].
-    pub fn bytes_from_parts(fingerprint: u64, driver: &DriverState, stats: &StreamStats) -> Vec<u8> {
+    pub fn bytes_from_parts(
+        fingerprint: u64,
+        driver: &DriverState,
+        stats: &StreamStats,
+    ) -> Vec<u8> {
         let mut payload = Vec::new();
         payload.extend_from_slice(&fingerprint.to_le_bytes());
         driver.encode_into(&mut payload);

@@ -136,6 +136,7 @@ impl LdChain {
     /// defects that already existed at the DDF instant are affected —
     /// write errors created *during* the reconstruction remain latent
     /// (Section 4.2). Not counted as a scrub.
+    #[allow(clippy::too_many_arguments)]
     fn clear_by_restore(
         &mut self,
         ddf_time: f64,
@@ -346,7 +347,9 @@ impl EngineSession for TimelineSession {
                     continue;
                 }
                 // Down if any of j's spans covers t.
-                let down = self.timelines[j].iter().any(|s| s.fail < t && t < s.restore);
+                let down = self.timelines[j]
+                    .iter()
+                    .any(|s| s.fail < t && t < s.restore);
                 let cond = if down {
                     SlotCondition::Down
                 } else if self.chains[j].defective_at(

@@ -32,6 +32,11 @@
 //! * [`checkpoint`] — crash-safe snapshot/resume for long runs:
 //!   versioned, checksummed on-disk state with bit-identical
 //!   continuation.
+//! * [`sync_model`] — the worker pool's synchronization protocol as
+//!   pure transitions behind a [`sync_model::SyncOps`] seam, plus an
+//!   exhaustive interleaving checker that proves the epoch handshake
+//!   (no lost wakeup, no double-claim, exact-prefix watermark) in
+//!   every schedule of bounded scenarios.
 //! * [`mttdl`] — the closed forms the paper argues against
 //!   (equations 1–3), kept as the comparison baseline.
 //! * [`markov`] — a small continuous-time Markov chain transient solver;
@@ -71,6 +76,7 @@ pub mod markov;
 pub mod mttdl;
 pub mod run;
 pub mod stats;
+pub mod sync_model;
 
 mod pool;
 

@@ -20,6 +20,21 @@
 //! invariant the join barrier used to provide, which is what checkpoint
 //! resume depends on (see [`crate::checkpoint`]).
 //!
+//! The handshake itself — every guarded decision listed above — is not
+//! implemented here. It lives in [`crate::sync_model`] as pure
+//! transitions on [`PoolCore`], which this module executes through the
+//! [`SyncOps`] seam ([`StdSync`]: one mutex, two condvars) and which
+//! the model checker executes under a virtual scheduler, exhaustively,
+//! in `tests/pool_model.rs`. The split keeps exactly one copy of the
+//! protocol: what is proved is what runs. This module adds only the
+//! *data plane* — the claim cursor and the epoch accumulators — kept in
+//! a second mutex ([`EpochData`]) that is never held while sleeping.
+//! The two-lock split is safe because the data plane is only written by
+//! the coordinator while no epoch is in flight (`active == 0`, before
+//! publish / after quiesce) and by workers strictly before their own
+//! guarded check-out, so the protocol's quiesce point orders every
+//! access; the model checker verifies the ordering claims.
+//!
 //! Determinism is unchanged from the scoped runner: which worker
 //! simulates a group cannot affect its history (per-group RNG streams),
 //! [`StreamStats`] partials are exact-integer state that merges
@@ -37,9 +52,12 @@ use crate::engine::{Engine, EngineCounters};
 use crate::events::GroupHistory;
 use crate::run::{BatchCursor, BatchRunner, Progress, StreamObserver, PROGRESS_STRIDE};
 use crate::stats::{SchedulerStats, StreamStats};
+use crate::sync_model::{
+    effective_claim, Cv, JobSpec, PoolCore, QuiescePoll, StdSync, SyncOps, WorkerPoll,
+};
 use raidsim_dists::rng::stream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Everything a pool worker needs, borrowed from the driving run.
 pub(crate) struct PoolCtx<'a> {
@@ -63,55 +81,30 @@ pub(crate) struct PoolCtx<'a> {
     pub target: u64,
 }
 
-/// Clamps the configured claim-batch size so a single epoch is never
-/// starved: with `eff = min(configured, max(1, count / (4·threads)))`
-/// the epoch yields `ceil(count / eff)` batches, which is at least
-/// `min(threads, count)` — whenever there are at least as many groups
-/// as workers, every worker can claim work. (If `count ≥ 4·threads`,
-/// `eff·4·threads ≤ count`, so there are at least `4·threads` batches;
-/// otherwise `eff == 1` and there are `count` batches.) The factor of
-/// four keeps a tail of small batches available to re-balance workers
-/// stuck on expensive groups.
-pub(crate) fn effective_claim(configured: u64, count: u64, threads: u64) -> u64 {
-    debug_assert!(configured > 0 && threads > 0);
-    configured.min((count / (threads * 4)).max(1))
-}
-
-/// One dispatched driver batch.
-#[derive(Clone)]
-struct Job {
-    cursor: Arc<BatchCursor>,
-    /// `true`: collect per-batch histories; `false`: stream into the
-    /// epoch's [`StreamStats`] accumulator.
-    collect: bool,
-}
-
-/// Mutex-guarded pool state. `epoch` strictly increases; a worker runs
-/// a job exactly once per epoch (it tracks the last epoch it served).
-struct State {
-    epoch: u64,
-    job: Option<Job>,
-    /// Workers still draining the current epoch.
-    active: usize,
+/// The data plane of one epoch: the claim cursor workers drain and the
+/// accumulators they merge into. Guarded by its own mutex, held only
+/// for short non-blocking sections (install, cursor hand-out, merge,
+/// harvest) — all ordering between them is provided by the protocol in
+/// [`PoolCore`], never by this lock.
+struct EpochData {
+    /// Cursor of the current epoch, `Some` from install to harvest.
+    cursor: Option<Arc<BatchCursor>>,
     /// Stream-mode epoch accumulator (`None` in collect mode).
     stream_acc: Option<StreamStats>,
     /// Collect-mode epoch accumulator: `(start_index, histories)` per
     /// claimed batch, in arbitrary completion order.
     collect_acc: Vec<(u64, Vec<GroupHistory>)>,
-    shutdown: bool,
-    panicked: bool,
 }
 
 struct Shared {
-    state: Mutex<State>,
-    /// Workers wait here for the next epoch (or shutdown).
-    work: Condvar,
-    /// The coordinator waits here for the epoch to quiesce.
-    quiesced: Condvar,
+    /// Protocol state + condvars; all blocking goes through here.
+    sync: StdSync,
+    /// Epoch data plane (see [`EpochData`]).
+    data: Mutex<EpochData>,
 }
 
-fn lock(shared: &Shared) -> MutexGuard<'_, State> {
-    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+fn lock_data(shared: &Shared) -> MutexGuard<'_, EpochData> {
+    shared.data.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Requests worker shutdown when dropped, so the enclosing
@@ -120,9 +113,8 @@ struct ShutdownOnDrop<'a>(&'a Shared);
 
 impl Drop for ShutdownOnDrop<'_> {
     fn drop(&mut self) {
-        let mut st = lock(self.0);
-        st.shutdown = true;
-        self.0.work.notify_all();
+        let wake = self.0.sync.guarded(PoolCore::request_shutdown);
+        self.0.sync.wake(wake);
     }
 }
 
@@ -139,11 +131,8 @@ impl Drop for PanicGuard<'_> {
         if !self.armed {
             return;
         }
-        let mut st = lock(self.shared);
-        st.panicked = true;
-        st.shutdown = true;
-        self.shared.work.notify_all();
-        self.shared.quiesced.notify_all();
+        let wake = self.shared.sync.guarded(PoolCore::mark_panicked);
+        self.shared.sync.wake(wake);
     }
 }
 
@@ -156,57 +145,69 @@ pub(crate) struct PoolRunner<'env, 'p> {
 
 impl PoolRunner<'_, '_> {
     /// Publishes `[lo, hi)` as the next epoch, wakes the workers, and
-    /// blocks until the epoch quiesces. Returns the state guard so the
+    /// blocks until the epoch quiesces. Returns the data guard so the
     /// caller can take the epoch's accumulator.
     ///
     /// # Panics
     ///
     /// Re-raises (as a coordinator panic) when any worker panicked.
-    fn run_epoch(&mut self, lo: usize, hi: usize, collect: bool) -> MutexGuard<'_, State> {
+    fn run_epoch(&mut self, lo: usize, hi: usize, collect: bool) -> MutexGuard<'_, EpochData> {
         debug_assert!(lo <= hi);
         let count = (hi - lo) as u64;
         let claim = effective_claim(self.ctx.claim_batch, count, self.ctx.threads as u64);
-        let cursor = Arc::new(BatchCursor::new(lo, hi, claim));
-        let mut st = lock(self.shared);
-        debug_assert_eq!(st.active, 0, "previous epoch fully quiesced");
-        st.epoch += 1;
-        st.job = Some(Job { cursor, collect });
-        st.active = self.ctx.threads;
-        st.stream_acc = (!collect).then(|| StreamStats::new(self.ctx.cfg.mission_hours));
-        st.collect_acc.clear();
-        self.shared.work.notify_all();
-        while st.active > 0 && !st.panicked {
-            st = self
-                .shared
-                .quiesced
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+        let spec = JobSpec {
+            lo: lo as u64,
+            hi: hi as u64,
+            claim,
+            collect,
+        };
+        // Install the data plane first: workers cannot observe it until
+        // the guarded publish makes the epoch visible, and no worker
+        // from the previous epoch can still touch it (`active == 0`).
+        {
+            let mut data = lock_data(self.shared);
+            data.cursor = Some(Arc::new(BatchCursor::new(lo, hi, claim)));
+            data.stream_acc = (!collect).then(|| StreamStats::new(self.ctx.cfg.mission_hours));
+            data.collect_acc.clear();
         }
-        st.job = None;
-        if st.panicked {
-            drop(st);
+        let wake = self.shared.sync.guarded(|core| core.publish(spec));
+        self.shared.sync.wake(wake);
+        let outcome = self
+            .shared
+            .sync
+            .poll_until(Cv::Quiesced, |core| match core.quiesce_poll() {
+                QuiescePoll::Wait => None,
+                other => Some(other),
+            });
+        self.shared.sync.guarded(PoolCore::retire);
+        if outcome == QuiescePoll::Panicked {
             panic!("simulation worker panicked");
         }
-        st
+        let mut data = lock_data(self.shared);
+        data.cursor = None;
+        data
     }
 }
 
 impl BatchRunner for PoolRunner<'_, '_> {
     fn stream_batch(&mut self, lo: usize, hi: usize) -> StreamStats {
-        let mut st = self.run_epoch(lo, hi, false);
-        st.stream_acc
+        let mut data = self.run_epoch(lo, hi, false);
+        data.stream_acc
             .take()
             .expect("stream epochs publish an accumulator")
     }
 
     fn collect_batch(&mut self, lo: usize, hi: usize) -> Vec<GroupHistory> {
-        let mut st = self.run_epoch(lo, hi, true);
-        let mut parts = std::mem::take(&mut st.collect_acc);
-        drop(st);
+        let mut data = self.run_epoch(lo, hi, true);
+        let mut parts = std::mem::take(&mut data.collect_acc);
+        drop(data);
         // Claim starts are unique within the epoch, so sorting by start
         // (an integer index — no float ordering involved) and
         // concatenating restores exact group-index order no matter
-        // which worker produced which batch.
+        // which worker produced which batch. The explicit comparator is
+        // deliberate: the float-discipline lint bans the `_by_key` form
+        // in simulation crates because float keys cannot implement Ord.
+        #[allow(clippy::unnecessary_sort_by)]
         parts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let mut histories = Vec::with_capacity(hi - lo);
         for (_, mut batch) in parts {
@@ -246,23 +247,23 @@ fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
         shared,
         armed: true,
     };
-    'serve: loop {
-        let job = {
-            let mut st = lock(shared);
-            loop {
-                if st.shutdown {
-                    break 'serve;
-                }
-                if st.epoch > seen_epoch {
-                    seen_epoch = st.epoch;
-                    break st.job.clone().expect("a published epoch carries a job");
-                }
-                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
-            }
-        };
+    loop {
+        let poll = shared
+            .sync
+            .poll_until(Cv::Work, |core| match core.worker_poll(seen_epoch) {
+                WorkerPoll::Wait => None,
+                WorkerPoll::Shutdown => Some(None),
+                WorkerPoll::Job(spec, epoch) => Some(Some((spec, epoch))),
+            });
+        let Some((job, epoch)) = poll else { break };
+        seen_epoch = epoch;
+        let cursor = lock_data(shared)
+            .cursor
+            .clone()
+            .expect("a published epoch carries a cursor");
         if job.collect {
             let mut local: Vec<(u64, Vec<GroupHistory>)> = Vec::new();
-            while let Some(range) = job.cursor.claim() {
+            while let Some(range) = cursor.claim() {
                 let start = range.start as u64;
                 let mut batch = Vec::with_capacity(range.len());
                 for i in range {
@@ -273,12 +274,10 @@ fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
                 }
                 local.push((start, batch));
             }
-            let mut st = lock(shared);
-            st.collect_acc.append(&mut local);
-            check_out(shared, st);
+            lock_data(shared).collect_acc.append(&mut local);
         } else {
             let mut stats = StreamStats::new(ctx.cfg.mission_hours);
-            while let Some(range) = job.cursor.claim() {
+            while let Some(range) = cursor.claim() {
                 for i in range {
                     let mut rng = stream(ctx.seed, i as u64);
                     stats.push(session.simulate_group(&mut rng));
@@ -286,25 +285,19 @@ fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
                     note_group(ctx, &mut last_bucket);
                 }
             }
-            let mut st = lock(shared);
-            st.stream_acc
+            lock_data(shared)
+                .stream_acc
                 .as_mut()
                 .expect("stream epochs publish an accumulator")
                 .merge(stats);
-            check_out(shared, st);
         }
+        // Merge-before-check-out: the guarded check-out below is what
+        // publishes this worker's merge to the coordinator's harvest.
+        let wake = shared.sync.guarded(PoolCore::check_out);
+        shared.sync.wake(wake);
     }
     guard.armed = false;
     (groups_done, session.counters())
-}
-
-/// Marks this worker done with the current epoch; the last one out
-/// wakes the coordinator.
-fn check_out(shared: &Shared, mut st: MutexGuard<'_, State>) {
-    st.active -= 1;
-    if st.active == 0 {
-        shared.quiesced.notify_all();
-    }
 }
 
 /// Spawns the pool, runs `body` against a [`PoolRunner`], shuts the
@@ -320,17 +313,12 @@ pub(crate) fn run_with_pool<R>(
 ) -> (R, SchedulerStats) {
     debug_assert!(ctx.threads > 1, "serial runs bypass the pool");
     let shared = Shared {
-        state: Mutex::new(State {
-            epoch: 0,
-            job: None,
-            active: 0,
+        sync: StdSync::new(ctx.threads),
+        data: Mutex::new(EpochData {
+            cursor: None,
             stream_acc: None,
             collect_acc: Vec::new(),
-            shutdown: false,
-            panicked: false,
         }),
-        work: Condvar::new(),
-        quiesced: Condvar::new(),
     };
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ctx.threads);
@@ -363,56 +351,4 @@ pub(crate) fn run_with_pool<R>(
         };
         (result, sched)
     })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::effective_claim;
-
-    #[test]
-    fn effective_claim_is_clamped_and_positive() {
-        // Small ranges fall back to single-group batches.
-        assert_eq!(effective_claim(64, 0, 4), 1);
-        assert_eq!(effective_claim(64, 10, 4), 1);
-        // Large ranges keep the configured size.
-        assert_eq!(effective_claim(64, 1_000_000, 4), 64);
-        // In between: the clamp, not the configured value.
-        assert_eq!(effective_claim(64, 100, 4), 6);
-        // A configured claim of one is never inflated.
-        assert_eq!(effective_claim(1, 1_000_000, 4), 1);
-    }
-
-    #[test]
-    fn every_worker_can_claim_a_batch_when_groups_cover_threads() {
-        // Starvation fix: whenever `count >= threads`, the epoch must
-        // yield at least `threads` batches so no worker sits idle on
-        // an already-drained cursor while whole batches remain.
-        for threads in 1..=16u64 {
-            for count in [
-                threads,
-                threads + 1,
-                2 * threads,
-                4 * threads,
-                4 * threads + 3,
-                100,
-                1_000,
-                65_536,
-            ] {
-                if count < threads {
-                    continue;
-                }
-                for configured in [1, 2, 7, 64, 1_000, u64::MAX / 2] {
-                    let eff = effective_claim(configured, count, threads);
-                    assert!(eff > 0);
-                    assert!(eff <= configured);
-                    let batches = count.div_ceil(eff);
-                    assert!(
-                        batches >= threads.min(count),
-                        "configured={configured} count={count} threads={threads} \
-                         eff={eff} batches={batches}"
-                    );
-                }
-            }
-        }
-    }
 }

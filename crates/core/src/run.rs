@@ -214,11 +214,11 @@ impl BatchCursor {
     /// from `u64::MAX` for any reachable input.
     pub(crate) fn claim(&self) -> Option<std::ops::Range<usize>> {
         let start = self.next.fetch_add(self.claim, Ordering::Relaxed);
-        if start >= self.hi {
-            return None;
-        }
-        let end = (start + self.claim).min(self.hi);
-        Some(start as usize..end as usize)
+        // The range arithmetic is shared with the model checker
+        // (`sync_model::claim_range`), which proves every index in
+        // `[lo, hi)` is handed out exactly once across all claims.
+        let (lo, end) = crate::sync_model::claim_range(start, self.hi, self.claim)?;
+        Some(lo as usize..end as usize)
     }
 }
 
@@ -615,19 +615,27 @@ impl Simulator {
         let done = AtomicU64::new(0);
         let (report, _sched) =
             self.with_runner(seed, threads, &(), &done, max_groups as u64, |runner| {
-                self.precision_driver(&driver, &mut stats, &(), &(), &mut None, 0, |sim, lo, hi| {
-                    // Extend deterministically: group i always uses
-                    // stream i. The histories are kept for the caller;
-                    // statistics come from the O(batch) accumulator,
-                    // never from a rescan of `result.histories`.
-                    let histories = runner.collect_batch(lo, hi);
-                    let mut batch_stats = StreamStats::new(sim.cfg.mission_hours);
-                    for h in &histories {
-                        batch_stats.push(h);
-                    }
-                    result.histories.extend(histories);
-                    batch_stats
-                })
+                self.precision_driver(
+                    &driver,
+                    &mut stats,
+                    &(),
+                    &(),
+                    &mut None,
+                    0,
+                    |sim, lo, hi| {
+                        // Extend deterministically: group i always uses
+                        // stream i. The histories are kept for the caller;
+                        // statistics come from the O(batch) accumulator,
+                        // never from a rescan of `result.histories`.
+                        let histories = runner.collect_batch(lo, hi);
+                        let mut batch_stats = StreamStats::new(sim.cfg.mission_hours);
+                        for h in &histories {
+                            batch_stats.push(h);
+                        }
+                        result.histories.extend(histories);
+                        batch_stats
+                    },
+                )
             });
         (result, report)
     }
@@ -688,8 +696,13 @@ impl Simulator {
         );
         let mut stats = StreamStats::new(self.cfg.mission_hours);
         let done = AtomicU64::new(0);
-        let (report, _sched) =
-            self.with_runner(seed, threads, observer, &done, max_groups as u64, |runner| {
+        let (report, _sched) = self.with_runner(
+            seed,
+            threads,
+            observer,
+            &done,
+            max_groups as u64,
+            |runner| {
                 self.precision_driver(
                     &driver,
                     &mut stats,
@@ -699,7 +712,8 @@ impl Simulator {
                     0,
                     |_sim, lo, hi| runner.stream_batch(lo, hi),
                 )
-            });
+            },
+        );
         (stats, report)
     }
 
@@ -919,8 +933,9 @@ impl Simulator {
     fn run_range(&self, lo: usize, hi: usize, seed: u64, threads: usize) -> SimulationResult {
         let done = AtomicU64::new(0);
         let count = (hi - lo) as u64;
-        let (histories, _sched) =
-            self.with_runner(seed, threads, &(), &done, count, |r| r.collect_batch(lo, hi));
+        let (histories, _sched) = self.with_runner(seed, threads, &(), &done, count, |r| {
+            r.collect_batch(lo, hi)
+        });
         SimulationResult {
             histories,
             mission_hours: self.cfg.mission_hours,

@@ -101,7 +101,14 @@ fn competing_risks() -> RaidGroupConfig {
 fn golden_cases() -> Vec<(&'static str, RaidGroupConfig, bool, usize, u64, u64)> {
     vec![
         ("base_des", base(), false, 300, 42, 0x6feb_935f_8a32_a19b),
-        ("base_timeline", base(), true, 300, 42, 0xa028_958c_1b07_6e41),
+        (
+            "base_timeline",
+            base(),
+            true,
+            300,
+            42,
+            0xa028_958c_1b07_6e41,
+        ),
         (
             "exp_degenerate",
             exponential_degenerate(),

@@ -1,0 +1,154 @@
+//! Exhaustive model-check of the worker pool's epoch handshake.
+//!
+//! Every test here explores *all* interleavings of a bounded scenario
+//! through the shared protocol transitions in
+//! `raidsim_core::sync_model` (the same code the production pool runs
+//! under its mutex), asserting the pool invariants hold in every
+//! schedule — not just the ones a property test happens to sample:
+//!
+//! * no lost wakeup / deadlock (every maximal schedule terminates),
+//! * no double-claimed batch index,
+//! * the exact-prefix checkpoint watermark at every quiesce point,
+//! * panic containment: a worker panic always reaches the
+//!   coordinator's quiesce wait and drains every worker.
+//!
+//! The mutation tests run the same search against deliberately broken
+//! protocols and assert a violation *is* found, so a green run is
+//! evidence about the pool, not about a checker too weak to see bugs.
+
+use raidsim_core::sync_model::{check, Mutation, Scenario};
+
+/// The CI tentpole bound: 2 workers × 2 epochs, single-group claims —
+/// every scheduling decision of the full publish/claim/merge/check-out/
+/// quiesce/shutdown cycle, twice over.
+#[test]
+fn two_workers_two_epochs_exhaustive() {
+    let report = check(&Scenario::new(2, vec![(0, 2), (2, 4)], 1));
+    assert_eq!(report.violation, None, "{report:?}");
+    // The space must be non-trivial: a collapsed search (pruning bug,
+    // runnable-set bug) would pass vacuously without these floors.
+    assert!(report.states > 100, "{report:?}");
+    assert!(report.interleavings > 1_000, "{report:?}");
+    assert!(report.max_depth >= 20, "{report:?}");
+}
+
+/// Three workers, two epochs, and a claim size the per-epoch clamp
+/// rewrites (`effective_claim(2, 3, 3) == 1`): exercises contention on
+/// the claim cursor with more workers than batches in flight.
+#[test]
+fn three_workers_two_epochs_exhaustive() {
+    let report = check(&Scenario::new(3, vec![(0, 3), (3, 6)], 2));
+    assert_eq!(report.violation, None, "{report:?}");
+    assert!(report.states > 1_000, "{report:?}");
+}
+
+/// Claim sizes larger than the per-epoch clamp allows: the configured
+/// value is rewritten by `effective_claim`, and a worker that claims a
+/// batch covering several groups must still hand every index out
+/// exactly once while its siblings race it on the cursor.
+#[test]
+fn oversized_claims_still_quiesce_exactly() {
+    // Clamped to single-group claims (count ≪ 4·threads).
+    for claim in [2, 64] {
+        let report = check(&Scenario::new(2, vec![(0, 2), (2, 4)], claim));
+        assert_eq!(report.violation, None, "claim={claim}: {report:?}");
+    }
+    // Genuine multi-group claims: effective_claim(64, 16, 2) == 2.
+    let report = check(&Scenario::new(2, vec![(0, 16)], 64));
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// Epochs of different sizes, including an empty one (`lo == hi`):
+/// workers must check out of an epoch with no work without touching
+/// the watermark.
+#[test]
+fn empty_and_ragged_epochs_are_handled() {
+    let report = check(&Scenario::new(2, vec![(0, 1), (1, 1), (1, 4)], 1));
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// Spurious wakeups enabled: any parked thread may wake at any moment
+/// (the weaker condvar contract). The handshake must tolerate them —
+/// its waits are all predicate loops.
+#[test]
+fn spurious_wakeups_never_break_the_handshake() {
+    let mut scenario = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+    scenario.spurious = true;
+    let report = check(&scenario);
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// Panic containment, exhaustively: for a panic injected at *every*
+/// group index in turn, every interleaving must still terminate with
+/// the panic re-raised by the coordinator and all workers drained —
+/// no deadlock at the quiesce wait, no worker left parked.
+#[test]
+fn panic_at_every_index_always_reaches_the_quiesce_point() {
+    for idx in 0..4 {
+        let mut scenario = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+        scenario.panic_at = Some(idx);
+        let report = check(&scenario);
+        assert_eq!(report.violation, None, "panic_at={idx}: {report:?}");
+    }
+}
+
+/// Panic containment under the weaker condvar contract as well.
+#[test]
+fn panic_with_spurious_wakeups_still_contained() {
+    let mut scenario = Scenario::new(2, vec![(0, 2)], 1);
+    scenario.panic_at = Some(1);
+    scenario.spurious = true;
+    let report = check(&scenario);
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// Three-worker panic: the two surviving workers must both drain.
+#[test]
+fn panic_with_three_workers_drains_all_survivors() {
+    let mut scenario = Scenario::new(3, vec![(0, 3)], 1);
+    scenario.panic_at = Some(2);
+    let report = check(&scenario);
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// Checker power: every seeded protocol breakage must be detected in
+/// the tentpole scenario. `NonAtomicPark` is the canonical lost
+/// wakeup (check-then-sleep outside the lock); the Skip* mutations
+/// drop one notification each; `UnderCountActive` quiesces early.
+#[test]
+fn seeded_protocol_bugs_are_all_detected() {
+    for mutation in [
+        Mutation::SkipPublishWake,
+        Mutation::SkipCheckoutWake,
+        Mutation::NonAtomicPark,
+        Mutation::UnderCountActive,
+    ] {
+        let mut scenario = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+        scenario.mutation = mutation;
+        let report = check(&scenario);
+        assert!(
+            report.violation.is_some(),
+            "mutation {mutation:?} went undetected"
+        );
+    }
+}
+
+/// A dropped panic wakeup must be detected as a deadlock (coordinator
+/// parked on quiesce forever).
+#[test]
+fn dropped_panic_wakeup_is_detected() {
+    let mut scenario = Scenario::new(2, vec![(0, 2)], 1);
+    scenario.panic_at = Some(0);
+    scenario.mutation = Mutation::SkipPanicWake;
+    let report = check(&scenario);
+    let v = report.violation.expect("lost panic wakeup must be caught");
+    assert!(v.contains("deadlock"), "{v}");
+}
+
+/// The search itself is deterministic: same scenario, same report —
+/// the committed BENCH_model.json numbers are reproducible exactly.
+#[test]
+fn reports_are_deterministic() {
+    let scenario = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+    assert_eq!(check(&scenario), check(&scenario));
+}

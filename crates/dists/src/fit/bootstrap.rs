@@ -1,7 +1,7 @@
 use super::FittedWeibull;
 use crate::empirical::Observation;
 use crate::DistError;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 
 /// A percentile bootstrap confidence interval for one fitted parameter.
@@ -70,7 +70,7 @@ pub fn bootstrap_ci(
     seed: u64,
 ) -> Result<(ParamCi, ParamCi), DistError> {
     let base = fit_fn(data)?;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = crate::rng::stream(seed, 0);
     let mut etas = Vec::with_capacity(replicates);
     let mut betas = Vec::with_capacity(replicates);
     let mut resample = vec![Observation::failure(0.0); data.len()];
@@ -113,6 +113,7 @@ mod tests {
     use super::*;
     use crate::fit::{mle, rank_regression};
     use crate::{LifeDistribution, Weibull3};
+    use rand::SeedableRng;
 
     fn complete_sample(eta: f64, beta: f64, n: usize, seed: u64) -> Vec<Observation> {
         let truth = Weibull3::two_param(eta, beta).unwrap();

@@ -298,10 +298,7 @@ mod tests {
     #[test]
     fn every_provided_family_lowers_to_its_own_variant() {
         let cases: Vec<(Arc<dyn LifeDistribution>, &str)> = vec![
-            (
-                Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap()),
-                "weibull3",
-            ),
+            (Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap()), "weibull3"),
             (Arc::new(Exponential::new(1e-5).unwrap()), "exponential"),
             (
                 Arc::new(Lognormal::new(0.0, 2.0, 0.7).unwrap()),

@@ -10,11 +10,11 @@
 //! random 64-bit seeds, asserting `to_bits` equality on paired streams.
 
 use proptest::prelude::*;
-use rand::SeedableRng;
 use raidsim_dists::{
     CompetingRisks, Degenerate, Exponential, LifeDistribution, Lognormal, Mixture, SampleKernel,
     Weibull3,
 };
+use rand::SeedableRng;
 use std::sync::Arc;
 
 /// Paired-stream check: the kernel and the dyn object each consume an

@@ -1,0 +1,266 @@
+//! Per-line lint allowlists shared by the pattern lints.
+//!
+//! Format: one `path:line:pattern` entry per line (`#` comments and
+//! blank lines ignored), e.g.
+//!
+//! ```text
+//! crates/dists/src/kernel.rs:175:expect(
+//! ```
+//!
+//! An entry admits exactly one `(file, line, pattern)` occurrence —
+//! nothing else in the file. That makes exemptions reviewable (the
+//! justification comment sits next to the precise use it admits) and
+//! makes rot visible: an entry whose use disappeared is reported as
+//! stale, and an entry whose use merely *moved* is reported with the
+//! line it moved to, so a refactor cannot silently widen or orphan an
+//! exemption. (The previous file-level format admitted every use of a
+//! pattern in a file and could only detect whole-file staleness.)
+
+use crate::source::MaskedSource;
+use crate::workspace;
+use crate::Finding;
+use std::path::{Path, PathBuf};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Workspace-relative path (forward slashes) the entry admits.
+    pub file: String,
+    /// 1-based line number of the admitted use.
+    pub line: usize,
+    /// The lint pattern being admitted (e.g. `expect(`).
+    pub pattern: String,
+    /// Line of the entry inside the allowlist file, for findings.
+    pub src_line: usize,
+}
+
+/// A loaded allowlist plus the path it came from.
+#[derive(Debug, Clone)]
+pub struct Allowlist {
+    /// Workspace-relative path of the allowlist file.
+    pub rel_path: &'static str,
+    entries: Vec<Entry>,
+}
+
+/// One raw lint hit, before allowlist filtering.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// Workspace-relative path (forward slashes) of the offending file.
+    pub file: String,
+    /// 1-based line of the hit.
+    pub line: usize,
+    /// The pattern that matched.
+    pub pattern: String,
+    /// Message to report if the hit is not admitted.
+    pub message: String,
+}
+
+impl Allowlist {
+    /// Loads `root/rel_path`; a missing file is an empty allowlist.
+    pub fn load(root: &Path, rel_path: &'static str) -> Result<Allowlist, String> {
+        let path = root.join(rel_path);
+        let mut entries = Vec::new();
+        if !path.is_file() {
+            return Ok(Allowlist { rel_path, entries });
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let malformed = || {
+                format!(
+                    "{rel_path}:{}: malformed allowlist entry `{line}` \
+                     (expected `path.rs:line:pattern`)",
+                    idx + 1
+                )
+            };
+            let (file, rest) = line.split_once(':').ok_or_else(malformed)?;
+            let (line_no, pattern) = rest.split_once(':').ok_or_else(malformed)?;
+            let line_no: usize = line_no.trim().parse().map_err(|_| malformed())?;
+            entries.push(Entry {
+                file: file.trim().to_string(),
+                line: line_no,
+                pattern: pattern.trim().to_string(),
+                src_line: idx + 1,
+            });
+        }
+        Ok(Allowlist { rel_path, entries })
+    }
+
+    /// Filters `hits` through the allowlist: admitted hits are
+    /// suppressed, the rest become findings, and unused entries are
+    /// reported as stale — with the line the use moved to when the
+    /// same `(file, pattern)` still occurs elsewhere.
+    pub fn apply(&self, check: &'static str, hits: &[Hit]) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        for hit in hits {
+            let admitted = self
+                .entries
+                .iter()
+                .position(|e| e.file == hit.file && e.line == hit.line && e.pattern == hit.pattern);
+            match admitted {
+                Some(i) => used[i] = true,
+                None => findings.push(Finding {
+                    check,
+                    path: PathBuf::from(&hit.file),
+                    line: hit.line,
+                    message: hit.message.clone(),
+                }),
+            }
+        }
+        for (entry, _) in self.entries.iter().zip(&used).filter(|&(_, &u)| !u) {
+            let moved: Vec<usize> = hits
+                .iter()
+                .filter(|h| h.file == entry.file && h.pattern == entry.pattern)
+                .map(|h| h.line)
+                .collect();
+            let why = if moved.is_empty() {
+                "no such use remains".to_string()
+            } else {
+                format!(
+                    "the use moved to line{} {}; update the entry",
+                    if moved.len() == 1 { "" } else { "s" },
+                    moved
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            findings.push(Finding {
+                check,
+                path: PathBuf::from(self.rel_path),
+                line: entry.src_line,
+                message: format!(
+                    "stale allowlist entry `{}:{}:{}` ({why})",
+                    entry.file, entry.line, entry.pattern
+                ),
+            });
+        }
+        findings
+    }
+}
+
+/// Scans `files` (absolute paths under `root`) for the masked-source
+/// `(pattern, why)` pairs in `forbidden`, producing one [`Hit`] per
+/// occurrence line — comments, string literals, and `#[cfg(test)]`
+/// modules excluded by the masking.
+pub fn scan(
+    root: &Path,
+    files: &[PathBuf],
+    forbidden: &[(&str, &str)],
+) -> Result<Vec<Hit>, String> {
+    let mut hits = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = workspace::relative(root, file);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let masked = MaskedSource::new(&text);
+        for (pattern, why) in forbidden {
+            for line in masked.find_pattern(pattern) {
+                hits.push(Hit {
+                    file: rel_str.clone(),
+                    line,
+                    pattern: (*pattern).to_string(),
+                    message: format!("forbidden `{pattern}`: {why}"),
+                });
+            }
+        }
+    }
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allow(entries: Vec<Entry>) -> Allowlist {
+        Allowlist {
+            rel_path: "xtask/test-allow.txt",
+            entries,
+        }
+    }
+
+    fn hit(file: &str, line: usize, pattern: &str) -> Hit {
+        Hit {
+            file: file.into(),
+            line,
+            pattern: pattern.into(),
+            message: format!("forbidden `{pattern}`"),
+        }
+    }
+
+    fn entry(file: &str, line: usize, pattern: &str) -> Entry {
+        Entry {
+            file: file.into(),
+            line,
+            pattern: pattern.into(),
+            src_line: 1,
+        }
+    }
+
+    #[test]
+    fn admitted_hits_are_suppressed_and_others_reported() {
+        let a = allow(vec![entry("a.rs", 10, "expect(")]);
+        let findings = a.apply(
+            "panic-policy",
+            &[hit("a.rs", 10, "expect("), hit("a.rs", 20, "expect(")],
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 20);
+    }
+
+    #[test]
+    fn an_entry_admits_only_its_own_line() {
+        let a = allow(vec![entry("a.rs", 10, "expect(")]);
+        let findings = a.apply("panic-policy", &[hit("a.rs", 11, "expect(")]);
+        // The hit is reported AND the entry is stale-with-moved-line.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("moved to line 11")));
+    }
+
+    #[test]
+    fn dead_entries_are_stale() {
+        let a = allow(vec![entry("gone.rs", 5, "unwrap(")]);
+        let findings = a.apply("panic-policy", &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no such use remains"));
+        assert_eq!(findings[0].path, PathBuf::from("xtask/test-allow.txt"));
+    }
+
+    #[test]
+    fn patterns_with_colons_parse() {
+        let dir = std::env::temp_dir().join("xtask-allowlist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("colon-allow.txt");
+        std::fs::write(&path, "# c\ncrates/x.rs:7:SystemTime::now\n").expect("write");
+        // Load via a rel_path rooted at the temp dir.
+        let loaded = Allowlist::load(&dir, "colon-allow.txt").expect("load");
+        assert_eq!(
+            loaded.entries,
+            vec![Entry {
+                file: "crates/x.rs".into(),
+                line: 7,
+                pattern: "SystemTime::now".into(),
+                src_line: 2,
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_entries_error_with_location() {
+        let dir = std::env::temp_dir().join("xtask-allowlist-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bad-allow.txt");
+        std::fs::write(&path, "a.rs:expect(\n").expect("write");
+        let err = Allowlist::load(&dir, "bad-allow.txt").expect_err("must fail");
+        assert!(err.contains("bad-allow.txt:1"), "{err}");
+    }
+}

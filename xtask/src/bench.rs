@@ -158,7 +158,7 @@ fn invariant_violations(text: &str) -> Vec<String> {
 /// Minimal recursive-descent JSON well-formedness checker (the
 /// workspace's vendored serde has no JSON backend, so the validation is
 /// hand-rolled). Checks syntax only; no values are materialized.
-fn validate_json(text: &str) -> Result<(), String> {
+pub(crate) fn validate_json(text: &str) -> Result<(), String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
@@ -193,7 +193,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String
                 skip_ws(bytes, pos);
                 parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
+                expect_byte(bytes, pos, b':')?;
                 skip_ws(bytes, pos);
                 parse_value(bytes, pos, depth + 1)?;
                 skip_ws(bytes, pos);
@@ -237,7 +237,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
     if bytes.get(*pos) == Some(&want) {
         *pos += 1;
         Ok(())
@@ -256,7 +256,7 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String>
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
-    expect(bytes, pos, b'"')?;
+    expect_byte(bytes, pos, b'"')?;
     while let Some(&c) = bytes.get(*pos) {
         match c {
             b'"' => {

@@ -2,10 +2,9 @@
 //! for identical seeds, so constructs with nondeterministic iteration
 //! order or wall-clock dependence are forbidden in their non-test code.
 
-use crate::source::MaskedSource;
-use crate::workspace::{self, SIM_CRATES};
+use crate::allowlist::{self, Allowlist};
+use crate::workspace;
 use crate::Finding;
-use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Forbidden constructs, paired with the reason reported to the user.
@@ -46,79 +45,10 @@ pub const ALLOWLIST: &str = "xtask/determinism-allow.txt";
 
 /// Runs the lint over every simulation crate's `src/` tree.
 pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
-    let allow = load_allowlist(root)?;
-    let mut findings = Vec::new();
-    let mut used: BTreeSet<(String, String)> = BTreeSet::new();
-    for krate in SIM_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        for file in workspace::rust_files(&src)? {
-            let text = std::fs::read_to_string(&file)
-                .map_err(|e| format!("reading {}: {e}", file.display()))?;
-            let rel = workspace::relative(root, &file);
-            let rel_str = rel.to_string_lossy().replace('\\', "/");
-            let masked = MaskedSource::new(&text);
-            for (pattern, why) in FORBIDDEN {
-                let lines = masked.find_pattern(pattern);
-                if lines.is_empty() {
-                    continue;
-                }
-                if allow.contains(&(rel_str.clone(), pattern.to_string())) {
-                    used.insert((rel_str.clone(), pattern.to_string()));
-                    continue;
-                }
-                for line in lines {
-                    findings.push(Finding {
-                        check: "determinism",
-                        path: rel.clone(),
-                        line,
-                        message: format!("forbidden `{pattern}`: {why}"),
-                    });
-                }
-            }
-        }
-    }
-    // A stale allowlist entry silently disables the lint for code that
-    // no longer needs it; flag those too.
-    for (path, pattern) in allow.difference(&used) {
-        findings.push(Finding {
-            check: "determinism",
-            path: root
-                .join(ALLOWLIST)
-                .strip_prefix(root)
-                .unwrap()
-                .to_path_buf(),
-            line: 0,
-            message: format!("stale allowlist entry `{path}:{pattern}` (no such use remains)"),
-        });
-    }
-    Ok(findings)
-}
-
-/// Parses the allowlist: one `path:pattern` entry per line, `#`
-/// comments and blank lines ignored.
-fn load_allowlist(root: &Path) -> Result<BTreeSet<(String, String)>, String> {
-    let path = root.join(ALLOWLIST);
-    let mut entries = BTreeSet::new();
-    if !path.is_file() {
-        return Ok(entries);
-    }
-    let text =
-        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Some((file, pattern)) = line.rsplit_once(':') else {
-            return Err(format!(
-                "{}:{}: malformed allowlist entry `{line}` (expected `path.rs:pattern`)",
-                path.display(),
-                idx + 1
-            ));
-        };
-        entries.insert((file.trim().to_string(), pattern.trim().to_string()));
-    }
-    Ok(entries)
+    let allow = Allowlist::load(root, ALLOWLIST)?;
+    let files = workspace::sim_sources(root)?;
+    let hits = allowlist::scan(root, &files, &FORBIDDEN)?;
+    Ok(allow.apply("determinism", &hits))
 }
 
 #[cfg(test)]
@@ -160,6 +90,8 @@ mod tests {
 
     #[test]
     fn seeded_stdrng_is_not_flagged() {
+        // Not flagged *here* — ad-hoc StdRng construction is the
+        // rng-discipline lint's jurisdiction.
         assert_eq!(
             hits("use rand::rngs::StdRng; let r = StdRng::seed_from_u64(7);"),
             Vec::<&str>::new()
@@ -170,19 +102,5 @@ mod tests {
     fn test_module_uses_are_ignored() {
         let src = "pub fn sim() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n    fn t() { let _ = HashSet::<u8>::new(); }\n}\n";
         assert_eq!(hits(src), Vec::<&str>::new());
-    }
-
-    #[test]
-    fn allowlist_lines_parse() {
-        let entries = "# comment\n\ncrates/core/src/x.rs:HashMap\n";
-        let mut found = Vec::new();
-        for line in entries.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            found.push(line.rsplit_once(':').unwrap());
-        }
-        assert_eq!(found, vec![("crates/core/src/x.rs", "HashMap")]);
     }
 }

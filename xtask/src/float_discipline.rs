@@ -1,0 +1,264 @@
+//! Float-discipline lint: float handling in simulation crates must be
+//! total, double-precision, and deterministic.
+//!
+//! Three rules, all scoped to non-test simulation code:
+//!
+//! 1. **No partial orderings.** `partial_cmp` on event times returns
+//!    `None` for NaN, which the seed code papered over with
+//!    `.expect("times are finite")` — a latent panic, and with
+//!    `sort_by` an `unwrap_or(Equal)` silently corrupts event order
+//!    instead. The engines order floats with `f64::total_cmp`.
+//! 2. **No `f32`.** The reliability integrals span 10⁻¹⁵-scale hazard
+//!    increments against 10⁵-hour horizons; single precision loses the
+//!    increments entirely, and mixed-precision intermediates make
+//!    results depend on which path a value took. `f64` is the only
+//!    float type in simulation code.
+//! 3. **Explicit comparators.** Every `sort_by` / `min_by` / `max_by` /
+//!    `binary_search_by` call must name `total_cmp` (or a key type's
+//!    own `cmp`) in its comparator — checked against the call's actual
+//!    argument tokens, so a comparator smuggled through a helper that
+//!    hides a partial ordering is still visible at the call site.
+//!
+//! Rules 1–2 are pattern checks over masked source; rule 3 walks the
+//! token stream (the lexer's, not a regex), because it needs to see the
+//! tokens *inside* the call's parentheses.
+
+use crate::allowlist::{self, Allowlist, Hit};
+use crate::lexer::TokenKind;
+use crate::source::MaskedSource;
+use crate::workspace;
+use crate::Finding;
+use std::path::Path;
+
+/// Patterns whose presence in non-test simulation code is a violation.
+const FORBIDDEN: [(&str, &str); 3] = [
+    (
+        "partial_cmp",
+        "partial float ordering (None on NaN); use f64::total_cmp",
+    ),
+    (
+        "sort_unstable_by_key",
+        "float keys cannot implement Ord; sort with f64::total_cmp instead",
+    ),
+    (
+        "f32",
+        "single precision loses the hazard increments the model integrates; \
+         simulation floats are f64 only",
+    ),
+];
+
+/// Comparator-taking methods whose argument must name a total ordering.
+const COMPARATOR_METHODS: [&str; 5] = [
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// Identifiers that satisfy the comparator check when they appear among
+/// the call's argument tokens: `total_cmp` for floats, `cmp` for `Ord`
+/// key types.
+const TOTAL_ORDERINGS: [&str; 2] = ["total_cmp", "cmp"];
+
+/// Path of the allowlist file relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/float-discipline-allow.txt";
+
+/// Runs the lint over every simulation crate's `src/` tree.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow = Allowlist::load(root, ALLOWLIST)?;
+    let files = workspace::sim_sources(root)?;
+    let mut hits = allowlist::scan(root, &files, &FORBIDDEN)?;
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let rel = workspace::relative(root, file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let masked = MaskedSource::new(&text);
+        for (line, method) in comparator_violations(&masked) {
+            hits.push(Hit {
+                file: rel.clone(),
+                line,
+                pattern: format!("{method}(..)"),
+                message: format!(
+                    "`{method}` comparator names neither `total_cmp` nor `cmp`; \
+                     order floats with f64::total_cmp"
+                ),
+            });
+        }
+    }
+    Ok(allow.apply("float-discipline", &hits))
+}
+
+/// Finds comparator-method calls whose parenthesized arguments never
+/// mention a total ordering, returning `(line, method)` pairs.
+///
+/// Walks live code tokens only: a `sort_by` in a comment, a string, or
+/// a `#[cfg(test)]` module does not count, and neither do masked tokens
+/// *inside* an argument list (a string literal containing `cmp` cannot
+/// satisfy the check).
+fn comparator_violations(masked: &MaskedSource) -> Vec<(usize, &'static str)> {
+    let tokens = masked.tokens();
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| masked.is_code(&tokens[i]))
+        .collect();
+    let mut violations = Vec::new();
+    for (ci, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(method) = COMPARATOR_METHODS
+            .iter()
+            .find(|&&m| masked.text(t) == m)
+            .copied()
+        else {
+            continue;
+        };
+        // The next code token must open the call's argument list; a
+        // bare mention (e.g. a re-export) takes no comparator.
+        let Some(&open) = code.get(ci + 1) else {
+            continue;
+        };
+        if masked.text(&tokens[open]) != "(" {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut satisfied = false;
+        for &j in &code[ci + 2..] {
+            let text = masked.text(&tokens[j]);
+            match text {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if tokens[j].kind == TokenKind::Ident && TOTAL_ORDERINGS.contains(&text) {
+                        satisfied = true;
+                    }
+                }
+            }
+        }
+        if !satisfied {
+            violations.push((masked.line_of(t.start), method));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_hits(src: &str) -> usize {
+        let masked = MaskedSource::new(src);
+        FORBIDDEN
+            .iter()
+            .map(|(p, _)| masked.find_pattern(p).len())
+            .sum()
+    }
+
+    fn comparator_hits(src: &str) -> Vec<(usize, &'static str)> {
+        comparator_violations(&MaskedSource::new(src))
+    }
+
+    #[test]
+    fn fixture_with_partial_cmp_fails() {
+        let src = include_str!("../fixtures/bad_nan.rs");
+        assert!(pattern_hits(src) >= 1);
+    }
+
+    #[test]
+    fn total_cmp_passes() {
+        assert_eq!(
+            pattern_hits("v.sort_by(f64::total_cmp); a.total_cmp(&b);"),
+            0
+        );
+        assert_eq!(comparator_hits("v.sort_by(f64::total_cmp);"), vec![]);
+    }
+
+    #[test]
+    fn partial_cmp_in_comment_passes() {
+        assert_eq!(
+            pattern_hits("// partial_cmp would be wrong here\nlet x = 1;"),
+            0
+        );
+    }
+
+    #[test]
+    fn clean_fixture_passes() {
+        assert_eq!(pattern_hits(include_str!("../fixtures/good.rs")), 0);
+    }
+
+    #[test]
+    fn f32_is_flagged_outside_tests_and_comments() {
+        assert_eq!(pattern_hits("fn f(x: f32) -> f32 { x }"), 2);
+        assert_eq!(
+            pattern_hits("// f32 would lose precision\nfn f(x: f64) {}"),
+            0
+        );
+        assert_eq!(
+            pattern_hits("#[cfg(test)]\nmod tests {\n    fn t(x: f32) {}\n}\n"),
+            0
+        );
+        // `f32` must not match inside longer identifiers.
+        assert_eq!(pattern_hits("let if32_count = 1;"), 0);
+    }
+
+    #[test]
+    fn comparator_without_total_ordering_is_flagged() {
+        // The canonical seeded violation: `partial_cmp` on f64 inside a
+        // sort comparator. Both rules catch it — `partial_cmp` is a
+        // banned pattern and does not satisfy the comparator check.
+        let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
+        assert_eq!(comparator_hits(src), vec![(2, "sort_by")]);
+        assert!(pattern_hits(src) >= 1);
+    }
+
+    #[test]
+    fn comparator_through_helper_is_flagged() {
+        // The failure mode regex lints cannot see: the call site looks
+        // innocent because the partial ordering hides in a helper.
+        let src = "fn f(v: &mut Vec<f64>) { v.sort_by(by_time); }";
+        assert_eq!(comparator_hits(src), vec![(1, "sort_by")]);
+        assert_eq!(pattern_hits(src), 0);
+    }
+
+    #[test]
+    fn keyed_cmp_and_nested_calls_pass() {
+        assert_eq!(comparator_hits("v.sort_by(|a, b| a.0.cmp(&b.0));"), vec![]);
+        assert_eq!(
+            comparator_hits("v.min_by(|a, b| a.time().total_cmp(&b.time()));"),
+            vec![]
+        );
+        // Nested parens and a string containing a paren don't derail
+        // the balance scan.
+        assert_eq!(
+            comparator_hits("v.max_by(|a, b| (a.w * f(\")\")).total_cmp(&(b.w)));"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn cmp_in_a_string_does_not_satisfy() {
+        assert_eq!(
+            comparator_hits("v.sort_by(|a, b| order(a, b, \"cmp\"));"),
+            vec![(1, "sort_by")]
+        );
+    }
+
+    #[test]
+    fn comparator_calls_in_test_modules_pass() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(v: &mut Vec<f64>) { v.sort_by(bad); }\n}\n";
+        assert_eq!(comparator_hits(src), vec![]);
+    }
+
+    #[test]
+    fn bare_mention_without_call_passes() {
+        assert_eq!(comparator_hits("pub use sorter::sort_by;"), vec![]);
+    }
+}

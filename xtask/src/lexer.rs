@@ -1,0 +1,466 @@
+//! A hand-rolled Rust lexer for the lint engine.
+//!
+//! The lints need to know, for every byte of a source file, whether it
+//! is code, comment, or literal — and for code, where the identifier
+//! and punctuation boundaries are. A full parser is overkill; a lexer
+//! is exactly enough, and unlike the old character-scan it composes:
+//! one pass produces a token stream that every lint (masking-based or
+//! token-based) consumes.
+//!
+//! Handles the parts of the Rust token grammar that matter for masking:
+//! line comments, nested block comments, string literals with escapes,
+//! raw strings `r"…"`/`r#"…"#` (any hash depth), byte and raw-byte
+//! variants, char literals vs lifetimes (`'x'` vs `'a`), numbers, and
+//! identifiers (including raw identifiers `r#ident`). Everything else
+//! is single-byte punctuation. The lexer never fails: malformed input
+//! (unterminated literals) degrades to a token ending at EOF, which is
+//! the conservative choice for a linter.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — the quote plus the identifier.
+    Lifetime,
+    /// Char literal `'x'`, including escapes.
+    Char,
+    /// Byte literal `b'x'`.
+    Byte,
+    /// String literal `"…"`, including escapes.
+    Str,
+    /// Raw string literal `r"…"` / `r#"…"#`.
+    RawStr,
+    /// Byte-string literal `b"…"`.
+    ByteStr,
+    /// Raw byte-string literal `br"…"` / `br#"…"#`.
+    RawByteStr,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting respected (doc comments included).
+    BlockComment,
+    /// Any other single byte of punctuation.
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether this token is a comment or a literal whose contents the
+    /// lints must never match against.
+    pub fn is_masked(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Char
+                | TokenKind::Byte
+                | TokenKind::Str
+                | TokenKind::RawStr
+                | TokenKind::ByteStr
+                | TokenKind::RawByteStr
+                | TokenKind::LineComment
+                | TokenKind::BlockComment
+        )
+    }
+}
+
+/// One token: its kind and the half-open byte span `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Lexes `src` into a token stream. Whitespace is skipped (it carries
+/// no information the lints need); every other byte belongs to exactly
+/// one token, in order, so `tokens` tile the non-whitespace bytes.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < src.len() {
+        let b = src[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = match b {
+            b'/' if src.get(i + 1) == Some(&b'/') => {
+                while i < src.len() && src[i] != b'\n' {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < src.len() {
+                    if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = string_end(src, i + 1);
+                TokenKind::Str
+            }
+            b'\'' => match char_or_lifetime(src, i) {
+                CharOrLifetime::Char(end) => {
+                    i = end;
+                    TokenKind::Char
+                }
+                CharOrLifetime::Lifetime(end) => {
+                    i = end;
+                    TokenKind::Lifetime
+                }
+            },
+            b'r' | b'b' if raw_string_hashes(src, i).is_some() => {
+                // `r"`, `r#"`, `b"`, `br"`, and hashed variants. The
+                // guard proved a quote follows the prefix + hashes.
+                let (hashes, quote) = raw_string_hashes(src, i).unwrap_or((0, i));
+                let is_byte = src[i] == b'b';
+                // `b"…"` is a plain (escaping) byte string; every other
+                // combination that reaches this arm is raw.
+                let is_raw = !(is_byte && src.get(i + 1) == Some(&b'"'));
+                i = if is_raw {
+                    raw_string_body_end(src, quote + 1, hashes)
+                } else {
+                    string_end(src, quote + 1)
+                };
+                match (is_byte, is_raw) {
+                    (true, true) => TokenKind::RawByteStr,
+                    (true, false) => TokenKind::ByteStr,
+                    (false, _) => TokenKind::RawStr,
+                }
+            }
+            b'b' if src.get(i + 1) == Some(&b'\'') => {
+                // Byte literal `b'x'`: lex the char part.
+                match char_or_lifetime(src, i + 1) {
+                    CharOrLifetime::Char(end) => {
+                        i = end;
+                        TokenKind::Byte
+                    }
+                    CharOrLifetime::Lifetime(_) => {
+                        // `b'static`-style input is not valid Rust;
+                        // treat the `b` as an ident and move on.
+                        i = ident_end(src, i);
+                        TokenKind::Ident
+                    }
+                }
+            }
+            _ if is_ident_start(b) => {
+                i = ident_end(src, i);
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => {
+                i = number_end(src, i);
+                TokenKind::Number
+            }
+            _ => {
+                i += 1;
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+/// Is `b` an identifier byte (continuation position)?
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn ident_end(src: &[u8], mut i: usize) -> usize {
+    // Raw identifier `r#ident`: consume the `r#` prefix first. (A
+    // hash followed by a quote was already routed to the raw-string
+    // arm, so `r#"` never reaches here.)
+    if src[i] == b'r'
+        && src.get(i + 1) == Some(&b'#')
+        && src.get(i + 2).copied().is_some_and(is_ident_start)
+    {
+        i += 2;
+    }
+    while i < src.len() && is_ident_byte(src[i]) {
+        i += 1;
+    }
+    i
+}
+
+fn number_end(src: &[u8], mut i: usize) -> usize {
+    // Digits, underscores, suffixes, hex/oct/bin bodies — all ident
+    // bytes. One fractional/exponent dot is accepted when followed by
+    // a digit, so `0..n` lexes as Number, Punct, Punct, Ident.
+    i += 1;
+    let mut seen_dot = false;
+    while i < src.len() {
+        let b = src[i];
+        if is_ident_byte(b) {
+            // `1e-3` / `1E+3`: a sign directly after an exponent `e`
+            // belongs to the number.
+            i += 1;
+            if (b == b'e' || b == b'E')
+                && matches!(src.get(i), Some(&b'+') | Some(&b'-'))
+                && src.get(i + 1).is_some_and(u8::is_ascii_digit)
+            {
+                i += 1;
+            }
+        } else if b == b'.' && !seen_dot && src.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            seen_dot = true;
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Scans past a (non-raw) string body starting just after the opening
+/// quote; returns the offset one past the closing quote (or EOF).
+fn string_end(src: &[u8], mut i: usize) -> usize {
+    while i < src.len() {
+        match src[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    src.len()
+}
+
+/// If a raw/byte string starts at `i` (`r`, `b`, or `br` + hashes +
+/// quote), returns `(hash_count, quote_offset)`.
+fn raw_string_hashes(src: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if src[j] == b'b' {
+        j += 1;
+        if src.get(j) == Some(&b'r') {
+            j += 1;
+        } else {
+            // `b"…"`: byte string, zero hashes.
+            return (src.get(j) == Some(&b'"')).then_some((0, j));
+        }
+    } else if src[j] == b'r' {
+        j += 1;
+    } else {
+        return None;
+    }
+    let mut hashes = 0;
+    while src.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (src.get(j) == Some(&b'"')).then_some((hashes, j))
+}
+
+/// Scans past a raw-string body starting just after the opening quote;
+/// the body ends at `"` followed by `hashes` hash bytes.
+fn raw_string_body_end(src: &[u8], mut i: usize, hashes: usize) -> usize {
+    while i < src.len() {
+        if src[i] == b'"' {
+            let close_end = i + 1 + hashes;
+            if close_end <= src.len() && src[i + 1..close_end].iter().all(|&b| b == b'#') {
+                return close_end;
+            }
+        }
+        i += 1;
+    }
+    src.len()
+}
+
+enum CharOrLifetime {
+    /// Char literal; value is the offset one past the closing quote.
+    Char(usize),
+    /// Lifetime; value is the offset one past the identifier.
+    Lifetime(usize),
+}
+
+/// Disambiguates a `'` at `i`: `'x'` and `'\n'` are chars, `'a` and
+/// `'static` are lifetimes (no closing quote after the identifier).
+fn char_or_lifetime(src: &[u8], i: usize) -> CharOrLifetime {
+    match src.get(i + 1) {
+        Some(&b'\\') => {
+            // Escaped char: the byte after the backslash always
+            // belongs to the escape (`'\''`, `'\\'`), then scan to the
+            // closing quote (covers `'\x41'`, `'\u{1F4BE}'`).
+            let mut j = i + 3;
+            while j < src.len() && src[j] != b'\'' {
+                j += 1;
+            }
+            CharOrLifetime::Char((j + 1).min(src.len()))
+        }
+        Some(&c) if is_ident_start(c) => {
+            // `'x'` is a char; `'x` + more ident bytes or anything
+            // else is a lifetime.
+            let end = ident_end(src, i + 1);
+            if src.get(end) == Some(&b'\'') && end == i + 2 {
+                CharOrLifetime::Char(end + 1)
+            } else {
+                CharOrLifetime::Lifetime(end)
+            }
+        }
+        Some(_) => {
+            // `'('`-style single-char literal (non-ident char).
+            if src.get(i + 2) == Some(&b'\'') {
+                CharOrLifetime::Char(i + 3)
+            } else {
+                // Stray quote; treat as a one-byte lifetime-ish token
+                // so the lexer keeps tiling the input.
+                CharOrLifetime::Lifetime(i + 1)
+            }
+        }
+        None => CharOrLifetime::Lifetime(i + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let toks = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::BlockComment, "/* outer /* inner */ still */"),
+                (TokenKind::Ident, "code"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_swallow_embedded_comment_markers() {
+        let toks = kinds(r###"let s = r#"// not a comment "quoted" "#;"###);
+        assert!(toks.contains(&(TokenKind::RawStr, r###"r#"// not a comment "quoted" "#"###)));
+        // Nothing after the raw string was mis-lexed as a comment.
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn deep_hash_raw_strings() {
+        let toks = kinds(r####"r##"inner "# quote"## ; x"####);
+        assert_eq!(
+            toks[0],
+            (TokenKind::RawStr, r####"r##"inner "# quote"##"####)
+        );
+        assert_eq!(toks[2], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'b'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn static_lifetime_and_escaped_chars() {
+        let toks = kinds(r"&'static str; let n = '\n'; let q = '\''; let bs = '\\';");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static")));
+        assert!(toks.contains(&(TokenKind::Char, r"'\n'")));
+        assert!(toks.contains(&(TokenKind::Char, r"'\''")));
+        assert!(toks.contains(&(TokenKind::Char, r"'\\'")));
+    }
+
+    #[test]
+    fn byte_literals_and_byte_strings() {
+        let toks = kinds(r##"let a = b'x'; let b = b"bytes"; let c = br#"raw"#;"##);
+        assert!(toks.contains(&(TokenKind::Byte, "b'x'")));
+        assert!(toks.contains(&(TokenKind::ByteStr, r#"b"bytes""#)));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::RawByteStr));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = kinds(r#"let s = "quote \" inside"; after();"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""quote \" inside""#)));
+        assert!(toks.contains(&(TokenKind::Ident, "after")));
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_exponents() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; let h = 0xFF_u64; }");
+        assert!(toks.contains(&(TokenKind::Number, "0")));
+        assert!(toks.contains(&(TokenKind::Number, "10")));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3")));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF_u64")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn unterminated_literals_degrade_to_eof() {
+        assert_eq!(
+            lex(b"let s = \"open").last().map(|t| t.kind),
+            Some(TokenKind::Str)
+        );
+        assert_eq!(
+            lex(b"let s = r#\"open").last().map(|t| t.kind),
+            Some(TokenKind::RawStr)
+        );
+        assert_eq!(
+            lex(b"/* never closed").last().map(|t| t.kind),
+            Some(TokenKind::BlockComment)
+        );
+    }
+
+    #[test]
+    fn tokens_tile_all_non_whitespace_bytes() {
+        let src = br#"fn f<'a>(s: &'a str) -> u8 { s.bytes().next().unwrap_or(b'0') } // end"#;
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            assert!(t.start < t.end, "{t:?}");
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                assert!(!*c, "overlapping tokens at {t:?}");
+                *c = true;
+            }
+        }
+        // Every non-whitespace byte belongs to a token (tokens may
+        // additionally cover whitespace inside comments/literals).
+        for (i, (&b, &c)) in src.iter().zip(covered.iter()).enumerate() {
+            assert!(
+                b.is_ascii_whitespace() || c,
+                "byte {i} ({:?}) not covered by any token",
+                b as char
+            );
+        }
+    }
+}

@@ -1,35 +1,53 @@
 //! `cargo xtask` — the repo-specific static-analysis suite.
 //!
 //! Run as `cargo xtask check` (the alias lives in `.cargo/config.toml`).
-//! Five checks, each targeting an invariant the simulator's correctness
+//! Eight checks, each targeting an invariant the simulator's correctness
 //! arguments lean on but `rustc`/`clippy` cannot express:
 //!
 //! 1. **determinism** — simulation crates must not use iteration-order-
 //!    or wall-clock-dependent constructs (`HashMap`, `HashSet`,
 //!    `thread_rng`, `rand::rng()`, `SystemTime::now`, `Instant::now`).
 //!    Per-seed reproducibility is a published contract of the engines.
-//! 2. **nan-safety** — simulation crates must not compare floats with
-//!    `partial_cmp`/`sort_by`-on-float patterns; event times order with
-//!    `f64::total_cmp` so a stray NaN cannot panic or silently reorder
-//!    the event queue.
-//! 3. **panic-policy** — simulation crates must not `unwrap()`/
-//!    `expect()` in non-test code; a panic aborts a long run and loses
-//!    everything the checkpoint layer exists to preserve.
-//! 4. **lint-policy** — every workspace crate must opt into the shared
+//! 2. **rng-discipline** — all randomness flows through the seeded
+//!    stream factory in `crates/dists/src/rng.rs`; ad-hoc
+//!    `StdRng::seed_from_u64` construction elsewhere forks the stream-
+//!    derivation discipline and may collide with derived streams.
+//! 3. **float-discipline** — simulation floats are `f64` ordered by
+//!    `total_cmp`: no `partial_cmp`, no `f32`, and every `sort_by`-
+//!    family comparator must name a total ordering in its arguments.
+//! 4. **sync-audit** — every lock, condvar, and atomic in simulation
+//!    crates lives in a module covered by the pool model checker, so
+//!    `cargo xtask model` proves all the concurrency there is.
+//! 5. **panic-policy** — simulation crates (and this lint suite) must
+//!    not `unwrap()`/`expect()` in non-test code; a panic aborts a
+//!    long run and loses everything the checkpoint layer preserves.
+//! 6. **lint-policy** — every workspace crate must opt into the shared
 //!    `[workspace.lints]` table with `[lints] workspace = true`.
-//! 5. **deps** — every dependency declared in a workspace crate's
+//! 7. **deps** — every dependency declared in a workspace crate's
 //!    manifest must actually be referenced by that crate's sources.
+//! 8. **model** (separate command) — exhaustively model-check the
+//!    worker pool's handshake and pin its state-space numbers.
 //!
-//! See DESIGN.md ("Static analysis & invariants") for rationale.
+//! The pattern lints run on token-level masked source (see `lexer` /
+//! `source`), with per-line `path:line:pattern` allowlists whose stale
+//! entries are themselves findings. Findings are also mirrored to
+//! `target/xtask-report.txt` so CI can attach them as an artifact.
+//!
+//! See DESIGN.md §15 ("Correctness tooling") for rationale.
 
+mod allowlist;
 mod bench;
 mod deps;
 mod determinism;
-mod nan_safety;
+mod float_discipline;
+mod lexer;
+mod model;
 mod panic_policy;
 mod policy;
+mod rng_discipline;
 mod smoke;
 mod source;
+mod sync_audit;
 mod workspace;
 
 use std::path::PathBuf;
@@ -75,19 +93,28 @@ fn usage() -> &'static str {
     "usage: cargo xtask <command>\n\
      \n\
      commands:\n\
-       check          run every static check (determinism, nan-safety, panic-policy,\n\
-     \x20                lint-policy, deps)\n\
-       determinism    forbid non-deterministic constructs in simulation crates\n\
-       nan-safety     forbid partial float comparisons in simulation crates\n\
-       panic-policy   forbid unwrap()/expect() in simulation crates' non-test code\n\
-       lint-policy    require [lints] workspace = true in every crate\n\
-       deps           flag declared-but-unused dependencies\n\
-     \x20  smoke          build and run the CLI's streamed precision path end to end\n\
-     \x20  smoke --resume kill a checkpointed run mid-flight, resume it, diff the summary\n\
-       bench          run the scheduler benchmark ladder, validate BENCH_parallel.json\n\
-       bench --smoke  same with tiny group counts, for CI\n\
-       help           print this message"
+       check              run every static check (determinism, rng-discipline,\n\
+     \x20                    float-discipline, sync-audit, panic-policy, lint-policy, deps)\n\
+       determinism        forbid non-deterministic constructs in simulation crates\n\
+       rng-discipline     require all RNGs to derive from the seeded stream factory\n\
+       float-discipline   forbid partial float orderings and f32 in simulation crates\n\
+     \x20  nan-safety         alias for float-discipline\n\
+       sync-audit         confine sync primitives to model-checked modules\n\
+       panic-policy       forbid unwrap()/expect() in non-test simulation + xtask code\n\
+       lint-policy        require [lints] workspace = true in every crate\n\
+       deps               flag declared-but-unused dependencies\n\
+       model              exhaustively model-check the worker-pool handshake and\n\
+     \x20                    diff the state-space report against BENCH_model.json\n\
+       model --update     refresh BENCH_model.json after an intentional protocol change\n\
+       smoke              build and run the CLI's streamed precision path end to end\n\
+       smoke --resume     kill a checkpointed run mid-flight, resume it, diff the summary\n\
+       bench              run the scheduler benchmark ladder, validate BENCH_parallel.json\n\
+       bench --smoke      same with tiny group counts, for CI\n\
+       help               print this message"
 }
+
+/// Where findings are mirrored for the CI artifact.
+const REPORT_PATH: &str = "target/xtask-report.txt";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -104,17 +131,27 @@ fn main() -> ExitCode {
         "check" => {
             let mut all = Vec::new();
             all.extend(run(determinism::check(&root), "determinism"));
-            all.extend(run(nan_safety::check(&root), "nan-safety"));
+            all.extend(run(rng_discipline::check(&root), "rng-discipline"));
+            all.extend(run(float_discipline::check(&root), "float-discipline"));
+            all.extend(run(sync_audit::check(&root), "sync-audit"));
             all.extend(run(panic_policy::check(&root), "panic-policy"));
             all.extend(run(policy::check(&root), "lint-policy"));
             all.extend(run(deps::check(&root), "deps"));
             all
         }
         "determinism" => run(determinism::check(&root), "determinism"),
-        "nan-safety" => run(nan_safety::check(&root), "nan-safety"),
+        "rng-discipline" => run(rng_discipline::check(&root), "rng-discipline"),
+        "float-discipline" | "nan-safety" => {
+            run(float_discipline::check(&root), "float-discipline")
+        }
+        "sync-audit" => run(sync_audit::check(&root), "sync-audit"),
         "panic-policy" => run(panic_policy::check(&root), "panic-policy"),
         "lint-policy" => run(policy::check(&root), "lint-policy"),
         "deps" => run(deps::check(&root), "deps"),
+        "model" => run(
+            model::check(&root, args.iter().any(|a| a == "--update")),
+            "model",
+        ),
         "smoke" if args.iter().any(|a| a == "--resume") => run(smoke::check_resume(&root), "smoke"),
         "smoke" => run(smoke::check(&root), "smoke"),
         "bench" => run(
@@ -131,6 +168,7 @@ fn main() -> ExitCode {
         }
     };
 
+    write_report(&root, command, &findings);
     if findings.is_empty() {
         println!("xtask: all checks passed");
         ExitCode::SUCCESS
@@ -156,4 +194,19 @@ fn run(result: Result<Vec<Finding>, String>, check: &'static str) -> Vec<Finding
             message: format!("check failed to run: {err}"),
         }],
     }
+}
+
+/// Mirrors the findings to [`REPORT_PATH`] (best effort — the console
+/// output is authoritative, the file is the CI artifact).
+fn write_report(root: &std::path::Path, command: &str, findings: &[Finding]) {
+    let path = root.join(REPORT_PATH);
+    if std::fs::create_dir_all(path.parent().unwrap_or(root)).is_err() {
+        return;
+    }
+    let mut report = format!("cargo xtask {command}: {} finding(s)\n", findings.len());
+    for finding in findings {
+        report.push_str(&finding.to_string());
+        report.push('\n');
+    }
+    let _ = std::fs::write(&path, report);
 }

@@ -1,19 +1,20 @@
-//! Panic-policy lint: simulation crates must not `unwrap()`/`expect()`
-//! in non-test code.
+//! Panic-policy lint: simulation crates — and this lint suite itself —
+//! must not `unwrap()`/`expect()` in non-test code.
 //!
 //! A panic inside `simulate_group` tears down a worker mid-batch and
 //! loses a long run's progress — exactly the failure mode the
 //! checkpointing layer exists to bound — so fallible paths in the
-//! simulation crates must surface typed errors instead. Genuinely
-//! infallible uses (a mutex poisoned only by a prior panic, a
-//! construction proven valid by a preceding check) are admitted through
-//! an explicit allowlist; stale entries are themselves findings so the
-//! lint cannot silently rot.
+//! simulation crates must surface typed errors instead. `xtask/src` is
+//! scanned too: a linter that panics mid-scan reports nothing, so it is
+//! held to the policy it enforces. Genuinely infallible uses (a mutex
+//! poisoned only by a prior panic, a construction proven valid by a
+//! preceding check) are admitted through per-line allowlist entries;
+//! stale or drifted entries are themselves findings so the lint cannot
+//! silently rot.
 
-use crate::source::MaskedSource;
-use crate::workspace::{self, SIM_CRATES};
+use crate::allowlist::{self, Allowlist};
+use crate::workspace;
 use crate::Finding;
-use std::collections::BTreeSet;
 use std::path::Path;
 
 /// Forbidden constructs, paired with the reason reported to the user.
@@ -31,76 +32,14 @@ const FORBIDDEN: [(&str, &str); 2] = [
 /// Path of the allowlist file relative to the workspace root.
 pub const ALLOWLIST: &str = "xtask/panic-policy-allow.txt";
 
-/// Runs the lint over every simulation crate's `src/` tree.
+/// Runs the lint over every simulation crate's `src/` tree plus the
+/// lint suite's own sources.
 pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
-    let allow = load_allowlist(root)?;
-    let mut findings = Vec::new();
-    let mut used: BTreeSet<(String, String)> = BTreeSet::new();
-    for krate in SIM_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        for file in workspace::rust_files(&src)? {
-            let text = std::fs::read_to_string(&file)
-                .map_err(|e| format!("reading {}: {e}", file.display()))?;
-            let rel = workspace::relative(root, &file);
-            let rel_str = rel.to_string_lossy().replace('\\', "/");
-            let masked = MaskedSource::new(&text);
-            for (pattern, why) in FORBIDDEN {
-                let lines = masked.find_pattern(pattern);
-                if lines.is_empty() {
-                    continue;
-                }
-                if allow.contains(&(rel_str.clone(), pattern.to_string())) {
-                    used.insert((rel_str.clone(), pattern.to_string()));
-                    continue;
-                }
-                for line in lines {
-                    findings.push(Finding {
-                        check: "panic-policy",
-                        path: rel.clone(),
-                        line,
-                        message: format!("forbidden `{pattern}`: {why}"),
-                    });
-                }
-            }
-        }
-    }
-    // A stale entry silently exempts code that no longer needs it.
-    for (path, pattern) in allow.difference(&used) {
-        findings.push(Finding {
-            check: "panic-policy",
-            path: ALLOWLIST.into(),
-            line: 0,
-            message: format!("stale allowlist entry `{path}:{pattern}` (no such use remains)"),
-        });
-    }
-    Ok(findings)
-}
-
-/// Parses the allowlist: one `path:pattern` entry per line, `#`
-/// comments and blank lines ignored.
-fn load_allowlist(root: &Path) -> Result<BTreeSet<(String, String)>, String> {
-    let path = root.join(ALLOWLIST);
-    let mut entries = BTreeSet::new();
-    if !path.is_file() {
-        return Ok(entries);
-    }
-    let text =
-        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let Some((file, pattern)) = line.rsplit_once(':') else {
-            return Err(format!(
-                "{}:{}: malformed allowlist entry `{line}` (expected `path.rs:pattern`)",
-                path.display(),
-                idx + 1
-            ));
-        };
-        entries.insert((file.trim().to_string(), pattern.trim().to_string()));
-    }
-    Ok(entries)
+    let allow = Allowlist::load(root, ALLOWLIST)?;
+    let mut files = workspace::sim_sources(root)?;
+    files.extend(workspace::rust_files(&root.join("xtask").join("src"))?);
+    let hits = allowlist::scan(root, &files, &FORBIDDEN)?;
+    Ok(allow.apply("panic-policy", &hits))
 }
 
 #[cfg(test)]
@@ -133,6 +72,11 @@ mod tests {
     fn fallible_combinators_are_not_flagged() {
         assert_eq!(
             hits("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }"),
+            Vec::<&str>::new()
+        );
+        // `expect_err(` must not count as `expect(`.
+        assert_eq!(
+            hits("fn f(x: Result<u8, u8>) -> u8 { x.expect_err; 0 }"),
             Vec::<&str>::new()
         );
     }

@@ -1,0 +1,129 @@
+//! RNG-discipline lint: all randomness in simulation crates flows
+//! through the seeded stream factory in `crates/dists/src/rng.rs`.
+//!
+//! Per-seed reproducibility and stream independence both rest on a
+//! single construction path: `rng::stream(master, index)` derives
+//! every generator from the master seed via a bijective SplitMix64
+//! mix, so distinct `(seed, index)` pairs never collide and results
+//! are a pure function of the seed. An ad-hoc
+//! `StdRng::seed_from_u64(...)` elsewhere silently forks that
+//! discipline — it may collide with a derived stream, and it pins the
+//! call site to a concrete generator so a future algorithm change
+//! desynchronizes parts of the codebase. The determinism lint already
+//! bans *OS-seeded* generators; this lint bans *locally seeded* ones
+//! anywhere but the sanctioned module.
+
+use crate::allowlist::{self, Allowlist};
+use crate::workspace;
+use crate::Finding;
+use std::path::Path;
+
+/// Constructs that build or name a concrete RNG directly.
+const FORBIDDEN: [(&str, &str); 6] = [
+    (
+        "SeedableRng",
+        "ad-hoc RNG construction; derive generators via raidsim_dists::rng::stream",
+    ),
+    (
+        "seed_from_u64",
+        "ad-hoc RNG seeding; derive generators via raidsim_dists::rng::stream",
+    ),
+    (
+        "from_entropy",
+        "OS-entropy seeding breaks per-seed reproducibility; use rng::stream",
+    ),
+    (
+        "from_os_rng",
+        "OS-entropy seeding breaks per-seed reproducibility; use rng::stream",
+    ),
+    (
+        "StdRng",
+        "concrete generator named outside the rng module; use the SimRng alias \
+         and rng::stream so the generator can change in one place",
+    ),
+    (
+        "SmallRng",
+        "concrete generator named outside the rng module; use the SimRng alias \
+         and rng::stream so the generator can change in one place",
+    ),
+];
+
+/// The one module allowed to name and seed concrete generators.
+const SANCTIONED: &str = "crates/dists/src/rng.rs";
+
+/// Path of the allowlist file relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/rng-discipline-allow.txt";
+
+/// Runs the lint over every simulation crate's `src/` tree except the
+/// sanctioned rng module.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow = Allowlist::load(root, ALLOWLIST)?;
+    let files: Vec<_> = workspace::sim_sources(root)?
+        .into_iter()
+        .filter(|f| {
+            workspace::relative(root, f)
+                .to_string_lossy()
+                .replace('\\', "/")
+                != SANCTIONED
+        })
+        .collect();
+    let hits = allowlist::scan(root, &files, &FORBIDDEN)?;
+    Ok(allow.apply("rng-discipline", &hits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MaskedSource;
+
+    fn hits(src: &str) -> Vec<&'static str> {
+        let masked = MaskedSource::new(src);
+        FORBIDDEN
+            .iter()
+            .filter(|(p, _)| !masked.find_pattern(p).is_empty())
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    #[test]
+    fn ad_hoc_stdrng_seeding_is_flagged() {
+        // The canonical seeded violation: a locally constructed StdRng.
+        assert_eq!(
+            hits("let mut rng = rand::rngs::StdRng::seed_from_u64(7);"),
+            vec!["seed_from_u64", "StdRng"]
+        );
+    }
+
+    #[test]
+    fn seedable_rng_import_is_flagged() {
+        assert_eq!(
+            hits("use rand::{RngExt, SeedableRng};"),
+            vec!["SeedableRng"]
+        );
+    }
+
+    #[test]
+    fn entropy_seeding_is_flagged() {
+        assert_eq!(
+            hits("let r = SimRng::from_entropy();"),
+            vec!["from_entropy"]
+        );
+        assert_eq!(hits("let r = SimRng::from_os_rng();"), vec!["from_os_rng"]);
+    }
+
+    #[test]
+    fn stream_derivation_passes() {
+        assert_eq!(
+            hits("let mut rng = raidsim_dists::rng::stream(seed, idx as u64);"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn test_modules_and_doc_comments_pass() {
+        let src = "/// `StdRng::seed_from_u64` is banned here.\npub fn sim() {}\n\
+                   #[cfg(test)]\nmod tests {\n    use rand::SeedableRng;\n    \
+                   fn t() { let _ = rand::rngs::StdRng::seed_from_u64(1); }\n}\n";
+        assert_eq!(hits(src), Vec::<&str>::new());
+    }
+}

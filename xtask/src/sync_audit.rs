@@ -1,0 +1,160 @@
+//! Sync-audit lint: every synchronization primitive in simulation
+//! crates lives in a model-checked module.
+//!
+//! The worker pool's handshake is proven correct by exhaustive
+//! interleaving search (`cargo xtask model` over
+//! `crates/core/src/sync_model.rs`), but that proof covers exactly the
+//! primitives the model knows about. A `Mutex` or atomic added
+//! anywhere else in simulation code would be concurrency the checker
+//! never sees — trusted, not proven. This lint closes that gap: any
+//! identifier that names a lock, a condvar, an atomic type, or an
+//! atomic read-modify-write in non-test simulation code must appear in
+//! one of the covered modules, or the code must move (or the model must
+//! grow) before it lands.
+//!
+//! This is a token lint, not a pattern lint: it walks live code
+//! identifiers, so `Atomic*` catches every atomic type by prefix while
+//! comments, strings, and `#[cfg(test)]` modules stay exempt. Plain
+//! `load`/`store`/`Ordering` are deliberately not banned — they are
+//! common non-atomic names — because reaching them requires naming an
+//! `Atomic*` type first, which is.
+
+use crate::allowlist::{Allowlist, Hit};
+use crate::lexer::TokenKind;
+use crate::source::MaskedSource;
+use crate::workspace;
+use crate::Finding;
+use std::path::Path;
+
+/// Identifiers that introduce or operate on synchronization state.
+const BANNED_IDENTS: [&str; 11] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "UnsafeCell",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Modules whose synchronization is covered by the model checker: the
+/// protocol definition itself, the production pool that executes it,
+/// and the claim cursor the model mirrors.
+const COVERED_MODULES: [&str; 3] = [
+    "crates/core/src/pool.rs",
+    "crates/core/src/sync_model.rs",
+    "crates/core/src/run.rs",
+];
+
+/// Path of the allowlist file relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/sync-audit-allow.txt";
+
+/// Runs the lint over every simulation crate's `src/` tree except the
+/// covered modules.
+pub fn check(root: &Path) -> Result<Vec<Finding>, String> {
+    let allow = Allowlist::load(root, ALLOWLIST)?;
+    let mut hits = Vec::new();
+    for file in workspace::sim_sources(root)? {
+        let rel = workspace::relative(root, &file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if COVERED_MODULES.contains(&rel.as_str()) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        let masked = MaskedSource::new(&text);
+        for (line, ident) in sync_idents(&masked) {
+            hits.push(Hit {
+                file: rel.clone(),
+                line,
+                pattern: ident.clone(),
+                message: format!(
+                    "`{ident}` outside the model-checked modules; move this \
+                     synchronization into the pool protocol (crates/core/src/\
+                     sync_model.rs) so `cargo xtask model` proves it, or \
+                     justify in the allowlist"
+                ),
+            });
+        }
+    }
+    Ok(allow.apply("sync-audit", &hits))
+}
+
+/// Collects `(line, identifier)` pairs for banned synchronization
+/// identifiers among a file's live code tokens.
+fn sync_idents(masked: &MaskedSource) -> Vec<(usize, String)> {
+    let mut found = Vec::new();
+    for t in masked.tokens() {
+        if t.kind != TokenKind::Ident || !masked.is_code(t) {
+            continue;
+        }
+        let text = masked.text(t);
+        if BANNED_IDENTS.contains(&text) || text.starts_with("Atomic") {
+            found.push((masked.line_of(t.start), text.to_string()));
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        sync_idents(&MaskedSource::new(src))
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect()
+    }
+
+    #[test]
+    fn mutex_outside_covered_module_is_flagged() {
+        // The canonical seeded violation: a stray lock in sim code.
+        assert_eq!(
+            idents("use std::sync::Mutex;\nstatic CACHE: Mutex<u64> = Mutex::new(0);"),
+            vec!["Mutex", "Mutex", "Mutex"]
+        );
+    }
+
+    #[test]
+    fn atomics_are_caught_by_prefix() {
+        assert_eq!(
+            idents("use std::sync::atomic::{AtomicBool, AtomicUsize};"),
+            vec!["AtomicBool", "AtomicUsize"]
+        );
+        assert_eq!(idents("c.fetch_add(1, Relaxed);"), vec!["fetch_add"]);
+        assert_eq!(
+            idents("c.compare_exchange(a, b, AcqRel, Acquire);"),
+            vec!["compare_exchange"]
+        );
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_exempt() {
+        assert_eq!(
+            idents("// a Mutex would be wrong here"),
+            Vec::<String>::new()
+        );
+        assert_eq!(idents("let s = \"Mutex\";"), Vec::<String>::new());
+        assert_eq!(
+            idents("#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n"),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn non_atomic_lookalikes_pass() {
+        // `Ordering`, `load`, `store`, `Cell`, `Arc` are common
+        // non-synchronization names; `Atomicity` would be caught by the
+        // prefix rule and that is acceptable over-approximation.
+        assert_eq!(
+            idents("use std::cmp::Ordering; let c = Cell::new(Arc::new(1)); c.load();"),
+            Vec::<String>::new()
+        );
+    }
+}

@@ -45,6 +45,15 @@ pub fn member_dirs(root: &Path) -> Result<Vec<PathBuf>, String> {
     Ok(members)
 }
 
+/// Every `.rs` file under the simulation crates' `src/` trees, sorted.
+pub fn sim_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for krate in SIM_CRATES {
+        files.extend(rust_files(&root.join("crates").join(krate).join("src"))?);
+    }
+    Ok(files)
+}
+
 /// Recursively collects `.rs` files under `dir` (returns empty when the
 /// directory does not exist).
 pub fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
