@@ -1,0 +1,294 @@
+//! PERF — rare-event acceleration: effective-samples-per-second of the
+//! importance-sampling estimator against the plain estimator on the
+//! configuration where plain Monte Carlo struggles most — RAID 6 with
+//! a 168-hour scrub, where double-disk failures are rare enough that
+//! most plain groups contribute nothing.
+//!
+//! The measure change is critical-boundary forcing
+//! ([`BiasPolicy::ForcedCritical`]): whenever a group gets within one
+//! clean-drive failure of data loss, the surviving drives' pending
+//! failure times are conditionally resampled into a forcing window.
+//! The (fraction, window) pair is chosen by a deterministic pilot grid
+//! (fixed seeds, selection by estimated variance ratio only, so the
+//! chosen point is machine-independent), then the headline run
+//! measures both estimators at the full group count. The biased run is
+//! asserted bit-identical across thread counts before its timing is
+//! recorded.
+//!
+//! Effective samples per second:
+//!
+//! * plain — every group is one effective sample, so the rate is raw
+//!   group throughput;
+//! * forced — one group is worth `σ²_plain / Var(W·D)` plain groups
+//!   (the variance ratio), so the rate is throughput × that ratio,
+//!   with `σ²_plain` estimated from the forced run itself via the
+//!   identity `E_g[W·D²] = E_f[D²]` (the plain run may see zero
+//!   events, so it cannot estimate its own variance here).
+//!
+//! Usage: `bench_rareevent [--smoke] [--out <path>]`; group count
+//! defaults to 40,000 (2,000 with `--smoke`), overridable via
+//! `RAIDSIM_GROUPS`.
+
+use raidsim::config::{RaidGroupConfig, Redundancy};
+use raidsim::engine::BiasPolicy;
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::run::Simulator;
+use raidsim::stats::StreamStats;
+use raidsim_bench::{groups, threads};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Pilot grid of forcing fractions, in milli-units (integer so the
+/// JSON artifact carries exact values). Small fractions win on this
+/// model: every forced draw that misses its window multiplies the
+/// path's weight by `1/(1 − α)`, so event paths the forcing fails to
+/// capture are *inflated* by `e^(α·draws)` — the optimum trades the
+/// capture boost against that miss penalty.
+const FRACTION_GRID_MILLI: [u64; 3] = [12, 15, 20];
+
+/// Pilot grid of forcing windows, whole hours. The window must cover a
+/// critical-boundary sojourn (set by the 168-hour scrub characteristic
+/// and the restore time) or late-sojourn failures escape the forcing;
+/// overlong windows dilute the in-window boost (the warp spreads the
+/// same forced mass over more conditional quantile range).
+const WINDOW_GRID_HOURS: [u64; 2] = [250, 300];
+
+/// Pilots whose effective sample size falls below this fraction of
+/// their group count are scored zero: a degenerate-weight pilot
+/// *underestimates* its own variance (the heavy-weight tail went
+/// unsampled), so its variance ratio cannot be trusted.
+const PILOT_MIN_ESS_FRACTION: f64 = 0.02;
+
+/// Seed of the headline runs.
+const SEED: u64 = 4_242;
+
+/// Seed of the pilot runs (distinct from the headline seed so pilot
+/// selection never peeks at the measured sample).
+const PILOT_SEED: u64 = 9_191;
+
+/// One pilot measurement at a candidate forcing point.
+struct Pilot {
+    fraction_milli: u64,
+    window_hours: u64,
+    variance_ratio: f64,
+    weighted_mean: f64,
+    effective_samples: u64,
+}
+
+fn raid6_scrub_168h() -> RaidGroupConfig {
+    RaidGroupConfig {
+        redundancy: Redundancy::DoubleParity,
+        ..RaidGroupConfig::paper_base_case().unwrap()
+    }
+    .with_scrub_policy(ScrubPolicy::with_characteristic_hours(168.0))
+    .unwrap()
+}
+
+fn bias_for(fraction_milli: u64, window_hours: u64) -> BiasPolicy {
+    BiasPolicy::ForcedCritical {
+        fraction: fraction_milli as f64 / 1e3,
+        window_hours: window_hours as f64,
+    }
+}
+
+/// The plain-measure variance a forced accumulator implies via
+/// `E_g[W·D²] = E_f[D²]`.
+fn implied_plain_variance(stats: &StreamStats) -> f64 {
+    (stats.weighted_mean_square_ddfs() - stats.weighted_mean_ddfs() * stats.weighted_mean_ddfs())
+        .max(0.0)
+}
+
+/// The variance-reduction factor of a biased accumulator:
+/// plain-measure variance (`plain_variance` when the plain run saw
+/// events and can speak for itself, else implied from the biased run)
+/// over the biased estimator's variance. Zero when degenerate.
+fn variance_ratio(stats: &StreamStats, plain_variance: f64) -> f64 {
+    let plain = if plain_variance > 0.0 {
+        plain_variance
+    } else {
+        implied_plain_variance(stats)
+    };
+    let biased = stats.weighted_variance_ddfs();
+    if biased > 0.0 && plain > 0.0 {
+        plain / biased
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_rareevent.json".to_string());
+    let n_groups = groups(if smoke { 2_000 } else { 40_000 });
+    // A quarter of the headline size: the pilot score divides by an
+    // estimated variance whose noise is dominated by the few event
+    // paths that escape their forcing windows and carry weights above
+    // one, so small pilots rank candidates close to randomly. The grid
+    // is in turn confined to a neighborhood whose points all beat the
+    // plain estimator comfortably, so ranking noise between them only
+    // moves the headline within that band.
+    let pilot_groups = (n_groups / 4).max(500);
+    let t = threads();
+    let cfg = raid6_scrub_168h();
+
+    // Plain baseline at the full group count (run first: pilots score
+    // against its measured variance when it saw events).
+    let plain_sim = Simulator::new(cfg.clone());
+    let t0 = Instant::now();
+    let plain = plain_sim.run_streaming(n_groups, SEED, t);
+    let plain_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let plain_rate = n_groups as f64 / (plain_wall_ms / 1e3);
+    let ddf_events = (plain.mean_ddfs() * plain.groups() as f64).round() as u64;
+    let plain_variance = plain.variance_ddfs();
+
+    // Pilot grid: small forced runs at fixed seeds; the score is the
+    // estimated variance ratio — a pure function of the statistics at
+    // fixed seeds, so the selected point does not depend on machine
+    // speed — gated on a minimum effective sample size so degenerate
+    // weights cannot win with a deceptively small variance estimate.
+    let mut pilots: Vec<Pilot> = Vec::new();
+    let mut best: Option<(f64, u64, u64)> = None;
+    for fraction in FRACTION_GRID_MILLI {
+        for window in WINDOW_GRID_HOURS {
+            let stats = Simulator::new(cfg.clone())
+                .with_bias(bias_for(fraction, window))
+                .run_streaming(pilot_groups, PILOT_SEED, t);
+            let ess = stats.effective_sample_size();
+            let degenerate = ess < PILOT_MIN_ESS_FRACTION * pilot_groups as f64;
+            let ratio = if degenerate {
+                0.0
+            } else {
+                variance_ratio(&stats, plain_variance)
+            };
+            eprintln!(
+                "pilot fraction {:.3} window {window} h: variance ratio {ratio:.1}, \
+                 weighted mean {:.3e}, ess {ess:.0}{}",
+                fraction as f64 / 1e3,
+                stats.weighted_mean_ddfs(),
+                if degenerate { " (degenerate)" } else { "" }
+            );
+            if best.is_none_or(|(b, _, _)| ratio > b) {
+                best = Some((ratio, fraction, window));
+            }
+            pilots.push(Pilot {
+                fraction_milli: fraction,
+                window_hours: window,
+                variance_ratio: ratio,
+                weighted_mean: stats.weighted_mean_ddfs(),
+                effective_samples: ess.floor() as u64,
+            });
+        }
+    }
+    let (_, fraction_milli, window_hours) = best.expect("the pilot grid is non-empty");
+    eprintln!(
+        "selected forcing: fraction {:.3}, window {window_hours} h",
+        fraction_milli as f64 / 1e3,
+    );
+
+    // Headline forced run: asserted bit-identical across thread counts
+    // before the (multi-threaded) timing is recorded.
+    let biased_sim = Simulator::new(cfg).with_bias(bias_for(fraction_milli, window_hours));
+    let reference = biased_sim.run_streaming(n_groups, SEED, 1);
+    let t0 = Instant::now();
+    let biased = biased_sim.run_streaming(n_groups, SEED, t);
+    let biased_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        biased, reference,
+        "forced statistics diverged across thread counts"
+    );
+    let biased_rate = n_groups as f64 / (biased_wall_ms / 1e3);
+
+    // Machine-independent invariants, asserted before anything is
+    // written: weights are finite and positive, the classic effective
+    // sample size lies in (0, n], and the forced run actually saw
+    // events (otherwise the whole exercise measured nothing).
+    assert!(
+        biased.weight_sum().is_finite() && biased.weight_sum() > 0.0,
+        "group weights must be finite and positive"
+    );
+    let ess = biased.effective_sample_size();
+    assert!(
+        ess > 0.0 && ess <= n_groups as f64,
+        "effective sample size {ess} outside (0, {n_groups}]"
+    );
+    assert!(
+        biased.weighted_mean_ddfs() > 0.0,
+        "the forced run saw no double-disk failures; the pilot grid is too weak"
+    );
+
+    let var_ratio = variance_ratio(&biased, plain_variance);
+    let throughput_ratio = biased_rate / plain_rate;
+    let speedup = var_ratio * throughput_ratio;
+    eprintln!(
+        "plain: {plain_rate:.0} groups/s ({ddf_events} events in {n_groups} groups)\n\
+         forced: {biased_rate:.0} groups/s, variance ratio {var_ratio:.1}\n\
+         effective speedup: {speedup:.1}x"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"config\": \"raid6_scrub_168h\",");
+    let _ = writeln!(json, "  \"groups\": {n_groups},");
+    let _ = writeln!(json, "  \"pilot_groups\": {pilot_groups},");
+    let _ = writeln!(json, "  \"threads\": {t},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        json,
+        "  \"bias\": {{\"policy\": \"forced_critical\", \"fraction_milli\": {fraction_milli}, \
+         \"window_hours\": {window_hours}}},"
+    );
+    json.push_str("  \"pilots\": [\n");
+    let n_pilots = pilots.len();
+    for (i, p) in pilots.into_iter().enumerate() {
+        let comma = if i + 1 < n_pilots { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"fraction_milli\": {}, \"window_hours\": {}, \
+             \"variance_ratio\": {:.3}, \"weighted_mean_ddfs\": {:.6e}, \
+             \"effective_samples\": {}}}{comma}",
+            p.fraction_milli,
+            p.window_hours,
+            p.variance_ratio,
+            p.weighted_mean,
+            p.effective_samples
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"plain\": {{\"wall_ms\": {plain_wall_ms:.3}, \"groups_per_s\": {plain_rate:.1}, \
+         \"ddf_events\": {ddf_events}, \"mean_ddfs\": {:.6e}, \"variance\": {:.6e}}},",
+        plain.mean_ddfs(),
+        plain.variance_ddfs()
+    );
+    let _ = writeln!(
+        json,
+        "  \"biased\": {{\"wall_ms\": {biased_wall_ms:.3}, \"groups_per_s\": {biased_rate:.1}, \
+         \"weighted_mean_ddfs\": {:.6e}, \"implied_plain_variance\": {:.6e}, \
+         \"weighted_variance\": {:.6e}, \"raw_groups\": {n_groups}, \
+         \"effective_samples\": {}, \"weights_finite\": true, \"weights_positive\": true}},",
+        biased.weighted_mean_ddfs(),
+        implied_plain_variance(&biased),
+        biased.weighted_variance_ddfs(),
+        ess.floor() as u64
+    );
+    let _ = writeln!(json, "  \"variance_ratio\": {var_ratio:.3},");
+    let _ = writeln!(json, "  \"throughput_ratio\": {throughput_ratio:.4},");
+    let _ = writeln!(json, "  \"effective_speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"effective_speedup_floor\": {}",
+        speedup.floor().max(0.0) as u64
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {out_path} ({n_groups} groups, effective speedup {speedup:.1}x)");
+}

@@ -7,6 +7,7 @@ use raidsim::checkpoint::{DriverState, SimCheckpoint};
 use raidsim::config::{params, RaidGroupConfig, Redundancy};
 use raidsim::dists::fit::{bootstrap_ci, mle, rank_regression};
 use raidsim::dists::Weibull3;
+use raidsim::engine::BiasPolicy;
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::mttdl::{expected_ddfs, mttdl_from_mttf, HOURS_PER_YEAR};
 use raidsim::run::{CheckpointPlan, PrecisionReport, Simulator, StopCriterion};
@@ -44,6 +45,8 @@ pub fn usage() -> String {
      \x20                 [--ttld-eta 9259|off] [--precision REL] [--progress]\n\
      \x20                 [--checkpoint run.ckpt] [--resume]\n\
      \x20                 [--checkpoint-every GROUPS] [--checkpoint-secs S]\n\
+     \x20                 [--tilt-op THETA] [--tilt-latent THETA]\n\
+     \x20                 [--force-fraction F --force-window HOURS]\n\
      raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]\n\
      \x20                 [--groups 1000] [--years 10]\n\
      raidsim-cli fit <life-data.csv>     rows: time_hours,failed(0|1)\n\
@@ -56,6 +59,13 @@ pub fn usage() -> String {
      loses at most one batch; add --resume to continue from the file.\n\
      SIGINT/SIGTERM finish the in-flight batch, flush the checkpoint,\n\
      and print partial results.\n\
+     \n\
+     rare events: --tilt-op/--tilt-latent exponentially tilt the\n\
+     failure/defect draws; --force-fraction F (in (0, 0.5]) with\n\
+     --force-window HOURS resamples surviving drives into the window\n\
+     whenever one more failure would lose data. Both produce an\n\
+     unbiased importance-sampled estimate; the summary then reports\n\
+     the weighted mean and the effective sample size.\n\
      \n\
      exit codes: 0 success; 1 internal error; 2 usage error;\n\
      3 input file unreadable/malformed; 4 checkpoint corrupt or from a\n\
@@ -83,6 +93,10 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let resume = args.switch("resume");
     let checkpoint_every: u64 = args.num("checkpoint-every", 1_000)?;
     let checkpoint_secs: f64 = args.num("checkpoint-secs", 30.0)?;
+    let tilt_op: f64 = args.num("tilt-op", 0.0)?;
+    let tilt_latent: f64 = args.num("tilt-latent", 0.0)?;
+    let force_fraction: f64 = args.num("force-fraction", 0.0)?;
+    let force_window: f64 = args.num("force-window", 0.0)?;
     args.reject_unknown()?;
 
     if resume && checkpoint.is_none() {
@@ -98,6 +112,53 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     if !(checkpoint_secs > 0.0 && checkpoint_secs.is_finite()) {
         return Err(CliError::Usage(
             "--checkpoint-secs must be a positive number".into(),
+        ));
+    }
+
+    // Importance-sampling flags: exactly one measure-change family,
+    // validated here with usage errors (the core layer asserts).
+    let tilting = tilt_op != 0.0 || tilt_latent != 0.0;
+    let forcing = force_fraction != 0.0 || force_window != 0.0;
+    if tilting && forcing {
+        return Err(CliError::Usage(
+            "--tilt-op/--tilt-latent and --force-fraction/--force-window are \
+             different measure changes; pick one"
+                .into(),
+        ));
+    }
+    if forcing && !(force_fraction > 0.0 && force_fraction <= 0.5) {
+        return Err(CliError::Usage(
+            "--force-fraction must lie in (0, 0.5]".into(),
+        ));
+    }
+    if forcing && !(force_window > 0.0 && force_window.is_finite()) {
+        return Err(CliError::Usage(
+            "--force-window must be a positive number of hours (both \
+             --force-fraction and --force-window are required)"
+                .into(),
+        ));
+    }
+    if tilting && !(tilt_op.is_finite() && tilt_latent.is_finite()) {
+        return Err(CliError::Usage("tilt parameters must be finite".into()));
+    }
+    let bias = if forcing {
+        BiasPolicy::ForcedCritical {
+            fraction: force_fraction,
+            window_hours: force_window,
+        }
+    } else if tilting {
+        BiasPolicy::HazardTilt {
+            op_theta: tilt_op,
+            latent_theta: tilt_latent,
+        }
+    } else {
+        BiasPolicy::None
+    };
+    if !bias.is_unbiased() && csv_out.is_some() {
+        return Err(CliError::Usage(
+            "per-group CSV histories are unweighted; drop --csv or the \
+             importance-sampling flags"
+                .into(),
         ));
     }
 
@@ -138,7 +199,7 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let sim = Simulator::new(cfg);
+    let sim = Simulator::new(cfg).with_bias(bias);
     let observer = CliObserver::new(progress);
     let precision_note = |report: &PrecisionReport| {
         format!(
@@ -240,11 +301,28 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
         });
     }
     let (op_op, latent_op) = summary.kind_counts();
-    let _ = writeln!(
-        out,
-        "DDFs per 1,000 groups over {mission_years} years: {:.2}",
-        summary.ddfs_per_thousand_groups()
-    );
+    if bias.is_unbiased() {
+        let _ = writeln!(
+            out,
+            "DDFs per 1,000 groups over {mission_years} years: {:.2}",
+            summary.ddfs_per_thousand_groups()
+        );
+    } else {
+        // Importance-sampled run: the raw per-group mean estimates the
+        // *biased* measure, so report the likelihood-ratio-weighted
+        // mean plus how many plain samples the weights are worth.
+        let _ = writeln!(
+            out,
+            "weighted DDFs per 1,000 groups over {mission_years} years: {:.3}",
+            1_000.0 * summary.weighted_mean_ddfs()
+        );
+        let _ = writeln!(
+            out,
+            "  importance sampling: effective sample size {:.0} of {} groups",
+            summary.effective_sample_size(),
+            summary.groups()
+        );
+    }
     let _ = writeln!(
         out,
         "  double operational: {op_op}   latent+operational: {latent_op}"
@@ -476,6 +554,43 @@ mod tests {
         ))
         .unwrap_err();
         assert!(matches!(err, CliError::Input(_)), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_tilted_run_reports_weighted_summary() {
+        let out = sim_text("--groups 200 --seed 9 --mission-years 2 --tilt-op 1.0");
+        assert!(out.contains("weighted DDFs per 1,000 groups"), "{out}");
+        assert!(out.contains("effective sample size"), "{out}");
+    }
+
+    #[test]
+    fn simulate_forced_run_reports_weighted_summary() {
+        let out = sim_text(
+            "--groups 200 --seed 9 --mission-years 2 --raid6 \
+             --force-fraction 0.02 --force-window 250",
+        );
+        assert!(out.contains("weighted DDFs per 1,000 groups"), "{out}");
+        assert!(out.contains("effective sample size"), "{out}");
+    }
+
+    #[test]
+    fn simulate_bias_flag_combos_are_usage_errors() {
+        // Forcing needs both parameters.
+        let err = simulate(&argv("--groups 10 --force-fraction 0.1")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // The fraction bound is enforced before the core layer panics.
+        let err =
+            simulate(&argv("--groups 10 --force-fraction 0.7 --force-window 100")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // One measure-change family at a time.
+        let err = simulate(&argv(
+            "--groups 10 --tilt-op 1.0 --force-fraction 0.1 --force-window 100",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // Per-group CSV histories carry no weights.
+        let err = simulate(&argv("--groups 10 --tilt-op 1.0 --csv out.csv")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! and therefore stops at the same group count with the same
 //! [`crate::run::StopCriterion`].
 //!
-//! # File format (version 1, little-endian throughout)
+//! # File format (version 2, little-endian throughout)
 //!
 //! ```text
 //! offset  size  field
@@ -61,6 +61,14 @@
 //! rest  [`StreamStats`] state ([`StreamStats::encode_into`])
 //! ```
 //!
+//! Version 2 extended the [`StreamStats`] block with the five weighted
+//! importance-sampling moments and folded the bias policy into the
+//! fingerprint. Version-1 files (always from unbiased runs) are still
+//! readable: their weighted moments are reconstructed exactly as
+//! weight-1 sums ([`StreamStats::decode_version`]), and the runner
+//! validates them against [`legacy_config_fingerprint_v1`]. Writes are
+//! always version 2.
+//!
 //! Writes are atomic: the snapshot is written to a sibling temp file,
 //! fsynced, and renamed over the target, so a crash mid-write leaves
 //! either the previous checkpoint or the new one — never a torn file.
@@ -72,14 +80,19 @@
 //! fields, which the vendored offline serde does not support.
 
 use crate::config::RaidGroupConfig;
+use crate::engine::BiasPolicy;
 use crate::stats::{Decoder, StreamStats};
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
 
 /// On-disk format version; bumped whenever the layout or the meaning of
-/// any field changes.
-pub const FORMAT_VERSION: u32 = 1;
+/// any field changes. Version 2 added the weighted importance-sampling
+/// moments; version-1 files are still accepted on read.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version [`SimCheckpoint::from_bytes`] still reads.
+pub const OLDEST_READABLE_VERSION: u32 = 1;
 
 /// Leading magic bytes of every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"RAIDSIMC";
@@ -146,15 +159,35 @@ impl std::error::Error for CheckpointError {}
 /// Fingerprint binding a checkpoint to one run identity: the full
 /// configuration (drives, redundancy, mission, every transition
 /// distribution's parameters, spare policy), the engine implementation,
-/// and the on-disk format version.
+/// the bias policy (a resumed run must re-draw under the same measure
+/// or the weights are meaningless), and the on-disk format version.
 ///
-/// The hash is FNV-1a 64 over the configuration's `Debug` rendering —
-/// Rust's float formatting is shortest-round-trip and deterministic, so
-/// equal configurations always fingerprint equally and any parameter
-/// change (even in the last significant digit) changes the fingerprint.
-pub fn config_fingerprint(cfg: &RaidGroupConfig, engine_name: &str) -> u64 {
+/// The hash is FNV-1a 64 over the configuration's and policy's `Debug`
+/// renderings — Rust's float formatting is shortest-round-trip and
+/// deterministic, so equal configurations always fingerprint equally
+/// and any parameter change (even in the last significant digit)
+/// changes the fingerprint.
+pub fn config_fingerprint(cfg: &RaidGroupConfig, engine_name: &str, bias: BiasPolicy) -> u64 {
     let mut hash = Fnv1a::new();
     hash.write(&FORMAT_VERSION.to_le_bytes());
+    hash.write(engine_name.as_bytes());
+    hash.write(b"\0");
+    hash.write(format!("{cfg:?}").as_bytes());
+    hash.write(b"\0");
+    hash.write(format!("{bias:?}").as_bytes());
+    hash.finish()
+}
+
+/// The fingerprint a version-1 build recorded for the same run.
+///
+/// Version-1 files predate importance sampling, so their hash covers
+/// neither a bias policy nor the version-2 format constant; the runner
+/// uses this to validate a version-1 checkpoint when resuming an
+/// unbiased run (a biased resume of a version-1 file is refused
+/// outright — the old fingerprint cannot attest to a measure change).
+pub fn legacy_config_fingerprint_v1(cfg: &RaidGroupConfig, engine_name: &str) -> u64 {
+    let mut hash = Fnv1a::new();
+    hash.write(&1u32.to_le_bytes());
     hash.write(engine_name.as_bytes());
     hash.write(b"\0");
     hash.write(format!("{cfg:?}").as_bytes());
@@ -309,6 +342,11 @@ fn mode_name(precision: bool) -> &'static str {
 /// A resumable snapshot of an in-flight (or finished) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimCheckpoint {
+    /// Format version of the file this snapshot was parsed from
+    /// ([`FORMAT_VERSION`] for freshly built snapshots). The runner
+    /// needs it to pick the matching fingerprint scheme: version-1
+    /// files recorded [`legacy_config_fingerprint_v1`].
+    pub format_version: u32,
     /// Run identity (see [`config_fingerprint`]).
     pub fingerprint: u64,
     /// The precision driver's schedule and thresholds.
@@ -380,7 +418,7 @@ impl SimCheckpoint {
         let version = r
             .u32()
             .map_err(|_| corrupt("truncated before the version field".into()))?;
-        if version != FORMAT_VERSION {
+        if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(CheckpointError::VersionMismatch {
                 found: version,
                 expected: FORMAT_VERSION,
@@ -416,7 +454,7 @@ impl SimCheckpoint {
         let fingerprint = p.u64().map_err(|e| corrupt(format!("payload: {e}")))?;
         let driver = DriverState::decode(&mut p).map_err(|e| corrupt(format!("payload: {e}")))?;
         let groups_done = p.u64().map_err(|e| corrupt(format!("payload: {e}")))?;
-        let stats = StreamStats::decode(p.remaining())
+        let stats = StreamStats::decode_version(p.remaining(), version)
             .map_err(|e| corrupt(format!("statistics state: {e}")))?;
         if stats.groups() != groups_done {
             return Err(corrupt(format!(
@@ -432,6 +470,7 @@ impl SimCheckpoint {
             )));
         }
         Ok(Self {
+            format_version: version,
             fingerprint,
             driver,
             stats,
@@ -567,7 +606,8 @@ mod tests {
         let sim = Simulator::new(base());
         let stats = sim.run_streaming(60, 9, 2);
         SimCheckpoint {
-            fingerprint: config_fingerprint(&base(), "des"),
+            format_version: FORMAT_VERSION,
+            fingerprint: config_fingerprint(&base(), "des", BiasPolicy::None),
             driver: DriverState {
                 precision_mode: true,
                 target_relative: 0.25,
@@ -652,17 +692,66 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_separates_configs_engines_and_versions() {
-        let a = config_fingerprint(&base(), "des");
-        assert_eq!(a, config_fingerprint(&base(), "des"), "not deterministic");
-        assert_ne!(a, config_fingerprint(&base(), "timeline"));
+    fn fingerprint_separates_configs_engines_versions_and_biases() {
+        let a = config_fingerprint(&base(), "des", BiasPolicy::None);
+        assert_eq!(
+            a,
+            config_fingerprint(&base(), "des", BiasPolicy::None),
+            "not deterministic"
+        );
+        assert_ne!(a, config_fingerprint(&base(), "timeline", BiasPolicy::None));
         let mut cfg = base();
         cfg.drives = 9;
-        assert_ne!(a, config_fingerprint(&cfg, "des"));
+        assert_ne!(a, config_fingerprint(&cfg, "des", BiasPolicy::None));
         // A sub-percent parameter nudge still changes the fingerprint.
         let mut cfg = base();
         cfg.mission_hours += 1.0;
-        assert_ne!(a, config_fingerprint(&cfg, "des"));
+        assert_ne!(a, config_fingerprint(&cfg, "des", BiasPolicy::None));
+        // The sampling measure is part of the run identity…
+        let tilt = BiasPolicy::HazardTilt {
+            op_theta: 1.5,
+            latent_theta: 0.0,
+        };
+        assert_ne!(a, config_fingerprint(&base(), "des", tilt));
+        let other_tilt = BiasPolicy::HazardTilt {
+            op_theta: 1.5,
+            latent_theta: 0.1,
+        };
+        assert_ne!(
+            config_fingerprint(&base(), "des", tilt),
+            config_fingerprint(&base(), "des", other_tilt)
+        );
+        // …and the version-1 scheme is distinct from every version-2
+        // fingerprint of the same run.
+        assert_ne!(a, legacy_config_fingerprint_v1(&base(), "des"));
+    }
+
+    #[test]
+    fn version_1_files_parse_with_exact_unit_weights() {
+        let ckpt = sample_checkpoint();
+        let mut bytes = ckpt.to_bytes();
+        // Rewrite the image into the version-1 layout: drop the five
+        // weighted u128 stats fields (bytes 104..184 of the stats
+        // block) and re-stamp version, payload length, and checksum.
+        let stats_start = 20 + 8 + 41 + 8; // header, fingerprint, driver, groups_done
+        bytes.drain(stats_start + 104..stats_start + 184);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let payload_len = (bytes.len() - 28) as u64;
+        bytes[12..20].copy_from_slice(&payload_len.to_le_bytes());
+        let n = bytes.len();
+        let mut hash = Fnv1a::new();
+        hash.write(&bytes[..n - 8]);
+        let sum = hash.finish();
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+
+        let v1 = SimCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(v1.format_version, 1);
+        // The unbiased run's weighted moments reconstruct exactly, so
+        // the parsed statistics equal the natively accumulated ones
+        // bit for bit.
+        assert_eq!(v1.stats, ckpt.stats);
+        assert_eq!(v1.driver, ckpt.driver);
+        assert_eq!(v1.fingerprint, ckpt.fingerprint);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 use super::ddf::{self, SlotCondition};
-use super::{Engine, EngineCounters, EngineSession};
+use super::{draw, BiasPolicy, Engine, EngineCounters, EngineSession};
 use crate::config::{RaidGroupConfig, Redundancy, SparePolicy};
 use crate::events::{DdfEvent, GroupHistory};
+use raidsim_dists::kernel::{Forcing, Tilt};
 use raidsim_dists::rng::SimRng;
 use raidsim_dists::SampleKernel;
 
@@ -123,6 +124,16 @@ struct Slot {
     /// `true` if the drive is up (next op event is a failure); `false`
     /// if down (next op event is its restore completion).
     up: bool,
+    /// Install time of the drive currently in the slot (`0.0` for the
+    /// initial population, the restore-completion time thereafter).
+    /// Gives the drive's age, which the critical-boundary forcing
+    /// needs to resample its remaining lifetime conditionally.
+    born_at: f64,
+    /// Time of the drive's most recent forced resample
+    /// (`NEG_INFINITY` when never forced). A drive whose previous
+    /// forcing window still covers the present is skipped by later
+    /// triggers — the refractory rule in [`DesSession::force_critical`].
+    forced_at: f64,
     /// Time of the next operational-process event.
     next_op: f64,
     /// `true` if an uncorrected latent defect exists.
@@ -157,6 +168,18 @@ struct DesSession {
     ttr: SampleKernel,
     ttld: Option<SampleKernel>,
     ttscrub: Option<SampleKernel>,
+    /// Importance-sampling tilt on TTOp draws; `None` leaves the
+    /// measure unchanged (and the draws bit-identical).
+    op_tilt: Option<Tilt>,
+    /// Importance-sampling tilt on TTLd draws.
+    latent_tilt: Option<Tilt>,
+    /// Critical-boundary forcing `(warp, window hours)`; `None` leaves
+    /// the event loop untouched (and the draws bit-identical).
+    force: Option<(Forcing, f64)>,
+    /// Per-group cap on forced redraws, sized so the accumulated
+    /// positive log-weight stays within the exact fixed-point range of
+    /// the weighted statistics (see [`force_budget_for`]).
+    force_budget_full: u32,
     slots: Vec<Slot>,
     spares: Option<SparePool>,
     history: GroupHistory,
@@ -166,7 +189,7 @@ struct DesSession {
 }
 
 impl DesSession {
-    fn new(cfg: &RaidGroupConfig) -> Self {
+    fn new(cfg: &RaidGroupConfig, bias: BiasPolicy) -> Self {
         let dists = &cfg.dists;
         Self {
             n: cfg.drives,
@@ -177,6 +200,12 @@ impl DesSession {
             ttr: SampleKernel::lower(&dists.ttr),
             ttld: dists.ttld.as_ref().map(SampleKernel::lower),
             ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
+            op_tilt: bias.op_tilt(),
+            latent_tilt: bias.latent_tilt(),
+            force: bias.forced_critical(),
+            force_budget_full: bias
+                .forced_critical()
+                .map_or(0, |(f, _)| force_budget_for(f)),
             slots: Vec::with_capacity(cfg.drives),
             spares: SparePool::new(cfg.spares),
             history: GroupHistory::default(),
@@ -184,6 +213,94 @@ impl DesSession {
             counters: EngineCounters::default(),
         }
     }
+
+    /// Resamples every surviving clean drive's pending failure time if
+    /// the group sits at (or beyond) the critical boundary — one more
+    /// clean-drive failure causes a DDF — forcing the redraws into the
+    /// policy window. Called after each degrading event (operational
+    /// failure or defect exposure), so a sojourn that deepens re-forces
+    /// with a fresh window and the f-paths that lose data stay covered
+    /// by forced windows; `budget` caps forced draws per group so the
+    /// accumulated positive log-weight stays within the exact
+    /// fixed-point range of the weighted statistics.
+    ///
+    /// Discarding a pending failure time and redrawing from its
+    /// conditional distribution given survival to `t` is
+    /// measure-preserving: the event loop has used the pending value
+    /// only through the fact that it has not yet occurred (every
+    /// earlier event was selected as a strict minimum over it), which
+    /// is exactly the conditioning event. A later re-trigger may
+    /// discard a previously forced value the same way; its accumulated
+    /// log-ratio stays in the weight, because the original measure is
+    /// equivalently described as resampling the *true* conditional on
+    /// the identical (history-measurable) schedule. Slots whose pending
+    /// time ties `t` are skipped so atom-carrying lifetime
+    /// distributions stay correct under the strict conditioning.
+    fn force_critical(&mut self, t: f64, ddf_block_until: f64, budget: &mut u32, rng: &mut SimRng) {
+        let Some((forcing, window)) = self.force else {
+            return;
+        };
+        // Inside a post-DDF blocking window no failure can be recorded
+        // (rule 5): forcing there would spend budget and weight noise
+        // on paths that cannot contribute.
+        if *budget == 0 || t < ddf_block_until {
+            return;
+        }
+        // Once the group has recorded a DDF it has already contributed
+        // the estimator mass the forcing exists to capture; further
+        // forcing would boost the far rarer multi-DDF tail at the cost
+        // of extra weight churn and simulated restore work. Like the
+        // other trigger conditions this depends only on the recorded
+        // history, never on pending draws, so it is just a (coarser)
+        // choice of proposal measure.
+        if !self.history.ddfs.is_empty() {
+            return;
+        }
+        let tolerated = self.redundancy.tolerated();
+        let non_clean = self.slots.iter().filter(|s| !s.up || s.defective).count();
+        if non_clean < tolerated {
+            return;
+        }
+        let ttop = &self.ttop;
+        let log_weight = &mut self.history.log_weight;
+        for s in self.slots.iter_mut() {
+            if *budget == 0 {
+                return;
+            }
+            if !s.up || s.defective || s.next_op <= t {
+                continue;
+            }
+            // Refractory rule: a drive forced less than one window ago
+            // still has a live forcing window covering the present, so
+            // resampling it would discard a boosted draw (and spend
+            // budget and weight noise) for no extra coverage. The skip
+            // depends only on trigger *times* — history-measurable —
+            // never on the pending value, so the per-drive conditional
+            // resampling argument above is untouched: skipped drives
+            // simply keep the measure their last forcing installed.
+            if t - s.forced_at < window {
+                continue;
+            }
+            *budget -= 1;
+            self.counters.samples_drawn += 1;
+            let age = t - s.born_at;
+            let residual = ttop.sample_conditional_forced(age, window, forcing, log_weight, rng);
+            s.next_op = t + residual;
+            s.forced_at = t;
+        }
+    }
+}
+
+/// Per-group cap on forced conditional redraws for a given warp. Each
+/// forced draw adds at most `ln(1/(1 − fraction))` to the group's
+/// log-weight (only misses add weight; hits subtract), so capping the
+/// draw count at `19 / ln(1/(1 − fraction))` bounds the positive
+/// excursion by 19 nats — under the `≈ 22.2` ceiling the fixed-point
+/// weight encoding of `StreamStats` can represent. The 512 cap bounds
+/// worst-case work per group for very mild fractions.
+fn force_budget_for(forcing: Forcing) -> u32 {
+    let per_miss = -(1.0 - forcing.fraction()).ln();
+    ((19.0 / per_miss) as u32).min(512)
 }
 
 impl EngineSession for DesSession {
@@ -198,6 +315,7 @@ impl EngineSession for DesSession {
         self.history.scrubs_completed = 0;
         self.history.restores_completed = 0;
         self.history.downtime_hours = 0.0;
+        self.history.log_weight = 0.0;
         if let Some(pool) = self.spares.as_mut() {
             pool.reset();
         }
@@ -206,16 +324,18 @@ impl EngineSession for DesSession {
             // Sampling order per slot (ttop then ttld) matches the
             // original collect-based construction bit for bit.
             self.counters.samples_drawn += 1;
-            let next_op = self.ttop.sample(rng);
+            let next_op = draw(&self.ttop, self.op_tilt, &mut self.history.log_weight, rng);
             let next_ld = match &self.ttld {
                 Some(d) => {
                     self.counters.samples_drawn += 1;
-                    d.sample(rng)
+                    draw(d, self.latent_tilt, &mut self.history.log_weight, rng)
                 }
                 None => f64::INFINITY,
             };
             self.slots.push(Slot {
                 up: true,
+                born_at: 0.0,
+                forced_at: f64::NEG_INFINITY,
                 next_op,
                 defective: false,
                 next_ld,
@@ -225,6 +345,8 @@ impl EngineSession for DesSession {
 
         // Rule 5: no DDF can be recorded before this time.
         let mut ddf_block_until = 0.0f64;
+        // Forced-redraw budget for this group (see `force_critical`).
+        let mut force_budget = self.force_budget_full;
 
         loop {
             // Find the earliest pending event.
@@ -319,7 +441,13 @@ impl EngineSession for DesSession {
                             match &self.ttld {
                                 Some(d) => {
                                     self.counters.samples_drawn += 1;
-                                    restore_at + d.sample(rng)
+                                    restore_at
+                                        + draw(
+                                            d,
+                                            self.latent_tilt,
+                                            &mut self.history.log_weight,
+                                            rng,
+                                        )
                                 }
                                 None => f64::INFINITY,
                             }
@@ -330,21 +458,27 @@ impl EngineSession for DesSession {
                         // fresh drive gets a fresh clock at restore.
                         s.next_ld = f64::INFINITY;
                     }
+                    // The failure may have put the group on the
+                    // critical boundary.
+                    self.force_critical(t, ddf_block_until, &mut force_budget, rng);
                 } else {
                     // Restore completion: new drive, fresh clocks.
                     self.history.restores_completed += 1;
                     self.counters.samples_drawn += 1;
-                    let next_op = t + self.ttop.sample(rng);
+                    let next_op =
+                        t + draw(&self.ttop, self.op_tilt, &mut self.history.log_weight, rng);
                     let defect_reset = self.defect_reset;
                     let s = &mut self.slots[idx];
                     s.up = true;
+                    s.born_at = t;
+                    s.forced_at = f64::NEG_INFINITY;
                     s.next_op = next_op;
                     if defect_reset && ld_enabled {
                         s.defective = false;
                         s.next_ld = match &self.ttld {
                             Some(d) => {
                                 self.counters.samples_drawn += 1;
-                                t + d.sample(rng)
+                                t + draw(d, self.latent_tilt, &mut self.history.log_weight, rng)
                             }
                             None => f64::INFINITY,
                         };
@@ -365,7 +499,7 @@ impl EngineSession for DesSession {
                     s.next_ld = match &self.ttld {
                         Some(d) => {
                             self.counters.samples_drawn += 1;
-                            t + d.sample(rng)
+                            t + draw(d, self.latent_tilt, &mut self.history.log_weight, rng)
                         }
                         None => f64::INFINITY,
                     };
@@ -380,6 +514,9 @@ impl EngineSession for DesSession {
                         }
                         None => f64::INFINITY, // never scrubbed
                     };
+                    // The exposure may have put the group on the
+                    // critical boundary.
+                    self.force_critical(t, ddf_block_until, &mut force_budget, rng);
                 }
             }
         }
@@ -399,15 +536,21 @@ impl EngineSession for DesSession {
 
 impl Engine for DesEngine {
     fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
-        DesSession::new(cfg).simulate_group(rng).clone()
+        DesSession::new(cfg, BiasPolicy::None)
+            .simulate_group(rng)
+            .clone()
     }
 
     fn name(&self) -> &'static str {
         "discrete-event"
     }
 
-    fn session<'a>(&'a self, cfg: &'a RaidGroupConfig) -> Box<dyn EngineSession + 'a> {
-        Box::new(DesSession::new(cfg))
+    fn session<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+    ) -> Box<dyn EngineSession + 'a> {
+        Box::new(DesSession::new(cfg, bias))
     }
 }
 

@@ -25,7 +25,168 @@ pub use timeline::TimelineEngine;
 
 use crate::config::RaidGroupConfig;
 use crate::events::GroupHistory;
+use raidsim_dists::kernel::{Forcing, Tilt};
 use raidsim_dists::rng::SimRng;
+
+/// A change of sampling measure applied to an engine session's lifetime
+/// draws — the importance-sampling knob for rare-event acceleration.
+///
+/// The simulated *model* is untouched; only the distribution the draws
+/// come from changes, and each session accumulates the group's
+/// log-likelihood-ratio into [`GroupHistory::log_weight`] so weighted
+/// estimators remain unbiased under the original measure (see
+/// DESIGN.md §16 for the algebra).
+///
+/// Two families are provided. [`BiasPolicy::HazardTilt`] is
+/// state-independent — every TTOp/TTLd draw is exponentially tilted,
+/// so the likelihood ratio is a product over draws regardless of the
+/// path taken — which makes it cheap to reason about but weak on
+/// genuinely rare events: each tilted draw adds weight noise whether
+/// or not it matters to the outcome. [`BiasPolicy::ForcedCritical`] is
+/// state-*dependent*: it intervenes only when a group reaches the
+/// critical boundary (one more failure from data loss), conditionally
+/// resampling the surviving clean drives' pending failure times with a
+/// window-forcing warp whose likelihood ratio is exactly two-valued
+/// (see [`Forcing`]), so weight noise stays bounded while the DDF rate
+/// under the sampling measure rises by orders of magnitude.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BiasPolicy {
+    /// Plain Monte Carlo: every group has weight exactly 1.
+    #[default]
+    None,
+    /// Exponential tilting of the time-to-operational-failure and
+    /// time-to-latent-defect draws (see [`Tilt`]). Positive strengths
+    /// shift those lifetimes *earlier*, making double-disk failures
+    /// common under the sampling measure; restore and scrub draws are
+    /// never tilted. A strength of `0.0` leaves that draw family
+    /// untilted.
+    HazardTilt {
+        /// Tilt strength for operational-failure (TTOp) draws.
+        op_theta: f64,
+        /// Tilt strength for latent-defect (TTLd) draws.
+        latent_theta: f64,
+    },
+    /// Forced failure coincidence at the critical boundary: whenever a
+    /// degrading event (operational failure or defect exposure) leaves
+    /// the group exactly one clean-drive failure away from a DDF, every
+    /// surviving clean drive's pending failure time is conditionally
+    /// resampled — valid because the discarded value has influenced
+    /// the path only through having not yet occurred — and the
+    /// resample is forced into the next `window_hours` with mixture
+    /// weight `fraction` (see [`Forcing`]). Supported by the
+    /// discrete-event engine only; the timeline engine's up-front
+    /// trajectory construction cannot intervene mid-path.
+    ForcedCritical {
+        /// Mixture weight on the forced component, in `(0, 0.5]`.
+        fraction: f64,
+        /// Width of the forcing window after the trigger, hours.
+        window_hours: f64,
+    },
+}
+
+impl BiasPolicy {
+    /// The tilt applied to TTOp draws, if any.
+    pub fn op_tilt(&self) -> Option<Tilt> {
+        match self {
+            BiasPolicy::HazardTilt { op_theta, .. } => tilt_for(*op_theta),
+            BiasPolicy::None | BiasPolicy::ForcedCritical { .. } => None,
+        }
+    }
+
+    /// The tilt applied to TTLd draws, if any.
+    pub fn latent_tilt(&self) -> Option<Tilt> {
+        match self {
+            BiasPolicy::HazardTilt { latent_theta, .. } => tilt_for(*latent_theta),
+            BiasPolicy::None | BiasPolicy::ForcedCritical { .. } => None,
+        }
+    }
+
+    /// The critical-boundary forcing warp and its window, if this
+    /// policy forces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range fraction or window — the same
+    /// conditions [`BiasPolicy::validate`] rejects.
+    pub fn forced_critical(&self) -> Option<(Forcing, f64)> {
+        match self {
+            BiasPolicy::None | BiasPolicy::HazardTilt { .. } => None,
+            BiasPolicy::ForcedCritical {
+                fraction,
+                window_hours,
+            } => {
+                let forcing = match Forcing::new(*fraction) {
+                    Ok(f) => f,
+                    Err(e) => panic!("invalid forcing fraction: {e:?}"),
+                };
+                assert!(
+                    window_hours.is_finite() && *window_hours > 0.0,
+                    "forcing window must be finite and positive, got {window_hours}"
+                );
+                Some((forcing, *window_hours))
+            }
+        }
+    }
+
+    /// `true` when the policy changes no draw (weight is exactly 1 for
+    /// every group).
+    pub fn is_unbiased(&self) -> bool {
+        self.op_tilt().is_none()
+            && self.latent_tilt().is_none()
+            && !matches!(self, BiasPolicy::ForcedCritical { .. })
+    }
+
+    /// Validates the policy parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tilt strength is non-finite (a NaN tilt would poison
+    /// every weight downstream), if a forcing fraction lies outside
+    /// `(0, 0.5]` (the bound that keeps accumulated forced log-weights
+    /// inside the exact fixed-point range — see DESIGN.md §16), or if a
+    /// forcing window is not finite and positive.
+    pub fn validate(&self) {
+        match self {
+            BiasPolicy::None => {}
+            BiasPolicy::HazardTilt {
+                op_theta,
+                latent_theta,
+            } => {
+                assert!(
+                    op_theta.is_finite() && latent_theta.is_finite(),
+                    "tilt strengths must be finite, got op {op_theta}, latent {latent_theta}"
+                );
+            }
+            BiasPolicy::ForcedCritical { .. } => {
+                // Shares the range checks with the accessor.
+                let _ = self.forced_critical();
+            }
+        }
+    }
+}
+
+/// `theta == 0` means "leave this draw family untilted".
+fn tilt_for(theta: f64) -> Option<Tilt> {
+    Tilt::new(theta).ok()
+}
+
+/// Draws from `kernel`, tilted when a tilt is present (accumulating the
+/// draw's log-likelihood-ratio into `log_weight`), plain otherwise.
+///
+/// The `None` arm calls [`raidsim_dists::SampleKernel::sample`]
+/// directly, so unbiased sessions keep their bit-identity contract.
+#[inline]
+pub(crate) fn draw(
+    kernel: &raidsim_dists::SampleKernel,
+    tilt: Option<Tilt>,
+    log_weight: &mut f64,
+    rng: &mut SimRng,
+) -> f64 {
+    match tilt {
+        Some(t) => kernel.sample_tilted(t, log_weight, rng),
+        None => kernel.sample(rng),
+    }
+}
 
 /// A simulation engine: produces one RAID-group history per call.
 ///
@@ -70,13 +231,36 @@ pub trait Engine: std::fmt::Debug + Send + Sync {
     /// `Send`: the batch runner creates one per worker thread and keeps
     /// it alive for the whole run.
     ///
-    /// The contract is bit-identity: for any RNG state,
-    /// `session.simulate_group(rng)` must return exactly the history
-    /// [`Engine::simulate_group`] would have produced from the same
-    /// state. The default implementation delegates to
+    /// The contract is bit-identity: for any RNG state and
+    /// `BiasPolicy::None`, `session.simulate_group(rng)` must return
+    /// exactly the history [`Engine::simulate_group`] would have
+    /// produced from the same state. Under a biasing policy the session
+    /// samples from the tilted measure instead and must record the
+    /// group's log-likelihood-ratio in [`GroupHistory::log_weight`];
+    /// determinism per `(seed, policy)` still holds, but bit-identity
+    /// with the unbiased draws does not (the whole point is to visit
+    /// different paths).
+    ///
+    /// The default implementation delegates to
     /// [`Engine::simulate_group`] per call (correct for any engine,
-    /// but allocating — it reports one `loop_allocs` per group).
-    fn session<'a>(&'a self, cfg: &'a RaidGroupConfig) -> Box<dyn EngineSession + 'a> {
+    /// but allocating — it reports one `loop_allocs` per group) and
+    /// supports only [`BiasPolicy::None`].
+    ///
+    /// # Panics
+    ///
+    /// The default implementation panics when `bias` changes any draw,
+    /// because it cannot thread the measure change into
+    /// [`Engine::simulate_group`].
+    fn session<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+    ) -> Box<dyn EngineSession + 'a> {
+        assert!(
+            bias.is_unbiased(),
+            "engine {} has no biased session support",
+            self.name()
+        );
         Box::new(OneShotSession {
             simulate: move |rng: &mut SimRng| self.simulate_group(cfg, rng),
             last: GroupHistory::default(),

@@ -1,7 +1,8 @@
 use super::ddf::{self, SlotCondition};
-use super::{Engine, EngineCounters, EngineSession};
+use super::{draw, BiasPolicy, Engine, EngineCounters, EngineSession};
 use crate::config::{RaidGroupConfig, Redundancy};
 use crate::events::{DdfEvent, GroupHistory};
+use raidsim_dists::kernel::Tilt;
 use raidsim_dists::rng::SimRng;
 use raidsim_dists::SampleKernel;
 use std::cmp::Reverse;
@@ -83,7 +84,9 @@ impl LdChain {
     fn new(
         ttld: Option<&SampleKernel>,
         ttscrub: Option<&SampleKernel>,
+        tilt: Option<Tilt>,
         samples: &mut u64,
+        log_weight: &mut f64,
         rng: &mut SimRng,
     ) -> Self {
         let mut chain = LdChain {
@@ -94,7 +97,7 @@ impl LdChain {
         };
         if let Some(d) = ttld {
             *samples += 1;
-            chain.defect_at = d.sample(rng);
+            chain.defect_at = draw(d, tilt, log_weight, rng);
             chain.clear_at = schedule_clear(chain.defect_at, ttscrub, samples, rng);
         }
         chain
@@ -103,13 +106,16 @@ impl LdChain {
     /// Advances the chain so the current interval covers time `t`, then
     /// reports whether a defect is pending at `t`. Defect/scrub counts
     /// are accumulated (up to the mission bound) as intervals retire.
+    #[allow(clippy::too_many_arguments)]
     fn defective_at(
         &mut self,
         t: f64,
         mission: f64,
         ttld: Option<&SampleKernel>,
         ttscrub: Option<&SampleKernel>,
+        tilt: Option<Tilt>,
         samples: &mut u64,
+        log_weight: &mut f64,
         rng: &mut SimRng,
     ) -> bool {
         let Some(ttld) = ttld else {
@@ -123,7 +129,7 @@ impl LdChain {
                 self.scrubbed += 1;
             }
             *samples += 1;
-            let next_defect = self.clear_at + ttld.sample(rng);
+            let next_defect = self.clear_at + draw(ttld, tilt, log_weight, rng);
             self.defect_at = next_defect;
             self.clear_at = schedule_clear(next_defect, ttscrub, samples, rng);
         }
@@ -144,7 +150,9 @@ impl LdChain {
         mission: f64,
         ttld: Option<&SampleKernel>,
         ttscrub: Option<&SampleKernel>,
+        tilt: Option<Tilt>,
         samples: &mut u64,
+        log_weight: &mut f64,
         rng: &mut SimRng,
     ) {
         let Some(ttld) = ttld else { return };
@@ -153,7 +161,7 @@ impl LdChain {
                 self.created += 1;
             }
             *samples += 1;
-            let next_defect = restore + ttld.sample(rng);
+            let next_defect = restore + draw(ttld, tilt, log_weight, rng);
             self.defect_at = next_defect;
             self.clear_at = schedule_clear(next_defect, ttscrub, samples, rng);
         }
@@ -161,12 +169,15 @@ impl LdChain {
 
     /// Counts the remaining defects/scrubs between the chain's current
     /// position and the mission end.
+    #[allow(clippy::too_many_arguments)]
     fn finalize_counts(
         &mut self,
         mission: f64,
         ttld: Option<&SampleKernel>,
         ttscrub: Option<&SampleKernel>,
+        tilt: Option<Tilt>,
         samples: &mut u64,
+        log_weight: &mut f64,
         rng: &mut SimRng,
     ) {
         let Some(ttld) = ttld else { return };
@@ -178,7 +189,7 @@ impl LdChain {
                 break;
             }
             *samples += 1;
-            let next_defect = self.clear_at + ttld.sample(rng);
+            let next_defect = self.clear_at + draw(ttld, tilt, log_weight, rng);
             self.defect_at = next_defect;
             self.clear_at = schedule_clear(next_defect, ttscrub, samples, rng);
         }
@@ -204,6 +215,11 @@ struct TimelineSession {
     ttr: SampleKernel,
     ttld: Option<SampleKernel>,
     ttscrub: Option<SampleKernel>,
+    /// Importance-sampling tilt on TTOp draws; `None` leaves the
+    /// measure unchanged (and the draws bit-identical).
+    op_tilt: Option<Tilt>,
+    /// Importance-sampling tilt on TTLd draws.
+    latent_tilt: Option<Tilt>,
     timelines: Vec<Vec<DownSpan>>,
     /// Merged `(fail, slot, restore)` events, time-ordered.
     failures: Vec<(f64, usize, f64)>,
@@ -226,7 +242,16 @@ struct TimelineSession {
 }
 
 impl TimelineSession {
-    fn new(cfg: &RaidGroupConfig) -> Self {
+    fn new(cfg: &RaidGroupConfig, bias: BiasPolicy) -> Self {
+        // The timeline engine generates each slot's whole renewal
+        // trajectory up front (the paper's Figure 5 procedure), so it
+        // has no mid-path intervention point for a state-dependent
+        // measure change; refuse rather than silently ignore it.
+        assert!(
+            bias.forced_critical().is_none(),
+            "the pairwise-timeline engine supports only draw-level tilts; \
+             BiasPolicy::ForcedCritical requires the discrete-event engine"
+        );
         let dists = &cfg.dists;
         let n = cfg.drives;
         Self {
@@ -237,6 +262,8 @@ impl TimelineSession {
             ttr: SampleKernel::lower(&dists.ttr),
             ttld: dists.ttld.as_ref().map(SampleKernel::lower),
             ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
+            op_tilt: bias.op_tilt(),
+            latent_tilt: bias.latent_tilt(),
             timelines: std::iter::repeat_with(Vec::new).take(n).collect(),
             failures: Vec::new(),
             merge_heap: BinaryHeap::with_capacity(n),
@@ -256,6 +283,10 @@ impl EngineSession for TimelineSession {
         let n = self.n;
         let mission = self.mission;
 
+        // The log-weight accumulates across phases 1, 3, 4 and 5, so it
+        // resets first.
+        self.history.log_weight = 0.0;
+
         // Phase 1 — generate each slot's operational renewal timeline
         // ("The operating and failure times are accumulated until a
         // specified mission time is exceeded", Section 5).
@@ -264,7 +295,7 @@ impl EngineSession for TimelineSession {
             let mut t = 0.0f64;
             loop {
                 self.counters.samples_drawn += 1;
-                let fail = t + self.ttop.sample(rng);
+                let fail = t + draw(&self.ttop, self.op_tilt, &mut self.history.log_weight, rng);
                 if fail > mission {
                     break;
                 }
@@ -311,7 +342,9 @@ impl EngineSession for TimelineSession {
             self.chains.push(LdChain::new(
                 self.ttld.as_ref(),
                 self.ttscrub.as_ref(),
+                self.latent_tilt,
                 &mut self.counters.samples_drawn,
+                &mut self.history.log_weight,
                 rng,
             ));
         }
@@ -357,7 +390,9 @@ impl EngineSession for TimelineSession {
                     mission,
                     self.ttld.as_ref(),
                     self.ttscrub.as_ref(),
+                    self.latent_tilt,
                     &mut self.counters.samples_drawn,
+                    &mut self.history.log_weight,
                     rng,
                 ) {
                     SlotCondition::Defective
@@ -378,7 +413,9 @@ impl EngineSession for TimelineSession {
                             mission,
                             self.ttld.as_ref(),
                             self.ttscrub.as_ref(),
+                            self.latent_tilt,
                             &mut self.counters.samples_drawn,
+                            &mut self.history.log_weight,
                             rng,
                         );
                     }
@@ -392,7 +429,9 @@ impl EngineSession for TimelineSession {
                 mission,
                 self.ttld.as_ref(),
                 self.ttscrub.as_ref(),
+                self.latent_tilt,
                 &mut self.counters.samples_drawn,
+                &mut self.history.log_weight,
                 rng,
             );
             self.history.latent_defects += chain.created;
@@ -423,15 +462,21 @@ impl EngineSession for TimelineSession {
 
 impl Engine for TimelineEngine {
     fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
-        TimelineSession::new(cfg).simulate_group(rng).clone()
+        TimelineSession::new(cfg, BiasPolicy::None)
+            .simulate_group(rng)
+            .clone()
     }
 
     fn name(&self) -> &'static str {
         "pairwise-timeline"
     }
 
-    fn session<'a>(&'a self, cfg: &'a RaidGroupConfig) -> Box<dyn EngineSession + 'a> {
-        Box::new(TimelineSession::new(cfg))
+    fn session<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+    ) -> Box<dyn EngineSession + 'a> {
+        Box::new(TimelineSession::new(cfg, bias))
     }
 }
 
@@ -525,7 +570,7 @@ mod tests {
         // rewrite of phase 2 must not change a single bit.
         let cfg = RaidGroupConfig::paper_base_case().unwrap();
         let engine = TimelineEngine::new();
-        let mut session = engine.session(&cfg);
+        let mut session = engine.session(&cfg, BiasPolicy::None);
         for i in 0..64 {
             let mut a = stream(11, i);
             let mut b = stream(11, i);

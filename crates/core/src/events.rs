@@ -38,6 +38,10 @@ pub struct GroupHistory {
     /// Total drive-hours spent down (failed or reconstructing) inside
     /// the mission window, summed across all slots.
     pub downtime_hours: f64,
+    /// Natural log of the group's importance-sampling likelihood ratio
+    /// `f/g` (original over sampling measure), accumulated over every
+    /// tilted draw. `0.0` — weight exactly 1 — for unbiased runs.
+    pub log_weight: f64,
 }
 
 impl GroupHistory {
@@ -99,6 +103,11 @@ impl GroupHistory {
             self.op_failures > 0 || self.downtime_hours == 0.0,
             "downtime without failures"
         );
+        assert!(
+            self.log_weight.is_finite(),
+            "log-weight must be finite, got {}",
+            self.log_weight
+        );
     }
 }
 
@@ -123,6 +132,7 @@ mod tests {
             scrubs_completed: 4,
             restores_completed: 3,
             downtime_hours: 40.0,
+            log_weight: 0.0,
         }
     }
 

@@ -48,7 +48,7 @@
 //! critical section leaves the shared state consistent on its own.
 
 use crate::config::RaidGroupConfig;
-use crate::engine::{Engine, EngineCounters};
+use crate::engine::{BiasPolicy, Engine, EngineCounters};
 use crate::events::GroupHistory;
 use crate::run::{BatchCursor, BatchRunner, Progress, StreamObserver, PROGRESS_STRIDE};
 use crate::stats::{SchedulerStats, StreamStats};
@@ -65,6 +65,11 @@ pub(crate) struct PoolCtx<'a> {
     pub engine: &'a dyn Engine,
     /// Configuration being simulated.
     pub cfg: &'a RaidGroupConfig,
+    /// Sampling-measure change each worker session applies (see
+    /// [`BiasPolicy`]); scheduling invariance is unaffected because
+    /// every session applies the same policy to the same per-group
+    /// streams.
+    pub bias: BiasPolicy,
     /// Base seed; group `i` uses RNG stream `i`.
     pub seed: u64,
     /// Worker count (callers route `threads == 1` around the pool).
@@ -236,7 +241,7 @@ fn note_group(ctx: &PoolCtx<'_>, last_bucket: &mut u64) {
 /// until shutdown. Returns the worker's lifetime group count and its
 /// session's work counters.
 fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
-    let mut session = ctx.engine.session(ctx.cfg);
+    let mut session = ctx.engine.session(ctx.cfg, ctx.bias);
     let mut groups_done = 0u64;
     // Stride accounting starts at the current global bucket so a
     // resumed run does not re-report strides its checkpointed prefix

@@ -45,9 +45,11 @@
 //! prefix `[0, watermark)` of the index space — precisely the state a
 //! checkpoint can resume bit-identically (see [`crate::checkpoint`]).
 
-use crate::checkpoint::{config_fingerprint, CheckpointError, DriverState, SimCheckpoint};
+use crate::checkpoint::{
+    config_fingerprint, legacy_config_fingerprint_v1, CheckpointError, DriverState, SimCheckpoint,
+};
 use crate::config::RaidGroupConfig;
-use crate::engine::{DesEngine, Engine, EngineSession};
+use crate::engine::{BiasPolicy, DesEngine, Engine, EngineSession};
 use crate::events::{DdfKind, GroupHistory};
 use crate::pool::{self, PoolCtx};
 use crate::stats::{SchedulerStats, StreamStats};
@@ -307,6 +309,7 @@ pub struct Simulator {
     cfg: RaidGroupConfig,
     engine: Arc<dyn Engine>,
     claim_batch: u64,
+    bias: BiasPolicy,
 }
 
 impl Simulator {
@@ -324,6 +327,7 @@ impl Simulator {
             cfg,
             engine: Arc::new(DesEngine::new()),
             claim_batch: DEFAULT_CLAIM_BATCH,
+            bias: BiasPolicy::None,
         }
     }
 
@@ -355,6 +359,34 @@ impl Simulator {
         self.claim_batch
     }
 
+    /// Replaces the sampling-measure change applied to every group
+    /// (importance sampling for rare-event acceleration; see
+    /// [`BiasPolicy`]).
+    ///
+    /// Under a bias the per-group histories are drawn from the tilted
+    /// measure — raw totals on a [`SimulationResult`] then describe the
+    /// *sampling* measure, while the unbiased estimates of the original
+    /// measure come from the weighted [`StreamStats`] accessors
+    /// ([`StreamStats::weighted_mean_ddfs`],
+    /// [`StreamStats::weighted_half_width`]) and from the
+    /// [`PrecisionReport`], which switches to them automatically.
+    /// With [`BiasPolicy::None`] every path is bit-identical to a
+    /// simulator that never had a bias configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tilt strength is non-finite.
+    pub fn with_bias(mut self, bias: BiasPolicy) -> Self {
+        bias.validate();
+        self.bias = bias;
+        self
+    }
+
+    /// The sampling-measure change in effect.
+    pub fn bias(&self) -> BiasPolicy {
+        self.bias
+    }
+
     /// The configuration being simulated.
     pub fn config(&self) -> &RaidGroupConfig {
         &self.cfg
@@ -365,7 +397,7 @@ impl Simulator {
     /// Group `i` uses RNG stream `i` of `seed`, so the result is a
     /// deterministic function of `(config, groups, seed)`.
     pub fn run(&self, groups: usize, seed: u64) -> SimulationResult {
-        let mut session = self.engine.session(&self.cfg);
+        let mut session = self.engine.session(&self.cfg, self.bias);
         let histories = (0..groups)
             .map(|i| {
                 let mut rng = stream(seed, i as u64);
@@ -480,7 +512,7 @@ impl Simulator {
         assert!(threads > 0, "need at least one thread");
         if threads == 1 {
             let mut runner = SerialRunner {
-                session: self.engine.session(&self.cfg),
+                session: self.engine.session(&self.cfg, self.bias),
                 mission_hours: self.cfg.mission_hours,
                 seed,
                 observer,
@@ -504,6 +536,7 @@ impl Simulator {
                 PoolCtx {
                     engine: self.engine.as_ref(),
                     cfg: &self.cfg,
+                    bias: self.bias,
                     seed,
                     threads,
                     claim_batch: self.claim_batch,
@@ -758,10 +791,30 @@ impl Simulator {
         mut plan: Option<CheckpointPlan<'_>>,
         resume: Option<SimCheckpoint>,
     ) -> Result<(StreamStats, PrecisionReport), CheckpointError> {
-        let fingerprint = config_fingerprint(&self.cfg, self.engine.name());
+        let fingerprint = config_fingerprint(&self.cfg, self.engine.name(), self.bias);
         let mut stats = match resume {
             Some(ckpt) => {
-                ckpt.validate_for(fingerprint, &driver)?;
+                if ckpt.format_version < crate::checkpoint::FORMAT_VERSION {
+                    // Version-1 files recorded the legacy fingerprint,
+                    // which does not cover a sampling-measure change —
+                    // it cannot attest that the old groups were drawn
+                    // under this run's tilt, so only an unbiased resume
+                    // is sound.
+                    if !self.bias.is_unbiased() {
+                        return Err(CheckpointError::ConfigMismatch {
+                            field: "bias",
+                            reason: format!(
+                                "checkpoint is format version {} (pre-importance-sampling) \
+                                 and can only resume an unbiased run; requested {:?}",
+                                ckpt.format_version, self.bias
+                            ),
+                        });
+                    }
+                    let legacy = legacy_config_fingerprint_v1(&self.cfg, self.engine.name());
+                    ckpt.validate_for(legacy, &driver)?;
+                } else {
+                    ckpt.validate_for(fingerprint, &driver)?;
+                }
                 if ckpt.stats.mission_hours() != self.cfg.mission_hours {
                     return Err(CheckpointError::ConfigMismatch {
                         field: "mission",
@@ -844,11 +897,35 @@ impl Simulator {
             0.0
         };
         let confidence = driver.confidence;
+        // Under a bias the estimand is still the original-measure mean,
+        // so the driver steers and reports on the weighted estimator.
+        // Unbiased runs keep the plain code path (bit-identical reports
+        // to every earlier build).
+        let biased = !self.bias.is_unbiased();
+        let estimate = move |stats: &StreamStats| {
+            if biased {
+                (stats.weighted_mean_ddfs(), stats.weighted_half_width(z))
+            } else {
+                (stats.mean_ddfs(), stats.half_width(z))
+            }
+        };
         let report = |stats: &StreamStats, criterion: StopCriterion| {
             let n = stats.groups();
+            let (mean, half_width) = match n {
+                0 => (0.0, 0.0),
+                1 => {
+                    let m = if biased {
+                        stats.weighted_mean_ddfs()
+                    } else {
+                        stats.mean_ddfs()
+                    };
+                    (m, 0.0)
+                }
+                _ => estimate(stats),
+            };
             PrecisionReport {
-                mean: if n == 0 { 0.0 } else { stats.mean_ddfs() },
-                half_width: if n >= 2 { stats.half_width(z) } else { 0.0 },
+                mean,
+                half_width,
                 confidence,
                 groups: n as usize,
                 converged: matches!(
@@ -866,8 +943,7 @@ impl Simulator {
         let criterion = loop {
             let n = stats.groups();
             if driver.precision_mode && n >= 2 {
-                let mean = stats.mean_ddfs();
-                let half = stats.half_width(z);
+                let (mean, half) = estimate(stats);
                 if mean > 0.0 && half <= driver.target_relative * mean {
                     break StopCriterion::RelativeWidth;
                 }
@@ -1157,7 +1233,9 @@ impl SimulationResult {
 
     /// Writes one CSV row per group history (`group, ddfs, op_failures,
     /// latent_defects, scrubs_completed, restores_completed,
-    /// downtime_hours`) for analysis in external tooling.
+    /// downtime_hours, log_weight`) for analysis in external tooling.
+    /// The `log_weight` column is the importance-sampling
+    /// log-likelihood-ratio — all zeros for unbiased runs.
     ///
     /// # Errors
     ///
@@ -1165,18 +1243,20 @@ impl SimulationResult {
     pub fn write_history_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         writeln!(
             w,
-            "group,ddfs,op_failures,latent_defects,scrubs_completed,restores_completed,downtime_hours"
+            "group,ddfs,op_failures,latent_defects,scrubs_completed,restores_completed,\
+             downtime_hours,log_weight"
         )?;
         for (i, h) in self.histories.iter().enumerate() {
             writeln!(
                 w,
-                "{i},{},{},{},{},{},{:.4}",
+                "{i},{},{},{},{},{},{:.4},{:.6}",
                 h.ddf_count(),
                 h.op_failures,
                 h.latent_defects,
                 h.scrubs_completed,
                 h.restores_completed,
-                h.downtime_hours
+                h.downtime_hours,
+                h.log_weight
             )?;
         }
         Ok(())
@@ -1643,6 +1723,62 @@ mod tests {
         // Interpolated level is in the right ballpark.
         let z = super::z_score(0.975);
         assert!(z > 2.0 && z < 2.5, "z = {z}");
+    }
+
+    #[test]
+    fn unbiased_runs_have_zero_log_weights() {
+        let sim = Simulator::new(base());
+        let r = sim.run(60, 3);
+        assert!(r.histories.iter().all(|h| h.log_weight == 0.0));
+        let s = sim.run_streaming(60, 3, 2);
+        assert_eq!(s.weight_sum(), 60.0);
+        assert_eq!(s.effective_sample_size(), 60.0);
+    }
+
+    #[test]
+    fn biased_runs_are_deterministic_and_scheduling_invariant() {
+        let bias = BiasPolicy::HazardTilt {
+            op_theta: 1.0,
+            latent_theta: 0.25,
+        };
+        let sim = Simulator::new(base()).with_bias(bias);
+        let serial = sim.run(90, 17);
+        // Tilting visits different paths than the plain measure…
+        assert_ne!(serial, Simulator::new(base()).run(90, 17));
+        // …records non-trivial weights…
+        assert!(serial.histories.iter().any(|h| h.log_weight != 0.0));
+        // …and stays a pure function of (config, bias, seed) at any
+        // thread count and claim size.
+        let stored = StreamStats::from_result(&serial);
+        for threads in [1, 2, 4] {
+            assert_eq!(sim.run_parallel(90, 17, threads), serial);
+            assert_eq!(sim.run_streaming(90, 17, threads), stored);
+        }
+        let tuned = sim.clone().with_claim_batch(7);
+        assert_eq!(tuned.run_streaming(90, 17, 3), stored);
+    }
+
+    #[test]
+    fn biased_precision_report_uses_the_weighted_estimator() {
+        let bias = BiasPolicy::HazardTilt {
+            op_theta: 1.2,
+            latent_theta: 0.0,
+        };
+        let sim = Simulator::new(base()).with_bias(bias);
+        let (stats, report) = sim.run_until_precision_streaming(0.25, 0.90, 200, 2_000, 7, 2);
+        assert_eq!(report.mean, stats.weighted_mean_ddfs());
+        let z = super::z_score(0.90);
+        assert_eq!(report.half_width, stats.weighted_half_width(z));
+        assert!(stats.effective_sample_size() <= stats.groups() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_tilt_is_rejected() {
+        let _ = Simulator::new(base()).with_bias(BiasPolicy::HazardTilt {
+            op_theta: f64::NAN,
+            latent_theta: 0.0,
+        });
     }
 
     #[test]

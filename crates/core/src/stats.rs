@@ -25,6 +25,14 @@
 //!   (≈ 0.85 µs). Scaling an `f64` by a power of two is exact, so each
 //!   group's tick count is a pure function of its `downtime_hours`,
 //!   and the tick sum is an exact integer.
+//! * The per-group importance weight `w = exp(log_weight)` (see
+//!   [`GroupHistory::log_weight`]) is quantized **once per group** to
+//!   2⁻³² ticks — the same trick as downtime — and every weighted
+//!   moment (`Σw`, `Σw²`, `Σw·x`, `Σw·x²`, `Σ(w·x)²`) is then an exact
+//!   integer sum of pure per-group functions. Unbiased groups have
+//!   `log_weight == 0.0` exactly, so `w == 1.0` and the quantization
+//!   is the exact tick count 2³²: the weighted estimators degrade to
+//!   the plain ones bit for bit when no biasing is active.
 //!
 //! Integer addition is associative and commutative, so **any** order of
 //! [`StreamStats::push`] and [`StreamStats::merge`] over the same set
@@ -55,6 +63,25 @@ pub const DEFAULT_DDF_BINS: usize = 960;
 
 /// Fixed-point downtime resolution: ticks per hour (2³²).
 const DOWNTIME_TICKS_PER_HOUR: f64 = 4_294_967_296.0;
+
+/// Fixed-point importance-weight resolution: ticks per unit weight
+/// (2³²). A weight of exactly 1 — every group of an unbiased run —
+/// quantizes to exactly 2³² ticks.
+const WEIGHT_TICKS_PER_UNIT: f64 = 4_294_967_296.0;
+
+/// `WEIGHT_TICKS_PER_UNIT` as the exact integer 2³².
+const WEIGHT_TICKS: u128 = 1 << 32;
+
+/// Adds with overflow detection: a weighted accumulator that wraps
+/// would silently corrupt every downstream estimate, so it aborts the
+/// run instead (checkpoints preserve the work up to the last batch).
+#[inline]
+fn checked_acc(sum: &mut u128, add: u128, what: &str) {
+    *sum = match sum.checked_add(add) {
+        Some(v) => v,
+        None => panic!("{what} accumulator overflowed u128"),
+    };
+}
 
 /// Constant-size, mergeable aggregate of simulated group histories.
 ///
@@ -99,6 +126,18 @@ pub struct StreamStats {
     restores_completed: u64,
     /// Exact Σ of per-group downtime, in 2⁻³²-hour ticks.
     downtime_ticks: u128,
+    /// Exact Σ of quantized group weights `W`, in 2⁻³² weight ticks
+    /// (exactly `groups · 2³²` for an unbiased run).
+    weight_ticks: u128,
+    /// Exact Σ of squared quantized weights `W²`, in 2⁻⁶⁴ ticks.
+    weight_sq_ticks: u128,
+    /// Exact Σ of `W·d` (weighted DDF counts), in 2⁻³² ticks.
+    wddf_ticks: u128,
+    /// Exact Σ of `W·d²` (weighted squared DDF counts), in 2⁻³² ticks.
+    wddf_sq_ticks: u128,
+    /// Exact Σ of `(W·d)²`, in 2⁻⁶⁴ ticks — the weighted estimator's
+    /// own second moment.
+    wddf_prod_sq_ticks: u128,
     /// DDF counts per fixed-width time bin over `[0, mission_hours]`;
     /// bins are half-open `[k·w, (k+1)·w)` except the last, which also
     /// includes the mission endpoint.
@@ -125,6 +164,11 @@ impl Clone for StreamStats {
             scrubs_completed: self.scrubs_completed,
             restores_completed: self.restores_completed,
             downtime_ticks: self.downtime_ticks,
+            weight_ticks: self.weight_ticks,
+            weight_sq_ticks: self.weight_sq_ticks,
+            wddf_ticks: self.wddf_ticks,
+            wddf_sq_ticks: self.wddf_sq_ticks,
+            wddf_prod_sq_ticks: self.wddf_prod_sq_ticks,
             ddf_time_bins: self.ddf_time_bins.clone(),
         }
     }
@@ -252,6 +296,11 @@ impl StreamStats {
             scrubs_completed: 0,
             restores_completed: 0,
             downtime_ticks: 0,
+            weight_ticks: 0,
+            weight_sq_ticks: 0,
+            wddf_ticks: 0,
+            wddf_sq_ticks: 0,
+            wddf_prod_sq_ticks: 0,
             ddf_time_bins: vec![0; bins],
         }
     }
@@ -273,6 +322,39 @@ impl StreamStats {
         let d = h.ddf_count() as u64;
         self.ddf_sum += d;
         self.ddf_sum_sq += u128::from(d) * u128::from(d);
+        // Quantize the group's importance weight once (module docs);
+        // every weighted sum then accumulates an exact integer, and
+        // unit weights quantize to exactly 2³² ticks.
+        assert!(
+            h.log_weight.is_finite(),
+            "group log-weight must be finite, got {}",
+            h.log_weight
+        );
+        let w_units = h.log_weight.exp() * WEIGHT_TICKS_PER_UNIT;
+        assert!(
+            w_units < u64::MAX as f64,
+            "group weight exp({}) overflows the 2⁻³² fixed-point range",
+            h.log_weight
+        );
+        let w = u128::from(w_units.round() as u64);
+        checked_acc(&mut self.weight_ticks, w, "weight");
+        checked_acc(&mut self.weight_sq_ticks, w * w, "squared-weight");
+        let wd = w * u128::from(d);
+        checked_acc(&mut self.wddf_ticks, wd, "weighted-DDF");
+        let wd_sq = match w.checked_mul(u128::from(d) * u128::from(d)) {
+            Some(v) => v,
+            None => panic!("weighted squared-DDF term overflowed u128"),
+        };
+        checked_acc(&mut self.wddf_sq_ticks, wd_sq, "weighted squared-DDF");
+        let wd_prod_sq = match wd.checked_mul(wd) {
+            Some(v) => v,
+            None => panic!("squared weighted-DDF term overflowed u128"),
+        };
+        checked_acc(
+            &mut self.wddf_prod_sq_ticks,
+            wd_prod_sq,
+            "squared weighted-DDF",
+        );
         let bins = self.ddf_time_bins.len();
         for e in &h.ddfs {
             debug_assert!(
@@ -325,6 +407,23 @@ impl StreamStats {
         self.scrubs_completed += other.scrubs_completed;
         self.restores_completed += other.restores_completed;
         self.downtime_ticks += other.downtime_ticks;
+        checked_acc(&mut self.weight_ticks, other.weight_ticks, "weight");
+        checked_acc(
+            &mut self.weight_sq_ticks,
+            other.weight_sq_ticks,
+            "squared-weight",
+        );
+        checked_acc(&mut self.wddf_ticks, other.wddf_ticks, "weighted-DDF");
+        checked_acc(
+            &mut self.wddf_sq_ticks,
+            other.wddf_sq_ticks,
+            "weighted squared-DDF",
+        );
+        checked_acc(
+            &mut self.wddf_prod_sq_ticks,
+            other.wddf_prod_sq_ticks,
+            "squared weighted-DDF",
+        );
         for (mine, theirs) in self.ddf_time_bins.iter_mut().zip(&other.ddf_time_bins) {
             *mine += theirs;
         }
@@ -405,10 +504,20 @@ impl StreamStats {
         assert!(self.groups >= 2, "variance needs at least two groups");
         let n = u128::from(self.groups);
         let s = u128::from(self.ddf_sum);
-        // Cauchy–Schwarz guarantees n·Σx² ≥ (Σx)², so this cannot
-        // underflow.
-        let num = n * self.ddf_sum_sq - s * s;
-        num as f64 / (self.groups as f64 * (self.groups - 1) as f64)
+        // Cauchy–Schwarz guarantees n·Σx² ≥ (Σx)², so the exact path
+        // cannot underflow — but `n·Σx²` itself can exceed `u128` at
+        // extreme scale (order 2⁶⁴ groups with order-2³² DDF counts).
+        // Fall back to floats there: the subtraction then loses at most
+        // the usual ~2⁻⁵³ relative precision, negligible against
+        // sampling error at such counts, instead of aborting the run.
+        let num = match n.checked_mul(self.ddf_sum_sq) {
+            Some(ns) => (ns - s * s) as f64,
+            None => {
+                self.groups as f64 * self.ddf_sum_sq as f64
+                    - self.ddf_sum as f64 * self.ddf_sum as f64
+            }
+        };
+        num.max(0.0) / (self.groups as f64 * (self.groups - 1) as f64)
     }
 
     /// Normal-approximation confidence half-width of the mean DDFs per
@@ -419,6 +528,104 @@ impl StreamStats {
     /// Panics with fewer than two groups.
     pub fn half_width(&self, z: f64) -> f64 {
         z * (self.variance_ddfs() / self.groups as f64).sqrt()
+    }
+
+    /// Total importance weight `Σw` across groups (quantized to 2⁻³²
+    /// ticks; exactly `groups` for an unbiased run).
+    pub fn weight_sum(&self) -> f64 {
+        self.weight_ticks as f64 / WEIGHT_TICKS_PER_UNIT
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` of the weighted sample, in
+    /// groups. Cauchy–Schwarz bounds it by `groups`, with equality
+    /// exactly when every weight is equal — in particular for unbiased
+    /// runs — and it shrinks as the weights disperse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator.
+    pub fn effective_sample_size(&self) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        if self.weight_ticks == 0 {
+            return 0.0;
+        }
+        // Both numerator and denominator are in 2⁻⁶⁴ tick units, so
+        // the scales cancel exactly.
+        let s = self.weight_ticks as f64;
+        s * s / self.weight_sq_ticks as f64
+    }
+
+    /// Unnormalized importance-sampling estimate of the mean DDFs per
+    /// group under the **original** measure: `Σ(wᵢ·dᵢ) / n`.
+    ///
+    /// Dividing by `n` (not `Σw`) keeps the estimator unbiased:
+    /// `E_g[w·D] = E_f[D]` holds exactly for any tilt (DESIGN.md §16).
+    /// For an unbiased run every `wᵢ` is exactly 1 and this reproduces
+    /// [`StreamStats::mean_ddfs`] bit for bit (the tick scale is a
+    /// power of two, so removing it commutes with `f64` rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator.
+    pub fn weighted_mean_ddfs(&self) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        (self.wddf_ticks as f64 / WEIGHT_TICKS_PER_UNIT) / self.groups as f64
+    }
+
+    /// Unnormalized importance-sampling estimate of the mean **squared**
+    /// DDF count under the original measure: `Σ(wᵢ·dᵢ²) / n`
+    /// (`E_g[w·D²] = E_f[D²]`). Combined with
+    /// [`StreamStats::weighted_mean_ddfs`] this yields a consistent
+    /// estimate of the plain-measure per-group variance even when a
+    /// plain run of the same size would record no events at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty accumulator.
+    pub fn weighted_mean_square_ddfs(&self) -> f64 {
+        assert!(self.groups > 0, "no groups aggregated");
+        (self.wddf_sq_ticks as f64 / WEIGHT_TICKS_PER_UNIT) / self.groups as f64
+    }
+
+    /// Unbiased sample variance of the weighted observations
+    /// `yᵢ = wᵢ·dᵢ` — the Monte-Carlo variance of the weighted
+    /// estimator's own terms: `(n·Σy² − (Σy)²) / (n·(n−1))`.
+    ///
+    /// Same structure and overflow policy as
+    /// [`StreamStats::variance_ddfs`]: exact `u128` numerator when it
+    /// fits, documented float fallback otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two groups.
+    pub fn weighted_variance_ddfs(&self) -> f64 {
+        assert!(self.groups >= 2, "variance needs at least two groups");
+        let n = u128::from(self.groups);
+        // Numerator in 2⁻⁶⁴ tick units; integer Cauchy–Schwarz
+        // guarantees the exact path cannot underflow.
+        let num = match (
+            n.checked_mul(self.wddf_prod_sq_ticks),
+            self.wddf_ticks.checked_mul(self.wddf_ticks),
+        ) {
+            (Some(nq), Some(ss)) => (nq - ss) as f64,
+            _ => {
+                self.groups as f64 * self.wddf_prod_sq_ticks as f64
+                    - self.wddf_ticks as f64 * self.wddf_ticks as f64
+            }
+        };
+        let ticks_sq = WEIGHT_TICKS_PER_UNIT * WEIGHT_TICKS_PER_UNIT;
+        (num / ticks_sq).max(0.0) / (self.groups as f64 * (self.groups - 1) as f64)
+    }
+
+    /// Normal-approximation confidence half-width of
+    /// [`StreamStats::weighted_mean_ddfs`], for a two-sided z-score
+    /// `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two groups.
+    pub fn weighted_half_width(&self, z: f64) -> f64 {
+        z * (self.weighted_variance_ddfs() / self.groups as f64).sqrt()
     }
 
     /// DDFs per 1,000 groups over the full mission.
@@ -441,8 +648,8 @@ impl StreamStats {
     ///
     /// # Panics
     ///
-    /// Panics if `t` is not aligned with a bin edge (within 1 part in
-    /// 10⁹) or is outside `[0, mission_hours]`.
+    /// Panics if `t` is not aligned with a bin edge (within 10⁻⁹ of
+    /// one bin width) or is outside `[0, mission_hours]`.
     pub fn ddfs_through(&self, t: f64) -> u64 {
         assert!(
             (0.0..=self.mission_hours).contains(&t),
@@ -454,8 +661,12 @@ impl StreamStats {
         let bins = self.ddf_time_bins.len() as f64;
         let pos = t / self.mission_hours * bins;
         let edge = pos.round();
+        // `pos` is measured in bin widths, so a fixed 1e-9 here is a
+        // tolerance *relative to one bin* — it does not loosen as the
+        // bin count grows the way the former `1e-9 * bins` bound did
+        // (at 10⁶ bins that accepted horizons a tenth of a bin off).
         assert!(
-            (pos - edge).abs() <= 1e-9 * bins,
+            (pos - edge).abs() <= 1e-9,
             "horizon {t} does not align with a histogram bin edge \
              (bin width {})",
             self.bin_width()
@@ -517,6 +728,11 @@ impl StreamStats {
         out.extend_from_slice(&self.scrubs_completed.to_le_bytes());
         out.extend_from_slice(&self.restores_completed.to_le_bytes());
         out.extend_from_slice(&self.downtime_ticks.to_le_bytes());
+        out.extend_from_slice(&self.weight_ticks.to_le_bytes());
+        out.extend_from_slice(&self.weight_sq_ticks.to_le_bytes());
+        out.extend_from_slice(&self.wddf_ticks.to_le_bytes());
+        out.extend_from_slice(&self.wddf_sq_ticks.to_le_bytes());
+        out.extend_from_slice(&self.wddf_prod_sq_ticks.to_le_bytes());
         out.extend_from_slice(&(self.ddf_time_bins.len() as u64).to_le_bytes());
         for bin in &self.ddf_time_bins {
             out.extend_from_slice(&bin.to_le_bytes());
@@ -537,6 +753,24 @@ impl StreamStats {
     /// histogram totals inconsistent with the DDF sum, mean square
     /// below the squared mean).
     pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        Self::decode_version(bytes, crate::checkpoint::FORMAT_VERSION)
+    }
+
+    /// Decodes the layout a given checkpoint format version wrote (see
+    /// [`crate::checkpoint::FORMAT_VERSION`]).
+    ///
+    /// Version 1 predates importance weighting: every group had weight
+    /// exactly 1, whose 2⁻³² quantization is exactly 2³² ticks, so the
+    /// weighted sums are pure integer functions of the plain ones and
+    /// are reconstructed here **exactly** as a version-1 run would have
+    /// accumulated them — resuming an old checkpoint stays bit-identical
+    /// to a run that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamStats::decode`], plus unknown versions and version-1
+    /// moments too large for the exact weighted reconstruction.
+    pub fn decode_version(bytes: &[u8], version: u32) -> Result<Self, String> {
         let mut r = Decoder { bytes, pos: 0 };
         let mission_hours = f64::from_bits(r.u64()?);
         if !mission_hours.is_finite() || mission_hours <= 0.0 {
@@ -552,6 +786,27 @@ impl StreamStats {
         let scrubs_completed = r.u64()?;
         let restores_completed = r.u64()?;
         let downtime_ticks = r.u128()?;
+        let (weight_ticks, weight_sq_ticks, wddf_ticks, wddf_sq_ticks, wddf_prod_sq_ticks) =
+            match version {
+                2 => (r.u128()?, r.u128()?, r.u128()?, r.u128()?, r.u128()?),
+                1 => {
+                    let upgrade = |x: u128, ticks: u128| {
+                        x.checked_mul(ticks).ok_or_else(|| {
+                            "version-1 squared moment too large to upgrade".to_string()
+                        })
+                    };
+                    (
+                        u128::from(groups) << 32,
+                        u128::from(groups) << 64,
+                        u128::from(ddf_sum) << 32,
+                        upgrade(ddf_sum_sq, WEIGHT_TICKS)?,
+                        upgrade(ddf_sum_sq, WEIGHT_TICKS * WEIGHT_TICKS)?,
+                    )
+                }
+                other => {
+                    return Err(format!("unsupported statistics format version {other}"));
+                }
+            };
         let bin_count = r.u64()?;
         if bin_count == 0 {
             return Err("histogram has zero bins".into());
@@ -590,8 +845,41 @@ impl StreamStats {
             // Σx² ≥ Σx for non-negative integer observations.
             return Err("squared-moment field is below the DDF total".into());
         }
-        if u128::from(groups) * ddf_sum_sq < u128::from(ddf_sum) * u128::from(ddf_sum) {
-            return Err("moment fields violate the Cauchy-Schwarz bound".into());
+        // The Cauchy–Schwarz checks skip (accept) when their products
+        // overflow `u128` — they are plausibility screens, and the
+        // accessors handle such extreme states via their float
+        // fallbacks.
+        if let Some(ns) = u128::from(groups).checked_mul(ddf_sum_sq) {
+            if ns < u128::from(ddf_sum) * u128::from(ddf_sum) {
+                return Err("moment fields violate the Cauchy-Schwarz bound".into());
+            }
+        }
+        if weight_ticks == 0
+            && (weight_sq_ticks != 0
+                || wddf_ticks != 0
+                || wddf_sq_ticks != 0
+                || wddf_prod_sq_ticks != 0)
+        {
+            return Err("weighted moments recorded without any weight".into());
+        }
+        if groups == 0 && weight_ticks != 0 {
+            return Err("weight recorded without any groups".into());
+        }
+        if let (Some(nq), Some(ss)) = (
+            u128::from(groups).checked_mul(weight_sq_ticks),
+            weight_ticks.checked_mul(weight_ticks),
+        ) {
+            if nq < ss {
+                return Err("weight moments violate the Cauchy-Schwarz bound".into());
+            }
+        }
+        if let (Some(nq), Some(ss)) = (
+            u128::from(groups).checked_mul(wddf_prod_sq_ticks),
+            wddf_ticks.checked_mul(wddf_ticks),
+        ) {
+            if nq < ss {
+                return Err("weighted-DDF moments violate the Cauchy-Schwarz bound".into());
+            }
         }
         Ok(Self {
             mission_hours,
@@ -605,6 +893,11 @@ impl StreamStats {
             scrubs_completed,
             restores_completed,
             downtime_ticks,
+            weight_ticks,
+            weight_sq_ticks,
+            wddf_ticks,
+            wddf_sq_ticks,
+            wddf_prod_sq_ticks,
             ddf_time_bins,
         })
     }
@@ -684,6 +977,14 @@ mod tests {
             scrubs_completed: 2,
             restores_completed: 1,
             downtime_hours: downtime,
+            log_weight: 0.0,
+        }
+    }
+
+    fn weighted(ddf_times: &[f64], log_weight: f64) -> GroupHistory {
+        GroupHistory {
+            log_weight,
+            ..history(ddf_times, 0.0)
         }
     }
 
@@ -768,6 +1069,29 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "bin edge")]
+    fn horizon_tolerance_stays_tight_at_high_bin_counts() {
+        // One ten-thousandth of a bin off: the former `1e-9 * bins`
+        // tolerance (1e-3 bins at this resolution) accepted this
+        // silently-floored horizon; the relative bound rejects it.
+        let mut s = StreamStats::with_bins(1_000.0, 1_000_000);
+        s.push(&history(&[], 0.0));
+        let bin = 1_000.0 / 1_000_000.0;
+        s.ddfs_through(123.0 * bin + 1e-4 * bin);
+    }
+
+    #[test]
+    fn exact_edges_still_align_at_high_bin_counts() {
+        let mut s = StreamStats::with_bins(1_000.0, 1_000_000);
+        s.push(&history(&[600.0], 0.0));
+        let bin = 1_000.0 / 1_000_000.0;
+        // Representable-float noise on an exact edge stays far inside
+        // the 1e-9-of-a-bin tolerance.
+        assert_eq!(s.ddfs_through(123.0 * bin), 0);
+        assert_eq!(s.ddfs_through(700.0), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "no groups aggregated")]
     fn empty_mean_panics() {
         StreamStats::new(100.0).mean_ddfs();
@@ -811,19 +1135,136 @@ mod tests {
     }
 
     #[test]
-    fn codec_round_trips_bit_identically() {
+    fn extreme_counts_fall_back_to_float_variance() {
+        // Regression: `n·Σx²` here overflows u128, which the former
+        // unchecked multiply turned into a debug-build panic (release:
+        // silent wraparound). The fallback must return the float value
+        // instead.
+        let mut s = StreamStats::new(1_000.0);
+        s.groups = u64::MAX;
+        s.ddf_sum = u64::MAX;
+        s.ddf_sum_sq = u128::MAX;
+        let expect = (s.groups as f64 * s.ddf_sum_sq as f64 - s.ddf_sum as f64 * s.ddf_sum as f64)
+            / (s.groups as f64 * (s.groups - 1) as f64);
+        let got = s.variance_ddfs();
+        assert!(got.is_finite() && got > 0.0);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn unit_weights_degrade_weighted_estimators_exactly() {
+        let mut s = StreamStats::new(1_000.0);
+        for times in [&[100.0, 600.0][..], &[][..], &[700.0][..], &[][..]] {
+            s.push(&history(times, 0.0));
+        }
+        assert_eq!(s.weight_sum(), s.groups() as f64);
+        assert_eq!(s.effective_sample_size(), s.groups() as f64);
+        // Bit-for-bit, not approximately: the tick scale is a power of
+        // two (module docs).
+        assert_eq!(s.weighted_mean_ddfs(), s.mean_ddfs());
+        assert_eq!(s.weighted_variance_ddfs(), s.variance_ddfs());
+        assert_eq!(s.weighted_half_width(1.96), s.half_width(1.96));
+        assert_eq!(
+            s.weighted_mean_square_ddfs(),
+            s.ddf_sum_sq as f64 / s.groups() as f64
+        );
+    }
+
+    #[test]
+    fn weighted_moments_match_direct_formulas() {
+        let mut s = StreamStats::new(1_000.0);
+        let data: [(&[f64], f64); 4] = [
+            (&[100.0, 600.0], -0.7),
+            (&[], 0.4),
+            (&[700.0], -1.3),
+            (&[], 0.0),
+        ];
+        for (times, lw) in data {
+            s.push(&weighted(times, lw));
+        }
+        let w: Vec<f64> = data.iter().map(|(_, lw)| lw.exp()).collect();
+        let d: Vec<f64> = data.iter().map(|(t, _)| t.len() as f64).collect();
+        let n = 4.0;
+        let wsum: f64 = w.iter().sum();
+        let wsq: f64 = w.iter().map(|x| x * x).sum();
+        let y: Vec<f64> = w.iter().zip(&d).map(|(w, d)| w * d).collect();
+        let ysum: f64 = y.iter().sum();
+        let mean = ysum / n;
+        let var = y.iter().map(|y| (y - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        // Quantization perturbs each weight by at most 2⁻³³ relative.
+        assert!((s.weight_sum() - wsum).abs() < 1e-8);
+        assert!((s.effective_sample_size() - wsum * wsum / wsq).abs() < 1e-8);
+        assert!((s.weighted_mean_ddfs() - mean).abs() < 1e-8);
+        assert!((s.weighted_variance_ddfs() - var).abs() < 1e-8);
+        let msq = w.iter().zip(&d).map(|(w, d)| w * d * d).sum::<f64>() / n;
+        assert!((s.weighted_mean_square_ddfs() - msq).abs() < 1e-8);
+        assert!(s.effective_sample_size() <= s.groups() as f64);
+    }
+
+    #[test]
+    fn weighted_merge_is_associative_and_order_independent() {
+        let histories: Vec<GroupHistory> = (0..24)
+            .map(|i| weighted(&[i as f64 * 37.0 + 1.0], 0.13 * i as f64 - 1.5))
+            .collect();
+        let mut sequential = StreamStats::new(1_000.0);
+        for h in &histories {
+            sequential.push(h);
+        }
+        let chunk = |range: std::ops::Range<usize>| {
+            let mut s = StreamStats::new(1_000.0);
+            for h in &histories[range] {
+                s.push(h);
+            }
+            s
+        };
+        // (a ⊕ b) ⊕ c against a ⊕ (b ⊕ c), back-to-front.
+        let mut left = chunk(0..8);
+        left.merge(chunk(8..16));
+        left.merge(chunk(16..24));
+        let mut bc = chunk(8..16);
+        bc.merge(chunk(16..24));
+        let mut right = chunk(0..8);
+        right.merge(bc);
+        assert_eq!(sequential, left);
+        assert_eq!(left, right);
+        let mut reversed = chunk(16..24);
+        reversed.merge(chunk(8..16));
+        reversed.merge(chunk(0..8));
+        assert_eq!(left, reversed);
+    }
+
+    #[test]
+    fn weighted_codec_round_trips_bit_identically() {
         let mut s = StreamStats::with_bins(1_000.0, 16);
         for i in 0..12 {
-            s.push(&history(&[i as f64 * 80.0 + 3.0], 0.7 * i as f64));
+            s.push(&weighted(&[i as f64 * 80.0 + 3.0], 0.21 * i as f64 - 1.0));
         }
         let mut bytes = Vec::new();
         s.encode_into(&mut bytes);
         let back = StreamStats::decode(&bytes).unwrap();
         assert_eq!(back, s);
-        // The encoding itself is deterministic.
-        let mut again = Vec::new();
-        back.encode_into(&mut again);
-        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn version_1_bytes_decode_as_exact_unit_weights() {
+        let mut s = StreamStats::with_bins(1_000.0, 16);
+        for i in 0..12 {
+            s.push(&history(&[i as f64 * 80.0 + 3.0], 0.7 * i as f64));
+        }
+        let mut v2 = Vec::new();
+        s.encode_into(&mut v2);
+        // A version-1 encoding is the version-2 one minus the five
+        // weighted u128 fields, which sit between `downtime_ticks`
+        // (ends at byte 104) and the histogram length prefix.
+        let mut v1 = v2.clone();
+        v1.drain(104..184);
+        let back = StreamStats::decode_version(&v1, 1).unwrap();
+        // The weight-1 reconstruction is exact, so the upgraded state
+        // equals the natively accumulated one bit for bit.
+        assert_eq!(back, s);
+        assert!(StreamStats::decode_version(&v1, 3)
+            .unwrap_err()
+            .contains("version"));
     }
 
     #[test]

@@ -43,9 +43,152 @@
 //! | [`crate::CompetingRisks`] | [`SampleKernel::Competing`] | children lowered recursively; conditional delegates to the source object |
 //! | anything else | [`SampleKernel::Boxed`] | full fallback to the `dyn` methods (e.g. future empirical resampling distributions — [`crate::empirical`] currently defines estimators, not `LifeDistribution`s) |
 
-use crate::{rng_f64, LifeDistribution};
+use crate::{rng_f64, DistError, LifeDistribution};
 use rand::Rng;
 use std::sync::Arc;
+
+/// An exponential tilt of the unit-uniform variate feeding a quantile
+/// kernel — the measure change behind importance sampling.
+///
+/// Instead of a plain uniform `u ∈ [0, 1)`, a tilted draw samples
+/// `v ∈ [0, 1)` from the density `g(v) = θ·e^{−θv} / (1 − e^{−θ})` and
+/// feeds `v` to the *same* quantile evaluation. For `θ > 0` the mass
+/// shifts toward 0, so lifetimes come out *earlier* (every provided
+/// quantile path is non-decreasing in its uniform argument); `θ < 0`
+/// shifts toward 1. Each tilted draw contributes
+/// `ln(f(v)/g(v)) = θ·v + ln((1 − e^{−θ})/θ)` to a running
+/// log-likelihood-ratio, and re-weighting an estimator by
+/// `exp(Σ log-ratios)` restores unbiasedness under the original
+/// measure.
+///
+/// The warp is exact inverse-CDF sampling: `v = −ln_1p(−u·s)/θ` with
+/// `s = 1 − e^{−θ}`, so `v` stays strictly below 1 whenever `u < 1`
+/// and the downstream quantile's `p < 1` requirement is preserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tilt {
+    /// Tilt strength θ (nonzero, finite).
+    theta: f64,
+    /// Hoisted `1 − e^{−θ}`, computed as `−expm1(−θ)`.
+    scale: f64,
+    /// Hoisted `ln((1 − e^{−θ})/θ)`, the constant part of each draw's
+    /// log-likelihood-ratio.
+    log_norm: f64,
+}
+
+impl Tilt {
+    /// Builds a tilt of strength `theta`.
+    ///
+    /// `theta` must be finite and nonzero (a zero tilt is the identity;
+    /// callers represent "no tilt" as the absence of a `Tilt`).
+    pub fn new(theta: f64) -> Result<Tilt, DistError> {
+        if !theta.is_finite() || theta == 0.0 {
+            return Err(DistError::InvalidParameter {
+                name: "theta",
+                value: theta,
+                constraint: "must be finite and nonzero",
+            });
+        }
+        let scale = -(-theta).exp_m1();
+        Ok(Tilt {
+            theta,
+            scale,
+            log_norm: (scale / theta).ln(),
+        })
+    }
+
+    /// The tilt strength θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Warps a plain uniform `u ∈ [0, 1)` into a tilted uniform
+    /// `v ∈ [0, 1)`, returning `(v, log-likelihood-ratio)` where the
+    /// second component is `ln(f(v)/g(v))` for this single draw.
+    pub fn warp(&self, u: f64) -> (f64, f64) {
+        let v = -(-u * self.scale).ln_1p() / self.theta;
+        (v, self.theta * v + self.log_norm)
+    }
+}
+
+/// A defensive forcing warp of the unit-uniform variate feeding a
+/// quantile transform: the importance-sampling primitive for *window
+/// forcing* (push a draw into a target sub-interval `[0, q)` of its
+/// uniform domain with boosted probability).
+///
+/// With mixture weight `α = fraction`, the sampling density over the
+/// uniform domain becomes
+///
+/// ```text
+/// g(v) = α·(1/q)·1[v < q]  +  (1 − α)·1
+/// ```
+///
+/// — a mixture of "forced uniformly into the window" and the plain
+/// uniform. Unlike an exponential tilt, the likelihood ratio
+/// `f(v)/g(v)` takes exactly **two** values: `1/(α/q + 1 − α)` inside
+/// the window and `1/(1 − α)` outside. A forced draw therefore
+/// contributes bounded, near-constant weight noise no matter how small
+/// `q` is, which is what makes state-dependent forcing effective where
+/// static tilting is not (see DESIGN.md §16).
+///
+/// The mixture is inverted from a *single* uniform through the
+/// piecewise-linear CDF `G(v) = (α/q + 1 − α)·v` for `v < q`,
+/// `G(v) = α + (1 − α)·v` beyond, so a forced draw consumes exactly one
+/// RNG word, exactly like a plain draw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Forcing {
+    fraction: f64,
+}
+
+impl Forcing {
+    /// Creates a forcing warp with mixture weight `fraction` on the
+    /// forced component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidParameter`] unless
+    /// `0 < fraction ≤ 0.5`. The upper bound keeps the out-of-window
+    /// likelihood ratio at most `2`, so the accumulated log-weight of a
+    /// bounded number of forced draws stays within the exact
+    /// fixed-point range of the weighted statistics (DESIGN.md §16).
+    pub fn new(fraction: f64) -> Result<Forcing, DistError> {
+        if !(fraction > 0.0 && fraction <= 0.5 && fraction.is_finite()) {
+            return Err(DistError::InvalidParameter {
+                name: "fraction",
+                value: fraction,
+                constraint: "must lie in (0, 0.5]",
+            });
+        }
+        Ok(Forcing { fraction })
+    }
+
+    /// The mixture weight α on the forced component.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Warps a plain uniform `u ∈ [0, 1)` given the window mass
+    /// `q ∈ (0, 1)`, returning `(v, log-likelihood-ratio)` with
+    /// `v ∈ [0, 1)` and the second component `ln(f(v)/g(v))` for this
+    /// single draw.
+    ///
+    /// A degenerate window (`q ≤ 0`, `q ≥ 1`, or non-finite) admits no
+    /// measure change: the uniform passes through untouched with ratio
+    /// exactly 1, mirroring how [`Tilt`] degenerates on point masses.
+    pub fn warp(&self, u: f64, q: f64) -> (f64, f64) {
+        if !(q > 0.0 && q < 1.0) {
+            return (u, 0.0);
+        }
+        let a = self.fraction;
+        // Mixture CDF knee at v = q: G(q) = α + (1 − α)·q.
+        let knee = a + (1.0 - a) * q;
+        if u < knee {
+            let boost = a / q + (1.0 - a);
+            (u / boost, -boost.ln())
+        } else {
+            ((u - a) / (1.0 - a), -(1.0 - a).ln())
+        }
+    }
+}
 
 /// A lifetime distribution lowered to a monomorphic sampling kernel.
 ///
@@ -232,6 +375,192 @@ impl SampleKernel {
             | SampleKernel::Boxed { source } => source.sample_conditional(t0, rng),
         }
     }
+
+    /// Draws one lifetime under the tilted measure, accumulating the
+    /// draw's log-likelihood-ratio into `log_weight`.
+    ///
+    /// The tilt warps the uniform variate (see [`Tilt`]) and evaluates
+    /// the *same* quantile float-op sequence as [`SampleKernel::sample`],
+    /// so the change of measure is exactly the warp's density ratio:
+    ///
+    /// * quantile families (`Weibull3`, `Exponential`, `Lognormal`)
+    ///   warp their single uniform;
+    /// * `Degenerate` is a point mass — no measure change is possible
+    ///   and none is applied (ratio 1);
+    /// * `Mixture` leaves the component-selector draw untilted (the
+    ///   mixture weights are part of the model, not the sampler) and
+    ///   tilts only the chosen component;
+    /// * `Competing` tilts every mechanism draw, so the ratio is the
+    ///   product over mechanisms;
+    /// * `Boxed` falls back to the untilted `dyn` path with ratio 1 —
+    ///   unknown families stay correct, just un-accelerated.
+    pub fn sample_tilted(&self, tilt: Tilt, log_weight: &mut f64, rng: &mut dyn Rng) -> f64 {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                inv_beta,
+                ..
+            } => {
+                let (v, lw) = tilt.warp(rng_f64(rng));
+                *log_weight += lw;
+                weibull_quantile(*gamma, *eta, *inv_beta, v)
+            }
+            SampleKernel::Exponential { rate } => {
+                let (v, lw) = tilt.warp(rng_f64(rng));
+                *log_weight += lw;
+                -(1.0 - v).ln() / rate
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let (v, lw) = tilt.warp(rng_f64(rng));
+                *log_weight += lw;
+                lognormal_quantile(*gamma, *mu, *sigma, v)
+            }
+            SampleKernel::Degenerate { value } => *value,
+            SampleKernel::Mixture { components, .. } => {
+                let mut u = rng_f64(rng);
+                for (w, k) in components {
+                    if u < *w {
+                        return k.sample_tilted(tilt, log_weight, rng);
+                    }
+                    u -= w;
+                }
+                components
+                    .last()
+                    .expect("mixture is never empty")
+                    .1
+                    .sample_tilted(tilt, log_weight, rng)
+            }
+            SampleKernel::Competing { risks, .. } => risks
+                .iter()
+                .map(|k| k.sample_tilted(tilt, log_weight, rng))
+                .fold(f64::INFINITY, f64::min),
+            SampleKernel::Boxed { source } => source.sample(rng),
+        }
+    }
+
+    /// Draws a residual lifetime conditional on survival to `t0` under
+    /// the tilted measure, accumulating the draw's log-likelihood-ratio
+    /// into `log_weight`.
+    ///
+    /// The conditional inversion maps its uniform through
+    /// `p = F(t0) + u·S(t0)`, which is strictly increasing in `u`, so
+    /// tilting the uniform tilts the conditional distribution with the
+    /// identical density ratio as [`Tilt::warp`]. Composite and boxed
+    /// kernels fall back to the untilted `dyn` conditional (ratio 1),
+    /// mirroring [`SampleKernel::sample_conditional`].
+    pub fn sample_conditional_tilted(
+        &self,
+        t0: f64,
+        tilt: Tilt,
+        log_weight: &mut f64,
+        rng: &mut dyn Rng,
+    ) -> f64 {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                beta,
+                inv_beta,
+            } => {
+                let s0 = weibull_sf(*gamma, *eta, *beta, t0);
+                if s0 <= 0.0 {
+                    return 0.0;
+                }
+                let (v, lw) = tilt.warp(rng_f64(rng));
+                *log_weight += lw;
+                let p = weibull_cdf(*gamma, *eta, *beta, t0) + v * s0;
+                (weibull_quantile(*gamma, *eta, *inv_beta, p) - t0).max(0.0)
+            }
+            SampleKernel::Exponential { rate } => {
+                let (v, lw) = tilt.warp(rng_f64(rng));
+                *log_weight += lw;
+                -(1.0 - v).ln() / rate
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let f0 = lognormal_cdf(*gamma, *mu, *sigma, t0);
+                let s0 = (1.0 - f0).max(0.0);
+                if s0 <= 0.0 {
+                    return 0.0;
+                }
+                let (v, lw) = tilt.warp(rng_f64(rng));
+                *log_weight += lw;
+                let p = f0 + v * s0;
+                (lognormal_quantile(*gamma, *mu, *sigma, p) - t0).max(0.0)
+            }
+            SampleKernel::Degenerate { value } => (value - t0).max(0.0),
+            SampleKernel::Mixture { source, .. }
+            | SampleKernel::Competing { source, .. }
+            | SampleKernel::Boxed { source } => source.sample_conditional(t0, rng),
+        }
+    }
+
+    /// Draws a residual lifetime conditional on survival to `t0`,
+    /// *forcing* the draw into the residual window `(0, window]` with
+    /// the boosted probability of [`Forcing`], and accumulating the
+    /// draw's log-likelihood-ratio into `log_weight`.
+    ///
+    /// The window mass is `q = (F(t0 + window) − F(t0)) / S(t0)` — the
+    /// conditional probability the residual lifetime ends inside the
+    /// window — and the forcing warps the conditional uniform exactly
+    /// as [`Forcing::warp`], so the measure change is the warp's
+    /// two-valued density ratio. Degenerate cases (dead mass at `t0`,
+    /// empty or full windows, point masses) apply no measure change;
+    /// composite and boxed kernels fall back to the untilted `dyn`
+    /// conditional with ratio 1, mirroring
+    /// [`SampleKernel::sample_conditional_tilted`].
+    pub fn sample_conditional_forced(
+        &self,
+        t0: f64,
+        window: f64,
+        forcing: Forcing,
+        log_weight: &mut f64,
+        rng: &mut dyn Rng,
+    ) -> f64 {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                beta,
+                inv_beta,
+            } => {
+                let s0 = weibull_sf(*gamma, *eta, *beta, t0);
+                if s0 <= 0.0 {
+                    return 0.0;
+                }
+                let f0 = weibull_cdf(*gamma, *eta, *beta, t0);
+                let q = (weibull_cdf(*gamma, *eta, *beta, t0 + window) - f0) / s0;
+                let (v, lw) = forcing.warp(rng_f64(rng), q);
+                *log_weight += lw;
+                let p = f0 + v * s0;
+                (weibull_quantile(*gamma, *eta, *inv_beta, p) - t0).max(0.0)
+            }
+            SampleKernel::Exponential { rate } => {
+                // Memorylessness: the residual is Exponential(rate) and
+                // the window mass is 1 − exp(−rate·window).
+                let q = -(-rate * window).exp_m1();
+                let (v, lw) = forcing.warp(rng_f64(rng), q);
+                *log_weight += lw;
+                -(1.0 - v).ln() / rate
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let f0 = lognormal_cdf(*gamma, *mu, *sigma, t0);
+                let s0 = (1.0 - f0).max(0.0);
+                if s0 <= 0.0 {
+                    return 0.0;
+                }
+                let q = (lognormal_cdf(*gamma, *mu, *sigma, t0 + window) - f0) / s0;
+                let (v, lw) = forcing.warp(rng_f64(rng), q);
+                *log_weight += lw;
+                let p = f0 + v * s0;
+                (lognormal_quantile(*gamma, *mu, *sigma, p) - t0).max(0.0)
+            }
+            SampleKernel::Degenerate { value } => (value - t0).max(0.0),
+            SampleKernel::Mixture { source, .. }
+            | SampleKernel::Competing { source, .. }
+            | SampleKernel::Boxed { source } => source.sample_conditional(t0, rng),
+        }
+    }
 }
 
 /// The exact float-op sequence of `Weibull3::quantile`, with the
@@ -391,5 +720,334 @@ mod tests {
                 d.sample_conditional(7.0, &mut b).to_bits()
             );
         }
+    }
+
+    #[test]
+    fn tilt_rejects_zero_and_non_finite_strengths() {
+        assert!(Tilt::new(0.0).is_err());
+        assert!(Tilt::new(f64::NAN).is_err());
+        assert!(Tilt::new(f64::INFINITY).is_err());
+        assert!(Tilt::new(f64::NEG_INFINITY).is_err());
+        assert_eq!(Tilt::new(1.5).unwrap().theta(), 1.5);
+    }
+
+    #[test]
+    fn tilt_warp_stays_in_unit_interval_and_is_monotone() {
+        for theta in [-3.0, -0.4, 0.4, 1.0, 6.0] {
+            let tilt = Tilt::new(theta).unwrap();
+            let mut prev = -1.0;
+            for i in 0..=1_000 {
+                let u = f64::from(i) / 1_001.0;
+                let (v, _) = tilt.warp(u);
+                assert!(
+                    (0.0..1.0).contains(&v),
+                    "warp({u}) = {v} left [0, 1) at theta {theta}"
+                );
+                assert!(v > prev, "warp is not strictly increasing at theta {theta}");
+                prev = v;
+            }
+            // The endpoint u = 0 maps exactly to v = 0.
+            assert_eq!(tilt.warp(0.0).0, 0.0);
+        }
+    }
+
+    #[test]
+    fn tilt_log_ratio_matches_the_density_ratio() {
+        // `warp` samples v from g(v) = θ·e^{−θv} / (1 − e^{−θ}) by
+        // inverse CDF; the reported log-ratio must equal ln(1/g(v))
+        // since the original density of the uniform is 1.
+        for theta in [-2.0f64, -0.3, 0.7, 4.0] {
+            let tilt = Tilt::new(theta).unwrap();
+            let norm = -(-theta).exp_m1();
+            for u in [0.001, 0.25, 0.5, 0.75, 0.999] {
+                let (v, lw) = tilt.warp(u);
+                let g = theta * (-theta * v).exp() / norm;
+                let err = (lw - (1.0 / g).ln()).abs();
+                assert!(err < 1e-12, "log-ratio off by {err} at theta {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn positive_tilt_shifts_lifetimes_earlier() {
+        let tilt = Tilt::new(2.0).unwrap();
+        for u in [0.1, 0.5, 0.9] {
+            assert!(tilt.warp(u).0 < u, "theta > 0 must contract toward 0");
+        }
+        let tilt = Tilt::new(-2.0).unwrap();
+        for u in [0.1, 0.5, 0.9] {
+            assert!(tilt.warp(u).0 > u, "theta < 0 must push toward 1");
+        }
+    }
+
+    #[test]
+    fn tilted_draw_is_the_quantile_of_the_warped_uniform() {
+        let tilt = Tilt::new(1.3).unwrap();
+        let dists: Vec<Arc<dyn LifeDistribution>> = vec![
+            Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap()),
+            Arc::new(Exponential::new(1e-4).unwrap()),
+            Arc::new(Lognormal::new(0.0, 2.0, 0.7).unwrap()),
+        ];
+        for d in dists {
+            let k = SampleKernel::lower(&d);
+            let mut a = stream(11, 0);
+            let mut b = stream(11, 0);
+            for _ in 0..64 {
+                let mut lw = 0.0;
+                let x = k.sample_tilted(tilt, &mut lw, &mut a);
+                let (v, want_lw) = tilt.warp(rng_f64(&mut b));
+                assert_eq!(x.to_bits(), d.quantile(v).to_bits());
+                assert_eq!(lw.to_bits(), want_lw.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_tilted_draw_consumes_no_rng_and_no_weight() {
+        let (_, k) = lowered(Arc::new(Degenerate::new(42.0).unwrap()));
+        let tilt = Tilt::new(2.0).unwrap();
+        let mut a = stream(1, 0);
+        let mut b = stream(1, 0);
+        let mut lw = 0.0;
+        assert_eq!(k.sample_tilted(tilt, &mut lw, &mut a), 42.0);
+        assert_eq!(
+            k.sample_conditional_tilted(40.0, tilt, &mut lw, &mut a),
+            2.0
+        );
+        assert_eq!(lw, 0.0);
+        assert_eq!(rng_f64(&mut a), rng_f64(&mut b));
+    }
+
+    #[test]
+    fn boxed_tilted_draw_falls_back_with_unit_ratio() {
+        #[derive(Debug)]
+        struct Plain(Exponential);
+        impl LifeDistribution for Plain {
+            fn cdf(&self, t: f64) -> f64 {
+                self.0.cdf(t)
+            }
+            fn pdf(&self, t: f64) -> f64 {
+                self.0.pdf(t)
+            }
+            fn quantile(&self, p: f64) -> f64 {
+                self.0.quantile(p)
+            }
+            fn mean(&self) -> f64 {
+                self.0.mean()
+            }
+        }
+        let d: Arc<dyn LifeDistribution> = Arc::new(Plain(Exponential::new(0.01).unwrap()));
+        let k = SampleKernel::lower(&d);
+        assert_eq!(k.variant_name(), "boxed");
+        let tilt = Tilt::new(1.0).unwrap();
+        let mut a = stream(3, 5);
+        let mut b = stream(3, 5);
+        let mut lw = 0.0;
+        for _ in 0..32 {
+            assert_eq!(
+                k.sample_tilted(tilt, &mut lw, &mut a).to_bits(),
+                d.sample(&mut b).to_bits()
+            );
+        }
+        assert_eq!(lw, 0.0);
+    }
+
+    #[test]
+    fn mixture_selector_stays_untilted() {
+        // A single-component mixture must reduce to the component's
+        // tilted draw after one selector uniform is consumed.
+        let inner: Arc<dyn LifeDistribution> = Arc::new(Weibull3::two_param(1_000.0, 1.4).unwrap());
+        let mix: Arc<dyn LifeDistribution> =
+            Arc::new(Mixture::new(vec![(1.0, Arc::clone(&inner))]).unwrap());
+        let km = SampleKernel::lower(&mix);
+        let ki = SampleKernel::lower(&inner);
+        let tilt = Tilt::new(0.9).unwrap();
+        let mut a = stream(7, 2);
+        let mut b = stream(7, 2);
+        let mut lwa = 0.0;
+        let mut lwb = 0.0;
+        let x = km.sample_tilted(tilt, &mut lwa, &mut a);
+        let _selector = rng_f64(&mut b);
+        let y = ki.sample_tilted(tilt, &mut lwb, &mut b);
+        assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(lwa.to_bits(), lwb.to_bits());
+    }
+
+    #[test]
+    fn conditional_tilted_draw_warps_the_conditional_uniform() {
+        let tilt = Tilt::new(1.1).unwrap();
+        let d: Arc<dyn LifeDistribution> = Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap());
+        let k = SampleKernel::lower(&d);
+        let t0 = 10.0;
+        let mut a = stream(13, 1);
+        let mut b = stream(13, 1);
+        for _ in 0..64 {
+            let mut lw = 0.0;
+            let x = k.sample_conditional_tilted(t0, tilt, &mut lw, &mut a);
+            let (v, want_lw) = tilt.warp(rng_f64(&mut b));
+            let p = d.cdf(t0) + v * (1.0 - d.cdf(t0));
+            let want = (d.quantile(p) - t0).max(0.0);
+            assert_eq!(x.to_bits(), want.to_bits());
+            assert_eq!(lw.to_bits(), want_lw.to_bits());
+        }
+    }
+
+    #[test]
+    fn forcing_rejects_out_of_range_fractions() {
+        for bad in [0.0, -0.2, 0.500001, 1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                Forcing::new(bad).is_err(),
+                "fraction {bad} must be rejected"
+            );
+        }
+        assert_eq!(Forcing::new(0.3).unwrap().fraction(), 0.3);
+        assert_eq!(Forcing::new(0.5).unwrap().fraction(), 0.5);
+    }
+
+    #[test]
+    fn forcing_warp_is_monotone_and_stays_in_unit_interval() {
+        for (fraction, q) in [(0.1, 1e-6), (0.3, 0.02), (0.5, 0.4), (0.25, 0.9)] {
+            let f = Forcing::new(fraction).unwrap();
+            let mut prev = -1.0;
+            for i in 0..1000 {
+                let u = i as f64 / 1000.0;
+                let (v, _) = f.warp(u, q);
+                assert!(
+                    (0.0..1.0).contains(&v),
+                    "fraction {fraction} q {q}: warp({u}) = {v} outside [0, 1)"
+                );
+                assert!(v >= prev, "warp must be monotone at u = {u}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn forcing_log_ratio_matches_the_density_ratio() {
+        // Inside the window the sampling density is α/q + 1 − α; outside
+        // it is 1 − α. The returned log-ratio must be −ln(g(v)) exactly.
+        let fraction = 0.3;
+        let q = 0.05;
+        let f = Forcing::new(fraction).unwrap();
+        let boost = fraction / q + (1.0 - fraction);
+        let mut saw_forced = false;
+        let mut saw_plain = false;
+        for i in 0..200 {
+            let u = i as f64 / 200.0;
+            let (v, lw) = f.warp(u, q);
+            if v < q {
+                saw_forced = true;
+                assert_eq!(lw.to_bits(), (-boost.ln()).to_bits());
+            } else {
+                saw_plain = true;
+                assert_eq!(lw.to_bits(), (-(1.0f64 - fraction).ln()).to_bits());
+            }
+        }
+        assert!(saw_forced && saw_plain, "both branches must be exercised");
+    }
+
+    #[test]
+    fn forcing_warp_preserves_expectations() {
+        // Unbiasedness at the single-draw level: for any h, the
+        // reweighted average of h(v) over u ~ U[0, 1) equals the plain
+        // average of h(u). Midpoint quadrature at 200k points; h is the
+        // window indicator (the function forcing distorts the most).
+        let f = Forcing::new(0.4).unwrap();
+        let q = 0.003;
+        let n = 200_000;
+        let mut mass = 0.0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            let (v, lw) = f.warp(u, q);
+            if v < q {
+                mass += lw.exp();
+            }
+        }
+        mass /= n as f64;
+        assert!(
+            (mass - q).abs() < 1e-6,
+            "reweighted window mass {mass} must equal q = {q}"
+        );
+    }
+
+    #[test]
+    fn degenerate_forcing_windows_pass_through() {
+        let f = Forcing::new(0.2).unwrap();
+        for q in [0.0, -0.5, 1.0, 1.5, f64::NAN] {
+            for u in [0.0, 0.37, 0.999] {
+                let (v, lw) = f.warp(u, q);
+                assert_eq!(v.to_bits(), u.to_bits());
+                assert_eq!(lw, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_conditional_draw_warps_the_conditional_uniform() {
+        let forcing = Forcing::new(0.35).unwrap();
+        let d: Arc<dyn LifeDistribution> = Arc::new(Weibull3::new(6.0, 12.0, 2.0).unwrap());
+        let k = SampleKernel::lower(&d);
+        let t0 = 10.0;
+        let window = 3.0;
+        let mut a = stream(17, 4);
+        let mut b = stream(17, 4);
+        for _ in 0..64 {
+            let mut lw = 0.0;
+            let x = k.sample_conditional_forced(t0, window, forcing, &mut lw, &mut a);
+            let f0 = d.cdf(t0);
+            let s0 = 1.0 - f0;
+            let q = (d.cdf(t0 + window) - f0) / s0;
+            let (v, want_lw) = forcing.warp(rng_f64(&mut b), q);
+            let want = (d.quantile(f0 + v * s0) - t0).max(0.0);
+            assert_eq!(x.to_bits(), want.to_bits());
+            assert_eq!(lw.to_bits(), want_lw.to_bits());
+        }
+    }
+
+    #[test]
+    fn forced_draws_land_in_the_window_with_boosted_probability() {
+        // Exponential with a window holding ~0.1% of the residual mass:
+        // plain conditional draws essentially never land inside, forced
+        // draws do so with probability ≈ α + (1 − α)q ≈ 0.3.
+        let d: Arc<dyn LifeDistribution> = Arc::new(Exponential::new(1e-5).unwrap());
+        let k = SampleKernel::lower(&d);
+        let forcing = Forcing::new(0.3).unwrap();
+        let window = 100.0; // q ≈ 1e-3
+        let mut rng = stream(23, 0);
+        let n = 2_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            let mut lw = 0.0;
+            let r = k.sample_conditional_forced(5_000.0, window, forcing, &mut lw, &mut rng);
+            if r <= window {
+                hits += 1;
+                assert!(lw < 0.0, "a forced hit must be down-weighted");
+            } else {
+                assert!(lw > 0.0, "a miss must be up-weighted");
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (0.25..0.36).contains(&rate),
+            "hit rate {rate} must sit near the forcing fraction 0.3"
+        );
+    }
+
+    #[test]
+    fn boxed_forced_draw_falls_back_with_unit_ratio() {
+        // Composite kernels have no monomorphic conditional: the forced
+        // draw degrades to the plain dyn conditional with ratio 1.
+        let mix: Arc<dyn LifeDistribution> = Arc::new(
+            Mixture::new(vec![(1.0, Arc::new(Exponential::new(1e-4).unwrap()) as _)]).unwrap(),
+        );
+        let k = SampleKernel::lower(&mix);
+        let forcing = Forcing::new(0.25).unwrap();
+        let mut a = stream(29, 0);
+        let mut b = stream(29, 0);
+        let mut lw = 0.0;
+        let x = k.sample_conditional_forced(100.0, 50.0, forcing, &mut lw, &mut a);
+        let y = mix.sample_conditional(100.0, &mut b);
+        assert_eq!(x.to_bits(), y.to_bits());
+        assert_eq!(lw, 0.0);
     }
 }

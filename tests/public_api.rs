@@ -91,6 +91,7 @@ fn simulation_result_serde_round_trip() {
         scrubs_completed: 1,
         restores_completed: 2,
         downtime_hours: 12.5,
+        log_weight: 0.0,
     };
     let clone = h.clone();
     assert_eq!(format!("{h:?}"), format!("{clone:?}"));

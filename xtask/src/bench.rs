@@ -13,8 +13,16 @@
 //! any timing, so a passing bench is also a runtime determinism
 //! check.
 //!
-//! `--smoke` forwards to the binary (400 groups per cell instead of
-//! 10,000) so CI can exercise the full path in seconds.
+//! The driver then runs the `bench_rareevent` binary the same way and
+//! validates `BENCH_rareevent.json`: well-formed JSON with the
+//! rare-event schema, importance-sampling weights attested finite and
+//! positive, and an effective sample size that never exceeds the raw
+//! group count (Jensen: `(Σw)² ≤ n·Σw²`). Timing and speedup fields
+//! are trajectory data, not pass/fail criteria.
+//!
+//! `--smoke` forwards to the binaries (400 groups per cell / 2,000
+//! groups instead of 10,000 / 40,000) so CI can exercise the full path
+//! in seconds.
 
 use crate::Finding;
 use std::path::Path;
@@ -43,8 +51,53 @@ const REQUIRED_CELL: [&str; 10] = [
     "\"steady_allocs\"",
 ];
 
-/// Runs the benchmark harness and validates its JSON artifact.
+/// Keys the rare-event benchmark document must carry at the top level.
+const REQUIRED_RARE_TOP: [&str; 8] = [
+    "\"schema_version\"",
+    "\"config\"",
+    "\"groups\"",
+    "\"bias\"",
+    "\"pilots\"",
+    "\"plain\"",
+    "\"biased\"",
+    "\"effective_speedup\"",
+];
+
+/// Runs both benchmark harnesses and validates their JSON artifacts.
 pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
+    let mut findings = run_and_validate(
+        root,
+        smoke,
+        "bench_parallel",
+        "BENCH_parallel.json",
+        &REQUIRED_TOP,
+        &REQUIRED_CELL,
+        invariant_violations,
+    )?;
+    findings.extend(run_and_validate(
+        root,
+        smoke,
+        "bench_rareevent",
+        "BENCH_rareevent.json",
+        &REQUIRED_RARE_TOP,
+        &[],
+        rare_event_violations,
+    )?);
+    Ok(findings)
+}
+
+/// Runs one benchmark binary and validates its artifact: well-formed
+/// JSON, required keys present, and the binary-specific
+/// machine-independent invariants.
+fn run_and_validate(
+    root: &Path,
+    smoke: bool,
+    bin: &'static str,
+    artifact: &'static str,
+    required_top: &[&str],
+    required_cell: &[&str],
+    invariants: fn(&str) -> Vec<String>,
+) -> Result<Vec<Finding>, String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let mut args = vec![
         "run",
@@ -53,7 +106,7 @@ pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
         "-p",
         "raidsim-bench",
         "--bin",
-        "bench_parallel",
+        bin,
         "--",
     ];
     if smoke {
@@ -68,37 +121,37 @@ pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
     let mut findings = Vec::new();
     let finding = |message: String| Finding {
         check: "bench",
-        path: "BENCH_parallel.json".into(),
+        path: artifact.into(),
         line: 0,
         message,
     };
     if !output.status.success() {
         findings.push(finding(format!(
-            "bench_parallel failed ({}): {}",
+            "{bin} failed ({}): {}",
             output.status,
             String::from_utf8_lossy(&output.stderr).trim()
         )));
         return Ok(findings);
     }
 
-    let path = root.join("BENCH_parallel.json");
+    let path = root.join(artifact);
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     if let Err(msg) = validate_json(&text) {
         findings.push(finding(format!("not well-formed JSON: {msg}")));
         return Ok(findings);
     }
-    for key in REQUIRED_TOP {
+    for key in required_top {
         if !text.contains(key) {
             findings.push(finding(format!("missing required top-level key {key}")));
         }
     }
-    for key in REQUIRED_CELL {
+    for key in required_cell {
         if !text.contains(key) {
             findings.push(finding(format!("missing required per-cell key {key}")));
         }
     }
-    for message in invariant_violations(&text) {
+    for message in invariants(&text) {
         findings.push(finding(message));
     }
     Ok(findings)
@@ -151,6 +204,50 @@ fn invariant_violations(text: &str) -> Vec<String> {
                 "line {row}: steady-state loop reported {allocs} allocations,                  expected 0"
             ));
         }
+    }
+    violations
+}
+
+/// Machine-independent invariants over the rare-event benchmark
+/// document: the schema version, the binary's attestation that every
+/// group weight was finite and positive, and — on the single-line
+/// `biased` cell — an effective sample size within `[1, raw_groups]`
+/// (the classic `(Σw)²/Σw²` can equal the raw count only when every
+/// weight is identical, and exceeds it never). Speedup and timing
+/// fields are trajectory data and are not judged.
+fn rare_event_violations(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !text.contains("\"schema_version\": 1") {
+        violations.push("schema_version must be 1".to_string());
+    }
+    if !text.contains("\"weights_finite\": true") {
+        violations.push("the biased run must attest finite weights".to_string());
+    }
+    if !text.contains("\"weights_positive\": true") {
+        violations.push("the biased run must attest positive weights".to_string());
+    }
+    let mut saw_biased_cell = false;
+    for (i, line) in text.lines().enumerate() {
+        if !line.contains("\"raw_groups\"") {
+            continue;
+        }
+        saw_biased_cell = true;
+        let row = i + 1;
+        let (Some(raw), Some(effective)) = (
+            field_u64(line, "raw_groups"),
+            field_u64(line, "effective_samples"),
+        ) else {
+            violations.push(format!("line {row}: biased cell is missing integer fields"));
+            continue;
+        };
+        if effective == 0 || effective > raw {
+            violations.push(format!(
+                "line {row}: effective sample size {effective} outside [1, {raw}]"
+            ));
+        }
+    }
+    if !saw_biased_cell {
+        violations.push("no biased cell with raw_groups found".to_string());
     }
     violations
 }
@@ -307,7 +404,46 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{invariant_violations, validate_json};
+    use super::{invariant_violations, rare_event_violations, validate_json};
+
+    #[test]
+    fn rare_event_invariants_accept_a_conforming_document() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 1,\n",
+            "  \"biased\": {\"raw_groups\": 40000, \"effective_samples\": 19705, ",
+            "\"weights_finite\": true, \"weights_positive\": true}\n}\n",
+        );
+        assert_eq!(rare_event_violations(doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rare_event_invariants_flag_excess_effective_samples() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 1,\n",
+            "  \"biased\": {\"raw_groups\": 100, \"effective_samples\": 101, ",
+            "\"weights_finite\": true, \"weights_positive\": true}\n}\n",
+        );
+        let violations = rare_event_violations(doc);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("outside [1, 100]"), "{violations:?}");
+    }
+
+    #[test]
+    fn rare_event_invariants_require_weight_attestations() {
+        let doc = "{\"schema_version\": 1, \"biased\": {\"raw_groups\": 10, \
+                   \"effective_samples\": 5}}";
+        let violations = rare_event_violations(doc);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+
+    #[test]
+    fn rare_event_invariants_require_a_biased_cell() {
+        let doc = "{\"schema_version\": 1, \"weights_finite\": true, \
+                   \"weights_positive\": true}";
+        let violations = rare_event_violations(doc);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("no biased cell"), "{violations:?}");
+    }
 
     #[test]
     fn invariants_accept_a_conforming_document() {
