@@ -114,9 +114,14 @@ pub fn run_streaming_with_checkpoint(
             .then(StderrProgress::new),
     };
     let mut cadence = EveryGroups(every);
+    let mut store = raidsim::store::FsStore;
+    let mut backoff = raidsim::store::AttemptBudget(3);
     let plan = CheckpointPlan {
         path,
         cadence: &mut cadence,
+        store: &mut store,
+        backoff: &mut backoff,
+        required: false,
     };
     let (stats, _report) = sim
         .run_checkpointed(driver, threads(), &observer, &(), Some(plan), resume)

@@ -2,8 +2,8 @@
 
 use crate::args::Args;
 use crate::error::CliError;
-use crate::progress::{CliCadence, CliObserver};
-use raidsim::checkpoint::{DriverState, SimCheckpoint};
+use crate::progress::{CliBackoff, CliCadence, CliObserver};
+use raidsim::checkpoint::{CheckpointError, DriverState, SimCheckpoint};
 use raidsim::config::{params, RaidGroupConfig, Redundancy};
 use raidsim::dists::fit::{bootstrap_ci, mle, rank_regression};
 use raidsim::dists::Weibull3;
@@ -11,6 +11,7 @@ use raidsim::engine::BiasPolicy;
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::mttdl::{expected_ddfs, mttdl_from_mttf, HOURS_PER_YEAR};
 use raidsim::run::{CheckpointPlan, PrecisionReport, Simulator, StopCriterion};
+use raidsim::store::{FaultPlan, FaultStore, FsStore, SnapshotStore};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -45,6 +46,8 @@ pub fn usage() -> String {
      \x20                 [--ttld-eta 9259|off] [--precision REL] [--progress]\n\
      \x20                 [--checkpoint run.ckpt] [--resume]\n\
      \x20                 [--checkpoint-every GROUPS] [--checkpoint-secs S]\n\
+     \x20                 [--checkpoint-retries N] [--checkpoint-required]\n\
+     \x20                 [--fault-spec OP:KIND,...]\n\
      \x20                 [--tilt-op THETA] [--tilt-latent THETA]\n\
      \x20                 [--force-fraction F --force-window HOURS]\n\
      raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]\n\
@@ -58,7 +61,19 @@ pub fn usage() -> String {
      checkpointing: --checkpoint snapshots the run so a killed process\n\
      loses at most one batch; add --resume to continue from the file.\n\
      SIGINT/SIGTERM finish the in-flight batch, flush the checkpoint,\n\
-     and print partial results.\n\
+     and print partial results; a second SIGINT/SIGTERM exits\n\
+     immediately (code 5), even from a stalled checkpoint write.\n\
+     \n\
+     hostile I/O: transient write failures (EINTR, short writes, fsync\n\
+     hiccups) retry up to --checkpoint-retries times with bounded\n\
+     backoff; persistent failures (ENOSPC, torn rename) degrade the\n\
+     run — it continues with identical results, warns, and backs the\n\
+     cadence off — unless --checkpoint-required asks to fail fast\n\
+     (exit 4). --fault-spec injects a deterministic fault schedule\n\
+     into the checkpoint store for testing: comma-separated OP:KIND\n\
+     with KIND one of enospc, eintr, partial, fsync, torn, corrupt,\n\
+     stall<MILLIS>; OP+ makes the fault sticky from that operation\n\
+     on, e.g. 2:eintr,8+:enospc.\n\
      \n\
      rare events: --tilt-op/--tilt-latent exponentially tilt the\n\
      failure/defect draws; --force-fraction F (in (0, 0.5]) with\n\
@@ -93,6 +108,9 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let resume = args.switch("resume");
     let checkpoint_every: u64 = args.num("checkpoint-every", 1_000)?;
     let checkpoint_secs: f64 = args.num("checkpoint-secs", 30.0)?;
+    let checkpoint_retries: u32 = args.num("checkpoint-retries", 3)?;
+    let checkpoint_required = args.switch("checkpoint-required");
+    let fault_spec = args.string("fault-spec")?;
     let tilt_op: f64 = args.num("tilt-op", 0.0)?;
     let tilt_latent: f64 = args.num("tilt-latent", 0.0)?;
     let force_fraction: f64 = args.num("force-fraction", 0.0)?;
@@ -114,6 +132,23 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
             "--checkpoint-secs must be a positive number".into(),
         ));
     }
+    if checkpoint_retries == 0 {
+        return Err(CliError::Usage(
+            "--checkpoint-retries must be at least 1 (the first attempt counts)".into(),
+        ));
+    }
+    if checkpoint.is_none() && (checkpoint_required || fault_spec.is_some()) {
+        return Err(CliError::Usage(
+            "--checkpoint-required and --fault-spec act on checkpoint I/O; \
+             add --checkpoint <path>"
+                .into(),
+        ));
+    }
+    let fault_plan = fault_spec
+        .as_deref()
+        .map(FaultPlan::parse)
+        .transpose()
+        .map_err(|e| CliError::Usage(format!("--fault-spec: {e}")))?;
 
     // Importance-sampling flags: exactly one measure-change family,
     // validated here with usage errors (the core layer asserts).
@@ -260,18 +295,41 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
         crate::signal::install();
         let mut cadence =
             CliCadence::new(checkpoint_every, Duration::from_secs_f64(checkpoint_secs));
+        // Transient write failures retry with wall-clock pauses, bounded
+        // per write so a flapping disk cannot stall the simulation.
+        let mut backoff = CliBackoff::new(checkpoint_retries, Duration::from_secs(10));
+        // The production store, optionally decorated with the requested
+        // deterministic fault schedule; injected stalls really sleep at
+        // this layer (the core never does).
+        let mut store: Box<dyn SnapshotStore> = match fault_plan {
+            Some(plan) => Box::new(FaultStore::new(FsStore, plan).with_stall_hook(Box::new(
+                |millis| std::thread::sleep(Duration::from_millis(millis)),
+            ))),
+            None => Box::new(FsStore),
+        };
         let plan = checkpoint.as_ref().map(|path| CheckpointPlan {
             path: Path::new(path),
             cadence: &mut cadence,
+            store: store.as_mut(),
+            backoff: &mut backoff,
+            required: checkpoint_required,
         });
-        let (stats, report) = sim.run_checkpointed(
-            driver,
-            threads,
-            &observer,
-            &crate::signal::INTERRUPTED,
-            plan,
-            resume_ckpt,
-        )?;
+        let (stats, report) = sim
+            .run_checkpointed(
+                driver,
+                threads,
+                &observer,
+                &crate::signal::INTERRUPTED,
+                plan,
+                resume_ckpt,
+            )
+            .map_err(|e| match e {
+                // A required checkpoint write that failed past its retry
+                // budget: the inputs were fine, the checkpoint was not —
+                // exit 4, not the generic input-error 3.
+                e @ CheckpointError::Io { .. } => CliError::Checkpoint(e.to_string()),
+                other => other.into(),
+            })?;
         interrupted = report.criterion == StopCriterion::Interrupted;
         if precision > 0.0 {
             let _ = write!(out, "{}", precision_note(&report));
@@ -604,6 +662,79 @@ mod tests {
         ))
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_fault_flag_combos_are_usage_errors() {
+        // Fault injection and fail-fast act on checkpoint I/O.
+        let err = simulate(&argv("--groups 10 --fault-spec 0:eintr")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        let err = simulate(&argv("--groups 10 --checkpoint-required")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // A malformed plan is rejected before any simulation work.
+        let err = simulate(&argv(
+            "--groups 10 --checkpoint a.ckpt --fault-spec 0:frobnicate",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // Zero retries is a contradiction (the first attempt counts).
+        let err = simulate(&argv(
+            "--groups 10 --checkpoint a.ckpt --checkpoint-retries 0",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn simulate_transient_faults_retry_to_identical_results() {
+        let dir = std::env::temp_dir().join("raidsim_cli_fault_transient");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cmd.ckpt");
+        std::fs::remove_file(&path).ok();
+        let base = "--groups 60 --seed 3 --mission-years 1";
+        let plain = sim_text(base);
+        // Every early store operation hiccups once; the retry layer
+        // absorbs them and the summary is bit-identical.
+        let faulted = sim_text(&format!(
+            "{base} --checkpoint {} --fault-spec 0:eintr,2:fsync,4:partial",
+            path.display()
+        ));
+        assert_eq!(plain, faulted, "retried faults must not change results");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_sticky_persistent_fault_degrades_but_completes() {
+        let dir = std::env::temp_dir().join("raidsim_cli_fault_sticky");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cmd.ckpt");
+        std::fs::remove_file(&path).ok();
+        let base = "--groups 60 --seed 3 --mission-years 1";
+        let plain = sim_text(base);
+        let degraded = sim_text(&format!(
+            "{base} --checkpoint {} --fault-spec 0+:enospc",
+            path.display()
+        ));
+        assert_eq!(
+            plain, degraded,
+            "a dead checkpoint disk must not change the simulation results"
+        );
+        assert!(!path.exists(), "every write failed; no snapshot remains");
+    }
+
+    #[test]
+    fn simulate_checkpoint_required_fails_fast_with_checkpoint_error() {
+        let dir = std::env::temp_dir().join("raidsim_cli_fault_required");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cmd.ckpt");
+        std::fs::remove_file(&path).ok();
+        let err = simulate(&argv(&format!(
+            "--groups 60 --seed 3 --mission-years 1 --checkpoint {} \
+             --fault-spec 0+:enospc --checkpoint-required",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
     }
 
     #[test]

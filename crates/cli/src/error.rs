@@ -102,6 +102,7 @@ mod tests {
         let io = CheckpointError::Io {
             path: "p".into(),
             reason: "denied".into(),
+            transient: false,
         };
         assert!(matches!(CliError::from(io), CliError::Input(_)));
         let bad = CheckpointError::Corrupt {

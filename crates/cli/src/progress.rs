@@ -6,7 +6,9 @@
 //! at the presentation layer.
 
 use raidsim::checkpoint::CheckpointError;
+use raidsim::events::{CheckpointDegraded, QuarantinedGroup};
 use raidsim::run::{CheckpointCadence, Progress, StreamObserver};
+use raidsim::store::RetryBackoff;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Mutex;
@@ -128,6 +130,23 @@ impl StreamObserver for CliObserver {
     fn on_checkpoint_failed(&self, error: &CheckpointError) {
         eprintln!("warning: {error}; run continues, will retry at the next batch boundary");
     }
+
+    fn on_checkpoint_degraded(&self, event: &CheckpointDegraded) {
+        eprintln!(
+            "warning: checkpointing degraded at {} groups ({} consecutive failed \
+             write(s)): {}; the run continues with identical results but is not \
+             resumable until a write succeeds, and the cadence is backing off",
+            event.groups_done, event.consecutive_failures, event.error
+        );
+    }
+
+    fn on_group_quarantined(&self, group: &QuarantinedGroup) {
+        eprintln!(
+            "warning: group {} panicked and was quarantined ({}); its statistics \
+             are excluded and the final summary reports the quarantine count",
+            group.index, group.message
+        );
+    }
 }
 
 /// Group-count *or* wall-clock checkpoint cadence: a snapshot is due
@@ -135,33 +154,114 @@ impl StreamObserver for CliObserver {
 /// write or `min_interval` has elapsed since the last time this
 /// cadence fired. The clock lives here — the CLI layer — because
 /// simulation crates are forbidden from reading wall time.
+///
+/// The cadence is **self-degrading**: every failed write doubles both
+/// legs (capped at [`CliCadence::MAX_BACKOFF_SHIFT`] doublings) so a
+/// dead disk is not hammered at every batch boundary, and the first
+/// successful write snaps both legs back to their configured values.
 #[derive(Debug)]
 pub struct CliCadence {
     every_groups: u64,
     min_interval: Duration,
+    /// Consecutive-failure doublings currently applied (0 = healthy).
+    backoff_shift: u32,
     last_fired: Instant,
 }
 
 impl CliCadence {
+    /// Cap on failure doublings: 2^6 = 64× the configured cadence.
+    pub const MAX_BACKOFF_SHIFT: u32 = 6;
+
     /// Starts the wall-clock leg now.
     pub fn new(every_groups: u64, min_interval: Duration) -> Self {
         Self {
             every_groups,
             min_interval,
+            backoff_shift: 0,
             last_fired: Instant::now(),
         }
+    }
+
+    /// The group-count threshold with the failure backoff applied.
+    fn effective_every(&self) -> u64 {
+        self.every_groups.saturating_mul(1 << self.backoff_shift)
+    }
+
+    /// The wall-clock threshold with the failure backoff applied.
+    fn effective_interval(&self) -> Duration {
+        self.min_interval.saturating_mul(1 << self.backoff_shift)
     }
 }
 
 impl CheckpointCadence for CliCadence {
     fn due(&mut self, _groups_done: u64, groups_since_last_write: u64) -> bool {
-        if groups_since_last_write >= self.every_groups
-            || self.last_fired.elapsed() >= self.min_interval
+        if groups_since_last_write >= self.effective_every()
+            || self.last_fired.elapsed() >= self.effective_interval()
         {
             self.last_fired = Instant::now();
             return true;
         }
         false
+    }
+
+    fn on_write_outcome(&mut self, success: bool) {
+        if success {
+            self.backoff_shift = 0;
+        } else {
+            self.backoff_shift = (self.backoff_shift + 1).min(Self::MAX_BACKOFF_SHIFT);
+        }
+    }
+}
+
+/// Wall-clock retry policy for checkpoint writes: a fixed attempt
+/// budget with exponential sleeps between attempts, all bounded by a
+/// per-write deadline. The core's retry loop stays clock-free
+/// ([`raidsim::store::AttemptBudget`]); this is the layer that owns the
+/// clock, so the sleeps and the deadline live here.
+#[derive(Debug)]
+pub struct CliBackoff {
+    attempts: u32,
+    per_write_budget: Duration,
+    base_pause: Duration,
+    deadline: Instant,
+}
+
+impl CliBackoff {
+    /// First pause after a failed attempt; each further pause doubles.
+    const BASE_PAUSE: Duration = Duration::from_millis(50);
+
+    /// `attempts` total tries per write (1 = no retries), all retries
+    /// fitted inside `per_write_budget` of wall time.
+    pub fn new(attempts: u32, per_write_budget: Duration) -> Self {
+        Self {
+            attempts,
+            per_write_budget,
+            base_pause: Self::BASE_PAUSE,
+            deadline: Instant::now(),
+        }
+    }
+}
+
+impl RetryBackoff for CliBackoff {
+    fn attempts(&self) -> u32 {
+        self.attempts.max(1)
+    }
+
+    fn begin(&mut self) {
+        self.deadline = Instant::now() + self.per_write_budget;
+    }
+
+    fn pause(&mut self, attempt: u32, _error: &CheckpointError) -> bool {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return false;
+        }
+        let pause = self
+            .base_pause
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(6))
+            .min(self.deadline - now);
+        std::thread::sleep(pause);
+        true
     }
 }
 
@@ -181,6 +281,50 @@ mod tests {
     fn cli_cadence_fires_on_elapsed_time() {
         let mut c = CliCadence::new(u64::MAX, Duration::ZERO);
         assert!(c.due(1, 1), "zero interval is always due");
+    }
+
+    #[test]
+    fn cli_cadence_backs_off_on_failure_and_recovers() {
+        let mut c = CliCadence::new(100, Duration::from_secs(3600));
+        c.on_write_outcome(false);
+        assert!(!c.due(100, 100), "one failure doubles the group leg");
+        assert!(c.due(200, 200));
+        c.on_write_outcome(false);
+        c.on_write_outcome(false);
+        assert!(!c.due(500, 500), "three failures: 8x the configured leg");
+        assert!(c.due(800, 800));
+        c.on_write_outcome(true);
+        assert!(c.due(900, 100), "success resets to the configured leg");
+    }
+
+    #[test]
+    fn cli_cadence_backoff_is_capped() {
+        let mut c = CliCadence::new(1, Duration::from_secs(3600));
+        for _ in 0..64 {
+            c.on_write_outcome(false);
+        }
+        assert!(!c.due(10, 63));
+        assert!(c.due(100, 64), "backoff caps at 64x, not 2^64");
+    }
+
+    #[test]
+    fn cli_backoff_reports_budget_and_respects_deadline() {
+        let err = CheckpointError::Io {
+            path: "p".into(),
+            reason: "injected".into(),
+            transient: true,
+        };
+        let mut b = CliBackoff::new(3, Duration::ZERO);
+        assert_eq!(b.attempts(), 3);
+        b.begin();
+        assert!(
+            !b.pause(1, &err),
+            "an expired deadline stops the retries immediately"
+        );
+        let mut b = CliBackoff::new(2, Duration::from_millis(200));
+        b.begin();
+        assert!(b.pause(1, &err), "inside the deadline the retry proceeds");
+        assert_eq!(CliBackoff::new(0, Duration::ZERO).attempts(), 1);
     }
 
     #[test]

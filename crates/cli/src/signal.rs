@@ -1,16 +1,24 @@
 //! Graceful SIGINT/SIGTERM handling for long simulations.
 //!
-//! The handler only sets an atomic flag; the run loop polls it at batch
-//! boundaries ([`raidsim::run::RunControl`]), finishes the in-flight
-//! batch, flushes a checkpoint if one is configured, and prints partial
-//! results — so Ctrl-C on a ten-minute run loses at most one batch of
-//! work instead of all of it.
+//! The first signal only sets an atomic flag; the run loop polls it at
+//! batch boundaries ([`raidsim::run::RunControl`]), finishes the
+//! in-flight batch, flushes a checkpoint if one is configured, and
+//! prints partial results — so Ctrl-C on a ten-minute run loses at most
+//! one batch of work instead of all of it.
+//!
+//! A **second** signal means the graceful path is not fast enough for
+//! the operator (most likely the run is stalled inside checkpoint I/O
+//! against a hung disk, which no batch-boundary poll can observe), so
+//! the handler calls `_exit` with [`crate::error::EXIT_INTERRUPTED`]
+//! immediately. Two Ctrl-Cs therefore never deadlock, even when a
+//! fault-injected or genuinely hostile store stalls mid-write.
 //!
 //! Registration goes through the C `signal` entry point directly (the
 //! workspace vendors no libc crate), confined to this module: the
-//! handler body is async-signal-safe (a single atomic store), and the
-//! previous disposition is not needed because the CLI installs exactly
-//! once, at run start.
+//! handler body is async-signal-safe (atomic operations, plus `_exit`
+//! on the escalation path — one of the few POSIX calls explicitly
+//! async-signal-safe), and the previous disposition is not needed
+//! because the CLI installs exactly once, at run start.
 
 use std::sync::atomic::AtomicBool;
 
@@ -20,15 +28,27 @@ pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
 mod imp {
-    use std::sync::atomic::Ordering;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
 
+    /// Signals received so far; the second one escalates to `_exit`.
+    static RECEIVED: AtomicU32 = AtomicU32::new(0);
+
+    #[allow(unsafe_code)]
     extern "C" fn on_signal(_signum: i32) {
-        // Only an atomic store: the one async-signal-safe thing a Rust
-        // handler can safely do.
+        // Async-signal-safe only: atomics, and `_exit` on escalation.
+        let prior = RECEIVED.fetch_add(1, Ordering::Relaxed);
         super::INTERRUPTED.store(true, Ordering::Relaxed);
+        if prior > 0 {
+            extern "C" {
+                fn _exit(status: i32) -> !;
+            }
+            // SAFETY: `_exit` is the POSIX immediate-termination call,
+            // async-signal-safe by specification; it never returns.
+            unsafe { _exit(i32::from(crate::error::EXIT_INTERRUPTED)) }
+        }
     }
 
     #[allow(unsafe_code)]
@@ -38,7 +58,7 @@ mod imp {
         }
         // SAFETY: `signal` is the POSIX registration call; the handler
         // is a valid `extern "C" fn(i32)` for the process lifetime
-        // (it's a static item) and touches only an atomic.
+        // (it's a static item) and touches only atomics / `_exit`.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);

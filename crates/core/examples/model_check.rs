@@ -41,6 +41,25 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
             panic,
         ));
     }
+    // Supervised resubmission: a three-worker death whose remainder is
+    // redone by the survivors, and a multi-group claim whose dying
+    // worker leaves a remainder spanning several indices.
+    let mut w3_panic = Scenario::new(3, vec![(0, 3)], 1);
+    w3_panic.panic_at = Some(2);
+    suite.push(("w3_e1_panic_resubmit", w3_panic));
+    let mut wide_panic = Scenario::new(2, vec![(0, 6)], 3);
+    wide_panic.panic_at = Some(1);
+    suite.push(("w2_claim3_panic_remainder", wide_panic));
+    // Total-loss escalation: a sticky fault kills every worker that
+    // touches the index, and a single-worker death has no survivor —
+    // both must abort cleanly in every interleaving.
+    let mut sticky = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+    sticky.panic_at = Some(1);
+    sticky.sticky = true;
+    suite.push(("w2_e2_sticky_total_loss", sticky));
+    let mut solo = Scenario::new(1, vec![(0, 2)], 1);
+    solo.panic_at = Some(0);
+    suite.push(("w1_panic_abort", solo));
     suite
 }
 

@@ -82,8 +82,8 @@
 use crate::config::RaidGroupConfig;
 use crate::engine::BiasPolicy;
 use crate::stats::{Decoder, StreamStats};
+use crate::store::{FsStore, SnapshotStore};
 use std::fmt;
-use std::io::Write as _;
 use std::path::Path;
 
 /// On-disk format version; bumped whenever the layout or the meaning of
@@ -107,6 +107,11 @@ pub enum CheckpointError {
         path: String,
         /// Operating-system error text.
         reason: String,
+        /// Whether a retry could plausibly succeed (`EINTR`-class
+        /// failures) or is pointless (`ENOSPC`, permissions, torn
+        /// destination). The retry layer in [`crate::store`] only
+        /// retries transient failures.
+        transient: bool,
     },
     /// The file is not a checkpoint, is torn, or fails its checksum or
     /// structural validation.
@@ -131,13 +136,46 @@ pub enum CheckpointError {
         /// Human-readable detail.
         reason: String,
     },
+    /// The run's state can no longer be snapshotted: writing a
+    /// checkpoint now would produce a file that resumes into *different*
+    /// statistics than continuing would (e.g. after a quarantined group
+    /// punched a hole in the completed prefix). The run keeps going;
+    /// only checkpointing is refused.
+    Unresumable {
+        /// Why the in-memory state cannot be snapshotted.
+        reason: String,
+    },
+}
+
+impl CheckpointError {
+    /// True when retrying the failed operation could plausibly succeed.
+    /// Only I/O failures are ever transient; corruption, version and
+    /// config mismatches, and unresumable state are final.
+    pub fn transient(&self) -> bool {
+        matches!(
+            self,
+            CheckpointError::Io {
+                transient: true,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CheckpointError::Io { path, reason } => {
-                write!(f, "checkpoint I/O error on {path}: {reason}")
+            CheckpointError::Io {
+                path,
+                reason,
+                transient,
+            } => {
+                let class = if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                };
+                write!(f, "checkpoint I/O error ({class}) on {path}: {reason}")
             }
             CheckpointError::Corrupt { reason } => {
                 write!(f, "corrupt checkpoint: {reason}")
@@ -150,6 +188,9 @@ impl fmt::Display for CheckpointError {
                 f,
                 "checkpoint belongs to a different run ({field}): {reason}"
             ),
+            CheckpointError::Unresumable { reason } => {
+                write!(f, "run state is no longer checkpointable: {reason}")
+            }
         }
     }
 }
@@ -503,27 +544,26 @@ impl SimCheckpoint {
         driver: &DriverState,
         stats: &StreamStats,
     ) -> Result<(), CheckpointError> {
-        let io_err = |p: &Path, e: std::io::Error| CheckpointError::Io {
-            path: p.display().to_string(),
-            reason: e.to_string(),
-        };
-        let mut tmp = path.as_os_str().to_os_string();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
+        Self::save_parts_to(&mut FsStore, path, fingerprint, driver, stats)
+    }
+
+    /// As [`SimCheckpoint::save_parts`], but through any
+    /// [`SnapshotStore`] — the seam the drivers use so checkpoint I/O
+    /// can be redirected (in-memory, fault-injected) without touching
+    /// the codec.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the store reports.
+    pub fn save_parts_to(
+        store: &mut dyn SnapshotStore,
+        path: &Path,
+        fingerprint: u64,
+        driver: &DriverState,
+        stats: &StreamStats,
+    ) -> Result<(), CheckpointError> {
         let bytes = Self::bytes_from_parts(fingerprint, driver, stats);
-        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-        file.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
-        file.sync_all().map_err(|e| io_err(&tmp, e))?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
-        // Durability of the rename itself needs the directory synced;
-        // best-effort, since not every platform allows opening one.
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            if let Ok(dir) = std::fs::File::open(parent) {
-                let _ = dir.sync_all();
-            }
-        }
-        Ok(())
+        store.write(path, &bytes)
     }
 
     /// Reads and parses the checkpoint at `path`.
@@ -533,10 +573,16 @@ impl SimCheckpoint {
     /// [`CheckpointError::Io`] when the file cannot be read; otherwise
     /// as [`SimCheckpoint::from_bytes`].
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        })?;
+        Self::load_from(&mut FsStore, path)
+    }
+
+    /// As [`SimCheckpoint::load`], but through any [`SnapshotStore`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SimCheckpoint::load`].
+    pub fn load_from(store: &mut dyn SnapshotStore, path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = store.read(path)?;
         Self::from_bytes(&bytes)
     }
 

@@ -1,5 +1,8 @@
-//! Event records produced by the simulation engines.
+//! Event records produced by the simulation engines, plus the typed
+//! run-health events the robustness layer reports (quarantined groups,
+//! checkpoint degradation).
 
+use crate::checkpoint::CheckpointError;
 use serde::{Deserialize, Serialize};
 
 /// How a double-disk failure came about.
@@ -109,6 +112,36 @@ impl GroupHistory {
             self.log_weight
         );
     }
+}
+
+/// One group whose simulation panicked and was quarantined instead of
+/// aborting the run (streaming mode only; see the supervision notes in
+/// [`crate::run`]). The group's index is counted toward the completed
+/// watermark but its statistics are excluded — the final report carries
+/// the quarantine count so the omission is visible, and checkpointing
+/// is refused from then on so no resume can silently disagree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedGroup {
+    /// Group index whose simulation panicked.
+    pub index: u64,
+    /// Panic payload rendered to text (`"<non-string panic>"` when the
+    /// payload was not a string).
+    pub message: String,
+}
+
+/// Typed notification that checkpointing has degraded: a write failed
+/// past its retry budget, the run keeps going (aggregates are
+/// unaffected), and the cadence backs off. Emitted once per
+/// healthy-to-degraded transition through
+/// [`crate::run::StreamObserver::on_checkpoint_degraded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointDegraded {
+    /// Completed-group watermark at the failed write.
+    pub groups_done: u64,
+    /// Consecutive failed checkpoint writes, this one included.
+    pub consecutive_failures: u64,
+    /// The error that exhausted the retry budget.
+    pub error: CheckpointError,
 }
 
 #[cfg(test)]

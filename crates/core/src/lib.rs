@@ -32,6 +32,10 @@
 //! * [`checkpoint`] — crash-safe snapshot/resume for long runs:
 //!   versioned, checksummed on-disk state with bit-identical
 //!   continuation.
+//! * [`store`] — pluggable checkpoint I/O ([`store::SnapshotStore`]):
+//!   the production fsync+rename path, an in-memory store, and a
+//!   seeded deterministic fault injector ([`store::FaultStore`]) with
+//!   the bounded retry policy the drivers use under hostile I/O.
 //! * [`sync_model`] — the worker pool's synchronization protocol as
 //!   pure transitions behind a [`sync_model::SyncOps`] seam, plus an
 //!   exhaustive interleaving checker that proves the epoch handshake
@@ -76,6 +80,7 @@ pub mod markov;
 pub mod mttdl;
 pub mod run;
 pub mod stats;
+pub mod store;
 pub mod sync_model;
 
 mod pool;

@@ -41,21 +41,47 @@
 //! bit-identically in any order, and collected histories are
 //! reassembled in group-index order by the coordinator.
 //!
-//! Failure handling: a worker panic marks the pool and wakes both
-//! condition variables, so the coordinator re-raises at the current (or
-//! next) quiesce point instead of deadlocking; lock poisoning is
-//! deliberately ignored (`PoisonError::into_inner`) because every
-//! critical section leaves the shared state consistent on its own.
+//! Failure handling is *supervised* (see DESIGN.md §17):
+//!
+//! * In stream mode, a panic while simulating one group is caught and
+//!   the group **quarantined**: its index still counts toward the
+//!   completed watermark (so batch arithmetic and the prefix invariant
+//!   hold) but its statistics are excluded, the session is reopened,
+//!   and the run continues. Quarantined groups surface through
+//!   [`BatchRunner::drain_quarantine`] and make the run unresumable.
+//! * A panic that kills a whole worker (an observer callback, session
+//!   construction, a collect-mode group) trips its
+//!   [`SupervisionGuard`]: the worker's *unmerged* claimed ranges —
+//!   all of them, because its private accumulator dies with it — are
+//!   resubmitted through [`PoolCore::mark_lost`], and survivors pick
+//!   them up at their guarded check-out ([`PoolCore::check_out`]
+//!   refuses to let a worker leave while the queue is non-empty), so
+//!   no interleaving can quiesce the epoch with work unserved.
+//!   Aggregates stay bit-identical because per-group RNG streams make
+//!   redone work reproduce the dead worker's results exactly. (The
+//!   shared progress counter may over-count redone groups; it feeds
+//!   progress display only, never batch arithmetic.)
+//! * Losing the *last* worker degenerates to the unsupervised abort:
+//!   the pool latches `panicked` and the coordinator re-raises at its
+//!   quiesce wait instead of deadlocking.
+//!
+//! Lock poisoning is deliberately ignored (`PoisonError::into_inner`)
+//! because every critical section leaves the shared state consistent on
+//! its own.
 
 use crate::config::RaidGroupConfig;
 use crate::engine::{BiasPolicy, Engine, EngineCounters};
-use crate::events::GroupHistory;
-use crate::run::{BatchCursor, BatchRunner, Progress, StreamObserver, PROGRESS_STRIDE};
+use crate::events::{GroupHistory, QuarantinedGroup};
+use crate::run::{
+    panic_message, BatchCursor, BatchRunner, Progress, StreamObserver, PROGRESS_STRIDE,
+};
 use crate::stats::{SchedulerStats, StreamStats};
 use crate::sync_model::{
-    effective_claim, Cv, JobSpec, PoolCore, QuiescePoll, StdSync, SyncOps, WorkerPoll,
+    effective_claim, CheckOutcome, Cv, JobSpec, PoolCore, QuiescePoll, StdSync, SyncOps, Wake,
+    WorkerPoll,
 };
 use raidsim_dists::rng::stream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -99,6 +125,8 @@ struct EpochData {
     /// Collect-mode epoch accumulator: `(start_index, histories)` per
     /// claimed batch, in arbitrary completion order.
     collect_acc: Vec<(u64, Vec<GroupHistory>)>,
+    /// Stream-mode groups whose simulation panicked this epoch.
+    quarantine: Vec<QuarantinedGroup>,
 }
 
 struct Shared {
@@ -123,20 +151,41 @@ impl Drop for ShutdownOnDrop<'_> {
     }
 }
 
-/// Converts a worker panic into a pool-wide wakeup: the coordinator
-/// observes `panicked` at its quiesce wait and re-raises, and sibling
-/// workers observe `shutdown` and exit. Disarmed on normal return.
-struct PanicGuard<'a> {
+/// Supervises one worker: tracks what the pool is owed if the worker
+/// dies (a panic unwinding through its serve loop) and settles the debt
+/// from its `Drop`.
+///
+/// `pending` accumulates **every** range the worker claimed since its
+/// current serve began — completed ones included, because the worker's
+/// private accumulator (and with it the results of completed ranges)
+/// dies with the worker; only the merge publishes them. It is cleared
+/// immediately after the merge publishes, with no panic point in
+/// between, so no death can double-count or lose a range.
+///
+/// Disarmed on normal serve-loop exit.
+struct SupervisionGuard<'a> {
     shared: &'a Shared,
     armed: bool,
+    /// Last epoch this worker accepted.
+    seen_epoch: u64,
+    /// `true` between accepting an epoch and checking out of it (the
+    /// check-out clears it inside the guarded section).
+    serving: bool,
+    /// Claimed-but-unmerged ranges of the current serve.
+    pending: Vec<(u64, u64)>,
 }
 
-impl Drop for PanicGuard<'_> {
+impl Drop for SupervisionGuard<'_> {
     fn drop(&mut self) {
         if !self.armed {
             return;
         }
-        let wake = self.shared.sync.guarded(PoolCore::mark_panicked);
+        let (seen, serving) = (self.seen_epoch, self.serving);
+        let remainder = std::mem::take(&mut self.pending);
+        let wake = self
+            .shared
+            .sync
+            .guarded(|core| core.mark_lost(seen, serving, remainder));
         self.shared.sync.wake(wake);
     }
 }
@@ -146,6 +195,9 @@ impl Drop for PanicGuard<'_> {
 pub(crate) struct PoolRunner<'env, 'p> {
     ctx: &'p PoolCtx<'env>,
     shared: &'p Shared,
+    /// Quarantined groups harvested from completed epochs, awaiting
+    /// [`BatchRunner::drain_quarantine`].
+    quarantined: Vec<QuarantinedGroup>,
 }
 
 impl PoolRunner<'_, '_> {
@@ -155,7 +207,8 @@ impl PoolRunner<'_, '_> {
     ///
     /// # Panics
     ///
-    /// Re-raises (as a coordinator panic) when any worker panicked.
+    /// Re-raises (as a coordinator panic) when the pool lost every
+    /// worker — partial losses are supervised and do not surface here.
     fn run_epoch(&mut self, lo: usize, hi: usize, collect: bool) -> MutexGuard<'_, EpochData> {
         debug_assert!(lo <= hi);
         let count = (hi - lo) as u64;
@@ -174,6 +227,7 @@ impl PoolRunner<'_, '_> {
             data.cursor = Some(Arc::new(BatchCursor::new(lo, hi, claim)));
             data.stream_acc = (!collect).then(|| StreamStats::new(self.ctx.cfg.mission_hours));
             data.collect_acc.clear();
+            data.quarantine.clear();
         }
         let wake = self.shared.sync.guarded(|core| core.publish(spec));
         self.shared.sync.wake(wake);
@@ -197,9 +251,23 @@ impl PoolRunner<'_, '_> {
 impl BatchRunner for PoolRunner<'_, '_> {
     fn stream_batch(&mut self, lo: usize, hi: usize) -> StreamStats {
         let mut data = self.run_epoch(lo, hi, false);
-        data.stream_acc
+        let mut quarantined = std::mem::take(&mut data.quarantine);
+        let stats = data
+            .stream_acc
             .take()
-            .expect("stream epochs publish an accumulator")
+            .expect("stream epochs publish an accumulator");
+        drop(data);
+        // Deterministic order for observers regardless of which worker
+        // hit which group first. The explicit comparator (not
+        // `sort_unstable_by_key`) keeps the float-discipline lint happy.
+        #[allow(clippy::unnecessary_sort_by)]
+        quarantined.sort_unstable_by(|a, b| a.index.cmp(&b.index));
+        self.quarantined.append(&mut quarantined);
+        stats
+    }
+
+    fn drain_quarantine(&mut self) -> Vec<QuarantinedGroup> {
+        std::mem::take(&mut self.quarantined)
     }
 
     fn collect_batch(&mut self, lo: usize, hi: usize) -> Vec<GroupHistory> {
@@ -237,6 +305,38 @@ fn note_group(ctx: &PoolCtx<'_>, last_bucket: &mut u64) {
     }
 }
 
+/// Claims the next cursor range as `[start, end)` group indices.
+fn claim_u64(cursor: &BatchCursor) -> Option<(u64, u64)> {
+    cursor.claim().map(|r| (r.start as u64, r.end as u64))
+}
+
+/// Runs the guarded check-out for a worker that has merged everything
+/// it claimed. Returns a resubmitted range if the check-out was refused
+/// (the worker stays serving and must redo it), or `None` once the
+/// worker is out (with the requested wake delivered).
+fn attempt_check_out(shared: &Shared, guard: &mut SupervisionGuard<'_>) -> Option<(u64, u64)> {
+    let (redo, wake) = {
+        let serving = &mut guard.serving;
+        let pending = &mut guard.pending;
+        shared.sync.guarded(|core| match core.check_out() {
+            // Recording the redo in `pending` inside the guarded
+            // section keeps the supervision accounting gap-free: from
+            // the instant the range leaves the pool's queue it is
+            // covered by this worker's guard.
+            CheckOutcome::Redo(range) => {
+                pending.push(range);
+                (Some(range), Wake::None)
+            }
+            CheckOutcome::Out(wake) => {
+                *serving = false;
+                (None, wake)
+            }
+        })
+    };
+    shared.sync.wake(wake);
+    redo
+}
+
 /// Body of one pool worker: open a session once, then serve epochs
 /// until shutdown. Returns the worker's lifetime group count and its
 /// session's work counters.
@@ -247,71 +347,118 @@ fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
     // resumed run does not re-report strides its checkpointed prefix
     // already covered.
     let mut last_bucket = ctx.done.load(Ordering::Relaxed) / PROGRESS_STRIDE;
-    let mut seen_epoch = 0u64;
-    let mut guard = PanicGuard {
+    let mut guard = SupervisionGuard {
         shared,
         armed: true,
+        seen_epoch: 0,
+        serving: false,
+        pending: Vec::new(),
     };
     loop {
+        let seen = guard.seen_epoch;
         let poll = shared
             .sync
-            .poll_until(Cv::Work, |core| match core.worker_poll(seen_epoch) {
+            .poll_until(Cv::Work, |core| match core.worker_poll(seen) {
                 WorkerPoll::Wait => None,
                 WorkerPoll::Shutdown => Some(None),
                 WorkerPoll::Job(spec, epoch) => Some(Some((spec, epoch))),
             });
         let Some((job, epoch)) = poll else { break };
-        seen_epoch = epoch;
+        guard.seen_epoch = epoch;
+        guard.serving = true;
         let cursor = lock_data(shared)
             .cursor
             .clone()
             .expect("a published epoch carries a cursor");
+        // Each round drains the claim source (the cursor, then any
+        // range the refused check-out handed back), merges, and
+        // attempts the guarded check-out. Merge-before-check-out: the
+        // check-out is what publishes this worker's merge to the
+        // coordinator's harvest, and `serving` clears inside the
+        // guarded section itself, so a death at any point is accounted
+        // exactly once.
+        let mut next = claim_u64(&cursor);
         if job.collect {
-            let mut local: Vec<(u64, Vec<GroupHistory>)> = Vec::new();
-            while let Some(range) = cursor.claim() {
-                let start = range.start as u64;
-                let mut batch = Vec::with_capacity(range.len());
-                for i in range {
-                    let mut rng = stream(ctx.seed, i as u64);
-                    batch.push(session.simulate_group(&mut rng).clone());
-                    groups_done += 1;
-                    note_group(ctx, &mut last_bucket);
+            loop {
+                let mut local: Vec<(u64, Vec<GroupHistory>)> = Vec::new();
+                while let Some((start, end)) = next {
+                    guard.pending.push((start, end));
+                    let mut batch = Vec::with_capacity((end - start) as usize);
+                    for i in start..end {
+                        let mut rng = stream(ctx.seed, i);
+                        batch.push(session.simulate_group(&mut rng).clone());
+                        groups_done += 1;
+                        note_group(ctx, &mut last_bucket);
+                    }
+                    local.push((start, batch));
+                    next = claim_u64(&cursor);
                 }
-                local.push((start, batch));
+                lock_data(shared).collect_acc.append(&mut local);
+                guard.pending.clear();
+                next = attempt_check_out(shared, &mut guard);
+                if next.is_none() {
+                    break;
+                }
             }
-            lock_data(shared).collect_acc.append(&mut local);
         } else {
-            let mut stats = StreamStats::new(ctx.cfg.mission_hours);
-            while let Some(range) = cursor.claim() {
-                for i in range {
-                    let mut rng = stream(ctx.seed, i as u64);
-                    stats.push(session.simulate_group(&mut rng));
-                    groups_done += 1;
-                    note_group(ctx, &mut last_bucket);
+            loop {
+                let mut stats = StreamStats::new(ctx.cfg.mission_hours);
+                let mut quarantined: Vec<QuarantinedGroup> = Vec::new();
+                while let Some((start, end)) = next {
+                    guard.pending.push((start, end));
+                    for i in start..end {
+                        let mut rng = stream(ctx.seed, i);
+                        // Unwind safety: `stats` is only mutated by
+                        // `push`, which runs after `simulate_group`
+                        // returned a complete history — a panic leaves
+                        // it untouched. The session may be mid-update,
+                        // so it is replaced.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            stats.push(session.simulate_group(&mut rng));
+                        }));
+                        if let Err(payload) = outcome {
+                            quarantined.push(QuarantinedGroup {
+                                index: i,
+                                message: panic_message(payload.as_ref()),
+                            });
+                            session = ctx.engine.session(ctx.cfg, ctx.bias);
+                        }
+                        groups_done += 1;
+                        note_group(ctx, &mut last_bucket);
+                    }
+                    next = claim_u64(&cursor);
+                }
+                {
+                    let mut data = lock_data(shared);
+                    data.stream_acc
+                        .as_mut()
+                        .expect("stream epochs publish an accumulator")
+                        .merge(stats);
+                    data.quarantine.append(&mut quarantined);
+                }
+                guard.pending.clear();
+                next = attempt_check_out(shared, &mut guard);
+                if next.is_none() {
+                    break;
                 }
             }
-            lock_data(shared)
-                .stream_acc
-                .as_mut()
-                .expect("stream epochs publish an accumulator")
-                .merge(stats);
         }
-        // Merge-before-check-out: the guarded check-out below is what
-        // publishes this worker's merge to the coordinator's harvest.
-        let wake = shared.sync.guarded(PoolCore::check_out);
-        shared.sync.wake(wake);
     }
     guard.armed = false;
     (groups_done, session.counters())
 }
 
 /// Spawns the pool, runs `body` against a [`PoolRunner`], shuts the
-/// workers down, and reports per-worker scheduling statistics.
+/// workers down, and reports per-worker scheduling statistics
+/// (including how many workers died and were supervised out).
 ///
 /// # Panics
 ///
-/// Propagates worker panics (after all threads have been joined, so no
-/// worker outlives the borrowed context).
+/// Panics only when *every* worker died (total loss): the coordinator
+/// re-raises at its quiesce wait, after all threads have been joined so
+/// no worker outlives the borrowed context. Partial losses are
+/// supervised: survivors redo the dead workers' unmerged ranges and the
+/// run completes with bit-identical aggregates.
 pub(crate) fn run_with_pool<R>(
     ctx: PoolCtx<'_>,
     body: impl FnOnce(&mut dyn BatchRunner) -> R,
@@ -323,6 +470,7 @@ pub(crate) fn run_with_pool<R>(
             cursor: None,
             stream_acc: None,
             collect_acc: Vec::new(),
+            quarantine: Vec::new(),
         }),
     };
     std::thread::scope(|scope| {
@@ -339,19 +487,33 @@ pub(crate) fn run_with_pool<R>(
             let mut runner = PoolRunner {
                 ctx: &ctx,
                 shared: &shared,
+                quarantined: Vec::new(),
             };
             body(&mut runner)
         };
         let mut worker_groups = Vec::with_capacity(ctx.threads);
         let mut counters = EngineCounters::default();
+        let mut workers_lost = 0u64;
         for h in handles {
-            let (groups, c) = h.join().expect("simulation worker panicked");
-            worker_groups.push(groups);
-            counters.merge(c);
+            match h.join() {
+                Ok((groups, c)) => {
+                    worker_groups.push(groups);
+                    counters.merge(c);
+                }
+                // A supervised death: its guard already settled the
+                // accounting (resubmission or, on total loss, the
+                // coordinator's re-raise above), so the payload is
+                // spent — record the loss and move on.
+                Err(_) => {
+                    worker_groups.push(0);
+                    workers_lost += 1;
+                }
+            }
         }
         let sched = SchedulerStats {
             worker_groups,
             thread_spawns: ctx.threads as u64,
+            workers_lost,
             counters,
         };
         (result, sched)

@@ -50,9 +50,10 @@ use crate::checkpoint::{
 };
 use crate::config::RaidGroupConfig;
 use crate::engine::{BiasPolicy, DesEngine, Engine, EngineSession};
-use crate::events::{DdfKind, GroupHistory};
+use crate::events::{CheckpointDegraded, DdfKind, GroupHistory, QuarantinedGroup};
 use crate::pool::{self, PoolCtx};
 use crate::stats::{SchedulerStats, StreamStats};
+use crate::store::{RetryBackoff, SnapshotStore};
 use raidsim_dists::rng::stream;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -95,11 +96,31 @@ pub trait StreamObserver: Sync {
     }
 
     /// Called from the coordinating thread when a checkpoint write
-    /// fails. The run **continues**: losing resumability must not lose
-    /// the simulation work itself, so a failed write is a warning, not
-    /// an abort, and the next batch boundary retries. Default: ignore.
+    /// fails past its retry budget. Unless the plan marked
+    /// checkpointing required, the run **continues**: losing
+    /// resumability must not lose the simulation work itself, so a
+    /// failed write is a warning, not an abort, and the next batch
+    /// boundary retries. Default: ignore.
     fn on_checkpoint_failed(&self, error: &CheckpointError) {
         let _ = error;
+    }
+
+    /// Called from the coordinating thread once per healthy-to-degraded
+    /// transition of checkpointing: a write just failed past its retry
+    /// budget either persistently or repeatedly, the run keeps going
+    /// with identical final aggregates, and the cadence has been told
+    /// to back off ([`CheckpointCadence::on_write_outcome`]). Default:
+    /// ignore.
+    fn on_checkpoint_degraded(&self, event: &CheckpointDegraded) {
+        let _ = event;
+    }
+
+    /// Called from the coordinating thread when a group's simulation
+    /// panicked and was quarantined instead of aborting the run
+    /// (streaming drivers only; see the quarantine notes on
+    /// [`QuarantinedGroup`]). Default: ignore.
+    fn on_group_quarantined(&self, group: &QuarantinedGroup) {
+        let _ = group;
     }
 }
 
@@ -142,6 +163,14 @@ pub trait CheckpointCadence {
     /// last *successful* write (or from the resume point), so a failed
     /// write is retried at the next boundary.
     fn due(&mut self, groups_done: u64, groups_since_last_write: u64) -> bool;
+
+    /// Told the outcome of every checkpoint write the driver attempted
+    /// (after retries). Self-degrading cadences back off on failure so
+    /// a dead disk is not hammered at every boundary, and reset on
+    /// success. Default: ignore.
+    fn on_write_outcome(&mut self, success: bool) {
+        let _ = success;
+    }
 }
 
 /// Clock-free cadence: write once at least this many groups have
@@ -159,18 +188,32 @@ impl CheckpointCadence for EveryGroups {
     }
 }
 
-/// Where and when a checkpointed run persists its snapshots.
+/// Where, when, and through what store a checkpointed run persists its
+/// snapshots — plus the retry policy and the failure stance.
 pub struct CheckpointPlan<'a> {
     /// Target file, atomically replaced on every write.
     pub path: &'a Path,
     /// Write schedule, consulted at each batch boundary.
     pub cadence: &'a mut dyn CheckpointCadence,
+    /// Snapshot I/O implementation: the production
+    /// [`crate::store::FsStore`], or a fault-injected / in-memory store
+    /// under test.
+    pub store: &'a mut dyn SnapshotStore,
+    /// Retry policy for transient write failures (see
+    /// [`crate::store::RetryBackoff`]).
+    pub backoff: &'a mut dyn RetryBackoff,
+    /// When `true`, a checkpoint write that fails past its retry budget
+    /// aborts the run with the write's [`CheckpointError`] instead of
+    /// degrading — for operators who would rather lose the run than its
+    /// resumability.
+    pub required: bool,
 }
 
 impl std::fmt::Debug for CheckpointPlan<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CheckpointPlan")
             .field("path", &self.path)
+            .field("required", &self.required)
             .finish_non_exhaustive()
     }
 }
@@ -234,12 +277,37 @@ pub(crate) trait BatchRunner {
     /// Simulates `[lo, hi)` and returns the histories in group-index
     /// order.
     fn collect_batch(&mut self, lo: usize, hi: usize) -> Vec<GroupHistory>;
+
+    /// Takes the groups quarantined (per-group panic caught, group
+    /// skipped) since the last drain, in the order they were caught.
+    /// Streaming batches quarantine; collected batches propagate the
+    /// panic instead, because a hole in a returned history vector
+    /// cannot be represented. Default: nothing quarantines.
+    fn drain_quarantine(&mut self) -> Vec<QuarantinedGroup> {
+        Vec::new()
+    }
+}
+
+/// Renders a caught panic payload for a [`QuarantinedGroup`] record.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
 }
 
 /// `threads == 1` runner: one engine session on the calling thread,
 /// persistent for the whole run, zero spawned threads.
 struct SerialRunner<'a> {
     session: Box<dyn EngineSession + 'a>,
+    /// Engine, config, and bias are kept so a quarantined panic can
+    /// discard the (possibly wedged) session and open a fresh one.
+    engine: &'a dyn Engine,
+    cfg: &'a RaidGroupConfig,
+    bias: BiasPolicy,
     mission_hours: f64,
     seed: u64,
     observer: &'a dyn StreamObserver,
@@ -247,6 +315,7 @@ struct SerialRunner<'a> {
     target: u64,
     last_bucket: u64,
     groups_done: u64,
+    quarantine: Vec<QuarantinedGroup>,
 }
 
 impl SerialRunner<'_> {
@@ -271,7 +340,23 @@ impl BatchRunner for SerialRunner<'_> {
         let mut stats = StreamStats::new(self.mission_hours);
         for i in lo..hi {
             let mut rng = stream(self.seed, i as u64);
-            stats.push(self.session.simulate_group(&mut rng));
+            // One group's panic must not abort a fleet-scale run: catch
+            // it, quarantine the index, and continue with a fresh
+            // session (the old one may hold torn scratch state). The
+            // accumulator is untouched on the panic path — `push` runs
+            // only after the group completed.
+            let session = &mut self.session;
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                stats.push(session.simulate_group(&mut rng));
+            }));
+            if let Err(payload) = outcome {
+                self.quarantine.push(QuarantinedGroup {
+                    index: i as u64,
+                    message: panic_message(payload.as_ref()),
+                });
+                self.session = self.engine.session(self.cfg, self.bias);
+                continue;
+            }
             self.note_group();
         }
         stats
@@ -285,6 +370,10 @@ impl BatchRunner for SerialRunner<'_> {
             self.note_group();
         }
         histories
+    }
+
+    fn drain_quarantine(&mut self) -> Vec<QuarantinedGroup> {
+        std::mem::take(&mut self.quarantine)
     }
 }
 
@@ -513,6 +602,9 @@ impl Simulator {
         if threads == 1 {
             let mut runner = SerialRunner {
                 session: self.engine.session(&self.cfg, self.bias),
+                engine: self.engine.as_ref(),
+                cfg: &self.cfg,
+                bias: self.bias,
                 mission_hours: self.cfg.mission_hours,
                 seed,
                 observer,
@@ -523,11 +615,13 @@ impl Simulator {
                 // checkpointed prefix already covered.
                 last_bucket: done.load(Ordering::Relaxed) / PROGRESS_STRIDE,
                 groups_done: 0,
+                quarantine: Vec::new(),
             };
             let result = body(&mut runner);
             let sched = SchedulerStats {
                 worker_groups: vec![runner.groups_done],
                 thread_spawns: 0,
+                workers_lost: 0,
                 counters: runner.session.counters(),
             };
             (result, sched)
@@ -607,6 +701,12 @@ pub struct PrecisionReport {
     pub converged: bool,
     /// Which stopping rule fired.
     pub criterion: StopCriterion,
+    /// Groups whose simulation panicked and was quarantined (streaming
+    /// drivers only; always `0` when nothing went wrong). Quarantined
+    /// indices count toward the group cap but are **excluded** from
+    /// `mean`/`half_width`/`groups`, so a non-zero count here means the
+    /// estimates cover fewer groups than were attempted.
+    pub quarantined: usize,
 }
 
 impl Simulator {
@@ -654,6 +754,7 @@ impl Simulator {
                     &(),
                     &(),
                     &mut None,
+                    &mut None,
                     0,
                     |sim, lo, hi| {
                         // Extend deterministically: group i always uses
@@ -666,7 +767,7 @@ impl Simulator {
                             batch_stats.push(h);
                         }
                         result.histories.extend(histories);
-                        batch_stats
+                        (batch_stats, Vec::new())
                     },
                 )
             });
@@ -742,8 +843,12 @@ impl Simulator {
                     observer,
                     &(),
                     &mut None,
+                    &mut None,
                     0,
-                    |_sim, lo, hi| runner.stream_batch(lo, hi),
+                    |_sim, lo, hi| {
+                        let batch = runner.stream_batch(lo, hi);
+                        (batch, runner.drain_quarantine())
+                    },
                 )
             },
         );
@@ -834,6 +939,7 @@ impl Simulator {
         let seed = driver.seed;
         let max_groups = driver.max_groups;
         let done = AtomicU64::new(stats.groups());
+        let mut plan_failure = None;
         let (report, _sched) =
             self.with_runner(seed, threads, observer, &done, max_groups, |runner| {
                 self.precision_driver(
@@ -842,10 +948,20 @@ impl Simulator {
                     observer,
                     control,
                     &mut plan,
+                    &mut plan_failure,
                     fingerprint,
-                    |_sim, lo, hi| runner.stream_batch(lo, hi),
+                    |_sim, lo, hi| {
+                        let batch = runner.stream_batch(lo, hi);
+                        (batch, runner.drain_quarantine())
+                    },
                 )
             });
+        // A required checkpoint that could not be written aborts the
+        // run with the write's error: the operator asked to fail fast
+        // rather than continue unresumably.
+        if let Some(error) = plan_failure {
+            return Err(error);
+        }
         Ok((stats, report))
     }
 
@@ -871,8 +987,9 @@ impl Simulator {
         observer: &dyn StreamObserver,
         control: &dyn RunControl,
         plan: &mut Option<CheckpointPlan<'_>>,
+        plan_failure: &mut Option<CheckpointError>,
         fingerprint: u64,
-        mut run_batch: impl FnMut(&Simulator, usize, usize) -> StreamStats,
+        mut run_batch: impl FnMut(&Simulator, usize, usize) -> (StreamStats, Vec<QuarantinedGroup>),
     ) -> PrecisionReport {
         if driver.precision_mode {
             assert!(
@@ -909,7 +1026,7 @@ impl Simulator {
                 (stats.mean_ddfs(), stats.half_width(z))
             }
         };
-        let report = |stats: &StreamStats, criterion: StopCriterion| {
+        let report = |stats: &StreamStats, criterion: StopCriterion, quarantined: u64| {
             let n = stats.groups();
             let (mean, half_width) = match n {
                 0 => (0.0, 0.0),
@@ -933,6 +1050,7 @@ impl Simulator {
                     StopCriterion::RelativeWidth | StopCriterion::AbsoluteFloor
                 ),
                 criterion,
+                quarantined: quarantined as usize,
             }
         };
         // Counts from the resume point: the checkpoint being resumed
@@ -940,8 +1058,17 @@ impl Simulator {
         // new groups complete.
         let mut last_written = stats.groups();
         let mut ever_wrote = false;
+        // Quarantined groups count toward the index watermark (their
+        // streams were consumed) but not toward the statistics; resumed
+        // checkpoints are always quarantine-free because writes are
+        // refused once the count is non-zero.
+        let mut quarantined: u64 = 0;
+        // Checkpoint degradation bookkeeping (see `CheckpointDegraded`).
+        let mut consecutive_failures: u64 = 0;
+        let mut degraded = false;
         let criterion = loop {
             let n = stats.groups();
+            let attempted = n + quarantined;
             if driver.precision_mode && n >= 2 {
                 let (mean, half) = estimate(stats);
                 if mean > 0.0 && half <= driver.target_relative * mean {
@@ -951,25 +1078,54 @@ impl Simulator {
                     break StopCriterion::AbsoluteFloor;
                 }
             }
-            if n >= driver.max_groups {
+            if attempted >= driver.max_groups {
                 break StopCriterion::GroupCap;
             }
             if control.interrupted() {
                 break StopCriterion::Interrupted;
             }
-            let start = n as usize;
-            let take = driver.batch.min(driver.max_groups - n) as usize;
-            stats.merge(run_batch(self, start, start + take));
+            let start = attempted as usize;
+            let take = driver.batch.min(driver.max_groups - attempted) as usize;
+            let (batch_stats, batch_quarantine) = run_batch(self, start, start + take);
+            stats.merge(batch_stats);
+            for group in &batch_quarantine {
+                observer.on_group_quarantined(group);
+            }
+            quarantined += batch_quarantine.len() as u64;
             observer.on_progress(Progress {
-                groups_done: stats.groups(),
+                groups_done: stats.groups() + quarantined,
                 groups_target: driver.max_groups,
             });
             if let Some(p) = plan.as_mut() {
-                if p.cadence.due(stats.groups(), stats.groups() - last_written)
-                    && write_checkpoint(fingerprint, driver, stats, p.path, observer)
-                {
-                    last_written = stats.groups();
-                    ever_wrote = true;
+                if p.cadence.due(stats.groups(), stats.groups() - last_written) {
+                    match write_checkpoint(fingerprint, driver, stats, quarantined, p, observer) {
+                        Ok(()) => {
+                            last_written = stats.groups();
+                            ever_wrote = true;
+                            consecutive_failures = 0;
+                            degraded = false;
+                            p.cadence.on_write_outcome(true);
+                        }
+                        Err(error) => {
+                            consecutive_failures += 1;
+                            p.cadence.on_write_outcome(false);
+                            if p.required {
+                                *plan_failure = Some(error);
+                                break StopCriterion::Interrupted;
+                            }
+                            // Healthy-to-degraded transition: the first
+                            // persistent failure, or the second
+                            // consecutive exhausted-transient one.
+                            if !degraded && (!error.transient() || consecutive_failures >= 2) {
+                                degraded = true;
+                                observer.on_checkpoint_degraded(&CheckpointDegraded {
+                                    groups_done: stats.groups(),
+                                    consecutive_failures,
+                                    error,
+                                });
+                            }
+                        }
+                    }
                 }
             }
         };
@@ -978,7 +1134,7 @@ impl Simulator {
         // stride or zero batches ran (a resume whose checkpoint already
         // satisfies a stopping rule).
         observer.on_progress(Progress {
-            groups_done: stats.groups(),
+            groups_done: stats.groups() + quarantined,
             groups_target: driver.max_groups,
         });
         // Final flush, so the file on disk always reflects the state
@@ -987,10 +1143,20 @@ impl Simulator {
         // without re-simulating. Forced when this run has written
         // nothing yet: the plan's path must end up holding the final
         // state even when the cadence never fired (or zero batches
-        // ran).
-        if let Some(p) = plan.as_mut() {
-            if !ever_wrote || last_written != stats.groups() {
-                write_checkpoint(fingerprint, driver, stats, p.path, observer);
+        // ran). Skipped when a required write already failed: the run
+        // is aborting with that error.
+        if plan_failure.is_none() {
+            if let Some(p) = plan.as_mut() {
+                if !ever_wrote || last_written != stats.groups() {
+                    let outcome =
+                        write_checkpoint(fingerprint, driver, stats, quarantined, p, observer);
+                    p.cadence.on_write_outcome(outcome.is_ok());
+                    match outcome {
+                        Ok(()) => {}
+                        Err(error) if p.required => *plan_failure = Some(error),
+                        Err(_) => {}
+                    }
+                }
             }
         }
         #[cfg(debug_assertions)]
@@ -999,7 +1165,7 @@ impl Simulator {
             clones_at_entry,
             "the driver path cloned StreamStats moment state"
         );
-        report(stats, criterion)
+        report(stats, criterion, quarantined)
     }
 
     /// Simulates the half-open group-index range `[lo, hi)` using the
@@ -1081,28 +1247,58 @@ pub fn sweep_with_engine(
         .collect()
 }
 
-/// Snapshots the current run state to `path` and reports the outcome
-/// to the observer. Returns whether the write succeeded; failure is
-/// deliberately non-fatal (see
-/// [`StreamObserver::on_checkpoint_failed`]).
+/// Snapshots the current run state through the plan's store, retrying
+/// transient failures under the plan's backoff budget, and reports the
+/// outcome to the observer. The returned error is the *last* attempt's
+/// failure; the driver decides whether it is fatal (required mode) or a
+/// degradation.
+///
+/// Refused outright once any group has been quarantined: the stats
+/// exclude the quarantined groups while the watermark would count them,
+/// so a snapshot taken now would resume into different statistics than
+/// continuing produces. Any checkpoint already on disk predates the
+/// first quarantine and remains valid.
 fn write_checkpoint(
     fingerprint: u64,
     driver: &DriverState,
     stats: &StreamStats,
-    path: &Path,
+    quarantined: u64,
+    plan: &mut CheckpointPlan<'_>,
     observer: &dyn StreamObserver,
-) -> bool {
-    // Serialized straight from the live accumulator: assembling a
-    // `SimCheckpoint` value here would clone the moment state on every
-    // write (and trip the driver's clone audit).
-    match SimCheckpoint::save_parts(path, fingerprint, driver, stats) {
-        Ok(()) => {
-            observer.on_checkpoint_saved(path, stats.groups());
-            true
-        }
-        Err(error) => {
-            observer.on_checkpoint_failed(&error);
-            false
+) -> Result<(), CheckpointError> {
+    if quarantined > 0 {
+        let error = CheckpointError::Unresumable {
+            reason: format!(
+                "{quarantined} group(s) were quarantined after the last checkpoint; \
+                 the completed prefix is no longer fully aggregated"
+            ),
+        };
+        observer.on_checkpoint_failed(&error);
+        return Err(error);
+    }
+    plan.backoff.begin();
+    let attempts = plan.backoff.attempts().max(1);
+    let mut attempt = 0;
+    loop {
+        attempt += 1;
+        // Serialized straight from the live accumulator: assembling a
+        // `SimCheckpoint` value here would clone the moment state on
+        // every write (and trip the driver's clone audit).
+        match SimCheckpoint::save_parts_to(plan.store, plan.path, fingerprint, driver, stats) {
+            Ok(()) => {
+                observer.on_checkpoint_saved(plan.path, stats.groups());
+                return Ok(());
+            }
+            Err(error) => {
+                // Only transient failures are worth another attempt,
+                // and the backoff can cut the budget short (the CLI
+                // does when its wall-clock deadline passes).
+                if error.transient() && attempt < attempts && plan.backoff.pause(attempt, &error) {
+                    continue;
+                }
+                observer.on_checkpoint_failed(&error);
+                return Err(error);
+            }
         }
     }
 }

@@ -219,6 +219,10 @@ pub struct SchedulerStats {
     /// parallel run (the pool is spawned once and reused across every
     /// driver batch), `0` for the serial path.
     pub thread_spawns: u64,
+    /// Workers that died mid-run (panicked) and whose unclaimed work
+    /// was resubmitted to the survivors. Always `0` on a healthy run;
+    /// a lost worker's `worker_groups` entry is `0`.
+    pub workers_lost: u64,
     /// Engine work counters merged across all workers (see
     /// [`crate::engine::EngineCounters`] for field semantics and which
     /// fields are deterministic).

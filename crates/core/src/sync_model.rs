@@ -26,12 +26,14 @@
 //!   decision of a bounded [`Scenario`] (workers × epochs × claims),
 //!   pruning on exact encoded states (not lossy hashes, so pruning can
 //!   never mask a violation). At every state it asserts: no group index
-//!   is ever simulated twice (no double-claimed batch), the simulated
+//!   is ever merged twice (no double-claimed batch), the simulated
 //!   set at each quiesce point is exactly the prefix `[0, hi)` (the
-//!   checkpoint watermark), a worker panic always propagates to the
-//!   coordinator's quiesce wait with every worker exiting (panic
-//!   containment), and no reachable state strands a sleeping thread
-//!   with nobody left to wake it (no lost wakeup, no deadlock).
+//!   checkpoint watermark), a supervised worker death resubmits its
+//!   unmerged ranges so survivors finish the epoch with full coverage
+//!   (while a *total* loss aborts, propagating to the coordinator's
+//!   quiesce wait with every worker exiting), and no reachable state
+//!   strands a sleeping thread with nobody left to wake it (no lost
+//!   wakeup, no deadlock).
 //!
 //! The model's faithfulness argument, step by step, is laid out in
 //! DESIGN.md §15. Its key reductions: scheduling decisions only matter
@@ -114,6 +116,16 @@ pub struct PoolCore {
     pub shutdown: bool,
     /// Set by a worker's panic guard; observed at the quiesce wait.
     pub panicked: bool,
+    /// Workers that died (panicked) over the pool's lifetime and were
+    /// supervised out (see [`PoolCore::mark_lost`]).
+    pub lost: usize,
+    /// `[start, end)` group ranges a dead worker claimed but never
+    /// merged, awaiting a survivor. Living in the *control* state —
+    /// not the data plane — is what makes supervision race-free:
+    /// [`PoolCore::check_out`] inspects this queue in the same guarded
+    /// step as the check-out decision, so no interleaving can quiesce
+    /// an epoch while resubmitted work is unserved.
+    pub resubmit: Vec<(u64, u64)>,
     threads: usize,
 }
 
@@ -127,6 +139,16 @@ pub enum WorkerPoll {
     Job(JobSpec, u64),
     /// Nothing new: wait on [`Cv::Work`].
     Wait,
+}
+
+/// A worker's check-out outcome ([`PoolCore::check_out`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Checked out; deliver the wake.
+    Out(Wake),
+    /// A dead worker's resubmitted range is waiting: the caller takes
+    /// it, stays checked in, and checks out again after merging it.
+    Redo((u64, u64)),
 }
 
 /// The coordinator's quiesce-poll outcome ([`PoolCore::quiesce_poll`]).
@@ -149,19 +171,30 @@ impl PoolCore {
             active: 0,
             shutdown: false,
             panicked: false,
+            lost: 0,
+            resubmit: Vec::new(),
             threads,
         }
     }
 
+    /// Workers still alive (spawned minus supervised-out deaths).
+    pub fn alive(&self) -> usize {
+        self.threads - self.lost
+    }
+
     /// Coordinator: publishes `spec` as the next epoch and arms the
-    /// active count. Requires the previous epoch to have fully
-    /// quiesced (`active == 0`) — the model checker proves every
-    /// interleaving satisfies this.
+    /// active count with the *surviving* worker population. Requires
+    /// the previous epoch to have fully quiesced (`active == 0`) — the
+    /// model checker proves every interleaving satisfies this.
     pub fn publish(&mut self, spec: JobSpec) -> Wake {
         debug_assert_eq!(self.active, 0, "previous epoch fully quiesced");
+        debug_assert!(
+            self.resubmit.is_empty(),
+            "an epoch cannot quiesce with resubmitted work unserved"
+        );
         self.epoch += 1;
         self.job = Some(spec);
-        self.active = self.threads;
+        self.active = self.alive();
         Wake::Work
     }
 
@@ -182,19 +215,31 @@ impl PoolCore {
         WorkerPoll::Wait
     }
 
-    /// Worker: checks out of the current epoch after merging its
-    /// partial results; the last worker out wakes the coordinator.
+    /// Worker: attempts to check out of the current epoch after merging
+    /// its partial results. If a dead worker's resubmitted range is
+    /// waiting, the check-out is *refused*: the caller takes the range,
+    /// stays checked in, and tries again after simulating and merging
+    /// it. Otherwise the worker checks out, and the last one out wakes
+    /// the coordinator.
     ///
-    /// The unguarded decrement cannot underflow: each worker checks out
-    /// exactly once per epoch it accepted (guarded by its seen-epoch
-    /// counter) and `publish` armed `active` with the worker count —
-    /// an argument the model checker verifies in every interleaving.
-    pub fn check_out(&mut self) -> Wake {
+    /// Taking the range and deciding the check-out in one guarded step
+    /// closes the race this queue would otherwise have: no worker can
+    /// slip out between a death's resubmission and the quiesce point,
+    /// so the queue is provably empty whenever the epoch quiesces.
+    ///
+    /// The decrement cannot underflow: each worker checks out exactly
+    /// once per epoch it accepted (guarded by its seen-epoch counter)
+    /// and `publish` armed `active` with the worker count — an argument
+    /// the model checker verifies in every interleaving.
+    pub fn check_out(&mut self) -> CheckOutcome {
+        if let Some(range) = self.resubmit.pop() {
+            return CheckOutcome::Redo(range);
+        }
         self.active -= 1;
         if self.active == 0 {
-            Wake::Quiesced
+            CheckOutcome::Out(Wake::Quiesced)
         } else {
-            Wake::None
+            CheckOutcome::Out(Wake::None)
         }
     }
 
@@ -225,10 +270,78 @@ impl PoolCore {
     /// A worker's panic guard: latch the panic, force shutdown, and
     /// wake both sides so the coordinator re-raises at its quiesce wait
     /// instead of deadlocking.
+    ///
+    /// This is the *unsupervised* path, kept for total loss: when the
+    /// last alive worker dies there is nobody left to resubmit work to,
+    /// so the run must abort. Supervised single-worker deaths go
+    /// through [`PoolCore::mark_lost`] instead.
     pub fn mark_panicked(&mut self) -> Wake {
         self.panicked = true;
         self.shutdown = true;
         Wake::Both
+    }
+
+    /// A worker's supervision guard, on that worker's death (panic
+    /// unwinding through its serve loop): accounts the loss and
+    /// resubmits the worker's unmerged claimed ranges so the pool keeps
+    /// functioning with the survivors.
+    ///
+    /// * `seen_epoch` — the last epoch the dead worker *accepted*.
+    /// * `serving` — `true` when death struck between accepting an
+    ///   epoch and checking out of it.
+    /// * `remainder` — every range the dead worker claimed since its
+    ///   serve began, completed ones included: its private accumulator
+    ///   died with it, so nothing it did this epoch was published.
+    ///   Survivors redo them against the same per-group RNG streams,
+    ///   reproducing the lost results bit-identically. Non-empty
+    ///   implies `serving`.
+    ///
+    /// Decision table, proved over every interleaving by the model
+    /// checker and unit-tested directly for the paths the model elides:
+    ///
+    /// * Last alive worker: degenerate to [`PoolCore::mark_panicked`] —
+    ///   total loss aborts the run.
+    /// * The dead worker owes the epoch a check-out if it was serving,
+    ///   **or** if an epoch it never accepted is in flight (`publish`
+    ///   armed `active` counting it — dying idle before accepting must
+    ///   not leave the coordinator waiting forever).
+    /// * While any survivor is still checked in (`active > 0`), nothing
+    ///   more is needed: its own [`PoolCore::check_out`] must inspect
+    ///   the queue before it can leave, so the remainder is served.
+    /// * If this death's check-out would quiesce the epoch with the
+    ///   queue non-empty, the epoch is *re-armed* instead: `epoch`
+    ///   advances (same job) and `active` is armed with the survivor
+    ///   count. Every survivor has already accepted and checked out of
+    ///   the old epoch number (that is what `active == 0` means), so
+    ///   each serves exactly once more and the queue drains.
+    pub fn mark_lost(
+        &mut self,
+        seen_epoch: u64,
+        serving: bool,
+        remainder: Vec<(u64, u64)>,
+    ) -> Wake {
+        debug_assert!(
+            remainder.is_empty() || serving,
+            "resubmission implies serving"
+        );
+        self.resubmit.extend(remainder);
+        self.lost += 1;
+        if self.lost == self.threads {
+            return self.mark_panicked();
+        }
+        let owes = serving || (self.job.is_some() && self.epoch > seen_epoch);
+        if owes {
+            self.active -= 1;
+        }
+        if self.active == 0 && !self.resubmit.is_empty() {
+            self.epoch += 1;
+            self.active = self.alive();
+            return Wake::Work;
+        }
+        if owes && self.active == 0 {
+            return Wake::Quiesced;
+        }
+        Wake::None
     }
 }
 
@@ -363,7 +476,8 @@ pub enum Mutation {
     SkipPublishWake,
     /// The last worker checks out but never wakes the coordinator.
     SkipCheckoutWake,
-    /// A panicking worker latches the flags but wakes nobody.
+    /// A dying worker accounts its loss but wakes nobody — survivors
+    /// parked on [`Cv::Work`] never learn the epoch was re-armed.
     SkipPanicWake,
     /// Workers check their wait predicate and *then* park in a separate
     /// step (the check-then-sleep race `Condvar::wait`'s atomic
@@ -372,6 +486,11 @@ pub enum Mutation {
     /// `publish` arms `active` with one worker too few, so the epoch
     /// can quiesce before the last worker has merged its results.
     UnderCountActive,
+    /// A dying worker's supervision guard reports the death but
+    /// discards its unmerged claimed ranges instead of resubmitting
+    /// them — the lost-remainder bug the watermark invariant exists to
+    /// catch.
+    DropRemainder,
 }
 
 /// A bounded pool schedule for the checker to exhaust.
@@ -387,8 +506,13 @@ pub struct Scenario {
     /// Configured claim size; each epoch applies [`effective_claim`].
     pub claim: u64,
     /// If `Some(i)`, simulating group index `i` panics (after the
-    /// indices claimed before it in the same batch completed).
+    /// indices claimed before it in the same batch completed). One-shot
+    /// by default: the first worker to reach the index dies and the
+    /// fault disarms, so its resubmitted range succeeds on a survivor.
     pub panic_at: Option<u64>,
+    /// Make `panic_at` persistent: *every* worker that simulates the
+    /// index dies, so supervision must escalate to a total-loss abort.
+    pub sticky: bool,
     /// Allow spurious wakeups: any parked thread may wake at any time.
     /// The protocol must be correct under both condvar contracts.
     pub spurious: bool,
@@ -404,6 +528,7 @@ impl Scenario {
             epochs,
             claim,
             panic_at: None,
+            sticky: false,
             spurious: false,
             mutation: Mutation::None,
         }
@@ -412,6 +537,18 @@ impl Scenario {
     /// Total group count across all epochs (assumes prefix epochs).
     fn total(&self) -> u64 {
         self.epochs.last().map_or(0, |&(_, hi)| hi)
+    }
+
+    /// Whether the configured panic fault can actually fire.
+    fn poison_reachable(&self) -> bool {
+        self.panic_at.is_some_and(|i| i < self.total())
+    }
+
+    /// Whether the run is expected to abort (re-raise a panic): the
+    /// fault kills every worker, either because it never disarms or
+    /// because there is no survivor to resubmit to.
+    fn expect_abort(&self) -> bool {
+        self.poison_reachable() && (self.sticky || self.workers == 1)
     }
 }
 
@@ -447,17 +584,20 @@ enum WorkerPc {
     /// About to fetch-add on the epoch cursor.
     Claim,
     /// Simulating the claimed range `[cur, end)` (one step; panics at
-    /// `panic_at` if it lies in the range).
+    /// `panic_at` if it lies in the range and the fault is armed).
     Simulate { cur: u64, end: u64 },
-    /// About to run the guarded merge-and-check-out step.
+    /// About to run the guarded merge-and-check-out step (which may
+    /// hand back a resubmitted range instead of checking out).
     CheckOut,
     /// Check-out said this worker was last: deliver the quiesce wake.
     WakeQuiesced,
-    /// Panic guard: about to latch `panicked`/`shutdown` (guarded).
-    Unwind,
-    /// Panic guard: about to deliver its wakes.
-    WakePanic,
-    /// Serve loop exited (normally or by panic).
+    /// Supervision guard, dying: about to run the guarded
+    /// [`PoolCore::mark_lost`] with the unmerged claimed ranges.
+    MarkLost,
+    /// Supervision guard, dying: about to deliver the wake `mark_lost`
+    /// requested.
+    WakeDeath { wake: Wake },
+    /// Serve loop exited (normally or by death).
     Exited,
 }
 
@@ -491,11 +631,15 @@ struct ModelState {
     core: PoolCore,
     /// Virtual claim cursor of the current epoch: `(next, hi, claim)`.
     cursor: Option<(u64, u64, u64)>,
+    /// Whether `scenario.panic_at` can still fire (one-shot faults
+    /// disarm at the first death; sticky faults never do).
+    panic_armed: bool,
     /// Index into `scenario.epochs` of the next epoch to publish.
     epoch_idx: usize,
     coord: CoordPc,
     workers: Vec<WorkerState>,
-    /// Sorted global set of simulated group indices.
+    /// Sorted global set of *merged* group indices — the epoch
+    /// accumulator's coverage, updated at each worker's check-out.
     simulated: Vec<u64>,
 }
 
@@ -503,6 +647,16 @@ struct ModelState {
 struct WorkerState {
     pc: WorkerPc,
     seen_epoch: u64,
+    /// Ranges claimed since this worker's current serve began, none of
+    /// them merged yet (the production supervision guard's pending
+    /// list). Resubmitted wholesale if the worker dies; cleared at the
+    /// merge.
+    pending: Vec<(u64, u64)>,
+    /// Indices this worker simulated but has not merged (its private
+    /// accumulator). Moved into `ModelState::simulated` at check-out;
+    /// discarded if the worker dies — that is exactly why `pending`
+    /// must resubmit even completed ranges.
+    local: Vec<u64>,
 }
 
 impl ModelState {
@@ -510,12 +664,15 @@ impl ModelState {
         ModelState {
             core: PoolCore::new(scenario.workers),
             cursor: None,
+            panic_armed: scenario.panic_at.is_some(),
             epoch_idx: 0,
             coord: CoordPc::Publish,
             workers: vec![
                 WorkerState {
                     pc: WorkerPc::Idle,
                     seen_epoch: 0,
+                    pending: Vec::new(),
+                    local: Vec::new(),
                 };
                 scenario.workers
             ],
@@ -531,8 +688,15 @@ impl ModelState {
         let push = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
         push(out, self.core.epoch);
         push(out, self.core.active as u64);
+        push(out, self.core.lost as u64);
         out.push(u8::from(self.core.shutdown));
         out.push(u8::from(self.core.panicked));
+        out.push(u8::from(self.panic_armed));
+        push(out, self.core.resubmit.len() as u64);
+        for &(lo, hi) in &self.core.resubmit {
+            push(out, lo);
+            push(out, hi);
+        }
         match self.core.job {
             None => out.push(0),
             Some(spec) => {
@@ -557,6 +721,15 @@ impl ModelState {
         for w in &self.workers {
             push(out, w.seen_epoch);
             encode_worker(&w.pc, out);
+            push(out, w.pending.len() as u64);
+            for &(lo, hi) in &w.pending {
+                push(out, lo);
+                push(out, hi);
+            }
+            push(out, w.local.len() as u64);
+            for &i in &w.local {
+                push(out, i);
+            }
         }
         push(out, self.simulated.len() as u64);
         for &i in &self.simulated {
@@ -594,9 +767,17 @@ fn encode_worker(pc: &WorkerPc, out: &mut Vec<u8>) {
         }
         WorkerPc::CheckOut => out.push(5),
         WorkerPc::WakeQuiesced => out.push(6),
-        WorkerPc::Unwind => out.push(7),
-        WorkerPc::WakePanic => out.push(8),
+        WorkerPc::MarkLost => out.push(7),
         WorkerPc::Exited => out.push(9),
+        WorkerPc::WakeDeath { wake } => {
+            out.push(8);
+            out.push(match wake {
+                Wake::None => 0,
+                Wake::Work => 1,
+                Wake::Quiesced => 2,
+                Wake::Both => 3,
+            });
+        }
     }
 }
 
@@ -893,17 +1074,50 @@ impl Explorer<'_> {
                     .ok_or("worker claiming with no cursor installed")?;
                 state.cursor = Some((next + claim, hi, claim));
                 match claim_range(next, hi, claim) {
-                    Some((lo, end)) => state.workers[i].pc = WorkerPc::Simulate { cur: lo, end },
+                    Some((lo, end)) => {
+                        state.workers[i].pending.push((lo, end));
+                        state.workers[i].pc = WorkerPc::Simulate { cur: lo, end };
+                    }
                     None => state.workers[i].pc = WorkerPc::CheckOut,
                 }
                 Ok(())
             }
             WorkerPc::Simulate { cur, end } => {
                 for idx in cur..end {
-                    if self.scenario.panic_at == Some(idx) {
-                        state.workers[i].pc = WorkerPc::Unwind;
+                    if state.panic_armed && self.scenario.panic_at == Some(idx) {
+                        if !self.scenario.sticky {
+                            state.panic_armed = false;
+                        }
+                        // The worker's private accumulator dies with
+                        // it; its pending ranges carry the work onward.
+                        state.workers[i].local.clear();
+                        state.workers[i].pc = WorkerPc::MarkLost;
                         return Ok(());
                     }
+                    let local = &mut state.workers[i].local;
+                    match local.binary_search(&idx) {
+                        Ok(_) => {
+                            return Err(format!(
+                                "group index {idx} simulated twice (double-claimed batch)"
+                            ));
+                        }
+                        Err(pos) => local.insert(pos, idx),
+                    }
+                }
+                state.workers[i].pc = WorkerPc::Claim;
+                Ok(())
+            }
+            WorkerPc::CheckOut => {
+                // Production merges this worker's partial into the
+                // epoch accumulator and clears the supervision guard's
+                // pending list (data mutex) immediately before the
+                // guarded check-out; merges are exact-integer state and
+                // commute, so the model moves the worker's index set
+                // into the global one. Double merges surface here, at
+                // merge time, because a dead worker's *unmerged* copy
+                // is legitimately re-simulated by a survivor.
+                let local = std::mem::take(&mut state.workers[i].local);
+                for idx in local {
                     match state.simulated.binary_search(&idx) {
                         Ok(_) => {
                             return Err(format!(
@@ -913,22 +1127,22 @@ impl Explorer<'_> {
                         Err(pos) => state.simulated.insert(pos, idx),
                     }
                 }
-                state.workers[i].pc = WorkerPc::Claim;
-                Ok(())
-            }
-            WorkerPc::CheckOut => {
-                // Production merges this worker's partial into the
-                // epoch accumulator (data mutex) immediately before the
-                // guarded check-out; merges are exact-integer state and
-                // commute, so the model carries only the index set.
-                if state.core.active == 0 {
+                state.workers[i].pending.clear();
+                if state.core.resubmit.is_empty() && state.core.active == 0 {
                     return Err("check-out with active == 0 (double check-out)".into());
                 }
-                let wake = state.core.check_out();
-                state.workers[i].pc = match wake {
-                    Wake::Quiesced => WorkerPc::WakeQuiesced,
-                    _ => WorkerPc::Idle,
-                };
+                match state.core.check_out() {
+                    CheckOutcome::Redo((lo, end)) => {
+                        state.workers[i].pending.push((lo, end));
+                        state.workers[i].pc = WorkerPc::Simulate { cur: lo, end };
+                    }
+                    CheckOutcome::Out(wake) => {
+                        state.workers[i].pc = match wake {
+                            Wake::Quiesced => WorkerPc::WakeQuiesced,
+                            _ => WorkerPc::Idle,
+                        };
+                    }
+                }
                 Ok(())
             }
             WorkerPc::WakeQuiesced => {
@@ -938,15 +1152,25 @@ impl Explorer<'_> {
                 state.workers[i].pc = WorkerPc::Idle;
                 Ok(())
             }
-            WorkerPc::Unwind => {
-                let wake = state.core.mark_panicked();
-                debug_assert_eq!(wake, Wake::Both);
-                state.workers[i].pc = WorkerPc::WakePanic;
+            WorkerPc::MarkLost => {
+                // Model deaths always strike mid-simulation, so the
+                // worker is serving with a non-empty pending list. The
+                // idle-death and empty-remainder rows of `mark_lost`'s
+                // decision table are covered by direct unit tests.
+                let remainder = if self.scenario.mutation == Mutation::DropRemainder {
+                    state.workers[i].pending.clear();
+                    Vec::new()
+                } else {
+                    std::mem::take(&mut state.workers[i].pending)
+                };
+                let seen = state.workers[i].seen_epoch;
+                let wake = state.core.mark_lost(seen, true, remainder);
+                state.workers[i].pc = WorkerPc::WakeDeath { wake };
                 Ok(())
             }
-            WorkerPc::WakePanic => {
+            WorkerPc::WakeDeath { wake } => {
                 if self.scenario.mutation != Mutation::SkipPanicWake {
-                    self.deliver(state, Wake::Both);
+                    self.deliver(state, wake);
                 }
                 state.workers[i].pc = WorkerPc::Exited;
                 Ok(())
@@ -968,24 +1192,37 @@ impl Explorer<'_> {
                 if !all_exited {
                     return Err("coordinator finished with workers still alive".into());
                 }
-                match (self.scenario.panic_at, panicked) {
-                    (Some(_), false) => {
-                        Err("panic scenario completed without re-raising the panic".into())
-                    }
-                    (None, true) => Err("panic re-raised in a panic-free scenario".into()),
-                    (None, false) => {
-                        let expected: Vec<u64> = (0..self.scenario.total()).collect();
-                        if state.simulated == expected {
-                            Ok(())
-                        } else {
-                            Err(format!(
-                                "run completed with simulated set {:?}, expected [0, {})",
-                                state.simulated,
-                                self.scenario.total()
-                            ))
-                        }
-                    }
-                    (Some(_), true) => Ok(()),
+                let expect_abort = self.scenario.expect_abort();
+                if *panicked != expect_abort {
+                    return Err(if expect_abort {
+                        format!(
+                            "total-loss scenario completed without re-raising the panic \
+                             (lost {} of {} workers)",
+                            state.core.lost, self.scenario.workers
+                        )
+                    } else {
+                        "panic re-raised in a scenario supervision should survive".into()
+                    });
+                }
+                if expect_abort {
+                    return Ok(());
+                }
+                let expect_lost = usize::from(self.scenario.poison_reachable());
+                if state.core.lost != expect_lost {
+                    return Err(format!(
+                        "run completed with {} lost workers, expected {expect_lost}",
+                        state.core.lost
+                    ));
+                }
+                let expected: Vec<u64> = (0..self.scenario.total()).collect();
+                if state.simulated == expected {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "run completed with simulated set {:?}, expected [0, {})",
+                        state.simulated,
+                        self.scenario.total()
+                    ))
                 }
             }
             other => Err(format!(
@@ -1077,8 +1314,8 @@ mod tests {
         assert_eq!(core.publish(spec), Wake::Work);
         assert_eq!(core.worker_poll(0), WorkerPoll::Job(spec, 1));
         assert_eq!(core.quiesce_poll(), QuiescePoll::Wait);
-        assert_eq!(core.check_out(), Wake::None);
-        assert_eq!(core.check_out(), Wake::Quiesced);
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::None));
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::Quiesced));
         assert_eq!(core.quiesce_poll(), QuiescePoll::Quiesced);
         core.retire();
         assert_eq!(core.job, None);
@@ -1120,7 +1357,10 @@ mod tests {
             _ => None,
         });
         assert_eq!((got, epoch), (spec, 1));
-        let wake = sync.guarded(PoolCore::check_out);
+        let wake = sync.guarded(|c| match c.check_out() {
+            CheckOutcome::Out(wake) => wake,
+            CheckOutcome::Redo(range) => panic!("nothing to redo, got {range:?}"),
+        });
         sync.wake(wake);
         let poll = sync.poll_until(Cv::Quiesced, |c| match c.quiesce_poll() {
             QuiescePoll::Wait => None,
@@ -1154,12 +1394,152 @@ mod tests {
                 "mutation {mutation:?} was not caught"
             );
         }
-        // SkipPanicWake needs a panic to lose the wakeup of.
-        let mut scenario = Scenario::new(2, vec![(0, 2)], 1);
-        scenario.panic_at = Some(1);
-        scenario.mutation = Mutation::SkipPanicWake;
+        // The death-path mutations need a worker death to corrupt.
+        for mutation in [Mutation::SkipPanicWake, Mutation::DropRemainder] {
+            let mut scenario = Scenario::new(2, vec![(0, 2)], 1);
+            scenario.panic_at = Some(1);
+            scenario.mutation = mutation;
+            let report = check(&scenario);
+            assert!(
+                report.violation.is_some(),
+                "mutation {mutation:?} was not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_death_completes_with_full_coverage() {
+        // One worker dies mid-epoch; the survivor redoes its ranges and
+        // the run completes cleanly in every interleaving.
+        for claim in [1, 2] {
+            let mut scenario = Scenario::new(2, vec![(0, 4)], claim);
+            scenario.panic_at = Some(1);
+            let report = check(&scenario);
+            assert_eq!(report.violation, None, "claim {claim}: {report:?}");
+        }
+        // Three workers, death late in the epoch, across two epochs.
+        let mut scenario = Scenario::new(3, vec![(0, 3), (3, 5)], 1);
+        scenario.panic_at = Some(4);
         let report = check(&scenario);
-        assert!(report.violation.is_some(), "SkipPanicWake was not caught");
+        assert_eq!(report.violation, None, "{report:?}");
+    }
+
+    #[test]
+    fn sticky_panic_escalates_to_total_loss_abort() {
+        let mut scenario = Scenario::new(2, vec![(0, 3)], 1);
+        scenario.panic_at = Some(1);
+        scenario.sticky = true;
+        let report = check(&scenario);
+        assert_eq!(report.violation, None, "{report:?}");
+        // A single worker has nobody to resubmit to: one-shot or not,
+        // its death is a total loss.
+        let mut scenario = Scenario::new(1, vec![(0, 2)], 1);
+        scenario.panic_at = Some(0);
+        let report = check(&scenario);
+        assert_eq!(report.violation, None, "{report:?}");
+    }
+
+    #[test]
+    fn mark_lost_idle_death_still_quiesces_the_epoch() {
+        // Two workers; B accepts and finishes the epoch, A dies idle
+        // without ever accepting it. A owes the check-out `publish`
+        // armed on its behalf; its death must deliver it.
+        let mut core = PoolCore::new(2);
+        let _ = core.publish(JobSpec {
+            lo: 0,
+            hi: 2,
+            claim: 1,
+            collect: false,
+        });
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::None)); // B
+        assert_eq!(core.mark_lost(0, false, Vec::new()), Wake::Quiesced); // A
+        assert_eq!(core.quiesce_poll(), QuiescePoll::Quiesced);
+        assert_eq!(core.lost, 1);
+        assert!(!core.panicked);
+    }
+
+    #[test]
+    fn mark_lost_between_epochs_owes_nothing() {
+        // A worker that served and checked out dies while no epoch is
+        // in flight: no accounting changes, no wake.
+        let mut core = PoolCore::new(2);
+        let _ = core.publish(JobSpec {
+            lo: 0,
+            hi: 2,
+            claim: 1,
+            collect: false,
+        });
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::None));
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::Quiesced));
+        core.retire();
+        assert_eq!(core.mark_lost(1, false, Vec::new()), Wake::None);
+        assert_eq!(core.active, 0);
+        // The next epoch arms with the survivor only.
+        let _ = core.publish(JobSpec {
+            lo: 2,
+            hi: 4,
+            claim: 1,
+            collect: false,
+        });
+        assert_eq!(core.active, 1);
+    }
+
+    #[test]
+    fn mark_lost_resubmission_is_served_before_quiesce() {
+        // A dies serving while B is still checked in: no re-arm is
+        // needed, because B's own check-out must inspect the queue.
+        let mut core = PoolCore::new(2);
+        let _ = core.publish(JobSpec {
+            lo: 0,
+            hi: 2,
+            claim: 1,
+            collect: false,
+        });
+        assert_eq!(core.mark_lost(1, true, vec![(0, 1)]), Wake::None);
+        assert_eq!(core.epoch, 1);
+        assert_eq!(core.check_out(), CheckOutcome::Redo((0, 1))); // B redoes
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::Quiesced));
+        assert_eq!(core.quiesce_poll(), QuiescePoll::Quiesced);
+        assert!(core.resubmit.is_empty());
+    }
+
+    #[test]
+    fn mark_lost_rearms_when_it_would_quiesce_with_work_pending() {
+        // B has already checked out when A dies resubmitting: A's owed
+        // check-out would quiesce the epoch, so the epoch re-arms and
+        // B serves once more to drain the queue.
+        let mut core = PoolCore::new(2);
+        let _ = core.publish(JobSpec {
+            lo: 0,
+            hi: 2,
+            claim: 1,
+            collect: false,
+        });
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::None)); // B
+        assert_eq!(core.mark_lost(1, true, vec![(0, 1)]), Wake::Work); // A
+        assert_eq!(core.epoch, 2);
+        assert_eq!(core.active, 1);
+        // B re-serves under the new epoch number, redoes A's range,
+        // and only then checks out.
+        assert!(matches!(core.worker_poll(1), WorkerPoll::Job(_, 2)));
+        assert_eq!(core.check_out(), CheckOutcome::Redo((0, 1)));
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::Quiesced));
+        assert_eq!(core.quiesce_poll(), QuiescePoll::Quiesced);
+    }
+
+    #[test]
+    fn mark_lost_total_loss_degenerates_to_panic_abort() {
+        let mut core = PoolCore::new(1);
+        let _ = core.publish(JobSpec {
+            lo: 0,
+            hi: 1,
+            claim: 1,
+            collect: false,
+        });
+        assert_eq!(core.mark_lost(1, true, vec![(0, 1)]), Wake::Both);
+        assert!(core.panicked && core.shutdown);
+        assert_eq!(core.quiesce_poll(), QuiescePoll::Panicked);
+        assert_eq!(core.worker_poll(1), WorkerPoll::Shutdown);
     }
 
     #[test]

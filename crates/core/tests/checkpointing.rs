@@ -11,6 +11,7 @@ use raidsim_core::config::{RaidGroupConfig, Redundancy, TransitionDistributions}
 use raidsim_core::run::{
     CheckpointPlan, EveryGroups, RunControl, Simulator, StopCriterion, StreamObserver,
 };
+use raidsim_core::store::{AttemptBudget, FsStore};
 use raidsim_dists::{LifeDistribution, Weibull3};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,7 +134,15 @@ proptest! {
         let path = temp_ckpt("kill_and_resume.ckpt");
         let control = InterruptAfter::new(kill_batch);
         let mut cadence = EveryGroups(1);
-        let plan = CheckpointPlan { path: &path, cadence: &mut cadence };
+        let mut store = FsStore;
+        let mut backoff = AttemptBudget(1);
+        let plan = CheckpointPlan {
+            path: &path,
+            cadence: &mut cadence,
+            store: &mut store,
+            backoff: &mut backoff,
+            required: false,
+        };
         let (_, first_report) = sim
             .run_checkpointed(driver, threads_a, &(), &control, Some(plan), None)
             .unwrap();
@@ -143,7 +152,15 @@ proptest! {
         let ckpt = SimCheckpoint::load(&path).unwrap();
         prop_assert_eq!(ckpt.groups_done() as usize, first_report.groups);
         let mut cadence = EveryGroups(1);
-        let plan = CheckpointPlan { path: &path, cadence: &mut cadence };
+        let mut store = FsStore;
+        let mut backoff = AttemptBudget(1);
+        let plan = CheckpointPlan {
+            path: &path,
+            cadence: &mut cadence,
+            store: &mut store,
+            backoff: &mut backoff,
+            required: false,
+        };
         let (stats, report) = sim
             .run_checkpointed(driver, threads_b, &(), &(), Some(plan), Some(ckpt))
             .unwrap();
@@ -167,7 +184,15 @@ proptest! {
         let reference = sim.run_streaming(n_groups as usize, seed, threads);
         let path = temp_ckpt("fixed_mode.ckpt");
         let mut cadence = EveryGroups(1);
-        let plan = CheckpointPlan { path: &path, cadence: &mut cadence };
+        let mut store = FsStore;
+        let mut backoff = AttemptBudget(1);
+        let plan = CheckpointPlan {
+            path: &path,
+            cadence: &mut cadence,
+            store: &mut store,
+            backoff: &mut backoff,
+            required: false,
+        };
         let (stats, report) = sim
             .run_checkpointed(
                 DriverState::fixed(n_groups, batch, seed),
@@ -194,9 +219,14 @@ fn interrupted_run_reports_interruption_and_flushes() {
     // Cadence that never fires: the final flush alone must still leave
     // a resumable file on disk.
     let mut cadence = EveryGroups(u64::MAX);
+    let mut store = FsStore;
+    let mut backoff = AttemptBudget(1);
     let plan = CheckpointPlan {
         path: &path,
         cadence: &mut cadence,
+        store: &mut store,
+        backoff: &mut backoff,
+        required: false,
     };
     let (stats, report) = sim
         .run_checkpointed(driver, 2, &recorder, &control, Some(plan), None)
@@ -218,9 +248,14 @@ fn resuming_a_finished_checkpoint_runs_zero_batches() {
     let driver = DriverState::precision(0.25, 0.90, 50, 2_000, 7);
     let path = temp_ckpt("finished.ckpt");
     let mut cadence = EveryGroups(1);
+    let mut store = FsStore;
+    let mut backoff = AttemptBudget(1);
     let plan = CheckpointPlan {
         path: &path,
         cadence: &mut cadence,
+        store: &mut store,
+        backoff: &mut backoff,
+        required: false,
     };
     let (stats, report) = sim
         .run_checkpointed(driver, 2, &(), &(), Some(plan), None)
@@ -247,9 +282,14 @@ fn mismatched_checkpoints_are_rejected_with_typed_errors() {
     let driver = DriverState::precision(0.25, 0.90, 50, 500, 7);
     let path = temp_ckpt("mismatch.ckpt");
     let mut cadence = EveryGroups(1);
+    let mut store = FsStore;
+    let mut backoff = AttemptBudget(1);
     let plan = CheckpointPlan {
         path: &path,
         cadence: &mut cadence,
+        store: &mut store,
+        backoff: &mut backoff,
+        required: false,
     };
     sim.run_checkpointed(driver, 2, &(), &(), Some(plan), None)
         .unwrap();
@@ -285,9 +325,14 @@ fn unwritable_checkpoint_path_warns_and_continues() {
     let recorder = CheckpointRecorder::default();
     let path = Path::new("/nonexistent-raidsim-dir/run.ckpt");
     let mut cadence = EveryGroups(1);
+    let mut store = FsStore;
+    let mut backoff = AttemptBudget(1);
     let plan = CheckpointPlan {
         path,
         cadence: &mut cadence,
+        store: &mut store,
+        backoff: &mut backoff,
+        required: false,
     };
     let (stats, report) = sim
         .run_checkpointed(driver, 2, &recorder, &(), Some(plan), None)

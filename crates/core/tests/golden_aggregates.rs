@@ -195,6 +195,7 @@ fn precision_run_matches_pre_pool_golden_values() {
     assert_eq!(
         rendered,
         "PrecisionReport { mean: 0.145, half_width: 0.03657884471752941, \
-         confidence: 0.95, groups: 400, converged: false, criterion: GroupCap }",
+         confidence: 0.95, groups: 400, converged: false, criterion: GroupCap, \
+         quarantined: 0 }",
     );
 }

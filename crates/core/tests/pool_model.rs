@@ -111,6 +111,57 @@ fn panic_with_three_workers_drains_all_survivors() {
     assert_eq!(report.violation, None, "{report:?}");
 }
 
+/// Supervised resubmission with multi-group claims: the dying worker's
+/// unclaimed remainder spans several indices and must be redone by a
+/// survivor in every interleaving, with the full `[0, total)` coverage
+/// the terminal check demands.
+#[test]
+fn multi_group_remainder_is_resubmitted_to_survivors() {
+    for idx in 0..6 {
+        let mut scenario = Scenario::new(2, vec![(0, 6)], 3);
+        scenario.panic_at = Some(idx);
+        let report = check(&scenario);
+        assert_eq!(report.violation, None, "panic_at={idx}: {report:?}");
+    }
+}
+
+/// A sticky panic (every worker that touches the index dies) must
+/// escalate to a clean total-loss abort — never a deadlock, never a
+/// silently wrong completion — in every interleaving.
+#[test]
+fn sticky_panic_escalates_to_total_loss_abort() {
+    let mut scenario = Scenario::new(2, vec![(0, 2), (2, 4)], 1);
+    scenario.panic_at = Some(1);
+    scenario.sticky = true;
+    let report = check(&scenario);
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// With a single worker there is no survivor to resubmit to, so a
+/// one-shot panic degenerates to the abort path.
+#[test]
+fn single_worker_panic_degenerates_to_abort() {
+    let mut scenario = Scenario::new(1, vec![(0, 2)], 1);
+    scenario.panic_at = Some(0);
+    let report = check(&scenario);
+    assert_eq!(report.violation, None, "{report:?}");
+}
+
+/// A supervision guard that reports the death but *discards* the dead
+/// worker's unmerged remainder must be caught: the watermark would
+/// cover groups nobody simulated.
+#[test]
+fn dropped_remainder_is_detected() {
+    let mut scenario = Scenario::new(2, vec![(0, 2)], 1);
+    scenario.panic_at = Some(0);
+    scenario.mutation = Mutation::DropRemainder;
+    let report = check(&scenario);
+    assert!(
+        report.violation.is_some(),
+        "a dropped remainder must be caught: {report:?}"
+    );
+}
+
 /// Checker power: every seeded protocol breakage must be detected in
 /// the tentpole scenario. `NonAtomicPark` is the canonical lost
 /// wakeup (check-then-sleep outside the lock); the Skip* mutations

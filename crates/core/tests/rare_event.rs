@@ -10,6 +10,7 @@ use raidsim_core::checkpoint::{
 use raidsim_core::config::RaidGroupConfig;
 use raidsim_core::engine::BiasPolicy;
 use raidsim_core::run::{CheckpointPlan, EveryGroups, RunControl, Simulator};
+use raidsim_core::store::{AttemptBudget, FsStore};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -135,18 +136,28 @@ fn biased_kill_and_resume_is_bit_identical() {
         let path = temp_ckpt(&format!("biased_kill_{kill_batch}.ckpt"));
         let control = InterruptAfter::new(kill_batch);
         let mut cadence = EveryGroups(1);
+        let mut store = FsStore;
+        let mut backoff = AttemptBudget(1);
         let plan = CheckpointPlan {
             path: &path,
             cadence: &mut cadence,
+            store: &mut store,
+            backoff: &mut backoff,
+            required: false,
         };
         sim.run_checkpointed(driver, 3, &(), &control, Some(plan), None)
             .unwrap();
 
         let ckpt = SimCheckpoint::load(&path).unwrap();
         let mut cadence = EveryGroups(1);
+        let mut store = FsStore;
+        let mut backoff = AttemptBudget(1);
         let plan = CheckpointPlan {
             path: &path,
             cadence: &mut cadence,
+            store: &mut store,
+            backoff: &mut backoff,
+            required: false,
         };
         let (stats, report) = sim
             .run_checkpointed(driver, 2, &(), &(), Some(plan), Some(ckpt))
@@ -175,9 +186,14 @@ fn version_1_checkpoints_resume_unbiased_but_refuse_bias() {
     let path = temp_ckpt("v1_resume.ckpt");
     let control = InterruptAfter::new(1);
     let mut cadence = EveryGroups(1);
+    let mut store = FsStore;
+    let mut backoff = AttemptBudget(1);
     let plan = CheckpointPlan {
         path: &path,
         cadence: &mut cadence,
+        store: &mut store,
+        backoff: &mut backoff,
+        required: false,
     };
     sim.run_checkpointed(driver, 2, &(), &control, Some(plan), None)
         .unwrap();

@@ -9,6 +9,7 @@ use raidsim_core::checkpoint::{DriverState, SimCheckpoint};
 use raidsim_core::config::{RaidGroupConfig, Redundancy, SparePolicy, TransitionDistributions};
 use raidsim_core::run::{CheckpointPlan, EveryGroups, RunControl, Simulator};
 use raidsim_core::stats::StreamStats;
+use raidsim_core::store::{AttemptBudget, FsStore};
 use raidsim_dists::{LifeDistribution, Weibull3};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -176,7 +177,15 @@ proptest! {
         let path = temp_ckpt("sched_kill_and_resume.ckpt");
         let control = InterruptAfter::new(kill_batch);
         let mut cadence = EveryGroups(1);
-        let plan = CheckpointPlan { path: &path, cadence: &mut cadence };
+        let mut store = FsStore;
+        let mut backoff = AttemptBudget(1);
+        let plan = CheckpointPlan {
+            path: &path,
+            cadence: &mut cadence,
+            store: &mut store,
+            backoff: &mut backoff,
+            required: false,
+        };
         sim_a
             .run_checkpointed(driver, threads_a, &(), &control, Some(plan), None)
             .unwrap();

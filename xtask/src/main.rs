@@ -48,6 +48,7 @@ mod rng_discipline;
 mod smoke;
 mod source;
 mod sync_audit;
+mod torture;
 mod workspace;
 
 use std::path::PathBuf;
@@ -108,6 +109,9 @@ fn usage() -> &'static str {
        model --update     refresh BENCH_model.json after an intentional protocol change\n\
        smoke              build and run the CLI's streamed precision path end to end\n\
        smoke --resume     kill a checkpointed run mid-flight, resume it, diff the summary\n\
+       torture            sweep injected checkpoint faults through the release binary:\n\
+     \x20                    bit-identical reports or typed refusals, double-SIGINT escape\n\
+       torture --smoke    reduced fault grid, for CI\n\
        bench              run the scheduler benchmark ladder, validate BENCH_parallel.json\n\
        bench --smoke      same with tiny group counts, for CI\n\
        help               print this message"
@@ -154,6 +158,10 @@ fn main() -> ExitCode {
         ),
         "smoke" if args.iter().any(|a| a == "--resume") => run(smoke::check_resume(&root), "smoke"),
         "smoke" => run(smoke::check(&root), "smoke"),
+        "torture" => run(
+            torture::check(&root, args.iter().any(|a| a == "--smoke")),
+            "torture",
+        ),
         "bench" => run(
             bench::check(&root, args.iter().any(|a| a == "--smoke")),
             "bench",

@@ -207,8 +207,9 @@ pub fn check_resume(root: &Path) -> Result<Vec<Finding>, String> {
 }
 
 /// Builds the release CLI and returns the binary path (so the smoke can
-/// signal the real process, not a `cargo run` wrapper).
-fn build_cli(root: &Path) -> Result<Result<PathBuf, String>, String> {
+/// signal the real process, not a `cargo run` wrapper). Shared with the
+/// torture harness.
+pub(crate) fn build_cli(root: &Path) -> Result<Result<PathBuf, String>, String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let status = Command::new(cargo)
         .current_dir(root)
@@ -229,7 +230,7 @@ fn build_cli(root: &Path) -> Result<Result<PathBuf, String>, String> {
 /// Sends SIGINT on Unix (exercising the graceful-interruption path); a
 /// hard kill elsewhere (exercising crash recovery from the last
 /// snapshot).
-fn interrupt(child: &mut Child) {
+pub(crate) fn interrupt(child: &mut Child) {
     #[cfg(unix)]
     {
         let sent = Command::new("kill")
