@@ -11,12 +11,19 @@
 //! before its timing is recorded: a benchmark of wrong results is
 //! worthless.
 //!
+//! Schema 3 adds a per-configuration `block_check`: a single-threaded
+//! scalar-vs-block timing pair whose statistics are asserted equal
+//! before `bit_identical: true` is written, plus a top-level
+//! `host_threads`/`note` pair recording the CPU budget the numbers were
+//! taken under (a 1-CPU container cannot measure speedup).
+//!
 //! Usage: `bench_parallel [--smoke] [--out <path>]`; group count
 //! defaults to 10,000 (400 with `--smoke`), overridable via
 //! `RAIDSIM_GROUPS`.
 
 use raidsim::config::{RaidGroupConfig, SparePolicy, TransitionDistributions};
 use raidsim::dists::{LifeDistribution, Mixture};
+use raidsim::engine::SessionTuning;
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::hdd::vintage::fig2_vintages;
 use raidsim::run::Simulator;
@@ -142,9 +149,20 @@ fn main() {
         .unwrap_or_else(|| "BENCH_parallel.json".to_string());
     let n_groups = groups(if smoke { 400 } else { 10_000 });
 
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema_version\": 2,");
+    let _ = writeln!(json, "  \"schema_version\": 3,");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"timings reflect whatever CPU budget the host grants \
+         ({host_threads} hardware thread(s) here); on a 1-CPU container the \
+         multi-thread ladder measures scheduling overhead, not speedup, and \
+         block-vs-scalar deltas are noisy — per_group_ns and speedup are \
+         trajectory data, never pass/fail\","
+    );
     let _ = writeln!(json, "  \"groups\": {n_groups},");
     let _ = writeln!(
         json,
@@ -161,8 +179,34 @@ fn main() {
     let configs = bench_configs();
     let n_configs = configs.len();
     for (ci, (name, seed, cfg)) in configs.into_iter().enumerate() {
-        let sim = Simulator::new(cfg);
+        let sim = Simulator::new(cfg.clone());
         eprintln!("[{}/{n_configs}] {name}: {n_groups} groups", ci + 1);
+
+        // Block-vs-scalar check, single-threaded: the default session
+        // tuning lowers fixed-word-count draw sites onto block-drawn
+        // buffers, and that lowering must be draw-for-draw bit-identical
+        // to the scalar loops it replaces. Both paths are timed fresh so
+        // the recorded delta is an honest like-for-like measurement, and
+        // the statistics are asserted equal before anything is written —
+        // `bit_identical` below is attested, not assumed.
+        let scalar_sim = Simulator::new(cfg).with_tuning(SessionTuning {
+            block_draws: false,
+            ..SessionTuning::default()
+        });
+        let t0 = Instant::now();
+        let block_stats = sim.run_streaming(n_groups, seed, 1);
+        let block_per_group_ns = t0.elapsed().as_secs_f64() * 1e9 / n_groups as f64;
+        let t0 = Instant::now();
+        let scalar_stats = scalar_sim.run_streaming(n_groups, seed, 1);
+        let scalar_per_group_ns = t0.elapsed().as_secs_f64() * 1e9 / n_groups as f64;
+        assert_eq!(
+            block_stats, scalar_stats,
+            "{name}: block-drawn sampling diverged from the scalar path"
+        );
+        eprintln!(
+            "  block check: scalar {scalar_per_group_ns:.0} ns/group, \
+             block {block_per_group_ns:.0} ns/group, bit-identical"
+        );
         let mut cells: Vec<Cell> = Vec::with_capacity(THREAD_LADDER.len());
         let mut reference = None;
         for threads in THREAD_LADDER {
@@ -217,6 +261,11 @@ fn main() {
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"name\": \"{}\",", json_escape(&name));
         let _ = writeln!(json, "      \"seed\": {seed},");
+        let _ = writeln!(
+            json,
+            "      \"block_check\": {{\"scalar_per_group_ns\": {scalar_per_group_ns:.1}, \
+             \"block_per_group_ns\": {block_per_group_ns:.1}, \"bit_identical\": true}},"
+        );
         let _ = writeln!(json, "      \"threads\": [");
         let n_cells = cells.len();
         for (i, c) in cells.into_iter().enumerate() {

@@ -3,11 +3,11 @@
 use crate::args::Args;
 use crate::error::CliError;
 use crate::progress::{CliBackoff, CliCadence, CliObserver};
-use raidsim::checkpoint::{CheckpointError, DriverState, SimCheckpoint};
+use raidsim::checkpoint::{merge_shards, CheckpointError, DriverState, SimCheckpoint};
 use raidsim::config::{params, RaidGroupConfig, Redundancy};
 use raidsim::dists::fit::{bootstrap_ci, mle, rank_regression};
 use raidsim::dists::Weibull3;
-use raidsim::engine::BiasPolicy;
+use raidsim::engine::{BiasPolicy, SessionTuning};
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::mttdl::{expected_ddfs, mttdl_from_mttf, HOURS_PER_YEAR};
 use raidsim::run::{CheckpointPlan, PrecisionReport, Simulator, StopCriterion};
@@ -50,6 +50,8 @@ pub fn usage() -> String {
      \x20                 [--fault-spec OP:KIND,...]\n\
      \x20                 [--tilt-op THETA] [--tilt-latent THETA]\n\
      \x20                 [--force-fraction F --force-window HOURS]\n\
+     \x20                 [--shard I/N] [--fast-math]\n\
+     raidsim-cli merge    [--out merged.ckpt] SHARD.ckpt...\n\
      raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]\n\
      \x20                 [--groups 1000] [--years 10]\n\
      raidsim-cli fit <life-data.csv>     rows: time_hours,failed(0|1)\n\
@@ -74,6 +76,20 @@ pub fn usage() -> String {
      with KIND one of enospc, eintr, partial, fsync, torn, corrupt,\n\
      stall<MILLIS>; OP+ makes the fault sticky from that operation\n\
      on, e.g. 2:eintr,8+:enospc.\n\
+     \n\
+     sharding: --shard I/N (1-based) simulates only shard I's\n\
+     deterministic slice of the group range and writes its statistics\n\
+     as a snapshot to --checkpoint; `merge` gathers shard snapshots\n\
+     into the checkpoint an unsharded run would have written,\n\
+     byte-for-byte, refusing shards from mismatched runs. Per-group\n\
+     RNG streams make the merged result bit-identical to one\n\
+     unsharded run at any shard count.\n\
+     \n\
+     --fast-math opts into float-reordering rewrites of the sampling\n\
+     kernels (e.g. sqrt for powf); results can differ from the exact\n\
+     path in the last bits (per-draw relative error < 1e-12), so\n\
+     fast-math checkpoints and shards carry a distinct fingerprint\n\
+     and never mix with exact ones.\n\
      \n\
      rare events: --tilt-op/--tilt-latent exponentially tilt the\n\
      failure/defect draws; --force-fraction F (in (0, 0.5]) with\n\
@@ -115,7 +131,39 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let tilt_latent: f64 = args.num("tilt-latent", 0.0)?;
     let force_fraction: f64 = args.num("force-fraction", 0.0)?;
     let force_window: f64 = args.num("force-window", 0.0)?;
+    let shard_spec = args.string("shard")?;
+    let fast_math = args.switch("fast-math");
     args.reject_unknown()?;
+
+    let shard = shard_spec
+        .as_deref()
+        .map(parse_shard)
+        .transpose()
+        .map_err(CliError::Usage)?;
+    if shard.is_some() {
+        if checkpoint.is_none() {
+            return Err(CliError::Usage(
+                "--shard writes its slice as a snapshot; add --checkpoint <path>".into(),
+            ));
+        }
+        if precision > 0.0 {
+            return Err(CliError::Usage(
+                "--shard needs a fixed group count; a precision-controlled stop \
+                 depends on every earlier group, which a shard does not have"
+                    .into(),
+            ));
+        }
+        if resume {
+            return Err(CliError::Usage(
+                "--shard reruns its whole slice; drop --resume".into(),
+            ));
+        }
+        if csv_out.is_some() {
+            return Err(CliError::Usage(
+                "--shard works on the streamed path only; drop --csv".into(),
+            ));
+        }
+    }
 
     if resume && checkpoint.is_none() {
         return Err(CliError::Usage(
@@ -234,8 +282,78 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let sim = Simulator::new(cfg).with_bias(bias);
+    let sim = Simulator::new(cfg).with_bias(bias).with_tuning(SessionTuning {
+        fast_math,
+        ..SessionTuning::default()
+    });
     let observer = CliObserver::new(progress);
+
+    // Shard scatter: simulate only this shard's deterministic slice and
+    // persist it as a snapshot for a later `merge`. Early branch — the
+    // checkpointed driver below is for whole runs.
+    if let Some((index, count)) = shard {
+        let (lo, hi) = raidsim::run::shard_range(groups as u64, index - 1, count);
+        let (stats, quarantine) = sim.run_shard(lo, hi, seed, threads, &observer);
+        if !quarantine.is_empty() {
+            // Same rule as the checkpoint writer: a snapshot must cover
+            // its range exactly, and quarantined groups are holes.
+            let first = &quarantine[0];
+            return Err(CliError::Internal(format!(
+                "{} group(s) quarantined (first: group {}: {}); refusing to write \
+                 a shard snapshot with missing groups",
+                quarantine.len(),
+                first.index,
+                first.message
+            )));
+        }
+        let Some(path) = &checkpoint else {
+            return Err(CliError::Internal(
+                "shard run lost its snapshot path".into(),
+            ));
+        };
+        // The driver encodes the shard range without new format fields:
+        // max_groups = hi, and lo is recoverable as hi − groups held.
+        // The batch is derived from the TOTAL group count so every
+        // shard of a run records the same value and the merged
+        // checkpoint is byte-identical to the unsharded one.
+        let batch = groups.clamp(100, 1_000) as u64;
+        let driver = DriverState::fixed(hi, batch, seed);
+        let mut store: Box<dyn SnapshotStore> = match fault_plan {
+            Some(plan) => Box::new(FaultStore::new(FsStore, plan).with_stall_hook(Box::new(
+                |millis| std::thread::sleep(Duration::from_millis(millis)),
+            ))),
+            None => Box::new(FsStore),
+        };
+        SimCheckpoint::save_parts_to(
+            store.as_mut(),
+            Path::new(path),
+            sim.run_fingerprint(),
+            &driver,
+            &stats,
+        )
+        .map_err(|e| match e {
+            e @ CheckpointError::Io { .. } => CliError::Checkpoint(e.to_string()),
+            other => other.into(),
+        })?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "shard {index}/{count}: simulated groups [{lo}, {hi}) of {groups}"
+        );
+        if !stats.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {} groups, {:.2} DDFs per 1,000 groups (shard-local)",
+                stats.groups(),
+                stats.ddfs_per_thousand_groups()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "snapshot written to {path}; combine with `raidsim-cli merge`"
+        );
+        return Ok(out.into());
+    }
     let precision_note = |report: &PrecisionReport| {
         format!(
             "precision run: {} groups, 95% CI half-width {:.1}% of mean (stopped: {})\n",
@@ -395,6 +513,82 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
         text: out,
         interrupted,
     })
+}
+
+/// Parses `--shard I/N` (1-based index, `1 <= I <= N`).
+fn parse_shard(s: &str) -> Result<(u64, u64), String> {
+    let err = || format!("--shard: expected I/N with 1 <= I <= N, got '{s}'");
+    let Some((i, n)) = s.split_once('/') else {
+        return Err(err());
+    };
+    let index: u64 = i.trim().parse().map_err(|_| err())?;
+    let count: u64 = n.trim().parse().map_err(|_| err())?;
+    if index == 0 || count == 0 || index > count {
+        return Err(err());
+    }
+    Ok((index, count))
+}
+
+/// `merge` — gather shard snapshots into the checkpoint an unsharded
+/// run would have written.
+pub fn merge(argv: &[String]) -> Result<CmdOutput, CliError> {
+    let args = Args::parse(argv);
+    let out_path = args.string("out")?;
+    args.reject_unknown()?;
+    let paths = args.positional();
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "merge needs at least one shard snapshot path".into(),
+        ));
+    }
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in paths {
+        let ckpt = SimCheckpoint::load(Path::new(path))
+            .map_err(|e| CliError::Checkpoint(format!("{path}: {e}")))?;
+        shards.push(ckpt);
+    }
+    let merged = merge_shards(shards).map_err(|e| CliError::Checkpoint(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "merged {} shard(s) covering groups [0, {})",
+        paths.len(),
+        merged.driver.max_groups
+    );
+    let stats = &merged.stats;
+    if stats.is_empty() {
+        let _ = writeln!(out, "no groups in the merged range; nothing to report");
+    } else {
+        let mission_years = stats.mission_hours() / HOURS_PER_YEAR;
+        let (op_op, latent_op) = stats.kind_counts();
+        let _ = writeln!(
+            out,
+            "DDFs per 1,000 groups over {mission_years} years: {:.2}",
+            stats.ddfs_per_thousand_groups()
+        );
+        let _ = writeln!(
+            out,
+            "  double operational: {op_op}   latent+operational: {latent_op}"
+        );
+        let _ = writeln!(
+            out,
+            "  operational failures/group: {:.3}   latent defects/group: {:.2}",
+            stats.total_op_failures() as f64 / stats.groups() as f64,
+            stats.total_latent_defects() as f64 / stats.groups() as f64,
+        );
+    }
+    if let Some(path) = out_path {
+        merged
+            .save(Path::new(&path))
+            .map_err(|e| CliError::Checkpoint(format!("{path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "wrote merged checkpoint to {path} (resumable, byte-identical to an \
+             unsharded run's)"
+        );
+    }
+    Ok(out.into())
 }
 
 /// `mttdl` — the closed forms.

@@ -53,6 +53,7 @@ pub(crate) fn run(argv: &[String]) -> Result<CmdOutput, CliError> {
     let rest = &argv[1..];
     match command.as_str() {
         "simulate" => commands::simulate(rest),
+        "merge" => commands::merge(rest),
         "mttdl" => commands::mttdl(rest),
         "fit" => commands::fit(rest),
         "closedform" => commands::closedform(rest),

@@ -235,6 +235,26 @@ pub fn legacy_config_fingerprint_v1(cfg: &RaidGroupConfig, engine_name: &str) ->
     hash.finish()
 }
 
+/// Folds the session tuning into a run fingerprint.
+///
+/// The default tuning (block draws on, exact math) is draw-for-draw
+/// bit-identical to the scalar path, so it must **not** perturb the
+/// fingerprint — snapshots written before the block kernels existed
+/// still resume, and shards from tuned and untuned builds still merge.
+/// Fast math is the one knob that may change results (within the
+/// documented tolerance), so it gets its own fingerprint domain:
+/// exact-math artifacts never resume or merge across fast-math ones,
+/// in either direction.
+pub fn tuned_fingerprint(base: u64, fast_math: bool) -> u64 {
+    if !fast_math {
+        return base;
+    }
+    let mut hash = Fnv1a::new();
+    hash.write(&base.to_le_bytes());
+    hash.write(b"fast-math");
+    hash.finish()
+}
+
 /// The precision driver's bookkeeping, persisted so a resumed run
 /// evaluates its stopping rules on the same schedule with the same
 /// thresholds (a different batch size would check the criteria at
@@ -615,6 +635,133 @@ impl SimCheckpoint {
         }
         Ok(())
     }
+}
+
+/// Gathers per-shard snapshots (the scatter half is
+/// [`crate::run::Simulator::run_shard`]) into the checkpoint an
+/// unsharded run over the union range would have written —
+/// byte-for-byte, at any shard count, merged in any order.
+///
+/// A shard snapshot is an ordinary fixed-mode [`SimCheckpoint`] whose
+/// driver records `max_groups = hi` (the shard's exclusive upper group
+/// index); the lower bound is recovered as `hi − stats.groups()`, so
+/// the format needed no new fields. The merge refuses — with a typed
+/// [`CheckpointError::ConfigMismatch`] naming the offending field —
+/// unless every shard carries the same fingerprint, seed, and batch,
+/// is fixed-mode, and the ranges tile `[0, G)` exactly (no gaps, no
+/// overlaps, starting at zero). Statistics fold via the exact-integer
+/// [`StreamStats::merge`], which is associative and commutative, so
+/// the result is bit-identical to the unsharded accumulator.
+///
+/// # Errors
+///
+/// [`CheckpointError::ConfigMismatch`] as described above (also for an
+/// empty shard list).
+pub fn merge_shards(mut shards: Vec<SimCheckpoint>) -> Result<SimCheckpoint, CheckpointError> {
+    let Some(first) = shards.first() else {
+        return Err(CheckpointError::ConfigMismatch {
+            field: "shards",
+            reason: "no shard snapshots to merge".to_string(),
+        });
+    };
+    let fingerprint = first.fingerprint;
+    let seed = first.driver.seed;
+    let batch = first.driver.batch;
+    for (i, shard) in shards.iter().enumerate() {
+        if shard.format_version != FORMAT_VERSION {
+            return Err(CheckpointError::ConfigMismatch {
+                field: "format_version",
+                reason: format!(
+                    "shard {i} is format version {}, expected {FORMAT_VERSION}",
+                    shard.format_version
+                ),
+            });
+        }
+        if shard.fingerprint != fingerprint {
+            return Err(CheckpointError::ConfigMismatch {
+                field: "fingerprint",
+                reason: format!(
+                    "shard {i} has fingerprint {:016x}, shard 0 has {fingerprint:016x} — \
+                     shards must come from the same configuration, engine, bias, and math mode",
+                    shard.fingerprint
+                ),
+            });
+        }
+        if shard.driver.precision_mode {
+            return Err(CheckpointError::ConfigMismatch {
+                field: "mode",
+                reason: format!(
+                    "shard {i} is from a precision-controlled run; \
+                     shards are fixed group-range snapshots"
+                ),
+            });
+        }
+        if shard.driver.seed != seed {
+            return Err(CheckpointError::ConfigMismatch {
+                field: "seed",
+                reason: format!(
+                    "shard {i} has seed {}, shard 0 has {seed}",
+                    shard.driver.seed
+                ),
+            });
+        }
+        if shard.driver.batch != batch {
+            return Err(CheckpointError::ConfigMismatch {
+                field: "batch",
+                reason: format!(
+                    "shard {i} has batch {}, shard 0 has {batch}",
+                    shard.driver.batch
+                ),
+            });
+        }
+        if shard.stats.groups() > shard.driver.max_groups {
+            return Err(CheckpointError::ConfigMismatch {
+                field: "range",
+                reason: format!(
+                    "shard {i} holds {} groups but its range ends at group {}",
+                    shard.stats.groups(),
+                    shard.driver.max_groups
+                ),
+            });
+        }
+    }
+    // Recover each shard's [lo, hi) and demand an exact tiling of
+    // [0, G). Sorting by lo makes gaps and overlaps adjacent-pair
+    // checks; the merge itself is order-insensitive.
+    // The secondary key orders a zero-width shard (possible when the
+    // shard count exceeds the group count) before the full shard that
+    // starts at the same index.
+    shards.sort_by_key(|s| (s.driver.max_groups - s.stats.groups(), s.driver.max_groups));
+    let mut expected_lo = 0u64;
+    for shard in &shards {
+        let lo = shard.driver.max_groups - shard.stats.groups();
+        if lo != expected_lo {
+            let kind = if lo > expected_lo { "gap" } else { "overlap" };
+            return Err(CheckpointError::ConfigMismatch {
+                field: "range",
+                reason: format!(
+                    "{kind} in shard coverage: expected a shard starting at group \
+                     {expected_lo}, found one starting at {lo}"
+                ),
+            });
+        }
+        expected_lo = shard.driver.max_groups;
+    }
+    let total = expected_lo;
+    let mut iter = shards.into_iter();
+    let Some(first) = iter.next() else {
+        unreachable!("non-empty checked above");
+    };
+    let mut stats = first.stats;
+    for shard in iter {
+        stats.merge(shard.stats);
+    }
+    Ok(SimCheckpoint {
+        format_version: FORMAT_VERSION,
+        fingerprint,
+        driver: DriverState::fixed(total, batch, seed),
+        stats,
+    })
 }
 
 /// FNV-1a 64-bit: tiny, dependency-free, and deterministic across

@@ -100,15 +100,8 @@ pub fn expected_ddfs_per_group(
         (p_down + p_defect).min(1.0)
     };
 
-    // P(at least `tolerated` of the `others` drives bad) — binomial
-    // tail; for single parity this is 1 - (1-p)^(n-1).
-    let p_loss = |p: f64| -> f64 {
-        let mut survive = 0.0; // P(fewer than `tolerated` bad)
-        for k in 0..inputs.tolerated {
-            survive += binom(others, k) * p.powi(k as i32) * (1.0 - p).powi((others - k) as i32);
-        }
-        (1.0 - survive).max(0.0)
-    };
+    // P(at least `tolerated` of the `others` drives bad).
+    let p_loss = |p: f64| -> f64 { binomial_tail(others, inputs.tolerated, p) };
 
     let panels = 2_000;
     let h = t / panels as f64;
@@ -126,6 +119,28 @@ fn binom(n: usize, k: usize) -> f64 {
         out *= (n - i) as f64 / (i + 1) as f64;
     }
     out
+}
+
+/// Upper binomial tail `P(X ≥ tolerated)` for `X ~ Binomial(n, p)`,
+/// summed term-by-term from `k = tolerated` upward.
+///
+/// Summing the tail directly keeps full relative precision at small
+/// `p`: the complement form `1 − P(X < tolerated)` cancels to the
+/// f64 rounding floor once the tail drops below ~1e-16 — for
+/// `tolerated = 2`, `n = 7`, `p = 1e-9` the true tail is ~2.1e-17,
+/// which the complement rounds to 0 (or a stray ulp of 1), a total
+/// loss of significance, while the direct sum is exact to within a
+/// few ulps. For double parity the integrand is *made of* such tails,
+/// so this is the difference between a real estimate and noise.
+fn binomial_tail(n: usize, tolerated: usize, p: f64) -> f64 {
+    if tolerated == 0 {
+        return 1.0;
+    }
+    let mut tail = 0.0;
+    for k in tolerated..=n {
+        tail += binom(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+    }
+    tail.min(1.0)
 }
 
 #[cfg(test)]
@@ -258,6 +273,59 @@ mod tests {
         assert_eq!(binom(7, 0), 1.0);
         assert_eq!(binom(7, 1), 7.0);
         assert_eq!(binom(7, 2), 21.0);
+    }
+
+    #[test]
+    fn binomial_tail_matches_high_precision_reference_at_small_p() {
+        // References computed with exact rational arithmetic
+        // (Python `fractions`, n = 7), rounded once to f64.
+        for (tolerated, p, reference) in [
+            (1, 1e-6, 6.999_979_000_035e-6),
+            (2, 1e-6, 2.099_993_000_010_5e-11),
+            (3, 1e-6, 3.499_989_500_012_6e-17),
+            (1, 1e-9, 6.999_999_979e-9),
+            (2, 1e-9, 2.099_999_993e-17),
+            (3, 1e-9, 3.499_999_989_5e-26),
+        ] {
+            let tail = binomial_tail(7, tolerated, p);
+            let rel = (tail - reference).abs() / reference;
+            assert!(
+                rel < 1e-12,
+                "tolerated = {tolerated}, p = {p}: tail = {tail:e}, \
+                 reference = {reference:e}, rel = {rel:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_tail_beats_the_complement_form_it_replaced() {
+        // Regression for the double-parity catastrophic cancellation:
+        // 1 − P(X < 2) rounds to the f64 noise floor once the true
+        // tail is below ~1e-16, while the direct sum keeps full
+        // relative precision.
+        let (n, tolerated, p) = (7usize, 2usize, 1e-9f64);
+        let mut survive = 0.0;
+        for k in 0..tolerated {
+            survive += binom(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+        }
+        let complement = (1.0 - survive).max(0.0);
+        let reference = 2.099_999_993e-17;
+        assert!(
+            (complement - reference).abs() / reference >= 1.0,
+            "complement form unexpectedly accurate: {complement:e}"
+        );
+        let tail = binomial_tail(n, tolerated, p);
+        assert!((tail - reference).abs() / reference < 1e-12);
+    }
+
+    #[test]
+    fn binomial_tail_endpoints() {
+        assert_eq!(binomial_tail(7, 0, 0.5), 1.0);
+        assert_eq!(binomial_tail(7, 1, 0.0), 0.0);
+        assert_eq!(binomial_tail(7, 7, 1.0), 1.0);
+        // Saturation guard: near p = 1 the terms sum to 1 up to
+        // rounding and must never exceed it.
+        assert!(binomial_tail(7, 1, 1.0 - 1e-16) <= 1.0);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use super::ddf::{self, SlotCondition};
-use super::{draw, BiasPolicy, Engine, EngineCounters, EngineSession};
+use super::{draw, BiasPolicy, BlockCursor, Engine, EngineCounters, EngineSession, SessionTuning};
 use crate::config::{RaidGroupConfig, Redundancy, SparePolicy};
 use crate::events::{DdfEvent, GroupHistory};
-use raidsim_dists::kernel::{Forcing, Tilt};
+use raidsim_dists::kernel::{Forcing, MathMode, Tilt};
 use raidsim_dists::rng::SimRng;
 use raidsim_dists::SampleKernel;
 
@@ -186,19 +186,32 @@ struct DesSession {
     /// High-water mark of `history.ddfs` capacity, for `scratch_grows`.
     ddfs_cap: usize,
     counters: EngineCounters,
+    /// Whether the mission-start init loop draws its slot lifetimes as
+    /// one block: requires the tuning's consent and that every
+    /// participating kernel consumes exactly one word per draw. The
+    /// init site is the only fixed-word-count draw site in this engine
+    /// — every event-loop draw is data-dependent and stays scalar.
+    block_init: bool,
+    /// Kernel evaluation mode for block transforms.
+    math_mode: MathMode,
+    cursor: BlockCursor,
 }
 
 impl DesSession {
-    fn new(cfg: &RaidGroupConfig, bias: BiasPolicy) -> Self {
+    fn new(cfg: &RaidGroupConfig, bias: BiasPolicy, tuning: SessionTuning) -> Self {
         let dists = &cfg.dists;
+        let ttop = SampleKernel::lower(&dists.ttop);
+        let ttld = dists.ttld.as_ref().map(SampleKernel::lower);
+        let block_init =
+            tuning.block_draws && BlockCursor::eligible(&[Some(&ttop), ttld.as_ref()]);
         Self {
             n: cfg.drives,
             mission: cfg.mission_hours,
             redundancy: cfg.redundancy,
             defect_reset: cfg.defect_reset_on_replacement,
-            ttop: SampleKernel::lower(&dists.ttop),
+            ttop,
             ttr: SampleKernel::lower(&dists.ttr),
-            ttld: dists.ttld.as_ref().map(SampleKernel::lower),
+            ttld,
             ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
             op_tilt: bias.op_tilt(),
             latent_tilt: bias.latent_tilt(),
@@ -211,6 +224,9 @@ impl DesSession {
             history: GroupHistory::default(),
             ddfs_cap: 0,
             counters: EngineCounters::default(),
+            block_init,
+            math_mode: tuning.math_mode(),
+            cursor: BlockCursor::new(),
         }
     }
 
@@ -320,27 +336,59 @@ impl EngineSession for DesSession {
             pool.reset();
         }
         self.slots.clear();
-        for _ in 0..self.n {
-            // Sampling order per slot (ttop then ttld) matches the
-            // original collect-based construction bit for bit.
-            self.counters.samples_drawn += 1;
-            let next_op = draw(&self.ttop, self.op_tilt, &mut self.history.log_weight, rng);
-            let next_ld = match &self.ttld {
-                Some(d) => {
-                    self.counters.samples_drawn += 1;
-                    draw(d, self.latent_tilt, &mut self.history.log_weight, rng)
-                }
-                None => f64::INFINITY,
-            };
-            self.slots.push(Slot {
-                up: true,
-                born_at: 0.0,
-                forced_at: f64::NEG_INFINITY,
-                next_op,
-                defective: false,
-                next_ld,
-                clear_is_restore: false,
-            });
+        if self.block_init && self.n > 0 {
+            // Block path: the init site draws exactly one word per
+            // kernel per slot (ttop then ttld, interleaved), so all its
+            // uniforms can be filled up front and transformed densely —
+            // bit-identical to the scalar loop below by the
+            // `BlockCursor` contract, which the block/scalar full-run
+            // equivalence tests enforce.
+            let ld = self.ttld.as_ref().map(|d| (d, self.latent_tilt));
+            let has_ld = ld.is_some();
+            let (ops, lds) = self.cursor.draw_interleaved(
+                self.n,
+                &self.ttop,
+                self.op_tilt,
+                ld,
+                self.math_mode,
+                &mut self.history.log_weight,
+                rng,
+            );
+            for i in 0..self.n {
+                self.counters.samples_drawn += 1 + u64::from(has_ld);
+                self.slots.push(Slot {
+                    up: true,
+                    born_at: 0.0,
+                    forced_at: f64::NEG_INFINITY,
+                    next_op: ops[i],
+                    defective: false,
+                    next_ld: if has_ld { lds[i] } else { f64::INFINITY },
+                    clear_is_restore: false,
+                });
+            }
+        } else {
+            for _ in 0..self.n {
+                // Sampling order per slot (ttop then ttld) matches the
+                // original collect-based construction bit for bit.
+                self.counters.samples_drawn += 1;
+                let next_op = draw(&self.ttop, self.op_tilt, &mut self.history.log_weight, rng);
+                let next_ld = match &self.ttld {
+                    Some(d) => {
+                        self.counters.samples_drawn += 1;
+                        draw(d, self.latent_tilt, &mut self.history.log_weight, rng)
+                    }
+                    None => f64::INFINITY,
+                };
+                self.slots.push(Slot {
+                    up: true,
+                    born_at: 0.0,
+                    forced_at: f64::NEG_INFINITY,
+                    next_op,
+                    defective: false,
+                    next_ld,
+                    clear_is_restore: false,
+                });
+            }
         }
 
         // Rule 5: no DDF can be recorded before this time.
@@ -536,7 +584,7 @@ impl EngineSession for DesSession {
 
 impl Engine for DesEngine {
     fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
-        DesSession::new(cfg, BiasPolicy::None)
+        DesSession::new(cfg, BiasPolicy::None, SessionTuning::default())
             .simulate_group(rng)
             .clone()
     }
@@ -550,7 +598,16 @@ impl Engine for DesEngine {
         cfg: &'a RaidGroupConfig,
         bias: BiasPolicy,
     ) -> Box<dyn EngineSession + 'a> {
-        Box::new(DesSession::new(cfg, bias))
+        self.session_tuned(cfg, bias, SessionTuning::default())
+    }
+
+    fn session_tuned<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+    ) -> Box<dyn EngineSession + 'a> {
+        Box::new(DesSession::new(cfg, bias, tuning))
     }
 }
 

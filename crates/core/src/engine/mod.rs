@@ -25,8 +25,9 @@ pub use timeline::TimelineEngine;
 
 use crate::config::RaidGroupConfig;
 use crate::events::GroupHistory;
-use raidsim_dists::kernel::{Forcing, Tilt};
-use raidsim_dists::rng::SimRng;
+use raidsim_dists::kernel::{Forcing, MathMode, Tilt};
+use raidsim_dists::rng::{fill_uniforms, SimRng};
+use raidsim_dists::SampleKernel;
 
 /// A change of sampling measure applied to an engine session's lifetime
 /// draws — the importance-sampling knob for rare-event acceleration.
@@ -170,6 +171,151 @@ fn tilt_for(theta: f64) -> Option<Tilt> {
     Tilt::new(theta).ok()
 }
 
+/// Performance tuning for an engine session — knobs that must never
+/// change *what* is simulated, only how fast.
+///
+/// `block_draws` (default **on**) lets sessions evaluate fixed-shape
+/// sampling sites as whole buffers (see [`BlockCursor`]); the block
+/// path is draw-for-draw bit-identical to the scalar path, so this is
+/// purely an A/B lever for benchmarks and equivalence tests.
+///
+/// `fast_math` (default **off**) additionally switches the block
+/// transforms to [`MathMode::Fast`], permitting float-op-reordering
+/// rewrites with documented tolerance instead of bit-identity. Because
+/// results can differ in the last bits, fast-math runs carry a
+/// perturbed checkpoint fingerprint
+/// ([`crate::checkpoint::tuned_fingerprint`]) so they never resume
+/// into, or merge with, exact runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTuning {
+    /// Evaluate eligible sampling sites in blocks.
+    pub block_draws: bool,
+    /// Allow non-bit-identical algebraic rewrites in block transforms.
+    pub fast_math: bool,
+}
+
+impl Default for SessionTuning {
+    fn default() -> Self {
+        SessionTuning {
+            block_draws: true,
+            fast_math: false,
+        }
+    }
+}
+
+impl SessionTuning {
+    /// The kernel evaluation mode this tuning implies.
+    pub fn math_mode(&self) -> MathMode {
+        if self.fast_math {
+            MathMode::Fast
+        } else {
+            MathMode::Exact
+        }
+    }
+}
+
+/// Per-worker scratch for block-drawn sampling sites.
+///
+/// A sampling site is *block-eligible* when it draws a fixed number of
+/// RNG words per item — each participating kernel reports
+/// [`SampleKernel::words_per_sample`] `== Some(1)` — and is followed by
+/// further draws from the same per-group stream only after the site
+/// completes. The cursor then:
+///
+/// 1. fills all the site's uniforms at once
+///    ([`raidsim_dists::rng::fill_uniforms`], preserving word order),
+/// 2. de-interleaves them into per-kernel lanes,
+/// 3. applies any tilt warps **in scalar element order**, so the
+///    log-weight accumulates with the identical association, and
+/// 4. runs each kernel's pure dense transform over its lane.
+///
+/// Steps 3–4 touch no RNG state, so under [`MathMode::Exact`] the
+/// lanes are bit-identical to the scalar interleaved loop and the RNG
+/// ends at the same position. Buffers are retained across groups, so
+/// the steady-state loop stays allocation-free once warmed up.
+#[derive(Debug, Default)]
+pub(crate) struct BlockCursor {
+    uniforms: Vec<f64>,
+    lane_a: Vec<f64>,
+    lane_b: Vec<f64>,
+}
+
+impl BlockCursor {
+    pub(crate) fn new() -> Self {
+        BlockCursor::default()
+    }
+
+    /// Whether a site whose items each draw once from every present
+    /// kernel (in a fixed order) can be block-drawn.
+    pub(crate) fn eligible(kernels: &[Option<&SampleKernel>]) -> bool {
+        kernels.iter().all(|k| match k {
+            Some(k) => k.words_per_sample() == Some(1),
+            None => true,
+        })
+    }
+
+    /// Draws `n` items, each consisting of one draw from `a` followed
+    /// (when `b` is present) by one draw from `b`, bit-identical to the
+    /// scalar loop
+    /// `for _ in 0..n { draw(a, tilt_a, ..); draw(b, tilt_b, ..); }`
+    /// under [`MathMode::Exact`]. Returns the two lanes of results
+    /// (`lane_b` is empty when `b` is `None`).
+    ///
+    /// Every participating kernel must satisfy
+    /// `words_per_sample() == Some(1)` — check
+    /// [`BlockCursor::eligible`] first.
+    pub(crate) fn draw_interleaved(
+        &mut self,
+        n: usize,
+        a: &SampleKernel,
+        tilt_a: Option<Tilt>,
+        b: Option<(&SampleKernel, Option<Tilt>)>,
+        mode: MathMode,
+        log_weight: &mut f64,
+        rng: &mut SimRng,
+    ) -> (&[f64], &[f64]) {
+        debug_assert!(
+            BlockCursor::eligible(&[Some(a), b.map(|(k, _)| k)]),
+            "block-drawn kernels must consume exactly one word per sample"
+        );
+        let lanes = 1 + usize::from(b.is_some());
+        self.uniforms.resize(n * lanes, 0.0);
+        fill_uniforms(rng, &mut self.uniforms);
+        self.lane_a.clear();
+        self.lane_b.clear();
+        if b.is_some() {
+            for pair in self.uniforms.chunks_exact(2) {
+                self.lane_a.push(pair[0]);
+                self.lane_b.push(pair[1]);
+            }
+        } else {
+            self.lane_a.extend_from_slice(&self.uniforms);
+        }
+        let tilt_b = b.and_then(|(_, t)| t);
+        if tilt_a.is_some() || tilt_b.is_some() {
+            // Warp in the scalar interleaved order (a₀, b₀, a₁, b₁, …)
+            // so the log-weight sum associates bit-identically.
+            for i in 0..n {
+                if let Some(t) = tilt_a {
+                    let (v, lw) = t.warp(self.lane_a[i]);
+                    *log_weight += lw;
+                    self.lane_a[i] = v;
+                }
+                if let Some(t) = tilt_b {
+                    let (v, lw) = t.warp(self.lane_b[i]);
+                    *log_weight += lw;
+                    self.lane_b[i] = v;
+                }
+            }
+        }
+        a.samples_from_uniforms(mode, &mut self.lane_a);
+        if let Some((kb, _)) = b {
+            kb.samples_from_uniforms(mode, &mut self.lane_b);
+        }
+        (&self.lane_a, &self.lane_b)
+    }
+}
+
 /// Draws from `kernel`, tilted when a tilt is present (accumulating the
 /// draw's log-likelihood-ratio into `log_weight`), plain otherwise.
 ///
@@ -266,6 +412,30 @@ pub trait Engine: std::fmt::Debug + Send + Sync {
             last: GroupHistory::default(),
             counters: EngineCounters::default(),
         })
+    }
+
+    /// [`Engine::session`] with explicit performance tuning
+    /// ([`SessionTuning`]).
+    ///
+    /// Under the default tuning the returned session is **identical**
+    /// to [`Engine::session`]'s: the default block path is
+    /// draw-for-draw bit-identical to the scalar path, so there is no
+    /// behavioral difference to opt out of. `block_draws: false` forces
+    /// the scalar path (the benchmark A/B lever), and `fast_math: true`
+    /// opts into the documented-tolerance rewrites of
+    /// [`MathMode::Fast`].
+    ///
+    /// The default implementation ignores the tuning and delegates to
+    /// [`Engine::session`] — correct for any engine, since tuning may
+    /// never change what is simulated, only how fast.
+    fn session_tuned<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+    ) -> Box<dyn EngineSession + 'a> {
+        let _ = tuning;
+        self.session(cfg, bias)
     }
 }
 

@@ -1,8 +1,10 @@
 use super::ddf::{self, SlotCondition};
-use super::{draw, BiasPolicy, Engine, EngineCounters, EngineSession};
+use super::{
+    draw, BiasPolicy, BlockCursor, Engine, EngineCounters, EngineSession, SessionTuning,
+};
 use crate::config::{RaidGroupConfig, Redundancy};
 use crate::events::{DdfEvent, GroupHistory};
-use raidsim_dists::kernel::Tilt;
+use raidsim_dists::kernel::{MathMode, Tilt};
 use raidsim_dists::rng::SimRng;
 use raidsim_dists::SampleKernel;
 use std::cmp::Reverse;
@@ -239,10 +241,16 @@ struct TimelineSession {
     failures_cap: usize,
     spans_cap: usize,
     counters: EngineCounters,
+    /// Whether phase 3 may draw its chain seeds in one block (requires
+    /// every participating kernel to consume exactly one RNG word per
+    /// sample, so the block consumes the same words as the scalar loop).
+    block_chains: bool,
+    math_mode: MathMode,
+    cursor: BlockCursor,
 }
 
 impl TimelineSession {
-    fn new(cfg: &RaidGroupConfig, bias: BiasPolicy) -> Self {
+    fn new(cfg: &RaidGroupConfig, bias: BiasPolicy, tuning: SessionTuning) -> Self {
         // The timeline engine generates each slot's whole renewal
         // trajectory up front (the paper's Figure 5 procedure), so it
         // has no mid-path intervention point for a state-dependent
@@ -254,14 +262,18 @@ impl TimelineSession {
         );
         let dists = &cfg.dists;
         let n = cfg.drives;
+        let ttld = dists.ttld.as_ref().map(SampleKernel::lower);
+        let ttscrub = dists.ttscrub.as_ref().map(SampleKernel::lower);
+        let block_chains =
+            tuning.block_draws && BlockCursor::eligible(&[ttld.as_ref(), ttscrub.as_ref()]);
         Self {
             n,
             mission: cfg.mission_hours,
             redundancy: cfg.redundancy,
             ttop: SampleKernel::lower(&dists.ttop),
             ttr: SampleKernel::lower(&dists.ttr),
-            ttld: dists.ttld.as_ref().map(SampleKernel::lower),
-            ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
+            ttld,
+            ttscrub,
             op_tilt: bias.op_tilt(),
             latent_tilt: bias.latent_tilt(),
             timelines: std::iter::repeat_with(Vec::new).take(n).collect(),
@@ -274,6 +286,9 @@ impl TimelineSession {
             failures_cap: 0,
             spans_cap: 0,
             counters: EngineCounters::default(),
+            block_chains,
+            math_mode: tuning.math_mode(),
+            cursor: BlockCursor::new(),
         }
     }
 }
@@ -290,6 +305,14 @@ impl EngineSession for TimelineSession {
         // Phase 1 — generate each slot's operational renewal timeline
         // ("The operating and failure times are accumulated until a
         // specified mission time is exceeded", Section 5).
+        //
+        // This phase stays scalar by design: each slot's chain has a
+        // data-dependent length (draw until the mission is exceeded), so
+        // the number of RNG words it consumes is unknown up front. Any
+        // speculative block pre-fill would consume words that the next
+        // phase of the SAME per-group stream was due to see, breaking
+        // the bit-identity contract (DESIGN.md §18). Only
+        // fixed-word-count sites are blocked.
         for spans in &mut self.timelines {
             spans.clear();
             let mut t = 0.0f64;
@@ -336,17 +359,50 @@ impl EngineSession for TimelineSession {
             }
         }
 
-        // Phase 3 — lazily-advanced latent-defect chains.
+        // Phase 3 — lazily-advanced latent-defect chains. Seeding the
+        // chains draws a fixed number of words — n × (ttld[, ttscrub]),
+        // interleaved per slot — so when every kernel consumes exactly
+        // one word per sample the seeds can be drawn as one block. The
+        // scrub draw is never tilted (`schedule_clear` uses the plain
+        // sampler), matching the `None` tilt on lane b. Chain *advances*
+        // inside phase 4 remain scalar: they are lazy and data-dependent.
         self.chains.clear();
-        for _ in 0..n {
-            self.chains.push(LdChain::new(
-                self.ttld.as_ref(),
-                self.ttscrub.as_ref(),
+        if let (true, Some(ttld)) = (self.block_chains && n > 0, self.ttld.as_ref()) {
+            let scrub = self.ttscrub.as_ref().map(|k| (k, None));
+            let has_scrub = scrub.is_some();
+            let (defects, scrubs) = self.cursor.draw_interleaved(
+                n,
+                ttld,
                 self.latent_tilt,
-                &mut self.counters.samples_drawn,
+                scrub,
+                self.math_mode,
                 &mut self.history.log_weight,
                 rng,
-            ));
+            );
+            for i in 0..n {
+                self.counters.samples_drawn += 1 + u64::from(has_scrub);
+                self.chains.push(LdChain {
+                    defect_at: defects[i],
+                    clear_at: if has_scrub {
+                        defects[i] + scrubs[i]
+                    } else {
+                        f64::INFINITY
+                    },
+                    created: 0,
+                    scrubbed: 0,
+                });
+            }
+        } else {
+            for _ in 0..n {
+                self.chains.push(LdChain::new(
+                    self.ttld.as_ref(),
+                    self.ttscrub.as_ref(),
+                    self.latent_tilt,
+                    &mut self.counters.samples_drawn,
+                    &mut self.history.log_weight,
+                    rng,
+                ));
+            }
         }
 
         // Phase 4 — the pairwise comparisons of Figure 5.
@@ -462,7 +518,7 @@ impl EngineSession for TimelineSession {
 
 impl Engine for TimelineEngine {
     fn simulate_group(&self, cfg: &RaidGroupConfig, rng: &mut SimRng) -> GroupHistory {
-        TimelineSession::new(cfg, BiasPolicy::None)
+        TimelineSession::new(cfg, BiasPolicy::None, SessionTuning::default())
             .simulate_group(rng)
             .clone()
     }
@@ -476,7 +532,16 @@ impl Engine for TimelineEngine {
         cfg: &'a RaidGroupConfig,
         bias: BiasPolicy,
     ) -> Box<dyn EngineSession + 'a> {
-        Box::new(TimelineSession::new(cfg, bias))
+        self.session_tuned(cfg, bias, SessionTuning::default())
+    }
+
+    fn session_tuned<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+    ) -> Box<dyn EngineSession + 'a> {
+        Box::new(TimelineSession::new(cfg, bias, tuning))
     }
 }
 

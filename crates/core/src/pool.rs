@@ -70,7 +70,7 @@
 //! its own.
 
 use crate::config::RaidGroupConfig;
-use crate::engine::{BiasPolicy, Engine, EngineCounters};
+use crate::engine::{BiasPolicy, Engine, EngineCounters, SessionTuning};
 use crate::events::{GroupHistory, QuarantinedGroup};
 use crate::run::{
     panic_message, BatchCursor, BatchRunner, Progress, StreamObserver, PROGRESS_STRIDE,
@@ -96,6 +96,10 @@ pub(crate) struct PoolCtx<'a> {
     /// every session applies the same policy to the same per-group
     /// streams.
     pub bias: BiasPolicy,
+    /// Block-draw / math-mode tuning every worker session opens with;
+    /// the default tuning is bit-identical to the scalar path, so
+    /// scheduling invariance is preserved.
+    pub tuning: SessionTuning,
     /// Base seed; group `i` uses RNG stream `i`.
     pub seed: u64,
     /// Worker count (callers route `threads == 1` around the pool).
@@ -341,7 +345,7 @@ fn attempt_check_out(shared: &Shared, guard: &mut SupervisionGuard<'_>) -> Optio
 /// until shutdown. Returns the worker's lifetime group count and its
 /// session's work counters.
 fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
-    let mut session = ctx.engine.session(ctx.cfg, ctx.bias);
+    let mut session = ctx.engine.session_tuned(ctx.cfg, ctx.bias, ctx.tuning);
     let mut groups_done = 0u64;
     // Stride accounting starts at the current global bucket so a
     // resumed run does not re-report strides its checkpointed prefix
@@ -421,7 +425,7 @@ fn worker_loop(ctx: &PoolCtx<'_>, shared: &Shared) -> (u64, EngineCounters) {
                                 index: i,
                                 message: panic_message(payload.as_ref()),
                             });
-                            session = ctx.engine.session(ctx.cfg, ctx.bias);
+                            session = ctx.engine.session_tuned(ctx.cfg, ctx.bias, ctx.tuning);
                         }
                         groups_done += 1;
                         note_group(ctx, &mut last_bucket);

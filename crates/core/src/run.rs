@@ -46,10 +46,11 @@
 //! checkpoint can resume bit-identically (see [`crate::checkpoint`]).
 
 use crate::checkpoint::{
-    config_fingerprint, legacy_config_fingerprint_v1, CheckpointError, DriverState, SimCheckpoint,
+    config_fingerprint, legacy_config_fingerprint_v1, tuned_fingerprint, CheckpointError,
+    DriverState, SimCheckpoint,
 };
 use crate::config::RaidGroupConfig;
-use crate::engine::{BiasPolicy, DesEngine, Engine, EngineSession};
+use crate::engine::{BiasPolicy, DesEngine, Engine, EngineSession, SessionTuning};
 use crate::events::{CheckpointDegraded, DdfKind, GroupHistory, QuarantinedGroup};
 use crate::pool::{self, PoolCtx};
 use crate::stats::{SchedulerStats, StreamStats};
@@ -308,6 +309,7 @@ struct SerialRunner<'a> {
     engine: &'a dyn Engine,
     cfg: &'a RaidGroupConfig,
     bias: BiasPolicy,
+    tuning: SessionTuning,
     mission_hours: f64,
     seed: u64,
     observer: &'a dyn StreamObserver,
@@ -354,7 +356,7 @@ impl BatchRunner for SerialRunner<'_> {
                     index: i as u64,
                     message: panic_message(payload.as_ref()),
                 });
-                self.session = self.engine.session(self.cfg, self.bias);
+                self.session = self.engine.session_tuned(self.cfg, self.bias, self.tuning);
                 continue;
             }
             self.note_group();
@@ -399,6 +401,7 @@ pub struct Simulator {
     engine: Arc<dyn Engine>,
     claim_batch: u64,
     bias: BiasPolicy,
+    tuning: SessionTuning,
 }
 
 impl Simulator {
@@ -417,6 +420,7 @@ impl Simulator {
             engine: Arc::new(DesEngine::new()),
             claim_batch: DEFAULT_CLAIM_BATCH,
             bias: BiasPolicy::None,
+            tuning: SessionTuning::default(),
         }
     }
 
@@ -474,6 +478,34 @@ impl Simulator {
     /// The sampling-measure change in effect.
     pub fn bias(&self) -> BiasPolicy {
         self.bias
+    }
+
+    /// Replaces the session tuning (block draws, math mode). The
+    /// default tuning is bit-identical to the fully scalar path;
+    /// [`SessionTuning::fast_math`] is the only knob that may perturb
+    /// results (within the documented tolerance), and checkpoints
+    /// written under it carry a distinct fingerprint so exact and
+    /// fast-math artifacts never merge or resume across each other.
+    pub fn with_tuning(mut self, tuning: SessionTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The session tuning in effect.
+    pub fn tuning(&self) -> SessionTuning {
+        self.tuning
+    }
+
+    /// The fingerprint this simulator stamps on checkpoints and shard
+    /// snapshots: [`config_fingerprint`] over the configuration,
+    /// engine, and bias, folded with the tuning via
+    /// [`tuned_fingerprint`]. Artifacts merge or resume only when
+    /// these match.
+    pub fn run_fingerprint(&self) -> u64 {
+        tuned_fingerprint(
+            config_fingerprint(&self.cfg, self.engine.name(), self.bias),
+            self.tuning.fast_math,
+        )
     }
 
     /// The configuration being simulated.
@@ -601,10 +633,11 @@ impl Simulator {
         assert!(threads > 0, "need at least one thread");
         if threads == 1 {
             let mut runner = SerialRunner {
-                session: self.engine.session(&self.cfg, self.bias),
+                session: self.engine.session_tuned(&self.cfg, self.bias, self.tuning),
                 engine: self.engine.as_ref(),
                 cfg: &self.cfg,
                 bias: self.bias,
+                tuning: self.tuning,
                 mission_hours: self.cfg.mission_hours,
                 seed,
                 observer,
@@ -631,6 +664,7 @@ impl Simulator {
                     engine: self.engine.as_ref(),
                     cfg: &self.cfg,
                     bias: self.bias,
+                    tuning: self.tuning,
                     seed,
                     threads,
                     claim_batch: self.claim_batch,
@@ -674,6 +708,25 @@ impl std::fmt::Display for StopCriterion {
             StopCriterion::Interrupted => "graceful interruption",
         })
     }
+}
+
+/// The deterministic half-open group range `[lo, hi)` owned by shard
+/// `index` (0-based) of `count` over `total` groups.
+///
+/// Ranges tile `[0, total)` exactly — contiguous, non-overlapping, and
+/// sizes differing by at most one group — so `merge`-ing every shard's
+/// statistics reproduces the unsharded run bit-identically. Computed in
+/// `u128` so `total * count` cannot overflow.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `index >= count`.
+pub fn shard_range(total: u64, index: u64, count: u64) -> (u64, u64) {
+    assert!(count > 0, "shard count must be positive");
+    assert!(index < count, "shard index {index} out of range 0..{count}");
+    let lo = (u128::from(total) * u128::from(index) / u128::from(count)) as u64;
+    let hi = (u128::from(total) * u128::from(index + 1) / u128::from(count)) as u64;
+    (lo, hi)
 }
 
 /// Absolute confidence-half-width floor for precision-controlled runs,
@@ -896,7 +949,7 @@ impl Simulator {
         mut plan: Option<CheckpointPlan<'_>>,
         resume: Option<SimCheckpoint>,
     ) -> Result<(StreamStats, PrecisionReport), CheckpointError> {
-        let fingerprint = config_fingerprint(&self.cfg, self.engine.name(), self.bias);
+        let fingerprint = self.run_fingerprint();
         let mut stats = match resume {
             Some(ckpt) => {
                 if ckpt.format_version < crate::checkpoint::FORMAT_VERSION {
@@ -963,6 +1016,47 @@ impl Simulator {
             return Err(error);
         }
         Ok((stats, report))
+    }
+
+    /// Simulates exactly the group-index range `[lo, hi)` of a larger
+    /// fixed run — the scatter half of shard-scatter/merge.
+    ///
+    /// Per-group RNG streams are a pure function of `(seed, index)` and
+    /// [`StreamStats`] holds exact-integer partials whose merge is
+    /// associative and commutative, so merging the statistics of shards
+    /// that tile `[0, total)` — in any order, at any shard count — is
+    /// bit-identical to one unsharded [`Simulator::run_streaming`] over
+    /// the full range (see [`crate::checkpoint::merge_shards`]).
+    ///
+    /// Returns the shard's statistics plus any quarantined groups;
+    /// callers that persist the shard should refuse to write a snapshot
+    /// while the quarantine is non-empty, exactly like the checkpoint
+    /// writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `threads == 0`.
+    pub fn run_shard(
+        &self,
+        lo: u64,
+        hi: u64,
+        seed: u64,
+        threads: usize,
+        observer: &dyn StreamObserver,
+    ) -> (StreamStats, Vec<QuarantinedGroup>) {
+        assert!(lo <= hi, "shard range must satisfy lo <= hi");
+        let span = hi - lo;
+        let done = AtomicU64::new(0);
+        let (out, _sched) = self.with_runner(seed, threads, observer, &done, span, |runner| {
+            let stats = runner.stream_batch(lo as usize, hi as usize);
+            let quarantine = runner.drain_quarantine();
+            (stats, quarantine)
+        });
+        observer.on_progress(Progress {
+            groups_done: span,
+            groups_target: span,
+        });
+        out
     }
 
     /// The shared precision loop. `run_batch` simulates `[lo, hi)` and

@@ -55,6 +55,50 @@ impl CompetingRisks {
     pub fn risks(&self) -> &[Arc<dyn LifeDistribution>] {
         &self.risks
     }
+
+    /// Effective characteristic life of the minimum of same-shape
+    /// Weibulls: `η_eff = (Σ η_i^{−β})^{−1/β}`.
+    ///
+    /// Evaluated in the log domain via log-sum-exp: with
+    /// `x_i = −β·ln η_i` and `m = max x_i`,
+    /// `η_eff = exp(−(m + ln Σ e^{x_i − m}) / β)`. The naive power form
+    /// underflows `η^{−β}` to `0` once `β·ln η` exceeds ~709 (e.g.
+    /// `η = 100`, `β = 200`), returning `inf`; the log-domain form is
+    /// exact-in-exponent for any representable `β` and `η`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Empty`] when `etas` is empty;
+    /// [`DistError::InvalidParameter`] when `beta` or any `η` is not
+    /// finite and positive.
+    pub fn effective_eta(etas: &[f64], beta: f64) -> Result<f64, DistError> {
+        if etas.is_empty() {
+            return Err(DistError::Empty);
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(DistError::InvalidParameter {
+                name: "beta",
+                value: beta,
+                constraint: "must be finite and positive",
+            });
+        }
+        let mut max_x = f64::NEG_INFINITY;
+        for &eta in etas {
+            if !(eta.is_finite() && eta > 0.0) {
+                return Err(DistError::InvalidParameter {
+                    name: "eta",
+                    value: eta,
+                    constraint: "must be finite and positive",
+                });
+            }
+            max_x = max_x.max(-beta * eta.ln());
+        }
+        let sum: f64 = etas
+            .iter()
+            .map(|&eta| (-beta * eta.ln() - max_x).exp())
+            .sum();
+        Ok((-(max_x + sum.ln()) / beta).exp())
+    }
 }
 
 impl LifeDistribution for CompetingRisks {
@@ -175,11 +219,60 @@ mod tests {
             Arc::new(Weibull3::new(0.0, e2, b).unwrap()) as _,
         ])
         .unwrap();
-        let eta = (e1.powf(-b) + e2.powf(-b)).powf(-1.0 / b);
+        let eta = CompetingRisks::effective_eta(&[e1, e2], b).unwrap();
         let w = Weibull3::new(0.0, eta, b).unwrap();
         for &t in &[10.0, 80.0, 200.0] {
             assert!((c.cdf(t) - w.cdf(t)).abs() < 1e-12, "t = {t}");
         }
+    }
+
+    #[test]
+    fn effective_eta_matches_naive_power_form_where_it_does_not_underflow() {
+        let naive = |etas: &[f64], b: f64| -> f64 {
+            etas.iter().map(|e| e.powf(-b)).sum::<f64>().powf(-1.0 / b)
+        };
+        for (etas, b) in [
+            (vec![100.0, 300.0], 1.5),
+            (vec![461_386.0, 90_000.0], 1.12),
+            (vec![50.0, 50.0, 50.0], 3.0),
+        ] {
+            let exact = CompetingRisks::effective_eta(&etas, b).unwrap();
+            let reference = naive(&etas, b);
+            assert!(
+                (exact - reference).abs() / reference < 1e-12,
+                "etas {etas:?} beta {b}: log-domain {exact} vs naive {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_eta_survives_large_shapes_where_powf_underflows() {
+        // Regression: eta^{-beta} underflows to 0 at beta = 200,
+        // eta = 100 (exponent ~ -400), so the naive form returns
+        // 0^(−1/β) = inf. The min of same-shape Weibulls at huge β is
+        // dominated by the smallest eta: η_eff → min η from below.
+        let b = 200.0;
+        let (e1, e2) = (100.0_f64, 300.0_f64);
+        let naive = (e1.powf(-b) + e2.powf(-b)).powf(-1.0 / b);
+        assert!(naive.is_infinite(), "naive form no longer underflows");
+        let eta = CompetingRisks::effective_eta(&[e1, e2], b).unwrap();
+        assert!(eta.is_finite());
+        // (1 + (1/3)^200)^(-1/200) is indistinguishable from 100 at f64
+        // precision (the correction is ~e^{-220}), so the answer is 100
+        // up to the ln/exp round trip.
+        assert!((eta - 100.0).abs() < 1e-9, "eta = {eta}");
+    }
+
+    #[test]
+    fn effective_eta_rejects_bad_parameters() {
+        assert_eq!(
+            CompetingRisks::effective_eta(&[], 1.5).unwrap_err(),
+            DistError::Empty
+        );
+        assert!(CompetingRisks::effective_eta(&[100.0], 0.0).is_err());
+        assert!(CompetingRisks::effective_eta(&[100.0], f64::NAN).is_err());
+        assert!(CompetingRisks::effective_eta(&[100.0, -3.0], 1.5).is_err());
+        assert!(CompetingRisks::effective_eta(&[f64::INFINITY], 1.5).is_err());
     }
 
     #[test]

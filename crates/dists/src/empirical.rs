@@ -54,8 +54,40 @@ impl PlotPoint {
     /// On these axes a two-parameter Weibull is a straight line with
     /// slope `β` — exactly the "straight line indicates a good fit"
     /// criterion of paper Figure 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prob` lies outside the open interval `(0, 1)` —
+    /// the transform is `−∞` at 0 and `+∞`/NaN at or beyond 1, values
+    /// that would silently poison a downstream least-squares fit. Use
+    /// [`PlotPoint::try_y`] to handle endpoint probabilities as a
+    /// typed error instead. Plotting positions produced by
+    /// [`median_ranks`] and [`johnson_ranks`] are always interior, so
+    /// points from those constructors never panic here.
     pub fn y(&self) -> f64 {
-        (-(1.0 - self.prob).ln()).ln()
+        match self.try_y() {
+            Ok(v) => v,
+            Err(e) => panic!("PlotPoint::y is undefined at this plotting position: {e}"),
+        }
+    }
+
+    /// [`PlotPoint::y`] with the domain endpoints reported as a typed
+    /// error: `prob` must lie strictly inside `(0, 1)` (NaN is also
+    /// rejected) for `ln(−ln(1 − F))` to be finite.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::DistError::InvalidParameter`] when `prob ≤ 0`,
+    /// `prob ≥ 1`, or `prob` is NaN.
+    pub fn try_y(&self) -> Result<f64, crate::DistError> {
+        if !(self.prob > 0.0 && self.prob < 1.0) {
+            return Err(crate::DistError::InvalidParameter {
+                name: "prob",
+                value: self.prob,
+                constraint: "must lie strictly inside (0, 1) for the Weibull plot ordinate",
+            });
+        }
+        Ok((-(1.0 - self.prob).ln()).ln())
     }
 }
 
@@ -335,5 +367,57 @@ mod tests {
         };
         assert!((p.x() - 1.0).abs() < 1e-12);
         assert!(p.y().abs() < 1e-12); // ln(-ln(1/e)) = ln(1) = 0
+    }
+
+    #[test]
+    fn plot_point_endpoints_are_typed_errors_not_infinities() {
+        // Regression: these used to come back as -inf / +inf / NaN and
+        // poison downstream least-squares fits.
+        for prob in [0.0, -0.1, 1.0, 1.5, f64::NAN] {
+            let p = PlotPoint { time: 100.0, prob };
+            let err = p.try_y().unwrap_err();
+            match err {
+                crate::DistError::InvalidParameter { name, .. } => assert_eq!(name, "prob"),
+                other => panic!("expected InvalidParameter, got {other:?}"),
+            }
+        }
+        // Interior probabilities are untouched by the guard.
+        let p = PlotPoint {
+            time: 100.0,
+            prob: 0.25,
+        };
+        assert_eq!(
+            p.try_y().unwrap().to_bits(),
+            (-(1.0f64 - 0.25).ln()).ln().to_bits()
+        );
+        assert!(p.try_y().unwrap().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "PlotPoint::y is undefined")]
+    fn plot_point_y_panics_at_certain_failure() {
+        let p = PlotPoint {
+            time: 100.0,
+            prob: 1.0,
+        };
+        let _ = p.y();
+    }
+
+    #[test]
+    fn plotting_position_constructors_stay_interior() {
+        // Benard / Johnson positions never reach the endpoints, so the
+        // guarded y() is always defined on constructor output.
+        let pts = median_ranks(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(pts.iter().all(|p| p.try_y().is_ok()));
+        let obs: Vec<_> = (0..50)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Observation::censored(10.0 + i as f64)
+                } else {
+                    Observation::failure(10.0 + i as f64)
+                }
+            })
+            .collect();
+        assert!(johnson_ranks(&obs).iter().all(|p| p.try_y().is_ok()));
     }
 }

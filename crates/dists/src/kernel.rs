@@ -190,6 +190,28 @@ impl Forcing {
     }
 }
 
+/// Numerical-evaluation mode for the block sampling paths.
+///
+/// [`MathMode::Exact`] keeps every block draw bit-identical to the
+/// scalar path — the default everywhere. [`MathMode::Fast`] permits
+/// algebraic rewrites that change the float-op sequence (`sqrt` for
+/// `powf(0.5)`, squaring for `powf(2.0)`, identity for `powf(1.0)`),
+/// trading bit-identity for throughput; the relative error per draw is
+/// bounded by a few ULPs (the equivalence suite enforces `< 1e-12`
+/// relative). Fast mode is opt-in (the CLI's `--fast-math`) and
+/// perturbs checkpoint fingerprints so exact and fast runs never mix —
+/// see DESIGN.md §18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MathMode {
+    /// Bit-identical float-op sequences — the block-draw contract.
+    #[default]
+    Exact,
+    /// Allow exponent-specializing rewrites of `powf`; results agree
+    /// with [`MathMode::Exact`] to within documented tolerance, not
+    /// bit-for-bit.
+    Fast,
+}
+
 /// A lifetime distribution lowered to a monomorphic sampling kernel.
 ///
 /// Construct via [`SampleKernel::lower`]; draw via
@@ -197,6 +219,16 @@ impl Forcing {
 /// Both are bit-identical to the `dyn LifeDistribution` methods they
 /// replace (see the module docs for the contract and the lowering
 /// table).
+///
+/// The `*_block` methods evaluate a whole buffer of draws at once:
+/// uniforms are filled first ([`crate::rng::fill_uniforms`], preserving
+/// RNG word order), warps are applied in scalar order (preserving
+/// log-weight accumulation order), and the pure inverse-CDF transform
+/// then runs as a dense loop the autovectorizer can lift. Under
+/// [`MathMode::Exact`] every block method consumes exactly the same RNG
+/// words and produces bit-identical `f64`s to the equivalent sequence
+/// of scalar calls — enforced per variant by the `kernel_equivalence`
+/// property suite.
 #[derive(Debug, Clone)]
 pub enum SampleKernel {
     /// Inlined three-parameter Weibull inverse CDF with `1/β`
@@ -561,17 +593,377 @@ impl SampleKernel {
             | SampleKernel::Boxed { source } => source.sample_conditional(t0, rng),
         }
     }
+
+    /// How many RNG words one draw from this kernel consumes, when that
+    /// count is a constant: `Some(1)` for the quantile families
+    /// (`Weibull3`, `Exponential`, `Lognormal`), `Some(0)` for
+    /// `Degenerate`, and `None` for the composite and boxed kernels,
+    /// whose consumption depends on the drawn values.
+    ///
+    /// Block consumers use this to decide eligibility: only kernels
+    /// with a fixed word count can be pre-filled from a shared uniform
+    /// buffer without shifting later draws in the stream.
+    pub fn words_per_sample(&self) -> Option<usize> {
+        match self {
+            SampleKernel::Weibull3 { .. }
+            | SampleKernel::Exponential { .. }
+            | SampleKernel::Lognormal { .. } => Some(1),
+            SampleKernel::Degenerate { .. } => Some(0),
+            SampleKernel::Mixture { .. }
+            | SampleKernel::Competing { .. }
+            | SampleKernel::Boxed { .. } => None,
+        }
+    }
+
+    /// Transforms a buffer of unit uniforms into lifetimes **in
+    /// place** — the dense, pure half of a block draw. Element `i` of
+    /// the output is exactly what [`SampleKernel::sample`] would have
+    /// produced from uniform `us[i]` (under [`MathMode::Exact`],
+    /// bit-for-bit).
+    ///
+    /// Only defined for kernels with a fixed word count
+    /// ([`SampleKernel::words_per_sample`] `!= None`): `Degenerate`
+    /// ignores the buffer contents and fills its point of support.
+    ///
+    /// # Panics
+    ///
+    /// Panics on composite or boxed kernels, whose draws cannot be
+    /// expressed as a pure transform of pre-filled uniforms.
+    pub fn samples_from_uniforms(&self, mode: MathMode, us: &mut [f64]) {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                inv_beta,
+                ..
+            } => {
+                for u in us.iter_mut() {
+                    *u = weibull_quantile_mode(*gamma, *eta, *inv_beta, *u, mode);
+                }
+            }
+            SampleKernel::Exponential { rate } => {
+                for u in us.iter_mut() {
+                    *u = -(1.0 - *u).ln() / rate;
+                }
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                for u in us.iter_mut() {
+                    *u = lognormal_quantile(*gamma, *mu, *sigma, *u);
+                }
+            }
+            SampleKernel::Degenerate { value } => us.fill(*value),
+            SampleKernel::Mixture { .. }
+            | SampleKernel::Competing { .. }
+            | SampleKernel::Boxed { .. } => panic!(
+                "samples_from_uniforms is undefined for {} kernels \
+                 (no fixed uniform-to-sample transform)",
+                self.variant_name()
+            ),
+        }
+    }
+
+    /// Fills `out` with draws; equivalent to calling
+    /// [`SampleKernel::sample`] once per element. Under
+    /// [`MathMode::Exact`] the block consumes the same RNG words and
+    /// produces bit-identical `f64`s as the scalar loop.
+    ///
+    /// Quantile families fill their uniforms up front and then run the
+    /// dense transform; `Degenerate` consumes no words; composite and
+    /// boxed kernels fall back to the scalar loop (their word count is
+    /// data-dependent).
+    pub fn sample_block(&self, mode: MathMode, rng: &mut dyn Rng, out: &mut [f64]) {
+        match self.words_per_sample() {
+            Some(1) => {
+                crate::rng::fill_uniforms(rng, out);
+                self.samples_from_uniforms(mode, out);
+            }
+            Some(_) => self.samples_from_uniforms(mode, out),
+            None => {
+                for o in out.iter_mut() {
+                    *o = self.sample(rng);
+                }
+            }
+        }
+    }
+
+    /// Fills `out` with residual lifetimes conditional on survival to
+    /// `t0`; equivalent to calling [`SampleKernel::sample_conditional`]
+    /// once per element, with the per-call invariants (`S(t0)`,
+    /// `F(t0)`) hoisted once per block. Under [`MathMode::Exact`] the
+    /// block is bit-identical to the scalar loop.
+    pub fn sample_conditional_block(&self, mode: MathMode, t0: f64, rng: &mut dyn Rng, out: &mut [f64]) {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                beta,
+                inv_beta,
+            } => {
+                let s0 = weibull_sf(*gamma, *eta, *beta, t0);
+                if s0 <= 0.0 {
+                    // The scalar path returns 0.0 without consuming a
+                    // word; replicate that for every element.
+                    out.fill(0.0);
+                    return;
+                }
+                let f0 = weibull_cdf(*gamma, *eta, *beta, t0);
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let p = f0 + *u * s0;
+                    *u = (weibull_quantile_mode(*gamma, *eta, *inv_beta, p, mode) - t0).max(0.0);
+                }
+            }
+            SampleKernel::Exponential { rate } => {
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    *u = -(1.0 - *u).ln() / rate;
+                }
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let f0 = lognormal_cdf(*gamma, *mu, *sigma, t0);
+                let s0 = (1.0 - f0).max(0.0);
+                if s0 <= 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let p = f0 + *u * s0;
+                    *u = (lognormal_quantile(*gamma, *mu, *sigma, p) - t0).max(0.0);
+                }
+            }
+            SampleKernel::Degenerate { value } => out.fill((value - t0).max(0.0)),
+            SampleKernel::Mixture { source, .. }
+            | SampleKernel::Competing { source, .. }
+            | SampleKernel::Boxed { source } => {
+                for o in out.iter_mut() {
+                    *o = source.sample_conditional(t0, rng);
+                }
+            }
+        }
+    }
+
+    /// Fills `out` with tilted draws, accumulating each draw's
+    /// log-likelihood-ratio into `log_weight` in element order;
+    /// equivalent to calling [`SampleKernel::sample_tilted`] once per
+    /// element. Under [`MathMode::Exact`] the block is bit-identical to
+    /// the scalar loop: uniforms are filled in stream order, warps run
+    /// in element order (so the log-weight sum associates identically),
+    /// and the pure quantile transform is hoisted into a dense pass.
+    pub fn sample_tilted_block(
+        &self,
+        mode: MathMode,
+        tilt: Tilt,
+        log_weight: &mut f64,
+        rng: &mut dyn Rng,
+        out: &mut [f64],
+    ) {
+        match self {
+            SampleKernel::Weibull3 { .. }
+            | SampleKernel::Exponential { .. }
+            | SampleKernel::Lognormal { .. } => {
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = tilt.warp(*u);
+                    *log_weight += lw;
+                    *u = v;
+                }
+                self.samples_from_uniforms(mode, out);
+            }
+            SampleKernel::Degenerate { value } => out.fill(*value),
+            SampleKernel::Mixture { .. } | SampleKernel::Competing { .. } => {
+                for o in out.iter_mut() {
+                    *o = self.sample_tilted(tilt, log_weight, rng);
+                }
+            }
+            SampleKernel::Boxed { source } => {
+                for o in out.iter_mut() {
+                    *o = source.sample(rng);
+                }
+            }
+        }
+    }
+
+    /// Fills `out` with tilted conditional draws; equivalent to calling
+    /// [`SampleKernel::sample_conditional_tilted`] once per element,
+    /// with `S(t0)`/`F(t0)` hoisted once per block. Bit-identical to
+    /// the scalar loop under [`MathMode::Exact`].
+    pub fn sample_conditional_tilted_block(
+        &self,
+        mode: MathMode,
+        t0: f64,
+        tilt: Tilt,
+        log_weight: &mut f64,
+        rng: &mut dyn Rng,
+        out: &mut [f64],
+    ) {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                beta,
+                inv_beta,
+            } => {
+                let s0 = weibull_sf(*gamma, *eta, *beta, t0);
+                if s0 <= 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                let f0 = weibull_cdf(*gamma, *eta, *beta, t0);
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = tilt.warp(*u);
+                    *log_weight += lw;
+                    let p = f0 + v * s0;
+                    *u = (weibull_quantile_mode(*gamma, *eta, *inv_beta, p, mode) - t0).max(0.0);
+                }
+            }
+            SampleKernel::Exponential { rate } => {
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = tilt.warp(*u);
+                    *log_weight += lw;
+                    *u = -(1.0 - v).ln() / rate;
+                }
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let f0 = lognormal_cdf(*gamma, *mu, *sigma, t0);
+                let s0 = (1.0 - f0).max(0.0);
+                if s0 <= 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = tilt.warp(*u);
+                    *log_weight += lw;
+                    let p = f0 + v * s0;
+                    *u = (lognormal_quantile(*gamma, *mu, *sigma, p) - t0).max(0.0);
+                }
+            }
+            SampleKernel::Degenerate { value } => out.fill((value - t0).max(0.0)),
+            SampleKernel::Mixture { source, .. }
+            | SampleKernel::Competing { source, .. }
+            | SampleKernel::Boxed { source } => {
+                for o in out.iter_mut() {
+                    *o = source.sample_conditional(t0, rng);
+                }
+            }
+        }
+    }
+
+    /// Fills `out` with forced conditional draws; equivalent to calling
+    /// [`SampleKernel::sample_conditional_forced`] once per element,
+    /// with `S(t0)`/`F(t0)`/window mass `q` hoisted once per block.
+    /// Bit-identical to the scalar loop under [`MathMode::Exact`].
+    pub fn sample_conditional_forced_block(
+        &self,
+        mode: MathMode,
+        t0: f64,
+        window: f64,
+        forcing: Forcing,
+        log_weight: &mut f64,
+        rng: &mut dyn Rng,
+        out: &mut [f64],
+    ) {
+        match self {
+            SampleKernel::Weibull3 {
+                gamma,
+                eta,
+                beta,
+                inv_beta,
+            } => {
+                let s0 = weibull_sf(*gamma, *eta, *beta, t0);
+                if s0 <= 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                let f0 = weibull_cdf(*gamma, *eta, *beta, t0);
+                let q = (weibull_cdf(*gamma, *eta, *beta, t0 + window) - f0) / s0;
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = forcing.warp(*u, q);
+                    *log_weight += lw;
+                    let p = f0 + v * s0;
+                    *u = (weibull_quantile_mode(*gamma, *eta, *inv_beta, p, mode) - t0).max(0.0);
+                }
+            }
+            SampleKernel::Exponential { rate } => {
+                let q = -(-rate * window).exp_m1();
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = forcing.warp(*u, q);
+                    *log_weight += lw;
+                    *u = -(1.0 - v).ln() / rate;
+                }
+            }
+            SampleKernel::Lognormal { gamma, mu, sigma } => {
+                let f0 = lognormal_cdf(*gamma, *mu, *sigma, t0);
+                let s0 = (1.0 - f0).max(0.0);
+                if s0 <= 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                let q = (lognormal_cdf(*gamma, *mu, *sigma, t0 + window) - f0) / s0;
+                crate::rng::fill_uniforms(rng, out);
+                for u in out.iter_mut() {
+                    let (v, lw) = forcing.warp(*u, q);
+                    *log_weight += lw;
+                    let p = f0 + v * s0;
+                    *u = (lognormal_quantile(*gamma, *mu, *sigma, p) - t0).max(0.0);
+                }
+            }
+            SampleKernel::Degenerate { value } => out.fill((value - t0).max(0.0)),
+            SampleKernel::Mixture { source, .. }
+            | SampleKernel::Competing { source, .. }
+            | SampleKernel::Boxed { source } => {
+                for o in out.iter_mut() {
+                    *o = source.sample_conditional(t0, rng);
+                }
+            }
+        }
+    }
 }
 
 /// The exact float-op sequence of `Weibull3::quantile`, with the
 /// reciprocal shape hoisted.
 #[inline]
 fn weibull_quantile(gamma: f64, eta: f64, inv_beta: f64, p: f64) -> f64 {
+    weibull_quantile_mode(gamma, eta, inv_beta, p, MathMode::Exact)
+}
+
+/// [`weibull_quantile`] with a selectable evaluation mode: `Exact`
+/// reproduces the scalar op sequence bit-for-bit; `Fast` specializes
+/// the `powf` for the exponents that admit a cheaper exact-algebra
+/// form (`0.5` → `sqrt`, `1.0` → identity, `2.0` → square), which
+/// reorders float ops and is therefore only reachable through the
+/// opt-in fast-math paths.
+#[inline]
+fn weibull_quantile_mode(gamma: f64, eta: f64, inv_beta: f64, p: f64, mode: MathMode) -> f64 {
     if p <= 0.0 {
         return gamma;
     }
     assert!(p < 1.0, "quantile requires p in [0, 1), got {p}");
-    gamma + eta * (-(-p).ln_1p()).powf(inv_beta)
+    gamma + eta * powf_mode(-(-p).ln_1p(), inv_beta, mode)
+}
+
+/// `x.powf(e)` with [`MathMode::Fast`] exponent specialization.
+#[inline]
+fn powf_mode(x: f64, e: f64, mode: MathMode) -> f64 {
+    match mode {
+        MathMode::Exact => x.powf(e),
+        MathMode::Fast => {
+            if e == 0.5 {
+                x.sqrt()
+            } else if e == 1.0 {
+                x
+            } else if e == 2.0 {
+                x * x
+            } else {
+                x.powf(e)
+            }
+        }
+    }
 }
 
 /// The exact float-op sequence of `Weibull3::sf`.

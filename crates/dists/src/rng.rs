@@ -43,6 +43,22 @@ pub fn stream(master: u64, index: u64) -> SimRng {
     SimRng::seed_from_u64(child_seed(master, index))
 }
 
+/// Fills `out` with uniform variates on `[0, 1)`, consuming exactly one
+/// RNG word per element in stream order.
+///
+/// Element `i` is bit-identical to the `i`-th scalar uniform the
+/// sampling kernels would have drawn from the same RNG state (the
+/// 53-bit `next_u64` conversion), so block-filling a buffer and then
+/// transforming it densely leaves both the RNG stream position and the
+/// produced floats unchanged relative to the one-at-a-time path. This
+/// is the foundation of the block-draw bit-identity contract (DESIGN.md
+/// §18).
+pub fn fill_uniforms(rng: &mut dyn rand::Rng, out: &mut [f64]) {
+    for u in out.iter_mut() {
+        *u = crate::rng_f64(rng);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +91,23 @@ mod tests {
         let mut a = stream(99, 5);
         let mut b = stream(99, 6);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fill_uniforms_matches_scalar_draws_word_for_word() {
+        let mut block = stream(4, 2);
+        let mut scalar = stream(4, 2);
+        let mut buf = [0.0f64; 64];
+        fill_uniforms(&mut block, &mut buf);
+        for (i, &u) in buf.iter().enumerate() {
+            assert_eq!(
+                u.to_bits(),
+                crate::rng_f64(&mut scalar).to_bits(),
+                "element {i} diverged from the scalar conversion"
+            );
+        }
+        // Both streams must sit at the same position afterwards.
+        assert_eq!(block.next_u64(), scalar.next_u64());
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! group count (Jensen: `(Σw)² ≤ n·Σw²`). Timing and speedup fields
 //! are trajectory data, not pass/fail criteria.
 //!
+//! Schema 3 of `BENCH_parallel.json` additionally carries a
+//! per-configuration `block_check` that must attest the block-drawn
+//! sampling path bit-identical to the scalar one, and the driver
+//! finishes with an end-to-end shard-scatter/merge round trip through
+//! the release CLI: two `--shard` snapshots merged must be byte-equal
+//! to the unsharded checkpointed run.
+//!
 //! `--smoke` forwards to the binaries (400 groups per cell / 2,000
 //! groups instead of 10,000 / 40,000) so CI can exercise the full path
 //! in seconds.
@@ -63,7 +70,8 @@ const REQUIRED_RARE_TOP: [&str; 8] = [
     "\"effective_speedup\"",
 ];
 
-/// Runs both benchmark harnesses and validates their JSON artifacts.
+/// Runs both benchmark harnesses and validates their JSON artifacts,
+/// then exercises the shard-scatter/merge round trip end to end.
 pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
     let mut findings = run_and_validate(
         root,
@@ -83,6 +91,95 @@ pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
         &[],
         rare_event_violations,
     )?);
+    findings.extend(shard_roundtrip(root)?);
+    Ok(findings)
+}
+
+/// The simulate arguments every leg of the shard round trip shares.
+const SHARD_ARGS: [&str; 7] = [
+    "simulate",
+    "--groups",
+    "400",
+    "--seed",
+    "7",
+    "--mission-years",
+    "2",
+];
+
+/// End-to-end shard-scatter/merge round trip through the release CLI
+/// (run in `--smoke` too — it is seconds of work and byte-equality is
+/// the whole point of sharding):
+///
+/// 1. one unsharded checkpointed run over all 400 groups,
+/// 2. the same run scattered as `--shard 1/2` and `--shard 2/2`,
+/// 3. `merge` over the two shard snapshots,
+///
+/// then require the merged checkpoint to be **byte-equal** to the
+/// unsharded one.
+fn shard_roundtrip(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let finding = |message: String| Finding {
+        check: "bench",
+        path: "crates/cli".into(),
+        line: 0,
+        message,
+    };
+    let bin = match crate::smoke::build_cli(root)? {
+        Ok(bin) => bin,
+        Err(message) => {
+            findings.push(finding(message));
+            return Ok(findings);
+        }
+    };
+
+    let dir = std::env::temp_dir().join("raidsim-bench-shards");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path_of = |name: &str| dir.join(name).to_string_lossy().into_owned();
+    let (reference, s1, s2, merged) = (
+        path_of("reference.ckpt"),
+        path_of("shard1.ckpt"),
+        path_of("shard2.ckpt"),
+        path_of("merged.ckpt"),
+    );
+    for p in [&reference, &s1, &s2, &merged] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let legs: [Vec<&str>; 4] = [
+        [&SHARD_ARGS[..], &["--checkpoint", &reference]].concat(),
+        [&SHARD_ARGS[..], &["--checkpoint", &s1, "--shard", "1/2"]].concat(),
+        [&SHARD_ARGS[..], &["--checkpoint", &s2, "--shard", "2/2"]].concat(),
+        vec!["merge", "--out", &merged, &s1, &s2],
+    ];
+    for args in &legs {
+        let output = Command::new(&bin)
+            .current_dir(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("cannot spawn {}: {e}", bin.display()))?;
+        if !output.status.success() {
+            findings.push(finding(format!(
+                "shard round trip leg `{}` failed ({}): {}",
+                args.join(" "),
+                output.status,
+                String::from_utf8_lossy(&output.stderr).trim()
+            )));
+            return Ok(findings);
+        }
+    }
+
+    let reference_bytes = std::fs::read(&reference)
+        .map_err(|e| format!("cannot read unsharded checkpoint {reference}: {e}"))?;
+    let merged_bytes =
+        std::fs::read(&merged).map_err(|e| format!("cannot read merged checkpoint {merged}: {e}"))?;
+    if merged_bytes != reference_bytes {
+        findings.push(finding(
+            "merged 2-shard checkpoint is not byte-equal to the unsharded run".into(),
+        ));
+    }
+    for p in [&reference, &s1, &s2, &merged] {
+        let _ = std::fs::remove_file(p);
+    }
     Ok(findings)
 }
 
@@ -169,14 +266,22 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
 }
 
 /// Machine-independent invariants over the benchmark document: the
-/// schema version, exact worker spawn counts (the pool spawns once per
-/// run; the serial path never spawns), and an allocation-free steady
-/// state. Timing fields are never judged here — they are trajectory
-/// data, not pass/fail criteria.
+/// schema version, the per-configuration `block_check` attestation that
+/// block-drawn sampling was bit-identical to the scalar path, exact
+/// worker spawn counts (the pool spawns once per run; the serial path
+/// never spawns), and an allocation-free steady state. Timing fields
+/// are never judged here — they are trajectory data, not pass/fail
+/// criteria.
 fn invariant_violations(text: &str) -> Vec<String> {
     let mut violations = Vec::new();
-    if !text.contains("\"schema_version\": 2") {
-        violations.push("schema_version must be 2".to_string());
+    if !text.contains("\"schema_version\": 3") {
+        violations.push("schema_version must be 3".to_string());
+    }
+    if !text.contains("\"block_check\"") {
+        violations.push("missing per-config block_check object".to_string());
+    } else if !text.contains("\"bit_identical\": true") || text.contains("\"bit_identical\": false")
+    {
+        violations.push("every block_check must attest bit_identical: true".to_string());
     }
     // The binary writes one cell per line, so per-cell fields can be
     // cross-checked line-locally.
@@ -448,7 +553,9 @@ mod tests {
     #[test]
     fn invariants_accept_a_conforming_document() {
         let doc = concat!(
-            "{\n  \"schema_version\": 2,\n",
+            "{\n  \"schema_version\": 3,\n",
+            "  \"block_check\": {\"scalar_per_group_ns\": 1200.0, ",
+            "\"block_per_group_ns\": 1150.0, \"bit_identical\": true},\n",
             "  {\"threads\": 1, \"thread_spawns\": 0, \"steady_allocs\": 0},\n",
             "  {\"threads\": 4, \"thread_spawns\": 4, \"steady_allocs\": 0}\n}\n",
         );
@@ -458,7 +565,8 @@ mod tests {
     #[test]
     fn invariants_flag_spawn_and_alloc_violations() {
         let doc = concat!(
-            "{\n  \"schema_version\": 2,\n",
+            "{\n  \"schema_version\": 3,\n",
+            "  \"block_check\": {\"bit_identical\": true},\n",
             "  {\"threads\": 1, \"thread_spawns\": 1, \"steady_allocs\": 0},\n",
             "  {\"threads\": 4, \"thread_spawns\": 8, \"steady_allocs\": 400}\n}\n",
         );
@@ -467,9 +575,22 @@ mod tests {
     }
 
     #[test]
-    fn invariants_require_schema_version_two() {
-        let violations = invariant_violations("{\"schema_version\": 1}");
+    fn invariants_require_schema_version_three() {
+        let violations = invariant_violations("{\"schema_version\": 2}");
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("must be 3"), "{violations:?}");
+        assert!(violations[1].contains("block_check"), "{violations:?}");
+    }
+
+    #[test]
+    fn invariants_reject_a_failed_block_check() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 3,\n",
+            "  \"block_check\": {\"bit_identical\": false}\n}\n",
+        );
+        let violations = invariant_violations(doc);
         assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("bit_identical"), "{violations:?}");
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn usage() -> &'static str {
      \x20                    bit-identical reports or typed refusals, double-SIGINT escape\n\
        torture --smoke    reduced fault grid, for CI\n\
        bench              run the scheduler benchmark ladder, validate BENCH_parallel.json\n\
+     \x20                    (block-vs-scalar attestation), shard/merge round trip\n\
        bench --smoke      same with tiny group counts, for CI\n\
        help               print this message"
 }
