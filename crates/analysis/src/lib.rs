@@ -14,6 +14,9 @@
 //!   Poisson assumption.
 //! * [`series`] formats the curves and tables the experiment binaries
 //!   print.
+//! * [`sweep`] shapes parameter-sweep ladders (one aggregate per
+//!   scenario) into ratio tables, knob-indexed series, and
+//!   monotonicity checks.
 //! * [`trend`] turns the "increasing ROCOF" observation into test
 //!   statistics: the Laplace trend test, the MIL-HDBK-189 chi-square
 //!   test, and the Crow-AMSAA power-law NHPP fit (the paper cites
@@ -30,6 +33,7 @@ pub mod mcf;
 pub mod rocof;
 pub mod series;
 pub mod svg;
+pub mod sweep;
 pub mod trend;
 
 pub use compare::{compare_fleets, FleetComparison};

@@ -238,6 +238,25 @@ fn main() {
                 sched.counters.groups, n_groups as u64,
                 "{name}: engine counters missed groups at {threads} threads"
             );
+            // Starvation regression (smoke mode, multi-CPU hosts only):
+            // the claim clamp guarantees at least eight batches per
+            // configured worker, so on a host that can actually run two
+            // workers concurrently every worker must land at least one
+            // group — the balance-0.0000 rows that motivated the
+            // tightened clamp came from workers that starved outright.
+            // Timing still decides the split, so the floor is "no
+            // starvation", not a fairness target; 1-CPU hosts skip it
+            // because a worker there can legitimately drain everything
+            // before its sibling is scheduled at all.
+            if smoke && threads > 1 && threads <= host_threads {
+                assert!(
+                    sched.balance() > 0.0,
+                    "{name}: a worker starved at {threads} threads \
+                     (worker groups min {} / max {})",
+                    sched.min_worker_groups(),
+                    sched.max_worker_groups()
+                );
+            }
             let speedup = cells.first().map_or(1.0, |c: &Cell| c.wall_ms / wall_ms);
             eprintln!(
                 "  {threads} thread(s): {wall_ms:.0} ms  speedup {speedup:.2}x  \

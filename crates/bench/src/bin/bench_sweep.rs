@@ -1,0 +1,212 @@
+//! PERF — fused sweep baseline: wall-clock of the fused multi-scenario
+//! execution plan against the sequential per-scenario loop it replaced,
+//! written to `BENCH_sweep.json` so later PRs have a trajectory to
+//! regress against.
+//!
+//! Runs the Table-3 scrub ladder at its fixed seeds plus one deliberate
+//! duplicate of the 336-hour rung (same configuration, same seed), so
+//! every fused run exercises the fingerprint-keyed result cache: the
+//! duplicate must be served as a cache hit, never re-simulated. The
+//! sequential baseline is the status quo ante — an independent
+//! `Simulator::run_streaming` per scenario, each paying its own pool
+//! spawn/quiesce and tail starvation, and simulating the duplicate
+//! again.
+//!
+//! Every fused run is asserted byte-identical, scenario by scenario, to
+//! the sequential baseline **before** its timing is recorded — the
+//! `bit_identical: true` in every row is attested, not assumed. A
+//! benchmark of wrong results is worthless.
+//!
+//! Usage: `bench_sweep [--smoke] [--out <path>]`; group count defaults
+//! to 10,000 per scenario (400 with `--smoke`), overridable via
+//! `RAIDSIM_GROUPS`.
+
+use raidsim::config::RaidGroupConfig;
+use raidsim::hdd::scrub::ScrubPolicy;
+use raidsim::run::{FusedSweep, Simulator};
+use raidsim::stats::StreamStats;
+use raidsim::sweep::SweepScenario;
+use raidsim_bench::groups;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Thread counts the ladder covers (mirrors `bench_parallel`).
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured cell: the whole sweep at one thread count.
+struct Cell {
+    threads: usize,
+    sequential_wall_ms: f64,
+    fused_wall_ms: f64,
+    fused_speedup: f64,
+    steals: u64,
+    cache_hits: u64,
+}
+
+/// The Table-3 scrub ladder at its `exp_table3` seeds, plus a duplicate
+/// of the 336-hour rung under the same seed — identical fingerprint,
+/// so the fused plan must serve it from the result cache.
+fn sweep_scenarios() -> Vec<SweepScenario> {
+    let policies: [(&str, ScrubPolicy); 5] = [
+        ("table3_no_scrub", ScrubPolicy::Disabled),
+        (
+            "table3_scrub_336h",
+            ScrubPolicy::with_characteristic_hours(336.0),
+        ),
+        (
+            "table3_scrub_168h",
+            ScrubPolicy::with_characteristic_hours(168.0),
+        ),
+        (
+            "table3_scrub_48h",
+            ScrubPolicy::with_characteristic_hours(48.0),
+        ),
+        (
+            "table3_scrub_12h",
+            ScrubPolicy::with_characteristic_hours(12.0),
+        ),
+    ];
+    let mut scenarios: Vec<SweepScenario> = policies
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, policy))| {
+            SweepScenario::new(
+                name,
+                RaidGroupConfig::paper_base_case()
+                    .unwrap()
+                    .with_scrub_policy(policy)
+                    .unwrap(),
+                11_000 + i as u64,
+            )
+        })
+        .collect();
+    let mut repeat = scenarios[1].clone();
+    repeat.label = "table3_scrub_336h_repeat".to_string();
+    scenarios.push(repeat);
+    scenarios
+}
+
+fn encode(stats: &StreamStats) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    stats.encode_into(&mut bytes);
+    bytes
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let n_groups = groups(if smoke { 400 } else { 10_000 });
+
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let scenarios = sweep_scenarios();
+    let n_scenarios = scenarios.len();
+    let fused = FusedSweep::new(scenarios.clone());
+
+    let mut cells: Vec<Cell> = Vec::with_capacity(THREAD_LADDER.len());
+    for threads in THREAD_LADDER {
+        eprintln!("{threads} thread(s): sequential baseline ({n_scenarios} scenarios)");
+        // The pre-fusion sweep: one pool per scenario, duplicates and
+        // all. Timed first so a warm page cache favors neither side.
+        let t0 = Instant::now();
+        let sequential: Vec<StreamStats> = scenarios
+            .iter()
+            .map(|sc| Simulator::new(sc.cfg.clone()).run_streaming(n_groups, sc.seed, threads))
+            .collect();
+        let sequential_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = Instant::now();
+        let report = fused.run_streaming(n_groups, threads);
+        let fused_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Attest bit-identity before recording any timing.
+        assert_eq!(report.results.len(), n_scenarios);
+        for (k, (label, stats)) in report.results.iter().enumerate() {
+            assert_eq!(label, &scenarios[k].label);
+            assert_eq!(
+                encode(stats),
+                encode(&sequential[k]),
+                "{label}: fused sweep diverged from the sequential run at \
+                 {threads} threads"
+            );
+        }
+        assert!(
+            report.cache_hits >= 1,
+            "the duplicate scenario must be a cache hit (got {})",
+            report.cache_hits
+        );
+        assert_eq!(
+            report.simulated as usize,
+            n_scenarios - 1,
+            "exactly the distinct scenarios simulate"
+        );
+        assert!(
+            report.quarantined.is_empty(),
+            "no group may be quarantined in the baseline configurations"
+        );
+
+        let fused_speedup = sequential_wall_ms / fused_wall_ms;
+        eprintln!(
+            "  sequential {sequential_wall_ms:.0} ms, fused {fused_wall_ms:.0} ms \
+             ({fused_speedup:.2}x), {} steal(s), {} cache hit(s), bit-identical",
+            report.steals, report.cache_hits
+        );
+        cells.push(Cell {
+            threads,
+            sequential_wall_ms,
+            fused_wall_ms,
+            fused_speedup,
+            steals: report.steals,
+            cache_hits: report.cache_hits,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema_version\": 1,");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"timings reflect whatever CPU budget the host grants \
+         ({host_threads} hardware thread(s) here); on a 1-CPU container the \
+         fused-vs-sequential delta measures pool reuse and cache dedup only — \
+         cross-scenario stealing cannot show a speedup without real \
+         parallelism, and steal counts are timing-dependent diagnostics, \
+         never pass/fail. bit_identical and cache_hits are asserted before \
+         any timing is recorded\","
+    );
+    let _ = writeln!(json, "  \"groups\": {n_groups},");
+    let _ = writeln!(
+        json,
+        "  \"claim_batch\": {},",
+        raidsim::run::DEFAULT_CLAIM_BATCH
+    );
+    let _ = writeln!(json, "  \"scenarios\": {n_scenarios},");
+    let _ = writeln!(json, "  \"distinct_scenarios\": {},", n_scenarios - 1);
+    json.push_str("  \"rows\": [\n");
+    let n_cells = cells.len();
+    for (i, c) in cells.into_iter().enumerate() {
+        let comma = if i + 1 < n_cells { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"sequential_wall_ms\": {:.3}, \
+             \"fused_wall_ms\": {:.3}, \"fused_speedup\": {:.3}, \
+             \"steals\": {}, \"cache_hits\": {}, \"bit_identical\": true}}{comma}",
+            c.threads,
+            c.sequential_wall_ms,
+            c.fused_wall_ms,
+            c.fused_speedup,
+            c.steals,
+            c.cache_hits
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("wrote {out_path} ({n_groups} groups per scenario)");
+}

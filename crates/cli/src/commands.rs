@@ -10,8 +10,9 @@ use raidsim::dists::Weibull3;
 use raidsim::engine::{BiasPolicy, SessionTuning};
 use raidsim::hdd::scrub::ScrubPolicy;
 use raidsim::mttdl::{expected_ddfs, mttdl_from_mttf, HOURS_PER_YEAR};
-use raidsim::run::{CheckpointPlan, PrecisionReport, Simulator, StopCriterion};
+use raidsim::run::{CheckpointPlan, FusedSweep, PrecisionReport, Simulator, StopCriterion};
 use raidsim::store::{FaultPlan, FaultStore, FsStore, SnapshotStore};
+use raidsim::sweep::{SweepCache, SweepScenario};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -54,6 +55,11 @@ pub fn usage() -> String {
      raidsim-cli merge    [--out merged.ckpt] SHARD.ckpt...\n\
      raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]\n\
      \x20                 [--groups 1000] [--years 10]\n\
+     raidsim-cli sweep    [--scrub-hours 336,168,48,12] [--skip-no-scrub]\n\
+     \x20                 [--drives 8] [--raid6] [--mission-years 10]\n\
+     \x20                 [--groups 2000] [--seed 42] [--threads N]\n\
+     \x20                 [--claim-batch 64] [--engine des|timeline]\n\
+     \x20                 [--cache-dir DIR] [--fast-math]\n\
      raidsim-cli fit <life-data.csv>     rows: time_hours,failed(0|1)\n\
      raidsim-cli closedform [--drives 8] [--scrub 168|off] [--raid6]\n\
      \x20                 [--mission-years 10] [--ttop-eta N] [--ttop-beta B]\n\
@@ -90,6 +96,18 @@ pub fn usage() -> String {
      path in the last bits (per-draw relative error < 1e-12), so\n\
      fast-math checkpoints and shards carry a distinct fingerprint\n\
      and never mix with exact ones.\n\
+     \n\
+     sweeps: `sweep` runs a scrub-frequency ladder (plus a no-scrub\n\
+     scenario unless --skip-no-scrub) as one fused execution plan: a\n\
+     single worker pool drains every scenario through a cross-scenario\n\
+     work queue, so threads steal work from the next scenario instead\n\
+     of idling at scenario boundaries. Every scenario uses the same\n\
+     seed (common random numbers) and per-scenario results are\n\
+     bit-identical to running each configuration alone. Identical\n\
+     scenarios within the sweep are served from a fingerprint-keyed\n\
+     result cache; --cache-dir persists the cache so a re-run (or a\n\
+     sweep killed partway) warm-starts from the scenarios already\n\
+     finished.\n\
      \n\
      rare events: --tilt-op/--tilt-latent exponentially tilt the\n\
      failure/defect draws; --force-fraction F (in (0, 0.5]) with\n\
@@ -282,10 +300,12 @@ pub fn simulate(argv: &[String]) -> Result<CmdOutput, CliError> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let sim = Simulator::new(cfg).with_bias(bias).with_tuning(SessionTuning {
-        fast_math,
-        ..SessionTuning::default()
-    });
+    let sim = Simulator::new(cfg)
+        .with_bias(bias)
+        .with_tuning(SessionTuning {
+            fast_math,
+            ..SessionTuning::default()
+        });
     let observer = CliObserver::new(progress);
 
     // Shard scatter: simulate only this shard's deterministic slice and
@@ -527,6 +547,162 @@ fn parse_shard(s: &str) -> Result<(u64, u64), String> {
         return Err(err());
     }
     Ok((index, count))
+}
+
+/// `sweep` — a scrub-frequency ladder as one fused execution plan.
+pub fn sweep(argv: &[String]) -> Result<CmdOutput, CliError> {
+    let args = Args::parse(argv);
+    let scrub_hours = args.string("scrub-hours")?;
+    let skip_no_scrub = args.switch("skip-no-scrub");
+    let drives: usize = args.num("drives", 8)?;
+    let raid6 = args.switch("raid6");
+    let mission_years: f64 = args.num("mission-years", 10.0)?;
+    let groups: usize = args.num("groups", 2_000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let default_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let threads: usize = args.num("threads", default_threads)?;
+    let claim_batch: u64 = args.num("claim-batch", raidsim::run::DEFAULT_CLAIM_BATCH)?;
+    let engine = args.string("engine")?;
+    let cache_dir = args.string("cache-dir")?;
+    let fast_math = args.switch("fast-math");
+    args.reject_unknown()?;
+
+    if threads == 0 {
+        return Err(CliError::Usage("--threads must be at least 1".into()));
+    }
+    if claim_batch == 0 {
+        return Err(CliError::Usage("--claim-batch must be at least 1".into()));
+    }
+    let ladder: Vec<f64> = scrub_hours
+        .as_deref()
+        .unwrap_or("336,168,48,12")
+        .split(',')
+        .filter(|v| !v.trim().is_empty())
+        .map(|v| {
+            let h: f64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("--scrub-hours: cannot parse '{v}'"))?;
+            if !(h > 0.0 && h.is_finite()) {
+                return Err(format!("--scrub-hours: '{v}' must be a positive number"));
+            }
+            Ok(h)
+        })
+        .collect::<Result<_, String>>()?;
+    if ladder.is_empty() && skip_no_scrub {
+        return Err(CliError::Usage(
+            "the sweep has no scenarios: empty --scrub-hours and --skip-no-scrub".into(),
+        ));
+    }
+
+    let base = {
+        let mut cfg =
+            RaidGroupConfig::paper_base_case().map_err(|e| CliError::Internal(e.to_string()))?;
+        cfg.drives = drives;
+        cfg.mission_hours = mission_years * HOURS_PER_YEAR;
+        if raid6 {
+            cfg.redundancy = Redundancy::DoubleParity;
+        }
+        cfg
+    };
+    // Every scenario uses the same seed — common random numbers, so the
+    // ladder's differences are attributable to the scrub policy alone.
+    let mut scenarios = Vec::new();
+    for &hours in &ladder {
+        let cfg = base
+            .clone()
+            .with_scrub_policy(ScrubPolicy::with_characteristic_hours(hours))
+            .map_err(|e| e.to_string())?;
+        scenarios.push(SweepScenario::new(format!("scrub_{hours}h"), cfg, seed));
+    }
+    if !skip_no_scrub {
+        let cfg = base
+            .with_scrub_policy(ScrubPolicy::Disabled)
+            .map_err(|e| e.to_string())?;
+        scenarios.push(SweepScenario::new("no_scrub", cfg, seed));
+    }
+    for sc in &scenarios {
+        sc.cfg.validate().map_err(|e| e.to_string())?;
+    }
+
+    let mut fused = FusedSweep::new(scenarios)
+        .with_claim_batch(claim_batch)
+        .with_tuning(SessionTuning {
+            fast_math,
+            ..SessionTuning::default()
+        });
+    fused = match engine.as_deref() {
+        None | Some("des") => fused,
+        Some("timeline") => fused.with_engine(Arc::new(raidsim::engine::TimelineEngine)),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--engine: expected 'des' or 'timeline', got '{other}'"
+            )))
+        }
+    };
+    let mut cache = match &cache_dir {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| CliError::Input(format!("--cache-dir {}: {e}", dir.display())))?;
+            SweepCache::with_store(Box::new(FsStore), dir)
+        }
+        None => SweepCache::new(),
+    };
+    let report = fused.run_streaming_cached(groups, threads, &mut cache);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fused sweep: {} scenario(s), {groups} groups each, seed {seed}, {threads} thread(s)",
+        report.results.len()
+    );
+    let width = report
+        .results
+        .iter()
+        .map(|(label, _)| label.len())
+        .max()
+        .unwrap_or(0);
+    for (label, stats) in &report.results {
+        if stats.is_empty() {
+            let _ = writeln!(out, "  {label:width$}  no groups completed");
+        } else {
+            let _ = writeln!(
+                out,
+                "  {label:width$}  DDFs per 1,000 groups: {:.2}",
+                stats.ddfs_per_thousand_groups()
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "scheduler: {} simulated, {} cache hit(s) ({} from disk), \
+         {} cross-scenario steal(s)",
+        report.simulated, report.cache_hits, report.store_hits, report.steals
+    );
+    if !report.quarantined.is_empty() {
+        let (k, q) = &report.quarantined[0];
+        let _ = writeln!(
+            out,
+            "warning: {} group(s) quarantined (first: scenario {}, group {}: {}); \
+             affected scenarios were not cached",
+            report.quarantined.len(),
+            k,
+            q.index,
+            q.message
+        );
+    }
+    if cache.persist_errors() > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} cache write(s) failed; the sweep completed but a re-run \
+             will re-simulate those scenarios",
+            cache.persist_errors()
+        );
+    }
+    Ok(out.into())
 }
 
 /// `merge` — gather shard snapshots into the checkpoint an unsharded
@@ -978,6 +1154,81 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 21);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_runs_the_default_ladder() {
+        let out = sweep(&argv("--groups 40 --mission-years 1 --threads 2"))
+            .unwrap()
+            .text;
+        // Four ladder rungs plus the no-scrub scenario.
+        assert!(out.contains("5 scenario(s)"), "{out}");
+        for label in ["scrub_336h", "scrub_12h", "no_scrub"] {
+            assert!(out.contains(label), "{out}");
+        }
+        assert!(out.contains("5 simulated"), "{out}");
+    }
+
+    #[test]
+    fn sweep_matches_simulate_per_scenario() {
+        // A one-rung sweep's number is exactly `simulate`'s for the
+        // same configuration — fusing is invisible in the statistics.
+        let sweep_out = sweep(&argv(
+            "--scrub-hours 168 --skip-no-scrub --groups 50 --seed 7 \
+             --mission-years 2 --threads 2",
+        ))
+        .unwrap()
+        .text;
+        let sim_out = sim_text("--groups 50 --seed 7 --scrub 168 --mission-years 2");
+        let ddfs = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("DDFs per 1,000 groups"))
+                .and_then(|l| l.rsplit(' ').next())
+                .map(str::to_string)
+                .expect("a DDF line")
+        };
+        assert_eq!(ddfs(&sweep_out), ddfs(&sim_out), "{sweep_out}\n{sim_out}");
+    }
+
+    #[test]
+    fn sweep_cache_dir_warm_starts_a_second_run() {
+        let dir = std::env::temp_dir().join("raidsim_cli_sweep_cache");
+        std::fs::remove_dir_all(&dir).ok();
+        let arg = format!(
+            "--scrub-hours 100,30 --skip-no-scrub --groups 40 --seed 21 \
+             --mission-years 1 --threads 2 --cache-dir {}",
+            dir.display()
+        );
+        let cold = sweep(&argv(&arg)).unwrap().text;
+        assert!(cold.contains("2 simulated"), "{cold}");
+        let warm = sweep(&argv(&arg)).unwrap().text;
+        assert!(warm.contains("0 simulated"), "{warm}");
+        assert!(warm.contains("2 cache hit(s) (2 from disk)"), "{warm}");
+        // Byte-identical report lines for the scenario results.
+        let rows = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains("DDFs"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(rows(&cold), rows(&warm));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        for bad in [
+            "--scrub-hours 10,frog",
+            "--scrub-hours -5",
+            "--skip-no-scrub --scrub-hours ,",
+            "--threads 0",
+            "--claim-batch 0",
+            "--engine frobnicate",
+            "--typo 1",
+        ] {
+            let err = sweep(&argv(bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}: {err:?}");
+        }
     }
 
     #[test]

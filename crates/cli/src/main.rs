@@ -5,6 +5,8 @@
 //!                      [--raid6] [--groups 10000] [--seed 42]
 //!                      [--ttop-eta 461386] [--ttop-beta 1.12]
 //!                      [--ttld-eta 9259] [--precision 0.05]
+//! raidsim-cli sweep    [--scrub-hours 336,168,48,12] [--groups 2000]
+//!                      [--seed 42] [--threads N] [--cache-dir DIR]
 //! raidsim-cli mttdl    [--data-drives 7] [--mttf 461386] [--mttr 12]
 //!                      [--groups 1000] [--years 10]
 //! raidsim-cli fit      <life-data.csv>      # rows: time_hours,failed(0|1)
@@ -53,6 +55,7 @@ pub(crate) fn run(argv: &[String]) -> Result<CmdOutput, CliError> {
     let rest = &argv[1..];
     match command.as_str() {
         "simulate" => commands::simulate(rest),
+        "sweep" => commands::sweep(rest),
         "merge" => commands::merge(rest),
         "mttdl" => commands::mttdl(rest),
         "fit" => commands::fit(rest),
@@ -76,6 +79,8 @@ mod tests {
         let out = run(&argv("help")).unwrap().text;
         assert!(out.contains("simulate"));
         assert!(out.contains("mttdl"));
+        assert!(out.contains("sweep"), "{out}");
+        assert!(out.contains("--cache-dir"), "{out}");
         // Exit codes and checkpointing are documented.
         assert!(out.contains("exit codes"), "{out}");
         assert!(out.contains("--checkpoint"), "{out}");

@@ -11,15 +11,23 @@
 use raidsim_core::sync_model::{check, ModelReport, Scenario};
 
 /// The scenario suite: bounded, exhaustive, and fast enough for CI
-/// (<60 s in total, release mode). Mirrors `tests/pool_model.rs`.
+/// (a couple of minutes in release mode, dominated by the
+/// multi-group-claim contention scenario). Mirrors
+/// `tests/pool_model.rs` and adds the fused-sweep scenarios.
 fn scenarios() -> Vec<(&'static str, Scenario)> {
     let mut suite = vec![
         ("w2_e2_claim1", Scenario::new(2, vec![(0, 2), (2, 4)], 1)),
         ("w3_e2_claim2", Scenario::new(3, vec![(0, 3), (3, 6)], 2)),
-        // 16 groups across 2 workers: `effective_claim(64, 16, 2) == 2`,
-        // so this is the suite's genuine multi-group-claim coverage (the
-        // small scenarios all clamp to single-group claims).
-        ("w2_e1_hi16_claim2", Scenario::new(2, vec![(0, 16)], 64)),
+        // 32 groups across 2 workers: `effective_claim(64, 32, 2) == 2`
+        // under the tightened clamp (divisor 8), so this is the suite's
+        // genuine multi-group-claim contention coverage (the small
+        // scenarios all clamp to single-group claims). By far the
+        // largest scenario — the 16 claim operations it takes to drain
+        // the epoch dominate the suite's wall time.
+        ("w2_e1_hi32_claim2", Scenario::new(2, vec![(0, 32)], 64)),
+        // The same multi-index claim arithmetic without contention,
+        // cheap enough for the debug-mode test suite too.
+        ("w1_e1_hi16_claim2", Scenario::new(1, vec![(0, 16)], 64)),
         (
             "w2_ragged_empty_epoch",
             Scenario::new(2, vec![(0, 1), (1, 1), (1, 4)], 1),
@@ -60,6 +68,24 @@ fn scenarios() -> Vec<(&'static str, Scenario)> {
     let mut solo = Scenario::new(1, vec![(0, 2)], 1);
     solo.panic_at = Some(0);
     suite.push(("w1_panic_abort", solo));
+    // Fused-sweep coverage: the cross-scenario queue (publish-next
+    // while workers drain the previous scenario), workers parked at the
+    // scenario boundary, spurious wakeups while parked there, and
+    // mid-sweep deaths supervised to full coverage.
+    suite.push(("w2_sweep_2x2", Scenario::sweep(2, vec![2, 2], 1)));
+    suite.push(("w2_sweep_ragged", Scenario::sweep(2, vec![2, 1], 1)));
+    suite.push(("w3_sweep_1x1x1", Scenario::sweep(3, vec![1, 1, 1], 1)));
+    suite.push(("w2_sweep_claim2", Scenario::sweep(2, vec![4, 2], 2)));
+    let mut sweep_spurious = Scenario::sweep(2, vec![2, 2], 1);
+    sweep_spurious.spurious = true;
+    suite.push(("w2_sweep_spurious", sweep_spurious));
+    let mut sweep_panic = Scenario::sweep(2, vec![2, 2], 1);
+    sweep_panic.panic_at = Some(1);
+    suite.push(("w2_sweep_panic_mid", sweep_panic));
+    let mut sweep_sticky = Scenario::sweep(2, vec![2, 1], 1);
+    sweep_sticky.panic_at = Some(0);
+    sweep_sticky.sticky = true;
+    suite.push(("w2_sweep_sticky_total_loss", sweep_sticky));
     suite
 }
 

@@ -4,7 +4,7 @@ use crate::config::{RaidGroupConfig, Redundancy, SparePolicy};
 use crate::events::{DdfEvent, GroupHistory};
 use raidsim_dists::kernel::{Forcing, MathMode, Tilt};
 use raidsim_dists::rng::SimRng;
-use raidsim_dists::SampleKernel;
+use raidsim_dists::{KernelCache, SampleKernel};
 
 /// Tracks the on-site spare pool for [`SparePolicy::Finite`].
 ///
@@ -199,20 +199,28 @@ struct DesSession {
 
 impl DesSession {
     fn new(cfg: &RaidGroupConfig, bias: BiasPolicy, tuning: SessionTuning) -> Self {
+        Self::new_cached(cfg, bias, tuning, &mut KernelCache::new())
+    }
+
+    fn new_cached(
+        cfg: &RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+        kernels: &mut KernelCache,
+    ) -> Self {
         let dists = &cfg.dists;
-        let ttop = SampleKernel::lower(&dists.ttop);
-        let ttld = dists.ttld.as_ref().map(SampleKernel::lower);
-        let block_init =
-            tuning.block_draws && BlockCursor::eligible(&[Some(&ttop), ttld.as_ref()]);
+        let ttop = kernels.lower(&dists.ttop);
+        let ttld = dists.ttld.as_ref().map(|d| kernels.lower(d));
+        let block_init = tuning.block_draws && BlockCursor::eligible(&[Some(&ttop), ttld.as_ref()]);
         Self {
             n: cfg.drives,
             mission: cfg.mission_hours,
             redundancy: cfg.redundancy,
             defect_reset: cfg.defect_reset_on_replacement,
             ttop,
-            ttr: SampleKernel::lower(&dists.ttr),
+            ttr: kernels.lower(&dists.ttr),
             ttld,
-            ttscrub: dists.ttscrub.as_ref().map(SampleKernel::lower),
+            ttscrub: dists.ttscrub.as_ref().map(|d| kernels.lower(d)),
             op_tilt: bias.op_tilt(),
             latent_tilt: bias.latent_tilt(),
             force: bias.forced_critical(),
@@ -608,6 +616,16 @@ impl Engine for DesEngine {
         tuning: SessionTuning,
     ) -> Box<dyn EngineSession + 'a> {
         Box::new(DesSession::new(cfg, bias, tuning))
+    }
+
+    fn session_tuned_cached<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+        kernels: &mut KernelCache,
+    ) -> Box<dyn EngineSession + 'a> {
+        Box::new(DesSession::new_cached(cfg, bias, tuning, kernels))
     }
 }
 

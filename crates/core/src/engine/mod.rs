@@ -27,7 +27,7 @@ use crate::config::RaidGroupConfig;
 use crate::events::GroupHistory;
 use raidsim_dists::kernel::{Forcing, MathMode, Tilt};
 use raidsim_dists::rng::{fill_uniforms, SimRng};
-use raidsim_dists::SampleKernel;
+use raidsim_dists::{KernelCache, SampleKernel};
 
 /// A change of sampling measure applied to an engine session's lifetime
 /// draws — the importance-sampling knob for rare-event acceleration.
@@ -264,6 +264,9 @@ impl BlockCursor {
     /// Every participating kernel must satisfy
     /// `words_per_sample() == Some(1)` — check
     /// [`BlockCursor::eligible`] first.
+    // One (kernel, tilt) lane pair per scalar-loop draw site; folding
+    // them into a struct would obscure the a/b lane symmetry.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn draw_interleaved(
         &mut self,
         n: usize,
@@ -436,6 +439,30 @@ pub trait Engine: std::fmt::Debug + Send + Sync {
     ) -> Box<dyn EngineSession + 'a> {
         let _ = tuning;
         self.session(cfg, bias)
+    }
+
+    /// [`Engine::session_tuned`] with memoized kernel lowering.
+    ///
+    /// A fused sweep opens one session per (worker, scenario); engines
+    /// that lower `dyn LifeDistribution` trees into [`SampleKernel`]s
+    /// route the lowering through `kernels` so each distinct tree
+    /// (by `Arc` identity) lowers once per worker per sweep. Cached
+    /// lowering returns clones of the same kernels a fresh lowering
+    /// would build, so the session is draw-for-draw bit-identical to
+    /// [`Engine::session_tuned`]'s — the cache may never change what
+    /// is simulated, only how fast sessions open.
+    ///
+    /// The default implementation ignores the cache and delegates,
+    /// which is correct for engines that do not lower kernels.
+    fn session_tuned_cached<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+        kernels: &mut KernelCache,
+    ) -> Box<dyn EngineSession + 'a> {
+        let _ = kernels;
+        self.session_tuned(cfg, bias, tuning)
     }
 }
 

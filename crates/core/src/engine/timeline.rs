@@ -1,12 +1,10 @@
 use super::ddf::{self, SlotCondition};
-use super::{
-    draw, BiasPolicy, BlockCursor, Engine, EngineCounters, EngineSession, SessionTuning,
-};
+use super::{draw, BiasPolicy, BlockCursor, Engine, EngineCounters, EngineSession, SessionTuning};
 use crate::config::{RaidGroupConfig, Redundancy};
 use crate::events::{DdfEvent, GroupHistory};
 use raidsim_dists::kernel::{MathMode, Tilt};
 use raidsim_dists::rng::SimRng;
-use raidsim_dists::SampleKernel;
+use raidsim_dists::{KernelCache, SampleKernel};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -251,6 +249,15 @@ struct TimelineSession {
 
 impl TimelineSession {
     fn new(cfg: &RaidGroupConfig, bias: BiasPolicy, tuning: SessionTuning) -> Self {
+        Self::new_cached(cfg, bias, tuning, &mut KernelCache::new())
+    }
+
+    fn new_cached(
+        cfg: &RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+        kernels: &mut KernelCache,
+    ) -> Self {
         // The timeline engine generates each slot's whole renewal
         // trajectory up front (the paper's Figure 5 procedure), so it
         // has no mid-path intervention point for a state-dependent
@@ -262,16 +269,16 @@ impl TimelineSession {
         );
         let dists = &cfg.dists;
         let n = cfg.drives;
-        let ttld = dists.ttld.as_ref().map(SampleKernel::lower);
-        let ttscrub = dists.ttscrub.as_ref().map(SampleKernel::lower);
+        let ttld = dists.ttld.as_ref().map(|d| kernels.lower(d));
+        let ttscrub = dists.ttscrub.as_ref().map(|d| kernels.lower(d));
         let block_chains =
             tuning.block_draws && BlockCursor::eligible(&[ttld.as_ref(), ttscrub.as_ref()]);
         Self {
             n,
             mission: cfg.mission_hours,
             redundancy: cfg.redundancy,
-            ttop: SampleKernel::lower(&dists.ttop),
-            ttr: SampleKernel::lower(&dists.ttr),
+            ttop: kernels.lower(&dists.ttop),
+            ttr: kernels.lower(&dists.ttr),
             ttld,
             ttscrub,
             op_tilt: bias.op_tilt(),
@@ -542,6 +549,16 @@ impl Engine for TimelineEngine {
         tuning: SessionTuning,
     ) -> Box<dyn EngineSession + 'a> {
         Box::new(TimelineSession::new(cfg, bias, tuning))
+    }
+
+    fn session_tuned_cached<'a>(
+        &'a self,
+        cfg: &'a RaidGroupConfig,
+        bias: BiasPolicy,
+        tuning: SessionTuning,
+        kernels: &mut KernelCache,
+    ) -> Box<dyn EngineSession + 'a> {
+        Box::new(TimelineSession::new_cached(cfg, bias, tuning, kernels))
     }
 }
 

@@ -81,6 +81,7 @@ pub mod mttdl;
 pub mod run;
 pub mod stats;
 pub mod store;
+pub mod sweep;
 pub mod sync_model;
 
 mod pool;

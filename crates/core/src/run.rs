@@ -50,13 +50,16 @@ use crate::checkpoint::{
     DriverState, SimCheckpoint,
 };
 use crate::config::RaidGroupConfig;
-use crate::engine::{BiasPolicy, DesEngine, Engine, EngineSession, SessionTuning};
+use crate::engine::{BiasPolicy, DesEngine, Engine, EngineCounters, EngineSession, SessionTuning};
 use crate::events::{CheckpointDegraded, DdfKind, GroupHistory, QuarantinedGroup};
-use crate::pool::{self, PoolCtx};
+use crate::pool::{self, PlannedScenario, PoolCtx, SweepCtx, SweepHarvest};
 use crate::stats::{SchedulerStats, StreamStats};
 use crate::store::{RetryBackoff, SnapshotStore};
+use crate::sweep::{validate_scenarios, SweepCache, SweepReport, SweepScenario};
 use raidsim_dists::rng::stream;
+use raidsim_dists::KernelCache;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -655,6 +658,7 @@ impl Simulator {
                 worker_groups: vec![runner.groups_done],
                 thread_spawns: 0,
                 workers_lost: 0,
+                steals: 0,
                 counters: runner.session.counters(),
             };
             (result, sched)
@@ -1330,15 +1334,483 @@ pub fn sweep_with_engine(
     threads: usize,
     engine: Arc<dyn Engine>,
 ) -> Vec<(String, SimulationResult)> {
-    configs
+    let scenarios = configs
         .into_iter()
-        .map(|(label, cfg)| {
-            let result = Simulator::new(cfg)
-                .with_engine(Arc::clone(&engine))
-                .run_parallel(groups, seed, threads);
-            (label, result)
-        })
-        .collect()
+        .map(|(label, cfg)| SweepScenario::new(label, cfg, seed))
+        .collect();
+    FusedSweep::new(scenarios)
+        .with_engine(engine)
+        .run_collect(groups, threads)
+}
+
+/// A fused multi-scenario sweep: one persistent worker pool serves
+/// *every* scenario through a cross-scenario work queue, instead of
+/// spawning and quiescing a pool per scenario.
+///
+/// The old per-scenario loop paid two costs at every scenario boundary:
+/// a full pool spawn/join cycle, and end-of-scenario starvation — once
+/// a scenario's tail holds fewer unclaimed batches than there are
+/// workers, the surplus workers idle at the quiesce barrier while the
+/// tail drains. The fused plan removes both: the coordinator publishes
+/// scenario `k + 1` into the queue while workers are still draining
+/// scenario `k`, so a worker that exhausts one scenario *steals* into
+/// the next immediately ([`SchedulerStats::steals`] counts these). The
+/// protocol extension is model-checked exhaustively in
+/// [`crate::sync_model`].
+///
+/// Fusing is invisible in the statistics: each scenario keeps its own
+/// seeded RNG streams, its own lowered sampling kernels, and its own
+/// exact-integer [`StreamStats`] accumulator, so per-scenario
+/// aggregates are **bit-identical** to running the scenarios one at a
+/// time — sequentially or at any thread count (property-tested in
+/// `tests/sweep_fused.rs`). What fusing does share is lowering work:
+/// each worker lowers every distinct distribution tree once per sweep
+/// (via [`raidsim_dists::KernelCache`]), not once per scenario.
+///
+/// Repeated scenarios are deduplicated through a
+/// fingerprint-keyed [`SweepCache`]: within a sweep, only the first
+/// occurrence of each `(fingerprint, groups, seed)` identity simulates;
+/// across invocations, a cache constructed with
+/// [`SweepCache::with_store`] warm-starts from persisted results.
+///
+/// # Example
+///
+/// ```
+/// use raidsim_core::config::RaidGroupConfig;
+/// use raidsim_core::run::FusedSweep;
+/// use raidsim_core::sweep::SweepScenario;
+/// use raidsim_hdd::scrub::ScrubPolicy;
+///
+/// # fn main() -> Result<(), raidsim_core::CoreError> {
+/// let fast = RaidGroupConfig::paper_base_case()?
+///     .with_scrub_policy(ScrubPolicy::with_characteristic_hours(12.0))?;
+/// let slow = RaidGroupConfig::paper_base_case()?
+///     .with_scrub_policy(ScrubPolicy::with_characteristic_hours(336.0))?;
+/// let sweep = FusedSweep::new(vec![
+///     SweepScenario::new("fast", fast, 7),
+///     SweepScenario::new("slow", slow, 7),
+/// ]);
+/// let report = sweep.run_streaming(200, 2);
+/// assert!(report.results[0].1.total_ddfs() <= report.results[1].1.total_ddfs());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FusedSweep {
+    scenarios: Vec<SweepScenario>,
+    engine: Arc<dyn Engine>,
+    claim_batch: u64,
+    bias: BiasPolicy,
+    tuning: SessionTuning,
+}
+
+impl FusedSweep {
+    /// Creates a fused sweep over `scenarios` with the default
+    /// discrete-event engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scenario configuration is invalid (see
+    /// [`Simulator::new`]).
+    pub fn new(scenarios: Vec<SweepScenario>) -> Self {
+        validate_scenarios(&scenarios);
+        Self {
+            scenarios,
+            engine: Arc::new(DesEngine::new()),
+            claim_batch: DEFAULT_CLAIM_BATCH,
+            bias: BiasPolicy::None,
+            tuning: SessionTuning::default(),
+        }
+    }
+
+    /// Replaces the engine, as [`Simulator::with_engine`].
+    pub fn with_engine(mut self, engine: Arc<dyn Engine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the claim-batch size, as
+    /// [`Simulator::with_claim_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `claim_batch == 0`.
+    pub fn with_claim_batch(mut self, claim_batch: u64) -> Self {
+        assert!(claim_batch > 0, "claim batch must be positive");
+        self.claim_batch = claim_batch;
+        self
+    }
+
+    /// Replaces the sampling bias, as [`Simulator::with_bias`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tilt strength is non-finite.
+    pub fn with_bias(mut self, bias: BiasPolicy) -> Self {
+        bias.validate();
+        self.bias = bias;
+        self
+    }
+
+    /// Replaces the session tuning, as [`Simulator::with_tuning`].
+    pub fn with_tuning(mut self, tuning: SessionTuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The scenarios of this sweep, in input order.
+    pub fn scenarios(&self) -> &[SweepScenario] {
+        &self.scenarios
+    }
+
+    /// The cache fingerprint of scenario `index` under this sweep's
+    /// engine, bias, and tuning — the first component of the
+    /// [`SweepCache`] key, identical to what [`Simulator::run_fingerprint`]
+    /// would stamp for the same setup.
+    pub fn scenario_fingerprint(&self, index: usize) -> u64 {
+        self.fingerprint_of(&self.scenarios[index].cfg)
+    }
+
+    fn fingerprint_of(&self, cfg: &RaidGroupConfig) -> u64 {
+        tuned_fingerprint(
+            config_fingerprint(cfg, self.engine.name(), self.bias),
+            self.tuning.fast_math,
+        )
+    }
+
+    /// Runs the sweep in streaming mode with a throwaway in-memory
+    /// cache: in-sweep duplicates are still deduplicated, but nothing
+    /// persists beyond the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, or if every worker died (see
+    /// [`Simulator::run_streaming`]).
+    pub fn run_streaming(&self, groups: usize, threads: usize) -> SweepReport {
+        self.run_streaming_cached(groups, threads, &mut SweepCache::new())
+    }
+
+    /// Runs the sweep in streaming mode against a caller-owned
+    /// [`SweepCache`]: scenarios whose `(fingerprint, groups, seed)`
+    /// identity hits the cache replay their stored aggregate
+    /// byte-for-byte instead of simulating; the rest are fused into one
+    /// pool run and inserted afterwards (unless quarantined — a partial
+    /// aggregate is never cached).
+    ///
+    /// Per-scenario aggregates are bit-identical to a sequential
+    /// [`Simulator::run_streaming`] per scenario, whatever mixture of
+    /// cache hits, serial fallback (`threads == 1`), and fused pool
+    /// execution produced them.
+    ///
+    /// # Panics
+    ///
+    /// As [`FusedSweep::run_streaming`].
+    pub fn run_streaming_cached(
+        &self,
+        groups: usize,
+        threads: usize,
+        cache: &mut SweepCache,
+    ) -> SweepReport {
+        assert!(threads > 0, "need at least one thread");
+        let n = self.scenarios.len();
+        let hits_before = cache.hits();
+        let store_hits_before = cache.store_hits();
+        let empty_sched = || SchedulerStats {
+            worker_groups: Vec::new(),
+            thread_spawns: 0,
+            workers_lost: 0,
+            steals: 0,
+            counters: EngineCounters::default(),
+        };
+        if groups == 0 {
+            // Zero groups aggregate to empty statistics; nothing is
+            // simulated and nothing is worth caching.
+            let results = self
+                .scenarios
+                .iter()
+                .map(|sc| (sc.label.clone(), StreamStats::new(sc.cfg.mission_hours)))
+                .collect();
+            return SweepReport {
+                results,
+                cache_hits: 0,
+                store_hits: 0,
+                simulated: 0,
+                steals: 0,
+                quarantined: Vec::new(),
+                sched: empty_sched(),
+            };
+        }
+        let keys: Vec<u64> = self
+            .scenarios
+            .iter()
+            .map(|sc| self.fingerprint_of(&sc.cfg))
+            .collect();
+        // Resolve every scenario: a cache hit replays immediately, the
+        // first occurrence of a new identity is planned into the fused
+        // run, and later occurrences are deferred to replay from the
+        // planned sibling's result.
+        let mut results: Vec<Option<StreamStats>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut planned: Vec<PlannedScenario> = Vec::new();
+        // Input index that owns each planned scenario.
+        let mut planned_input: Vec<usize> = Vec::new();
+        let mut owner_of: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        let mut deferred: Vec<(usize, usize)> = Vec::new();
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            if let Some(stats) = cache.lookup(keys[i], groups as u64, sc.seed) {
+                results[i] = Some(stats);
+                continue;
+            }
+            if let Some(&p) = owner_of.get(&(keys[i], sc.seed)) {
+                deferred.push((i, p));
+                continue;
+            }
+            let lo = planned.len() as u64 * groups as u64;
+            owner_of.insert((keys[i], sc.seed), planned.len());
+            planned_input.push(i);
+            planned.push(PlannedScenario {
+                cfg: Arc::new(sc.cfg.clone()),
+                seed: sc.seed,
+                lo,
+                hi: lo + groups as u64,
+            });
+        }
+        let simulated = planned.len() as u64;
+        let mut harvest = if planned.is_empty() {
+            SweepHarvest {
+                stream_accs: Vec::new(),
+                collect_accs: Vec::new(),
+                quarantine: Vec::new(),
+                sched: empty_sched(),
+            }
+        } else if threads == 1 {
+            run_sweep_serial(
+                self.engine.as_ref(),
+                &planned,
+                self.bias,
+                self.tuning,
+                false,
+            )
+        } else {
+            let done = AtomicU64::new(0);
+            pool::run_sweep_pool(SweepCtx {
+                engine: self.engine.as_ref(),
+                scenarios: &planned,
+                bias: self.bias,
+                tuning: self.tuning,
+                threads,
+                claim_batch: self.claim_batch,
+                collect: false,
+                observer: &(),
+                done: &done,
+                target: simulated * groups as u64,
+            })
+        };
+        // A quarantined scenario's aggregate excludes groups its
+        // watermark counts — refuse to cache it, exactly as the
+        // checkpoint writer refuses to snapshot after a quarantine.
+        let mut tainted = vec![false; planned.len()];
+        for (p, _) in &harvest.quarantine {
+            tainted[*p] = true;
+        }
+        for (p, stats) in std::mem::take(&mut harvest.stream_accs)
+            .into_iter()
+            .enumerate()
+        {
+            let i = planned_input[p];
+            if !tainted[p] {
+                cache.insert(keys[i], groups as u64, self.scenarios[i].seed, &stats);
+            }
+            results[i] = Some(stats);
+        }
+        for (i, p) in deferred {
+            let owner = planned_input[p];
+            let replay = if tainted[p] {
+                // The cache refused the sibling, so replay it locally —
+                // still byte-equal, but not counted as a cache hit.
+                let owner_stats = results[owner]
+                    .as_ref()
+                    .expect("planned scenarios resolved above");
+                let mut bytes = Vec::new();
+                owner_stats.encode_into(&mut bytes);
+                StreamStats::decode(&bytes).expect("freshly encoded statistics decode")
+            } else {
+                cache
+                    .lookup(keys[i], groups as u64, self.scenarios[i].seed)
+                    .expect("the owning scenario was inserted above")
+            };
+            results[i] = Some(replay);
+        }
+        let quarantined = harvest
+            .quarantine
+            .into_iter()
+            .map(|(p, g)| (planned_input[p], g))
+            .collect();
+        let results = self
+            .scenarios
+            .iter()
+            .zip(results)
+            .map(|(sc, stats)| {
+                (
+                    sc.label.clone(),
+                    stats.expect("every scenario resolved to an aggregate"),
+                )
+            })
+            .collect();
+        SweepReport {
+            results,
+            cache_hits: cache.hits() - hits_before,
+            store_hits: cache.store_hits() - store_hits_before,
+            simulated,
+            steals: harvest.sched.steals,
+            quarantined,
+            sched: harvest.sched,
+        }
+    }
+
+    /// Runs the sweep in collect mode, returning full per-group
+    /// histories per scenario in input order — the fused counterpart of
+    /// the old per-scenario [`Simulator::run_parallel`] loop, with
+    /// histories bit-identical to it. Collect mode does not consult the
+    /// result cache (it stores aggregates, not histories) and does not
+    /// deduplicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, if every worker died, or — matching
+    /// [`Simulator::run_parallel`] — if any single group's simulation
+    /// panics (collect mode has no quarantine).
+    pub fn run_collect(&self, groups: usize, threads: usize) -> Vec<(String, SimulationResult)> {
+        assert!(threads > 0, "need at least one thread");
+        if self.scenarios.is_empty() || groups == 0 {
+            return self
+                .scenarios
+                .iter()
+                .map(|sc| {
+                    (
+                        sc.label.clone(),
+                        SimulationResult {
+                            histories: Vec::new(),
+                            mission_hours: sc.cfg.mission_hours,
+                        },
+                    )
+                })
+                .collect();
+        }
+        let planned: Vec<PlannedScenario> = self
+            .scenarios
+            .iter()
+            .enumerate()
+            .map(|(k, sc)| {
+                let lo = k as u64 * groups as u64;
+                PlannedScenario {
+                    cfg: Arc::new(sc.cfg.clone()),
+                    seed: sc.seed,
+                    lo,
+                    hi: lo + groups as u64,
+                }
+            })
+            .collect();
+        let harvest = if threads == 1 {
+            run_sweep_serial(self.engine.as_ref(), &planned, self.bias, self.tuning, true)
+        } else {
+            let done = AtomicU64::new(0);
+            pool::run_sweep_pool(SweepCtx {
+                engine: self.engine.as_ref(),
+                scenarios: &planned,
+                bias: self.bias,
+                tuning: self.tuning,
+                threads,
+                claim_batch: self.claim_batch,
+                collect: true,
+                observer: &(),
+                done: &done,
+                target: planned.len() as u64 * groups as u64,
+            })
+        };
+        self.scenarios
+            .iter()
+            .zip(harvest.collect_accs)
+            .map(|(sc, histories)| {
+                (
+                    sc.label.clone(),
+                    SimulationResult {
+                        histories,
+                        mission_hours: sc.cfg.mission_hours,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Serial (`threads == 1`) fused sweep: the calling thread serves the
+/// scenario queue in order, sharing one [`KernelCache`] across
+/// scenarios exactly like a pool worker does. Spawns nothing and uses
+/// no sync; stream-mode quarantine semantics match the pool's.
+fn run_sweep_serial(
+    engine: &dyn Engine,
+    scenarios: &[PlannedScenario],
+    bias: BiasPolicy,
+    tuning: SessionTuning,
+    collect: bool,
+) -> SweepHarvest {
+    let mut kernels = KernelCache::new();
+    let mut stream_accs = Vec::new();
+    let mut collect_accs = Vec::new();
+    let mut quarantine = Vec::new();
+    let mut counters = EngineCounters::default();
+    let mut groups_done = 0u64;
+    for (s, sc) in scenarios.iter().enumerate() {
+        let count = sc.hi - sc.lo;
+        let mut session = engine.session_tuned_cached(sc.cfg.as_ref(), bias, tuning, &mut kernels);
+        if collect {
+            let mut histories = Vec::with_capacity(count as usize);
+            for i in 0..count {
+                let mut rng = stream(sc.seed, i);
+                histories.push(session.simulate_group(&mut rng).clone());
+                groups_done += 1;
+            }
+            collect_accs.push(histories);
+        } else {
+            let mut stats = StreamStats::new(sc.cfg.mission_hours);
+            for i in 0..count {
+                let mut rng = stream(sc.seed, i);
+                // Unwind safety: as in the pool workers — `stats` is
+                // only touched after `simulate_group` returned; the
+                // possibly-wedged session is discarded and reopened.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    stats.push(session.simulate_group(&mut rng));
+                }));
+                if let Err(payload) = outcome {
+                    quarantine.push((
+                        s,
+                        QuarantinedGroup {
+                            index: i,
+                            message: panic_message(payload.as_ref()),
+                        },
+                    ));
+                    session =
+                        engine.session_tuned_cached(sc.cfg.as_ref(), bias, tuning, &mut kernels);
+                }
+                groups_done += 1;
+            }
+            stream_accs.push(stats);
+        }
+        counters.merge(session.counters());
+    }
+    SweepHarvest {
+        stream_accs,
+        collect_accs,
+        quarantine,
+        sched: SchedulerStats {
+            worker_groups: vec![groups_done],
+            thread_spawns: 0,
+            workers_lost: 0,
+            steals: 0,
+            counters,
+        },
+    }
 }
 
 /// Snapshots the current run state through the plan's store, retrying

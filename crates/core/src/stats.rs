@@ -223,6 +223,13 @@ pub struct SchedulerStats {
     /// was resubmitted to the survivors. Always `0` on a healthy run;
     /// a lost worker's `worker_groups` entry is `0`.
     pub workers_lost: u64,
+    /// Fused-sweep runs only: cross-scenario steals — the number of
+    /// (worker, scenario) pairs where a worker that had already drained
+    /// an earlier scenario claimed work from a later one instead of
+    /// idling at a quiesce barrier. `0` for single-scenario runs. Like
+    /// `worker_groups`, timing-dependent: a diagnostic, never part of
+    /// the deterministic aggregates.
+    pub steals: u64,
     /// Engine work counters merged across all workers (see
     /// [`crate::engine::EngineCounters`] for field semantics and which
     /// fields are deterministic).

@@ -126,6 +126,22 @@ pub struct PoolCore {
     /// step as the check-out decision, so no interleaving can quiesce
     /// an epoch while resubmitted work is unserved.
     pub resubmit: Vec<(u64, u64)>,
+    /// Scenarios published into the current fused-sweep epoch; `0`
+    /// outside a sweep. A sweep is one epoch whose global index space
+    /// grows as the coordinator appends scenarios ([`extend_sweep`])
+    /// *while workers are active* — the cross-scenario queue that lets
+    /// a worker steal from scenario `k+1` the moment scenario `k`'s
+    /// cursor runs dry, instead of checking out and re-parking at a
+    /// per-scenario quiesce barrier.
+    ///
+    /// [`extend_sweep`]: PoolCore::extend_sweep
+    pub scenarios_published: u64,
+    /// Set once the coordinator has appended the sweep's last
+    /// scenario; workers that drain the final published cursor before
+    /// this is set must park ([`SweepPoll::Wait`]) rather than check
+    /// out, or a fast worker would quiesce the epoch while scenarios
+    /// are still coming.
+    pub sweep_sealed: bool,
     threads: usize,
 }
 
@@ -151,6 +167,21 @@ pub enum CheckOutcome {
     Redo((u64, u64)),
 }
 
+/// A sweep worker's scenario-boundary poll outcome
+/// ([`PoolCore::sweep_poll`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepPoll {
+    /// The next scenario's cursor is published: advance to it.
+    Next,
+    /// The worker has drained every published scenario and the sweep is
+    /// sealed (or shutting down): fall through to the normal
+    /// check-out/redo path.
+    Drained,
+    /// The worker is ahead of the coordinator: wait on [`Cv::Work`] for
+    /// the next scenario (or the seal).
+    Wait,
+}
+
 /// The coordinator's quiesce-poll outcome ([`PoolCore::quiesce_poll`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QuiescePoll {
@@ -173,6 +204,8 @@ impl PoolCore {
             panicked: false,
             lost: 0,
             resubmit: Vec::new(),
+            scenarios_published: 0,
+            sweep_sealed: false,
             threads,
         }
     }
@@ -259,6 +292,82 @@ impl PoolCore {
     /// (reached normally or through a panic).
     pub fn retire(&mut self) {
         self.job = None;
+        self.scenarios_published = 0;
+        self.sweep_sealed = false;
+    }
+
+    /// Coordinator: publishes scenario 0 of a fused sweep as the next
+    /// epoch. Identical to [`PoolCore::publish`] — same quiesce
+    /// precondition, same arming of `active` — plus it opens the
+    /// scenario queue: the epoch's index space now covers only the
+    /// first scenario and [`PoolCore::extend_sweep`] will append the
+    /// rest while workers drain it.
+    pub fn publish_sweep(&mut self, spec: JobSpec) -> Wake {
+        debug_assert_eq!(
+            self.scenarios_published, 0,
+            "the previous sweep must be retired first"
+        );
+        let wake = self.publish(spec);
+        self.scenarios_published = 1;
+        self.sweep_sealed = false;
+        wake
+    }
+
+    /// Coordinator: appends the next scenario to the live sweep,
+    /// growing the epoch's global index space to `new_hi`. This is the
+    /// one transition deliberately legal with `active > 0` — it is the
+    /// entire point of the fused sweep: scenario `k+1` becomes
+    /// claimable while workers are still simulating scenario `k`, so
+    /// the pool never passes through a per-scenario quiesce barrier.
+    /// Always returns [`Wake::Work`]: a worker that drained scenario
+    /// `k` may be parked at the boundary waiting for exactly this.
+    pub fn extend_sweep(&mut self, new_hi: u64) -> Wake {
+        debug_assert!(
+            self.scenarios_published > 0 && !self.sweep_sealed,
+            "extend_sweep outside an open sweep"
+        );
+        if let Some(job) = self.job.as_mut() {
+            debug_assert!(new_hi >= job.hi, "sweep index space grows monotonically");
+            job.hi = new_hi;
+        }
+        self.scenarios_published += 1;
+        Wake::Work
+    }
+
+    /// Coordinator: marks the sweep's scenario list complete. Workers
+    /// parked at the boundary must be woken so they can observe
+    /// [`SweepPoll::Drained`] and proceed to check out — skipping this
+    /// wake is the scenario-boundary lost wakeup
+    /// [`Mutation::SkipScenarioWake`] proves the checker catches.
+    pub fn seal_sweep(&mut self) -> Wake {
+        debug_assert!(self.scenarios_published > 0, "seal_sweep outside a sweep");
+        self.sweep_sealed = true;
+        Wake::Work
+    }
+
+    /// Sweep worker: decides, under the lock, what to do after
+    /// draining the cursor of scenario `served` (0-based). Either the
+    /// next scenario is already published (advance), or the sweep is
+    /// sealed or shutting down (fall through to check-out, where any
+    /// resubmitted ranges are still served), or the worker is ahead of
+    /// the coordinator and waits on [`Cv::Work`].
+    ///
+    /// Shutdown forces `Drained` for the same reason
+    /// [`PoolCore::worker_poll`] puts shutdown first: a panicked pool
+    /// must drain its workers, and the check-out path is where a
+    /// serving worker accounts itself out of the epoch.
+    pub fn sweep_poll(&self, served: u64) -> SweepPoll {
+        if self.shutdown {
+            return SweepPoll::Drained;
+        }
+        if served + 1 < self.scenarios_published {
+            return SweepPoll::Next;
+        }
+        if self.sweep_sealed {
+            SweepPoll::Drained
+        } else {
+            SweepPoll::Wait
+        }
     }
 
     /// Coordinator (or its drop guard): requests worker shutdown.
@@ -362,17 +471,21 @@ pub fn claim_range(start: u64, hi: u64, claim: u64) -> Option<(u64, u64)> {
 }
 
 /// Clamps the configured claim-batch size so a single epoch is never
-/// starved: with `eff = min(configured, max(1, count / (4·threads)))`
+/// starved: with `eff = min(configured, max(1, count / (8·threads)))`
 /// the epoch yields `ceil(count / eff)` batches, which is at least
 /// `min(threads, count)` — whenever there are at least as many groups
-/// as workers, every worker can claim work. (If `count ≥ 4·threads`,
-/// `eff·4·threads ≤ count`, so there are at least `4·threads` batches;
+/// as workers, every worker can claim work. (If `count ≥ 8·threads`,
+/// `eff·8·threads ≤ count`, so there are at least `8·threads` batches;
 /// otherwise `eff == 1` and there are `count` batches.) The factor of
-/// four keeps a tail of small batches available to re-balance workers
-/// stuck on expensive groups.
+/// eight keeps a tail of small batches available to re-balance workers
+/// stuck on expensive groups; it was four until `BENCH_parallel.json`
+/// showed a fast first worker draining a whole 400-group epoch
+/// (`balance: 0.0000`) before its peers were scheduled — when `count`
+/// is near `threads · configured`, halving the clamp doubles the
+/// number of late batches a waking worker can still claim.
 pub fn effective_claim(configured: u64, count: u64, threads: u64) -> u64 {
     debug_assert!(configured > 0 && threads > 0);
-    configured.min((count / (threads * 4)).max(1))
+    configured.min((count / (threads * 8)).max(1))
 }
 
 /// The synchronization substrate the pool protocol runs on.
@@ -491,6 +604,11 @@ pub enum Mutation {
     /// them — the lost-remainder bug the watermark invariant exists to
     /// catch.
     DropRemainder,
+    /// The coordinator appends the next sweep scenario (or seals the
+    /// sweep) but never delivers the [`Wake::Work`] the transition
+    /// requested: a worker parked at the scenario boundary sleeps
+    /// forever — the cross-scenario lost wakeup.
+    SkipScenarioWake,
 }
 
 /// A bounded pool schedule for the checker to exhaust.
@@ -502,7 +620,15 @@ pub struct Scenario {
     /// scenarios use contiguous prefixes starting at 0, matching the
     /// drivers in [`crate::run`]; overlapping ranges are accepted and
     /// are caught as double-claim violations (a seeded-violation test).
+    /// Ignored when `sweep` is non-empty.
     pub epochs: Vec<(u64, u64)>,
+    /// Non-empty selects fused-sweep mode: one epoch whose global
+    /// index space is the concatenation of these per-scenario group
+    /// counts, published incrementally (scenario `k+1` appended via
+    /// [`PoolCore::extend_sweep`] while workers drain scenario `k`,
+    /// then sealed). Each scenario gets its own cursor with its own
+    /// [`effective_claim`].
+    pub sweep: Vec<u64>,
     /// Configured claim size; each epoch applies [`effective_claim`].
     pub claim: u64,
     /// If `Some(i)`, simulating group index `i` panics (after the
@@ -526,6 +652,7 @@ impl Scenario {
         Scenario {
             workers,
             epochs,
+            sweep: Vec::new(),
             claim,
             panic_at: None,
             sticky: false,
@@ -534,9 +661,38 @@ impl Scenario {
         }
     }
 
+    /// A faithful fused-sweep scenario: one epoch over the
+    /// concatenation of `counts`, published one scenario at a time.
+    pub fn sweep(workers: usize, counts: Vec<u64>, claim: u64) -> Self {
+        Scenario {
+            workers,
+            epochs: Vec::new(),
+            sweep: counts,
+            claim,
+            panic_at: None,
+            sticky: false,
+            spurious: false,
+            mutation: Mutation::None,
+        }
+    }
+
+    fn sweep_mode(&self) -> bool {
+        !self.sweep.is_empty()
+    }
+
+    /// Global `[lo, hi)` index range of sweep scenario `k`.
+    fn sweep_range(&self, k: usize) -> (u64, u64) {
+        let lo: u64 = self.sweep[..k].iter().sum();
+        (lo, lo + self.sweep[k])
+    }
+
     /// Total group count across all epochs (assumes prefix epochs).
     fn total(&self) -> u64 {
-        self.epochs.last().map_or(0, |&(_, hi)| hi)
+        if self.sweep_mode() {
+            self.sweep.iter().sum()
+        } else {
+            self.epochs.last().map_or(0, |&(_, hi)| hi)
+        }
     }
 
     /// Whether the configured panic fault can actually fire.
@@ -589,6 +745,13 @@ enum WorkerPc {
     /// About to run the guarded merge-and-check-out step (which may
     /// hand back a resubmitted range instead of checking out).
     CheckOut,
+    /// Sweep mode: drained the current scenario's cursor (partial
+    /// already merged); about to run the guarded
+    /// [`PoolCore::sweep_poll`] (parks atomically on `Wait`).
+    SweepWait,
+    /// Sweep mode: parked on [`Cv::Work`] at a scenario boundary,
+    /// waiting for the coordinator to append or seal.
+    ParkedSweep,
     /// Check-out said this worker was last: deliver the quiesce wake.
     WakeQuiesced,
     /// Supervision guard, dying: about to run the guarded
@@ -605,10 +768,21 @@ enum WorkerPc {
 /// driver loop over `scenario.epochs` plus the shutdown/join tail.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum CoordPc {
-    /// About to install the epoch data and run the guarded publish.
+    /// About to install the epoch data and run the guarded publish
+    /// (sweep mode: installs scenario 0's cursor and runs
+    /// [`PoolCore::publish_sweep`]).
     Publish,
     /// About to deliver the publish wake.
     WakeWorkers,
+    /// Sweep mode: about to install scenario `k`'s cursor and run the
+    /// guarded [`PoolCore::extend_sweep`] — while workers are active.
+    PublishScenario { k: usize },
+    /// Sweep mode: about to deliver the extend wake for scenario `k`.
+    WakeScenario { k: usize },
+    /// Sweep mode: about to run the guarded [`PoolCore::seal_sweep`].
+    Seal,
+    /// Sweep mode: about to deliver the seal wake.
+    WakeSeal,
     /// About to run the quiesce poll (parks atomically on `Wait`).
     Await,
     /// Parked on [`Cv::Quiesced`].
@@ -631,6 +805,10 @@ struct ModelState {
     core: PoolCore,
     /// Virtual claim cursor of the current epoch: `(next, hi, claim)`.
     cursor: Option<(u64, u64, u64)>,
+    /// Sweep mode: one virtual cursor per *published* scenario, each
+    /// `(next, hi, claim)` over its global sub-range. Grows as the
+    /// coordinator appends scenarios.
+    sweep_cursors: Vec<(u64, u64, u64)>,
     /// Whether `scenario.panic_at` can still fire (one-shot faults
     /// disarm at the first death; sticky faults never do).
     panic_armed: bool,
@@ -647,6 +825,11 @@ struct ModelState {
 struct WorkerState {
     pc: WorkerPc,
     seen_epoch: u64,
+    /// Sweep mode: index of the scenario this worker is draining,
+    /// reset to 0 each time it accepts an epoch (a re-armed sweep
+    /// epoch makes survivors skate over the exhausted cursors to the
+    /// redo queue).
+    scenario: u64,
     /// Ranges claimed since this worker's current serve began, none of
     /// them merged yet (the production supervision guard's pending
     /// list). Resubmitted wholesale if the worker dies; cleared at the
@@ -664,6 +847,7 @@ impl ModelState {
         ModelState {
             core: PoolCore::new(scenario.workers),
             cursor: None,
+            sweep_cursors: Vec::new(),
             panic_armed: scenario.panic_at.is_some(),
             epoch_idx: 0,
             coord: CoordPc::Publish,
@@ -671,6 +855,7 @@ impl ModelState {
                 WorkerState {
                     pc: WorkerPc::Idle,
                     seen_epoch: 0,
+                    scenario: 0,
                     pending: Vec::new(),
                     local: Vec::new(),
                 };
@@ -692,6 +877,8 @@ impl ModelState {
         out.push(u8::from(self.core.shutdown));
         out.push(u8::from(self.core.panicked));
         out.push(u8::from(self.panic_armed));
+        push(out, self.core.scenarios_published);
+        out.push(u8::from(self.core.sweep_sealed));
         push(out, self.core.resubmit.len() as u64);
         for &(lo, hi) in &self.core.resubmit {
             push(out, lo);
@@ -716,10 +903,17 @@ impl ModelState {
                 push(out, claim);
             }
         }
+        push(out, self.sweep_cursors.len() as u64);
+        for &(next, hi, claim) in &self.sweep_cursors {
+            push(out, next);
+            push(out, hi);
+            push(out, claim);
+        }
         push(out, self.epoch_idx as u64);
         encode_coord(&self.coord, out);
         for w in &self.workers {
             push(out, w.seen_epoch);
+            push(out, w.scenario);
             encode_worker(&w.pc, out);
             push(out, w.pending.len() as u64);
             for &(lo, hi) in &w.pending {
@@ -739,19 +933,24 @@ impl ModelState {
 }
 
 fn encode_coord(pc: &CoordPc, out: &mut Vec<u8>) {
-    let (tag, flag) = match pc {
-        CoordPc::Publish => (0u8, false),
-        CoordPc::WakeWorkers => (1, false),
-        CoordPc::Await => (2, false),
-        CoordPc::ParkedQuiesced => (3, false),
-        CoordPc::Retire { panicked } => (4, *panicked),
-        CoordPc::Shutdown { panicked } => (5, *panicked),
-        CoordPc::WakeShutdown { panicked } => (6, *panicked),
-        CoordPc::Join { panicked } => (7, *panicked),
-        CoordPc::Done { panicked } => (8, *panicked),
+    let (tag, flag, k) = match pc {
+        CoordPc::Publish => (0u8, false, 0usize),
+        CoordPc::WakeWorkers => (1, false, 0),
+        CoordPc::Await => (2, false, 0),
+        CoordPc::ParkedQuiesced => (3, false, 0),
+        CoordPc::Retire { panicked } => (4, *panicked, 0),
+        CoordPc::Shutdown { panicked } => (5, *panicked, 0),
+        CoordPc::WakeShutdown { panicked } => (6, *panicked, 0),
+        CoordPc::Join { panicked } => (7, *panicked, 0),
+        CoordPc::Done { panicked } => (8, *panicked, 0),
+        CoordPc::PublishScenario { k } => (9, false, *k),
+        CoordPc::WakeScenario { k } => (10, false, *k),
+        CoordPc::Seal => (11, false, 0),
+        CoordPc::WakeSeal => (12, false, 0),
     };
     out.push(tag);
     out.push(u8::from(flag));
+    out.extend_from_slice(&(k as u64).to_le_bytes());
 }
 
 fn encode_worker(pc: &WorkerPc, out: &mut Vec<u8>) {
@@ -769,6 +968,8 @@ fn encode_worker(pc: &WorkerPc, out: &mut Vec<u8>) {
         WorkerPc::WakeQuiesced => out.push(6),
         WorkerPc::MarkLost => out.push(7),
         WorkerPc::Exited => out.push(9),
+        WorkerPc::SweepWait => out.push(10),
+        WorkerPc::ParkedSweep => out.push(11),
         WorkerPc::WakeDeath { wake } => {
             out.push(8);
             out.push(match wake {
@@ -891,7 +1092,7 @@ impl Explorer<'_> {
         }
         for (i, w) in state.workers.iter().enumerate() {
             match w.pc {
-                WorkerPc::ParkedWork => {
+                WorkerPc::ParkedWork | WorkerPc::ParkedSweep => {
                     if self.scenario.spurious {
                         out.push(Decision::SpuriousWorker(i));
                     }
@@ -907,7 +1108,14 @@ impl Explorer<'_> {
     fn apply(&self, state: &mut ModelState, decision: Decision) -> Result<(), String> {
         match decision {
             Decision::SpuriousWorker(i) => {
-                state.workers[i].pc = WorkerPc::Idle;
+                // A spurious wake returns the worker to the poll it
+                // parked from; the predicate re-check is what makes
+                // spurious wakeups harmless.
+                state.workers[i].pc = if state.workers[i].pc == WorkerPc::ParkedSweep {
+                    WorkerPc::SweepWait
+                } else {
+                    WorkerPc::Idle
+                };
                 Ok(())
             }
             Decision::SpuriousCoordinator => {
@@ -930,6 +1138,8 @@ impl Explorer<'_> {
             for w in &mut state.workers {
                 if w.pc == WorkerPc::ParkedWork {
                     w.pc = WorkerPc::Idle;
+                } else if w.pc == WorkerPc::ParkedSweep {
+                    w.pc = WorkerPc::SweepWait;
                 }
             }
         }
@@ -941,13 +1151,17 @@ impl Explorer<'_> {
     fn step_coordinator(&self, state: &mut ModelState) -> Result<(), String> {
         match state.coord.clone() {
             CoordPc::Publish => {
-                let (lo, hi) = self.scenario.epochs[state.epoch_idx];
                 if state.core.active != 0 {
                     return Err(format!(
                         "publish with {} workers still active in the previous epoch",
                         state.core.active
                     ));
                 }
+                let (lo, hi) = if self.scenario.sweep_mode() {
+                    self.scenario.sweep_range(0)
+                } else {
+                    self.scenario.epochs[state.epoch_idx]
+                };
                 let claim =
                     effective_claim(self.scenario.claim, hi - lo, self.scenario.workers as u64);
                 let spec = JobSpec {
@@ -960,8 +1174,13 @@ impl Explorer<'_> {
                 // (under the data mutex) before the guarded publish;
                 // folded into this step because workers cannot observe
                 // the data until the publish makes the epoch visible.
-                state.cursor = Some((lo, hi, claim));
-                let wake = state.core.publish(spec);
+                let wake = if self.scenario.sweep_mode() {
+                    state.sweep_cursors = vec![(lo, hi, claim)];
+                    state.core.publish_sweep(spec)
+                } else {
+                    state.cursor = Some((lo, hi, claim));
+                    state.core.publish(spec)
+                };
                 if self.scenario.mutation == Mutation::UnderCountActive {
                     state.core.active = state.core.active.saturating_sub(1);
                 }
@@ -971,6 +1190,50 @@ impl Explorer<'_> {
             }
             CoordPc::WakeWorkers => {
                 if self.scenario.mutation != Mutation::SkipPublishWake {
+                    self.deliver(state, Wake::Work);
+                }
+                state.coord = if self.scenario.sweep_mode() {
+                    if self.scenario.sweep.len() > 1 {
+                        CoordPc::PublishScenario { k: 1 }
+                    } else {
+                        CoordPc::Seal
+                    }
+                } else {
+                    CoordPc::Await
+                };
+                Ok(())
+            }
+            CoordPc::PublishScenario { k } => {
+                // The fused sweep's defining transition: appended while
+                // workers are active — no quiesce precondition.
+                let (lo, hi) = self.scenario.sweep_range(k);
+                let claim =
+                    effective_claim(self.scenario.claim, hi - lo, self.scenario.workers as u64);
+                state.sweep_cursors.push((lo, hi, claim));
+                let wake = state.core.extend_sweep(hi);
+                debug_assert_eq!(wake, Wake::Work);
+                state.coord = CoordPc::WakeScenario { k };
+                Ok(())
+            }
+            CoordPc::WakeScenario { k } => {
+                if self.scenario.mutation != Mutation::SkipScenarioWake {
+                    self.deliver(state, Wake::Work);
+                }
+                state.coord = if k + 1 < self.scenario.sweep.len() {
+                    CoordPc::PublishScenario { k: k + 1 }
+                } else {
+                    CoordPc::Seal
+                };
+                Ok(())
+            }
+            CoordPc::Seal => {
+                let wake = state.core.seal_sweep();
+                debug_assert_eq!(wake, Wake::Work);
+                state.coord = CoordPc::WakeSeal;
+                Ok(())
+            }
+            CoordPc::WakeSeal => {
+                if self.scenario.mutation != Mutation::SkipScenarioWake {
                     self.deliver(state, Wake::Work);
                 }
                 state.coord = CoordPc::Await;
@@ -992,8 +1255,14 @@ impl Explorer<'_> {
                     return Ok(());
                 }
                 // Quiesce-point watermark: the simulated set must be
-                // exactly the prefix [0, hi) of this epoch.
-                let (_, hi) = self.scenario.epochs[state.epoch_idx];
+                // exactly the prefix [0, hi) of this epoch (in sweep
+                // mode, of the whole fused index space — a per-scenario
+                // shortfall shows up as a hole in the prefix).
+                let hi = if self.scenario.sweep_mode() {
+                    self.scenario.total()
+                } else {
+                    self.scenario.epochs[state.epoch_idx].1
+                };
                 let expected: Vec<u64> = (0..hi).collect();
                 if state.simulated != expected {
                     return Err(format!(
@@ -1002,7 +1271,9 @@ impl Explorer<'_> {
                     ));
                 }
                 state.epoch_idx += 1;
-                state.coord = if state.epoch_idx == self.scenario.epochs.len() {
+                let done =
+                    self.scenario.sweep_mode() || state.epoch_idx == self.scenario.epochs.len();
+                state.coord = if done {
                     CoordPc::Shutdown { panicked: false }
                 } else {
                     CoordPc::Publish
@@ -1050,6 +1321,7 @@ impl Explorer<'_> {
                     WorkerPoll::Shutdown => state.workers[i].pc = WorkerPc::Exited,
                     WorkerPoll::Job(_, epoch) => {
                         state.workers[i].seen_epoch = epoch;
+                        state.workers[i].scenario = 0;
                         state.workers[i].pc = WorkerPc::Claim;
                     }
                     WorkerPoll::Wait => {
@@ -1069,6 +1341,24 @@ impl Explorer<'_> {
                 Ok(())
             }
             WorkerPc::Claim => {
+                if self.scenario.sweep_mode() {
+                    let s = state.workers[i].scenario as usize;
+                    let &(next, hi, claim) = state
+                        .sweep_cursors
+                        .get(s)
+                        .ok_or("worker claiming an unpublished sweep scenario")?;
+                    state.sweep_cursors[s] = (next + claim, hi, claim);
+                    match claim_range(next, hi, claim) {
+                        Some((lo, end)) => {
+                            state.workers[i].pending.push((lo, end));
+                            state.workers[i].pc = WorkerPc::Simulate { cur: lo, end };
+                        }
+                        // Scenario drained: ask the queue what's next
+                        // instead of checking out of the epoch.
+                        None => state.workers[i].pc = WorkerPc::SweepWait,
+                    }
+                    return Ok(());
+                }
                 let (next, hi, claim) = state
                     .cursor
                     .ok_or("worker claiming with no cursor installed")?;
@@ -1079,6 +1369,21 @@ impl Explorer<'_> {
                         state.workers[i].pc = WorkerPc::Simulate { cur: lo, end };
                     }
                     None => state.workers[i].pc = WorkerPc::CheckOut,
+                }
+                Ok(())
+            }
+            WorkerPc::SweepWait => {
+                // Production merges the drained scenario's partial
+                // *before* this guarded poll (the model's merge stays
+                // at check-out: merges commute, so coverage — which is
+                // what the invariants track — is unaffected).
+                match state.core.sweep_poll(state.workers[i].scenario) {
+                    SweepPoll::Next => {
+                        state.workers[i].scenario += 1;
+                        state.workers[i].pc = WorkerPc::Claim;
+                    }
+                    SweepPoll::Drained => state.workers[i].pc = WorkerPc::CheckOut,
+                    SweepPoll::Wait => state.workers[i].pc = WorkerPc::ParkedSweep,
                 }
                 Ok(())
             }
@@ -1175,7 +1480,7 @@ impl Explorer<'_> {
                 state.workers[i].pc = WorkerPc::Exited;
                 Ok(())
             }
-            WorkerPc::ParkedWork | WorkerPc::Exited => {
+            WorkerPc::ParkedWork | WorkerPc::ParkedSweep | WorkerPc::Exited => {
                 Err("scheduler stepped an unrunnable worker".into())
             }
         }
@@ -1249,9 +1554,32 @@ mod tests {
         // Large ranges keep the configured size.
         assert_eq!(effective_claim(64, 1_000_000, 4), 64);
         // In between: the clamp, not the configured value.
-        assert_eq!(effective_claim(64, 100, 4), 6);
+        assert_eq!(effective_claim(64, 100, 4), 3);
         // A configured claim of one is never inflated.
         assert_eq!(effective_claim(1, 1_000_000, 4), 1);
+    }
+
+    #[test]
+    fn small_runs_yield_enough_batches_to_balance() {
+        // Regression for the `balance: 0.0000` rows in
+        // BENCH_parallel.json: a 400-group run under `claim_batch=64`
+        // used to yield so few batches that the first worker could
+        // drain the whole epoch before its peers were scheduled. The
+        // clamp must now leave at least eight batches per worker
+        // whenever the run is large enough to support them.
+        for threads in [2u64, 4, 8] {
+            for count in [400u64, 800, 1_000] {
+                let eff = effective_claim(64, count, threads);
+                let batches = count.div_ceil(eff);
+                assert!(
+                    batches >= 8 * threads.min(count / 8),
+                    "count={count} threads={threads} eff={eff} batches={batches}"
+                );
+            }
+        }
+        // The concrete bench shape: 400 groups, 2 workers, claim 64.
+        assert_eq!(effective_claim(64, 400, 2), 25);
+        assert!(400u64.div_ceil(25) >= 16);
     }
 
     #[test]
@@ -1405,6 +1733,92 @@ mod tests {
                 "mutation {mutation:?} was not caught"
             );
         }
+        // The scenario-boundary mutation needs a sweep to corrupt.
+        let mut scenario = Scenario::sweep(2, vec![2, 2], 1);
+        scenario.mutation = Mutation::SkipScenarioWake;
+        let report = check(&scenario);
+        assert!(
+            report.violation.is_some(),
+            "mutation SkipScenarioWake was not caught"
+        );
+    }
+
+    #[test]
+    fn sweep_core_transitions_follow_the_queue() {
+        let mut core = PoolCore::new(2);
+        let spec = JobSpec {
+            lo: 0,
+            hi: 2,
+            claim: 1,
+            collect: false,
+        };
+        assert_eq!(core.publish_sweep(spec), Wake::Work);
+        assert_eq!(core.scenarios_published, 1);
+        // A worker that drains scenario 0 before scenario 1 exists
+        // must wait, not check out.
+        assert_eq!(core.sweep_poll(0), SweepPoll::Wait);
+        // Appending is legal with workers active — the whole point.
+        assert_eq!(core.active, 2);
+        assert_eq!(core.extend_sweep(5), Wake::Work);
+        assert_eq!(core.job.unwrap().hi, 5);
+        assert_eq!(core.sweep_poll(0), SweepPoll::Next);
+        assert_eq!(core.sweep_poll(1), SweepPoll::Wait);
+        assert_eq!(core.seal_sweep(), Wake::Work);
+        assert_eq!(core.sweep_poll(1), SweepPoll::Drained);
+        // Check-out and quiesce are the classic epoch path.
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::None));
+        assert_eq!(core.check_out(), CheckOutcome::Out(Wake::Quiesced));
+        assert_eq!(core.quiesce_poll(), QuiescePoll::Quiesced);
+        core.retire();
+        assert_eq!(core.scenarios_published, 0);
+        assert!(!core.sweep_sealed);
+        // Shutdown drains a boundary-parked worker straight through.
+        let _ = core.publish_sweep(spec);
+        let _ = core.request_shutdown();
+        assert_eq!(core.sweep_poll(0), SweepPoll::Drained);
+    }
+
+    #[test]
+    fn sweep_scenarios_are_exhausted_without_violation() {
+        // Cross-scenario stealing in every interleaving: workers may
+        // drain scenario 0 and steal from scenario 1 before the seal,
+        // park at the boundary, or race the coordinator's appends —
+        // all schedules must cover the fused index space exactly.
+        for counts in [vec![2, 2], vec![2, 1], vec![1, 2], vec![1, 1, 1]] {
+            let report = check(&Scenario::sweep(2, counts.clone(), 1));
+            assert_eq!(report.violation, None, "sweep {counts:?}: {report:?}");
+            assert!(report.states > 10, "{report:?}");
+        }
+        // A claim spanning a whole scenario still honors boundaries.
+        let report = check(&Scenario::sweep(2, vec![2, 2], 2));
+        assert_eq!(report.violation, None, "{report:?}");
+    }
+
+    #[test]
+    fn sweep_survives_spurious_wakeups_at_the_boundary() {
+        let mut scenario = Scenario::sweep(2, vec![2, 1], 1);
+        scenario.spurious = true;
+        let report = check(&scenario);
+        assert_eq!(report.violation, None, "{report:?}");
+    }
+
+    #[test]
+    fn sweep_death_mid_sweep_is_supervised_to_full_coverage() {
+        // A worker dies simulating scenario 0 (index 1) or scenario 1
+        // (index 2): the survivor redoes the resubmitted ranges after
+        // the queue drains, and the fused watermark still holds.
+        for panic_at in [1u64, 2] {
+            let mut scenario = Scenario::sweep(2, vec![2, 2], 1);
+            scenario.panic_at = Some(panic_at);
+            let report = check(&scenario);
+            assert_eq!(report.violation, None, "panic_at {panic_at}: {report:?}");
+        }
+        // Total loss mid-sweep aborts.
+        let mut scenario = Scenario::sweep(2, vec![2, 1], 1);
+        scenario.panic_at = Some(1);
+        scenario.sticky = true;
+        let report = check(&scenario);
+        assert_eq!(report.violation, None, "{report:?}");
     }
 
     #[test]

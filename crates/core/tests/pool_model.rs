@@ -53,8 +53,13 @@ fn oversized_claims_still_quiesce_exactly() {
         let report = check(&Scenario::new(2, vec![(0, 2), (2, 4)], claim));
         assert_eq!(report.violation, None, "claim={claim}: {report:?}");
     }
-    // Genuine multi-group claims: effective_claim(64, 16, 2) == 2.
-    let report = check(&Scenario::new(2, vec![(0, 16)], 64));
+    // Genuine multi-group claims: effective_claim(64, 16, 1) == 2.
+    // Single-worker on purpose — the tightened clamp (divisor 8) puts
+    // two-worker multi-group claims at 32+ groups, whose exhaustive
+    // interleaving search is release-mode territory; the CI example
+    // (`model_check`) carries that scenario, this debug-mode suite
+    // covers the multi-index claim/watermark arithmetic cheaply.
+    let report = check(&Scenario::new(1, vec![(0, 16)], 64));
     assert_eq!(report.violation, None, "{report:?}");
 }
 

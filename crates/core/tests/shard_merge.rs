@@ -117,7 +117,10 @@ fn merge_refuses_mismatched_shards() {
     // Empty input.
     assert!(matches!(
         merge_shards(vec![]),
-        Err(CheckpointError::ConfigMismatch { field: "shards", .. })
+        Err(CheckpointError::ConfigMismatch {
+            field: "shards",
+            ..
+        })
     ));
 
     // Seed mismatch.
@@ -135,7 +138,10 @@ fn merge_refuses_mismatched_shards() {
     let foreign = shard_snapshot(&raid6, total, 1, 2, 7);
     assert!(matches!(
         merge_shards(vec![s0.clone(), foreign]),
-        Err(CheckpointError::ConfigMismatch { field: "fingerprint", .. })
+        Err(CheckpointError::ConfigMismatch {
+            field: "fingerprint",
+            ..
+        })
     ));
 
     // Fast math gets its own fingerprint domain.
@@ -146,7 +152,10 @@ fn merge_refuses_mismatched_shards() {
     let fast_shard = shard_snapshot(&fast, total, 1, 2, 7);
     assert!(matches!(
         merge_shards(vec![s0.clone(), fast_shard]),
-        Err(CheckpointError::ConfigMismatch { field: "fingerprint", .. })
+        Err(CheckpointError::ConfigMismatch {
+            field: "fingerprint",
+            ..
+        })
     ));
 
     // Gap: [0, 30) + [45, 60).
@@ -229,11 +238,16 @@ fn forced_critical_bias_stays_scalar_but_completes_under_block_tuning() {
         window_hours: 48.0,
     };
     let block = Simulator::new(base()).with_bias(bias);
-    let scalar = Simulator::new(base()).with_bias(bias).with_tuning(SessionTuning {
-        block_draws: false,
-        ..SessionTuning::default()
-    });
-    assert_eq!(block.run_streaming(100, 13, 1), scalar.run_streaming(100, 13, 1));
+    let scalar = Simulator::new(base())
+        .with_bias(bias)
+        .with_tuning(SessionTuning {
+            block_draws: false,
+            ..SessionTuning::default()
+        });
+    assert_eq!(
+        block.run_streaming(100, 13, 1),
+        scalar.run_streaming(100, 13, 1)
+    );
 }
 
 #[test]

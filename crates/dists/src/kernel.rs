@@ -691,7 +691,13 @@ impl SampleKernel {
     /// once per element, with the per-call invariants (`S(t0)`,
     /// `F(t0)`) hoisted once per block. Under [`MathMode::Exact`] the
     /// block is bit-identical to the scalar loop.
-    pub fn sample_conditional_block(&self, mode: MathMode, t0: f64, rng: &mut dyn Rng, out: &mut [f64]) {
+    pub fn sample_conditional_block(
+        &self,
+        mode: MathMode,
+        t0: f64,
+        rng: &mut dyn Rng,
+        out: &mut [f64],
+    ) {
         match self {
             SampleKernel::Weibull3 {
                 gamma,
@@ -856,6 +862,9 @@ impl SampleKernel {
     /// [`SampleKernel::sample_conditional_forced`] once per element,
     /// with `S(t0)`/`F(t0)`/window mass `q` hoisted once per block.
     /// Bit-identical to the scalar loop under [`MathMode::Exact`].
+    // Mirrors `sample_conditional_forced` plus the block mode/buffer;
+    // bundling the forcing args would diverge the two signatures.
+    #[allow(clippy::too_many_arguments)]
     pub fn sample_conditional_forced_block(
         &self,
         mode: MathMode,

@@ -1,0 +1,130 @@
+//! Memoized [`SampleKernel`] lowering for multi-scenario sweeps.
+//!
+//! Lowering a distribution tree ([`SampleKernel::lower`]) walks the
+//! whole `dyn LifeDistribution` structure and allocates for mixtures
+//! and competing-risks nodes. A fused sweep opens one engine session
+//! per (worker, scenario), and sweep scenarios overwhelmingly share
+//! distribution trees — a scrub-interval ladder varies one field of
+//! the config while every `Arc<dyn LifeDistribution>` it clones stays
+//! the same allocation. [`KernelCache`] memoizes lowering on that
+//! allocation identity: each distinct tree lowers once per worker per
+//! sweep, and every later session clones the finished kernel.
+//!
+//! Keys are held as [`Arc`] clones, so a cached tree can never be
+//! dropped and its address reused while the cache is alive —
+//! [`Arc::ptr_eq`] on an entry is therefore sound, not an ABA hazard.
+//! The cache holds no synchronization state (each worker owns one), so
+//! it stays outside the model-checked concurrency surface; sharing one
+//! across workers would buy nothing but a lock on the session-open
+//! path.
+
+use std::sync::Arc;
+
+use crate::kernel::SampleKernel;
+use crate::LifeDistribution;
+
+/// A per-worker, per-sweep memo of lowered sampling kernels, keyed by
+/// distribution-tree identity (`Arc` pointer equality).
+///
+/// The entry list is a linear scan: a sweep config references a
+/// handful of trees (operational, latent, restore, scrub), so the
+/// entry count stays in the single digits and a vector beats any map
+/// on both lookup cost and determinism-lint surface.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    entries: Vec<(Arc<dyn LifeDistribution>, SampleKernel)>,
+    hits: u64,
+    lowerings: u64,
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        KernelCache::default()
+    }
+
+    /// Lowers `dist`, reusing the memoized kernel when this exact tree
+    /// (same allocation) was lowered before. The returned kernel is a
+    /// clone either way, draw-for-draw bit-identical to an uncached
+    /// [`SampleKernel::lower`].
+    pub fn lower(&mut self, dist: &Arc<dyn LifeDistribution>) -> SampleKernel {
+        if let Some((_, kernel)) = self.entries.iter().find(|(d, _)| Arc::ptr_eq(d, dist)) {
+            self.hits += 1;
+            return kernel.clone();
+        }
+        let kernel = SampleKernel::lower(dist);
+        self.lowerings += 1;
+        self.entries.push((Arc::clone(dist), kernel.clone()));
+        kernel
+    }
+
+    /// Lowerings answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Full lowerings performed (one per distinct tree).
+    pub fn lowerings(&self) -> u64 {
+        self.lowerings
+    }
+
+    /// Distinct trees currently memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache has memoized anything yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Exponential, Weibull3};
+
+    #[test]
+    fn identical_trees_lower_once() {
+        let dist: Arc<dyn LifeDistribution> =
+            Arc::new(Weibull3::new(0.0, 461_386.0, 1.12).unwrap());
+        let mut cache = KernelCache::new();
+        let first = cache.lower(&dist);
+        let again = cache.lower(&Arc::clone(&dist));
+        assert_eq!(cache.lowerings(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(first.variant_name(), again.variant_name());
+    }
+
+    #[test]
+    fn distinct_trees_get_distinct_entries() {
+        // Equal parameters, different allocations: identity keying
+        // must treat them as distinct (correct, merely conservative).
+        let a: Arc<dyn LifeDistribution> = Arc::new(Exponential::new(1e-6).unwrap());
+        let b: Arc<dyn LifeDistribution> = Arc::new(Exponential::new(1e-6).unwrap());
+        let mut cache = KernelCache::new();
+        let _ = cache.lower(&a);
+        let _ = cache.lower(&b);
+        assert_eq!(cache.lowerings(), 2);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_kernels_draw_bit_identically() {
+        let dist: Arc<dyn LifeDistribution> =
+            Arc::new(Weibull3::new(0.0, 461_386.0, 1.12).unwrap());
+        let mut cache = KernelCache::new();
+        let _ = cache.lower(&dist);
+        let cached = cache.lower(&dist);
+        let fresh = SampleKernel::lower(&dist);
+        let mut a = crate::rng::stream(7, 0);
+        let mut b = crate::rng::stream(7, 0);
+        for _ in 0..64 {
+            let x = cached.sample(&mut a);
+            let y = fresh.sample(&mut b);
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -59,6 +59,7 @@ mod weibull;
 pub mod empirical;
 pub mod fit;
 pub mod kernel;
+pub mod kernel_cache;
 pub mod rng;
 pub mod special;
 
@@ -67,6 +68,7 @@ pub use degenerate::Degenerate;
 pub use error::DistError;
 pub use exponential::Exponential;
 pub use kernel::SampleKernel;
+pub use kernel_cache::KernelCache;
 pub use lognormal::Lognormal;
 pub use mixture::Mixture;
 pub use weibull::Weibull3;

@@ -65,7 +65,13 @@ fn assert_block_bit_identical(dist: &Arc<dyn LifeDistribution>, seed: u64, fracs
     let scalar: Vec<f64> = (0..BLOCK)
         .map(|_| kernel.sample_tilted(tilt, &mut lw_scalar, &mut rng_scalar))
         .collect();
-    kernel.sample_tilted_block(MathMode::Exact, tilt, &mut lw_block, &mut rng_block, &mut block);
+    kernel.sample_tilted_block(
+        MathMode::Exact,
+        tilt,
+        &mut lw_block,
+        &mut rng_block,
+        &mut block,
+    );
     check("sample_tilted", &scalar, &block);
     assert_eq!(
         lw_scalar.to_bits(),
@@ -95,7 +101,13 @@ fn assert_block_bit_identical(dist: &Arc<dyn LifeDistribution>, seed: u64, fracs
     for &t0 in &t0s {
         let scalar: Vec<f64> = (0..BLOCK)
             .map(|_| {
-                kernel.sample_conditional_forced(t0, window, forcing, &mut lw_scalar, &mut rng_scalar)
+                kernel.sample_conditional_forced(
+                    t0,
+                    window,
+                    forcing,
+                    &mut lw_scalar,
+                    &mut rng_scalar,
+                )
             })
             .collect();
         kernel.sample_conditional_forced_block(

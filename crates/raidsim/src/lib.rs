@@ -44,8 +44,8 @@
 //! * [`hdd`] — drive/bus parameters, failure-mode taxonomy,
 //!   read-error-rate and restore-time models ([`raidsim_hdd`]).
 //! * [`config`], [`engine`], [`run`], [`stats`], [`checkpoint`],
-//!   [`store`], [`sync_model`], [`mttdl`], [`markov`], [`closed_form`],
-//!   [`events`] — the core model ([`raidsim_core`]).
+//!   [`store`], [`sweep`], [`sync_model`], [`mttdl`], [`markov`],
+//!   [`closed_form`], [`events`] — the core model ([`raidsim_core`]).
 //! * [`analysis`] — mean cumulative functions, ROCOF, intervals
 //!   ([`raidsim_analysis`]).
 //! * [`workloads`] — synthetic field populations and usage profiles
@@ -64,8 +64,8 @@ pub use raidsim_hdd as hdd;
 pub use raidsim_workloads as workloads;
 
 pub use raidsim_core::{
-    checkpoint, closed_form, config, engine, events, markov, mttdl, run, stats, store, sync_model,
-    CoreError,
+    checkpoint, closed_form, config, engine, events, markov, mttdl, run, stats, store, sweep,
+    sync_model, CoreError,
 };
 
 /// The paper's four base-case transition distributions and standard

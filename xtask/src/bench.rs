@@ -20,6 +20,15 @@
 //! group count (Jensen: `(Σw)² ≤ n·Σw²`). Timing and speedup fields
 //! are trajectory data, not pass/fail criteria.
 //!
+//! The fused-sweep harness (`bench_sweep`) runs third and its
+//! `BENCH_sweep.json` is validated the same way: every row must attest
+//! `bit_identical: true` (the binary byte-compares each scenario's
+//! fused aggregate against its sequential run before recording any
+//! timing) and at least one cache hit (the deliberate duplicate
+//! scenario must be served from the fingerprint-keyed result cache,
+//! never re-simulated). Fused-vs-sequential wall times and steal
+//! counts are trajectory data, never pass/fail.
+//!
 //! Schema 3 of `BENCH_parallel.json` additionally carries a
 //! per-configuration `block_check` that must attest the block-drawn
 //! sampling path bit-identical to the scalar one, and the driver
@@ -58,6 +67,27 @@ const REQUIRED_CELL: [&str; 10] = [
     "\"steady_allocs\"",
 ];
 
+/// Keys the fused-sweep benchmark document must carry at the top level.
+const REQUIRED_SWEEP_TOP: [&str; 6] = [
+    "\"schema_version\"",
+    "\"groups\"",
+    "\"claim_batch\"",
+    "\"scenarios\"",
+    "\"distinct_scenarios\"",
+    "\"rows\"",
+];
+
+/// Keys every fused-sweep row must carry.
+const REQUIRED_SWEEP_ROW: [&str; 7] = [
+    "\"threads\"",
+    "\"sequential_wall_ms\"",
+    "\"fused_wall_ms\"",
+    "\"fused_speedup\"",
+    "\"steals\"",
+    "\"cache_hits\"",
+    "\"bit_identical\"",
+];
+
 /// Keys the rare-event benchmark document must carry at the top level.
 const REQUIRED_RARE_TOP: [&str; 8] = [
     "\"schema_version\"",
@@ -90,6 +120,15 @@ pub fn check(root: &Path, smoke: bool) -> Result<Vec<Finding>, String> {
         &REQUIRED_RARE_TOP,
         &[],
         rare_event_violations,
+    )?);
+    findings.extend(run_and_validate(
+        root,
+        smoke,
+        "bench_sweep",
+        "BENCH_sweep.json",
+        &REQUIRED_SWEEP_TOP,
+        &REQUIRED_SWEEP_ROW,
+        sweep_violations,
     )?);
     findings.extend(shard_roundtrip(root)?);
     Ok(findings)
@@ -170,8 +209,8 @@ fn shard_roundtrip(root: &Path) -> Result<Vec<Finding>, String> {
 
     let reference_bytes = std::fs::read(&reference)
         .map_err(|e| format!("cannot read unsharded checkpoint {reference}: {e}"))?;
-    let merged_bytes =
-        std::fs::read(&merged).map_err(|e| format!("cannot read merged checkpoint {merged}: {e}"))?;
+    let merged_bytes = std::fs::read(&merged)
+        .map_err(|e| format!("cannot read merged checkpoint {merged}: {e}"))?;
     if merged_bytes != reference_bytes {
         findings.push(finding(
             "merged 2-shard checkpoint is not byte-equal to the unsharded run".into(),
@@ -309,6 +348,44 @@ fn invariant_violations(text: &str) -> Vec<String> {
                 "line {row}: steady-state loop reported {allocs} allocations,                  expected 0"
             ));
         }
+    }
+    violations
+}
+
+/// Machine-independent invariants over the fused-sweep benchmark
+/// document: the schema version, and — on every single-line row — the
+/// binary's per-scenario bit-identity attestation plus at least one
+/// result-cache hit (the suite contains a deliberate duplicate
+/// scenario, so a row with zero hits means the cache is broken).
+/// Wall times, speedups, and steal counts are trajectory data and are
+/// not judged.
+fn sweep_violations(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !text.contains("\"schema_version\": 1") {
+        violations.push("schema_version must be 1".to_string());
+    }
+    let mut saw_row = false;
+    for (i, line) in text.lines().enumerate() {
+        if !line.contains("\"fused_wall_ms\"") {
+            continue;
+        }
+        saw_row = true;
+        let row = i + 1;
+        if !line.contains("\"bit_identical\": true") {
+            violations.push(format!(
+                "line {row}: row does not attest bit_identical: true"
+            ));
+        }
+        match field_u64(line, "cache_hits") {
+            None => violations.push(format!("line {row}: row is missing cache_hits")),
+            Some(0) => violations.push(format!(
+                "line {row}: the duplicate scenario was not served from the cache"
+            )),
+            Some(_) => {}
+        }
+    }
+    if !saw_row {
+        violations.push("no fused-sweep rows found".to_string());
     }
     violations
 }
@@ -509,7 +586,44 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
 
 #[cfg(test)]
 mod tests {
-    use super::{invariant_violations, rare_event_violations, validate_json};
+    use super::{invariant_violations, rare_event_violations, sweep_violations, validate_json};
+
+    #[test]
+    fn sweep_invariants_accept_a_conforming_document() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 1,\n  \"rows\": [\n",
+            "    {\"threads\": 2, \"sequential_wall_ms\": 100.0, ",
+            "\"fused_wall_ms\": 60.0, \"fused_speedup\": 1.667, ",
+            "\"steals\": 3, \"cache_hits\": 1, \"bit_identical\": true}\n",
+            "  ]\n}\n",
+        );
+        assert_eq!(sweep_violations(doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn sweep_invariants_flag_missing_attestation_and_cold_cache() {
+        let doc = concat!(
+            "{\n  \"schema_version\": 1,\n  \"rows\": [\n",
+            "    {\"threads\": 2, \"fused_wall_ms\": 60.0, ",
+            "\"cache_hits\": 0, \"bit_identical\": false}\n",
+            "  ]\n}\n",
+        );
+        let violations = sweep_violations(doc);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("bit_identical"), "{violations:?}");
+        assert!(violations[1].contains("cache"), "{violations:?}");
+    }
+
+    #[test]
+    fn sweep_invariants_require_rows_and_schema() {
+        let violations = sweep_violations("{\"schema_version\": 2}");
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("must be 1"), "{violations:?}");
+        assert!(
+            violations[1].contains("no fused-sweep rows"),
+            "{violations:?}"
+        );
+    }
 
     #[test]
     fn rare_event_invariants_accept_a_conforming_document() {

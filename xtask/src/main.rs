@@ -112,7 +112,8 @@ fn usage() -> &'static str {
        torture            sweep injected checkpoint faults through the release binary:\n\
      \x20                    bit-identical reports or typed refusals, double-SIGINT escape\n\
        torture --smoke    reduced fault grid, for CI\n\
-       bench              run the scheduler benchmark ladder, validate BENCH_parallel.json\n\
+       bench              run the benchmark harnesses, validate BENCH_parallel.json,\n\
+     \x20                    BENCH_rareevent.json, and BENCH_sweep.json\n\
      \x20                    (block-vs-scalar attestation), shard/merge round trip\n\
        bench --smoke      same with tiny group counts, for CI\n\
        help               print this message"
